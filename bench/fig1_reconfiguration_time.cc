@@ -1,0 +1,71 @@
+// Reproduces **Figure 1**: total time spent to reconfigure the execution
+// of NBQ8 after a VM failure, for 250 GB - 1 TB of state.
+//
+// Paper shape: Flink grows ~72 s -> ~257 s, Megaphone ~46 s -> ~75 s then
+// OOM at >= 750 GB, RhinoDFS ~15 s -> ~67 s, Rhino flat at ~4-5 s. Rhino
+// is ~50x faster than Flink, ~15x faster than Megaphone, ~11x faster than
+// RhinoDFS.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "metrics/table.h"
+
+namespace rhino::bench {
+namespace {
+
+void Run() {
+  std::printf("=== Figure 1: time to reconfigure NBQ8 after a VM failure ===\n\n");
+  metrics::TablePrinter table({"State", "Flink", "Megaphone", "RhinoDFS",
+                               "Rhino", "Flink/Rhino", "RhinoDFS/Rhino"});
+
+  const uint64_t sizes[] = {250 * kGiB, 500 * kGiB, 750 * kGiB, 1000 * kGiB};
+  for (uint64_t size : sizes) {
+    std::map<Sut, Testbed::RecoveryBreakdown> results;
+    for (Sut sut : {Sut::kFlink, Sut::kMegaphone, Sut::kRhinoDfs, Sut::kRhino}) {
+      TestbedOptions opts;
+      opts.sut = sut;
+      opts.query = "NBQ8";
+      opts.checkpoint_interval = 3 * kMinute;
+      Testbed tb(opts);
+      tb.SeedState(size);
+      tb.Start();
+      tb.Run(5 * kSecond);
+      if (sut != Sut::kMegaphone) {
+        tb.engine.TriggerCheckpoint();
+        tb.Run(30 * kSecond);
+      }
+      tb.StopGenerators();
+      tb.FailWorker(0);
+      results[sut] = tb.Recover(0);
+    }
+    auto cell = [&](Sut sut) -> std::string {
+      const auto& r = results[sut];
+      if (r.oom) return "OOM";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f s", ToSeconds(r.total_us));
+      return buf;
+    };
+    auto ratio = [&](Sut a, Sut b) -> std::string {
+      if (results[a].oom || results[b].oom) return "-";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.0fx",
+                    static_cast<double>(results[a].total_us) /
+                        static_cast<double>(results[b].total_us));
+      return buf;
+    };
+    table.AddRow({FormatBytes(size), cell(Sut::kFlink), cell(Sut::kMegaphone),
+                  cell(Sut::kRhinoDfs), cell(Sut::kRhino),
+                  ratio(Sut::kFlink, Sut::kRhino),
+                  ratio(Sut::kRhinoDfs, Sut::kRhino)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace rhino::bench
+
+int main() {
+  rhino::bench::Run();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces **Figure 4g-i**: latency around a load-balancing operation
+// that moves half the virtual nodes of the first instance on each worker
+// to another instance (paper §5.4.2: ~27 GB of state on NBQ8).
+//
+// Paper shape: Rhino's latency rises by ~60 ms and recovers within a
+// minute; Megaphone's fluid migration drives latency to ~10-24 s while
+// the (large) state moves; Flink has no load balancing — its stand-in is
+// the restart-based rescale of Figure 4d-f.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "timeline_util.h"
+
+namespace rhino::bench {
+namespace {
+
+uint64_t SeedFor(const std::string& query) {
+  if (query == "NBQ5") return 26 * kMiB;
+  if (query == "NBQ8") return 190 * kGiB;
+  return 180 * kGiB;
+}
+
+void RunScenario(const std::string& query, Sut sut) {
+  TestbedOptions opts;
+  opts.sut = sut;
+  opts.query = query;
+  opts.checkpoint_interval = kMinute;
+  opts.gen_tick = kSecond;
+  if (query == "NBQ5") {
+    // Paper §5.1.4: 128 MB/s per producer of 32 B bids — millions of
+    // records/s; give the modeled instances matching headroom.
+    opts.gen_bytes_per_sec = 128e6;
+    opts.stateful_records_per_sec = 12e6;
+    opts.source_records_per_sec = 16e6;
+  }
+  Testbed tb(opts);
+  tb.SeedState(SeedFor(query));
+  tb.Start();
+  SimTime lead_in = sut == Sut::kMegaphone
+                        ? 2 * opts.checkpoint_interval + 10 * kSecond
+                        : 2 * opts.checkpoint_interval + 10 * kSecond;
+  tb.Run(lead_in);
+
+  SimTime rebalance_time = tb.sim.Now();
+  tb.TriggerLoadBalance(opts.num_workers, 0.5);
+  tb.Run(3 * opts.checkpoint_interval);
+
+  std::printf("--- %s / %s: load balancing at t=%.0f s ---\n", query.c_str(),
+              SutName(sut), ToSeconds(rebalance_time));
+  PrintTimeline(tb, PrimaryOpOf(query), rebalance_time);
+}
+
+}  // namespace
+}  // namespace rhino::bench
+
+int main() {
+  std::printf("=== Figure 4g-i: latency around load balancing ===\n\n");
+  for (const char* query : {"NBQ8", "NBQ5", "NBQX"}) {
+    for (auto sut : {rhino::bench::Sut::kRhino, rhino::bench::Sut::kMegaphone,
+                     rhino::bench::Sut::kFlink}) {
+      rhino::bench::RunScenario(query, sut);
+    }
+  }
+  return 0;
+}

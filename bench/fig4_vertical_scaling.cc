@@ -1,0 +1,66 @@
+// Reproduces **Figure 4d-f**: latency around a vertical-scaling operation
+// (adding instances on in-use workers, DOP 56 -> 64 in the paper; here the
+// same 7/8 -> 8/8 ratio at the testbed's scaled parallelism).
+//
+// Paper shape: Flink restarts the whole query and reshuffles state
+// (latency up to 570 s on NBQ8); RhinoDFS spikes to ~30 s; Rhino adds
+// ~tens of ms and returns to steady within ~2 min. NBQ5 (small state) is
+// uneventful on every system.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "timeline_util.h"
+
+namespace rhino::bench {
+namespace {
+
+uint64_t SeedFor(const std::string& query) {
+  if (query == "NBQ5") return 26 * kMiB;
+  if (query == "NBQ8") return 220 * kGiB;  // paper §5.4.1
+  return 170 * kGiB;
+}
+
+void RunScenario(const std::string& query, Sut sut) {
+  TestbedOptions opts;
+  opts.sut = sut;
+  opts.query = query;
+  opts.checkpoint_interval = kMinute;
+  opts.gen_tick = kSecond;
+  opts.spare_instances = opts.stateful_parallelism / 8;  // 7/8 active
+  if (query == "NBQ5") {
+    // Paper §5.1.4: 128 MB/s per producer of 32 B bids — millions of
+    // records/s; give the modeled instances matching headroom.
+    opts.gen_bytes_per_sec = 128e6;
+    opts.stateful_records_per_sec = 12e6;
+    opts.source_records_per_sec = 16e6;
+  }
+  Testbed tb(opts);
+  tb.SeedState(SeedFor(query));
+  tb.Start();
+  tb.Run(2 * opts.checkpoint_interval + 10 * kSecond);
+
+  SimTime rescale_time = tb.sim.Now();
+  // Move each active instance's share onto the spares: switching to full
+  // parallelism redistributes 1/8 of the state (~32 GB at 250 GB).
+  tb.TriggerRescale(1.0 / 8.0);
+  tb.Run(3 * opts.checkpoint_interval);
+
+  std::printf("--- %s / %s: rescale to full parallelism at t=%.0f s ---\n",
+              query.c_str(), SutName(sut), ToSeconds(rescale_time));
+  PrintTimeline(tb, PrimaryOpOf(query), rescale_time);
+}
+
+}  // namespace
+}  // namespace rhino::bench
+
+int main() {
+  std::printf("=== Figure 4d-f: latency around vertical scaling ===\n\n");
+  for (const char* query : {"NBQ8", "NBQ5", "NBQX"}) {
+    for (auto sut : {rhino::bench::Sut::kFlink, rhino::bench::Sut::kRhino,
+                     rhino::bench::Sut::kRhinoDfs}) {
+      rhino::bench::RunScenario(query, sut);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Reproduces **Figure 6**: NBQ8 latency under a data rate oscillating
+// between 1 MB/s and 8 MB/s per producer (triangle wave, ±0.5 MB/s every
+// 10 s), with a planned migration of all operators off one server once
+// state reaches ~150 GB.
+//
+// Paper shape: all systems ride the varying rate at ~200 ms average;
+// at the reconfiguration Flink spikes to ~225 s while Rhino and RhinoDFS
+// stay flat.
+
+#include <cmath>
+#include <cstdio>
+
+#include "harness.h"
+#include "timeline_util.h"
+
+namespace rhino::bench {
+namespace {
+
+using dataflow::HandoverMove;
+using dataflow::StatefulInstance;
+
+/// Paper §5.5 rate schedule: starts at 1 MB/s, +0.5 MB/s every 10 s up to
+/// 8 MB/s, then back down, repeating. Expressed as a factor of the 8 MB/s
+/// peak rate.
+double TriangleFactor(SimTime t) {
+  const double lo = 1.0, hi = 8.0;
+  double steps_per_cycle = 2 * (hi - lo) / 0.5;
+  double step = static_cast<double>(t / (10 * kSecond));
+  double phase = std::fmod(step, steps_per_cycle);
+  double up = (hi - lo) / 0.5;
+  double mbps = phase <= up ? lo + 0.5 * phase : hi - 0.5 * (phase - up);
+  return mbps / hi;
+}
+
+void RunSut(Sut sut) {
+  TestbedOptions opts;
+  opts.sut = sut;
+  opts.query = "NBQ8";
+  opts.checkpoint_interval = kMinute;
+  opts.gen_tick = kSecond;
+  opts.gen_bytes_per_sec = 8e6;  // peak
+  opts.rate_factor = TriangleFactor;
+  Testbed tb(opts);
+  tb.SeedState(150 * kGiB);
+  tb.Start();
+  tb.Run(2 * opts.checkpoint_interval + 10 * kSecond);
+
+  // Migrate every stateful instance on worker 0 to the remaining workers.
+  SimTime reconfig = tb.sim.Now();
+  if (sut == Sut::kFlink) {
+    for (const auto& op : tb.stateful_ops) {
+      auto* table = tb.engine.routing(op);
+      uint32_t target = 1;
+      for (StatefulInstance* inst : tb.engine.stateful()) {
+        if (inst->op_name() != op || inst->node_id() != 0) continue;
+        for (uint32_t v : table->VnodesOfInstance(
+                 static_cast<uint32_t>(inst->subtask()))) {
+          // Next instance not on worker 0 (simple round robin).
+          while (tb.engine.FindStateful(op, target)->node_id() == 0) {
+            target = (target + 1) % static_cast<uint32_t>(
+                                        opts.stateful_parallelism);
+          }
+          table->Assign(v, target);
+          target = (target + 1) % static_cast<uint32_t>(
+                                      opts.stateful_parallelism);
+        }
+        inst->InitOwnedVnodes({});
+      }
+      tb.engine.ReinitKeyedGates(op);
+      for (StatefulInstance* inst : tb.engine.stateful()) {
+        if (inst->op_name() == op) {
+          inst->InitOwnedVnodes(table->VnodesOfInstance(
+              static_cast<uint32_t>(inst->subtask())));
+        }
+      }
+    }
+    tb.flink->RestartFromLastCheckpoint(-1, [](baselines::RestartBreakdown) {});
+  } else {
+    for (const auto& op : tb.stateful_ops) {
+      auto* table = tb.engine.routing(op);
+      std::vector<dataflow::HandoverMove> moves;
+      uint32_t target = 1;
+      for (StatefulInstance* inst : tb.engine.stateful()) {
+        if (inst->op_name() != op || inst->node_id() != 0) continue;
+        auto vnodes =
+            table->VnodesOfInstance(static_cast<uint32_t>(inst->subtask()));
+        if (vnodes.empty()) continue;
+        while (tb.engine.FindStateful(op, target)->node_id() == 0) {
+          target =
+              (target + 1) % static_cast<uint32_t>(opts.stateful_parallelism);
+        }
+        moves.push_back(HandoverMove{static_cast<uint32_t>(inst->subtask()),
+                                     target, vnodes});
+        target =
+            (target + 1) % static_cast<uint32_t>(opts.stateful_parallelism);
+      }
+      tb.hm->TriggerReconfiguration(op, std::move(moves));
+    }
+  }
+  tb.Run(3 * opts.checkpoint_interval);
+
+  std::printf("--- %s: migrate worker 0 off at t=%.0f s (state %s) ---\n",
+              SutName(sut), ToSeconds(reconfig),
+              FormatBytes(tb.TotalStateBytes()).c_str());
+  PrintTimeline(tb, PrimaryOpOf("NBQ8"), reconfig);
+}
+
+}  // namespace
+}  // namespace rhino::bench
+
+int main() {
+  std::printf(
+      "=== Figure 6: NBQ8 latency under varying data rates, with a planned "
+      "migration ===\n\n");
+  for (auto sut : {rhino::bench::Sut::kFlink, rhino::bench::Sut::kRhino,
+                   rhino::bench::Sut::kRhinoDfs}) {
+    rhino::bench::RunSut(sut);
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Google-benchmark microbenchmarks for the hot paths of the substrates:
+// the LSM store, SSTable build/lookup, bloom filters, key-group hashing,
+// binary encoding, and the simulation kernel.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "common/serde.h"
+#include "hashring/key_groups.h"
+#include "lsm/bloom.h"
+#include "lsm/db.h"
+#include "lsm/env.h"
+#include "lsm/memtable.h"
+#include "lsm/sstable.h"
+#include "sim/simulation.h"
+
+namespace rhino {
+namespace {
+
+std::string Key(uint64_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "key%012llu",
+                static_cast<unsigned long long>(i));
+  return buf;
+}
+
+void BM_MemTableInsert(benchmark::State& state) {
+  lsm::MemTable table;
+  Random rng(1);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    table.Add(Key(rng.Uniform(1 << 20)), ++i, lsm::ValueType::kValue,
+              "value-payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MemTableInsert);
+
+void BM_MemTableLookup(benchmark::State& state) {
+  lsm::MemTable table;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    table.Add(Key(i), i, lsm::ValueType::kValue, "v");
+  }
+  Random rng(2);
+  lsm::Entry entry;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Get(Key(rng.Uniform(100000)), &entry));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MemTableLookup);
+
+void BM_DBPut(benchmark::State& state) {
+  lsm::MemEnv env;
+  auto db = lsm::DB::Open(&env, "/bench");
+  Random rng(3);
+  std::string value(128, 'v');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*db)->Put(Key(rng.Uniform(1 << 22)), value));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 144);
+}
+BENCHMARK(BM_DBPut);
+
+void BM_DBGet(benchmark::State& state) {
+  lsm::MemEnv env;
+  auto db = lsm::DB::Open(&env, "/bench");
+  for (uint64_t i = 0; i < 50000; ++i) {
+    (void)(*db)->Put(Key(i), "value");
+  }
+  (void)(*db)->Flush();
+  Random rng(4);
+  std::string value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*db)->Get(Key(rng.Uniform(50000)), &value));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DBGet);
+
+void BM_SSTableBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    lsm::SSTableBuilder builder;
+    for (uint64_t i = 0; i < 1000; ++i) {
+      builder.Add(Key(i), i, lsm::ValueType::kValue, "value");
+    }
+    std::string file = builder.Finish();
+    benchmark::DoNotOptimize(file);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_SSTableBuild);
+
+void BM_BloomLookup(benchmark::State& state) {
+  lsm::BloomFilterBuilder builder(10);
+  for (uint64_t i = 0; i < 10000; ++i) builder.AddKey(Key(i));
+  std::string data = builder.Finish();
+  lsm::BloomFilter filter(data);
+  Random rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.MayContain(Key(rng.Uniform(20000))));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BloomLookup);
+
+void BM_KeyGroupRouting(benchmark::State& state) {
+  hashring::VirtualNodeMap map(1 << 15, 64, 4);
+  hashring::RoutingTable table(&map);
+  Random rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.InstanceForKey(rng.Next()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KeyGroupRouting);
+
+void BM_VarintRoundTrip(benchmark::State& state) {
+  Random rng(7);
+  for (auto _ : state) {
+    std::string buf;
+    BinaryWriter writer(&buf);
+    for (int i = 0; i < 64; ++i) writer.PutVarint(rng.Next());
+    BinaryReader reader(buf);
+    uint64_t v;
+    for (int i = 0; i < 64; ++i) (void)reader.GetVarint(&v);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_VarintRoundTrip);
+
+void BM_SimulationEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(i, [&fired] { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_SimulationEventThroughput);
+
+}  // namespace
+}  // namespace rhino
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Reproduces the paper's **§5.3 steady-state overhead** claim: with no
+// reconfiguration in flight, Rhino's proactive state replication does not
+// increase processing latency over the Flink baseline.
+//
+// Paper shape: NBQ5/NBQ8 average latency ~75-130 ms on both systems
+// (identical processing routines); Rhino uses more network/disk only
+// during the checkpoint/replication peaks.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "metrics/table.h"
+#include "timeline_util.h"
+
+namespace rhino::bench {
+namespace {
+
+void Run() {
+  metrics::TablePrinter table({"Query", "SUT", "mean[ms]", "min[ms]",
+                               "p99[ms]", "net util[%]", "disk util[%]"});
+  for (const char* query : {"NBQ5", "NBQ8"}) {
+    for (Sut sut : {Sut::kFlink, Sut::kRhino}) {
+      TestbedOptions opts;
+      opts.sut = sut;
+      opts.query = query;
+      opts.checkpoint_interval = kMinute;
+      opts.gen_tick = kSecond;
+      if (std::string(query) == "NBQ5") {
+        opts.gen_bytes_per_sec = 128e6;
+        opts.stateful_records_per_sec = 12e6;
+        opts.source_records_per_sec = 16e6;
+      }
+      Testbed tb(opts);
+      tb.SeedState(std::string(query) == "NBQ5" ? 26 * kMiB : 100 * kGiB);
+      tb.Start();
+      tb.Run(5 * kMinute);  // several checkpoint/replication cycles
+      tb.StopGenerators();
+
+      const Histogram* hist = tb.latency.HistogramFor(PrimaryOpOf(query));
+      double net = 0, disk = 0;
+      for (const auto& s : tb.monitor->samples()) {
+        net += s.net_util;
+        disk += s.disk_util;
+      }
+      auto n = static_cast<double>(tb.monitor->samples().size());
+      char mean[32], min[32], p99[32], nu[32], du[32];
+      std::snprintf(mean, sizeof(mean), "%.1f",
+                    hist ? hist->Mean() / kMillisecond : 0.0);
+      std::snprintf(min, sizeof(min), "%.1f",
+                    hist ? static_cast<double>(hist->Min()) / kMillisecond : 0.0);
+      std::snprintf(p99, sizeof(p99), "%.1f",
+                    hist ? static_cast<double>(hist->Percentile(99)) / kMillisecond
+                         : 0.0);
+      std::snprintf(nu, sizeof(nu), "%.1f", n > 0 ? net / n * 100 : 0.0);
+      std::snprintf(du, sizeof(du), "%.1f", n > 0 ? disk / n * 100 : 0.0);
+      table.AddRow({query, SutName(sut), mean, min, p99, nu, du});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace rhino::bench
+
+int main() {
+  std::printf(
+      "=== §5.3 steady-state overhead: latency without reconfiguration "
+      "===\n\n");
+  rhino::bench::Run();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces **Table 1**: time breakdown (scheduling / state fetching /
+// state loading, seconds) for state migration during a recovery of NBQ8
+// with 250 GB - 1 TB of operator state, for Flink, Rhino, RhinoDFS, and
+// Megaphone.
+//
+// Paper reference values (seconds):
+//   250 GB  Flink 2.2/68.2/1.3   Rhino 2.8/0.2/1.3  RhinoDFS 2.9/10.7/1.3
+//           Megaphone total 46.3
+//   1 TB    Flink 2.4/252.9/1.5  Rhino 3.0/0.2/1.5  RhinoDFS 2.9/62.7/1.5
+//           Megaphone OOM (>= 750 GB)
+
+#include <cstdio>
+
+#include "harness.h"
+#include "metrics/table.h"
+
+namespace rhino::bench {
+namespace {
+
+std::string Secs(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", ToSeconds(t));
+  return buf;
+}
+
+void Run() {
+  std::printf("=== Table 1: recovery time breakdown, NBQ8, VM failure ===\n");
+  std::printf("(seconds; paper values in header comment of this binary)\n\n");
+  metrics::TablePrinter table(
+      {"State", "SUT", "Scheduling", "StateFetch", "StateLoad", "Total"});
+
+  const uint64_t sizes[] = {250 * kGiB, 500 * kGiB, 750 * kGiB, 1000 * kGiB};
+  const Sut suts[] = {Sut::kFlink, Sut::kRhino, Sut::kRhinoDfs,
+                      Sut::kMegaphone};
+
+  for (uint64_t size : sizes) {
+    for (Sut sut : suts) {
+      TestbedOptions opts;
+      opts.sut = sut;
+      opts.query = "NBQ8";
+      opts.checkpoint_interval = 3 * kMinute;  // paper §5.2.1
+      Testbed tb(opts);
+      tb.SeedState(size);
+      tb.Start();
+      tb.Run(5 * kSecond);  // brief steady phase
+      if (sut != Sut::kMegaphone) {
+        tb.engine.TriggerCheckpoint();
+        tb.Run(30 * kSecond);  // let the checkpoint + replication finish
+      }
+      tb.StopGenerators();
+      tb.FailWorker(0);
+      auto breakdown = tb.Recover(0);
+
+      std::string label = FormatBytes(size);
+      if (breakdown.oom) {
+        table.AddRow({label, SutName(sut), "Out-of-Memory", "", "", ""});
+      } else if (sut == Sut::kMegaphone) {
+        table.AddRow({label, SutName(sut), Secs(breakdown.total_us), "-", "-",
+                      Secs(breakdown.total_us)});
+      } else {
+        table.AddRow({label, SutName(sut), Secs(breakdown.scheduling_us),
+                      Secs(breakdown.state_fetch_us),
+                      Secs(breakdown.state_load_us),
+                      Secs(breakdown.total_us)});
+      }
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace rhino::bench
+
+int main() {
+  rhino::bench::Run();
+  return 0;
+}

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "harness.h"
+#include "metrics/table.h"
+#include "metrics/timeline.h"
+
+/// \file timeline_util.h
+/// Shared printing for the Figure 4/6 latency-timeline benches.
+
+namespace rhino::bench {
+
+/// The instrumented stateful operator of each query (paper §5.1.5:
+/// "we instrument the join and aggregation operators").
+inline std::string PrimaryOpOf(const std::string& query) {
+  if (query == "NBQ5") return "nbq5-agg";
+  if (query == "NBQ8") return "nbq8-join";
+  return "nbqx-tumbling";
+}
+
+/// Prints the bucketed latency timeline of `op` with a marker at the
+/// reconfiguration time, then a summary (steady mean before, peak after,
+/// the paper's headline comparison).
+inline void PrintTimeline(const Testbed& tb, const std::string& op,
+                          SimTime reconfig_time, SimTime bucket = 10 * kSecond) {
+  const metrics::TimeSeries* series = tb.latency.Series(op);
+  if (series == nullptr || series->empty()) {
+    std::printf("  (no latency samples for %s)\n", op.c_str());
+    return;
+  }
+  metrics::TimeSeries coarse(bucket);
+  for (const auto& b : series->Buckets()) {
+    if (b.count > 0) coarse.Add(b.start, b.Mean());
+  }
+  metrics::TablePrinter table({"t[s]", "mean[ms]", "max[ms]", ""});
+  for (const auto& b : coarse.Buckets()) {
+    char t[32], mean[32], max[32];
+    std::snprintf(t, sizeof(t), "%.0f", ToSeconds(b.start));
+    std::snprintf(mean, sizeof(mean), "%.1f", b.Mean() / kMillisecond);
+    std::snprintf(max, sizeof(max), "%.1f", b.max / kMillisecond);
+    bool at_reconfig = b.start <= reconfig_time && reconfig_time < b.start + bucket;
+    table.AddRow({t, mean, max, at_reconfig ? "<- reconfiguration" : ""});
+  }
+  table.Print();
+
+  double steady = series->PeakMean(0, 1) == 0 ? 0 : 0;  // placeholder
+  // Steady mean: average of bucket means before the reconfiguration.
+  double sum = 0;
+  int n = 0;
+  double peak_after = 0;
+  for (const auto& b : series->Buckets()) {
+    if (b.start < reconfig_time) {
+      sum += b.Mean();
+      ++n;
+    } else {
+      peak_after = std::max(peak_after, b.Mean());
+    }
+  }
+  steady = n > 0 ? sum / n : 0;
+  std::printf("  steady mean before: %.1f ms | peak after: %.1f ms (%.2f s)\n\n",
+              steady / kMillisecond, peak_after / kMillisecond,
+              peak_after / kSecond);
+}
+
+}  // namespace rhino::bench

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+/// \file hash.h
+/// Hash functions used for key partitioning and bloom filters.
+
+namespace rhino {
+
+/// 64-bit FNV-1a over an arbitrary byte string.
+inline uint64_t Fnv1a64(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(std::string_view s) { return Fnv1a64(s.data(), s.size()); }
+
+/// Strong 64-bit integer mixer (splitmix64 finalizer). Used to spread keys
+/// uniformly over key groups regardless of input distribution.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Hashes a 64-bit key (e.g. NEXMark auction/person id).
+inline uint64_t HashKey(uint64_t key) { return Mix64(key); }
+
+}  // namespace rhino

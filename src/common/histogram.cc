@@ -1,0 +1,38 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rhino {
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+int64_t Histogram::Min() const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  return samples_.front();
+}
+
+int64_t Histogram::Max() const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  return samples_.back();
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  if (rank == 0) rank = 1;
+  return samples_[rank - 1];
+}
+
+}  // namespace rhino

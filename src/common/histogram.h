@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file histogram.h
+/// Latency statistics with percentile queries, used by the metrics module
+/// and the benchmark harness.
+
+namespace rhino {
+
+/// Collects int64 samples (e.g. latency in microseconds) and answers
+/// mean/min/max/percentile queries. Percentiles sort lazily.
+class Histogram {
+ public:
+  void Add(int64_t v) {
+    samples_.push_back(v);
+    sum_ += v;
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Mean() const {
+    return samples_.empty()
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(samples_.size());
+  }
+
+  int64_t Min() const;
+  int64_t Max() const;
+
+  /// Percentile in [0, 100], nearest-rank. Returns 0 when empty.
+  int64_t Percentile(double p) const;
+
+  void Clear() {
+    samples_.clear();
+    sum_ = 0;
+    sorted_ = false;
+  }
+
+  const std::vector<int64_t>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<int64_t> samples_;
+  mutable bool sorted_ = false;
+  int64_t sum_ = 0;
+};
+
+}  // namespace rhino

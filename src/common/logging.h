@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// Minimal glog-style logging and assertion macros.
+///
+/// Severity is filtered by `Logger::SetLevel`. `RHINO_CHECK*` macros abort
+/// on violation and are kept enabled in release builds: in a storage system,
+/// continuing after a broken invariant risks corrupting persistent state.
+
+namespace rhino {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide logging configuration and sink.
+class Logger {
+ public:
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+  /// Writes one formatted line to stderr if `level` passes the filter.
+  static void Log(LogLevel level, const char* file, int line,
+                  const std::string& msg);
+};
+
+namespace internal {
+
+/// Stream-collecting helper behind the RHINO_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() {
+    Logger::Log(level_, file_, line_, stream_.str());
+    if (level_ == LogLevel::kFatal) std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rhino
+
+#define RHINO_LOG(level)                                              \
+  ::rhino::internal::LogMessage(::rhino::LogLevel::k##level, __FILE__, \
+                                __LINE__)                              \
+      .stream()
+
+#define RHINO_CHECK(cond)                                      \
+  if (!(cond))                                                 \
+  RHINO_LOG(Fatal) << "Check failed: " #cond " "
+
+#define RHINO_CHECK_OK(expr)                                   \
+  do {                                                         \
+    ::rhino::Status _st = (expr);                              \
+    if (!_st.ok())                                             \
+      RHINO_LOG(Fatal) << "Status not OK: " << _st.ToString(); \
+  } while (0)
+
+#define RHINO_CHECK_EQ(a, b) RHINO_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RHINO_CHECK_NE(a, b) RHINO_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RHINO_CHECK_LT(a, b) RHINO_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RHINO_CHECK_LE(a, b) RHINO_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RHINO_CHECK_GT(a, b) RHINO_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RHINO_CHECK_GE(a, b) RHINO_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define RHINO_DCHECK(cond) RHINO_CHECK(cond)

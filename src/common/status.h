@@ -1,0 +1,154 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+/// \file status.h
+/// Error handling primitives used across the Rhino codebase.
+///
+/// We follow the Arrow/RocksDB convention of returning a `Status` (or a
+/// `Result<T>` for value-producing functions) instead of throwing
+/// exceptions. Exceptions are disabled by convention in hot paths.
+
+namespace rhino {
+
+/// Machine-readable error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfMemory,
+  kIOError,
+  kCorruption,
+  kNotSupported,
+  kFailedPrecondition,
+  kAborted,
+  kTimedOut,
+  kUnknown,
+};
+
+/// Returns a human-readable name for a status code (e.g. "IOError").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: a code plus an optional message.
+///
+/// `Status` is cheap to copy in the OK case (no allocation) and carries a
+/// heap-allocated message only on failure.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-error holder, analogous to `arrow::Result`.
+///
+/// Either holds a `T` (when `ok()`) or a non-OK `Status`. Accessing the
+/// value of a failed result aborts the process; callers must check first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value makes `return value;` work.
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a failed status.
+  Result(Status status) : var_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  /// Returns the status; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(var_);
+  }
+
+  const T& value() const& { return std::get<T>(var_); }
+  T& value() & { return std::get<T>(var_); }
+  T&& value() && { return std::get<T>(std::move(var_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Moves the value out; undefined if `!ok()`.
+  T MoveValue() { return std::get<T>(std::move(var_)); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define RHINO_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::rhino::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Assigns the value of a `Result<T>` expression or propagates its error.
+#define RHINO_ASSIGN_OR_RETURN(lhs, expr)         \
+  RHINO_ASSIGN_OR_RETURN_IMPL(                    \
+      RHINO_CONCAT(_result_, __LINE__), lhs, expr)
+
+#define RHINO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).MoveValue();
+
+#define RHINO_CONCAT_IMPL(a, b) a##b
+#define RHINO_CONCAT(a, b) RHINO_CONCAT_IMPL(a, b)
+
+}  // namespace rhino

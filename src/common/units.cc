@@ -1,0 +1,52 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rhino {
+
+SimTime TransferTime(uint64_t bytes, double bytes_per_sec) {
+  if (bytes == 0) return 0;
+  if (bytes_per_sec <= 0) return kHour * 24 * 365;  // effectively never
+  double secs = static_cast<double>(bytes) / bytes_per_sec;
+  auto t = static_cast<SimTime>(std::ceil(secs * static_cast<double>(kSecond)));
+  return t < 1 ? 1 : t;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kTiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f TiB",
+                  static_cast<double>(bytes) / static_cast<double>(kTiB));
+  } else if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                  static_cast<double>(bytes) / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB",
+                  static_cast<double>(bytes) / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB",
+                  static_cast<double>(bytes) / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatDuration(SimTime t) {
+  char buf[64];
+  if (t >= kMinute) {
+    std::snprintf(buf, sizeof(buf), "%.2f min", static_cast<double>(t) / kMinute);
+  } else if (t >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", static_cast<double>(t) / kSecond);
+  } else if (t >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms",
+                  static_cast<double>(t) / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld us", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+}  // namespace rhino

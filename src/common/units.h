@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file units.h
+/// Byte-size and simulated-time units shared across the codebase.
+///
+/// Simulated time is an `int64_t` count of **microseconds** since the start
+/// of a simulation. All modeled bandwidths are expressed in bytes/second and
+/// converted with these helpers.
+
+namespace rhino {
+
+/// Simulated time in microseconds.
+using SimTime = int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+
+constexpr uint64_t kKiB = 1024ull;
+constexpr uint64_t kMiB = 1024ull * kKiB;
+constexpr uint64_t kGiB = 1024ull * kMiB;
+constexpr uint64_t kTiB = 1024ull * kGiB;
+
+/// Duration of transferring `bytes` at `bytes_per_sec`, rounded up to 1 us.
+SimTime TransferTime(uint64_t bytes, double bytes_per_sec);
+
+/// Formats a byte count with a binary suffix, e.g. "1.5 GiB".
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats a simulated duration, e.g. "2.50 s" or "130 ms".
+std::string FormatDuration(SimTime t);
+
+/// Converts simulated time to fractional seconds.
+inline double ToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace rhino

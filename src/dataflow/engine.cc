@@ -1,0 +1,237 @@
+#include "dataflow/engine.h"
+
+#include "common/logging.h"
+#include "dataflow/source.h"
+#include "dataflow/stateful.h"
+
+namespace rhino::dataflow {
+
+namespace {
+
+std::string InstanceKey(const OperatorInstance* instance) {
+  return instance->op_name() + "#" + std::to_string(instance->subtask());
+}
+
+}  // namespace
+
+void Engine::RegisterSource(SourceInstance* source) {
+  source->set_global_source_id(static_cast<int>(sources_.size()));
+  sources_.push_back(source);
+}
+
+OperatorInstance* Engine::AddInstance(std::unique_ptr<OperatorInstance> instance) {
+  instances_.push_back(std::move(instance));
+  return instances_.back().get();
+}
+
+Channel* Engine::AddChannel(std::unique_ptr<Channel> channel) {
+  channels_.push_back(std::move(channel));
+  return channels_.back().get();
+}
+
+hashring::RoutingTable* Engine::GetOrCreateRouting(const std::string& op_name,
+                                                   uint32_t parallelism) {
+  auto it = routing_.find(op_name);
+  if (it == routing_.end()) {
+    Routing r;
+    r.map = std::make_unique<hashring::VirtualNodeMap>(
+        options_.num_key_groups, parallelism, options_.vnodes_per_instance);
+    r.table = std::make_unique<hashring::RoutingTable>(r.map.get());
+    it = routing_.emplace(op_name, std::move(r)).first;
+  }
+  return it->second.table.get();
+}
+
+hashring::RoutingTable* Engine::routing(const std::string& op_name) {
+  auto it = routing_.find(op_name);
+  RHINO_CHECK(it != routing_.end()) << "no routing for operator " << op_name;
+  return it->second.table.get();
+}
+
+const hashring::VirtualNodeMap* Engine::vnode_map(const std::string& op_name) {
+  auto it = routing_.find(op_name);
+  RHINO_CHECK(it != routing_.end()) << "no routing for operator " << op_name;
+  return it->second.map.get();
+}
+
+StatefulInstance* Engine::FindStateful(const std::string& op, uint32_t subtask) {
+  for (StatefulInstance* s : stateful_) {
+    if (s->op_name() == op && s->subtask() == static_cast<int>(subtask)) {
+      return s;
+    }
+  }
+  return nullptr;
+}
+
+// ----------------------------------------------------------- checkpoints --
+
+uint64_t Engine::TriggerCheckpoint() {
+  RHINO_CHECK(!checkpoint_in_flight_) << "checkpoint already in flight";
+  CheckpointRecord record;
+  record.id = next_checkpoint_id_++;
+  record.trigger_time = sim_->Now();
+  for (SourceInstance* s : sources_) {
+    if (!s->halted()) ++record.pending_acks;
+  }
+  for (StatefulInstance* s : stateful_) {
+    if (!s->halted()) ++record.pending_acks;
+  }
+  checkpoints_.push_back(std::move(record));
+  checkpoint_in_flight_ = true;
+
+  ControlEvent barrier;
+  barrier.type = ControlEvent::Type::kCheckpointBarrier;
+  barrier.id = checkpoints_.back().id;
+  for (SourceInstance* s : sources_) {
+    if (!s->halted()) s->InjectControl(barrier);
+  }
+  return checkpoints_.back().id;
+}
+
+void Engine::StartPeriodicCheckpoints(SimTime interval) {
+  periodic_checkpoints_ = true;
+  // Offset the first checkpoint by one interval from now.
+  std::function<void()> tick = [this, interval] {
+    if (!periodic_checkpoints_) return;
+    if (!checkpoint_in_flight_) TriggerCheckpoint();
+    StartPeriodicCheckpoints(interval);
+  };
+  sim_->Schedule(interval, std::move(tick));
+  periodic_checkpoints_ = true;
+}
+
+CheckpointRecord* Engine::FindCheckpoint(uint64_t id) {
+  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
+    if (it->id == id) return &*it;
+  }
+  return nullptr;
+}
+
+void Engine::OnSnapshotTaken(OperatorInstance* instance,
+                             state::CheckpointDescriptor desc) {
+  CheckpointRecord* record = FindCheckpoint(desc.checkpoint_id);
+  if (record == nullptr || record->aborted || record->completed) {
+    // A barrier of an aborted checkpoint surfaced late (e.g. it was queued
+    // behind a handover when the failure hit); the snapshot is discarded.
+    return;
+  }
+  std::string key = InstanceKey(instance);
+  uint64_t id = record->id;
+  auto durable = [this, id](Status st) {
+    RHINO_CHECK(st.ok()) << "checkpoint persistence failed: " << st.ToString();
+    CheckpointRecord* rec = FindCheckpoint(id);
+    if (rec == nullptr || rec->aborted || rec->completed) return;
+    if (--rec->pending_acks == 0) {
+      rec->completed = true;
+      rec->complete_time = sim_->Now();
+      checkpoint_in_flight_ = false;
+      if (checkpoint_listener_) checkpoint_listener_(*rec);
+    }
+  };
+  record->descriptors[key] = desc;
+  if (storage_ != nullptr) {
+    storage_->Persist(instance, record->descriptors[key], std::move(durable));
+  } else {
+    durable(Status::OK());
+  }
+}
+
+const CheckpointRecord* Engine::LastCompletedCheckpoint() const {
+  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
+    if (it->completed) return &*it;
+  }
+  return nullptr;
+}
+
+// -------------------------------------------------------------- handover --
+
+void Engine::StartHandover(std::shared_ptr<const HandoverSpec> spec) {
+  HandoverRecord record;
+  record.spec = spec;
+  record.trigger_time = sim_->Now();
+  record.pending_acks = CountLiveInstances();
+  handovers_.push_back(std::move(record));
+
+  ControlEvent marker;
+  marker.type = ControlEvent::Type::kHandoverMarker;
+  marker.id = spec->id;
+  marker.handover = spec;
+  for (SourceInstance* s : sources_) {
+    if (!s->halted()) s->InjectControl(marker);
+  }
+}
+
+void Engine::OnHandoverInstanceDone(uint64_t handover_id,
+                                    OperatorInstance* instance) {
+  for (auto& record : handovers_) {
+    if (record.spec->id != handover_id || record.completed) continue;
+    record.acked.insert(InstanceKey(instance));
+    if (--record.pending_acks == 0) {
+      record.completed = true;
+      record.complete_time = sim_->Now();
+      // Commit the new configuration epoch in the coordinator's view.
+      hashring::RoutingTable* table = routing(record.spec->operator_name);
+      for (const HandoverMove& move : record.spec->moves) {
+        for (uint32_t v : move.vnodes) {
+          table->Assign(v, move.target_instance);
+        }
+      }
+      if (handover_listener_) handover_listener_(record);
+    }
+    (void)instance;
+    return;
+  }
+  RHINO_LOG(Warn) << "ack for unknown handover " << handover_id;
+}
+
+// --------------------------------------------------------------- failure --
+
+void Engine::FailNode(int node_id) {
+  cluster_->FailNode(node_id);
+  for (auto& instance : instances_) {
+    if (instance->node_id() == node_id) instance->Halt();
+  }
+  // Survivors waiting for markers from the dead instances must re-check
+  // their alignment requirements.
+  for (auto& instance : instances_) instance->NotifyPeerFailure();
+  // A checkpoint in flight can never complete: instances on the failed
+  // node will not ack — and, worse, its barrier markers may have been
+  // wiped with the dead instances' queues. Abort it (Flink would equally
+  // discard it) and flush its alignments everywhere.
+  if (checkpoint_in_flight_ && !checkpoints_.empty() &&
+      !checkpoints_.back().completed) {
+    CheckpointRecord& aborted = checkpoints_.back();
+    aborted.aborted = true;
+    checkpoint_in_flight_ = false;
+    for (auto& instance : instances_) {
+      instance->AbortAlignment(ControlEvent::Type::kCheckpointBarrier,
+                               aborted.id);
+    }
+  }
+}
+
+bool Engine::IsCheckpointAborted(uint64_t id) {
+  CheckpointRecord* record = FindCheckpoint(id);
+  return record != nullptr && record->aborted;
+}
+
+void Engine::ReinitKeyedGates(const std::string& op) {
+  hashring::RoutingTable* table = routing(op);
+  for (auto& instance : instances_) {
+    for (size_t i = 0; i < instance->num_outputs(); ++i) {
+      if (instance->output(i)->downstream_op() == op) {
+        instance->output(i)->InitRouting(*table);
+      }
+    }
+  }
+}
+
+int Engine::CountLiveInstances() const {
+  int live = 0;
+  for (const auto& instance : instances_) {
+    if (!instance->halted()) ++live;
+  }
+  return live;
+}
+
+}  // namespace rhino::dataflow

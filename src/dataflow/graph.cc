@@ -1,0 +1,179 @@
+#include "dataflow/graph.h"
+
+#include "common/logging.h"
+
+namespace rhino::dataflow {
+
+QueryDef& QueryDef::AddSource(const std::string& op_name,
+                              const std::string& topic, int parallelism,
+                              ProcessingProfile profile) {
+  OpDef op;
+  op.kind = OpDef::Kind::kSource;
+  op.name = op_name;
+  op.topic = topic;
+  op.parallelism = parallelism;
+  op.profile = profile;
+  ops.push_back(std::move(op));
+  return *this;
+}
+
+QueryDef& QueryDef::AddStateful(const std::string& op_name, int parallelism,
+                                std::vector<std::string> inputs,
+                                StatefulFactory factory,
+                                ProcessingProfile profile) {
+  OpDef op;
+  op.kind = OpDef::Kind::kStateful;
+  op.name = op_name;
+  op.parallelism = parallelism;
+  op.inputs = std::move(inputs);
+  op.factory = std::move(factory);
+  op.profile = profile;
+  ops.push_back(std::move(op));
+  return *this;
+}
+
+QueryDef& QueryDef::AddSink(const std::string& op_name, int parallelism,
+                            std::vector<std::string> inputs,
+                            ProcessingProfile profile) {
+  OpDef op;
+  op.kind = OpDef::Kind::kSink;
+  op.name = op_name;
+  op.parallelism = parallelism;
+  op.inputs = std::move(inputs);
+  op.profile = profile;
+  ops.push_back(std::move(op));
+  return *this;
+}
+
+std::unique_ptr<ExecutionGraph> ExecutionGraph::Build(
+    Engine* engine, const QueryDef& def, const std::vector<int>& worker_nodes) {
+  RHINO_CHECK(!worker_nodes.empty());
+  auto graph = std::unique_ptr<ExecutionGraph>(new ExecutionGraph());
+  graph->engine_ = engine;
+  graph->worker_nodes_ = worker_nodes;
+
+  // Pass 1: instantiate operators.
+  for (const OpDef& op : def.ops) {
+    RHINO_CHECK(!graph->instances_.count(op.name))
+        << "duplicate operator " << op.name;
+    graph->kinds_[op.name] = op.kind;
+    auto& instances = graph->instances_[op.name];
+    for (int subtask = 0; subtask < op.parallelism; ++subtask) {
+      int node = worker_nodes[static_cast<size_t>(subtask) % worker_nodes.size()];
+      switch (op.kind) {
+        case OpDef::Kind::kSource: {
+          broker::Topic& topic = engine->broker()->topic(op.topic);
+          RHINO_CHECK_EQ(op.parallelism, topic.num_partitions())
+              << "one source instance per partition (paper §5.1.5)";
+          auto source = std::make_unique<SourceInstance>(
+              engine, op.name, subtask, node, op.profile,
+              &topic.partition(subtask));
+          auto* raw = source.get();
+          engine->AddInstance(std::move(source));
+          engine->RegisterSource(raw);
+          graph->sources_[op.name].push_back(raw);
+          instances.push_back(raw);
+          break;
+        }
+        case OpDef::Kind::kStateful: {
+          engine->GetOrCreateRouting(op.name,
+                                     static_cast<uint32_t>(op.parallelism));
+          auto stateful = op.factory(engine, subtask, node);
+          RHINO_CHECK(stateful != nullptr);
+          auto* raw = stateful.get();
+          engine->AddInstance(std::move(stateful));
+          engine->RegisterStateful(raw);
+          raw->InitOwnedVnodes(engine->routing(op.name)->VnodesOfInstance(
+              static_cast<uint32_t>(subtask)));
+          graph->stateful_[op.name].push_back(raw);
+          instances.push_back(raw);
+          break;
+        }
+        case OpDef::Kind::kSink: {
+          auto sink = std::make_unique<SinkInstance>(engine, op.name, subtask,
+                                                     node, op.profile);
+          auto* raw = sink.get();
+          engine->AddInstance(std::move(sink));
+          engine->RegisterSink(raw);
+          graph->sinks_[op.name].push_back(raw);
+          instances.push_back(raw);
+          break;
+        }
+      }
+    }
+  }
+
+  // Pass 2: wire channels upstream -> downstream.
+  for (const OpDef& op : def.ops) {
+    for (size_t side = 0; side < op.inputs.size(); ++side) {
+      const std::string& upstream_name = op.inputs[side];
+      auto up_it = graph->instances_.find(upstream_name);
+      RHINO_CHECK(up_it != graph->instances_.end())
+          << "unknown input " << upstream_name << " of " << op.name;
+      auto& downstream = graph->instances_[op.name];
+
+      ExchangeKind kind = op.kind == OpDef::Kind::kStateful
+                              ? ExchangeKind::kKeyed
+                              : ExchangeKind::kPointwise;
+      const hashring::VirtualNodeMap* vmap =
+          kind == ExchangeKind::kKeyed ? engine->vnode_map(op.name) : nullptr;
+
+      for (OperatorInstance* up : up_it->second) {
+        auto gate = std::make_unique<OutputGate>(kind, op.name, vmap);
+        for (OperatorInstance* down : downstream) {
+          auto channel = std::make_unique<Channel>(engine, up, down, 0);
+          Channel* raw = engine->AddChannel(std::move(channel));
+          int idx = down->AddInput(raw);
+          raw->set_to_channel_idx(idx);
+          if (op.kind == OpDef::Kind::kStateful) {
+            static_cast<StatefulInstance*>(down)->SetChannelSide(
+                idx, static_cast<int>(side));
+          }
+          gate->AddChannel(raw);
+        }
+        if (kind == ExchangeKind::kKeyed) {
+          gate->InitRouting(*engine->routing(op.name));
+        }
+        up->AddOutputGate(std::move(gate));
+      }
+    }
+  }
+  return graph;
+}
+
+void ExecutionGraph::StartSources() {
+  for (auto& [_, sources] : sources_) {
+    for (SourceInstance* s : sources) s->Start();
+  }
+}
+
+const std::vector<SourceInstance*>& ExecutionGraph::sources(
+    const std::string& op) const {
+  auto it = sources_.find(op);
+  RHINO_CHECK(it != sources_.end()) << "no source op " << op;
+  return it->second;
+}
+
+const std::vector<StatefulInstance*>& ExecutionGraph::stateful(
+    const std::string& op) const {
+  auto it = stateful_.find(op);
+  RHINO_CHECK(it != stateful_.end()) << "no stateful op " << op;
+  return it->second;
+}
+
+const std::vector<SinkInstance*>& ExecutionGraph::sinks(
+    const std::string& op) const {
+  auto it = sinks_.find(op);
+  RHINO_CHECK(it != sinks_.end()) << "no sink op " << op;
+  return it->second;
+}
+
+std::vector<StatefulInstance*> ExecutionGraph::all_stateful() const {
+  std::vector<StatefulInstance*> out;
+  for (const auto& [_, instances] : stateful_) {
+    out.insert(out.end(), instances.begin(), instances.end());
+  }
+  return out;
+}
+
+}  // namespace rhino::dataflow

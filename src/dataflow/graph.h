@@ -1,0 +1,91 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/engine.h"
+#include "dataflow/sink.h"
+#include "dataflow/source.h"
+#include "dataflow/stateful.h"
+
+/// \file graph.h
+/// Logical query definition and physical deployment.
+///
+/// A `QueryDef` lists logical operators (paper §2.1); `ExecutionGraph::
+/// Build` expands each into parallel instances, places them round-robin on
+/// the worker nodes, and wires channels: keyed exchange into stateful
+/// operators, pointwise into sinks.
+
+namespace rhino::dataflow {
+
+/// Factory building one stateful physical instance.
+using StatefulFactory = std::function<std::unique_ptr<StatefulInstance>(
+    Engine* engine, int subtask, int node_id)>;
+
+/// One logical operator.
+struct OpDef {
+  enum class Kind { kSource, kStateful, kSink };
+  Kind kind = Kind::kSource;
+  std::string name;
+  int parallelism = 1;
+  std::string topic;                 // sources: broker topic to consume
+  std::vector<std::string> inputs;   // upstream operator names, in side order
+  ProcessingProfile profile;
+  StatefulFactory factory;           // stateful only
+};
+
+/// A logical query: operators listed in topological order.
+struct QueryDef {
+  std::string name;
+  std::vector<OpDef> ops;
+
+  /// Adds a source with one instance per partition of `topic`.
+  QueryDef& AddSource(const std::string& op_name, const std::string& topic,
+                      int parallelism, ProcessingProfile profile = {});
+
+  /// Adds a stateful operator consuming `inputs` via keyed exchange.
+  QueryDef& AddStateful(const std::string& op_name, int parallelism,
+                        std::vector<std::string> inputs, StatefulFactory factory,
+                        ProcessingProfile profile = {});
+
+  /// Adds a sink consuming `inputs` pointwise.
+  QueryDef& AddSink(const std::string& op_name, int parallelism,
+                    std::vector<std::string> inputs,
+                    ProcessingProfile profile = {});
+};
+
+/// The deployed physical query.
+class ExecutionGraph {
+ public:
+  /// Expands and wires `def` onto `worker_nodes` (subtask i of every
+  /// operator lands on worker_nodes[i % n]).
+  static std::unique_ptr<ExecutionGraph> Build(
+      Engine* engine, const QueryDef& def, const std::vector<int>& worker_nodes);
+
+  /// Starts every source instance.
+  void StartSources();
+
+  const std::vector<SourceInstance*>& sources(const std::string& op) const;
+  const std::vector<StatefulInstance*>& stateful(const std::string& op) const;
+  const std::vector<SinkInstance*>& sinks(const std::string& op) const;
+  /// All stateful instances across operators.
+  std::vector<StatefulInstance*> all_stateful() const;
+
+  const std::vector<int>& worker_nodes() const { return worker_nodes_; }
+
+ private:
+  ExecutionGraph() = default;
+
+  Engine* engine_ = nullptr;
+  std::vector<int> worker_nodes_;
+  std::map<std::string, std::vector<SourceInstance*>> sources_;
+  std::map<std::string, std::vector<StatefulInstance*>> stateful_;
+  std::map<std::string, std::vector<SinkInstance*>> sinks_;
+  std::map<std::string, std::vector<OperatorInstance*>> instances_;
+  std::map<std::string, OpDef::Kind> kinds_;
+};
+
+}  // namespace rhino::dataflow

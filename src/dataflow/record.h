@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+/// \file record.h
+/// Data and control items flowing through dataflow channels.
+///
+/// The engine runs in two granularities sharing these types:
+///  * **real mode** — `Batch::records` is populated and operators process
+///    each record (tests, examples);
+///  * **modeled mode** — `records` is empty and `count`/`bytes`/`slices`
+///    describe the batch statistically (TB-scale benches).
+
+namespace rhino::dataflow {
+
+/// One stream record r = (k, t, a): partitioning key, event timestamp, and
+/// a payload standing in for the attribute set.
+struct Record {
+  uint64_t key = 0;
+  /// Event-time creation timestamp (simulated us). End-to-end latency is
+  /// measured against this, following Karimov et al. (paper §5.1.5).
+  SimTime event_time = 0;
+  /// Nominal wire size (NEXMark: 206 B person, 269 B auction, 32 B bid).
+  uint32_t size = 0;
+  std::string payload;
+};
+
+/// Per-virtual-node share of a modeled batch, used to update modeled state
+/// at migration granularity.
+struct VnodeSlice {
+  uint32_t vnode = 0;
+  uint64_t count = 0;
+  uint64_t bytes = 0;
+};
+
+/// A batch of records traveling a channel in FIFO order.
+struct Batch {
+  /// Simulated time the newest record in the batch was created.
+  SimTime create_time = 0;
+  uint64_t count = 0;
+  uint64_t bytes = 0;
+  /// Provenance for replay deduplication: the producing source's global id
+  /// and the log offset of this batch (-1 = not from a source).
+  int source_id = -1;
+  uint64_t source_offset = 0;
+  std::vector<Record> records;      // real mode only
+  std::vector<VnodeSlice> slices;   // modeled routing/state info
+};
+
+/// One origin -> target migration inside a handover.
+struct HandoverMove {
+  uint32_t origin_instance = 0;
+  uint32_t target_instance = 0;
+  /// Virtual nodes whose processing and state move origin -> target.
+  std::vector<uint32_t> vnodes;
+};
+
+/// Reconfiguration description carried by handover markers (paper §4.1).
+/// A single handover may migrate many instances at once (e.g. recovering a
+/// whole failed VM, or rebalancing half the vnodes of every instance).
+struct HandoverSpec {
+  uint64_t id = 0;
+  /// Logical stateful operator being reconfigured.
+  std::string operator_name;
+  std::vector<HandoverMove> moves;
+  /// True when the origin worker failed: no state flows from the origins;
+  /// each target restores from its replicated checkpoint and upstream
+  /// backup replays the tail.
+  bool origin_failed = false;
+};
+
+/// In-band control events (paper R1: markers flow with the records).
+struct ControlEvent {
+  enum class Type {
+    kCheckpointBarrier,  ///< aligned checkpoint (Carbone et al.)
+    kHandoverMarker,     ///< Rhino handover (paper §4.1)
+  };
+  Type type = Type::kCheckpointBarrier;
+  uint64_t id = 0;
+  std::shared_ptr<const HandoverSpec> handover;  // for kHandoverMarker
+};
+
+/// One FIFO channel item: either data or control.
+struct ChannelItem {
+  bool is_control = false;
+  Batch batch;
+  ControlEvent control;
+
+  static ChannelItem Data(Batch b) {
+    ChannelItem item;
+    item.is_control = false;
+    item.batch = std::move(b);
+    return item;
+  }
+  static ChannelItem Control(ControlEvent ev) {
+    ChannelItem item;
+    item.is_control = true;
+    item.control = std::move(ev);
+    return item;
+  }
+
+  /// Wire size used for transfer-cost modeling.
+  uint64_t WireBytes() const { return is_control ? 64 : batch.bytes; }
+};
+
+}  // namespace rhino::dataflow

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dataflow/engine.h"
+#include "dataflow/operator.h"
+
+/// \file sink.h
+/// Sink operator instance: consumes results, optionally exposing them to
+/// tests via a collector callback.
+
+namespace rhino::dataflow {
+
+/// Terminal operator; stateless.
+class SinkInstance : public OperatorInstance {
+ public:
+  SinkInstance(Engine* engine, std::string op_name, int subtask, int node_id,
+               ProcessingProfile profile)
+      : OperatorInstance(engine, std::move(op_name), subtask, node_id,
+                         profile) {}
+
+  /// Tests install a collector to observe every record (real mode).
+  void SetCollector(std::function<void(const Record&)> collector) {
+    collector_ = std::move(collector);
+  }
+
+  uint64_t records_consumed() const { return records_consumed_; }
+  uint64_t bytes_consumed() const { return bytes_consumed_; }
+
+ protected:
+  void HandleBatch(int, Batch& batch) override {
+    records_consumed_ += batch.count;
+    bytes_consumed_ += batch.bytes;
+    if (collector_) {
+      for (const auto& r : batch.records) collector_(r);
+    }
+  }
+
+  void HandleAlignedControl(const ControlEvent& ev) override {
+    // Sinks are stateless: they only acknowledge handovers.
+    if (ev.type == ControlEvent::Type::kHandoverMarker) {
+      engine_->OnHandoverInstanceDone(ev.id, this);
+    }
+  }
+
+ private:
+  std::function<void(const Record&)> collector_;
+  uint64_t records_consumed_ = 0;
+  uint64_t bytes_consumed_ = 0;
+};
+
+}  // namespace rhino::dataflow

@@ -1,0 +1,320 @@
+#include "dataflow/stateful.h"
+
+#include "common/logging.h"
+#include "common/serde.h"
+
+namespace rhino::dataflow {
+
+// ------------------------------------------------------ StatefulInstance --
+
+StatefulInstance::StatefulInstance(Engine* engine, std::string op_name,
+                                   int subtask, int node_id,
+                                   ProcessingProfile profile,
+                                   std::unique_ptr<state::StateBackend> backend)
+    : OperatorInstance(engine, std::move(op_name), subtask, node_id, profile),
+      backend_(std::move(backend)) {}
+
+void StatefulInstance::SetChannelSide(int channel_idx, int side) {
+  if (channel_side_.size() <= static_cast<size_t>(channel_idx)) {
+    channel_side_.resize(static_cast<size_t>(channel_idx) + 1, 0);
+  }
+  channel_side_[static_cast<size_t>(channel_idx)] = side;
+}
+
+int StatefulInstance::ChannelSide(int channel_idx) const {
+  if (static_cast<size_t>(channel_idx) >= channel_side_.size()) return 0;
+  return channel_side_[static_cast<size_t>(channel_idx)];
+}
+
+void StatefulInstance::HandleBatch(int channel_idx, Batch& batch) {
+  // Replay deduplication: drop the parts of the batch this instance's
+  // state already reflects (offset below the per-vnode watermark).
+  if (batch.source_id >= 0 && !batch.slices.empty()) {
+    std::vector<VnodeSlice> fresh;
+    std::set<uint32_t> dropped;
+    for (const VnodeSlice& slice : batch.slices) {
+      uint64_t& next = watermarks_[slice.vnode][batch.source_id];
+      if (batch.source_offset < next) {
+        dropped.insert(slice.vnode);
+        batch.count -= std::min(batch.count, slice.count);
+        batch.bytes -= std::min(batch.bytes, slice.bytes);
+      } else {
+        next = batch.source_offset + 1;
+        fresh.push_back(slice);
+      }
+    }
+    if (!dropped.empty()) {
+      batch.slices = std::move(fresh);
+      if (!batch.records.empty()) {
+        std::vector<Record> keep;
+        for (auto& r : batch.records) {
+          if (!dropped.count(vnode_map()->VnodeForKey(r.key))) {
+            keep.push_back(std::move(r));
+          }
+        }
+        batch.records = std::move(keep);
+      }
+      if (batch.slices.empty()) return;  // whole batch already seen
+    }
+  }
+
+  // End-to-end processing latency, sampled at the last (instrumented)
+  // stateful operator as in the paper's methodology (§5.1.5).
+  engine_->RecordLatency(op_name(), engine_->sim()->Now() - batch.create_time);
+  ProcessData(ChannelSide(channel_idx), batch);
+}
+
+StatefulInstance::WatermarkMap StatefulInstance::GetWatermarks(
+    const std::vector<uint32_t>& vnodes) const {
+  WatermarkMap out;
+  for (uint32_t v : vnodes) {
+    auto it = watermarks_.find(v);
+    if (it != watermarks_.end()) out[v] = it->second;
+  }
+  return out;
+}
+
+void StatefulInstance::MergeWatermarks(const WatermarkMap& marks) {
+  for (const auto& [vnode, sources] : marks) {
+    for (const auto& [source, next] : sources) {
+      uint64_t& mine = watermarks_[vnode][source];
+      if (next > mine) mine = next;
+    }
+  }
+}
+
+void StatefulInstance::HandleAlignedControl(const ControlEvent& ev) {
+  if (ev.type == ControlEvent::Type::kCheckpointBarrier) {
+    auto desc = backend_->Checkpoint(ev.id);
+    RHINO_CHECK(desc.ok()) << desc.status().ToString();
+    // The snapshot also captures the replay watermarks of the owned
+    // vnodes, so a restored copy deduplicates correctly.
+    std::vector<uint32_t> owned(owned_vnodes_.begin(), owned_vnodes_.end());
+    desc->vnode_watermarks = GetWatermarks(owned);
+    engine_->OnSnapshotTaken(this, std::move(desc).MoveValue());
+    return;
+  }
+
+  RHINO_CHECK(ev.handover != nullptr);
+  const HandoverSpec& spec = *ev.handover;
+  if (spec.operator_name != op_name()) {
+    // Upstream/downstream of the reconfigured operator: gates were rewired
+    // in BeforeForwardControl; nothing else to do.
+    engine_->OnHandoverInstanceDone(spec.id, this);
+    return;
+  }
+
+  auto me = static_cast<uint32_t>(subtask());
+  HandoverProgress& progress = handover_progress_[spec.id];
+  progress.aligned = true;
+  for (const HandoverMove& move : spec.moves) {
+    if (move.target_instance == me) ++progress.pending_target;
+    if (move.origin_instance == me && !spec.origin_failed) {
+      ++progress.pending_origin;
+    }
+  }
+  // Completions that raced ahead of our markers.
+  progress.pending_target -= progress.early_target_completions;
+  progress.early_target_completions = 0;
+
+  // Kick off the state movement for every move this instance originates,
+  // and — when the origin failed — for every move targeting us (the
+  // target restores from its local replicated checkpoint, paper step 3).
+  for (const HandoverMove& move : spec.moves) {
+    if (move.origin_instance == me && !spec.origin_failed) {
+      StatefulInstance* target =
+          engine_->FindStateful(spec.operator_name, move.target_instance);
+      RHINO_CHECK(target != nullptr);
+      engine_->handover_delegate()->TransferState(spec, move, this, target,
+                                                  [] {});
+    } else if (move.target_instance == me && spec.origin_failed) {
+      engine_->handover_delegate()->TransferState(spec, move, nullptr, this,
+                                                  [] {});
+    }
+  }
+
+  if (progress.pending_target > 0) {
+    // Buffer records until the checkpointed state is ingested
+    // (paper §4.1.2 step ④).
+    holding_for_ = spec.id;
+    HoldAlignment();
+  } else {
+    MaybeAckHandover(spec.id);
+  }
+}
+
+void StatefulInstance::MaybeAckHandover(uint64_t handover_id) {
+  HandoverProgress& progress = handover_progress_[handover_id];
+  if (!progress.aligned || progress.acked) return;
+  if (progress.pending_origin > 0 || progress.pending_target > 0) return;
+  progress.acked = true;
+  engine_->OnHandoverInstanceDone(handover_id, this);
+}
+
+void StatefulInstance::CompleteHandoverAsOrigin(const HandoverSpec& spec,
+                                                const HandoverMove& move) {
+  RHINO_CHECK_OK(backend_->DropVnodes(move.vnodes));
+  for (uint32_t v : move.vnodes) owned_vnodes_.erase(v);
+  HandoverProgress& progress = handover_progress_[spec.id];
+  --progress.pending_origin;
+  MaybeAckHandover(spec.id);
+}
+
+void StatefulInstance::CompleteHandoverAsTarget(const HandoverSpec& spec,
+                                                const HandoverMove& move) {
+  for (uint32_t v : move.vnodes) owned_vnodes_.insert(v);
+  HandoverProgress& progress = handover_progress_[spec.id];
+  if (!progress.aligned) {
+    // Markers have not all arrived yet; alignment will account for it.
+    ++progress.early_target_completions;
+    return;
+  }
+  --progress.pending_target;
+  if (progress.pending_target == 0 && holding_for_ == spec.id) {
+    holding_for_ = 0;
+    ReleaseAlignment();
+  }
+  MaybeAckHandover(spec.id);
+}
+
+// --------------------------------------------------- KeyedCounterOperator --
+
+namespace {
+
+std::string EncodeU64Key(uint64_t key) {
+  std::string out(8, '\0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = static_cast<char>(key & 0xff);
+    key >>= 8;
+  }
+  return out;
+}
+
+}  // namespace
+
+void KeyedCounterOperator::ProcessData(int, Batch& batch) {
+  Batch out;
+  out.create_time = batch.create_time;
+  for (const Record& r : batch.records) {
+    uint32_t vnode = vnode_map()->VnodeForKey(r.key);
+    std::string key = EncodeU64Key(r.key);
+    std::string stored;
+    uint64_t count = 0;
+    Status st = backend()->Get(vnode, key, &stored);
+    if (st.ok()) {
+      BinaryReader reader(stored);
+      RHINO_CHECK_OK(reader.GetU64(&count));
+    } else {
+      RHINO_CHECK(st.IsNotFound()) << st.ToString();
+    }
+    ++count;
+    std::string value;
+    BinaryWriter writer(&value);
+    writer.PutU64(count);
+    // RMW: 16 nominal bytes per key (key + counter), written once — the
+    // paper's "read-modify-write state update pattern".
+    uint64_t nominal = st.IsNotFound() ? 16 : 0;
+    RHINO_CHECK_OK(backend()->Put(vnode, key, value, nominal));
+
+    Record result;
+    result.key = r.key;
+    result.event_time = r.event_time;
+    result.size = 16;
+    result.payload = std::to_string(count);
+    out.records.push_back(std::move(result));
+    ++out.count;
+    out.bytes += 16;
+  }
+  if (out.count > 0) Emit(std::move(out));
+}
+
+// ---------------------------------------------- SymmetricHashJoinOperator --
+
+void SymmetricHashJoinOperator::ProcessData(int side, Batch& batch) {
+  RHINO_CHECK(side == 0 || side == 1);
+  Batch out;
+  out.create_time = batch.create_time;
+  for (const Record& r : batch.records) {
+    uint32_t vnode = vnode_map()->VnodeForKey(r.key);
+    // Layout: [8B key][1B side][8B uniq] — contiguous per (key, side), so
+    // probing the other side is a prefix scan.
+    std::string store_key = EncodeU64Key(r.key);
+    store_key.push_back(static_cast<char>(side));
+    store_key += EncodeU64Key(uniq_++);
+    RHINO_CHECK_OK(backend()->Put(vnode, store_key, r.payload, r.size));
+
+    std::string probe_prefix = EncodeU64Key(r.key);
+    probe_prefix.push_back(static_cast<char>(1 - side));
+    auto matches = backend()->ScanPrefix(vnode, probe_prefix);
+    RHINO_CHECK(matches.ok()) << matches.status().ToString();
+    for (const auto& [_, other_payload] : *matches) {
+      Record result;
+      result.key = r.key;
+      result.event_time = r.event_time;
+      const std::string& left = side == 0 ? r.payload : other_payload;
+      const std::string& right = side == 0 ? other_payload : r.payload;
+      result.payload = left + "|" + right;
+      result.size = static_cast<uint32_t>(result.payload.size());
+      out.count += 1;
+      out.bytes += result.size;
+      out.records.push_back(std::move(result));
+    }
+  }
+  if (out.count > 0) Emit(std::move(out));
+}
+
+// --------------------------------------------------- ModeledStatefulOperator
+
+ModeledStatefulOperator::ModeledStatefulOperator(Engine* engine,
+                                                 std::string op_name,
+                                                 int subtask, int node_id,
+                                                 ProcessingProfile profile,
+                                                 StateModelConfig config)
+    : StatefulInstance(engine, op_name, subtask, node_id, profile,
+                       std::make_unique<state::ModeledStateBackend>(
+                           op_name, static_cast<uint32_t>(subtask))),
+      config_(config) {}
+
+void ModeledStatefulOperator::ProcessData(int, Batch& batch) {
+  SimTime now = engine_->sim()->Now();
+  for (const VnodeSlice& slice : batch.slices) {
+    auto add = static_cast<uint64_t>(static_cast<double>(slice.bytes) *
+                                     config_.state_bytes_per_input_byte);
+    switch (config_.pattern) {
+      case StateModelConfig::Pattern::kAppend:
+        modeled()->AddBytes(slice.vnode, add);
+        break;
+      case StateModelConfig::Pattern::kReadModifyWrite: {
+        uint64_t current = modeled()->VnodeBytes(slice.vnode);
+        if (current < config_.rmw_cap_bytes_per_vnode) {
+          modeled()->AddBytes(
+              slice.vnode,
+              std::min(add, config_.rmw_cap_bytes_per_vnode - current));
+        }
+        break;
+      }
+      case StateModelConfig::Pattern::kSession: {
+        modeled()->AddBytes(slice.vnode, add);
+        auto& log = session_log_[slice.vnode];
+        log.emplace_back(now, add);
+        if (config_.retention_us > 0) {
+          while (!log.empty() && log.front().first < now - config_.retention_us) {
+            modeled()->RemoveBytes(slice.vnode, log.front().second);
+            log.pop_front();
+          }
+        }
+        break;
+      }
+    }
+  }
+  if (config_.output_selectivity > 0 && batch.bytes > 0) {
+    Batch out;
+    out.create_time = batch.create_time;
+    out.bytes = static_cast<uint64_t>(static_cast<double>(batch.bytes) *
+                                      config_.output_selectivity);
+    out.count = std::max<uint64_t>(1, out.bytes / config_.output_record_bytes);
+    if (out.bytes > 0) Emit(std::move(out));
+  }
+}
+
+}  // namespace rhino::dataflow

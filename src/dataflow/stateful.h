@@ -1,0 +1,194 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dataflow/engine.h"
+#include "dataflow/operator.h"
+#include "state/modeled_state_backend.h"
+#include "state/state_backend.h"
+
+/// \file stateful.h
+/// Stateful operator instances.
+///
+/// `StatefulInstance` implements the engine-side mechanics every stateful
+/// operator shares: latency instrumentation, aligned snapshots on
+/// checkpoint barriers, and the origin/target roles of the handover
+/// protocol (paper §4.1.2 step 3). Concrete operators supply semantics via
+/// `ProcessData`:
+///
+///  * `KeyedCounterOperator`      — read-modify-write pattern (NBQ5-like)
+///  * `SymmetricHashJoinOperator` — append pattern, two inputs (NBQ8-like)
+///  * `ModeledStatefulOperator`   — statistical state model for TB-scale
+///    simulation (append / RMW / session patterns with retention)
+
+namespace rhino::dataflow {
+
+/// Base for operators with keyed, migratable state.
+class StatefulInstance : public OperatorInstance {
+ public:
+  StatefulInstance(Engine* engine, std::string op_name, int subtask,
+                   int node_id, ProcessingProfile profile,
+                   std::unique_ptr<state::StateBackend> backend);
+
+  state::StateBackend* backend() { return backend_.get(); }
+
+  /// Swaps in a fresh backend (restart-based recovery restores state by
+  /// rebuilding the backend from a checkpoint).
+  void ReplaceBackend(std::unique_ptr<state::StateBackend> backend) {
+    backend_ = std::move(backend);
+  }
+
+  /// Maps an inbound channel to a logical input side (0 = left/first).
+  void SetChannelSide(int channel_idx, int side);
+  int ChannelSide(int channel_idx) const;
+
+  /// Initial virtual-node ownership, copied from the routing table after
+  /// graph wiring.
+  void InitOwnedVnodes(const std::vector<uint32_t>& vnodes) {
+    owned_vnodes_ = std::set<uint32_t>(vnodes.begin(), vnodes.end());
+  }
+  const std::set<uint32_t>& owned_vnodes() const { return owned_vnodes_; }
+
+  const hashring::VirtualNodeMap* vnode_map() const {
+    return engine_->vnode_map(op_name());
+  }
+
+  // ------------------------------------------- replay deduplication ------
+
+  /// Per-(vnode, source) replay watermarks: the next source offset this
+  /// instance expects for that vnode. Batches at lower offsets were
+  /// already folded into the state and are dropped — this is the paper's
+  /// "operators are aware of an in-flight handover and ignore seen
+  /// records" rule, realized at offset granularity.
+  using WatermarkMap = std::map<uint32_t, std::map<int, uint64_t>>;
+
+  /// Watermarks of the given vnodes (for transfer alongside state).
+  WatermarkMap GetWatermarks(const std::vector<uint32_t>& vnodes) const;
+  /// Merges transferred watermarks (taking the max per entry).
+  void MergeWatermarks(const WatermarkMap& marks);
+
+  /// Replaces all watermarks (restart-based recovery rolls state *and*
+  /// dedup positions back to the checkpoint; merging would wrongly keep
+  /// post-checkpoint positions and drop the replay).
+  void ResetWatermarks(WatermarkMap marks) { watermarks_ = std::move(marks); }
+
+  // ---- handover completion callbacks (invoked by the HandoverDelegate) --
+
+  /// Origin side of one move: migrated state is safely at the target; drop
+  /// it locally ("release unneeded resources", paper step 3).
+  void CompleteHandoverAsOrigin(const HandoverSpec& spec,
+                                const HandoverMove& move);
+
+  /// Target side of one move: the checkpointed state for the moved vnodes
+  /// has been ingested; consume buffered records (paper step ④).
+  void CompleteHandoverAsTarget(const HandoverSpec& spec,
+                                const HandoverMove& move);
+
+ protected:
+  void HandleBatch(int channel_idx, Batch& batch) final;
+  void HandleAlignedControl(const ControlEvent& ev) final;
+
+  /// Operator semantics: `side` is the logical input (0-based).
+  virtual void ProcessData(int side, Batch& batch) = 0;
+
+ private:
+  /// Acknowledges the handover once aligned and all roles are complete.
+  void MaybeAckHandover(uint64_t handover_id);
+
+  std::unique_ptr<state::StateBackend> backend_;
+  std::vector<int> channel_side_;
+  std::set<uint32_t> owned_vnodes_;
+  WatermarkMap watermarks_;
+
+  /// Per-handover role bookkeeping.
+  struct HandoverProgress {
+    int pending_origin = 0;
+    int pending_target = 0;
+    /// Target-side completions that arrived before this instance aligned.
+    int early_target_completions = 0;
+    bool aligned = false;
+    bool acked = false;
+  };
+  std::map<uint64_t, HandoverProgress> handover_progress_;
+  /// Handover id this target is holding alignment for (0 = none).
+  uint64_t holding_for_ = 0;
+};
+
+// --------------------------------------------------------------- real ops --
+
+/// Read-modify-write aggregate: running count per key, one output record
+/// per input record (exercises the NBQ5 state-update pattern).
+class KeyedCounterOperator : public StatefulInstance {
+ public:
+  using StatefulInstance::StatefulInstance;
+
+ protected:
+  void ProcessData(int side, Batch& batch) override;
+};
+
+/// Symmetric hash join over two inputs: every record is appended to its
+/// side's state and probed against the other side; matches are emitted
+/// immediately (exercises the NBQ8 append pattern).
+class SymmetricHashJoinOperator : public StatefulInstance {
+ public:
+  using StatefulInstance::StatefulInstance;
+
+ protected:
+  void ProcessData(int side, Batch& batch) override;
+
+ private:
+  uint64_t uniq_ = 0;  // uniquifier for multi-record keys
+};
+
+// ------------------------------------------------------------ modeled op --
+
+/// Statistical state model for the simulation benches.
+struct StateModelConfig {
+  enum class Pattern {
+    kAppend,           ///< joins over long windows: state grows with input
+    kReadModifyWrite,  ///< aggregates: state saturates at a per-key plateau
+    kSession,          ///< session windows: append + retention-based eviction
+  };
+  Pattern pattern = Pattern::kAppend;
+  /// State bytes added per input byte (before saturation/eviction).
+  double state_bytes_per_input_byte = 1.0;
+  /// Saturation plateau per vnode for kReadModifyWrite.
+  uint64_t rmw_cap_bytes_per_vnode = 64 * 1024;
+  /// kSession: state added now is evicted after this long (0 = never).
+  SimTime retention_us = 0;
+  /// Output bytes emitted per input byte.
+  double output_selectivity = 0.05;
+  /// Output record size used to derive output counts.
+  uint32_t output_record_bytes = 64;
+};
+
+/// Stateful operator over a `ModeledStateBackend`: updates per-vnode byte
+/// counters per the configured pattern instead of materializing values.
+class ModeledStatefulOperator : public StatefulInstance {
+ public:
+  ModeledStatefulOperator(Engine* engine, std::string op_name, int subtask,
+                          int node_id, ProcessingProfile profile,
+                          StateModelConfig config);
+
+ protected:
+  void ProcessData(int side, Batch& batch) override;
+
+ private:
+  /// The backend is always a ModeledStateBackend, but it may be replaced
+  /// wholesale by restart-based recovery — never cache the pointer.
+  state::ModeledStateBackend* modeled() {
+    return static_cast<state::ModeledStateBackend*>(backend());
+  }
+
+  StateModelConfig config_;
+  /// kSession bookkeeping: (deposit time, bytes) per vnode.
+  std::map<uint32_t, std::deque<std::pair<SimTime, uint64_t>>> session_log_;
+};
+
+}  // namespace rhino::dataflow

@@ -1,0 +1,49 @@
+#include "lsm/bloom.h"
+
+#include <algorithm>
+
+namespace rhino::lsm {
+
+namespace {
+
+/// Derives the k probe positions from one 64-bit hash (double hashing,
+/// Kirsch–Mitzenmacher).
+inline uint32_t Probe(uint64_t h, int i, uint32_t bits) {
+  uint64_t h1 = h;
+  uint64_t h2 = Mix64(h);
+  return static_cast<uint32_t>((h1 + static_cast<uint64_t>(i) * h2) % bits);
+}
+
+}  // namespace
+
+std::string BloomFilterBuilder::Finish() const {
+  // Probe count that minimizes the false-positive rate: k = b * ln 2.
+  int k = std::clamp(static_cast<int>(bits_per_key_ * 0.69), 1, 30);
+  size_t bits = std::max<size_t>(64, hashes_.size() * bits_per_key_);
+  size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string out(bytes, '\0');
+  for (uint64_t h : hashes_) {
+    for (int i = 0; i < k; ++i) {
+      uint32_t bit = Probe(h, i, static_cast<uint32_t>(bits));
+      out[bit / 8] = static_cast<char>(out[bit / 8] | (1 << (bit % 8)));
+    }
+  }
+  out.push_back(static_cast<char>(k));
+  return out;
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  if (data_.size() < 2) return true;  // degenerate filter: match everything
+  int k = static_cast<uint8_t>(data_.back());
+  size_t bits = (data_.size() - 1) * 8;
+  uint64_t h = Fnv1a64(key);
+  for (int i = 0; i < k; ++i) {
+    uint32_t bit = Probe(h, i, static_cast<uint32_t>(bits));
+    if (!(static_cast<uint8_t>(data_[bit / 8]) & (1 << (bit % 8)))) return false;
+  }
+  return true;
+}
+
+}  // namespace rhino::lsm

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.h"
+
+/// \file bloom.h
+/// Bloom filter for SSTable point lookups (configured as in the paper's
+/// RocksDB setup: bloom filters enabled for point lookups, ~10 bits/key).
+
+namespace rhino::lsm {
+
+/// Builds a bloom filter over a set of keys and serializes it to a string
+/// appended to the SSTable.
+class BloomFilterBuilder {
+ public:
+  explicit BloomFilterBuilder(int bits_per_key = 10)
+      : bits_per_key_(bits_per_key) {}
+
+  void AddKey(std::string_view key) { hashes_.push_back(Fnv1a64(key)); }
+
+  /// Serializes the filter: [bits ... , num_probes u8].
+  std::string Finish() const;
+
+ private:
+  int bits_per_key_;
+  std::vector<uint64_t> hashes_;
+};
+
+/// Queries a serialized bloom filter. "May match" semantics: never a false
+/// negative, occasionally a false positive.
+class BloomFilter {
+ public:
+  /// `data` must outlive the filter (it views the SSTable buffer).
+  explicit BloomFilter(std::string_view data) : data_(data) {}
+
+  bool MayContain(std::string_view key) const;
+
+ private:
+  std::string_view data_;
+};
+
+}  // namespace rhino::lsm

@@ -1,0 +1,166 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lsm/env.h"
+#include "lsm/format.h"
+#include "lsm/memtable.h"
+#include "lsm/sstable.h"
+#include "lsm/version.h"
+
+/// \file db.h
+/// Embedded LSM key-value store: the from-scratch RocksDB substitute that
+/// backs every stateful operator instance (paper §3.4, R3).
+///
+/// Design mirrors the RocksDB configuration used in the paper's evaluation:
+/// fixed-size memtables flushed to immutable SSTs, bloom filters for point
+/// lookups, leveled compaction, and **checkpoints as hard links** of the
+/// live SSTs — which is what makes Rhino's incremental checkpoints cheap
+/// (only files new since the previous checkpoint are ever transferred).
+
+namespace rhino::lsm {
+
+/// Tuning knobs. Defaults are scaled-down versions of the paper's RocksDB
+/// settings (64 MiB memtables / 64 MiB table blocks on NVMe) so tests
+/// exercise flush/compaction quickly.
+struct Options {
+  uint64_t memtable_bytes = 4 * 1024 * 1024;
+  size_t block_bytes = 4096;
+  int bloom_bits_per_key = 10;
+  int l0_compaction_trigger = 4;
+  uint64_t level_base_bytes = 16 * 1024 * 1024;
+  double level_multiplier = 10.0;
+  uint64_t target_file_bytes = 2 * 1024 * 1024;
+  int num_levels = 7;
+  /// When false, compaction only runs via CompactRange() (tests use this
+  /// to pin the tree shape).
+  bool auto_compact = true;
+  /// Write-ahead logging: every Put/Delete is appended to a WAL before it
+  /// is acknowledged, so an unflushed memtable survives a crash/reopen.
+  bool enable_wal = true;
+};
+
+/// One file captured by a checkpoint.
+struct CheckpointFile {
+  std::string name;
+  uint64_t size = 0;
+};
+
+/// Result of CreateCheckpoint: where it lives and what it contains.
+struct CheckpointInfo {
+  std::string directory;
+  std::vector<CheckpointFile> files;
+  uint64_t total_bytes = 0;
+};
+
+/// Single-writer embedded LSM store.
+class DB {
+ public:
+  /// Opens (creating or recovering) a DB at `path`.
+  static Result<std::unique_ptr<DB>> Open(Env* env, std::string path,
+                                          Options options = Options());
+
+  /// Materializes a checkpoint directory as a new DB at `path` by hard-
+  /// linking its files, then opens it. This is the "state loading" step of
+  /// a recovery (Table 1): only metadata work, no byte copies.
+  static Result<std::unique_ptr<DB>> OpenFromCheckpoint(
+      Env* env, const std::string& checkpoint_dir, std::string path,
+      Options options = Options());
+
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+
+  /// Point lookup; NotFound when absent or deleted.
+  Status Get(std::string_view key, std::string* value);
+
+  /// Flushes the memtable to a new L0 table (no-op when empty).
+  Status Flush();
+
+  /// Fully compacts the tree into the deepest non-empty level.
+  Status CompactRange();
+
+  /// Creates a point-in-time checkpoint at `dir`: flush + hard links +
+  /// manifest. The returned file list (names + sizes) is what Rhino's
+  /// replication protocol ships around.
+  Result<CheckpointInfo> CreateCheckpoint(const std::string& dir);
+
+  /// Bytes across memtable + all table files.
+  uint64_t ApproximateSize() const;
+  uint64_t NumTableFiles() const { return static_cast<uint64_t>(versions_.NumFiles()); }
+  int NumLevelFiles(int level) const {
+    return static_cast<int>(versions_.level(level).size());
+  }
+  const std::string& path() const { return path_; }
+
+  /// Merging iterator over the live view (memtable + all levels), yielding
+  /// each visible key once in order, tombstones skipped.
+  class Iterator {
+   public:
+    bool Valid() const { return pos_ < entries_.size(); }
+    void Next() { ++pos_; }
+    const std::string& key() const { return entries_[pos_].key; }
+    const std::string& value() const { return entries_[pos_].value; }
+
+   private:
+    friend class DB;
+    std::vector<Entry> entries_;
+    size_t pos_ = 0;
+  };
+
+  /// Snapshot iterator over `[begin, end)`; empty `end` means unbounded.
+  Result<Iterator> NewIterator(std::string_view begin = "",
+                               std::string_view end = "");
+
+  /// Number of flushes and compactions performed (for tests/benchmarks).
+  uint64_t flush_count() const { return flush_count_; }
+  uint64_t compaction_count() const { return compaction_count_; }
+  /// Entries recovered from the WAL at the last Open (diagnostics).
+  uint64_t wal_entries_recovered() const { return wal_recovered_; }
+
+ private:
+  DB(Env* env, std::string path, Options options)
+      : env_(env),
+        path_(std::move(path)),
+        options_(options),
+        versions_(options.num_levels) {}
+
+  std::string FilePath(const std::string& name) const { return path_ + "/" + name; }
+
+  Status PersistManifest();
+  std::string WalPath() const { return FilePath("WAL"); }
+  /// Appends one mutation to the WAL (no-op when disabled).
+  Status AppendWal(ValueType type, std::string_view key, std::string_view value);
+  /// Replays a surviving WAL into the memtable; truncated tails are
+  /// tolerated (a torn final record is discarded, as in RocksDB).
+  Status RecoverWal();
+  Result<std::shared_ptr<SSTableReader>> OpenTable(uint64_t number);
+  Status WriteLevel0Table();
+  Status MaybeCompact();
+  Status CompactLevel(int level);
+  uint64_t MaxBytesForLevel(int level) const;
+  /// Merges `inputs` (newest source first) into files at `output_level`.
+  Status DoCompaction(const std::vector<std::pair<int, FileMetaData>>& inputs,
+                      int output_level);
+
+  /// Collects the newest visible entry for every key in range across all
+  /// sources into `*out` (key → entry), tombstones retained.
+  Status CollectRange(std::string_view begin, std::string_view end,
+                      std::map<std::string, Entry>* out);
+
+  Env* env_;
+  std::string path_;
+  Options options_;
+  std::unique_ptr<MemTable> memtable_ = std::make_unique<MemTable>();
+  VersionSet versions_;
+  std::map<uint64_t, std::shared_ptr<SSTableReader>> table_cache_;
+  uint64_t flush_count_ = 0;
+  uint64_t compaction_count_ = 0;
+  uint64_t wal_recovered_ = 0;
+};
+
+}  // namespace rhino::lsm

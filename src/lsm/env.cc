@@ -1,0 +1,209 @@
+#include "lsm/env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <unordered_set>
+
+namespace fs = std::filesystem;
+
+namespace rhino::lsm {
+
+namespace {
+
+/// Parent directory of a path ("" for top-level names).
+std::string DirName(const std::string& path) {
+  auto pos = path.find_last_of('/');
+  if (pos == std::string::npos || pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- MemEnv --
+
+Status MemEnv::WriteFile(const std::string& path, std::string_view data) {
+  files_[path] = std::make_shared<std::string>(data);
+  return Status::OK();
+}
+
+Status MemEnv::AppendFile(const std::string& path, std::string_view data) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    it = files_.emplace(path, std::make_shared<std::string>()).first;
+  }
+  it->second->append(data);
+  return Status::OK();
+}
+
+Status MemEnv::ReadFile(const std::string& path, std::string* out) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  *out = *it->second;
+  return Status::OK();
+}
+
+Result<uint64_t> MemEnv::GetFileSize(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  return static_cast<uint64_t>(it->second->size());
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  return files_.count(path) > 0;
+}
+
+Status MemEnv::DeleteFile(const std::string& path) {
+  if (files_.erase(path) == 0) return Status::NotFound(path);
+  return Status::OK();
+}
+
+Status MemEnv::CreateDir(const std::string& path) {
+  // Record the directory and all ancestors; files don't strictly need
+  // them, but ListDir consults the set to distinguish "empty dir" from
+  // "missing dir".
+  std::string cur;
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (!cur.empty()) dirs_.insert(cur);
+    }
+    if (i < path.size()) cur.push_back(path[i]);
+  }
+  dirs_.insert(path);
+  return Status::OK();
+}
+
+Status MemEnv::LinkFile(const std::string& src, const std::string& dst) {
+  auto it = files_.find(src);
+  if (it == files_.end()) return Status::NotFound(src);
+  if (files_.count(dst)) return Status::AlreadyExists(dst);
+  files_[dst] = it->second;  // shares content: a true hard link
+  return Status::OK();
+}
+
+Status MemEnv::RenameFile(const std::string& src, const std::string& dst) {
+  auto it = files_.find(src);
+  if (it == files_.end()) return Status::NotFound(src);
+  files_[dst] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> MemEnv::ListDir(const std::string& dir) {
+  if (!dirs_.count(dir)) {
+    // A directory also "exists" if any file lives directly under it.
+    bool found = false;
+    for (const auto& [path, _] : files_) {
+      if (DirName(path) == dir) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Status::NotFound(dir);
+  }
+  std::vector<std::string> names;
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  for (const auto& [path, _] : files_) {
+    if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0 &&
+        path.find('/', prefix.size()) == std::string::npos) {
+      names.push_back(path.substr(prefix.size()));
+    }
+  }
+  return names;
+}
+
+uint64_t MemEnv::UniqueContentBytes() const {
+  std::unordered_set<const std::string*> seen;
+  uint64_t total = 0;
+  for (const auto& [_, content] : files_) {
+    if (seen.insert(content.get()).second) total += content->size();
+  }
+  return total;
+}
+
+// -------------------------------------------------------------- PosixEnv --
+
+Status PosixEnv::WriteFile(const std::string& path, std::string_view data) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("open " + tmp);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) return Status::IOError("write " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::IOError("rename " + tmp + ": " + ec.message());
+  return Status::OK();
+}
+
+Status PosixEnv::AppendFile(const std::string& path, std::string_view data) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) return Status::IOError("open for append " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) return Status::IOError("append " + path);
+  return Status::OK();
+}
+
+Status PosixEnv::ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound(path);
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return Status::OK();
+}
+
+Result<uint64_t> PosixEnv::GetFileSize(const std::string& path) {
+  std::error_code ec;
+  auto size = fs::file_size(path, ec);
+  if (ec) return Status::NotFound(path);
+  return static_cast<uint64_t>(size);
+}
+
+bool PosixEnv::FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Status PosixEnv::DeleteFile(const std::string& path) {
+  std::error_code ec;
+  if (!fs::remove(path, ec) || ec) return Status::NotFound(path);
+  return Status::OK();
+}
+
+Status PosixEnv::CreateDir(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) return Status::IOError("mkdir " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status PosixEnv::LinkFile(const std::string& src, const std::string& dst) {
+  std::error_code ec;
+  fs::create_hard_link(src, dst, ec);
+  if (ec) return Status::IOError("link " + src + " -> " + dst + ": " + ec.message());
+  return Status::OK();
+}
+
+Status PosixEnv::RenameFile(const std::string& src, const std::string& dst) {
+  std::error_code ec;
+  fs::rename(src, dst, ec);
+  if (ec) return Status::IOError("rename: " + ec.message());
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> PosixEnv::ListDir(const std::string& dir) {
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (auto it = fs::directory_iterator(dir, ec);
+       !ec && it != fs::directory_iterator(); it.increment(ec)) {
+    names.push_back(it->path().filename().string());
+  }
+  if (ec) return Status::NotFound(dir);
+  return names;
+}
+
+}  // namespace rhino::lsm

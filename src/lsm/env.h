@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file env.h
+/// Filesystem abstraction for the LSM store.
+///
+/// Two implementations: `MemEnv` (in-memory, content shared between hard
+/// links — the default for tests and simulations) and `PosixEnv` (real
+/// filesystem, for the examples). Hard links are first-class because
+/// Rhino's incremental checkpoints hard-link immutable SSTs instead of
+/// copying them (paper §5.2.1: "local state fetching, which involves
+/// hard-linking instead of network transfer").
+
+namespace rhino::lsm {
+
+/// Abstract filesystem. All paths are '/'-separated and absolute within
+/// the Env's namespace.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Atomically writes (creates or replaces) a whole file. Replacement
+  /// creates fresh content (a new inode): existing hard links keep the old
+  /// bytes, exactly like write-temp-then-rename on a POSIX filesystem.
+  virtual Status WriteFile(const std::string& path, std::string_view data) = 0;
+
+  /// Appends to a file, creating it if absent. Appends go to the file's
+  /// content (all hard links observe them) — used by the write-ahead log,
+  /// which is never hard-linked.
+  virtual Status AppendFile(const std::string& path, std::string_view data) = 0;
+
+  /// Reads a whole file into `*out`.
+  virtual Status ReadFile(const std::string& path, std::string* out) = 0;
+
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  /// Creates a directory (and parents). Succeeds if it already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  /// Creates a hard link `dst` to existing file `src`: both names refer to
+  /// the same immutable content, no bytes are copied.
+  virtual Status LinkFile(const std::string& src, const std::string& dst) = 0;
+
+  virtual Status RenameFile(const std::string& src, const std::string& dst) = 0;
+
+  /// Lists file names (not paths) directly inside `dir`.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+};
+
+/// In-memory Env. Hard links share the underlying `shared_ptr` content.
+class MemEnv : public Env {
+ public:
+  Status WriteFile(const std::string& path, std::string_view data) override;
+  Status AppendFile(const std::string& path, std::string_view data) override;
+  Status ReadFile(const std::string& path, std::string* out) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  Status LinkFile(const std::string& src, const std::string& dst) override;
+  Status RenameFile(const std::string& src, const std::string& dst) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+
+  /// Total bytes of unique content (hard links counted once). Used by
+  /// tests to prove that checkpoints do not duplicate bytes.
+  uint64_t UniqueContentBytes() const;
+
+ private:
+  struct Impl;
+  std::map<std::string, std::shared_ptr<std::string>> files_;
+  std::set<std::string> dirs_{"/"};
+};
+
+/// Real-filesystem Env rooted at a directory.
+class PosixEnv : public Env {
+ public:
+  Status WriteFile(const std::string& path, std::string_view data) override;
+  Status AppendFile(const std::string& path, std::string_view data) override;
+  Status ReadFile(const std::string& path, std::string* out) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  Status LinkFile(const std::string& src, const std::string& dst) override;
+  Status RenameFile(const std::string& src, const std::string& dst) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+};
+
+}  // namespace rhino::lsm

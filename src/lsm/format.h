@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file format.h
+/// Entry types and file naming shared by the memtable, SSTables, and the
+/// version set.
+
+namespace rhino::lsm {
+
+/// Kind of a stored entry. Deletions are tombstones that shadow older
+/// values until compaction into the bottom level drops them.
+enum class ValueType : uint8_t { kValue = 0, kDeletion = 1 };
+
+/// A fully decoded entry. `seq` is a database-wide monotonically
+/// increasing sequence number; among entries with equal user keys the one
+/// with the largest `seq` is visible.
+struct Entry {
+  std::string key;
+  uint64_t seq = 0;
+  ValueType type = ValueType::kValue;
+  std::string value;
+};
+
+/// "000042.sst"-style name for table file `number`.
+std::string TableFileName(uint64_t number);
+
+/// Name of the manifest file inside a DB or checkpoint directory.
+inline const char* kManifestName = "MANIFEST";
+
+}  // namespace rhino::lsm

@@ -1,0 +1,89 @@
+#include "lsm/memtable.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace rhino::lsm {
+
+MemTable::Node* MemTable::NewNode(std::string_view key, int height) {
+  // Tower slots beyond the first are allocated inline after the struct.
+  size_t size = sizeof(Node) + sizeof(Node*) * static_cast<size_t>(height - 1);
+  void* mem = ::operator new(size);
+  Node* node = new (mem) Node{std::string(key), 0, ValueType::kValue, "", height, {nullptr}};
+  for (int i = 0; i < height; ++i) node->next[i] = nullptr;
+  return node;
+}
+
+MemTable::~MemTable() {
+  Node* n = head_;
+  while (n != nullptr) {
+    Node* next = n->next[0];
+    n->~Node();
+    ::operator delete(n);
+    n = next;
+  }
+}
+
+int MemTable::RandomHeight() {
+  int height = 1;
+  while (height < kMaxHeight && rng_.OneIn(4)) ++height;
+  return height;
+}
+
+MemTable::Node* MemTable::FindGreaterOrEqual(std::string_view key,
+                                             Node** prev) const {
+  Node* x = head_;
+  int level = max_height_ - 1;
+  while (true) {
+    Node* next = x->next[level];
+    if (next != nullptr && next->key < key) {
+      x = next;
+    } else {
+      if (prev != nullptr) prev[level] = x;
+      if (level == 0) return next;
+      --level;
+    }
+  }
+}
+
+void MemTable::Add(std::string_view key, uint64_t seq, ValueType type,
+                   std::string_view value) {
+  Node* prev[kMaxHeight];
+  Node* node = FindGreaterOrEqual(key, prev);
+  if (node != nullptr && node->key == key) {
+    // In-place overwrite: the newest sequence number shadows the old entry,
+    // so keeping only the newest is equivalent and cheaper.
+    bytes_ += value.size() - node->value.size();
+    node->seq = seq;
+    node->type = type;
+    node->value.assign(value);
+    return;
+  }
+  int height = RandomHeight();
+  if (height > max_height_) {
+    for (int i = max_height_; i < height; ++i) prev[i] = head_;
+    max_height_ = height;
+  }
+  Node* n = NewNode(key, height);
+  n->seq = seq;
+  n->type = type;
+  n->value.assign(value);
+  for (int i = 0; i < height; ++i) {
+    n->next[i] = prev[i]->next[i];
+    prev[i]->next[i] = n;
+  }
+  bytes_ += key.size() + value.size() + 32;  // 32 ~ node overhead
+  ++entries_;
+}
+
+bool MemTable::Get(std::string_view key, Entry* entry) const {
+  Node* node = FindGreaterOrEqual(key, nullptr);
+  if (node == nullptr || node->key != key) return false;
+  entry->key = node->key;
+  entry->seq = node->seq;
+  entry->type = node->type;
+  entry->value = node->value;
+  return true;
+}
+
+}  // namespace rhino::lsm

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+#include "lsm/format.h"
+
+/// \file memtable.h
+/// In-memory write buffer: a skiplist ordered by user key.
+///
+/// Matches the paper's RocksDB configuration of fixed-size memtables that
+/// are flushed to immutable SSTs. The store is single-writer within one
+/// simulated operator instance, so no synchronization is needed; a repeated
+/// Put to the same key updates the node in place (the newest sequence
+/// number wins anyway).
+
+namespace rhino::lsm {
+
+/// Skiplist-based sorted write buffer.
+class MemTable {
+ public:
+  MemTable() : head_(NewNode("", kMaxHeight)) {}
+
+  /// Inserts or overwrites `key`. `type` distinguishes values from
+  /// tombstones.
+  void Add(std::string_view key, uint64_t seq, ValueType type,
+           std::string_view value);
+
+  /// Point lookup. Returns true and fills `*entry` when the key is present
+  /// (including as a tombstone).
+  bool Get(std::string_view key, Entry* entry) const;
+
+  /// Approximate heap footprint of stored entries, used to decide when to
+  /// flush.
+  uint64_t ApproximateBytes() const { return bytes_; }
+  uint64_t NumEntries() const { return entries_; }
+  bool Empty() const { return entries_ == 0; }
+
+ private:
+  static constexpr int kMaxHeight = 12;
+
+  struct Node {
+    std::string key;
+    uint64_t seq = 0;
+    ValueType type = ValueType::kValue;
+    std::string value;
+    int height;
+    Node* next[1];  // flexible tower; allocated with extra slots
+  };
+
+ public:
+  /// Forward iterator over entries in key order.
+  class Iterator {
+   public:
+    explicit Iterator(const MemTable* table) : node_(table->head_->next[0]) {}
+    bool Valid() const { return node_ != nullptr; }
+    void Next() { node_ = node_->next[0]; }
+    const std::string& key() const { return node_->key; }
+    uint64_t seq() const { return node_->seq; }
+    ValueType type() const { return node_->type; }
+    const std::string& value() const { return node_->value; }
+
+   private:
+    const Node* node_;
+  };
+
+  Iterator NewIterator() const { return Iterator(this); }
+
+ private:
+
+  static Node* NewNode(std::string_view key, int height);
+  int RandomHeight();
+  /// First node with key >= `key`; fills `prev` per level when non-null.
+  Node* FindGreaterOrEqual(std::string_view key, Node** prev) const;
+
+  Node* head_;
+  int max_height_ = 1;
+  Random rng_{0xdecafbadull};
+  uint64_t bytes_ = 0;
+  uint64_t entries_ = 0;
+
+ public:
+  ~MemTable();
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+};
+
+}  // namespace rhino::lsm

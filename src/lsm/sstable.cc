@@ -1,0 +1,205 @@
+#include "lsm/sstable.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/serde.h"
+
+namespace rhino::lsm {
+
+namespace {
+
+/// Appends one entry to a block buffer.
+void EncodeEntry(std::string* out, std::string_view key, uint64_t seq,
+                 ValueType type, std::string_view value) {
+  BinaryWriter w(out);
+  w.PutVarint(key.size());
+  out->append(key.data(), key.size());
+  w.PutVarint(seq);
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutVarint(value.size());
+  out->append(value.data(), value.size());
+}
+
+/// Decodes one entry starting at `*pos` in `data`; advances `*pos`.
+Status DecodeEntry(std::string_view data, size_t* pos, Entry* entry) {
+  BinaryReader r(data.substr(*pos));
+  uint64_t klen = 0;
+  RHINO_RETURN_NOT_OK(r.GetVarint(&klen));
+  if (r.remaining() < klen) return Status::Corruption("sst entry key");
+  entry->key.assign(data.substr(*pos + r.position(), klen));
+  BinaryReader r2(data.substr(*pos + r.position() + klen));
+  uint64_t seq = 0;
+  uint8_t type = 0;
+  uint64_t vlen = 0;
+  RHINO_RETURN_NOT_OK(r2.GetVarint(&seq));
+  RHINO_RETURN_NOT_OK(r2.GetU8(&type));
+  RHINO_RETURN_NOT_OK(r2.GetVarint(&vlen));
+  size_t voff = *pos + r.position() + klen + r2.position();
+  if (voff + vlen > data.size()) return Status::Corruption("sst entry value");
+  entry->seq = seq;
+  entry->type = static_cast<ValueType>(type);
+  entry->value.assign(data.substr(voff, vlen));
+  *pos = voff + vlen;
+  return Status::OK();
+}
+
+}  // namespace
+
+// -------------------------------------------------------- SSTableBuilder --
+
+void SSTableBuilder::Add(std::string_view key, uint64_t seq, ValueType type,
+                         std::string_view value) {
+  RHINO_DCHECK(num_entries_ == 0 || key > largest_)
+      << "keys must be added in strictly increasing order";
+  if (num_entries_ == 0) smallest_.assign(key);
+  largest_.assign(key);
+  bloom_.AddKey(key);
+  EncodeEntry(&block_, key, seq, type, value);
+  ++num_entries_;
+  if (block_.size() >= block_size_) FlushBlock();
+}
+
+void SSTableBuilder::FlushBlock() {
+  if (block_.empty()) return;
+  index_.push_back(IndexEntry{largest_, file_.size(), block_.size()});
+  file_ += block_;
+  block_.clear();
+}
+
+std::string SSTableBuilder::Finish() {
+  FlushBlock();
+  uint64_t index_off = file_.size();
+  {
+    BinaryWriter w(&file_);
+    w.PutVarint(index_.size());
+    for (const auto& e : index_) {
+      w.PutString(e.last_key);
+      w.PutVarint(e.offset);
+      w.PutVarint(e.size);
+    }
+  }
+  uint64_t index_len = file_.size() - index_off;
+  uint64_t bloom_off = file_.size();
+  file_ += bloom_.Finish();
+  uint64_t bloom_len = file_.size() - bloom_off;
+  BinaryWriter w(&file_);
+  w.PutU64(index_off);
+  w.PutU64(index_len);
+  w.PutU64(bloom_off);
+  w.PutU64(bloom_len);
+  w.PutU64(num_entries_);
+  w.PutU64(kSstMagic);
+  return std::move(file_);
+}
+
+// --------------------------------------------------------- SSTableReader --
+
+Result<std::shared_ptr<SSTableReader>> SSTableReader::Open(
+    std::shared_ptr<const std::string> contents) {
+  constexpr size_t kFooter = 48;
+  if (contents->size() < kFooter) return Status::Corruption("sst too small");
+  BinaryReader footer(
+      std::string_view(*contents).substr(contents->size() - kFooter));
+  uint64_t index_off, index_len, bloom_off, bloom_len, num_entries, magic;
+  RHINO_RETURN_NOT_OK(footer.GetU64(&index_off));
+  RHINO_RETURN_NOT_OK(footer.GetU64(&index_len));
+  RHINO_RETURN_NOT_OK(footer.GetU64(&bloom_off));
+  RHINO_RETURN_NOT_OK(footer.GetU64(&bloom_len));
+  RHINO_RETURN_NOT_OK(footer.GetU64(&num_entries));
+  RHINO_RETURN_NOT_OK(footer.GetU64(&magic));
+  if (magic != kSstMagic) return Status::Corruption("bad sst magic");
+  if (index_off + index_len > contents->size() ||
+      bloom_off + bloom_len > contents->size()) {
+    return Status::Corruption("bad sst footer offsets");
+  }
+
+  auto table = std::shared_ptr<SSTableReader>(new SSTableReader());
+  table->contents_ = std::move(contents);
+  table->num_entries_ = num_entries;
+  table->bloom_data_ =
+      std::string_view(*table->contents_).substr(bloom_off, bloom_len);
+
+  BinaryReader idx(std::string_view(*table->contents_).substr(index_off, index_len));
+  uint64_t blocks;
+  RHINO_RETURN_NOT_OK(idx.GetVarint(&blocks));
+  table->index_.reserve(blocks);
+  for (uint64_t i = 0; i < blocks; ++i) {
+    IndexEntry e;
+    RHINO_RETURN_NOT_OK(idx.GetString(&e.last_key));
+    RHINO_RETURN_NOT_OK(idx.GetVarint(&e.offset));
+    RHINO_RETURN_NOT_OK(idx.GetVarint(&e.size));
+    table->index_.push_back(std::move(e));
+  }
+  if (!table->index_.empty() && num_entries > 0) {
+    // Recover smallest/largest by decoding the first entry and using the
+    // last block's index key.
+    Entry first;
+    size_t pos = static_cast<size_t>(table->index_.front().offset);
+    RHINO_RETURN_NOT_OK(
+        DecodeEntry(std::string_view(*table->contents_), &pos, &first));
+    table->smallest_ = first.key;
+    table->largest_ = table->index_.back().last_key;
+  }
+  return table;
+}
+
+Status SSTableReader::Get(std::string_view key, Entry* entry) const {
+  if (index_.empty()) return Status::NotFound("empty table");
+  if (!BloomFilter(bloom_data_).MayContain(key)) {
+    return Status::NotFound("bloom miss");
+  }
+  // First block whose last key is >= key.
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), key,
+      [](const IndexEntry& e, std::string_view k) { return e.last_key < k; });
+  if (it == index_.end()) return Status::NotFound("past last block");
+  size_t pos = static_cast<size_t>(it->offset);
+  size_t end = pos + static_cast<size_t>(it->size);
+  std::string_view data(*contents_);
+  while (pos < end) {
+    RHINO_RETURN_NOT_OK(DecodeEntry(data, &pos, entry));
+    if (entry->key == key) return Status::OK();
+    if (entry->key > key) break;
+  }
+  return Status::NotFound("key not in block");
+}
+
+SSTableReader::Iterator::Iterator(const SSTableReader* table) : table_(table) {
+  if (!table_->index_.empty()) {
+    block_idx_ = 0;
+    pos_ = static_cast<size_t>(table_->index_[0].offset);
+    block_end_ = pos_ + static_cast<size_t>(table_->index_[0].size);
+    ParseCurrent();
+  }
+}
+
+void SSTableReader::Iterator::ParseCurrent() {
+  while (pos_ >= block_end_) {
+    ++block_idx_;
+    if (block_idx_ >= table_->index_.size()) {
+      valid_ = false;
+      return;
+    }
+    pos_ = static_cast<size_t>(table_->index_[block_idx_].offset);
+    block_end_ = pos_ + static_cast<size_t>(table_->index_[block_idx_].size);
+  }
+  Status st = DecodeEntry(std::string_view(*table_->contents_), &pos_, &entry_);
+  RHINO_CHECK_OK(st);
+  valid_ = true;
+}
+
+void SSTableReader::Iterator::Next() {
+  RHINO_DCHECK(valid_);
+  ParseCurrent();
+}
+
+std::string TableFileName(uint64_t number) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06llu.sst",
+                static_cast<unsigned long long>(number));
+  return buf;
+}
+
+}  // namespace rhino::lsm

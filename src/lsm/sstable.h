@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lsm/bloom.h"
+#include "lsm/format.h"
+
+/// \file sstable.h
+/// Immutable sorted string table.
+///
+/// Layout (little endian):
+///
+///     data block*   entries: varint klen | key | varint seq | u8 type
+///                            | varint vlen | value
+///     index block   per data block: varint last_key_len | last_key
+///                            | varint offset | varint size
+///     bloom block   serialized BloomFilter over user keys
+///     footer        u64 index_off | u64 index_len | u64 bloom_off
+///                   | u64 bloom_len | u64 num_entries | u64 magic
+///
+/// Tables are built entirely in memory (memtables are bounded) and written
+/// with one atomic Env::WriteFile, mirroring RocksDB's immutable-SST
+/// model that makes checkpoint hard-linking safe.
+
+namespace rhino::lsm {
+
+constexpr uint64_t kSstMagic = 0x52484e4f53535431ull;  // "RHNOSST1"
+
+/// Accumulates sorted entries and serializes an SSTable.
+class SSTableBuilder {
+ public:
+  explicit SSTableBuilder(size_t block_size = 4096, int bloom_bits_per_key = 10)
+      : block_size_(block_size), bloom_(bloom_bits_per_key) {}
+
+  /// Adds an entry; keys must arrive in strictly increasing order.
+  void Add(std::string_view key, uint64_t seq, ValueType type,
+           std::string_view value);
+
+  /// Finalizes and returns the file contents. The builder is consumed.
+  std::string Finish();
+
+  uint64_t num_entries() const { return num_entries_; }
+  const std::string& smallest() const { return smallest_; }
+  const std::string& largest() const { return largest_; }
+  /// Bytes of data blocks written so far (used to split compaction output).
+  uint64_t data_bytes() const { return file_.size() + block_.size(); }
+  bool empty() const { return num_entries_ == 0; }
+
+ private:
+  void FlushBlock();
+
+  size_t block_size_;
+  BloomFilterBuilder bloom_;
+  std::string file_;   // completed data blocks
+  std::string block_;  // block under construction
+  struct IndexEntry {
+    std::string last_key;
+    uint64_t offset;
+    uint64_t size;
+  };
+  std::vector<IndexEntry> index_;
+  std::string smallest_;
+  std::string largest_;
+  uint64_t num_entries_ = 0;
+};
+
+/// Reads an SSTable from an in-memory buffer (shared with the Env).
+class SSTableReader {
+ public:
+  /// Parses the footer and index. The buffer is retained via shared_ptr.
+  static Result<std::shared_ptr<SSTableReader>> Open(
+      std::shared_ptr<const std::string> contents);
+
+  /// Point lookup through bloom filter + block binary search.
+  /// Returns NotFound when absent; tombstones are returned as entries with
+  /// `type == kDeletion` (the DB layer interprets them).
+  Status Get(std::string_view key, Entry* entry) const;
+
+  uint64_t num_entries() const { return num_entries_; }
+  const std::string& smallest() const { return smallest_; }
+  const std::string& largest() const { return largest_; }
+  uint64_t file_size() const { return contents_->size(); }
+
+  /// Forward iterator over every entry in key order.
+  class Iterator {
+   public:
+    explicit Iterator(const SSTableReader* table);
+    bool Valid() const { return valid_; }
+    void Next();
+    const std::string& key() const { return entry_.key; }
+    const Entry& entry() const { return entry_; }
+
+   private:
+    void ParseCurrent();
+    const SSTableReader* table_;
+    size_t block_idx_ = 0;
+    size_t pos_ = 0;     // absolute offset in file buffer
+    size_t block_end_ = 0;
+    Entry entry_;
+    bool valid_ = false;
+  };
+
+  Iterator NewIterator() const { return Iterator(this); }
+
+ private:
+  SSTableReader() = default;
+
+  struct IndexEntry {
+    std::string last_key;
+    uint64_t offset;
+    uint64_t size;
+  };
+
+  std::shared_ptr<const std::string> contents_;
+  std::vector<IndexEntry> index_;
+  std::string_view bloom_data_;
+  uint64_t num_entries_ = 0;
+  std::string smallest_;
+  std::string largest_;
+};
+
+}  // namespace rhino::lsm

@@ -1,0 +1,119 @@
+#include "lsm/version.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+
+namespace rhino::lsm {
+
+uint64_t VersionSet::LevelBytes(int l) const {
+  uint64_t total = 0;
+  for (const auto& f : levels_[l]) total += f.file_size;
+  return total;
+}
+
+uint64_t VersionSet::TotalBytes() const {
+  uint64_t total = 0;
+  for (int l = 0; l < num_levels(); ++l) total += LevelBytes(l);
+  return total;
+}
+
+int VersionSet::NumFiles() const {
+  int n = 0;
+  for (const auto& level : levels_) n += static_cast<int>(level.size());
+  return n;
+}
+
+std::vector<FileMetaData> VersionSet::AllFiles() const {
+  std::vector<FileMetaData> out;
+  for (const auto& level : levels_) {
+    out.insert(out.end(), level.begin(), level.end());
+  }
+  return out;
+}
+
+bool VersionSet::IsBottomMostForRange(int level, const std::string& smallest,
+                                      const std::string& largest) const {
+  for (int l = level + 1; l < num_levels(); ++l) {
+    if (!Overlapping(l, smallest, largest).empty()) return false;
+  }
+  return true;
+}
+
+std::vector<FileMetaData> VersionSet::Overlapping(
+    int level, const std::string& smallest, const std::string& largest) const {
+  std::vector<FileMetaData> out;
+  for (const auto& f : levels_[level]) {
+    if (f.largest < smallest || f.smallest > largest) continue;
+    out.push_back(f);
+  }
+  return out;
+}
+
+void VersionSet::RemoveFile(int level, uint64_t number) {
+  auto& files = levels_[level];
+  files.erase(std::remove_if(files.begin(), files.end(),
+                             [number](const FileMetaData& f) {
+                               return f.number == number;
+                             }),
+              files.end());
+}
+
+void VersionSet::AddFile(int level, FileMetaData meta) {
+  auto& files = levels_[level];
+  if (level == 0) {
+    // Newest first: L0 files are consulted in insertion (recency) order.
+    files.insert(files.begin(), std::move(meta));
+  } else {
+    auto pos = std::lower_bound(files.begin(), files.end(), meta,
+                                [](const FileMetaData& a, const FileMetaData& b) {
+                                  return a.smallest < b.smallest;
+                                });
+    files.insert(pos, std::move(meta));
+  }
+}
+
+std::string VersionSet::EncodeManifest() const {
+  std::string out;
+  BinaryWriter w(&out);
+  w.PutU64(next_file_number_);
+  w.PutU64(last_seq_);
+  w.PutU32(static_cast<uint32_t>(levels_.size()));
+  for (const auto& level : levels_) {
+    w.PutU32(static_cast<uint32_t>(level.size()));
+    for (const auto& f : level) {
+      w.PutU64(f.number);
+      w.PutU64(f.file_size);
+      w.PutString(f.smallest);
+      w.PutString(f.largest);
+      w.PutU64(f.num_entries);
+    }
+  }
+  return out;
+}
+
+Status VersionSet::DecodeManifest(std::string_view data) {
+  BinaryReader r(data);
+  RHINO_RETURN_NOT_OK(r.GetU64(&next_file_number_));
+  RHINO_RETURN_NOT_OK(r.GetU64(&last_seq_));
+  uint32_t num_levels = 0;
+  RHINO_RETURN_NOT_OK(r.GetU32(&num_levels));
+  levels_.assign(num_levels, {});
+  for (uint32_t l = 0; l < num_levels; ++l) {
+    uint32_t count = 0;
+    RHINO_RETURN_NOT_OK(r.GetU32(&count));
+    levels_[l].reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      FileMetaData f;
+      RHINO_RETURN_NOT_OK(r.GetU64(&f.number));
+      RHINO_RETURN_NOT_OK(r.GetU64(&f.file_size));
+      RHINO_RETURN_NOT_OK(r.GetString(&f.smallest));
+      RHINO_RETURN_NOT_OK(r.GetString(&f.largest));
+      RHINO_RETURN_NOT_OK(r.GetU64(&f.num_entries));
+      levels_[l].push_back(std::move(f));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rhino::lsm

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file version.h
+/// The file-level metadata of an LSM tree: which SSTs live at which level,
+/// persisted in a MANIFEST file so a DB (or a checkpoint of one) can be
+/// reopened.
+
+namespace rhino::lsm {
+
+/// Metadata for one table file.
+struct FileMetaData {
+  uint64_t number = 0;
+  uint64_t file_size = 0;
+  std::string smallest;
+  std::string largest;
+  uint64_t num_entries = 0;
+};
+
+/// Mutable description of the current tree shape plus counters.
+///
+/// Level 0 holds possibly-overlapping memtable flushes ordered
+/// newest-first; levels >= 1 hold key-disjoint files sorted by smallest
+/// key. Serialized to / recovered from a MANIFEST via the methods below.
+class VersionSet {
+ public:
+  explicit VersionSet(int num_levels) : levels_(num_levels) {}
+
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  std::vector<FileMetaData>& level(int l) { return levels_[l]; }
+  const std::vector<FileMetaData>& level(int l) const { return levels_[l]; }
+
+  uint64_t NewFileNumber() { return next_file_number_++; }
+  uint64_t next_file_number() const { return next_file_number_; }
+
+  uint64_t last_seq() const { return last_seq_; }
+  void set_last_seq(uint64_t s) { last_seq_ = s; }
+
+  /// Total bytes of table files at `level`.
+  uint64_t LevelBytes(int l) const;
+
+  /// Total bytes across all levels.
+  uint64_t TotalBytes() const;
+
+  /// Total file count.
+  int NumFiles() const;
+
+  /// All live files across levels.
+  std::vector<FileMetaData> AllFiles() const;
+
+  /// True when no file at any level deeper than `level` overlaps
+  /// [smallest, largest]; tombstones compacted into such a level can be
+  /// dropped.
+  bool IsBottomMostForRange(int level, const std::string& smallest,
+                            const std::string& largest) const;
+
+  /// Files at `level` overlapping the key range (inclusive bounds).
+  std::vector<FileMetaData> Overlapping(int level, const std::string& smallest,
+                                        const std::string& largest) const;
+
+  /// Removes a file (by number) from `level`.
+  void RemoveFile(int level, uint64_t number);
+
+  /// Adds a file keeping the level's ordering invariant.
+  void AddFile(int level, FileMetaData meta);
+
+  std::string EncodeManifest() const;
+  Status DecodeManifest(std::string_view data);
+
+ private:
+  std::vector<std::vector<FileMetaData>> levels_;
+  uint64_t next_file_number_ = 1;
+  uint64_t last_seq_ = 0;
+};
+
+}  // namespace rhino::lsm

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+/// \file table.h
+/// Fixed-width console tables for the benchmark harness (so each bench
+/// prints rows shaped like the paper's tables).
+
+namespace rhino::metrics {
+
+/// Accumulates rows of strings and prints them column-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    PrintRow(headers_, widths);
+    std::string rule;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      rule += std::string(widths[c], '-');
+      if (c + 1 < widths.size()) rule += "-+-";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) PrintRow(row, widths);
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& row,
+                       const std::vector<size_t>& widths) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      cell.resize(widths[c], ' ');
+      line += cell;
+      if (c + 1 < widths.size()) line += " | ";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rhino::metrics

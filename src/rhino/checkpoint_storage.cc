@@ -1,0 +1,95 @@
+#include "rhino/checkpoint_storage.h"
+
+#include "common/logging.h"
+#include "dataflow/source.h"
+
+namespace rhino::rhino {
+
+std::map<uint32_t, std::string> CaptureVnodeBlobs(
+    dataflow::StatefulInstance* instance) {
+  std::map<uint32_t, std::string> blobs;
+  for (uint32_t v : instance->owned_vnodes()) {
+    auto blob = instance->backend()->ExtractVnodes({v});
+    RHINO_CHECK(blob.ok()) << blob.status().ToString();
+    blobs[v] = std::move(blob).MoveValue();
+  }
+  return blobs;
+}
+
+void RhinoCheckpointStorage::Persist(dataflow::OperatorInstance* instance,
+                                     const state::CheckpointDescriptor& desc,
+                                     std::function<void(Status)> done) {
+  auto* stateful = dynamic_cast<dataflow::StatefulInstance*>(instance);
+  if (stateful == nullptr) {
+    // Source snapshots are offsets only; the coordinator records them.
+    done(Status::OK());
+    return;
+  }
+  auto blobs = CaptureVnodeBlobs(stateful);
+  int node_id = instance->node_id();
+  std::string op = instance->op_name();
+  auto subtask = static_cast<uint32_t>(instance->subtask());
+  // The delta is spooled to the local disk (the primary copy)...
+  sim::Node& node = cluster_->node(node_id);
+  int disk = disk_cursor_[node_id]++ % node.num_disks();
+  node.disk(disk).Write(
+      desc.DeltaBytes(),
+      [this, op, subtask, node_id, desc, blobs = std::move(blobs),
+       done = std::move(done)]() mutable {
+        // ...then replicated asynchronously down the chain (§4.2.2).
+        runtime_->ReplicateCheckpoint(op, subtask, node_id, desc,
+                                      std::move(blobs), std::move(done));
+      });
+}
+
+void DfsCheckpointStorage::Persist(dataflow::OperatorInstance* instance,
+                                   const state::CheckpointDescriptor& desc,
+                                   std::function<void(Status)> done) {
+  auto* stateful = dynamic_cast<dataflow::StatefulInstance*>(instance);
+  if (stateful == nullptr) {
+    done(Status::OK());
+    return;
+  }
+  std::string key = Key(instance->op_name(),
+                        static_cast<uint32_t>(instance->subtask()));
+  std::string path =
+      "/checkpoints/" + key + "/delta-" + std::to_string(desc.checkpoint_id);
+  paths_[key].push_back(path);
+  ReplicaState& rep = latest_[key];
+  rep.latest_checkpoint_id = desc.checkpoint_id;
+  rep.latest_descriptor = desc;
+  for (auto& [vnode, blob] : CaptureVnodeBlobs(stateful)) {
+    rep.vnode_blobs[vnode] = std::move(blob);
+  }
+  dfs_->WriteFile(path, desc.DeltaBytes(), instance->node_id(), std::move(done));
+}
+
+std::vector<std::string> DfsCheckpointStorage::PathsFor(const std::string& op,
+                                                        uint32_t subtask) const {
+  auto it = paths_.find(Key(op, subtask));
+  if (it == paths_.end()) return {};
+  return it->second;
+}
+
+const ReplicaState* DfsCheckpointStorage::LatestFor(const std::string& op,
+                                                    uint32_t subtask) const {
+  auto it = latest_.find(Key(op, subtask));
+  return it == latest_.end() ? nullptr : &it->second;
+}
+
+void DfsCheckpointStorage::SeedCheckpoint(
+    const std::string& op, uint32_t subtask, int home_node,
+    const state::CheckpointDescriptor& desc,
+    std::map<uint32_t, std::string> blobs) {
+  std::string key = Key(op, subtask);
+  std::string path =
+      "/checkpoints/" + key + "/delta-" + std::to_string(desc.checkpoint_id);
+  paths_[key].push_back(path);
+  dfs_->RegisterFile(path, desc.TotalBytes(), home_node);
+  ReplicaState& rep = latest_[key];
+  rep.latest_checkpoint_id = desc.checkpoint_id;
+  rep.latest_descriptor = desc;
+  rep.vnode_blobs = std::move(blobs);
+}
+
+}  // namespace rhino::rhino

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataflow/engine.h"
+#include "dataflow/stateful.h"
+#include "dfs/dfs.h"
+#include "rhino/replication_runtime.h"
+
+/// \file checkpoint_storage.h
+/// The two checkpoint persistence strategies of the evaluation:
+///
+///  * `RhinoCheckpointStorage`  — local disk write + state-centric chain
+///    replication of the incremental delta (Rhino);
+///  * `DfsCheckpointStorage`    — delta upload into the block-centric DFS
+///    (Flink and RhinoDFS).
+///
+/// Both capture per-vnode content blobs so recovery can restore actual
+/// state (values in real mode, byte counters in modeled mode).
+
+namespace rhino::rhino {
+
+/// Rhino: persist locally, replicate the delta down the replica chain.
+class RhinoCheckpointStorage : public dataflow::CheckpointStorage {
+ public:
+  RhinoCheckpointStorage(sim::Cluster* cluster, ReplicationRuntime* runtime)
+      : cluster_(cluster), runtime_(runtime) {}
+
+  void Persist(dataflow::OperatorInstance* instance,
+               const state::CheckpointDescriptor& desc,
+               std::function<void(Status)> done) override;
+
+ private:
+  sim::Cluster* cluster_;
+  ReplicationRuntime* runtime_;
+  std::map<int, int> disk_cursor_;
+};
+
+/// Flink / RhinoDFS: upload the delta files into the DFS.
+class DfsCheckpointStorage : public dataflow::CheckpointStorage {
+ public:
+  DfsCheckpointStorage(sim::Cluster* cluster, dfs::DistributedFileSystem* dfs)
+      : cluster_(cluster), dfs_(dfs) {}
+
+  void Persist(dataflow::OperatorInstance* instance,
+               const state::CheckpointDescriptor& desc,
+               std::function<void(Status)> done) override;
+
+  /// Every DFS path holding state of the instance (all retained deltas —
+  /// together they are the full state image a recovery must fetch).
+  std::vector<std::string> PathsFor(const std::string& op,
+                                    uint32_t subtask) const;
+
+  /// Latest checkpoint content of the instance (for state restoration).
+  const ReplicaState* LatestFor(const std::string& op, uint32_t subtask) const;
+
+  /// Registers a pre-existing checkpoint without modeling the upload
+  /// (experiment seeding).
+  void SeedCheckpoint(const std::string& op, uint32_t subtask, int home_node,
+                      const state::CheckpointDescriptor& desc,
+                      std::map<uint32_t, std::string> blobs);
+
+  dfs::DistributedFileSystem* dfs() { return dfs_; }
+
+ private:
+  static std::string Key(const std::string& op, uint32_t subtask) {
+    return op + "#" + std::to_string(subtask);
+  }
+
+  sim::Cluster* cluster_;
+  dfs::DistributedFileSystem* dfs_;
+  std::map<std::string, std::vector<std::string>> paths_;
+  std::map<std::string, ReplicaState> latest_;
+};
+
+/// Captures the per-vnode content blobs of a stateful instance (shared by
+/// both storages and by experiment seeding).
+std::map<uint32_t, std::string> CaptureVnodeBlobs(
+    dataflow::StatefulInstance* instance);
+
+}  // namespace rhino::rhino

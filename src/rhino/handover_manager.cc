@@ -1,0 +1,308 @@
+#include "rhino/handover_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "dataflow/source.h"
+#include "dataflow/stateful.h"
+
+namespace rhino::rhino {
+
+using dataflow::HandoverMove;
+using dataflow::HandoverSpec;
+using dataflow::SourceInstance;
+using dataflow::StatefulInstance;
+
+uint64_t HandoverManager::TriggerReconfiguration(
+    const std::string& op, std::vector<HandoverMove> moves) {
+  auto spec = std::make_shared<HandoverSpec>();
+  spec->id = NextHandoverId();
+  spec->operator_name = op;
+  spec->moves = std::move(moves);
+  HandoverStats& stats = stats_[spec->id];
+  stats.handover_id = spec->id;
+  stats.triggered_at = engine_->sim()->Now();
+  stats.moves = static_cast<int>(spec->moves.size());
+  engine_->StartHandover(spec);
+  return spec->id;
+}
+
+uint64_t HandoverManager::TriggerLoadBalance(const std::string& op,
+                                             uint32_t origin, uint32_t target,
+                                             double fraction) {
+  auto vnodes = engine_->routing(op)->VnodesOfInstance(origin);
+  size_t count = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(vnodes.size()) * fraction));
+  vnodes.resize(std::min(count, vnodes.size()));
+  return TriggerReconfiguration(op, {HandoverMove{origin, target, vnodes}});
+}
+
+std::vector<uint64_t> HandoverManager::RecoverFailedNode(int node) {
+  std::vector<uint64_t> handovers;
+  const auto* ckpt = engine_->LastCompletedCheckpoint();
+
+  // Redeploy the failed node's stateless instances (sources, sinks) on
+  // live workers, round-robin.
+  std::vector<int> live;
+  for (int w : manager_->workers()) {
+    if (w != node && engine_->cluster()->node(w).alive()) live.push_back(w);
+  }
+  RHINO_CHECK(!live.empty()) << "no live workers to recover onto";
+  size_t cursor = 0;
+  for (SourceInstance* src : engine_->sources()) {
+    if (!src->halted()) continue;
+    src->set_node_id(live[cursor++ % live.size()]);
+    src->Resume();
+  }
+  for (dataflow::SinkInstance* sink : engine_->sinks()) {
+    if (!sink->halted()) continue;
+    sink->set_node_id(live[cursor++ % live.size()]);
+    sink->Resume();
+  }
+
+  // One recovery handover per stateful operator with failed instances.
+  std::map<std::string, std::vector<HandoverMove>> moves_per_op;
+  std::map<int, size_t> target_node_usage;
+  for (StatefulInstance* inst : engine_->stateful()) {
+    if (!inst->halted()) continue;
+    auto vnodes = engine_->routing(inst->op_name())
+                      ->VnodesOfInstance(static_cast<uint32_t>(inst->subtask()));
+    if (vnodes.empty()) continue;
+    // Target: a live instance of the same operator. With local-replica
+    // fetching the target's worker must hold a secondary copy; with DFS
+    // fetching any worker qualifies. Targets are spread over distinct
+    // nodes so recovery fetching parallelizes across the cluster.
+    StatefulInstance* best = nullptr;
+    size_t best_score = ~0ull;
+    for (StatefulInstance* candidate : engine_->stateful()) {
+      if (candidate->halted() || candidate->op_name() != inst->op_name()) {
+        continue;
+      }
+      if (options_.fetch_mode == HandoverOptions::FetchMode::kLocalReplica &&
+          !manager_->NodeInGroup(inst->op_name(),
+                                 static_cast<uint32_t>(inst->subtask()),
+                                 candidate->node_id())) {
+        continue;
+      }
+      size_t score = candidate->owned_vnodes().size() +
+                     1000 * target_node_usage[candidate->node_id()];
+      if (best == nullptr || score < best_score) {
+        best = candidate;
+        best_score = score;
+      }
+    }
+    RHINO_CHECK(best != nullptr)
+        << "no live instance on the replica group of " << inst->op_name()
+        << "#" << inst->subtask();
+    ++target_node_usage[best->node_id()];
+    moves_per_op[inst->op_name()].push_back(
+        HandoverMove{static_cast<uint32_t>(inst->subtask()),
+                     static_cast<uint32_t>(best->subtask()), vnodes});
+  }
+
+  // Inject the markers *before* rewinding: the markers rewire upstream
+  // gates, so every replayed record routes to the new owners.
+  for (auto& [op, moves] : moves_per_op) {
+    auto spec = std::make_shared<HandoverSpec>();
+    spec->id = NextHandoverId();
+    spec->operator_name = op;
+    spec->moves = std::move(moves);
+    spec->origin_failed = true;
+    HandoverStats& stats = stats_[spec->id];
+    stats.handover_id = spec->id;
+    stats.triggered_at = engine_->sim()->Now();
+    stats.moves = static_cast<int>(spec->moves.size());
+    engine_->StartHandover(spec);
+    handovers.push_back(spec->id);
+  }
+
+  // Rewind every source to the last completed checkpoint so the upstream
+  // backup replays the tail lost with the failed state. Live instances
+  // drop the duplicates via their replay watermarks.
+  for (SourceInstance* src : engine_->sources()) {
+    uint64_t offset = 0;
+    if (ckpt != nullptr) {
+      auto it = ckpt->descriptors.find(src->op_name() + "#" +
+                                       std::to_string(src->subtask()));
+      if (it != ckpt->descriptors.end()) {
+        auto oit = it->second.source_offsets.find(src->subtask());
+        if (oit != it->second.source_offsets.end()) offset = oit->second;
+      }
+    }
+    src->ResetOffset(offset);
+    src->Start();
+  }
+
+  // Repair the replica groups that lost the failed worker (§4.2.3).
+  manager_->HandleWorkerFailure(node);
+  return handovers;
+}
+
+void HandoverManager::TransferState(const HandoverSpec& spec,
+                                    const HandoverMove& move,
+                                    StatefulInstance* origin,
+                                    StatefulInstance* target,
+                                    std::function<void()> done) {
+  HandoverStats& stats = stats_[spec.id];
+  SimTime start = engine_->sim()->Now();
+  HandoverSpec spec_copy = spec;
+  HandoverMove move_copy = move;
+
+  if (origin != nullptr) {
+    // ---- live migration: incremental checkpoint + tail transfer --------
+    uint64_t moved_bytes = 0;
+    for (uint32_t v : move.vnodes) {
+      moved_bytes += origin->backend()->VnodeBytes(v);
+    }
+    uint64_t total_bytes = std::max<uint64_t>(1, origin->backend()->SizeBytes());
+
+    auto mini = origin->backend()->Checkpoint(next_mini_checkpoint_++);
+    RHINO_CHECK(mini.ok()) << mini.status().ToString();
+    // The target worker already holds the state when it is the origin's
+    // own worker (primary copy) or a member of the replica group.
+    bool target_has_replica =
+        origin->node_id() == target->node_id() ||
+        (options_.fetch_mode == HandoverOptions::FetchMode::kLocalReplica &&
+         runtime_->ReplicaOn(origin->op_name(),
+                             static_cast<uint32_t>(origin->subtask()),
+                             target->node_id()) != nullptr);
+    // The share of the final incremental checkpoint belonging to the
+    // moved vnodes; everything older is already on the target's worker
+    // when it is in the replica group.
+    uint64_t tail_bytes = static_cast<uint64_t>(
+        static_cast<double>(mini->DeltaBytes()) *
+        (static_cast<double>(moved_bytes) / static_cast<double>(total_bytes)));
+    uint64_t wire_bytes = target_has_replica ? tail_bytes : moved_bytes;
+
+    auto blob = origin->backend()->ExtractVnodes(move.vnodes);
+    RHINO_CHECK(blob.ok()) << blob.status().ToString();
+    auto marks = origin->GetWatermarks(move.vnodes);
+
+    stats.bytes_transferred +=
+        origin->node_id() == target->node_id() ? 0 : wire_bytes;
+    stats.local_fetch = target_has_replica;
+
+    auto ingest = [this, spec_copy, move_copy, origin, target, done, start,
+                   target_has_replica,
+                   blob = std::move(blob).MoveValue(), marks]() {
+      HandoverStats& s = stats_[spec_copy.id];
+      s.state_fetch_us =
+          std::max(s.state_fetch_us, engine_->sim()->Now() - start);
+      SimTime load = options_.load_per_file_us * 8;
+      engine_->sim()->Schedule(load, [this, spec_copy, move_copy, origin,
+                                      target, done, target_has_replica, blob,
+                                      marks, load] {
+        HandoverStats& s2 = stats_[spec_copy.id];
+        s2.state_load_us = std::max(s2.state_load_us, load);
+        RHINO_CHECK_OK(target->backend()->IngestVnodes(blob, target_has_replica));
+        target->MergeWatermarks(marks);
+        origin->CompleteHandoverAsOrigin(spec_copy, move_copy);
+        target->CompleteHandoverAsTarget(spec_copy, move_copy);
+        done();
+      });
+    };
+
+    int origin_node = origin->node_id();
+    int target_node = target->node_id();
+    if (origin_node == target_node) {
+      engine_->sim()->Schedule(0, std::move(ingest));
+    } else {
+      // Write the tail locally (part of the checkpoint), then ship it and
+      // spool it at the target.
+      sim::Node& tgt = engine_->cluster()->node(target_node);
+      engine_->cluster()->Transfer(
+          origin_node, target_node, wire_bytes,
+          [&tgt, wire_bytes, ingest = std::move(ingest)]() mutable {
+            tgt.disk(0).Write(wire_bytes, std::move(ingest));
+          });
+    }
+    return;
+  }
+
+  // ---- failed origin: restore from the secondary copy ------------------
+  RHINO_CHECK(target != nullptr);
+  const std::string& op = spec.operator_name;
+  const ReplicaState* rep = nullptr;
+  if (options_.fetch_mode == HandoverOptions::FetchMode::kLocalReplica) {
+    rep = runtime_->ReplicaOn(op, move.origin_instance, target->node_id());
+  } else if (options_.dfs_replica_lookup) {
+    rep = options_.dfs_replica_lookup(op, move.origin_instance);
+  }
+
+  auto restore = [this, spec_copy, move_copy, target, done, rep, start] {
+    HandoverStats& s = stats_[spec_copy.id];
+    s.state_fetch_us = std::max(s.state_fetch_us, engine_->sim()->Now() - start);
+    SimTime load = options_.load_fixed_us;
+    if (rep != nullptr) {
+      load += options_.load_per_file_us *
+              static_cast<SimTime>(rep->latest_descriptor.files.size());
+    }
+    engine_->sim()->Schedule(load, [this, spec_copy, move_copy, target, done,
+                                    rep, load] {
+      HandoverStats& s2 = stats_[spec_copy.id];
+      s2.state_load_us = std::max(s2.state_load_us, load);
+      if (rep != nullptr) {
+        for (uint32_t v : move_copy.vnodes) {
+          auto it = rep->vnode_blobs.find(v);
+          if (it != rep->vnode_blobs.end()) {
+            RHINO_CHECK_OK(target->backend()->IngestVnodes(it->second,
+                                                           /*durable=*/true));
+          }
+        }
+        dataflow::StatefulInstance::WatermarkMap marks;
+        for (uint32_t v : move_copy.vnodes) {
+          auto wit = rep->latest_descriptor.vnode_watermarks.find(v);
+          if (wit != rep->latest_descriptor.vnode_watermarks.end()) {
+            marks[v] = wit->second;
+          }
+        }
+        target->MergeWatermarks(marks);
+        uint64_t restored = 0;
+        for (uint32_t v : move_copy.vnodes) {
+          restored += target->backend()->VnodeBytes(v);
+        }
+        s2.bytes_transferred += restored;
+      }
+      target->CompleteHandoverAsTarget(spec_copy, move_copy);
+      done();
+    });
+  };
+
+  if (options_.fetch_mode == HandoverOptions::FetchMode::kLocalReplica) {
+    // Secondary copy is on this worker's own disks: fetching is
+    // hard-linking the checkpoint files (paper: ~0.2 s, size-independent).
+    RHINO_CHECK(rep != nullptr)
+        << "target worker holds no replica of " << op << "#"
+        << move.origin_instance;
+    stats.local_fetch = true;
+    engine_->sim()->Schedule(options_.local_fetch_us, restore);
+  } else {
+    // RhinoDFS: the protocol is the same but the state comes through the
+    // block-centric DFS — remote blocks cross the network (Figure 3).
+    RHINO_CHECK(options_.dfs != nullptr);
+    stats.local_fetch = false;
+    std::vector<std::string> paths;
+    if (options_.dfs_paths) {
+      paths = options_.dfs_paths(op, move.origin_instance);
+    }
+    if (paths.empty()) {
+      engine_->sim()->Schedule(options_.local_fetch_us, restore);
+      return;
+    }
+    auto remaining = std::make_shared<size_t>(paths.size());
+    for (const auto& path : paths) {
+      options_.dfs->ReadFile(path, target->node_id(),
+                             [remaining, restore](Status st) {
+                               RHINO_CHECK(st.ok()) << st.ToString();
+                               if (--*remaining == 0) restore();
+                             });
+    }
+  }
+}
+
+const HandoverStats* HandoverManager::StatsFor(uint64_t handover_id) const {
+  auto it = stats_.find(handover_id);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+}  // namespace rhino::rhino

@@ -1,0 +1,89 @@
+#include "rhino/replication_manager.h"
+
+#include <algorithm>
+
+namespace rhino::rhino {
+
+void ReplicationManager::BuildGroups(std::vector<InstanceInfo> instances) {
+  groups_.clear();
+  infos_.clear();
+  load_.clear();
+  for (int w : workers_) load_[w] = 0;
+
+  // Heaviest instances first so big replicas land before bins fill up.
+  std::stable_sort(instances.begin(), instances.end(),
+                   [](const InstanceInfo& a, const InstanceInfo& b) {
+                     return a.weight > b.weight;
+                   });
+
+  for (const InstanceInfo& info : instances) {
+    // Candidates: all workers except the home node, least-loaded first.
+    std::vector<int> candidates;
+    for (int w : workers_) {
+      if (w != info.home_node) candidates.push_back(w);
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [this](int a, int b) { return load_[a] < load_[b]; });
+
+    std::vector<int> group;
+    for (int w : candidates) {
+      if (static_cast<int>(group.size()) == replication_factor_) break;
+      group.push_back(w);
+      load_[w] += info.weight;
+    }
+    RHINO_CHECK_EQ(static_cast<int>(group.size()), replication_factor_)
+        << "not enough workers for a replica group of " << info.op_name;
+    std::string key = Key(info.op_name, info.subtask);
+    groups_[key] = std::move(group);
+    infos_[key] = info;
+  }
+}
+
+const std::vector<int>& ReplicationManager::Group(const std::string& op,
+                                                  uint32_t subtask) const {
+  auto it = groups_.find(Key(op, subtask));
+  RHINO_CHECK(it != groups_.end())
+      << "no replica group for " << op << "#" << subtask;
+  return it->second;
+}
+
+bool ReplicationManager::NodeInGroup(const std::string& op, uint32_t subtask,
+                                     int node) const {
+  auto it = groups_.find(Key(op, subtask));
+  if (it == groups_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), node) !=
+         it->second.end();
+}
+
+void ReplicationManager::HandleWorkerFailure(int failed) {
+  workers_.erase(std::remove(workers_.begin(), workers_.end(), failed),
+                 workers_.end());
+  load_.erase(failed);
+  for (auto& [key, group] : groups_) {
+    auto pos = std::find(group.begin(), group.end(), failed);
+    if (pos == group.end()) continue;
+    const InstanceInfo& info = infos_[key];
+    // Substitute: least-loaded live worker not already in the group and
+    // not the home node.
+    int best = -1;
+    for (int w : workers_) {
+      if (w == info.home_node) continue;
+      if (std::find(group.begin(), group.end(), w) != group.end()) continue;
+      if (best < 0 || load_[w] < load_[best]) best = w;
+    }
+    if (best < 0) {
+      // Degraded group: fewer copies than requested.
+      group.erase(pos);
+      continue;
+    }
+    *pos = best;
+    load_[best] += info.weight;
+  }
+}
+
+uint64_t ReplicationManager::WorkerLoad(int node) const {
+  auto it = load_.find(node);
+  return it == load_.end() ? 0 : it->second;
+}
+
+}  // namespace rhino::rhino

@@ -1,0 +1,152 @@
+#include "rhino/replication_runtime.h"
+
+#include "common/logging.h"
+
+namespace rhino::rhino {
+
+/// One checkpoint's journey down a replica chain.
+struct ReplicationRuntime::Transfer {
+  std::string op;
+  uint32_t subtask = 0;
+  std::vector<int> path;  // [primary, replica_1, ..., replica_r]
+  uint64_t total_chunks = 0;
+  uint64_t chunk_bytes = 0;
+  uint64_t last_chunk_bytes = 0;
+  state::CheckpointDescriptor desc;
+  std::map<uint32_t, std::string> blobs;
+  std::function<void(Status)> done;
+
+  std::vector<uint64_t> next_to_send;  // per hop
+  std::vector<int> credits;            // per hop
+  std::vector<uint64_t> available;     // per path node: chunks received
+  std::vector<uint64_t> durable;       // per path node: chunks on disk
+  std::map<int, int> disk_cursor;
+  std::function<void()> finalize;
+  bool completed = false;
+
+  uint64_t ChunkSize(uint64_t index) const {
+    return index + 1 == total_chunks ? last_chunk_bytes : chunk_bytes;
+  }
+};
+
+void ReplicationRuntime::ReplicateCheckpoint(
+    const std::string& op, uint32_t subtask, int primary_node,
+    const state::CheckpointDescriptor& desc,
+    std::map<uint32_t, std::string> blobs, std::function<void(Status)> done) {
+  const std::vector<int>& group = manager_->Group(op, subtask);
+  uint64_t delta = desc.DeltaBytes();
+
+  auto transfer = std::make_shared<Transfer>();
+  transfer->op = op;
+  transfer->subtask = subtask;
+  transfer->path.push_back(primary_node);
+  for (int n : group) transfer->path.push_back(n);
+  transfer->chunk_bytes = options_.chunk_bytes;
+  transfer->total_chunks =
+      delta == 0 ? 0 : (delta + options_.chunk_bytes - 1) / options_.chunk_bytes;
+  transfer->last_chunk_bytes =
+      delta == 0 ? 0 : delta - (transfer->total_chunks - 1) * options_.chunk_bytes;
+  transfer->desc = desc;
+  transfer->blobs = std::move(blobs);
+  transfer->done = std::move(done);
+
+  size_t hops = transfer->path.size() - 1;
+  transfer->next_to_send.assign(hops, 0);
+  transfer->credits.assign(hops, options_.credit_window);
+  transfer->available.assign(transfer->path.size(), 0);
+  transfer->durable.assign(transfer->path.size(), 0);
+  transfer->available[0] = transfer->total_chunks;  // primary has everything
+  transfer->durable[0] = transfer->total_chunks;
+
+  auto finalize = [this, transfer] {
+    if (transfer->completed) return;
+    transfer->completed = true;
+    // Every chain member now owns a complete secondary copy.
+    std::string key = Key(transfer->op, transfer->subtask);
+    for (size_t i = 1; i < transfer->path.size(); ++i) {
+      ReplicaState& rep = replicas_[key][transfer->path[i]];
+      rep.latest_checkpoint_id = transfer->desc.checkpoint_id;
+      rep.latest_descriptor = transfer->desc;
+      for (const auto& [vnode, blob] : transfer->blobs) {
+        rep.vnode_blobs[vnode] = blob;
+      }
+    }
+    ++checkpoints_replicated_;
+    // Tail ack travels back up the chain, one hop latency each.
+    SimTime ack = options_.ack_latency * static_cast<SimTime>(transfer->path.size() - 1);
+    cluster_->sim()->Schedule(ack, [transfer] { transfer->done(Status::OK()); });
+  };
+
+  if (transfer->total_chunks == 0) {
+    finalize();
+    return;
+  }
+  transfer->finalize = std::move(finalize);
+  for (size_t hop = 0; hop < hops; ++hop) PumpHop(transfer, hop);
+}
+
+void ReplicationRuntime::PumpHop(std::shared_ptr<Transfer> transfer,
+                                 size_t hop) {
+  if (transfer->completed) return;
+  while (transfer->credits[hop] > 0 &&
+         transfer->next_to_send[hop] < transfer->available[hop]) {
+    uint64_t chunk = transfer->next_to_send[hop]++;
+    --transfer->credits[hop];
+    int in_flight = options_.credit_window - transfer->credits[hop];
+    max_in_flight_ = std::max(max_in_flight_, in_flight);
+
+    int src = transfer->path[hop];
+    int dst = transfer->path[hop + 1];
+    uint64_t bytes = transfer->ChunkSize(chunk);
+    bytes_replicated_ += bytes;
+    cluster_->Transfer(src, dst, bytes, [this, transfer, hop, bytes] {
+      // Chunk arrived at the receiver: it may flow further down the chain
+      // immediately (chain replication pipelines hops)...
+      size_t receiver = hop + 1;
+      ++transfer->available[receiver];
+      if (receiver < transfer->path.size() - 1) PumpHop(transfer, receiver);
+      // ...while the receiver spools it to disk asynchronously. The credit
+      // returns only once the chunk is durable (credit-based flow control:
+      // the sender can never overrun a slow receiver's storage).
+      int node_id = transfer->path[receiver];
+      sim::Node& node = cluster_->node(node_id);
+      int disk = transfer->disk_cursor[node_id]++ % node.num_disks();
+      node.disk(disk).Write(bytes, [this, transfer, hop, receiver] {
+        ++transfer->durable[receiver];
+        ++transfer->credits[hop];
+        PumpHop(transfer, hop);
+        if (receiver == transfer->path.size() - 1 &&
+            transfer->durable[receiver] == transfer->total_chunks) {
+          transfer->finalize();
+        }
+      });
+    });
+  }
+}
+
+const ReplicaState* ReplicationRuntime::ReplicaOn(const std::string& op,
+                                                  uint32_t subtask,
+                                                  int node) const {
+  auto it = replicas_.find(Key(op, subtask));
+  if (it == replicas_.end()) return nullptr;
+  auto nit = it->second.find(node);
+  if (nit == it->second.end()) return nullptr;
+  return &nit->second;
+}
+
+void ReplicationRuntime::SeedReplica(const std::string& op, uint32_t subtask,
+                                     const state::CheckpointDescriptor& desc,
+                                     std::map<uint32_t, std::string> blobs) {
+  const std::vector<int>& group = manager_->Group(op, subtask);
+  std::string key = Key(op, subtask);
+  for (int node : group) {
+    ReplicaState& rep = replicas_[key][node];
+    rep.latest_checkpoint_id = desc.checkpoint_id;
+    rep.latest_descriptor = desc;
+    for (const auto& [vnode, blob] : blobs) {
+      rep.vnode_blobs[vnode] = blob;
+    }
+  }
+}
+
+}  // namespace rhino::rhino

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rhino/replication_manager.h"
+#include "sim/cluster.h"
+#include "state/checkpoint.h"
+
+/// \file replication_runtime.h
+/// Rhino's distributed replication runtime (paper §4.2.2 phase 2).
+///
+/// State-centric, primary/secondary replication with **chain replication**
+/// and **credit-based flow control**: the primary cuts the incremental
+/// checkpoint into chunks and streams them down its replica chain. A chunk
+/// occupies one credit from send until the receiving worker has spooled it
+/// to disk, bounding the memory the protocol can pin on any worker. The
+/// tail acknowledges up the chain once every chunk is durable; when the
+/// head receives the ack the checkpoint is marked complete.
+///
+/// The runtime doubles as the replica catalog: which node holds which
+/// instance's checkpoints (descriptors, per-vnode content blobs, and
+/// replay watermarks) — what the Handover Manager consults to pick targets
+/// whose state fetch is purely local.
+
+namespace rhino::rhino {
+
+struct ReplicationOptions {
+  uint64_t chunk_bytes = 8 * kMiB;
+  /// Credits per hop: max chunks in flight towards one receiver.
+  int credit_window = 4;
+  /// One-way latency of a (tiny) ack message.
+  SimTime ack_latency = 200;
+};
+
+/// Everything the replicas know about one instance's latest state.
+struct ReplicaState {
+  uint64_t latest_checkpoint_id = 0;
+  state::CheckpointDescriptor latest_descriptor;
+  /// Per-vnode content blob (real mode carries values; modeled mode
+  /// carries byte counts). Keyed by vnode.
+  std::map<uint32_t, std::string> vnode_blobs;
+};
+
+/// Chain-replication engine + replica catalog.
+class ReplicationRuntime {
+ public:
+  ReplicationRuntime(sim::Cluster* cluster, ReplicationManager* manager,
+                     ReplicationOptions options = ReplicationOptions())
+      : cluster_(cluster), manager_(manager), options_(options) {}
+
+  /// Asynchronously replicates the *delta* of `desc` from `primary_node`
+  /// through the instance's replica chain. `blobs` carries the per-vnode
+  /// content snapshot stored at the replicas for recovery. `done` fires
+  /// when the head receives the tail's acknowledgment.
+  void ReplicateCheckpoint(const std::string& op, uint32_t subtask,
+                           int primary_node,
+                           const state::CheckpointDescriptor& desc,
+                           std::map<uint32_t, std::string> blobs,
+                           std::function<void(Status)> done);
+
+  /// Latest state fully replicated on `node` for the instance, or nullptr
+  /// when that node holds no (complete) copy.
+  const ReplicaState* ReplicaOn(const std::string& op, uint32_t subtask,
+                                int node) const;
+
+  /// Seeds a fully-replicated checkpoint without modeling any transfer
+  /// (pre-experiment state, "previous checkpoints already replicated").
+  void SeedReplica(const std::string& op, uint32_t subtask,
+                   const state::CheckpointDescriptor& desc,
+                   std::map<uint32_t, std::string> blobs);
+
+  // ---- diagnostics ----
+  uint64_t bytes_replicated() const { return bytes_replicated_; }
+  int max_in_flight_chunks() const { return max_in_flight_; }
+  uint64_t checkpoints_replicated() const { return checkpoints_replicated_; }
+
+ private:
+  struct Transfer;
+  void PumpHop(std::shared_ptr<Transfer> transfer, size_t hop);
+
+  static std::string Key(const std::string& op, uint32_t subtask) {
+    return op + "#" + std::to_string(subtask);
+  }
+
+  sim::Cluster* cluster_;
+  ReplicationManager* manager_;
+  ReplicationOptions options_;
+
+  /// replica catalog: instance key -> node -> state
+  std::map<std::string, std::map<int, ReplicaState>> replicas_;
+
+  uint64_t bytes_replicated_ = 0;
+  uint64_t checkpoints_replicated_ = 0;
+  int max_in_flight_ = 0;
+};
+
+}  // namespace rhino::rhino

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "sim/resource.h"
+#include "sim/simulation.h"
+
+/// \file cluster.h
+/// Modeled cluster of worker nodes.
+///
+/// Node parameters default to the paper's testbed: GCP `n1-standard-16`
+/// VMs with 16 vcores, 64 GiB RAM, two local NVMe SSDs, and a
+/// 2 Gbps-per-vcore virtual network (= 4 GB/s full duplex per VM).
+
+namespace rhino::sim {
+
+/// Hardware description of one node.
+struct NodeSpec {
+  int cores = 16;
+  uint64_t memory_bytes = 64 * kGiB;
+  double net_bytes_per_sec = 4.0e9;   // 32 Gbps full duplex
+  SimTime net_latency = 200;          // us, propagation + framing
+  int num_disks = 2;
+  double disk_write_bytes_per_sec = 1.0e9;  // NVMe SSD
+  double disk_read_bytes_per_sec = 2.0e9;
+};
+
+/// One local NVMe SSD with independent read and write service queues.
+class Disk {
+ public:
+  Disk(Simulation* sim, const std::string& name, const NodeSpec& spec)
+      : read_(sim, name + "/read", spec.disk_read_bytes_per_sec),
+        write_(sim, name + "/write", spec.disk_write_bytes_per_sec) {}
+
+  SimTime Read(uint64_t bytes, std::function<void()> done = nullptr) {
+    return read_.Submit(bytes, std::move(done));
+  }
+  SimTime Write(uint64_t bytes, std::function<void()> done = nullptr) {
+    return write_.Submit(bytes, std::move(done));
+  }
+
+  QueueResource& read_queue() { return read_; }
+  QueueResource& write_queue() { return write_; }
+
+ private:
+  QueueResource read_;
+  QueueResource write_;
+};
+
+/// One modeled VM: full-duplex NIC, disks, memory budget, liveness flag.
+class Node {
+ public:
+  Node(Simulation* sim, int id, const NodeSpec& spec)
+      : id_(id),
+        spec_(spec),
+        tx_(sim, "node" + std::to_string(id) + "/tx", spec.net_bytes_per_sec),
+        rx_(sim, "node" + std::to_string(id) + "/rx", spec.net_bytes_per_sec) {
+    for (int d = 0; d < spec.num_disks; ++d) {
+      disks_.push_back(std::make_unique<Disk>(
+          sim, "node" + std::to_string(id) + "/disk" + std::to_string(d), spec));
+    }
+  }
+
+  int id() const { return id_; }
+  const NodeSpec& spec() const { return spec_; }
+  bool alive() const { return alive_; }
+  void set_alive(bool alive) { alive_ = alive; }
+
+  QueueResource& tx() { return tx_; }
+  QueueResource& rx() { return rx_; }
+  Disk& disk(int i) { return *disks_[static_cast<size_t>(i) % disks_.size()]; }
+  int num_disks() const { return static_cast<int>(disks_.size()); }
+
+  /// Tracks modeled heap usage (Megaphone's in-memory state lives here).
+  /// Returns false when the allocation would exceed the node's memory.
+  bool AllocateMemory(uint64_t bytes) {
+    if (memory_used_ + bytes > spec_.memory_bytes) return false;
+    memory_used_ += bytes;
+    return true;
+  }
+  void FreeMemory(uint64_t bytes) {
+    memory_used_ = bytes > memory_used_ ? 0 : memory_used_ - bytes;
+  }
+  uint64_t memory_used() const { return memory_used_; }
+
+  /// Cumulative modeled CPU busy time across all operator instances pinned
+  /// to this node (filled in by the dataflow runtime).
+  void AddCpuBusy(SimTime us) { cpu_busy_us_ += us; }
+  SimTime cpu_busy_us() const { return cpu_busy_us_; }
+
+ private:
+  int id_;
+  NodeSpec spec_;
+  QueueResource tx_;
+  QueueResource rx_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+  bool alive_ = true;
+  uint64_t memory_used_ = 0;
+  SimTime cpu_busy_us_ = 0;
+};
+
+/// The modeled cluster: a set of nodes sharing one simulation clock.
+class Cluster {
+ public:
+  Cluster(Simulation* sim, int num_nodes, const NodeSpec& spec = NodeSpec())
+      : sim_(sim) {
+    for (int i = 0; i < num_nodes; ++i) {
+      nodes_.push_back(std::make_unique<Node>(sim, i, spec));
+    }
+  }
+
+  Simulation* sim() { return sim_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  Node& node(int id) { return *nodes_[static_cast<size_t>(id)]; }
+
+  /// Fail-stop failure of a node (paper §4.2.3 fault model).
+  void FailNode(int id) { node(id).set_alive(false); }
+
+  /// Transfers `bytes` between two nodes (or hands it to the local
+  /// loopback, which is free, when src == dst).
+  SimTime Transfer(int src, int dst, uint64_t bytes,
+                   std::function<void()> done = nullptr) {
+    if (src == dst) {
+      SimTime end = sim_->Now();
+      if (done) sim_->ScheduleAt(end, std::move(done));
+      return end;
+    }
+    Node& s = node(src);
+    Node& d = node(dst);
+    return NetworkTransfer(sim_, &s.tx(), &d.rx(), bytes, s.spec().net_latency,
+                           std::move(done));
+  }
+
+ private:
+  Simulation* sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace rhino::sim

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+/// \file simulation.h
+/// Deterministic discrete-event simulation kernel.
+///
+/// The kernel substitutes for the paper's physical 16-VM cluster: all
+/// runtime components (channels, disks, replication chains, operators) are
+/// driven by events on a single simulated clock. Determinism comes from a
+/// strict (time, sequence-number) ordering of events, so every experiment
+/// is exactly reproducible.
+
+namespace rhino::sim {
+
+/// Event-driven scheduler with a simulated microsecond clock.
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` microseconds from now (delay >= 0).
+  void Schedule(SimTime delay, Callback fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+
+  /// Schedules `fn` at absolute time `t` (clamped to now).
+  void ScheduleAt(SimTime t, Callback fn) {
+    if (t < now_) t = now_;
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  /// Runs one event; returns false when the queue is empty.
+  bool Step() {
+    if (queue_.empty()) return false;
+    // std::priority_queue::top returns const&; the callback must be moved
+    // out before pop, so we const_cast the (about to be destroyed) node.
+    Event& ev = const_cast<Event&>(queue_.top());
+    now_ = ev.time;
+    Callback fn = std::move(ev.fn);
+    queue_.pop();
+    fn();
+    return true;
+  }
+
+  /// Runs until the event queue drains.
+  void Run() {
+    while (Step()) {
+    }
+  }
+
+  /// Runs all events with time <= `t`, then advances the clock to `t`.
+  void RunUntil(SimTime t) {
+    while (!queue_.empty() && queue_.top().time <= t) Step();
+    if (now_ < t) now_ = t;
+  }
+
+  /// Number of pending events.
+  size_t PendingEvents() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    Callback fn;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace rhino::sim

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+/// \file checkpoint.h
+/// Checkpoint descriptors: the currency of Rhino's protocols.
+///
+/// Replication, DFS upload, recovery, and handover never interpret state
+/// *values* — they move immutable checkpoint *files* described by name and
+/// size. This is what lets one protocol implementation serve both the
+/// real (LSM-backed) and the modeled (byte-accounted) state backends.
+
+namespace rhino::state {
+
+/// One immutable file captured by a checkpoint.
+struct StateFile {
+  std::string name;
+  uint64_t bytes = 0;
+  bool operator==(const StateFile&) const = default;
+};
+
+/// Point-in-time description of one operator instance's state.
+struct CheckpointDescriptor {
+  uint64_t checkpoint_id = 0;
+  std::string operator_name;
+  uint32_t instance_id = 0;
+
+  /// Every live file (the full state).
+  std::vector<StateFile> files;
+  /// Files new since the previous checkpoint of this instance — the only
+  /// bytes Rhino's incremental replication ships.
+  std::vector<StateFile> delta_files;
+
+  /// State size per virtual node, the granularity of a handover.
+  std::map<uint32_t, uint64_t> vnode_bytes;
+
+  /// Offset bookkeeping for sources (exactly-once replay).
+  std::map<int, uint64_t> source_offsets;
+
+  /// Per-(vnode, source) replay watermarks captured with the snapshot: the
+  /// next source offset whose records are NOT yet reflected in this state.
+  /// A target restoring the snapshot resumes deduplication from here.
+  std::map<uint32_t, std::map<int, uint64_t>> vnode_watermarks;
+
+  uint64_t TotalBytes() const {
+    uint64_t total = 0;
+    for (const auto& f : files) total += f.bytes;
+    return total;
+  }
+
+  uint64_t DeltaBytes() const {
+    uint64_t total = 0;
+    for (const auto& f : delta_files) total += f.bytes;
+    return total;
+  }
+};
+
+/// Computes `current - previous` at file granularity: which files of
+/// `current` did not exist in `previous`.
+inline std::vector<StateFile> DeltaFiles(const std::vector<StateFile>& previous,
+                                         const std::vector<StateFile>& current) {
+  std::set<std::string> old_names;
+  for (const auto& f : previous) old_names.insert(f.name);
+  std::vector<StateFile> delta;
+  for (const auto& f : current) {
+    if (!old_names.count(f.name)) delta.push_back(f);
+  }
+  return delta;
+}
+
+}  // namespace rhino::state

@@ -1,0 +1,161 @@
+#include "state/lsm_state_backend.h"
+
+#include "common/serde.h"
+
+namespace rhino::state {
+
+Result<std::unique_ptr<LsmStateBackend>> LsmStateBackend::Open(
+    lsm::Env* env, std::string dir, std::string operator_name,
+    uint32_t instance_id, lsm::Options options) {
+  auto backend = std::unique_ptr<LsmStateBackend>(new LsmStateBackend(
+      env, std::move(dir), std::move(operator_name), instance_id));
+  RHINO_ASSIGN_OR_RETURN(backend->db_,
+                         lsm::DB::Open(env, backend->dir_, options));
+  return backend;
+}
+
+std::string LsmStateBackend::EncodeKey(uint32_t vnode, std::string_view key) {
+  // Big-endian vnode prefix keeps each vnode's keys contiguous and sorted.
+  std::string out;
+  out.reserve(4 + key.size());
+  out.push_back(static_cast<char>(vnode >> 24));
+  out.push_back(static_cast<char>(vnode >> 16));
+  out.push_back(static_cast<char>(vnode >> 8));
+  out.push_back(static_cast<char>(vnode));
+  out.append(key);
+  return out;
+}
+
+Status LsmStateBackend::Put(uint32_t vnode, std::string_view key,
+                            std::string_view value, uint64_t nominal_bytes) {
+  RHINO_RETURN_NOT_OK(db_->Put(EncodeKey(vnode, key), value));
+  vnode_bytes_[vnode] += nominal_bytes;
+  return Status::OK();
+}
+
+Status LsmStateBackend::Get(uint32_t vnode, std::string_view key,
+                            std::string* value) {
+  return db_->Get(EncodeKey(vnode, key), value);
+}
+
+Status LsmStateBackend::Delete(uint32_t vnode, std::string_view key,
+                               uint64_t nominal_bytes) {
+  RHINO_RETURN_NOT_OK(db_->Delete(EncodeKey(vnode, key)));
+  auto it = vnode_bytes_.find(vnode);
+  if (it != vnode_bytes_.end()) {
+    it->second = nominal_bytes > it->second ? 0 : it->second - nominal_bytes;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<std::string, std::string>>>
+LsmStateBackend::ScanVnode(uint32_t vnode) {
+  RHINO_ASSIGN_OR_RETURN(
+      auto it, db_->NewIterator(EncodeKey(vnode, ""), EncodeKey(vnode + 1, "")));
+  std::vector<std::pair<std::string, std::string>> out;
+  for (; it.Valid(); it.Next()) {
+    out.emplace_back(it.key().substr(4), it.value());
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<std::string, std::string>>>
+LsmStateBackend::ScanPrefix(uint32_t vnode, std::string_view prefix) {
+  // Upper bound: the prefix with its last byte incremented (carrying over
+  // 0xff bytes). An all-0xff prefix falls back to the vnode end.
+  std::string begin = EncodeKey(vnode, prefix);
+  std::string end = begin;
+  while (!end.empty() && static_cast<uint8_t>(end.back()) == 0xff) end.pop_back();
+  if (end.empty()) {
+    end = EncodeKey(vnode + 1, "");
+  } else {
+    end.back() = static_cast<char>(static_cast<uint8_t>(end.back()) + 1);
+  }
+  RHINO_ASSIGN_OR_RETURN(auto it, db_->NewIterator(begin, end));
+  std::vector<std::pair<std::string, std::string>> out;
+  for (; it.Valid(); it.Next()) {
+    out.emplace_back(it.key().substr(4), it.value());
+  }
+  return out;
+}
+
+uint64_t LsmStateBackend::SizeBytes() const {
+  uint64_t total = 0;
+  for (const auto& [_, bytes] : vnode_bytes_) total += bytes;
+  return total;
+}
+
+uint64_t LsmStateBackend::VnodeBytes(uint32_t vnode) const {
+  auto it = vnode_bytes_.find(vnode);
+  return it == vnode_bytes_.end() ? 0 : it->second;
+}
+
+Result<CheckpointDescriptor> LsmStateBackend::Checkpoint(
+    uint64_t checkpoint_id) {
+  std::string ckpt_dir = dir_ + "-chk-" + std::to_string(checkpoint_id);
+  RHINO_ASSIGN_OR_RETURN(auto info, db_->CreateCheckpoint(ckpt_dir));
+
+  CheckpointDescriptor desc;
+  desc.checkpoint_id = checkpoint_id;
+  desc.operator_name = operator_name_;
+  desc.instance_id = instance_id_;
+  for (const auto& f : info.files) {
+    desc.files.push_back(StateFile{f.name, f.size});
+  }
+  desc.delta_files = DeltaFiles(last_checkpoint_files_, desc.files);
+  desc.vnode_bytes = vnode_bytes_;
+  last_checkpoint_files_ = desc.files;
+  return desc;
+}
+
+Result<std::string> LsmStateBackend::ExtractVnodes(
+    const std::vector<uint32_t>& vnodes) {
+  std::string blob;
+  BinaryWriter w(&blob);
+  w.PutU32(static_cast<uint32_t>(vnodes.size()));
+  for (uint32_t v : vnodes) {
+    RHINO_ASSIGN_OR_RETURN(auto entries, ScanVnode(v));
+    w.PutU32(v);
+    w.PutU64(VnodeBytes(v));
+    w.PutU64(entries.size());
+    for (const auto& [key, value] : entries) {
+      w.PutString(key);
+      w.PutString(value);
+    }
+  }
+  return blob;
+}
+
+Status LsmStateBackend::IngestVnodes(std::string_view blob, bool) {
+  BinaryReader r(blob);
+  uint32_t num_vnodes = 0;
+  RHINO_RETURN_NOT_OK(r.GetU32(&num_vnodes));
+  for (uint32_t i = 0; i < num_vnodes; ++i) {
+    uint32_t vnode = 0;
+    uint64_t nominal = 0, count = 0;
+    RHINO_RETURN_NOT_OK(r.GetU32(&vnode));
+    RHINO_RETURN_NOT_OK(r.GetU64(&nominal));
+    RHINO_RETURN_NOT_OK(r.GetU64(&count));
+    for (uint64_t e = 0; e < count; ++e) {
+      std::string key, value;
+      RHINO_RETURN_NOT_OK(r.GetString(&key));
+      RHINO_RETURN_NOT_OK(r.GetString(&value));
+      RHINO_RETURN_NOT_OK(db_->Put(EncodeKey(vnode, key), value));
+    }
+    vnode_bytes_[vnode] += nominal;
+  }
+  return Status::OK();
+}
+
+Status LsmStateBackend::DropVnodes(const std::vector<uint32_t>& vnodes) {
+  for (uint32_t v : vnodes) {
+    RHINO_ASSIGN_OR_RETURN(auto entries, ScanVnode(v));
+    for (const auto& [key, _] : entries) {
+      RHINO_RETURN_NOT_OK(db_->Delete(EncodeKey(v, key)));
+    }
+    vnode_bytes_.erase(v);
+  }
+  return Status::OK();
+}
+
+}  // namespace rhino::state

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "state/checkpoint.h"
+
+/// \file state_backend.h
+/// Mutable keyed operator state (paper §3.4, R3).
+///
+/// State is partitioned by virtual node so that a handover can extract and
+/// ingest exactly the virtual nodes being migrated. Two implementations:
+///
+///  * `LsmStateBackend`  — real bytes in the embedded LSM store; used by
+///    correctness tests, the examples, and small-scale benchmarks.
+///  * `ModeledStateBackend` — per-vnode byte accounting without values;
+///    used by the TB-scale simulation benches where materializing state
+///    is impossible. Produces the same `CheckpointDescriptor`s, so every
+///    protocol above this interface is identical code in both modes.
+
+namespace rhino::state {
+
+/// Abstract keyed state store scoped to one operator instance.
+class StateBackend {
+ public:
+  virtual ~StateBackend() = default;
+
+  /// Inserts/overwrites a key in `vnode`. `nominal_bytes` is the modeled
+  /// payload size (real backends may additionally store the value bytes).
+  virtual Status Put(uint32_t vnode, std::string_view key,
+                     std::string_view value, uint64_t nominal_bytes) = 0;
+
+  /// Point lookup; NotFound when absent.
+  virtual Status Get(uint32_t vnode, std::string_view key,
+                     std::string* value) = 0;
+
+  virtual Status Delete(uint32_t vnode, std::string_view key,
+                        uint64_t nominal_bytes) = 0;
+
+  /// All live key-value pairs of a vnode, in key order. Only meaningful
+  /// for real backends (modeled backends return empty).
+  virtual Result<std::vector<std::pair<std::string, std::string>>> ScanVnode(
+      uint32_t vnode) = 0;
+
+  /// Live pairs of `vnode` whose key starts with `prefix`, in key order.
+  virtual Result<std::vector<std::pair<std::string, std::string>>> ScanPrefix(
+      uint32_t vnode, std::string_view prefix) = 0;
+
+  /// Current state footprint in (nominal) bytes.
+  virtual uint64_t SizeBytes() const = 0;
+  virtual uint64_t VnodeBytes(uint32_t vnode) const = 0;
+
+  /// Takes an incremental checkpoint: flush, persist immutable files, and
+  /// describe them. `delta_files` is relative to the previous checkpoint
+  /// taken through this backend.
+  virtual Result<CheckpointDescriptor> Checkpoint(uint64_t checkpoint_id) = 0;
+
+  /// Serializes the live contents of `vnodes` for a handover transfer.
+  /// Real backends emit the actual entries; modeled backends emit a
+  /// size-only placeholder. Returns the blob (wire format is backend-
+  /// internal; pass to IngestVnodes of a backend of the same kind).
+  virtual Result<std::string> ExtractVnodes(
+      const std::vector<uint32_t>& vnodes) = 0;
+
+  /// Ingests a blob produced by ExtractVnodes on the origin instance.
+  /// `already_durable` marks bytes that came out of a replicated/persisted
+  /// checkpoint: they must not surface in this backend's next incremental
+  /// delta (they are on disk already); a live migration tail is not
+  /// durable and becomes part of the next delta.
+  virtual Status IngestVnodes(std::string_view blob,
+                              bool already_durable = false) = 0;
+
+  /// Drops all state of `vnodes` (origin side after a successful handover).
+  virtual Status DropVnodes(const std::vector<uint32_t>& vnodes) = 0;
+};
+
+}  // namespace rhino::state

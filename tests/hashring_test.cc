@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "hashring/key_groups.h"
+
+namespace rhino::hashring {
+namespace {
+
+TEST(KeyGroupTest, StableMapping) {
+  for (uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_EQ(KeyGroupFor(key, 1 << 15), KeyGroupFor(key, 1 << 15));
+  }
+}
+
+TEST(KeyGroupTest, WithinBounds) {
+  const uint32_t n = 1 << 15;
+  for (uint64_t key = 0; key < 10000; ++key) {
+    EXPECT_LT(KeyGroupFor(key, n), n);
+  }
+}
+
+TEST(KeyGroupTest, RoughlyUniformOverGroups) {
+  const uint32_t n = 64;
+  std::map<uint32_t, int> counts;
+  for (uint64_t key = 0; key < 64000; ++key) ++counts[KeyGroupFor(key, n)];
+  for (const auto& [kg, c] : counts) {
+    EXPECT_GT(c, 700) << "key group " << kg;
+    EXPECT_LT(c, 1300) << "key group " << kg;
+  }
+}
+
+TEST(VirtualNodeMapTest, RangesPartitionKeyGroups) {
+  VirtualNodeMap map(1 << 15, /*parallelism=*/64, /*vnodes_per_instance=*/4);
+  EXPECT_EQ(map.num_vnodes(), 256u);
+  uint32_t covered = 0;
+  uint32_t prev_end = 0;
+  for (uint32_t v = 0; v < map.num_vnodes(); ++v) {
+    const KeyGroupRange& r = map.range(v);
+    EXPECT_EQ(r.begin, prev_end) << "ranges must be contiguous";
+    EXPECT_GT(r.end, r.begin);
+    covered += r.size();
+    prev_end = r.end;
+  }
+  EXPECT_EQ(covered, 1u << 15);
+}
+
+TEST(VirtualNodeMapTest, UnevenDivisionDiffersByAtMostOne) {
+  VirtualNodeMap map(/*num_key_groups=*/10, /*parallelism=*/3,
+                     /*vnodes_per_instance=*/1);
+  uint32_t min_size = ~0u, max_size = 0;
+  for (uint32_t v = 0; v < map.num_vnodes(); ++v) {
+    min_size = std::min(min_size, map.range(v).size());
+    max_size = std::max(max_size, map.range(v).size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(VirtualNodeMapTest, VnodeForKeyGroupInvertsRanges) {
+  VirtualNodeMap map(1000, 8, 4);
+  for (uint32_t kg = 0; kg < 1000; ++kg) {
+    uint32_t v = map.VnodeForKeyGroup(kg);
+    EXPECT_TRUE(map.range(v).Contains(kg)) << "kg=" << kg << " vnode=" << v;
+  }
+}
+
+TEST(VirtualNodeMapTest, VnodeForKeyConsistentWithKeyGroup) {
+  VirtualNodeMap map(1 << 15, 8, 4);
+  for (uint64_t key = 0; key < 5000; ++key) {
+    uint32_t kg = KeyGroupFor(key, map.num_key_groups());
+    EXPECT_EQ(map.VnodeForKey(key), map.VnodeForKeyGroup(kg));
+  }
+}
+
+TEST(RoutingTableTest, DefaultAssignmentIsContiguousBlocks) {
+  VirtualNodeMap map(1024, /*parallelism=*/4, /*vnodes_per_instance=*/4);
+  RoutingTable table(&map);
+  for (uint32_t v = 0; v < map.num_vnodes(); ++v) {
+    EXPECT_EQ(table.InstanceForVnode(v), v / 4);
+  }
+  EXPECT_EQ(table.VnodesOfInstance(0),
+            (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(RoutingTableTest, ReassignMovesExactlyTheSelectedVnode) {
+  VirtualNodeMap map(1024, 4, 4);
+  RoutingTable table(&map);
+  uint64_t v0 = table.version();
+  table.Assign(5, 3);  // vnode 5 (instance 1) -> instance 3
+  EXPECT_EQ(table.InstanceForVnode(5), 3u);
+  EXPECT_EQ(table.InstanceForVnode(4), 1u);
+  EXPECT_EQ(table.InstanceForVnode(6), 1u);
+  EXPECT_EQ(table.version(), v0 + 1);
+}
+
+TEST(RoutingTableTest, KeysFollowVnodeReassignment) {
+  VirtualNodeMap map(1024, 4, 4);
+  RoutingTable table(&map);
+  // Find a key routed through vnode 5.
+  uint64_t key = 0;
+  while (map.VnodeForKey(key) != 5) ++key;
+  EXPECT_EQ(table.InstanceForKey(key), 1u);
+  table.Assign(5, 2);
+  EXPECT_EQ(table.InstanceForKey(key), 2u);
+}
+
+TEST(RoutingTableTest, MovingHalfTheVnodesBalancesLoad) {
+  // The paper's load-balancing experiment moves half the virtual nodes of
+  // an instance to another one.
+  VirtualNodeMap map(1 << 15, 2, 4);
+  RoutingTable table(&map);
+  auto vnodes = table.VnodesOfInstance(0);
+  ASSERT_EQ(vnodes.size(), 4u);
+  table.Assign(vnodes[0], 1);
+  table.Assign(vnodes[1], 1);
+  EXPECT_EQ(table.VnodesOfInstance(0).size(), 2u);
+  EXPECT_EQ(table.VnodesOfInstance(1).size(), 6u);
+
+  // Key-space share follows: roughly 1/4 of keys stay at instance 0.
+  int at0 = 0;
+  const int kKeys = 20000;
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    if (table.InstanceForKey(key) == 0) ++at0;
+  }
+  EXPECT_NEAR(static_cast<double>(at0) / kKeys, 0.25, 0.03);
+}
+
+}  // namespace
+}  // namespace rhino::hashring

@@ -1,0 +1,132 @@
+// Whole-system integration tests over the experiment harness: each one is
+// a miniature paper scenario, asserting the *relationships* the
+// evaluation depends on (who is faster, what scales with what, and that
+// the simulation is deterministic).
+
+#include <gtest/gtest.h>
+
+#include "harness.h"
+
+namespace rhino::bench {
+namespace {
+
+Testbed::RecoveryBreakdown RunRecovery(Sut sut, uint64_t state_bytes) {
+  TestbedOptions opts;
+  opts.sut = sut;
+  opts.query = "NBQ8";
+  opts.checkpoint_interval = kMinute;
+  Testbed tb(opts);
+  tb.SeedState(state_bytes);
+  tb.Start();
+  tb.Run(5 * kSecond);
+  if (sut != Sut::kMegaphone) {
+    tb.engine.TriggerCheckpoint();
+    tb.Run(20 * kSecond);
+  }
+  tb.StopGenerators();
+  tb.FailWorker(0);
+  return tb.Recover(0);
+}
+
+TEST(IntegrationTest, RhinoRecoveryIsFlatInStateSize) {
+  auto small = RunRecovery(Sut::kRhino, 64 * kGiB);
+  auto large = RunRecovery(Sut::kRhino, 512 * kGiB);
+  EXPECT_LT(small.total_us, 10 * kSecond);
+  // Local fetch: size-independent within a small tolerance.
+  EXPECT_NEAR(ToSeconds(large.total_us), ToSeconds(small.total_us), 1.0);
+}
+
+TEST(IntegrationTest, FlinkRecoveryGrowsLinearlyWithState) {
+  auto small = RunRecovery(Sut::kFlink, 128 * kGiB);
+  auto large = RunRecovery(Sut::kFlink, 256 * kGiB);
+  double ratio = static_cast<double>(large.state_fetch_us) /
+                 static_cast<double>(small.state_fetch_us);
+  EXPECT_NEAR(ratio, 2.0, 0.5) << "fetch should scale ~linearly";
+}
+
+TEST(IntegrationTest, OrderingFlinkSlowerThanRhinoDfsSlowerThanRhino) {
+  auto flink = RunRecovery(Sut::kFlink, 128 * kGiB);
+  auto rhino_dfs = RunRecovery(Sut::kRhinoDfs, 128 * kGiB);
+  auto rhino = RunRecovery(Sut::kRhino, 128 * kGiB);
+  EXPECT_GT(flink.total_us, rhino_dfs.total_us);
+  EXPECT_GT(rhino_dfs.total_us, rhino.total_us);
+}
+
+TEST(IntegrationTest, MegaphoneOomBoundaryMatchesClusterMemory) {
+  // 8 workers x 64 GiB = 512 GiB; just below fits, 750 GB does not.
+  auto fits = RunRecovery(Sut::kMegaphone, 500 * kGiB);
+  EXPECT_FALSE(fits.oom);
+  EXPECT_GT(fits.total_us, 0);
+  auto oom = RunRecovery(Sut::kMegaphone, 750 * kGiB);
+  EXPECT_TRUE(oom.oom);
+}
+
+TEST(IntegrationTest, SimulationIsDeterministic) {
+  auto run = [] {
+    TestbedOptions opts;
+    opts.sut = Sut::kRhino;
+    opts.query = "NBQ8";
+    opts.checkpoint_interval = kMinute;
+    Testbed tb(opts);
+    tb.SeedState(32 * kGiB);
+    tb.Start();
+    tb.Run(90 * kSecond);
+    tb.FailWorker(1);
+    auto breakdown = tb.Recover(1);
+    tb.Run(30 * kSecond);
+    return std::make_pair(breakdown.total_us, tb.TotalStateBytes());
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(IntegrationTest, RecoveryHandoversAllComplete) {
+  TestbedOptions opts;
+  opts.sut = Sut::kRhino;
+  opts.query = "NBQX";  // five stateful operators -> five handovers
+  opts.checkpoint_interval = kMinute;
+  Testbed tb(opts);
+  tb.SeedState(64 * kGiB);
+  tb.Start();
+  tb.Run(70 * kSecond);
+  tb.FailWorker(2);
+  tb.Recover(2);
+  tb.Run(30 * kSecond);
+  ASSERT_EQ(tb.engine.handovers().size(), 5u);
+  for (const auto& record : tb.engine.handovers()) {
+    EXPECT_TRUE(record.completed);
+  }
+  // The failed node owns nothing afterwards.
+  for (auto* inst : tb.engine.stateful()) {
+    if (inst->node_id() == 2) {
+      EXPECT_TRUE(inst->halted());
+    }
+  }
+}
+
+TEST(IntegrationTest, LoadBalanceMovesOnlyTailBytes) {
+  TestbedOptions opts;
+  opts.sut = Sut::kRhino;
+  opts.query = "NBQ8";
+  opts.checkpoint_interval = kMinute;
+  Testbed tb(opts);
+  tb.SeedState(64 * kGiB);
+  tb.Start();
+  tb.Run(70 * kSecond);  // one checkpoint -> replicas up to date
+  tb.TriggerLoadBalance(opts.num_workers, 0.5);
+  tb.Run(60 * kSecond);
+
+  ASSERT_FALSE(tb.engine.handovers().empty());
+  const auto& record = tb.engine.handovers().back();
+  EXPECT_TRUE(record.completed);
+  const rhino::HandoverStats* stats = tb.hm->StatsFor(record.spec->id);
+  ASSERT_NE(stats, nullptr);
+  // Rhino ships at most the incremental tail, a tiny fraction of the
+  // ~8 GiB that changed hands logically.
+  EXPECT_LT(stats->bytes_transferred, 2 * kGiB);
+}
+
+}  // namespace
+}  // namespace rhino::bench

@@ -1,0 +1,581 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/random.h"
+#include "lsm/bloom.h"
+#include "lsm/db.h"
+#include "lsm/env.h"
+#include "lsm/memtable.h"
+#include "lsm/sstable.h"
+
+namespace rhino::lsm {
+namespace {
+
+std::string Key(int i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "key%08d", i);
+  return buf;
+}
+
+// ------------------------------------------------------------------- Env --
+
+TEST(MemEnvTest, WriteReadRoundTrip) {
+  MemEnv env;
+  ASSERT_TRUE(env.WriteFile("/a", "hello").ok());
+  std::string out;
+  ASSERT_TRUE(env.ReadFile("/a", &out).ok());
+  EXPECT_EQ(out, "hello");
+  EXPECT_EQ(env.GetFileSize("/a").value(), 5u);
+}
+
+TEST(MemEnvTest, MissingFileIsNotFound) {
+  MemEnv env;
+  std::string out;
+  EXPECT_TRUE(env.ReadFile("/missing", &out).IsNotFound());
+  EXPECT_FALSE(env.FileExists("/missing"));
+}
+
+TEST(MemEnvTest, HardLinkSharesContent) {
+  MemEnv env;
+  ASSERT_TRUE(env.WriteFile("/a", std::string(1000, 'x')).ok());
+  ASSERT_TRUE(env.LinkFile("/a", "/b").ok());
+  EXPECT_EQ(env.UniqueContentBytes(), 1000u);
+  // Deleting one name keeps the other alive.
+  ASSERT_TRUE(env.DeleteFile("/a").ok());
+  std::string out;
+  ASSERT_TRUE(env.ReadFile("/b", &out).ok());
+  EXPECT_EQ(out.size(), 1000u);
+}
+
+TEST(MemEnvTest, LinkToExistingNameFails) {
+  MemEnv env;
+  ASSERT_TRUE(env.WriteFile("/a", "1").ok());
+  ASSERT_TRUE(env.WriteFile("/b", "2").ok());
+  EXPECT_EQ(env.LinkFile("/a", "/b").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(MemEnvTest, ListDirReturnsDirectChildrenOnly) {
+  MemEnv env;
+  ASSERT_TRUE(env.CreateDir("/db").ok());
+  ASSERT_TRUE(env.WriteFile("/db/1.sst", "x").ok());
+  ASSERT_TRUE(env.WriteFile("/db/2.sst", "y").ok());
+  ASSERT_TRUE(env.WriteFile("/db/sub/3.sst", "z").ok());
+  auto names = env.ListDir("/db");
+  ASSERT_TRUE(names.ok());
+  std::set<std::string> set(names->begin(), names->end());
+  EXPECT_EQ(set, (std::set<std::string>{"1.sst", "2.sst"}));
+}
+
+TEST(MemEnvTest, RenameMovesContent) {
+  MemEnv env;
+  ASSERT_TRUE(env.WriteFile("/a", "data").ok());
+  ASSERT_TRUE(env.RenameFile("/a", "/b").ok());
+  EXPECT_FALSE(env.FileExists("/a"));
+  std::string out;
+  ASSERT_TRUE(env.ReadFile("/b", &out).ok());
+  EXPECT_EQ(out, "data");
+}
+
+// ----------------------------------------------------------------- Bloom --
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 2000; ++i) builder.AddKey(Key(i));
+  std::string data = builder.Finish();
+  BloomFilter filter(data);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(filter.MayContain(Key(i))) << i;
+  }
+}
+
+TEST(BloomTest, LowFalsePositiveRate) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 2000; ++i) builder.AddKey(Key(i));
+  std::string data = builder.Finish();
+  BloomFilter filter(data);
+  int fp = 0;
+  for (int i = 2000; i < 12000; ++i) fp += filter.MayContain(Key(i));
+  // 10 bits/key gives ~1% theoretical FPR; allow generous slack.
+  EXPECT_LT(fp, 400);
+}
+
+TEST(BloomTest, EmptyFilterMatchesNothingSpurious) {
+  BloomFilterBuilder builder(10);
+  std::string data = builder.Finish();
+  BloomFilter filter(data);
+  int hits = 0;
+  for (int i = 0; i < 1000; ++i) hits += filter.MayContain(Key(i));
+  EXPECT_LT(hits, 10);
+}
+
+// -------------------------------------------------------------- MemTable --
+
+TEST(MemTableTest, InsertAndGet) {
+  MemTable table;
+  table.Add("b", 1, ValueType::kValue, "2");
+  table.Add("a", 2, ValueType::kValue, "1");
+  Entry e;
+  ASSERT_TRUE(table.Get("a", &e));
+  EXPECT_EQ(e.value, "1");
+  EXPECT_EQ(e.seq, 2u);
+  EXPECT_FALSE(table.Get("c", &e));
+}
+
+TEST(MemTableTest, OverwriteKeepsNewest) {
+  MemTable table;
+  table.Add("k", 1, ValueType::kValue, "old");
+  table.Add("k", 2, ValueType::kValue, "new");
+  Entry e;
+  ASSERT_TRUE(table.Get("k", &e));
+  EXPECT_EQ(e.value, "new");
+  EXPECT_EQ(table.NumEntries(), 1u);
+}
+
+TEST(MemTableTest, TombstonesAreVisible) {
+  MemTable table;
+  table.Add("k", 1, ValueType::kValue, "v");
+  table.Add("k", 2, ValueType::kDeletion, "");
+  Entry e;
+  ASSERT_TRUE(table.Get("k", &e));
+  EXPECT_EQ(e.type, ValueType::kDeletion);
+}
+
+TEST(MemTableTest, IterationIsSorted) {
+  MemTable table;
+  Random rng(5);
+  std::set<std::string> keys;
+  for (int i = 0; i < 1000; ++i) {
+    std::string k = Key(static_cast<int>(rng.Uniform(10000)));
+    keys.insert(k);
+    table.Add(k, static_cast<uint64_t>(i), ValueType::kValue, "v");
+  }
+  std::string prev;
+  size_t count = 0;
+  for (auto it = table.NewIterator(); it.Valid(); it.Next()) {
+    EXPECT_LT(prev, it.key());
+    prev = it.key();
+    ++count;
+  }
+  EXPECT_EQ(count, keys.size());
+}
+
+TEST(MemTableTest, ApproximateBytesGrows) {
+  MemTable table;
+  uint64_t before = table.ApproximateBytes();
+  table.Add("key", 1, ValueType::kValue, std::string(1000, 'v'));
+  EXPECT_GT(table.ApproximateBytes(), before + 1000);
+}
+
+// --------------------------------------------------------------- SSTable --
+
+TEST(SSTableTest, BuildAndLookup) {
+  SSTableBuilder builder(256);
+  for (int i = 0; i < 500; ++i) {
+    builder.Add(Key(i), static_cast<uint64_t>(i), ValueType::kValue,
+                "value" + std::to_string(i));
+  }
+  auto contents = std::make_shared<const std::string>(builder.Finish());
+  auto table = SSTableReader::Open(contents);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_entries(), 500u);
+  EXPECT_EQ((*table)->smallest(), Key(0));
+  EXPECT_EQ((*table)->largest(), Key(499));
+
+  Entry e;
+  for (int i = 0; i < 500; i += 7) {
+    ASSERT_TRUE((*table)->Get(Key(i), &e).ok()) << i;
+    EXPECT_EQ(e.value, "value" + std::to_string(i));
+  }
+  EXPECT_TRUE((*table)->Get(Key(1000), &e).IsNotFound());
+  EXPECT_TRUE((*table)->Get("aaa", &e).IsNotFound());
+}
+
+TEST(SSTableTest, IteratorVisitsAllInOrder) {
+  SSTableBuilder builder(128);
+  for (int i = 0; i < 300; ++i) {
+    builder.Add(Key(i), 1, ValueType::kValue, "v");
+  }
+  auto contents = std::make_shared<const std::string>(builder.Finish());
+  auto table = SSTableReader::Open(contents);
+  ASSERT_TRUE(table.ok());
+  int i = 0;
+  for (auto it = (*table)->NewIterator(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key(), Key(i));
+    ++i;
+  }
+  EXPECT_EQ(i, 300);
+}
+
+TEST(SSTableTest, CorruptFooterDetected) {
+  auto contents = std::make_shared<const std::string>("garbage");
+  EXPECT_FALSE(SSTableReader::Open(contents).ok());
+  SSTableBuilder builder;
+  builder.Add("a", 1, ValueType::kValue, "v");
+  std::string data = builder.Finish();
+  data.back() ^= 0xff;  // clobber the magic
+  EXPECT_FALSE(
+      SSTableReader::Open(std::make_shared<const std::string>(data)).ok());
+}
+
+TEST(SSTableTest, TombstonesRoundTrip) {
+  SSTableBuilder builder;
+  builder.Add("dead", 3, ValueType::kDeletion, "");
+  auto table = SSTableReader::Open(
+      std::make_shared<const std::string>(builder.Finish()));
+  ASSERT_TRUE(table.ok());
+  Entry e;
+  ASSERT_TRUE((*table)->Get("dead", &e).ok());
+  EXPECT_EQ(e.type, ValueType::kDeletion);
+  EXPECT_EQ(e.seq, 3u);
+}
+
+// -------------------------------------------------------------------- DB --
+
+Options SmallOptions() {
+  Options opts;
+  opts.memtable_bytes = 16 * 1024;
+  opts.level_base_bytes = 64 * 1024;
+  opts.target_file_bytes = 16 * 1024;
+  return opts;
+}
+
+TEST(DBTest, PutGetRoundTrip) {
+  MemEnv env;
+  auto db = DB::Open(&env, "/db", SmallOptions());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("k1", "v1").ok());
+  std::string v;
+  ASSERT_TRUE((*db)->Get("k1", &v).ok());
+  EXPECT_EQ(v, "v1");
+  EXPECT_TRUE((*db)->Get("k2", &v).IsNotFound());
+}
+
+TEST(DBTest, OverwriteAcrossFlush) {
+  MemEnv env;
+  auto db = DB::Open(&env, "/db", SmallOptions());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("k", "old").ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  ASSERT_TRUE((*db)->Put("k", "new").ok());
+  std::string v;
+  ASSERT_TRUE((*db)->Get("k", &v).ok());
+  EXPECT_EQ(v, "new");
+  ASSERT_TRUE((*db)->Flush().ok());
+  ASSERT_TRUE((*db)->Get("k", &v).ok());
+  EXPECT_EQ(v, "new");
+}
+
+TEST(DBTest, DeleteShadowsOlderValue) {
+  MemEnv env;
+  auto db = DB::Open(&env, "/db", SmallOptions());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("k", "v").ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  ASSERT_TRUE((*db)->Delete("k").ok());
+  std::string v;
+  EXPECT_TRUE((*db)->Get("k", &v).IsNotFound());
+  ASSERT_TRUE((*db)->Flush().ok());
+  EXPECT_TRUE((*db)->Get("k", &v).IsNotFound());
+}
+
+TEST(DBTest, ManyKeysSurviveFlushesAndCompactions) {
+  MemEnv env;
+  auto db = DB::Open(&env, "/db", SmallOptions());
+  ASSERT_TRUE(db.ok());
+  const int kKeys = 5000;
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE((*db)->Put(Key(i), "value" + std::to_string(i)).ok());
+  }
+  EXPECT_GT((*db)->flush_count(), 0u);
+  EXPECT_GT((*db)->compaction_count(), 0u);
+  std::string v;
+  for (int i = 0; i < kKeys; i += 17) {
+    ASSERT_TRUE((*db)->Get(Key(i), &v).ok()) << i;
+    EXPECT_EQ(v, "value" + std::to_string(i));
+  }
+}
+
+TEST(DBTest, CompactRangeDropsTombstonesAtBottom) {
+  MemEnv env;
+  auto db = DB::Open(&env, "/db", SmallOptions());
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE((*db)->Put(Key(i), "v").ok());
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE((*db)->Delete(Key(i)).ok());
+  ASSERT_TRUE((*db)->CompactRange().ok());
+  auto it = (*db)->NewIterator();
+  ASSERT_TRUE(it.ok());
+  EXPECT_FALSE(it->Valid()) << "all keys deleted, tree should be empty";
+}
+
+TEST(DBTest, IteratorMergesAllSources) {
+  MemEnv env;
+  auto db = DB::Open(&env, "/db", SmallOptions());
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE((*db)->Put(Key(i), "a").ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  for (int i = 500; i < 1500; ++i) ASSERT_TRUE((*db)->Put(Key(i), "b").ok());
+  auto it = (*db)->NewIterator();
+  ASSERT_TRUE(it.ok());
+  int count = 0;
+  std::string prev;
+  for (; it->Valid(); it->Next()) {
+    EXPECT_LT(prev, it->key());
+    prev = it->key();
+    if (it->key() >= Key(500)) {
+      EXPECT_EQ(it->value(), "b");
+    }
+    ++count;
+  }
+  EXPECT_EQ(count, 1500);
+}
+
+TEST(DBTest, RangeIteratorRespectsBounds) {
+  MemEnv env;
+  auto db = DB::Open(&env, "/db", SmallOptions());
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE((*db)->Put(Key(i), "v").ok());
+  auto it = (*db)->NewIterator(Key(10), Key(20));
+  ASSERT_TRUE(it.ok());
+  int count = 0;
+  for (; it->Valid(); it->Next()) ++count;
+  EXPECT_EQ(count, 10);
+}
+
+TEST(DBTest, ReopenRecoversFromManifest) {
+  MemEnv env;
+  {
+    auto db = DB::Open(&env, "/db", SmallOptions());
+    ASSERT_TRUE(db.ok());
+    for (int i = 0; i < 2000; ++i) ASSERT_TRUE((*db)->Put(Key(i), "v").ok());
+    ASSERT_TRUE((*db)->Flush().ok());
+  }
+  auto db = DB::Open(&env, "/db", SmallOptions());
+  ASSERT_TRUE(db.ok());
+  std::string v;
+  for (int i = 0; i < 2000; i += 13) {
+    ASSERT_TRUE((*db)->Get(Key(i), &v).ok()) << i;
+  }
+}
+
+TEST(DBTest, CheckpointIsPointInTime) {
+  MemEnv env;
+  auto db = DB::Open(&env, "/db", SmallOptions());
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 500; ++i) ASSERT_TRUE((*db)->Put(Key(i), "v1").ok());
+  auto ckpt = (*db)->CreateCheckpoint("/ckpt1");
+  ASSERT_TRUE(ckpt.ok());
+  EXPECT_GT(ckpt->total_bytes, 0u);
+
+  // Mutate after the checkpoint.
+  for (int i = 0; i < 500; ++i) ASSERT_TRUE((*db)->Put(Key(i), "v2").ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+
+  auto restored = DB::OpenFromCheckpoint(&env, "/ckpt1", "/db2", SmallOptions());
+  ASSERT_TRUE(restored.ok());
+  std::string v;
+  ASSERT_TRUE((*restored)->Get(Key(42), &v).ok());
+  EXPECT_EQ(v, "v1") << "checkpoint must not see post-checkpoint writes";
+}
+
+TEST(DBTest, CheckpointHardLinksDoNotCopyBytes) {
+  MemEnv env;
+  auto db = DB::Open(&env, "/db", SmallOptions());
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE((*db)->Put(Key(i), std::string(100, 'x')).ok());
+  }
+  ASSERT_TRUE((*db)->Flush().ok());
+  uint64_t before = env.UniqueContentBytes();
+  auto ckpt = (*db)->CreateCheckpoint("/ckpt");
+  ASSERT_TRUE(ckpt.ok());
+  uint64_t after = env.UniqueContentBytes();
+  // Only the checkpoint MANIFEST adds unique bytes; SSTs are hard links.
+  EXPECT_LT(after - before, 64 * 1024u);
+}
+
+TEST(DBTest, IncrementalCheckpointDeltaIsOnlyNewFiles) {
+  MemEnv env;
+  Options opts = SmallOptions();
+  // Pin the tree shape: a compaction between the checkpoints would rewrite
+  // files and defeat the sharing this test demonstrates.
+  opts.auto_compact = false;
+  auto db = DB::Open(&env, "/db", opts);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE((*db)->Put(Key(i), "v").ok());
+  auto ckpt1 = (*db)->CreateCheckpoint("/c1");
+  ASSERT_TRUE(ckpt1.ok());
+
+  for (int i = 1000; i < 1200; ++i) ASSERT_TRUE((*db)->Put(Key(i), "v").ok());
+  auto ckpt2 = (*db)->CreateCheckpoint("/c2");
+  ASSERT_TRUE(ckpt2.ok());
+
+  std::set<std::string> old_files;
+  for (const auto& f : ckpt1->files) old_files.insert(f.name);
+  uint64_t delta_bytes = 0;
+  for (const auto& f : ckpt2->files) {
+    if (!old_files.count(f.name)) delta_bytes += f.size;
+  }
+  EXPECT_GT(delta_bytes, 0u);
+  EXPECT_LT(delta_bytes, ckpt2->total_bytes)
+      << "most files must be shared with the previous checkpoint";
+}
+
+TEST(DBTest, CheckpointSurvivesSourceCompaction) {
+  MemEnv env;
+  auto db = DB::Open(&env, "/db", SmallOptions());
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 2000; ++i) ASSERT_TRUE((*db)->Put(Key(i), "v1").ok());
+  auto ckpt = (*db)->CreateCheckpoint("/ckpt");
+  ASSERT_TRUE(ckpt.ok());
+  // Compact the source DB: inputs get deleted, but hard links in the
+  // checkpoint keep the content alive.
+  for (int i = 0; i < 2000; ++i) ASSERT_TRUE((*db)->Put(Key(i), "v2").ok());
+  ASSERT_TRUE((*db)->CompactRange().ok());
+
+  auto restored = DB::OpenFromCheckpoint(&env, "/ckpt", "/db3", SmallOptions());
+  ASSERT_TRUE(restored.ok());
+  std::string v;
+  ASSERT_TRUE((*restored)->Get(Key(7), &v).ok());
+  EXPECT_EQ(v, "v1");
+}
+
+TEST(DBTest, ApproximateSizeTracksData) {
+  MemEnv env;
+  auto db = DB::Open(&env, "/db", SmallOptions());
+  ASSERT_TRUE(db.ok());
+  uint64_t empty = (*db)->ApproximateSize();
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE((*db)->Put(Key(i), std::string(50, 'x')).ok());
+  }
+  EXPECT_GT((*db)->ApproximateSize(), empty + 2000 * 50);
+}
+
+TEST(DBWalTest, UnflushedWritesSurviveReopen) {
+  MemEnv env;
+  {
+    auto db = DB::Open(&env, "/db", SmallOptions());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Put("k1", "v1").ok());
+    ASSERT_TRUE((*db)->Delete("k1").ok());
+    ASSERT_TRUE((*db)->Put("k2", "v2").ok());
+    // No flush: the memtable only lives in the WAL.
+  }
+  auto db = DB::Open(&env, "/db", SmallOptions());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->wal_entries_recovered(), 3u);
+  std::string v;
+  EXPECT_TRUE((*db)->Get("k1", &v).IsNotFound()) << "tombstone replayed";
+  ASSERT_TRUE((*db)->Get("k2", &v).ok());
+  EXPECT_EQ(v, "v2");
+}
+
+TEST(DBWalTest, FlushTruncatesTheLog) {
+  MemEnv env;
+  auto db = DB::Open(&env, "/db", SmallOptions());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("k", "v").ok());
+  EXPECT_TRUE(env.FileExists("/db/WAL"));
+  ASSERT_TRUE((*db)->Flush().ok());
+  EXPECT_FALSE(env.FileExists("/db/WAL"))
+      << "flushed entries are durable in SSTs; the WAL restarts";
+}
+
+TEST(DBWalTest, TornTailIsDiscardedNotFatal) {
+  MemEnv env;
+  {
+    auto db = DB::Open(&env, "/db", SmallOptions());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Put("intact", "value").ok());
+    ASSERT_TRUE((*db)->Put("torn", "value").ok());
+  }
+  // Simulate a crash mid-append: chop bytes off the log tail.
+  std::string wal;
+  ASSERT_TRUE(env.ReadFile("/db/WAL", &wal).ok());
+  wal.resize(wal.size() - 3);
+  ASSERT_TRUE(env.WriteFile("/db/WAL", wal).ok());
+
+  auto db = DB::Open(&env, "/db", SmallOptions());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->wal_entries_recovered(), 1u);
+  std::string v;
+  ASSERT_TRUE((*db)->Get("intact", &v).ok());
+  EXPECT_TRUE((*db)->Get("torn", &v).IsNotFound());
+}
+
+TEST(DBWalTest, DisabledWalSkipsRecovery) {
+  MemEnv env;
+  Options opts = SmallOptions();
+  opts.enable_wal = false;
+  {
+    auto db = DB::Open(&env, "/db", opts);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Put("k", "v").ok());
+  }
+  EXPECT_FALSE(env.FileExists("/db/WAL"));
+  auto db = DB::Open(&env, "/db", opts);
+  ASSERT_TRUE(db.ok());
+  std::string v;
+  EXPECT_TRUE((*db)->Get("k", &v).IsNotFound())
+      << "without a WAL the unflushed memtable is lost on reopen";
+}
+
+// Property sweep: random workload against an in-memory reference model.
+class DBFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DBFuzzTest, MatchesReferenceModel) {
+  MemEnv env;
+  Options opts = SmallOptions();
+  opts.memtable_bytes = 4 * 1024;  // force frequent flushes
+  auto db = DB::Open(&env, "/db", opts);
+  ASSERT_TRUE(db.ok());
+  std::map<std::string, std::string> model;
+  Random rng(GetParam());
+  for (int op = 0; op < 3000; ++op) {
+    std::string key = Key(static_cast<int>(rng.Uniform(300)));
+    switch (rng.Uniform(4)) {
+      case 0:
+      case 1: {  // put
+        std::string value = "v" + std::to_string(rng.Next() % 1000);
+        ASSERT_TRUE((*db)->Put(key, value).ok());
+        model[key] = value;
+        break;
+      }
+      case 2: {  // delete
+        ASSERT_TRUE((*db)->Delete(key).ok());
+        model.erase(key);
+        break;
+      }
+      case 3: {  // get
+        std::string v;
+        Status st = (*db)->Get(key, &v);
+        auto it = model.find(key);
+        if (it == model.end()) {
+          EXPECT_TRUE(st.IsNotFound()) << key;
+        } else {
+          ASSERT_TRUE(st.ok()) << key << " " << st.ToString();
+          EXPECT_EQ(v, it->second);
+        }
+        break;
+      }
+    }
+  }
+  // Full-scan equivalence.
+  auto it = (*db)->NewIterator();
+  ASSERT_TRUE(it.ok());
+  auto mit = model.begin();
+  for (; it->Valid(); it->Next(), ++mit) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(it->key(), mit->first);
+    EXPECT_EQ(it->value(), mit->second);
+  }
+  EXPECT_EQ(mit, model.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DBFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 101, 202, 303));
+
+}  // namespace
+}  // namespace rhino::lsm
