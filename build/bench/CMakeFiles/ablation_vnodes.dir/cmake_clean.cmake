@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vnodes.dir/ablation_vnodes.cc.o"
+  "CMakeFiles/ablation_vnodes.dir/ablation_vnodes.cc.o.d"
+  "ablation_vnodes"
+  "ablation_vnodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vnodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libbench_harness.a"
+  "../lib/libbench_harness.pdb"
+  "CMakeFiles/bench_harness.dir/harness.cc.o"
+  "CMakeFiles/bench_harness.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_reconfiguration_time.dir/fig1_reconfiguration_time.cc.o"
+  "CMakeFiles/fig1_reconfiguration_time.dir/fig1_reconfiguration_time.cc.o.d"
+  "fig1_reconfiguration_time"
+  "fig1_reconfiguration_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_reconfiguration_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_load_balancing.dir/fig4_load_balancing.cc.o"
+  "CMakeFiles/fig4_load_balancing.dir/fig4_load_balancing.cc.o.d"
+  "fig4_load_balancing"
+  "fig4_load_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_load_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_vertical_scaling.dir/fig4_vertical_scaling.cc.o"
+  "CMakeFiles/fig4_vertical_scaling.dir/fig4_vertical_scaling.cc.o.d"
+  "fig4_vertical_scaling"
+  "fig4_vertical_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_vertical_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

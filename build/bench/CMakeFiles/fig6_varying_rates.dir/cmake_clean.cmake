@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_varying_rates.dir/fig6_varying_rates.cc.o"
+  "CMakeFiles/fig6_varying_rates.dir/fig6_varying_rates.cc.o.d"
+  "fig6_varying_rates"
+  "fig6_varying_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_varying_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

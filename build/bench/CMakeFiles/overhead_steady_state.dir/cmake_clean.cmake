@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_steady_state.dir/overhead_steady_state.cc.o"
+  "CMakeFiles/overhead_steady_state.dir/overhead_steady_state.cc.o.d"
+  "overhead_steady_state"
+  "overhead_steady_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_steady_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

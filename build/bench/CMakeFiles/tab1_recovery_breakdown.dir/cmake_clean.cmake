@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_recovery_breakdown.dir/tab1_recovery_breakdown.cc.o"
+  "CMakeFiles/tab1_recovery_breakdown.dir/tab1_recovery_breakdown.cc.o.d"
+  "tab1_recovery_breakdown"
+  "tab1_recovery_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_recovery_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/load_balancing.cpp" "examples/CMakeFiles/load_balancing.dir/load_balancing.cpp.o" "gcc" "examples/CMakeFiles/load_balancing.dir/load_balancing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rhino_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/rhino/CMakeFiles/rhino_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nexmark/CMakeFiles/rhino_nexmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/rhino_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/rhino_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/rhino_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/rhino_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rhino_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

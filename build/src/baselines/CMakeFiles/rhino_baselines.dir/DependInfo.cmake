@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/flink_restart.cc" "src/baselines/CMakeFiles/rhino_baselines.dir/flink_restart.cc.o" "gcc" "src/baselines/CMakeFiles/rhino_baselines.dir/flink_restart.cc.o.d"
+  "/root/repo/src/baselines/megaphone.cc" "src/baselines/CMakeFiles/rhino_baselines.dir/megaphone.cc.o" "gcc" "src/baselines/CMakeFiles/rhino_baselines.dir/megaphone.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rhino/CMakeFiles/rhino_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/rhino_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/rhino_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/rhino_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/rhino_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rhino_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

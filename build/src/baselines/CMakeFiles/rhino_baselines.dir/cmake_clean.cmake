@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhino_baselines.dir/flink_restart.cc.o"
+  "CMakeFiles/rhino_baselines.dir/flink_restart.cc.o.d"
+  "CMakeFiles/rhino_baselines.dir/megaphone.cc.o"
+  "CMakeFiles/rhino_baselines.dir/megaphone.cc.o.d"
+  "librhino_baselines.a"
+  "librhino_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhino_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

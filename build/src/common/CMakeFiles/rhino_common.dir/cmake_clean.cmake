@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhino_common.dir/histogram.cc.o"
+  "CMakeFiles/rhino_common.dir/histogram.cc.o.d"
+  "CMakeFiles/rhino_common.dir/logging.cc.o"
+  "CMakeFiles/rhino_common.dir/logging.cc.o.d"
+  "CMakeFiles/rhino_common.dir/status.cc.o"
+  "CMakeFiles/rhino_common.dir/status.cc.o.d"
+  "CMakeFiles/rhino_common.dir/units.cc.o"
+  "CMakeFiles/rhino_common.dir/units.cc.o.d"
+  "librhino_common.a"
+  "librhino_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhino_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/engine.cc" "src/dataflow/CMakeFiles/rhino_dataflow.dir/engine.cc.o" "gcc" "src/dataflow/CMakeFiles/rhino_dataflow.dir/engine.cc.o.d"
+  "/root/repo/src/dataflow/graph.cc" "src/dataflow/CMakeFiles/rhino_dataflow.dir/graph.cc.o" "gcc" "src/dataflow/CMakeFiles/rhino_dataflow.dir/graph.cc.o.d"
+  "/root/repo/src/dataflow/operator.cc" "src/dataflow/CMakeFiles/rhino_dataflow.dir/operator.cc.o" "gcc" "src/dataflow/CMakeFiles/rhino_dataflow.dir/operator.cc.o.d"
+  "/root/repo/src/dataflow/source.cc" "src/dataflow/CMakeFiles/rhino_dataflow.dir/source.cc.o" "gcc" "src/dataflow/CMakeFiles/rhino_dataflow.dir/source.cc.o.d"
+  "/root/repo/src/dataflow/stateful.cc" "src/dataflow/CMakeFiles/rhino_dataflow.dir/stateful.cc.o" "gcc" "src/dataflow/CMakeFiles/rhino_dataflow.dir/stateful.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rhino_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/rhino_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/rhino_lsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhino_dataflow.dir/engine.cc.o"
+  "CMakeFiles/rhino_dataflow.dir/engine.cc.o.d"
+  "CMakeFiles/rhino_dataflow.dir/graph.cc.o"
+  "CMakeFiles/rhino_dataflow.dir/graph.cc.o.d"
+  "CMakeFiles/rhino_dataflow.dir/operator.cc.o"
+  "CMakeFiles/rhino_dataflow.dir/operator.cc.o.d"
+  "CMakeFiles/rhino_dataflow.dir/source.cc.o"
+  "CMakeFiles/rhino_dataflow.dir/source.cc.o.d"
+  "CMakeFiles/rhino_dataflow.dir/stateful.cc.o"
+  "CMakeFiles/rhino_dataflow.dir/stateful.cc.o.d"
+  "librhino_dataflow.a"
+  "librhino_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhino_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

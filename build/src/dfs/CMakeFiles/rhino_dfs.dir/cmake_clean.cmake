@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhino_dfs.dir/dfs.cc.o"
+  "CMakeFiles/rhino_dfs.dir/dfs.cc.o.d"
+  "librhino_dfs.a"
+  "librhino_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhino_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

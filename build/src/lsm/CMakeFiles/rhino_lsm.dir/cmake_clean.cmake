@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhino_lsm.dir/bloom.cc.o"
+  "CMakeFiles/rhino_lsm.dir/bloom.cc.o.d"
+  "CMakeFiles/rhino_lsm.dir/db.cc.o"
+  "CMakeFiles/rhino_lsm.dir/db.cc.o.d"
+  "CMakeFiles/rhino_lsm.dir/env.cc.o"
+  "CMakeFiles/rhino_lsm.dir/env.cc.o.d"
+  "CMakeFiles/rhino_lsm.dir/memtable.cc.o"
+  "CMakeFiles/rhino_lsm.dir/memtable.cc.o.d"
+  "CMakeFiles/rhino_lsm.dir/sstable.cc.o"
+  "CMakeFiles/rhino_lsm.dir/sstable.cc.o.d"
+  "CMakeFiles/rhino_lsm.dir/version.cc.o"
+  "CMakeFiles/rhino_lsm.dir/version.cc.o.d"
+  "librhino_lsm.a"
+  "librhino_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhino_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

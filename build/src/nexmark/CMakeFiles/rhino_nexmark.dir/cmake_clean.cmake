@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhino_nexmark.dir/nexmark.cc.o"
+  "CMakeFiles/rhino_nexmark.dir/nexmark.cc.o.d"
+  "librhino_nexmark.a"
+  "librhino_nexmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhino_nexmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhino_core.dir/checkpoint_storage.cc.o"
+  "CMakeFiles/rhino_core.dir/checkpoint_storage.cc.o.d"
+  "CMakeFiles/rhino_core.dir/handover_manager.cc.o"
+  "CMakeFiles/rhino_core.dir/handover_manager.cc.o.d"
+  "CMakeFiles/rhino_core.dir/replication_manager.cc.o"
+  "CMakeFiles/rhino_core.dir/replication_manager.cc.o.d"
+  "CMakeFiles/rhino_core.dir/replication_runtime.cc.o"
+  "CMakeFiles/rhino_core.dir/replication_runtime.cc.o.d"
+  "librhino_core.a"
+  "librhino_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhino_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

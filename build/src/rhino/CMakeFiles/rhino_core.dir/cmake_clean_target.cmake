@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librhino_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhino_state.dir/lsm_state_backend.cc.o"
+  "CMakeFiles/rhino_state.dir/lsm_state_backend.cc.o.d"
+  "CMakeFiles/rhino_state.dir/modeled_state_backend.cc.o"
+  "CMakeFiles/rhino_state.dir/modeled_state_backend.cc.o.d"
+  "librhino_state.a"
+  "librhino_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhino_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

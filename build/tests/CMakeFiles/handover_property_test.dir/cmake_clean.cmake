@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handover_property_test.dir/handover_property_test.cc.o"
+  "CMakeFiles/handover_property_test.dir/handover_property_test.cc.o.d"
+  "handover_property_test"
+  "handover_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handover_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

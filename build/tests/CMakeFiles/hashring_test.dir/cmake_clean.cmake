@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashring_test.dir/hashring_test.cc.o"
+  "CMakeFiles/hashring_test.dir/hashring_test.cc.o.d"
+  "hashring_test"
+  "hashring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhino_test.dir/rhino_test.cc.o"
+  "CMakeFiles/rhino_test.dir/rhino_test.cc.o.d"
+  "rhino_test"
+  "rhino_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhino_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

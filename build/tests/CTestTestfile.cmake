@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;rhino_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;rhino_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(hashring_test "/root/repo/build/tests/hashring_test")
+set_tests_properties(hashring_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;rhino_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(lsm_test "/root/repo/build/tests/lsm_test")
+set_tests_properties(lsm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;rhino_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dataflow_test "/root/repo/build/tests/dataflow_test")
+set_tests_properties(dataflow_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;22;rhino_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(state_test "/root/repo/build/tests/state_test")
+set_tests_properties(state_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;25;rhino_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(broker_test "/root/repo/build/tests/broker_test")
+set_tests_properties(broker_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;28;rhino_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dfs_test "/root/repo/build/tests/dfs_test")
+set_tests_properties(dfs_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;31;rhino_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rhino_test "/root/repo/build/tests/rhino_test")
+set_tests_properties(rhino_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;34;rhino_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nexmark_test "/root/repo/build/tests/nexmark_test")
+set_tests_properties(nexmark_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;37;rhino_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(metrics_test "/root/repo/build/tests/metrics_test")
+set_tests_properties(metrics_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;40;rhino_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(baselines_test "/root/repo/build/tests/baselines_test")
+set_tests_properties(baselines_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;43;rhino_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;46;rhino_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(handover_property_test "/root/repo/build/tests/handover_property_test")
+set_tests_properties(handover_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;50;rhino_add_test;/root/repo/tests/CMakeLists.txt;0;")
