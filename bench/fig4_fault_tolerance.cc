@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "harness.h"
+#include "sim/fault_injector.h"
 #include "timeline_util.h"
 
 namespace rhino::bench {
@@ -54,6 +55,55 @@ void RunScenario(const std::string& query, Sut sut) {
   PrintTimeline(tb, PrimaryOpOf(query), failure_time);
 }
 
+/// Variant beyond the paper's figure: two VM failures drawn at random
+/// inside one checkpoint interval (the second typically lands while the
+/// first recovery's handovers and catch-up re-replication are still in
+/// flight). Exercises the cascading-failure paths of the recovery planner;
+/// with r = 2 the state survives and latency returns to steady bounds.
+void RunDoubleFailureScenario(const std::string& query, Sut sut) {
+  TestbedOptions opts;
+  opts.sut = sut;
+  opts.query = query;
+  opts.checkpoint_interval = kMinute;
+  opts.gen_tick = kSecond;
+  if (query == "NBQ5") {
+    opts.gen_bytes_per_sec = 128e6;
+    opts.stateful_records_per_sec = 12e6;
+    opts.source_records_per_sec = 16e6;
+  }
+  Testbed tb(opts);
+  tb.SeedState(SeedFor(query));
+
+  sim::FaultInjector injector(&tb.sim, &tb.cluster, /*seed=*/11);
+  injector.SetCrashHandler([&tb](int node) {
+    tb.engine.FailNode(node);
+    tb.sim.Schedule(tb.hm->options().recovery_scheduling_us,
+                    [&tb, node] { tb.hm->RecoverFailedNode(node); });
+  });
+  tb.engine.SetFaultProbe([&](const std::string& e) { injector.Notify(e); });
+  tb.replication.SetFaultProbe(
+      [&](const std::string& e) { injector.Notify(e); });
+
+  tb.Start();
+  tb.Run(2 * opts.checkpoint_interval + 10 * kSecond);
+
+  SimTime window_start = tb.sim.Now();
+  injector.ScheduleRandomCrashes(2, tb.worker_nodes(),
+                                 window_start + kSecond,
+                                 window_start + opts.checkpoint_interval,
+                                 /*min_gap=*/5 * kSecond);
+  tb.Run(3 * opts.checkpoint_interval);
+
+  std::printf("--- %s / %s: two VM failures (", query.c_str(), SutName(sut));
+  for (size_t i = 0; i < injector.crashes().size(); ++i) {
+    const auto& crash = injector.crashes()[i];
+    std::printf("%snode %d at t=%.0f s", i > 0 ? ", " : "", crash.node,
+                ToSeconds(crash.time));
+  }
+  std::printf(") ---\n");
+  PrintTimeline(tb, PrimaryOpOf(query), window_start);
+}
+
 }  // namespace
 }  // namespace rhino::bench
 
@@ -64,6 +114,14 @@ int main() {
     for (auto sut : {rhino::bench::Sut::kFlink, rhino::bench::Sut::kRhino,
                      rhino::bench::Sut::kRhinoDfs}) {
       rhino::bench::RunScenario(query, sut);
+    }
+  }
+  std::printf(
+      "\n=== Variant: two random VM failures in one checkpoint interval "
+      "===\n\n");
+  for (const char* query : {"NBQ8", "NBQ5", "NBQX"}) {
+    for (auto sut : {rhino::bench::Sut::kRhino, rhino::bench::Sut::kRhinoDfs}) {
+      rhino::bench::RunDoubleFailureScenario(query, sut);
     }
   }
   return 0;

@@ -67,6 +67,7 @@ StatefulInstance* Engine::FindStateful(const std::string& op, uint32_t subtask) 
 
 uint64_t Engine::TriggerCheckpoint() {
   RHINO_CHECK(!checkpoint_in_flight_) << "checkpoint already in flight";
+  if (probe_) probe_("checkpoint_trigger");
   CheckpointRecord record;
   record.id = next_checkpoint_id_++;
   record.trigger_time = sim_->Now();
@@ -118,9 +119,18 @@ void Engine::OnSnapshotTaken(OperatorInstance* instance,
   std::string key = InstanceKey(instance);
   uint64_t id = record->id;
   auto durable = [this, id](Status st) {
-    RHINO_CHECK(st.ok()) << "checkpoint persistence failed: " << st.ToString();
     CheckpointRecord* rec = FindCheckpoint(id);
     if (rec == nullptr || rec->aborted || rec->completed) return;
+    if (!st.ok()) {
+      // Persistence failed (e.g. a replica chain member fail-stopped
+      // mid-transfer). The checkpoint can never become fully durable;
+      // abort it so the next interval retries from scratch.
+      RHINO_LOG(Warn) << "checkpoint " << id
+                      << " persistence failed: " << st.ToString()
+                      << "; aborting checkpoint";
+      AbortCheckpoint(id);
+      return;
+    }
     if (--rec->pending_acks == 0) {
       rec->completed = true;
       rec->complete_time = sim_->Now();
@@ -146,10 +156,15 @@ const CheckpointRecord* Engine::LastCompletedCheckpoint() const {
 // -------------------------------------------------------------- handover --
 
 void Engine::StartHandover(std::shared_ptr<const HandoverSpec> spec) {
+  if (probe_) probe_("handover_start");
   HandoverRecord record;
   record.spec = spec;
   record.trigger_time = sim_->Now();
-  record.pending_acks = CountLiveInstances();
+  for (const auto& instance : instances_) {
+    if (!instance->halted()) {
+      record.participants.insert(InstanceKey(instance.get()));
+    }
+  }
   handovers_.push_back(std::move(record));
 
   ControlEvent marker;
@@ -166,22 +181,39 @@ void Engine::OnHandoverInstanceDone(uint64_t handover_id,
   for (auto& record : handovers_) {
     if (record.spec->id != handover_id || record.completed) continue;
     record.acked.insert(InstanceKey(instance));
-    if (--record.pending_acks == 0) {
-      record.completed = true;
-      record.complete_time = sim_->Now();
-      // Commit the new configuration epoch in the coordinator's view.
-      hashring::RoutingTable* table = routing(record.spec->operator_name);
-      for (const HandoverMove& move : record.spec->moves) {
-        for (uint32_t v : move.vnodes) {
-          table->Assign(v, move.target_instance);
-        }
-      }
-      if (handover_listener_) handover_listener_(record);
-    }
-    (void)instance;
+    MaybeCompleteHandover(record);
     return;
   }
   RHINO_LOG(Warn) << "ack for unknown handover " << handover_id;
+}
+
+void Engine::MaybeCompleteHandover(HandoverRecord& record) {
+  if (record.completed) return;
+  for (const std::string& key : record.participants) {
+    if (!record.acked.count(key)) return;
+  }
+  record.completed = true;
+  record.complete_time = sim_->Now();
+  // Commit the new configuration epoch in the coordinator's view.
+  hashring::RoutingTable* table = routing(record.spec->operator_name);
+  for (const HandoverMove& move : record.spec->moves) {
+    for (uint32_t v : move.vnodes) {
+      table->Assign(v, move.target_instance);
+    }
+  }
+  if (handover_listener_) handover_listener_(record);
+}
+
+const HandoverRecord* Engine::FindHandover(uint64_t id) const {
+  for (const auto& record : handovers_) {
+    if (record.spec->id == id) return &record;
+  }
+  return nullptr;
+}
+
+bool Engine::IsHandoverComplete(uint64_t id) const {
+  const HandoverRecord* record = FindHandover(id);
+  return record != nullptr && record->completed;
 }
 
 // --------------------------------------------------------------- failure --
@@ -192,21 +224,40 @@ void Engine::FailNode(int node_id) {
     if (instance->node_id() == node_id) instance->Halt();
   }
   // Survivors waiting for markers from the dead instances must re-check
-  // their alignment requirements.
+  // their alignment requirements (and targets of in-flight moves whose
+  // origin just died re-issue their restore from the replicated copy).
   for (auto& instance : instances_) instance->NotifyPeerFailure();
+  // In-flight handovers: the dead instances can never ack. Strike them
+  // from the participant sets (permanently — a later Resume on a live
+  // worker replays no markers) and re-check completion.
+  for (auto& record : handovers_) {
+    if (record.completed) continue;
+    for (auto& instance : instances_) {
+      if (instance->halted()) {
+        record.participants.erase(InstanceKey(instance.get()));
+      }
+    }
+    MaybeCompleteHandover(record);
+  }
   // A checkpoint in flight can never complete: instances on the failed
   // node will not ack — and, worse, its barrier markers may have been
   // wiped with the dead instances' queues. Abort it (Flink would equally
   // discard it) and flush its alignments everywhere.
   if (checkpoint_in_flight_ && !checkpoints_.empty() &&
       !checkpoints_.back().completed) {
-    CheckpointRecord& aborted = checkpoints_.back();
-    aborted.aborted = true;
+    AbortCheckpoint(checkpoints_.back().id);
+  }
+}
+
+void Engine::AbortCheckpoint(uint64_t id) {
+  CheckpointRecord* record = FindCheckpoint(id);
+  if (record == nullptr || record->completed || record->aborted) return;
+  record->aborted = true;
+  if (!checkpoints_.empty() && checkpoints_.back().id == id) {
     checkpoint_in_flight_ = false;
-    for (auto& instance : instances_) {
-      instance->AbortAlignment(ControlEvent::Type::kCheckpointBarrier,
-                               aborted.id);
-    }
+  }
+  for (auto& instance : instances_) {
+    instance->AbortAlignment(ControlEvent::Type::kCheckpointBarrier, id);
   }
 }
 

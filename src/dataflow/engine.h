@@ -76,8 +76,12 @@ struct HandoverRecord {
   SimTime trigger_time = 0;
   SimTime complete_time = -1;
   bool completed = false;
-  int pending_acks = 0;
-  /// Instance keys ("op#subtask") that acknowledged (diagnostics).
+  /// Instance keys ("op#subtask") that must acknowledge: the instances
+  /// live when the markers were injected. Fail-stopped participants are
+  /// removed (the dead cannot ack), so a failure mid-handover never wedges
+  /// the protocol.
+  std::set<std::string> participants;
+  /// Instance keys that acknowledged.
   std::set<std::string> acked;
 };
 
@@ -147,6 +151,10 @@ class Engine {
   /// ignored from then on.
   bool IsCheckpointAborted(uint64_t id);
 
+  /// Aborts an in-flight checkpoint (failure, or persistence error): its
+  /// snapshots are discarded and its alignments flushed everywhere.
+  void AbortCheckpoint(uint64_t id);
+
   bool checkpoint_in_flight() const { return checkpoint_in_flight_; }
   /// Most recent fully durable checkpoint, or nullptr.
   const CheckpointRecord* LastCompletedCheckpoint() const;
@@ -170,6 +178,17 @@ class Engine {
     handover_listener_ = std::move(fn);
   }
   const std::vector<HandoverRecord>& handovers() const { return handovers_; }
+
+  /// Handover record by id (nullptr when unknown).
+  const HandoverRecord* FindHandover(uint64_t id) const;
+  bool IsHandoverComplete(uint64_t id) const;
+
+  /// Fault-injection probe: notified with "checkpoint_trigger" and
+  /// "handover_start" — wire it to `sim::FaultInjector::Notify` to crash
+  /// at the k-th checkpoint or mid-handover.
+  void SetFaultProbe(std::function<void(const std::string& event)> probe) {
+    probe_ = std::move(probe);
+  }
 
   // ------------------------------------------------------------- metrics --
 
@@ -223,8 +242,12 @@ class Engine {
   bool periodic_checkpoints_ = false;
   std::function<void(const CheckpointRecord&)> checkpoint_listener_;
 
+  /// Completes `record` once every still-live participant acked.
+  void MaybeCompleteHandover(HandoverRecord& record);
+
   std::vector<HandoverRecord> handovers_;
   std::function<void(const HandoverRecord&)> handover_listener_;
+  std::function<void(const std::string&)> probe_;
 
   std::function<void(const std::string&, SimTime, SimTime)> latency_listener_;
 };

@@ -190,6 +190,21 @@ void OperatorInstance::OnControl(int channel_idx, const ControlEvent& ev) {
     TryProcessNext();
     return;
   }
+  if (completed_controls_.count({static_cast<int>(ev.type), ev.id})) {
+    // Straggler duplicate of an alignment this instance already completed
+    // (a failure let the survivors align without the dead sender, whose
+    // marker was still on the wire). A ghost alignment would never finish.
+    // If that alignment is still the held front (target role waiting for
+    // restored state), the late marker must nonetheless block its channel:
+    // everything behind it belongs to the post-handover epoch and must not
+    // be applied before the restored state is ingested.
+    if (!alignments_.empty() && alignments_.front().ev.id == ev.id &&
+        alignments_.front().ev.type == ev.type) {
+      alignments_.front().channels.insert(channel_idx);
+    }
+    TryProcessNext();
+    return;
+  }
   Alignment* alignment = nullptr;
   for (auto& a : alignments_) {
     if (a.ev.id == ev.id && a.ev.type == ev.type) {
@@ -256,6 +271,7 @@ void OperatorInstance::MaybeCompleteFront() {
   while (!holding_ && !alignments_.empty() &&
          AlignmentComplete(alignments_.front())) {
     ControlEvent ev = alignments_.front().ev;
+    completed_controls_.insert({static_cast<int>(ev.type), ev.id});
     // Forward first (after any gate rewiring) so downstream alignment
     // starts while this instance performs its own role.
     BeforeForwardControl(ev);

@@ -168,8 +168,10 @@ class OperatorInstance {
 
   /// Re-evaluates in-flight alignments after a peer failure: markers will
   /// never arrive on channels whose sender is dead, so those channels stop
-  /// counting towards alignment.
-  void NotifyPeerFailure();
+  /// counting towards alignment. Subclasses may additionally repair
+  /// protocol roles broken by the failure (they must end by calling the
+  /// base implementation).
+  virtual void NotifyPeerFailure();
 
   /// Discards any in-flight alignment for the given control event (an
   /// aborted checkpoint's barrier): a failure can wipe already-delivered
@@ -242,6 +244,11 @@ class OperatorInstance {
   std::vector<std::unique_ptr<OutputGate>> outputs_;
 
   std::deque<Alignment> alignments_;
+  /// Control events whose alignment this instance already completed. Late
+  /// duplicate markers (e.g. in flight from a sender that died after the
+  /// survivors aligned without it) would otherwise open a ghost alignment
+  /// that can never complete.
+  std::set<std::pair<int, uint64_t>> completed_controls_;
   bool holding_ = false;
 
   bool busy_ = false;

@@ -83,6 +83,24 @@ void StatefulInstance::MergeWatermarks(const WatermarkMap& marks) {
   }
 }
 
+namespace {
+
+/// Index of `move` inside `spec.moves` (moves are passed by value through
+/// async delegate callbacks, so identity must be re-derived structurally).
+size_t MoveIndex(const HandoverSpec& spec, const HandoverMove& move) {
+  for (size_t i = 0; i < spec.moves.size(); ++i) {
+    const HandoverMove& m = spec.moves[i];
+    if (m.origin_instance == move.origin_instance &&
+        m.target_instance == move.target_instance && m.vnodes == move.vnodes) {
+      return i;
+    }
+  }
+  RHINO_LOG(Fatal) << "move not found in handover " << spec.id;
+  return 0;
+}
+
+}  // namespace
+
 void StatefulInstance::HandleAlignedControl(const ControlEvent& ev) {
   if (ev.type == ControlEvent::Type::kCheckpointBarrier) {
     auto desc = backend_->Checkpoint(ev.id);
@@ -106,21 +124,27 @@ void StatefulInstance::HandleAlignedControl(const ControlEvent& ev) {
 
   auto me = static_cast<uint32_t>(subtask());
   HandoverProgress& progress = handover_progress_[spec.id];
+  if (progress.aligned) return;  // duplicate alignment (defensive)
   progress.aligned = true;
-  for (const HandoverMove& move : spec.moves) {
-    if (move.target_instance == me) ++progress.pending_target;
+  for (size_t i = 0; i < spec.moves.size(); ++i) {
+    const HandoverMove& move = spec.moves[i];
+    // Completions in early_target raced ahead of our markers.
+    if (move.target_instance == me && !progress.early_target.count(i)) {
+      progress.pending_target.insert(i);
+    }
     if (move.origin_instance == me && !spec.origin_failed) {
-      ++progress.pending_origin;
+      progress.pending_origin.insert(i);
     }
   }
-  // Completions that raced ahead of our markers.
-  progress.pending_target -= progress.early_target_completions;
-  progress.early_target_completions = 0;
+  progress.early_target.clear();
 
   // Kick off the state movement for every move this instance originates,
-  // and — when the origin failed — for every move targeting us (the
-  // target restores from its local replicated checkpoint, paper step 3).
-  for (const HandoverMove& move : spec.moves) {
+  // and — when the origin failed (either declared in the spec, or
+  // fail-stopped since the markers were injected) — for every move
+  // targeting us (the target restores from the replicated checkpoint,
+  // paper step 3).
+  for (size_t i = 0; i < spec.moves.size(); ++i) {
+    const HandoverMove& move = spec.moves[i];
     if (move.origin_instance == me && !spec.origin_failed) {
       StatefulInstance* target =
           engine_->FindStateful(spec.operator_name, move.target_instance);
@@ -130,10 +154,20 @@ void StatefulInstance::HandleAlignedControl(const ControlEvent& ev) {
     } else if (move.target_instance == me && spec.origin_failed) {
       engine_->handover_delegate()->TransferState(spec, move, nullptr, this,
                                                   [] {});
+    } else if (move.target_instance == me && !spec.origin_failed) {
+      StatefulInstance* origin =
+          engine_->FindStateful(spec.operator_name, move.origin_instance);
+      if (origin == nullptr || origin->halted()) {
+        // The origin died between marker injection and our alignment: its
+        // transfer will never arrive. Restore from the replicated copy.
+        progress.reissued.insert(i);
+        engine_->handover_delegate()->TransferState(spec, move, nullptr, this,
+                                                    [] {});
+      }
     }
   }
 
-  if (progress.pending_target > 0) {
+  if (!progress.pending_target.empty()) {
     // Buffer records until the checkpointed state is ingested
     // (paper §4.1.2 step ④).
     holding_for_ = spec.id;
@@ -146,35 +180,82 @@ void StatefulInstance::HandleAlignedControl(const ControlEvent& ev) {
 void StatefulInstance::MaybeAckHandover(uint64_t handover_id) {
   HandoverProgress& progress = handover_progress_[handover_id];
   if (!progress.aligned || progress.acked) return;
-  if (progress.pending_origin > 0 || progress.pending_target > 0) return;
+  if (!progress.pending_origin.empty() || !progress.pending_target.empty()) {
+    return;
+  }
   progress.acked = true;
   engine_->OnHandoverInstanceDone(handover_id, this);
 }
 
 void StatefulInstance::CompleteHandoverAsOrigin(const HandoverSpec& spec,
                                                 const HandoverMove& move) {
-  RHINO_CHECK_OK(backend_->DropVnodes(move.vnodes));
-  for (uint32_t v : move.vnodes) owned_vnodes_.erase(v);
   HandoverProgress& progress = handover_progress_[spec.id];
-  --progress.pending_origin;
+  if (progress.pending_origin.erase(MoveIndex(spec, move)) == 0) {
+    return;  // already completed or abandoned
+  }
+  RHINO_CHECK_OK(backend_->DropVnodes(move.vnodes));
+  for (uint32_t v : move.vnodes) {
+    owned_vnodes_.erase(v);
+    // The replay watermarks go with the state: if a later handover moves
+    // these vnodes back (e.g. failure recovery), stale entries would
+    // dedup replayed records the restored copy has never applied.
+    watermarks_.erase(v);
+  }
+  MaybeAckHandover(spec.id);
+}
+
+void StatefulInstance::AbandonHandoverMoveAsOrigin(const HandoverSpec& spec,
+                                                   const HandoverMove& move) {
+  HandoverProgress& progress = handover_progress_[spec.id];
+  if (progress.pending_origin.erase(MoveIndex(spec, move)) == 0) return;
+  // Keep the state: the target never ingested it; the failure-recovery
+  // handover re-homes the vnodes from the replicated checkpoint.
   MaybeAckHandover(spec.id);
 }
 
 void StatefulInstance::CompleteHandoverAsTarget(const HandoverSpec& spec,
                                                 const HandoverMove& move) {
-  for (uint32_t v : move.vnodes) owned_vnodes_.insert(v);
+  size_t idx = MoveIndex(spec, move);
   HandoverProgress& progress = handover_progress_[spec.id];
   if (!progress.aligned) {
     // Markers have not all arrived yet; alignment will account for it.
-    ++progress.early_target_completions;
+    for (uint32_t v : move.vnodes) owned_vnodes_.insert(v);
+    progress.early_target.insert(idx);
     return;
   }
-  --progress.pending_target;
-  if (progress.pending_target == 0 && holding_for_ == spec.id) {
+  if (progress.pending_target.erase(idx) == 0) {
+    return;  // duplicate (a re-issued restore raced the original transfer)
+  }
+  for (uint32_t v : move.vnodes) owned_vnodes_.insert(v);
+  if (progress.pending_target.empty() && holding_for_ == spec.id) {
     holding_for_ = 0;
     ReleaseAlignment();
   }
   MaybeAckHandover(spec.id);
+}
+
+void StatefulInstance::NotifyPeerFailure() {
+  if (!halted()) {
+    for (auto& [id, progress] : handover_progress_) {
+      if (!progress.aligned || progress.acked) continue;
+      const HandoverRecord* record = engine_->FindHandover(id);
+      if (record == nullptr || record->spec->origin_failed) continue;
+      const HandoverSpec& spec = *record->spec;
+      // Copy: TransferState may complete synchronously and mutate the set.
+      std::vector<size_t> pending(progress.pending_target.begin(),
+                                  progress.pending_target.end());
+      for (size_t i : pending) {
+        const HandoverMove& move = spec.moves[i];
+        StatefulInstance* origin =
+            engine_->FindStateful(spec.operator_name, move.origin_instance);
+        if (origin != nullptr && !origin->halted()) continue;
+        if (!progress.reissued.insert(i).second) continue;
+        engine_->handover_delegate()->TransferState(spec, move, nullptr, this,
+                                                    [] {});
+      }
+    }
+  }
+  OperatorInstance::NotifyPeerFailure();
 }
 
 // --------------------------------------------------- KeyedCounterOperator --

@@ -90,6 +90,18 @@ class StatefulInstance : public OperatorInstance {
   void CompleteHandoverAsTarget(const HandoverSpec& spec,
                                 const HandoverMove& move);
 
+  /// Origin side of one move whose transfer broke (the target's worker
+  /// fail-stopped mid-handover): the move is abandoned — the origin keeps
+  /// its state and acks, so the handover completes instead of wedging. The
+  /// vnodes are re-homed by the subsequent failure-recovery handover.
+  void AbandonHandoverMoveAsOrigin(const HandoverSpec& spec,
+                                   const HandoverMove& move);
+
+  /// After a peer failure: targets of in-flight moves whose origin died
+  /// re-issue the state fetch against the replicated checkpoint (the
+  /// origin's live transfer died with it).
+  void NotifyPeerFailure() override;
+
  protected:
   void HandleBatch(int channel_idx, Batch& batch) final;
   void HandleAlignedControl(const ControlEvent& ev) final;
@@ -106,12 +118,17 @@ class StatefulInstance : public OperatorInstance {
   std::set<uint32_t> owned_vnodes_;
   WatermarkMap watermarks_;
 
-  /// Per-handover role bookkeeping.
+  /// Per-handover role bookkeeping, keyed by the move's index in
+  /// `spec.moves`. Sets (not counters) make every completion idempotent:
+  /// under failures the same move can be finished twice (a re-issued
+  /// restore racing a slow origin transfer) or abandoned after completion.
   struct HandoverProgress {
-    int pending_origin = 0;
-    int pending_target = 0;
+    std::set<size_t> pending_origin;  ///< moves this origin still owes
+    std::set<size_t> pending_target;  ///< moves this target still awaits
     /// Target-side completions that arrived before this instance aligned.
-    int early_target_completions = 0;
+    std::set<size_t> early_target;
+    /// Dead-origin moves whose restore was already re-issued.
+    std::set<size_t> reissued;
     bool aligned = false;
     bool acked = false;
   };

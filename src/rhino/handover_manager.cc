@@ -1,6 +1,7 @@
 #include "rhino/handover_manager.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 #include "dataflow/source.h"
@@ -41,13 +42,20 @@ std::vector<uint64_t> HandoverManager::RecoverFailedNode(int node) {
   std::vector<uint64_t> handovers;
   const auto* ckpt = engine_->LastCompletedCheckpoint();
 
+  // The dead node's secondary copies died with its disks.
+  runtime_->PurgeNode(node);
+
   // Redeploy the failed node's stateless instances (sources, sinks) on
   // live workers, round-robin.
   std::vector<int> live;
   for (int w : manager_->workers()) {
     if (w != node && engine_->cluster()->node(w).alive()) live.push_back(w);
   }
-  RHINO_CHECK(!live.empty()) << "no live workers to recover onto";
+  if (live.empty()) {
+    RHINO_LOG(Error) << "no live workers to recover node " << node
+                     << " onto; the job stalls until capacity returns";
+    return handovers;
+  }
   size_t cursor = 0;
   for (SourceInstance* src : engine_->sources()) {
     if (!src->halted()) continue;
@@ -60,44 +68,79 @@ std::vector<uint64_t> HandoverManager::RecoverFailedNode(int node) {
     sink->Resume();
   }
 
-  // One recovery handover per stateful operator with failed instances.
+  // Effective vnode ownership: the coordinator's routing table plus every
+  // still-incomplete handover applied in trigger order. Gates rewire at
+  // marker passage, so the vnodes of an uncommitted in-flight move already
+  // route to its target — planning from the committed table alone would
+  // strand them on a dead instance.
+  std::map<std::string, std::vector<uint32_t>> effective;
+  for (StatefulInstance* inst : engine_->stateful()) {
+    const std::string& op = inst->op_name();
+    if (effective.count(op) != 0) continue;
+    hashring::RoutingTable* table = engine_->routing(op);
+    std::vector<uint32_t> owner(table->map().num_vnodes());
+    for (uint32_t v = 0; v < owner.size(); ++v) {
+      owner[v] = table->InstanceForVnode(v);
+    }
+    for (const auto& record : engine_->handovers()) {
+      if (record.completed || record.spec->operator_name != op) continue;
+      for (const HandoverMove& mv : record.spec->moves) {
+        for (uint32_t v : mv.vnodes) owner[v] = mv.target_instance;
+      }
+    }
+    effective.emplace(op, std::move(owner));
+  }
+
+  // One recovery handover per stateful operator with orphaned vnodes.
   std::map<std::string, std::vector<HandoverMove>> moves_per_op;
   std::map<int, size_t> target_node_usage;
   for (StatefulInstance* inst : engine_->stateful()) {
     if (!inst->halted()) continue;
-    auto vnodes = engine_->routing(inst->op_name())
-                      ->VnodesOfInstance(static_cast<uint32_t>(inst->subtask()));
+    auto me = static_cast<uint32_t>(inst->subtask());
+    const std::vector<uint32_t>& owner = effective[inst->op_name()];
+    std::vector<uint32_t> vnodes;
+    for (uint32_t v = 0; v < owner.size(); ++v) {
+      if (owner[v] == me) vnodes.push_back(v);
+    }
     if (vnodes.empty()) continue;
-    // Target: a live instance of the same operator. With local-replica
-    // fetching the target's worker must hold a secondary copy; with DFS
-    // fetching any worker qualifies. Targets are spread over distinct
-    // nodes so recovery fetching parallelizes across the cluster.
+    // Target: a live instance of the same operator, preferring workers
+    // that hold a secondary copy of the failed instance's state (local
+    // fetch). Targets are spread over distinct nodes so recovery fetching
+    // parallelizes across the cluster. When no replica holder is live
+    // (e.g. the whole group died), any live instance qualifies and the
+    // restore path degrades to remote-replica / DFS / replay-only.
     StatefulInstance* best = nullptr;
     size_t best_score = ~0ull;
     for (StatefulInstance* candidate : engine_->stateful()) {
       if (candidate->halted() || candidate->op_name() != inst->op_name()) {
         continue;
       }
-      if (options_.fetch_mode == HandoverOptions::FetchMode::kLocalReplica &&
-          !manager_->NodeInGroup(inst->op_name(),
-                                 static_cast<uint32_t>(inst->subtask()),
-                                 candidate->node_id())) {
-        continue;
-      }
       size_t score = candidate->owned_vnodes().size() +
                      1000 * target_node_usage[candidate->node_id()];
+      if (options_.fetch_mode == HandoverOptions::FetchMode::kLocalReplica &&
+          runtime_->ReplicaOn(inst->op_name(), me, candidate->node_id()) ==
+              nullptr) {
+        score += 1000000;  // last resort: no local copy on this worker
+      }
       if (best == nullptr || score < best_score) {
         best = candidate;
         best_score = score;
       }
     }
-    RHINO_CHECK(best != nullptr)
-        << "no live instance on the replica group of " << inst->op_name()
-        << "#" << inst->subtask();
+    if (best == nullptr) {
+      RHINO_LOG(Error) << "no live instance of " << inst->op_name()
+                       << " to adopt the vnodes of subtask " << me
+                       << "; they stay orphaned";
+      continue;
+    }
+    if (best_score >= 1000000) {
+      RHINO_LOG(Warn) << "no live worker holds a replica of "
+                      << inst->op_name() << "#" << me
+                      << "; recovery degrades to remote fetch";
+    }
     ++target_node_usage[best->node_id()];
     moves_per_op[inst->op_name()].push_back(
-        HandoverMove{static_cast<uint32_t>(inst->subtask()),
-                     static_cast<uint32_t>(best->subtask()), vnodes});
+        HandoverMove{me, static_cast<uint32_t>(best->subtask()), vnodes});
   }
 
   // Inject the markers *before* rewinding: the markers rewire upstream
@@ -133,8 +176,20 @@ std::vector<uint64_t> HandoverManager::RecoverFailedNode(int node) {
     src->Start();
   }
 
-  // Repair the replica groups that lost the failed worker (§4.2.3).
-  manager_->HandleWorkerFailure(node);
+  // Repair the replica groups that lost the failed worker, then catch the
+  // substitutes up to the newest replicated checkpoint so the replication
+  // factor is restored before the next failure (§4.2.3).
+  for (const GroupRepair& repair : manager_->HandleWorkerFailure(node)) {
+    if (repair.substitute < 0) continue;  // degraded: no worker to catch up
+    runtime_->CatchUpReplicas(
+        repair.op_name, repair.subtask,
+        [op = repair.op_name, sub = repair.subtask](Status st) {
+          if (!st.ok()) {
+            RHINO_LOG(Warn) << "catch-up re-replication of " << op << "#"
+                            << sub << " failed: " << st.ToString();
+          }
+        });
+  }
   return handovers;
 }
 
@@ -148,8 +203,26 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
   HandoverSpec spec_copy = spec;
   HandoverMove move_copy = move;
 
+  // The target's worker fail-stopped before the transfer began: abandon
+  // the move (the origin keeps its state, the recovery handover re-homes
+  // the vnodes later).
+  auto abandon = [this, spec_copy, move_copy, origin, done]() {
+    ++abandoned_moves_;
+    RHINO_LOG(Warn) << "handover " << spec_copy.id << ": target instance "
+                    << move_copy.target_instance
+                    << " fail-stopped; move abandoned, origin keeps state";
+    if (origin != nullptr && !origin->halted()) {
+      origin->AbandonHandoverMoveAsOrigin(spec_copy, move_copy);
+    }
+    done();
+  };
+
   if (origin != nullptr) {
     // ---- live migration: incremental checkpoint + tail transfer --------
+    if (target == nullptr || target->halted()) {
+      engine_->sim()->Schedule(0, abandon);
+      return;
+    }
     uint64_t moved_bytes = 0;
     for (uint32_t v : move.vnodes) {
       moved_bytes += origin->backend()->VnodeBytes(v);
@@ -182,16 +255,29 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
         origin->node_id() == target->node_id() ? 0 : wire_bytes;
     stats.local_fetch = target_has_replica;
 
-    auto ingest = [this, spec_copy, move_copy, origin, target, done, start,
-                   target_has_replica,
+    auto ingest = [this, spec_copy, move_copy, origin, target, done, abandon,
+                   start, target_has_replica,
                    blob = std::move(blob).MoveValue(), marks]() {
       HandoverStats& s = stats_[spec_copy.id];
       s.state_fetch_us =
           std::max(s.state_fetch_us, engine_->sim()->Now() - start);
       SimTime load = options_.load_per_file_us * 8;
       engine_->sim()->Schedule(load, [this, spec_copy, move_copy, origin,
-                                      target, done, target_has_replica, blob,
-                                      marks, load] {
+                                      target, done, abandon,
+                                      target_has_replica, blob, marks, load] {
+        if (target->halted()) {
+          // Target died while the tail was in flight.
+          abandon();
+          return;
+        }
+        if (origin->halted()) {
+          // Origin died after extracting the tail: this copy is stale
+          // relative to the recovery plan. The target's re-issued restore
+          // from the replicated checkpoint plus the source rewind supply
+          // the state; ingesting here would double-apply the tail.
+          done();
+          return;
+        }
         HandoverStats& s2 = stats_[spec_copy.id];
         s2.state_load_us = std::max(s2.state_load_us, load);
         RHINO_CHECK_OK(target->backend()->IngestVnodes(blob, target_has_replica));
@@ -219,63 +305,154 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
     return;
   }
 
-  // ---- failed origin: restore from the secondary copy ------------------
+  // ---- failed origin: restore from a secondary copy --------------------
   RHINO_CHECK(target != nullptr);
+  if (target->halted()) {
+    // Cascading failure: the chosen substitute died too. The next
+    // RecoverFailedNode re-plans these vnodes.
+    engine_->sim()->Schedule(0, abandon);
+    return;
+  }
   const std::string& op = spec.operator_name;
-  const ReplicaState* rep = nullptr;
-  if (options_.fetch_mode == HandoverOptions::FetchMode::kLocalReplica) {
-    rep = runtime_->ReplicaOn(op, move.origin_instance, target->node_id());
-  } else if (options_.dfs_replica_lookup) {
-    rep = options_.dfs_replica_lookup(op, move.origin_instance);
+
+  // Snapshot everything the restore needs *by value*: the catalog entry a
+  // pointer would reference can be purged by a concurrent node failure
+  // before the (simulated) fetch completes.
+  struct RestorePlan {
+    std::map<uint32_t, std::string> blobs;       // vnode -> content
+    StatefulInstance::WatermarkMap marks;        // replay dedup positions
+    size_t files = 0;                            // load-time model input
+    uint64_t remote_bytes = 0;                   // bytes crossing the wire
+    int remote_source = -1;                      // node shipping them
+    size_t missing = 0;                          // vnodes with no live copy
+  };
+  auto plan = std::make_shared<RestorePlan>();
+
+  auto add_from = [&](const ReplicaState* rep, int holder, uint32_t v) {
+    auto bit = rep->vnode_blobs.find(v);
+    if (bit == rep->vnode_blobs.end()) return false;
+    plan->blobs[v] = bit->second;
+    auto wit = rep->latest_descriptor.vnode_watermarks.find(v);
+    if (wit != rep->latest_descriptor.vnode_watermarks.end()) {
+      plan->marks[v] = wit->second;
+    }
+    plan->files = std::max(plan->files, rep->latest_descriptor.files.size());
+    if (holder != target->node_id()) {
+      auto sit = rep->latest_descriptor.vnode_bytes.find(v);
+      plan->remote_bytes +=
+          sit != rep->latest_descriptor.vnode_bytes.end() ? sit->second
+                                                          : bit->second.size();
+      plan->remote_source = holder;
+    }
+    return true;
+  };
+
+  // Vnodes the target already owns live need no restore: it was the origin
+  // of an abandoned move of this very state, and its copy reflects every
+  // record applied up to the gate rewire — strictly fresher than any
+  // checkpoint. Overwriting it would lose the un-checkpointed tail (the
+  // live replay watermarks would dedup the replay that should refill it).
+  std::vector<uint32_t> to_restore;
+  for (uint32_t v : move_copy.vnodes) {
+    if (!target->owned_vnodes().count(v)) to_restore.push_back(v);
   }
 
-  auto restore = [this, spec_copy, move_copy, target, done, rep, start] {
+  if (options_.fetch_mode == HandoverOptions::FetchMode::kLocalReplica) {
+    // Preferred ladder per vnode: the target worker's own copy (hard
+    // links), else the newest live copy anywhere (one network hop), else
+    // any live copy of the *vnode* — it may have been checkpointed under a
+    // different instance when a move chain was interrupted by failures.
+    const ReplicaState* base =
+        runtime_->ReplicaOn(op, move.origin_instance, target->node_id());
+    int base_node = target->node_id();
+    if (base == nullptr) {
+      base_node = runtime_->LiveReplicaNode(op, move.origin_instance);
+      if (base_node >= 0) {
+        base = runtime_->ReplicaOn(op, move.origin_instance, base_node);
+      }
+    }
+    for (uint32_t v : to_restore) {
+      if (base != nullptr && add_from(base, base_node, v)) continue;
+      int holder = -1;
+      const ReplicaState* vrep =
+          runtime_->FindVnodeReplica(op, v, target->node_id(), &holder);
+      if (vrep != nullptr && add_from(vrep, holder, v)) continue;
+      ++plan->missing;
+    }
+  } else if (options_.dfs_replica_lookup) {
+    const ReplicaState* rep = options_.dfs_replica_lookup(op, move.origin_instance);
+    if (rep != nullptr) {
+      for (uint32_t v : to_restore) {
+        if (!add_from(rep, target->node_id(), v)) ++plan->missing;
+      }
+      // DFS fetch cost is modeled by the block reads below, not by a
+      // point-to-point transfer.
+      plan->remote_bytes = 0;
+      plan->remote_source = -1;
+    } else {
+      plan->missing = to_restore.size();
+    }
+  } else {
+    plan->missing = to_restore.size();
+  }
+  if (plan->missing > 0) {
+    ++degraded_restores_;
+    RHINO_LOG(Warn) << "handover " << spec.id << ": " << plan->missing
+                    << " vnode(s) of " << op << "#" << move.origin_instance
+                    << " have no live copy; restoring empty, upstream "
+                       "replay covers the checkpointed tail only";
+  }
+
+  auto restore = [this, spec_copy, move_copy, target, done, plan, start] {
     HandoverStats& s = stats_[spec_copy.id];
     s.state_fetch_us = std::max(s.state_fetch_us, engine_->sim()->Now() - start);
-    SimTime load = options_.load_fixed_us;
-    if (rep != nullptr) {
-      load += options_.load_per_file_us *
-              static_cast<SimTime>(rep->latest_descriptor.files.size());
-    }
+    SimTime load = options_.load_fixed_us +
+                   options_.load_per_file_us * static_cast<SimTime>(plan->files);
     engine_->sim()->Schedule(load, [this, spec_copy, move_copy, target, done,
-                                    rep, load] {
+                                    plan, load] {
       HandoverStats& s2 = stats_[spec_copy.id];
       s2.state_load_us = std::max(s2.state_load_us, load);
-      if (rep != nullptr) {
-        for (uint32_t v : move_copy.vnodes) {
-          auto it = rep->vnode_blobs.find(v);
-          if (it != rep->vnode_blobs.end()) {
-            RHINO_CHECK_OK(target->backend()->IngestVnodes(it->second,
-                                                           /*durable=*/true));
-          }
-        }
-        dataflow::StatefulInstance::WatermarkMap marks;
-        for (uint32_t v : move_copy.vnodes) {
-          auto wit = rep->latest_descriptor.vnode_watermarks.find(v);
-          if (wit != rep->latest_descriptor.vnode_watermarks.end()) {
-            marks[v] = wit->second;
-          }
-        }
-        target->MergeWatermarks(marks);
-        uint64_t restored = 0;
-        for (uint32_t v : move_copy.vnodes) {
-          restored += target->backend()->VnodeBytes(v);
-        }
-        s2.bytes_transferred += restored;
+      if (target->halted()) {
+        // Cascading failure while loading; the next recovery re-plans.
+        done();
+        return;
       }
+      for (const auto& [v, content] : plan->blobs) {
+        (void)v;
+        RHINO_CHECK_OK(target->backend()->IngestVnodes(content, /*durable=*/true));
+      }
+      target->MergeWatermarks(plan->marks);
+      uint64_t restored = 0;
+      for (uint32_t v : move_copy.vnodes) {
+        restored += target->backend()->VnodeBytes(v);
+      }
+      s2.bytes_transferred += restored;
       target->CompleteHandoverAsTarget(spec_copy, move_copy);
       done();
     });
   };
 
   if (options_.fetch_mode == HandoverOptions::FetchMode::kLocalReplica) {
-    // Secondary copy is on this worker's own disks: fetching is
-    // hard-linking the checkpoint files (paper: ~0.2 s, size-independent).
-    RHINO_CHECK(rep != nullptr)
-        << "target worker holds no replica of " << op << "#"
-        << move.origin_instance;
-    stats.local_fetch = true;
-    engine_->sim()->Schedule(options_.local_fetch_us, restore);
+    if (plan->remote_bytes == 0) {
+      // Secondary copy on this worker's own disks: fetching is
+      // hard-linking checkpoint files (paper: ~0.2 s, size-independent).
+      stats.local_fetch = true;
+      engine_->sim()->Schedule(options_.local_fetch_us, restore);
+    } else {
+      // Replica lives elsewhere: one bulk hop to the target's disks, then
+      // the usual local fetch + load.
+      stats.local_fetch = false;
+      stats.bytes_transferred += plan->remote_bytes;
+      sim::Node& tgt = engine_->cluster()->node(target->node_id());
+      uint64_t wire = plan->remote_bytes;
+      engine_->cluster()->Transfer(
+          plan->remote_source, target->node_id(), wire,
+          [this, &tgt, wire, restore]() {
+            tgt.disk(0).Write(wire, [this, restore]() {
+              engine_->sim()->Schedule(options_.local_fetch_us, restore);
+            });
+          });
+    }
   } else {
     // RhinoDFS: the protocol is the same but the state comes through the
     // block-centric DFS — remote blocks cross the network (Figure 3).
@@ -293,7 +470,11 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
     for (const auto& path : paths) {
       options_.dfs->ReadFile(path, target->node_id(),
                              [remaining, restore](Status st) {
-                               RHINO_CHECK(st.ok()) << st.ToString();
+                               if (!st.ok()) {
+                                 RHINO_LOG(Warn)
+                                     << "DFS read failed during restore: "
+                                     << st.ToString();
+                               }
                                if (--*remaining == 0) restore();
                              });
     }

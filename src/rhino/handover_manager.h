@@ -94,11 +94,15 @@ class HandoverManager : public dataflow::HandoverDelegate {
   uint64_t TriggerLoadBalance(const std::string& op, uint32_t origin,
                               uint32_t target, double fraction = 0.5);
 
-  /// Fail-stop recovery (paper §3.5.3): restarts the failed node's sources
-  /// and sinks on live workers, rewinds all sources of affected topics to
-  /// the last completed checkpoint, and hands the failed stateful
-  /// instances' virtual nodes to targets that hold their replicated state.
-  /// Returns the ids of the recovery handovers (one per stateful op).
+  /// Fail-stop recovery (paper §3.5.3): purges the dead node's catalog
+  /// entries, restarts its sources and sinks on live workers, rewinds all
+  /// sources of affected topics to the last completed checkpoint, hands
+  /// every virtual node *effectively* owned by a dead instance (routing
+  /// table plus in-flight handovers) to a live target — preferring workers
+  /// that hold the replicated state — and repairs the replica groups,
+  /// catching substitutes up to the newest replicated checkpoint. Returns
+  /// the ids of the recovery handovers (one per stateful op). Degrades
+  /// gracefully (empty result, warning) when no live capacity remains.
   std::vector<uint64_t> RecoverFailedNode(int node);
 
   // HandoverDelegate:
@@ -111,6 +115,14 @@ class HandoverManager : public dataflow::HandoverDelegate {
   const HandoverStats* StatsFor(uint64_t handover_id) const;
   const HandoverOptions& options() const { return options_; }
 
+  // ---- diagnostics ----
+  /// Moves abandoned because the target's worker fail-stopped mid-handover
+  /// (the origin kept its state).
+  uint64_t abandoned_moves() const { return abandoned_moves_; }
+  /// Failed-origin restores that found no live copy for ≥1 vnode and fell
+  /// back to upstream replay only.
+  uint64_t degraded_restores() const { return degraded_restores_; }
+
  private:
   uint64_t NextHandoverId() { return next_handover_id_++; }
 
@@ -121,6 +133,8 @@ class HandoverManager : public dataflow::HandoverDelegate {
   uint64_t next_handover_id_ = 1;
   uint64_t next_mini_checkpoint_ = 1ull << 32;  // ids disjoint from global
   std::map<uint64_t, HandoverStats> stats_;
+  uint64_t abandoned_moves_ = 0;
+  uint64_t degraded_restores_ = 0;
 };
 
 }  // namespace rhino::rhino

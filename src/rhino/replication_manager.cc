@@ -31,8 +31,14 @@ void ReplicationManager::BuildGroups(std::vector<InstanceInfo> instances) {
       group.push_back(w);
       load_[w] += info.weight;
     }
-    RHINO_CHECK_EQ(static_cast<int>(group.size()), replication_factor_)
-        << "not enough workers for a replica group of " << info.op_name;
+    if (static_cast<int>(group.size()) < replication_factor_) {
+      // Graceful degradation: too few eligible workers (e.g. after
+      // cascading failures). Run with fewer copies rather than aborting;
+      // degraded_groups() surfaces the shortfall.
+      RHINO_LOG(Warn) << "degraded replica group for " << info.op_name << "#"
+                      << info.subtask << ": " << group.size() << "/"
+                      << replication_factor_ << " copies";
+    }
     std::string key = Key(info.op_name, info.subtask);
     groups_[key] = std::move(group);
     infos_[key] = info;
@@ -55,7 +61,8 @@ bool ReplicationManager::NodeInGroup(const std::string& op, uint32_t subtask,
          it->second.end();
 }
 
-void ReplicationManager::HandleWorkerFailure(int failed) {
+std::vector<GroupRepair> ReplicationManager::HandleWorkerFailure(int failed) {
+  std::vector<GroupRepair> repairs;
   workers_.erase(std::remove(workers_.begin(), workers_.end(), failed),
                  workers_.end());
   load_.erase(failed);
@@ -74,11 +81,25 @@ void ReplicationManager::HandleWorkerFailure(int failed) {
     if (best < 0) {
       // Degraded group: fewer copies than requested.
       group.erase(pos);
-      continue;
+      RHINO_LOG(Warn) << "replica group of " << key
+                      << " degraded to " << group.size() << " copies";
+    } else {
+      *pos = best;
+      load_[best] += info.weight;
     }
-    *pos = best;
-    load_[best] += info.weight;
+    repairs.push_back(GroupRepair{info.op_name, info.subtask, best});
   }
+  return repairs;
+}
+
+std::vector<std::string> ReplicationManager::degraded_groups() const {
+  std::vector<std::string> degraded;
+  for (const auto& [key, group] : groups_) {
+    if (static_cast<int>(group.size()) < replication_factor_) {
+      degraded.push_back(key);
+    }
+  }
+  return degraded;
 }
 
 uint64_t ReplicationManager::WorkerLoad(int node) const {

@@ -28,6 +28,16 @@ struct InstanceInfo {
   uint64_t weight = 1;
 };
 
+/// One group rewritten by `HandleWorkerFailure`: the instance that lost a
+/// replica holder and the worker substituted in (-1 when no eligible live
+/// worker remained and the group shrank instead). The caller runs a
+/// catch-up re-replication towards the substitute to restore factor r.
+struct GroupRepair {
+  std::string op_name;
+  uint32_t subtask = 0;
+  int substitute = -1;
+};
+
 /// Coordinator-side replica-group construction and repair.
 class ReplicationManager {
  public:
@@ -43,8 +53,14 @@ class ReplicationManager {
 
   /// (Re)builds every replica group with greedy bin packing: instances in
   /// descending weight order each take the `r` least-loaded live workers
-  /// other than their home.
+  /// other than their home. When fewer than `r` eligible workers exist the
+  /// group is built smaller (degraded) with a warning instead of aborting —
+  /// the job keeps running at a reduced replication factor.
   void BuildGroups(std::vector<InstanceInfo> instances);
+
+  /// Instance keys ("op#subtask") whose current group is smaller than the
+  /// requested replication factor.
+  std::vector<std::string> degraded_groups() const;
 
   /// The replica chain of an instance (ordered: head first).
   const std::vector<int>& Group(const std::string& op, uint32_t subtask) const;
@@ -57,8 +73,10 @@ class ReplicationManager {
   bool NodeInGroup(const std::string& op, uint32_t subtask, int node) const;
 
   /// Fail-stop repair (paper §4.2.3): removes `failed` from every group and
-  /// substitutes the least-loaded surviving worker.
-  void HandleWorkerFailure(int failed);
+  /// substitutes the least-loaded surviving worker. Returns one entry per
+  /// rewritten group so the replication runtime can catch the substitute up
+  /// to the newest replicated checkpoint.
+  std::vector<GroupRepair> HandleWorkerFailure(int failed);
 
   /// Replicated-bytes load currently assigned to a worker.
   uint64_t WorkerLoad(int node) const;

@@ -1,5 +1,7 @@
 #include "rhino/replication_runtime.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace rhino::rhino {
@@ -35,6 +37,7 @@ void ReplicationRuntime::ReplicateCheckpoint(
     std::map<uint32_t, std::string> blobs, std::function<void(Status)> done) {
   const std::vector<int>& group = manager_->Group(op, subtask);
   uint64_t delta = desc.DeltaBytes();
+  if (probe_) probe_("replication_transfer");
 
   auto transfer = std::make_shared<Transfer>();
   transfer->op = op;
@@ -61,15 +64,30 @@ void ReplicationRuntime::ReplicateCheckpoint(
   auto finalize = [this, transfer] {
     if (transfer->completed) return;
     transfer->completed = true;
-    // Every chain member now owns a complete secondary copy.
+    // Record the secondary copies against the group's *current* live
+    // membership: HandleWorkerFailure may have rewritten the group while
+    // the chunks were in flight, and a node that left the group (or died)
+    // must not be advertised as a replica holder.
     std::string key = Key(transfer->op, transfer->subtask);
+    const std::vector<int>* group_now = nullptr;
+    if (manager_->HasGroup(transfer->op, transfer->subtask)) {
+      group_now = &manager_->Group(transfer->op, transfer->subtask);
+    }
     for (size_t i = 1; i < transfer->path.size(); ++i) {
-      ReplicaState& rep = replicas_[key][transfer->path[i]];
+      int node = transfer->path[i];
+      if (!cluster_->node(node).alive()) continue;
+      if (group_now != nullptr &&
+          std::find(group_now->begin(), group_now->end(), node) ==
+              group_now->end()) {
+        continue;
+      }
+      ReplicaState& rep = replicas_[key][node];
       rep.latest_checkpoint_id = transfer->desc.checkpoint_id;
       rep.latest_descriptor = transfer->desc;
-      for (const auto& [vnode, blob] : transfer->blobs) {
-        rep.vnode_blobs[vnode] = blob;
-      }
+      // Replace wholesale: the blobs cover every vnode the instance owned
+      // at snapshot time, so merging would only keep stale blobs of vnodes
+      // that moved away since the previous checkpoint.
+      rep.vnode_blobs = transfer->blobs;
     }
     ++checkpoints_replicated_;
     // Tail ack travels back up the chain, one hop latency each.
@@ -85,39 +103,85 @@ void ReplicationRuntime::ReplicateCheckpoint(
   for (size_t hop = 0; hop < hops; ++hop) PumpHop(transfer, hop);
 }
 
+void ReplicationRuntime::AbortTransfer(const std::shared_ptr<Transfer>& transfer,
+                                       Status status) {
+  if (transfer->completed) return;
+  transfer->completed = true;
+  // Break the self-reference cycle: `finalize` captures the transfer's own
+  // shared_ptr, so a stored copy would keep the object alive forever.
+  transfer->finalize = nullptr;
+  ++transfers_aborted_;
+  RHINO_LOG(Warn) << "replication of " << transfer->op << "#"
+                  << transfer->subtask << " ckpt "
+                  << transfer->desc.checkpoint_id
+                  << " aborted: " << status.ToString();
+  if (transfer->done) transfer->done(std::move(status));
+}
+
 void ReplicationRuntime::PumpHop(std::shared_ptr<Transfer> transfer,
                                  size_t hop) {
   if (transfer->completed) return;
   while (transfer->credits[hop] > 0 &&
          transfer->next_to_send[hop] < transfer->available[hop]) {
+    int src = transfer->path[hop];
+    int dst = transfer->path[hop + 1];
+    // Fail-stop detection: a dead sender cannot pump, a dead receiver
+    // cannot spool. Either way the chain is broken — complete with an
+    // error instead of streaming into the void (the next checkpoint, or a
+    // catch-up transfer, re-replicates).
+    if (!cluster_->node(src).alive() || !cluster_->node(dst).alive()) {
+      int dead = cluster_->node(src).alive() ? dst : src;
+      AbortTransfer(transfer,
+                    Status::Aborted("replica chain member node " +
+                                    std::to_string(dead) + " fail-stopped"));
+      return;
+    }
     uint64_t chunk = transfer->next_to_send[hop]++;
     --transfer->credits[hop];
     int in_flight = options_.credit_window - transfer->credits[hop];
     max_in_flight_ = std::max(max_in_flight_, in_flight);
 
-    int src = transfer->path[hop];
-    int dst = transfer->path[hop + 1];
     uint64_t bytes = transfer->ChunkSize(chunk);
     bytes_replicated_ += bytes;
+    if (probe_) probe_("replication_chunk");
     cluster_->Transfer(src, dst, bytes, [this, transfer, hop, bytes] {
+      if (transfer->completed) return;
       // Chunk arrived at the receiver: it may flow further down the chain
       // immediately (chain replication pipelines hops)...
       size_t receiver = hop + 1;
+      int node_id = transfer->path[receiver];
+      if (!cluster_->node(node_id).alive()) {
+        AbortTransfer(transfer, Status::Aborted(
+                                    "replica chain member node " +
+                                    std::to_string(node_id) +
+                                    " fail-stopped mid-transfer"));
+        return;
+      }
       ++transfer->available[receiver];
       if (receiver < transfer->path.size() - 1) PumpHop(transfer, receiver);
       // ...while the receiver spools it to disk asynchronously. The credit
       // returns only once the chunk is durable (credit-based flow control:
       // the sender can never overrun a slow receiver's storage).
-      int node_id = transfer->path[receiver];
       sim::Node& node = cluster_->node(node_id);
       int disk = transfer->disk_cursor[node_id]++ % node.num_disks();
-      node.disk(disk).Write(bytes, [this, transfer, hop, receiver] {
+      node.disk(disk).Write(bytes, [this, transfer, hop, receiver, node_id] {
+        if (transfer->completed) return;
+        if (!cluster_->node(node_id).alive()) {
+          AbortTransfer(transfer, Status::Aborted(
+                                      "replica chain member node " +
+                                      std::to_string(node_id) +
+                                      " fail-stopped before durability"));
+          return;
+        }
         ++transfer->durable[receiver];
         ++transfer->credits[hop];
         PumpHop(transfer, hop);
         if (receiver == transfer->path.size() - 1 &&
             transfer->durable[receiver] == transfer->total_chunks) {
-          transfer->finalize();
+          // Move the closure out before invoking: it captures the
+          // transfer's own shared_ptr, and a stored copy would cycle.
+          auto fin = std::move(transfer->finalize);
+          fin();
         }
       });
     });
@@ -127,11 +191,139 @@ void ReplicationRuntime::PumpHop(std::shared_ptr<Transfer> transfer,
 const ReplicaState* ReplicationRuntime::ReplicaOn(const std::string& op,
                                                   uint32_t subtask,
                                                   int node) const {
+  if (!cluster_->node(node).alive()) return nullptr;
   auto it = replicas_.find(Key(op, subtask));
   if (it == replicas_.end()) return nullptr;
   auto nit = it->second.find(node);
   if (nit == it->second.end()) return nullptr;
   return &nit->second;
+}
+
+int ReplicationRuntime::LiveReplicaNode(const std::string& op,
+                                        uint32_t subtask) const {
+  auto it = replicas_.find(Key(op, subtask));
+  if (it == replicas_.end()) return -1;
+  int best = -1;
+  uint64_t best_id = 0;
+  for (const auto& [node, rep] : it->second) {
+    if (!cluster_->node(node).alive()) continue;
+    if (best < 0 || rep.latest_checkpoint_id > best_id) {
+      best = node;
+      best_id = rep.latest_checkpoint_id;
+    }
+  }
+  return best;
+}
+
+const ReplicaState* ReplicationRuntime::FindVnodeReplica(
+    const std::string& op, uint32_t vnode, int preferred_node,
+    int* holder) const {
+  *holder = -1;
+  const ReplicaState* best = nullptr;
+  std::string prefix = op + "#";
+  for (auto it = replicas_.lower_bound(prefix);
+       it != replicas_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    for (const auto& [node, rep] : it->second) {
+      if (!cluster_->node(node).alive()) continue;
+      if (!rep.vnode_blobs.count(vnode)) continue;
+      bool fresher =
+          best == nullptr ||
+          rep.latest_checkpoint_id > best->latest_checkpoint_id ||
+          (rep.latest_checkpoint_id == best->latest_checkpoint_id &&
+           node == preferred_node && *holder != preferred_node);
+      if (fresher) {
+        best = &rep;
+        *holder = node;
+      }
+    }
+  }
+  return best;
+}
+
+void ReplicationRuntime::PurgeNode(int node) {
+  size_t purged = 0;
+  for (auto& [key, per_node] : replicas_) {
+    purged += per_node.erase(node);
+  }
+  if (purged > 0) {
+    RHINO_LOG(Info) << "purged " << purged
+                    << " replica catalog entries of dead node " << node;
+  }
+}
+
+void ReplicationRuntime::CatchUpReplicas(const std::string& op,
+                                         uint32_t subtask,
+                                         std::function<void(Status)> done) {
+  if (!manager_->HasGroup(op, subtask)) {
+    if (done) done(Status::NotFound("no replica group for " + Key(op, subtask)));
+    return;
+  }
+  std::string key = Key(op, subtask);
+  // Newest complete copy on a live node: the catch-up source.
+  int source = LiveReplicaNode(op, subtask);
+  if (source < 0) {
+    // Nothing replicated yet (or every copy died): the next full
+    // checkpoint rebuilds the group from the primary.
+    if (done) done(Status::OK());
+    return;
+  }
+  const ReplicaState* ref = ReplicaOn(op, subtask, source);
+  RHINO_CHECK(ref != nullptr);
+
+  std::vector<int> lagging;
+  for (int m : manager_->Group(op, subtask)) {
+    if (!cluster_->node(m).alive()) continue;
+    const ReplicaState* have = ReplicaOn(op, subtask, m);
+    if (have != nullptr &&
+        have->latest_checkpoint_id >= ref->latest_checkpoint_id) {
+      continue;
+    }
+    lagging.push_back(m);
+  }
+  if (lagging.empty()) {
+    if (done) done(Status::OK());
+    return;
+  }
+
+  // Copy the reference state now: the catalog entry may be overwritten by
+  // the next checkpoint (or purged) while the copies are on the wire.
+  auto snapshot = std::make_shared<ReplicaState>(*ref);
+  auto remaining = std::make_shared<size_t>(lagging.size());
+  auto aggregate = std::make_shared<Status>(Status::OK());
+  auto done_shared = std::make_shared<std::function<void(Status)>>(std::move(done));
+  uint64_t bytes = snapshot->latest_descriptor.TotalBytes();
+  auto settle = [remaining, aggregate, done_shared] {
+    if (--*remaining == 0 && *done_shared) (*done_shared)(*aggregate);
+  };
+  for (int m : lagging) {
+    ++catchup_transfers_;
+    catchup_bytes_ += bytes;
+    cluster_->Transfer(
+        source, m, bytes,
+        [this, key, m, bytes, snapshot, aggregate, settle]() mutable {
+          if (!cluster_->node(m).alive()) {
+            if (aggregate->ok()) {
+              *aggregate = Status::Aborted("catch-up target node " +
+                                           std::to_string(m) + " died");
+            }
+            settle();
+            return;
+          }
+          sim::Node& node = cluster_->node(m);
+          int disk = disk_cursor_[m]++ % node.num_disks();
+          node.disk(disk).Write(
+              bytes, [this, key, m, snapshot, aggregate, settle]() mutable {
+                if (cluster_->node(m).alive()) {
+                  replicas_[key][m] = *snapshot;
+                } else if (aggregate->ok()) {
+                  *aggregate = Status::Aborted("catch-up target node " +
+                                               std::to_string(m) + " died");
+                }
+                settle();
+              });
+        });
+  }
 }
 
 void ReplicationRuntime::SeedReplica(const std::string& op, uint32_t subtask,

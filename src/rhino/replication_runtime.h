@@ -28,6 +28,13 @@
 /// instance's checkpoints (descriptors, per-vnode content blobs, and
 /// replay watermarks) — what the Handover Manager consults to pick targets
 /// whose state fetch is purely local.
+///
+/// Failure handling (paper §4.2.3): a fail-stop of any chain member aborts
+/// the transfer with an error `Status` (the chain is only as durable as
+/// its weakest member; the next checkpoint re-replicates), the catalog
+/// never advertises copies on dead nodes, and `CatchUpReplicas` restores
+/// the replication factor after `ReplicationManager::HandleWorkerFailure`
+/// substitutes a new group member.
 
 namespace rhino::rhino {
 
@@ -58,7 +65,9 @@ class ReplicationRuntime {
   /// Asynchronously replicates the *delta* of `desc` from `primary_node`
   /// through the instance's replica chain. `blobs` carries the per-vnode
   /// content snapshot stored at the replicas for recovery. `done` fires
-  /// when the head receives the tail's acknowledgment.
+  /// exactly once: with OK when the head receives the tail's
+  /// acknowledgment, or with an error `Status` when a chain member (or the
+  /// primary) fail-stops mid-transfer.
   void ReplicateCheckpoint(const std::string& op, uint32_t subtask,
                            int primary_node,
                            const state::CheckpointDescriptor& desc,
@@ -66,9 +75,36 @@ class ReplicationRuntime {
                            std::function<void(Status)> done);
 
   /// Latest state fully replicated on `node` for the instance, or nullptr
-  /// when that node holds no (complete) copy.
+  /// when that node holds no (complete) copy. Dead nodes never advertise
+  /// replicas, whatever the catalog remembers.
   const ReplicaState* ReplicaOn(const std::string& op, uint32_t subtask,
                                 int node) const;
+
+  /// The live node holding the newest complete copy of the instance's
+  /// state, or -1 when no live replica exists.
+  int LiveReplicaNode(const std::string& op, uint32_t subtask) const;
+
+  /// Newest live copy of one *vnode* across every instance of `op` (the
+  /// vnode may have been checkpointed under a different instance than the
+  /// one now losing it — e.g. a move chain interrupted by failures).
+  /// Prefers `preferred_node` among equally fresh copies; sets *holder to
+  /// the node found (-1 when none). Returns nullptr when no live node
+  /// holds the vnode.
+  const ReplicaState* FindVnodeReplica(const std::string& op, uint32_t vnode,
+                                       int preferred_node, int* holder) const;
+
+  /// Drops every catalog entry hosted on `node` (fail-stop cleanup: the
+  /// copies died with the node's disks).
+  void PurgeNode(int node);
+
+  /// Restores the replication factor after a group repair: every live
+  /// member of the instance's *current* group that lags the newest live
+  /// copy receives a full catch-up transfer from the node holding it
+  /// (paper §4.2.3 — the substitute "fetches the respective state").
+  /// `done` fires once all catch-up copies are durable (OK) or a target
+  /// died mid-copy (error).
+  void CatchUpReplicas(const std::string& op, uint32_t subtask,
+                       std::function<void(Status)> done);
 
   /// Seeds a fully-replicated checkpoint without modeling any transfer
   /// (pre-experiment state, "previous checkpoints already replicated").
@@ -76,14 +112,26 @@ class ReplicationRuntime {
                    const state::CheckpointDescriptor& desc,
                    std::map<uint32_t, std::string> blobs);
 
+  /// Fault-injection probe: called with a named protocol event
+  /// ("replication_transfer", "replication_chunk") at each occurrence —
+  /// wire it to `sim::FaultInjector::Notify` to crash mid-chain.
+  void SetFaultProbe(std::function<void(const std::string& event)> probe) {
+    probe_ = std::move(probe);
+  }
+
   // ---- diagnostics ----
   uint64_t bytes_replicated() const { return bytes_replicated_; }
   int max_in_flight_chunks() const { return max_in_flight_; }
   uint64_t checkpoints_replicated() const { return checkpoints_replicated_; }
+  uint64_t transfers_aborted() const { return transfers_aborted_; }
+  uint64_t catchup_transfers() const { return catchup_transfers_; }
+  uint64_t catchup_bytes() const { return catchup_bytes_; }
 
  private:
   struct Transfer;
   void PumpHop(std::shared_ptr<Transfer> transfer, size_t hop);
+  /// Completes `transfer` with an error exactly once.
+  void AbortTransfer(const std::shared_ptr<Transfer>& transfer, Status status);
 
   static std::string Key(const std::string& op, uint32_t subtask) {
     return op + "#" + std::to_string(subtask);
@@ -92,13 +140,18 @@ class ReplicationRuntime {
   sim::Cluster* cluster_;
   ReplicationManager* manager_;
   ReplicationOptions options_;
+  std::function<void(const std::string&)> probe_;
 
   /// replica catalog: instance key -> node -> state
   std::map<std::string, std::map<int, ReplicaState>> replicas_;
+  std::map<int, int> disk_cursor_;
 
   uint64_t bytes_replicated_ = 0;
   uint64_t checkpoints_replicated_ = 0;
   int max_in_flight_ = 0;
+  uint64_t transfers_aborted_ = 0;
+  uint64_t catchup_transfers_ = 0;
+  uint64_t catchup_bytes_ = 0;
 };
 
 }  // namespace rhino::rhino

@@ -1,0 +1,91 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rhino::sim {
+
+void FaultInjector::CrashAt(SimTime when, int node, std::string cause) {
+  sim_->ScheduleAt(when, [this, node, cause = std::move(cause)] {
+    Fire(node, cause);
+  });
+}
+
+void FaultInjector::CrashOnEvent(const std::string& event, uint64_t nth,
+                                 int node, SimTime delay) {
+  RHINO_CHECK_GE(nth, 1u) << "event occurrences are 1-based";
+  event_triggers_[event].push_back(EventTrigger{nth, node, delay});
+}
+
+void FaultInjector::Notify(const std::string& event) {
+  uint64_t count = ++event_counts_[event];
+  auto it = event_triggers_.find(event);
+  if (it == event_triggers_.end()) return;
+  std::vector<EventTrigger>& armed = it->second;
+  for (auto t = armed.begin(); t != armed.end();) {
+    if (t->nth != count) {
+      ++t;
+      continue;
+    }
+    // Always bounce through the event queue, even at delay 0: firing
+    // synchronously would re-enter the protocol code that called the probe.
+    std::string cause = "event:" + event + "#" + std::to_string(count);
+    int node = t->node;
+    sim_->Schedule(t->delay, [this, node, cause] { Fire(node, cause); });
+    t = armed.erase(t);
+  }
+}
+
+std::vector<CrashEvent> FaultInjector::ScheduleRandomCrashes(
+    int count, std::vector<int> candidates, SimTime window_start,
+    SimTime window_end, SimTime min_gap) {
+  RHINO_CHECK_GE(window_end, window_start);
+  std::vector<CrashEvent> schedule;
+  for (int i = 0; i < count && !candidates.empty(); ++i) {
+    size_t pick = static_cast<size_t>(rng_.Uniform(candidates.size()));
+    CrashEvent ev;
+    ev.node = candidates[pick];
+    candidates.erase(candidates.begin() + static_cast<long>(pick));
+    ev.time = window_start +
+              static_cast<SimTime>(rng_.Uniform(
+                  static_cast<uint64_t>(window_end - window_start) + 1));
+    ev.cause = "random";
+    schedule.push_back(ev);
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const CrashEvent& a, const CrashEvent& b) {
+              return a.time != b.time ? a.time < b.time : a.node < b.node;
+            });
+  for (size_t i = 1; i < schedule.size(); ++i) {
+    if (schedule[i].time < schedule[i - 1].time + min_gap) {
+      schedule[i].time = schedule[i - 1].time + min_gap;
+    }
+  }
+  for (const CrashEvent& ev : schedule) CrashAt(ev.time, ev.node, ev.cause);
+  return schedule;
+}
+
+void FaultInjector::Fire(int node, const std::string& cause) {
+  if (crashed_.count(node)) return;  // at most one fail-stop per node
+  if (!cluster_->node(node).alive()) {
+    crashed_.insert(node);
+    return;  // someone else already killed it
+  }
+  crashed_.insert(node);
+  CrashEvent ev;
+  ev.time = sim_->Now();
+  ev.node = node;
+  ev.cause = cause;
+  ev.fired = true;
+  crashes_.push_back(ev);
+  RHINO_LOG(Info) << "fault-injector: crashing node " << node << " at t="
+                  << sim_->Now() << "us (" << cause << ")";
+  if (crash_handler_) {
+    crash_handler_(node);
+  } else {
+    cluster_->FailNode(node);
+  }
+}
+
+}  // namespace rhino::sim

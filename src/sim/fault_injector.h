@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "sim/cluster.h"
+#include "sim/simulation.h"
+
+/// \file fault_injector.h
+/// Seeded, deterministic fault-injection framework (paper §4.2.3 fail-stop
+/// model).
+///
+/// Crashes can be pinned to an absolute simulation time, to the k-th
+/// occurrence of a named protocol event (k-th checkpoint trigger, k-th
+/// replication chunk, k-th handover marker, ...), or drawn from a seeded
+/// random schedule — including multi-node and cascading schedules. All
+/// scheduling goes through the simulation's event queue, so a fault run
+/// with the same seed is exactly reproducible.
+///
+/// Protocol components expose *probes*: they call `Notify("event")` at
+/// interesting instants, and the injector fires any crash armed on that
+/// event's k-th occurrence. The injector itself only flips liveness (via
+/// `Cluster::FailNode` by default); wiring the full engine-level failure
+/// path (halting instances, aborting checkpoints) is done by installing a
+/// crash handler, keeping src/sim free of dataflow dependencies.
+
+namespace rhino::sim {
+
+/// One injected (or pending) fail-stop crash.
+struct CrashEvent {
+  SimTime time = 0;     ///< when it fired (or is scheduled to fire)
+  int node = -1;
+  std::string cause;    ///< "timed", "event:<name>#<k>", "random", ...
+  bool fired = false;
+};
+
+/// Deterministic crash scheduler over a simulated cluster.
+class FaultInjector {
+ public:
+  FaultInjector(Simulation* sim, Cluster* cluster, uint64_t seed = 42)
+      : sim_(sim), cluster_(cluster), rng_(seed) {}
+
+  /// Replaces the default crash action (`Cluster::FailNode`). Engines
+  /// install their own handler so a crash also halts instances, aborts
+  /// in-flight checkpoints, etc.
+  void SetCrashHandler(std::function<void(int node)> handler) {
+    crash_handler_ = std::move(handler);
+  }
+
+  // ------------------------------------------------- timed schedules ------
+
+  /// Fail-stops `node` at absolute simulation time `when`.
+  void CrashAt(SimTime when, int node, std::string cause = "timed");
+
+  /// Fail-stops `node` `delay` microseconds from now.
+  void CrashAfter(SimTime delay, int node, std::string cause = "timed") {
+    CrashAt(sim_->Now() + delay, node, std::move(cause));
+  }
+
+  // ------------------------------------------------- event schedules ------
+
+  /// Arms a crash of `node` on the `nth` occurrence (1-based) of `event`,
+  /// `delay` microseconds after the probe observes it. Several crashes may
+  /// be armed on the same event (cascading schedules).
+  void CrashOnEvent(const std::string& event, uint64_t nth, int node,
+                    SimTime delay = 0);
+
+  /// Probe: protocol code reports an occurrence of `event`. Fires any
+  /// armed crash whose count is reached.
+  void Notify(const std::string& event);
+
+  /// Occurrences of `event` observed so far.
+  uint64_t EventCount(const std::string& event) const {
+    auto it = event_counts_.find(event);
+    return it == event_counts_.end() ? 0 : it->second;
+  }
+
+  // ------------------------------------------------ random schedules ------
+
+  /// Draws `count` crashes over distinct nodes from `candidates`, at times
+  /// uniform in [window_start, window_end], sorted ascending and spaced at
+  /// least `min_gap` apart, and schedules them. Returns the schedule (for
+  /// logging / replay). Deterministic in the injector's seed.
+  std::vector<CrashEvent> ScheduleRandomCrashes(int count,
+                                                std::vector<int> candidates,
+                                                SimTime window_start,
+                                                SimTime window_end,
+                                                SimTime min_gap = 0);
+
+  // ----------------------------------------------------- diagnostics ------
+
+  bool crashed(int node) const { return crashed_.count(node) > 0; }
+  /// Every crash that actually fired, in firing order.
+  const std::vector<CrashEvent>& crashes() const { return crashes_; }
+  Random& random() { return rng_; }
+
+ private:
+  struct EventTrigger {
+    uint64_t nth = 0;
+    int node = -1;
+    SimTime delay = 0;
+  };
+
+  /// Executes the crash now (idempotent per node).
+  void Fire(int node, const std::string& cause);
+
+  Simulation* sim_;
+  Cluster* cluster_;
+  Random rng_;
+  std::function<void(int)> crash_handler_;
+
+  std::set<int> crashed_;
+  std::vector<CrashEvent> crashes_;
+  std::map<std::string, uint64_t> event_counts_;
+  std::map<std::string, std::vector<EventTrigger>> event_triggers_;
+};
+
+}  // namespace rhino::sim

@@ -83,11 +83,36 @@ TEST(ReplicationManagerTest, FailureRepairReplacesWorker) {
   ReplicationManager rm({0, 1, 2, 3}, 1);
   rm.BuildGroups({{"op", 0, 0, 100}, {"op", 1, 1, 100}});
   int replica_of_0 = rm.Group("op", 0)[0];
-  rm.HandleWorkerFailure(replica_of_0);
+  auto repairs = rm.HandleWorkerFailure(replica_of_0);
   const auto& group = rm.Group("op", 0);
   ASSERT_EQ(group.size(), 1u);
   EXPECT_NE(group[0], replica_of_0);
   EXPECT_NE(group[0], 0) << "replacement must still avoid the home worker";
+  // The repair names the substitute so the runtime can catch it up.
+  ASSERT_EQ(repairs.size(), 1u);
+  EXPECT_EQ(repairs[0].op_name, "op");
+  EXPECT_EQ(repairs[0].subtask, 0u);
+  EXPECT_EQ(repairs[0].substitute, group[0]);
+}
+
+TEST(ReplicationManagerTest, CascadingFailuresDegradeGracefully) {
+  // 3 workers, r=2: after one failure no eligible substitute remains for
+  // home 0 (the survivors are the home and the remaining member), so the
+  // group shrinks instead of the process aborting.
+  ReplicationManager rm({0, 1, 2}, 2);
+  rm.BuildGroups({{"op", 0, 0, 100}});
+  ASSERT_EQ(rm.Group("op", 0).size(), 2u);
+  auto repairs = rm.HandleWorkerFailure(2);
+  ASSERT_EQ(repairs.size(), 1u);
+  EXPECT_EQ(repairs[0].substitute, -1) << "no substitute exists";
+  EXPECT_EQ(rm.Group("op", 0).size(), 1u);
+  ASSERT_EQ(rm.degraded_groups().size(), 1u);
+  EXPECT_EQ(rm.degraded_groups()[0], "op#0");
+
+  // Rebuilding with the shrunken worker set also degrades without dying.
+  rm.BuildGroups({{"op", 0, 0, 100}});
+  EXPECT_EQ(rm.Group("op", 0).size(), 1u);
+  EXPECT_EQ(rm.degraded_groups().size(), 1u);
 }
 
 // ---------------------------------------------------- ReplicationRuntime --
@@ -177,6 +202,43 @@ TEST_F(ReplicationRuntimeTest, EmptyDeltaCompletesWithoutTransfer) {
   EXPECT_TRUE(done);
   EXPECT_EQ(runtime.bytes_replicated(), 0u);
   ASSERT_NE(runtime.ReplicaOn("op", 0, rm_.Group("op", 0)[0]), nullptr);
+}
+
+TEST_F(ReplicationRuntimeTest, ChainMemberCrashAbortsWithError) {
+  ReplicationRuntime runtime(&cluster_, &rm_);
+  // Kill the mid-chain member three chunks into the transfer: the done
+  // callback must fire with an error instead of the chain hanging.
+  int victim = rm_.Group("op", 0)[0];
+  uint64_t chunks_seen = 0;
+  runtime.SetFaultProbe([&](const std::string& event) {
+    if (event == "replication_chunk" && ++chunks_seen == 3) {
+      sim_.Schedule(0, [&, victim] { cluster_.FailNode(victim); });
+    }
+  });
+  bool done = false;
+  Status status;
+  runtime.ReplicateCheckpoint("op", 0, 0, Desc(1, 64 * kMiB), {{0, "blob"}},
+                              [&](Status st) {
+                                done = true;
+                                status = st;
+                              });
+  sim_.Run();
+  ASSERT_TRUE(done) << "chain transfer hung on the dead member";
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(runtime.transfers_aborted(), 1u);
+  // The catalog never advertises the dead node.
+  EXPECT_EQ(runtime.ReplicaOn("op", 0, victim), nullptr);
+}
+
+TEST_F(ReplicationRuntimeTest, PurgeNodeDropsCatalogEntries) {
+  ReplicationRuntime runtime(&cluster_, &rm_);
+  runtime.SeedReplica("op", 0, Desc(5, 1 * kGiB), {{3, "blob"}});
+  int member = rm_.Group("op", 0)[0];
+  ASSERT_NE(runtime.ReplicaOn("op", 0, member), nullptr);
+  runtime.PurgeNode(member);
+  // The node is still alive — the nullptr proves the entry itself is gone.
+  ASSERT_TRUE(cluster_.node(member).alive());
+  EXPECT_EQ(runtime.ReplicaOn("op", 0, member), nullptr);
 }
 
 TEST_F(ReplicationRuntimeTest, SeedReplicaRegistersWithoutIo) {
@@ -359,6 +421,41 @@ TEST_F(RhinoEndToEndTest, FailureRecoveryIsExactlyOnce) {
   for (uint32_t v = 0;
        v < engine_.routing("counter")->map().num_vnodes(); ++v) {
     EXPECT_NE(engine_.routing("counter")->InstanceForVnode(v), 0u);
+  }
+}
+
+TEST_F(RhinoEndToEndTest, TargetCrashMidHandoverDoesNotWedge) {
+  BuildCounterQuery();
+  ProduceWave(30);
+  sim_.RunUntil(sim_.Now() + 2 * kSecond);
+  engine_.TriggerCheckpoint();
+  sim_.RunUntil(sim_.Now() + 2 * kSecond);
+
+  // Move everything from instance 0 to instance 1, then kill the target's
+  // node while the transfer is in flight.
+  int victim = graph_->stateful("counter")[1]->node_id();
+  hm_.TriggerLoadBalance("counter", 0, 1, 1.0);
+  sim_.Schedule(5 * kMillisecond, [&] {
+    engine_.FailNode(victim);
+    sim_.Schedule(200 * kMillisecond, [&, victim] {
+      hm_.RecoverFailedNode(victim);
+    });
+  });
+  sim_.RunUntil(sim_.Now() + 10 * kSecond);
+  ProduceWave(30);
+  sim_.Run();
+
+  for (const auto& record : engine_.handovers()) {
+    EXPECT_TRUE(record.completed) << "handover " << record.spec->id;
+  }
+  for (uint64_t key = 0; key < 30; ++key) {
+    EXPECT_EQ(counts_[key], 2u) << "key " << key;
+  }
+  // No vnode may end up owned by the dead instance.
+  for (uint32_t v = 0; v < engine_.routing("counter")->map().num_vnodes();
+       ++v) {
+    uint32_t inst = engine_.routing("counter")->InstanceForVnode(v);
+    EXPECT_FALSE(graph_->stateful("counter")[inst]->halted()) << "vnode " << v;
   }
 }
 
