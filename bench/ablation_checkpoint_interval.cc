@@ -8,6 +8,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "artifact.h"
+#include "common/logging.h"
 #include "harness.h"
 #include "metrics/table.h"
 #include "rhino/adaptive_scheduler.h"
@@ -15,21 +17,23 @@
 namespace rhino::bench {
 namespace {
 
-void FixedSweep() {
+void FixedSweep(BenchArtifact* artifact) {
   std::printf("--- fixed interval sweep (NBQ8, 256 MB/s aggregate ingest) ---\n");
   metrics::TablePrinter table({"interval", "checkpoints", "mean delta/ckpt",
                                "bytes replicated", "LB tail moved"});
-  for (SimTime interval : {30 * kSecond, 60 * kSecond, 120 * kSecond,
-                           240 * kSecond}) {
+  std::vector<SimTime> intervals = {30 * kSecond, 60 * kSecond, 120 * kSecond,
+                                    240 * kSecond};
+  if (SmokeMode()) intervals = {30 * kSecond, 60 * kSecond};
+  for (SimTime interval : intervals) {
     TestbedOptions opts;
     opts.sut = Sut::kRhino;
     opts.query = "NBQ8";
     opts.checkpoint_interval = interval;
     opts.gen_tick = kSecond;
     Testbed tb(opts);
-    tb.SeedState(32 * kGiB);
+    tb.SeedState(SmokeScaled<uint64_t>(32 * kGiB, 4 * kGiB));
     tb.Start();
-    tb.Run(8 * kMinute);
+    tb.Run(SmokeScaled(8 * kMinute, 2 * kMinute));
 
     // One load balance at the end, to *cross-node* targets: its
     // transferred bytes are the incremental tail accumulated since the
@@ -52,6 +56,11 @@ void FixedSweep() {
       const rhino::HandoverStats* stats = tb.hm->StatsFor(record.spec->id);
       if (stats != nullptr) tail += stats->bytes_transferred;
     }
+    std::string ikey = std::to_string(interval / kSecond) + "s";
+    artifact->Set("checkpoints." + ikey, static_cast<double>(completed));
+    artifact->Set("bytes_replicated." + ikey,
+                  static_cast<double>(tb.replication.bytes_replicated()));
+    artifact->Set("lb_tail_bytes." + ikey, static_cast<double>(tail));
     table.AddRow({FormatDuration(interval), std::to_string(completed),
                   FormatBytes(completed ? delta / completed : 0),
                   FormatBytes(tb.replication.bytes_replicated()),
@@ -63,7 +72,7 @@ void FixedSweep() {
       "leave a larger tail for the next handover to ship.\n\n");
 }
 
-void Adaptive() {
+void Adaptive(BenchArtifact* artifact) {
   std::printf("--- adaptive scheduler (target 8 GiB delta/checkpoint) ---\n");
   TestbedOptions opts;
   opts.sut = Sut::kRhino;
@@ -84,7 +93,8 @@ void Adaptive() {
   scheduler.Start();
 
   metrics::TablePrinter table({"t[s]", "interval", "last delta"});
-  for (int step = 0; step < 16; ++step) {
+  const int steps = SmokeScaled(16, 4);
+  for (int step = 0; step < steps; ++step) {
     tb.Run(kMinute);
     char t[32];
     std::snprintf(t, sizeof(t), "%.0f", ToSeconds(tb.sim.Now()));
@@ -94,6 +104,10 @@ void Adaptive() {
   scheduler.Stop();
   tb.StopGenerators();
   table.Print();
+  artifact->Set("adaptive_final_interval_s",
+                ToSeconds(scheduler.current_interval()));
+  artifact->Set("adaptive_last_delta_bytes",
+                static_cast<double>(scheduler.last_delta_bytes()));
   std::printf(
       "\nthe interval shrinks after the rate doubles at t=480 s, holding the\n"
       "delta (and thus any handover tail) near the target.\n");
@@ -104,7 +118,9 @@ void Adaptive() {
 
 int main() {
   std::printf("=== Ablation: checkpoint interval & adaptive scheduling ===\n\n");
-  rhino::bench::FixedSweep();
-  rhino::bench::Adaptive();
+  rhino::bench::BenchArtifact artifact("ablation_checkpoint_interval");
+  rhino::bench::FixedSweep(&artifact);
+  rhino::bench::Adaptive(&artifact);
+  RHINO_CHECK_OK(artifact.Write());
   return 0;
 }

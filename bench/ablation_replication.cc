@@ -9,6 +9,8 @@
 
 #include <cstdio>
 
+#include "artifact.h"
+#include "common/logging.h"
 #include "metrics/table.h"
 #include "rhino/replication_manager.h"
 #include "rhino/replication_runtime.h"
@@ -47,8 +49,9 @@ SimTime Replicate(int r, ReplicationOptions options, uint64_t delta,
   return completed;
 }
 
-void Run() {
-  const uint64_t delta = 8ull * kGiB;  // one big incremental checkpoint
+void Run(bench::BenchArtifact* artifact) {
+  // One big incremental checkpoint (shrunk in CI smoke).
+  const uint64_t delta = bench::SmokeScaled<uint64_t>(8ull * kGiB, kGiB);
   std::printf("delta = %s per instance\n\n", FormatBytes(delta).c_str());
 
   std::printf("--- replica-group size r (chunk 8 MiB, window 4) ---\n");
@@ -57,6 +60,7 @@ void Run() {
   for (int r = 1; r <= 4; ++r) {
     SimTime t = Replicate(r, ReplicationOptions(), delta);
     if (r == 1) r1 = t;
+    artifact->Set("replication_s.r" + std::to_string(r), ToSeconds(t));
     char ratio[32];
     std::snprintf(ratio, sizeof(ratio), "%.2fx",
                   static_cast<double>(t) / static_cast<double>(r1));
@@ -66,11 +70,13 @@ void Run() {
 
   std::printf("\n--- chain pipelining vs store-and-forward (r=3) ---\n");
   metrics::TablePrinter p_table({"mode", "replication time"});
-  p_table.AddRow({"chain (pipelined)",
-                  FormatDuration(Replicate(3, ReplicationOptions(), delta))});
-  p_table.AddRow({"store-and-forward",
-                  FormatDuration(Replicate(3, ReplicationOptions(), delta,
-                                           /*store_and_forward=*/true))});
+  SimTime pipelined = Replicate(3, ReplicationOptions(), delta);
+  SimTime snf = Replicate(3, ReplicationOptions(), delta,
+                          /*store_and_forward=*/true);
+  artifact->Set("replication_s.pipelined", ToSeconds(pipelined));
+  artifact->Set("replication_s.store_and_forward", ToSeconds(snf));
+  p_table.AddRow({"chain (pipelined)", FormatDuration(pipelined)});
+  p_table.AddRow({"store-and-forward", FormatDuration(snf)});
   p_table.Print();
 
   std::printf("\n--- credit window sweep (r=2, chunk 8 MiB) ---\n");
@@ -88,6 +94,8 @@ void Run() {
     runtime.ReplicateCheckpoint("op", 0, 0, Desc(delta), {},
                                 [&](Status) { completed = sim.Now(); });
     sim.Run();
+    artifact->Set("replication_s.window" + std::to_string(window),
+                  ToSeconds(completed));
     w_table.AddRow({std::to_string(window), FormatDuration(completed),
                     std::to_string(runtime.max_in_flight_chunks())});
   }
@@ -98,8 +106,10 @@ void Run() {
   for (uint64_t chunk : {1 * kMiB, 4 * kMiB, 8 * kMiB, 32 * kMiB, 128 * kMiB}) {
     ReplicationOptions options;
     options.chunk_bytes = chunk;
-    c_table.AddRow({FormatBytes(chunk),
-                    FormatDuration(Replicate(2, options, delta))});
+    SimTime t = Replicate(2, options, delta);
+    artifact->Set("replication_s.chunk" + std::to_string(chunk / kMiB) + "MiB",
+                  ToSeconds(t));
+    c_table.AddRow({FormatBytes(chunk), FormatDuration(t)});
   }
   c_table.Print();
 }
@@ -109,6 +119,8 @@ void Run() {
 
 int main() {
   std::printf("=== Ablation: state-centric replication protocol ===\n\n");
-  rhino::rhino::Run();
+  rhino::bench::BenchArtifact artifact("ablation_replication");
+  rhino::rhino::Run(&artifact);
+  RHINO_CHECK_OK(artifact.Write());
   return 0;
 }

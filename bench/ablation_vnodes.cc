@@ -6,13 +6,15 @@
 
 #include <cstdio>
 
+#include "artifact.h"
+#include "common/logging.h"
 #include "hashring/key_groups.h"
 #include "metrics/table.h"
 
 namespace rhino::hashring {
 namespace {
 
-void Run() {
+void Run(bench::BenchArtifact* artifact) {
   const uint32_t key_groups = 1 << 15;
   const uint32_t parallelism = 64;
   const uint64_t instance_state = 4ull * 1024 * 1024 * 1024;  // 4 GiB
@@ -32,6 +34,11 @@ void Run() {
     uint32_t take = vnodes / 2;
     if (take == 0) take = 1;
     double achieved = static_cast<double>(take) / vnodes;
+    std::string vkey = std::to_string(vnodes) + "vnodes";
+    artifact->Set("movable_quantum_bytes." + vkey,
+                  static_cast<double>(quantum));
+    artifact->Set("split_error_pct." + vkey,
+                  std::abs(achieved - 0.5) * 100);
     char q[32], a[32], e[32];
     std::snprintf(q, sizeof(q), "%.0f MiB",
                   static_cast<double>(quantum) / (1024.0 * 1024.0));
@@ -49,6 +56,9 @@ void Run() {
                                  "table entries"});
   for (uint32_t vnodes : {1u, 4u, 16u, 64u, 128u}) {
     VirtualNodeMap map(key_groups, parallelism, vnodes);
+    artifact->Set(
+        "routing_entries." + std::to_string(vnodes) + "vnodes",
+        static_cast<double>(map.num_vnodes()));
     o_table.AddRow({std::to_string(vnodes), std::to_string(map.num_vnodes()),
                     std::to_string(map.num_vnodes())});
   }
@@ -60,6 +70,8 @@ void Run() {
 
 int main() {
   std::printf("=== Ablation: virtual-node granularity ===\n\n");
-  rhino::hashring::Run();
+  rhino::bench::BenchArtifact artifact("ablation_vnodes");
+  rhino::hashring::Run(&artifact);
+  RHINO_CHECK_OK(artifact.Write());
   return 0;
 }

@@ -1,0 +1,96 @@
+#include "artifact.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace rhino::bench {
+
+namespace {
+
+std::string FormatNumber(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      v > -1e15 && v < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(v)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool SmokeMode() {
+  const char* env = std::getenv("RHINO_BENCH_SMOKE");
+  return env != nullptr && std::string(env) != "0";
+}
+
+std::string BenchArtifact::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"bench\": \"" + EscapeJson(name_) + "\",\n";
+  out += std::string("  \"smoke\": ") + (SmokeMode() ? "true" : "false") +
+         ",\n";
+  out += "  \"info\": {";
+  bool first = true;
+  for (const auto& [key, value] : info_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    \"" + EscapeJson(key) + "\": \"" + EscapeJson(value) + "\"";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"metrics\": {";
+  first = true;
+  for (const auto& [key, value] : values_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    \"" + EscapeJson(key) + "\": " + FormatNumber(value);
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Status BenchArtifact::Write() const {
+  const char* dir = std::getenv("RHINO_BENCH_ARTIFACT_DIR");
+  std::string path = "BENCH_" + name_ + ".json";
+  if (dir != nullptr && *dir != '\0') {
+    ::mkdir(dir, 0755);  // single level; fine if it already exists
+    path = std::string(dir) + "/" + path;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << ToJson();
+  out.close();
+  if (!out) return Status::IOError("short write to " + path);
+  std::printf("\nwrote %s (%zu metrics)\n", path.c_str(), values_.size());
+  return Status::OK();
+}
+
+}  // namespace rhino::bench

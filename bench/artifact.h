@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+/// \file artifact.h
+/// Machine-readable benchmark artifacts: every bench binary records its
+/// headline numbers as a flat map of dotted keys and writes them to
+/// `BENCH_<name>.json` next to the human-readable tables it prints. CI
+/// uploads the files and `bench/check_regression.py` diffs them against
+/// the committed baselines in `bench/baselines/`.
+
+namespace rhino::bench {
+
+/// Accumulates `key -> number` results for one bench run.
+///
+/// Keys are dotted paths, most-significant dimension first, with units
+/// spelled out in the leaf: `recovery_total_s.250GiB.Rhino`,
+/// `latency_p99_ms.NBQ8.Flink`, `handover_bytes.NBQ8.Rhino`.
+class BenchArtifact {
+ public:
+  explicit BenchArtifact(std::string name) : name_(std::move(name)) {}
+
+  void Set(const std::string& key, double value) { values_[key] = value; }
+
+  /// Non-numeric context (query names, modes); kept out of `metrics` so
+  /// the regression checker only ever compares numbers.
+  void SetInfo(const std::string& key, std::string value) {
+    info_[key] = std::move(value);
+  }
+
+  std::string ToJson() const;
+
+  /// Writes `BENCH_<name>.json` into `$RHINO_BENCH_ARTIFACT_DIR` (falling
+  /// back to the working directory) and logs the path. Call once, at the
+  /// end of main, after all Set() calls.
+  Status Write() const;
+
+  const std::string& name() const { return name_; }
+  const std::map<std::string, double>& values() const { return values_; }
+
+ private:
+  std::string name_;
+  std::map<std::string, double> values_;
+  std::map<std::string, std::string> info_;
+};
+
+/// True when `RHINO_BENCH_SMOKE` is set (and not "0"): benches shrink
+/// their sweeps (fewer sizes/SUTs, shorter simulated runs) so the whole
+/// suite finishes in CI-smoke time while still emitting every key class.
+bool SmokeMode();
+
+/// Picks the full-scale or smoke-scale value of a bench parameter.
+template <typename T>
+T SmokeScaled(T full, T smoke) {
+  return SmokeMode() ? smoke : full;
+}
+
+}  // namespace rhino::bench

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json artifacts against committed baselines.
+
+Usage:
+    check_regression.py --baseline bench/baselines --current <dir> [options]
+
+Every artifact in the current directory is matched with the baseline of
+the same name. For keys matching the guarded patterns, a worsening of
+more than --threshold (default 20%) fails the check. "Worse" is
+direction-aware: for throughput keys higher is better, for everything
+else (times, latencies) lower is better.
+
+Keys present only on one side are reported but never fail the check
+(benches grow keys over time); a guarded *artifact* missing from the
+current run does fail, so CI can't silently stop running a bench.
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import sys
+
+# (artifact name, key glob) pairs that gate CI. Handover/recovery time and
+# steady-state throughput are the paper's headline claims.
+GUARDED = [
+    ("fig1_reconfiguration_time", "recovery_total_s.*"),
+    ("overhead_steady_state", "throughput_records_per_s.*"),
+    ("overhead_steady_state", "latency_p99_ms.*"),
+]
+
+# Keys where a higher current value is an improvement.
+HIGHER_IS_BETTER = ["throughput_*"]
+
+
+def load_artifacts(directory):
+    artifacts = {}
+    if not os.path.isdir(directory):
+        return artifacts
+    for entry in sorted(os.listdir(directory)):
+        if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+            continue
+        path = os.path.join(directory, entry)
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: cannot parse {path}: {e}")
+            sys.exit(2)
+        name = doc.get("bench", entry[len("BENCH_"):-len(".json")])
+        artifacts[name] = doc.get("metrics", {})
+    return artifacts
+
+
+def is_guarded(bench, key):
+    return any(
+        bench == gb and fnmatch.fnmatch(key, gk) for gb, gk in GUARDED
+    )
+
+
+def higher_is_better(key):
+    return any(fnmatch.fnmatch(key, pat) for pat in HIGHER_IS_BETTER)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="bench/baselines",
+                        help="directory with committed BENCH_*.json baselines")
+    parser.add_argument("--current", default=".",
+                        help="directory with freshly produced BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=20.0,
+                        help="allowed regression in percent (default 20)")
+    parser.add_argument("--min-abs", type=float, default=1e-3,
+                        help="ignore regressions where both values are below "
+                             "this magnitude (noise floor)")
+    args = parser.parse_args()
+
+    baseline = load_artifacts(args.baseline)
+    current = load_artifacts(args.current)
+    if not baseline:
+        print(f"error: no baselines found in {args.baseline}")
+        return 2
+    if not current:
+        print(f"error: no artifacts found in {args.current}")
+        return 2
+
+    failures = []
+    compared = 0
+    for bench, base_metrics in sorted(baseline.items()):
+        cur_metrics = current.get(bench)
+        if cur_metrics is None:
+            if any(gb == bench for gb, _ in GUARDED):
+                failures.append(f"{bench}: guarded artifact missing from "
+                                f"current run")
+            else:
+                print(f"note: {bench} not present in current run")
+            continue
+        for key, base_value in sorted(base_metrics.items()):
+            if key not in cur_metrics:
+                print(f"note: {bench}/{key} missing from current run")
+                continue
+            cur_value = cur_metrics[key]
+            compared += 1
+            if not is_guarded(bench, key):
+                continue
+            if abs(base_value) < args.min_abs and abs(cur_value) < args.min_abs:
+                continue
+            if base_value == 0:
+                continue
+            if higher_is_better(key):
+                delta_pct = (base_value - cur_value) / abs(base_value) * 100
+            else:
+                delta_pct = (cur_value - base_value) / abs(base_value) * 100
+            status = "OK"
+            if delta_pct > args.threshold:
+                status = "FAIL"
+                failures.append(
+                    f"{bench}/{key}: {base_value:.6g} -> {cur_value:.6g} "
+                    f"({delta_pct:+.1f}% worse)")
+            print(f"{status:4} {bench}/{key}: {base_value:.6g} -> "
+                  f"{cur_value:.6g} ({delta_pct:+.1f}%)")
+
+    print(f"\ncompared {compared} keys across {len(current)} artifacts")
+    if failures:
+        print(f"\n{len(failures)} regression(s) over {args.threshold:.0f}%:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

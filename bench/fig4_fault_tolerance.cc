@@ -13,6 +13,8 @@
 
 #include <cstdio>
 
+#include "artifact.h"
+#include "common/logging.h"
 #include "harness.h"
 #include "sim/fault_injector.h"
 #include "timeline_util.h"
@@ -21,12 +23,14 @@ namespace rhino::bench {
 namespace {
 
 uint64_t SeedFor(const std::string& query) {
+  if (SmokeMode()) return 8 * kGiB;
   if (query == "NBQ5") return 26 * kMiB;
   if (query == "NBQ8") return 190 * kGiB;
   return 180 * kGiB;  // NBQX aggregate across its five operators
 }
 
-void RunScenario(const std::string& query, Sut sut) {
+void RunScenario(const std::string& query, Sut sut,
+                 BenchArtifact* artifact) {
   TestbedOptions opts;
   opts.sut = sut;
   opts.query = query;
@@ -53,6 +57,15 @@ void RunScenario(const std::string& query, Sut sut) {
               query.c_str(), SutName(sut), ToSeconds(failure_time),
               ToSeconds(breakdown.total_us));
   PrintTimeline(tb, PrimaryOpOf(query), failure_time);
+
+  std::string prefix = query + "." + std::string(SutName(sut));
+  artifact->Set("recovery_s." + prefix, ToSeconds(breakdown.total_us));
+  TimelineSummary summary =
+      SummarizeTimeline(tb, PrimaryOpOf(query), failure_time);
+  artifact->Set("steady_mean_ms." + prefix,
+                summary.steady_mean_us / kMillisecond);
+  artifact->Set("peak_after_ms." + prefix,
+                summary.peak_after_us / kMillisecond);
 }
 
 /// Variant beyond the paper's figure: two VM failures drawn at random
@@ -60,7 +73,8 @@ void RunScenario(const std::string& query, Sut sut) {
 /// first recovery's handovers and catch-up re-replication are still in
 /// flight). Exercises the cascading-failure paths of the recovery planner;
 /// with r = 2 the state survives and latency returns to steady bounds.
-void RunDoubleFailureScenario(const std::string& query, Sut sut) {
+void RunDoubleFailureScenario(const std::string& query, Sut sut,
+                              BenchArtifact* artifact) {
   TestbedOptions opts;
   opts.sut = sut;
   opts.query = query;
@@ -75,6 +89,7 @@ void RunDoubleFailureScenario(const std::string& query, Sut sut) {
   tb.SeedState(SeedFor(query));
 
   sim::FaultInjector injector(&tb.sim, &tb.cluster, /*seed=*/11);
+  injector.SetObservability(&tb.observability);
   injector.SetCrashHandler([&tb](int node) {
     tb.engine.FailNode(node);
     tb.sim.Schedule(tb.hm->options().recovery_scheduling_us,
@@ -102,27 +117,50 @@ void RunDoubleFailureScenario(const std::string& query, Sut sut) {
   }
   std::printf(") ---\n");
   PrintTimeline(tb, PrimaryOpOf(query), window_start);
+
+  std::string prefix = query + "." + std::string(SutName(sut));
+  TimelineSummary summary =
+      SummarizeTimeline(tb, PrimaryOpOf(query), window_start);
+  artifact->Set("double_failure_peak_ms." + prefix,
+                summary.peak_after_us / kMillisecond);
+  artifact->Set("double_failure_crashes." + prefix,
+                static_cast<double>(injector.crashes().size()));
 }
 
 }  // namespace
 }  // namespace rhino::bench
 
 int main() {
+  using rhino::bench::SmokeMode;
+  rhino::bench::BenchArtifact artifact("fig4_fault_tolerance");
+  std::vector<const char*> queries = {"NBQ8", "NBQ5", "NBQX"};
+  std::vector<rhino::bench::Sut> suts = {rhino::bench::Sut::kFlink,
+                                         rhino::bench::Sut::kRhino,
+                                         rhino::bench::Sut::kRhinoDfs};
+  if (SmokeMode()) {
+    queries = {"NBQ8"};
+    suts = {rhino::bench::Sut::kRhino};
+  }
   std::printf(
       "=== Figure 4a-c: latency around a VM failure (fault tolerance) ===\n\n");
-  for (const char* query : {"NBQ8", "NBQ5", "NBQX"}) {
-    for (auto sut : {rhino::bench::Sut::kFlink, rhino::bench::Sut::kRhino,
-                     rhino::bench::Sut::kRhinoDfs}) {
-      rhino::bench::RunScenario(query, sut);
+  for (const char* query : queries) {
+    for (auto sut : suts) {
+      rhino::bench::RunScenario(query, sut, &artifact);
     }
   }
   std::printf(
       "\n=== Variant: two random VM failures in one checkpoint interval "
       "===\n\n");
-  for (const char* query : {"NBQ8", "NBQ5", "NBQX"}) {
-    for (auto sut : {rhino::bench::Sut::kRhino, rhino::bench::Sut::kRhinoDfs}) {
-      rhino::bench::RunDoubleFailureScenario(query, sut);
+  for (const char* query : queries) {
+    for (auto sut : SmokeMode()
+                        ? std::vector<rhino::bench::Sut>{
+                              rhino::bench::Sut::kRhino}
+                        : std::vector<rhino::bench::Sut>{
+                              rhino::bench::Sut::kRhino,
+                              rhino::bench::Sut::kRhinoDfs}) {
+      rhino::bench::RunDoubleFailureScenario(query, sut, &artifact);
     }
   }
+  RHINO_CHECK_OK(artifact.Write());
   return 0;
 }

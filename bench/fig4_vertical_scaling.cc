@@ -9,6 +9,8 @@
 
 #include <cstdio>
 
+#include "artifact.h"
+#include "common/logging.h"
 #include "harness.h"
 #include "timeline_util.h"
 
@@ -16,12 +18,14 @@ namespace rhino::bench {
 namespace {
 
 uint64_t SeedFor(const std::string& query) {
+  if (SmokeMode()) return 8 * kGiB;
   if (query == "NBQ5") return 26 * kMiB;
   if (query == "NBQ8") return 220 * kGiB;  // paper §5.4.1
   return 170 * kGiB;
 }
 
-void RunScenario(const std::string& query, Sut sut) {
+void RunScenario(const std::string& query, Sut sut,
+                 BenchArtifact* artifact) {
   TestbedOptions opts;
   opts.sut = sut;
   opts.query = query;
@@ -49,18 +53,40 @@ void RunScenario(const std::string& query, Sut sut) {
   std::printf("--- %s / %s: rescale to full parallelism at t=%.0f s ---\n",
               query.c_str(), SutName(sut), ToSeconds(rescale_time));
   PrintTimeline(tb, PrimaryOpOf(query), rescale_time);
+
+  std::string prefix = query + "." + std::string(SutName(sut));
+  TimelineSummary summary =
+      SummarizeTimeline(tb, PrimaryOpOf(query), rescale_time);
+  artifact->Set("steady_mean_ms." + prefix,
+                summary.steady_mean_us / kMillisecond);
+  artifact->Set("peak_after_ms." + prefix,
+                summary.peak_after_us / kMillisecond);
+  artifact->Set(
+      "handover_bytes." + prefix,
+      static_cast<double>(tb.observability.metrics()
+                              .GetCounter("rhino_handover_bytes_total")
+                              ->value()));
 }
 
 }  // namespace
 }  // namespace rhino::bench
 
 int main() {
+  rhino::bench::BenchArtifact artifact("fig4_vertical_scaling");
+  std::vector<const char*> queries = {"NBQ8", "NBQ5", "NBQX"};
+  std::vector<rhino::bench::Sut> suts = {rhino::bench::Sut::kFlink,
+                                         rhino::bench::Sut::kRhino,
+                                         rhino::bench::Sut::kRhinoDfs};
+  if (rhino::bench::SmokeMode()) {
+    queries = {"NBQ8"};
+    suts = {rhino::bench::Sut::kRhino};
+  }
   std::printf("=== Figure 4d-f: latency around vertical scaling ===\n\n");
-  for (const char* query : {"NBQ8", "NBQ5", "NBQX"}) {
-    for (auto sut : {rhino::bench::Sut::kFlink, rhino::bench::Sut::kRhino,
-                     rhino::bench::Sut::kRhinoDfs}) {
-      rhino::bench::RunScenario(query, sut);
+  for (const char* query : queries) {
+    for (auto sut : suts) {
+      rhino::bench::RunScenario(query, sut, &artifact);
     }
   }
+  RHINO_CHECK_OK(artifact.Write());
   return 0;
 }

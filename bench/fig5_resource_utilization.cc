@@ -11,22 +11,24 @@
 
 #include <cstdio>
 
+#include "artifact.h"
+#include "common/logging.h"
 #include "harness.h"
 #include "metrics/table.h"
 
 namespace rhino::bench {
 namespace {
 
-void RunSut(Sut sut) {
+void RunSut(Sut sut, BenchArtifact* artifact) {
   TestbedOptions opts;
   opts.sut = sut;
   opts.query = "NBQ8";
   opts.checkpoint_interval = kMinute;
   opts.gen_tick = kSecond;
   Testbed tb(opts);
-  tb.SeedState(64 * kGiB);
+  tb.SeedState(SmokeScaled<uint64_t>(64 * kGiB, 8 * kGiB));
   tb.Start();
-  tb.Run(3 * kMinute);
+  tb.Run(SmokeScaled(3 * kMinute, kMinute));
   SimTime reconfig = tb.sim.Now();
   if (sut == Sut::kFlink) {
     // Flink's only reconfiguration mechanism: restart from the checkpoint.
@@ -34,8 +36,27 @@ void RunSut(Sut sut) {
   } else {
     tb.TriggerLoadBalance(opts.num_workers, 0.5);
   }
-  tb.Run(3 * kMinute);
+  tb.Run(SmokeScaled(3 * kMinute, kMinute));
   tb.StopGenerators();
+
+  double cpu_sum = 0, net_sum = 0, disk_sum = 0;
+  uint64_t net_bytes = 0, disk_bytes = 0;
+  for (const auto& s : tb.monitor->samples()) {
+    cpu_sum += s.cpu_util;
+    net_sum += s.net_util;
+    disk_sum += s.disk_util;
+    net_bytes += s.net_bytes;
+    disk_bytes += s.disk_bytes;
+  }
+  auto count = static_cast<double>(tb.monitor->samples().size());
+  std::string prefix = SutName(sut);
+  if (count > 0) {
+    artifact->Set("cpu_util_pct." + prefix, cpu_sum / count * 100);
+    artifact->Set("net_util_pct." + prefix, net_sum / count * 100);
+    artifact->Set("disk_util_pct." + prefix, disk_sum / count * 100);
+  }
+  artifact->Set("net_bytes." + prefix, static_cast<double>(net_bytes));
+  artifact->Set("disk_bytes." + prefix, static_cast<double>(disk_bytes));
 
   std::printf("--- %s (reconfiguration at t=%.0f s) ---\n", SutName(sut),
               ToSeconds(reconfig));
@@ -73,12 +94,17 @@ void RunSut(Sut sut) {
 }  // namespace rhino::bench
 
 int main() {
+  rhino::bench::BenchArtifact artifact("fig5_resource_utilization");
+  std::vector<rhino::bench::Sut> suts = {rhino::bench::Sut::kFlink,
+                                         rhino::bench::Sut::kRhino,
+                                         rhino::bench::Sut::kMegaphone};
+  if (rhino::bench::SmokeMode()) suts = {rhino::bench::Sut::kRhino};
   std::printf(
       "=== Figure 5: cluster resource utilization, NBQ8 with one "
       "reconfiguration ===\n\n");
-  for (auto sut : {rhino::bench::Sut::kFlink, rhino::bench::Sut::kRhino,
-                   rhino::bench::Sut::kMegaphone}) {
-    rhino::bench::RunSut(sut);
+  for (auto sut : suts) {
+    rhino::bench::RunSut(sut, &artifact);
   }
+  RHINO_CHECK_OK(artifact.Write());
   return 0;
 }

@@ -10,6 +10,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "artifact.h"
+#include "common/logging.h"
 #include "harness.h"
 #include "timeline_util.h"
 
@@ -32,7 +34,7 @@ double TriangleFactor(SimTime t) {
   return mbps / hi;
 }
 
-void RunSut(Sut sut) {
+void RunSut(Sut sut, BenchArtifact* artifact) {
   TestbedOptions opts;
   opts.sut = sut;
   opts.query = "NBQ8";
@@ -41,7 +43,7 @@ void RunSut(Sut sut) {
   opts.gen_bytes_per_sec = 8e6;  // peak
   opts.rate_factor = TriangleFactor;
   Testbed tb(opts);
-  tb.SeedState(150 * kGiB);
+  tb.SeedState(SmokeScaled<uint64_t>(150 * kGiB, 8 * kGiB));
   tb.Start();
   tb.Run(2 * opts.checkpoint_interval + 10 * kSecond);
 
@@ -103,18 +105,31 @@ void RunSut(Sut sut) {
               SutName(sut), ToSeconds(reconfig),
               FormatBytes(tb.TotalStateBytes()).c_str());
   PrintTimeline(tb, PrimaryOpOf("NBQ8"), reconfig);
+
+  std::string prefix = SutName(sut);
+  TimelineSummary summary =
+      SummarizeTimeline(tb, PrimaryOpOf("NBQ8"), reconfig);
+  artifact->Set("steady_mean_ms." + prefix,
+                summary.steady_mean_us / kMillisecond);
+  artifact->Set("peak_after_ms." + prefix,
+                summary.peak_after_us / kMillisecond);
 }
 
 }  // namespace
 }  // namespace rhino::bench
 
 int main() {
+  rhino::bench::BenchArtifact artifact("fig6_varying_rates");
+  std::vector<rhino::bench::Sut> suts = {rhino::bench::Sut::kFlink,
+                                         rhino::bench::Sut::kRhino,
+                                         rhino::bench::Sut::kRhinoDfs};
+  if (rhino::bench::SmokeMode()) suts = {rhino::bench::Sut::kRhino};
   std::printf(
       "=== Figure 6: NBQ8 latency under varying data rates, with a planned "
       "migration ===\n\n");
-  for (auto sut : {rhino::bench::Sut::kFlink, rhino::bench::Sut::kRhino,
-                   rhino::bench::Sut::kRhinoDfs}) {
-    rhino::bench::RunSut(sut);
+  for (auto sut : suts) {
+    rhino::bench::RunSut(sut, &artifact);
   }
+  RHINO_CHECK_OK(artifact.Write());
   return 0;
 }

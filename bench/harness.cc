@@ -1,9 +1,11 @@
 #include "harness.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 
 #include "common/logging.h"
+#include "obs/exporters.h"
 #include "dataflow/sink.h"
 #include "dataflow/source.h"
 #include "dataflow/stateful.h"
@@ -132,6 +134,11 @@ Testbed::Testbed(TestbedOptions opts)
       rhino_storage(&cluster, &replication),
       dfs_storage(&cluster, &dfs),
       latency(&engine) {
+  observability.SetClock([this] { return sim.Now(); });
+  engine.SetObservability(&observability);  // before BuildQuery: instances
+                                            // cache handles at registration
+  replication.SetObservability(&observability);
+  rm.SetObservability(&observability);
   stateful_ops = nexmark::StatefulOpsOf(options.query);
   BuildQuery();
   WireSut();
@@ -139,6 +146,24 @@ Testbed::Testbed(TestbedOptions opts)
   monitor = std::make_unique<metrics::ResourceMonitor>(
       &sim, &cluster, WorkerNodeList(options), kSecond);
   monitor->SetMemoryProbe([this] { return TotalStateBytes(); });
+}
+
+Testbed::~Testbed() {
+  const char* dir = std::getenv("RHINO_TRACE_DUMP");
+  if (dir == nullptr || *dir == '\0') return;
+  // One pair of files per testbed: suffix with the SUT so multi-SUT
+  // sweeps don't clobber each other (later runs of the same SUT do).
+  std::string base = std::string(dir) + "/" + SutName(options.sut) + "_" +
+                     options.query;
+  Status s = obs::WriteTextFile(base + "_trace.json",
+                                obs::TraceToChromeJson(observability.trace()));
+  if (s.ok()) {
+    s = obs::WriteTextFile(base + "_metrics.prom",
+                           obs::ToPrometheusText(observability.metrics()));
+  }
+  if (!s.ok()) {
+    RHINO_LOG(Warn) << "RHINO_TRACE_DUMP: " << s.ToString();
+  }
 }
 
 void Testbed::BuildQuery() {

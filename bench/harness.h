@@ -15,6 +15,7 @@
 #include "metrics/resource_monitor.h"
 #include "metrics/timeline.h"
 #include "nexmark/nexmark.h"
+#include "obs/observability.h"
 #include "rhino/checkpoint_storage.h"
 #include "rhino/handover_manager.h"
 #include "rhino/replication_manager.h"
@@ -70,6 +71,10 @@ struct TestbedOptions {
 class Testbed {
  public:
   explicit Testbed(TestbedOptions options);
+  /// When RHINO_TRACE_DUMP names a directory, teardown writes the protocol
+  /// trace there as Chrome trace_event JSON (chrome://tracing / Perfetto)
+  /// plus the metrics as Prometheus text.
+  ~Testbed();
 
   /// Starts generators, sources, and periodic checkpoints.
   void Start();
@@ -117,6 +122,11 @@ class Testbed {
   // ---- components (construction order matters) ----
   TestbedOptions options;
   sim::Simulation sim;
+  /// Per-testbed observability context (simulated-clock trace + metrics);
+  /// installed on the engine and the out-of-engine components in the ctor
+  /// so benches that build several testbeds in one process don't bleed
+  /// counters into each other.
+  obs::Observability observability;
   sim::Cluster cluster;
   broker::Broker broker;
   dataflow::Engine engine;

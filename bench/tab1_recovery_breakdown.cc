@@ -11,6 +11,8 @@
 
 #include <cstdio>
 
+#include "artifact.h"
+#include "common/logging.h"
 #include "harness.h"
 #include "metrics/table.h"
 
@@ -26,10 +28,13 @@ std::string Secs(SimTime t) {
 void Run() {
   std::printf("=== Table 1: recovery time breakdown, NBQ8, VM failure ===\n");
   std::printf("(seconds; paper values in header comment of this binary)\n\n");
+  BenchArtifact artifact("tab1_recovery_breakdown");
   metrics::TablePrinter table(
       {"State", "SUT", "Scheduling", "StateFetch", "StateLoad", "Total"});
 
-  const uint64_t sizes[] = {250 * kGiB, 500 * kGiB, 750 * kGiB, 1000 * kGiB};
+  std::vector<uint64_t> sizes = {250 * kGiB, 500 * kGiB, 750 * kGiB,
+                                 1000 * kGiB};
+  if (SmokeMode()) sizes = {16 * kGiB};
   const Sut suts[] = {Sut::kFlink, Sut::kRhino, Sut::kRhinoDfs,
                       Sut::kMegaphone};
 
@@ -51,6 +56,20 @@ void Run() {
       tb.FailWorker(0);
       auto breakdown = tb.Recover(0);
 
+      std::string size_key = std::to_string(size / kGiB) + "GiB";
+      std::string prefix = size_key + "." + SutName(sut);
+      if (!breakdown.oom) {
+        artifact.Set("total_s." + prefix, ToSeconds(breakdown.total_us));
+        if (sut != Sut::kMegaphone) {
+          artifact.Set("scheduling_s." + prefix,
+                       ToSeconds(breakdown.scheduling_us));
+          artifact.Set("state_fetch_s." + prefix,
+                       ToSeconds(breakdown.state_fetch_us));
+          artifact.Set("state_load_s." + prefix,
+                       ToSeconds(breakdown.state_load_us));
+        }
+      }
+
       std::string label = FormatBytes(size);
       if (breakdown.oom) {
         table.AddRow({label, SutName(sut), "Out-of-Memory", "", "", ""});
@@ -66,6 +85,7 @@ void Run() {
     }
   }
   table.Print();
+  RHINO_CHECK_OK(artifact.Write());
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -18,6 +19,33 @@ inline std::string PrimaryOpOf(const std::string& query) {
   if (query == "NBQ5") return "nbq5-agg";
   if (query == "NBQ8") return "nbq8-join";
   return "nbqx-tumbling";
+}
+
+/// Headline numbers of a latency timeline around a reconfiguration: the
+/// average of the bucket means before it, and the worst bucket mean after.
+struct TimelineSummary {
+  double steady_mean_us = 0;
+  double peak_after_us = 0;
+};
+
+inline TimelineSummary SummarizeTimeline(const Testbed& tb,
+                                         const std::string& op,
+                                         SimTime reconfig_time) {
+  TimelineSummary summary;
+  const metrics::TimeSeries* series = tb.latency.Series(op);
+  if (series == nullptr || series->empty()) return summary;
+  double sum = 0;
+  int n = 0;
+  for (const auto& b : series->Buckets()) {
+    if (b.start < reconfig_time) {
+      sum += b.Mean();
+      ++n;
+    } else {
+      summary.peak_after_us = std::max(summary.peak_after_us, b.Mean());
+    }
+  }
+  summary.steady_mean_us = n > 0 ? sum / n : 0;
+  return summary;
 }
 
 /// Prints the bucketed latency timeline of `op` with a marker at the
@@ -45,23 +73,11 @@ inline void PrintTimeline(const Testbed& tb, const std::string& op,
   }
   table.Print();
 
-  double steady = series->PeakMean(0, 1) == 0 ? 0 : 0;  // placeholder
-  // Steady mean: average of bucket means before the reconfiguration.
-  double sum = 0;
-  int n = 0;
-  double peak_after = 0;
-  for (const auto& b : series->Buckets()) {
-    if (b.start < reconfig_time) {
-      sum += b.Mean();
-      ++n;
-    } else {
-      peak_after = std::max(peak_after, b.Mean());
-    }
-  }
-  steady = n > 0 ? sum / n : 0;
+  TimelineSummary summary = SummarizeTimeline(tb, op, reconfig_time);
   std::printf("  steady mean before: %.1f ms | peak after: %.1f ms (%.2f s)\n\n",
-              steady / kMillisecond, peak_after / kMillisecond,
-              peak_after / kSecond);
+              summary.steady_mean_us / kMillisecond,
+              summary.peak_after_us / kMillisecond,
+              summary.peak_after_us / kSecond);
 }
 
 }  // namespace rhino::bench

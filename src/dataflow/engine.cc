@@ -68,6 +68,7 @@ StatefulInstance* Engine::FindStateful(const std::string& op, uint32_t subtask) 
 uint64_t Engine::TriggerCheckpoint() {
   RHINO_CHECK(!checkpoint_in_flight_) << "checkpoint already in flight";
   if (probe_) probe_("checkpoint_trigger");
+  obs_->metrics().GetCounter("rhino_checkpoint_triggered_total")->Increment();
   CheckpointRecord record;
   record.id = next_checkpoint_id_++;
   record.trigger_time = sim_->Now();
@@ -86,6 +87,8 @@ uint64_t Engine::TriggerCheckpoint() {
   for (SourceInstance* s : sources_) {
     if (!s->halted()) s->InjectControl(barrier);
   }
+  obs_->trace().Emit("checkpoint", "trigger", "engine", checkpoints_.back().id,
+                     {{"pending_acks", checkpoints_.back().pending_acks}});
   return checkpoints_.back().id;
 }
 
@@ -135,6 +138,14 @@ void Engine::OnSnapshotTaken(OperatorInstance* instance,
       rec->completed = true;
       rec->complete_time = sim_->Now();
       checkpoint_in_flight_ = false;
+      obs_->metrics().GetCounter("rhino_checkpoint_completed_total")->Increment();
+      obs_->metrics()
+          .GetHistogram("rhino_checkpoint_duration_us")
+          ->Observe(rec->complete_time - rec->trigger_time);
+      obs_->trace().EmitSpan(
+          "checkpoint", "checkpoint", "engine", rec->trigger_time,
+          rec->complete_time, id,
+          {{"snapshots", static_cast<int64_t>(rec->descriptors.size())}});
       if (checkpoint_listener_) checkpoint_listener_(*rec);
     }
   };
@@ -157,6 +168,10 @@ const CheckpointRecord* Engine::LastCompletedCheckpoint() const {
 
 void Engine::StartHandover(std::shared_ptr<const HandoverSpec> spec) {
   if (probe_) probe_("handover_start");
+  obs_->metrics().GetCounter("rhino_handover_triggered_total")->Increment();
+  obs_->trace().Emit(
+      "handover", "marker_injected", "engine", spec->id,
+      {{"moves", static_cast<int64_t>(spec->moves.size())}});
   HandoverRecord record;
   record.spec = spec;
   record.trigger_time = sim_->Now();
@@ -201,6 +216,15 @@ void Engine::MaybeCompleteHandover(HandoverRecord& record) {
       table->Assign(v, move.target_instance);
     }
   }
+  obs_->metrics().GetCounter("rhino_handover_completed_total")->Increment();
+  obs_->metrics()
+      .GetHistogram("rhino_handover_duration_us")
+      ->Observe(record.complete_time - record.trigger_time);
+  obs_->trace().EmitSpan(
+      "handover", "handover", "engine", record.trigger_time,
+      record.complete_time, record.spec->id,
+      {{"moves", static_cast<int64_t>(record.spec->moves.size())},
+       {"participants", static_cast<int64_t>(record.participants.size())}});
   if (handover_listener_) handover_listener_(record);
 }
 
@@ -220,9 +244,17 @@ bool Engine::IsHandoverComplete(uint64_t id) const {
 
 void Engine::FailNode(int node_id) {
   cluster_->FailNode(node_id);
+  int halted = 0;
   for (auto& instance : instances_) {
-    if (instance->node_id() == node_id) instance->Halt();
+    if (instance->node_id() == node_id) {
+      instance->Halt();
+      ++halted;
+    }
   }
+  obs_->metrics().GetCounter("rhino_engine_node_failures_total")->Increment();
+  obs_->trace().Emit("fault", "node_failed",
+                     "node" + std::to_string(node_id), 0,
+                     {{"halted_instances", halted}});
   // Survivors waiting for markers from the dead instances must re-check
   // their alignment requirements (and targets of in-flight moves whose
   // origin just died re-issue their restore from the replicated copy).
@@ -253,6 +285,8 @@ void Engine::AbortCheckpoint(uint64_t id) {
   CheckpointRecord* record = FindCheckpoint(id);
   if (record == nullptr || record->completed || record->aborted) return;
   record->aborted = true;
+  obs_->metrics().GetCounter("rhino_checkpoint_aborted_total")->Increment();
+  obs_->trace().Emit("checkpoint", "abort", "engine", id);
   if (!checkpoints_.empty() && checkpoints_.back().id == id) {
     checkpoint_in_flight_ = false;
   }

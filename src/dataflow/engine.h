@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "dataflow/operator.h"
 #include "hashring/key_groups.h"
+#include "obs/observability.h"
 #include "sim/cluster.h"
 #include "sim/simulation.h"
 #include "state/checkpoint.h"
@@ -102,6 +103,12 @@ class Engine {
   sim::Cluster* cluster() { return cluster_; }
   broker::Broker* broker() { return broker_; }
   const EngineOptions& options() const { return options_; }
+
+  /// Installs the observability context shared by this engine's instances
+  /// (defaults to the process-wide one). Call before building the graph:
+  /// instances cache metric handles from it at registration time.
+  void SetObservability(obs::Observability* o) { obs_ = o; }
+  obs::Observability* obs() { return obs_; }
 
   // ------------------------------------------------------- registration --
 
@@ -220,6 +227,7 @@ class Engine {
   sim::Cluster* cluster_;
   broker::Broker* broker_;
   EngineOptions options_;
+  obs::Observability* obs_ = obs::Observability::Default();
 
   std::vector<std::unique_ptr<OperatorInstance>> instances_;
   std::vector<std::unique_ptr<Channel>> channels_;

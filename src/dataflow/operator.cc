@@ -7,6 +7,19 @@
 
 namespace rhino::dataflow {
 
+namespace {
+
+std::string ScopeOf(const OperatorInstance* instance) {
+  return instance->op_name() + "#" + std::to_string(instance->subtask());
+}
+
+const char* AlignmentName(ControlEvent::Type type) {
+  return type == ControlEvent::Type::kCheckpointBarrier ? "barrier_align"
+                                                        : "marker_align";
+}
+
+}  // namespace
+
 // --------------------------------------------------------------- Channel --
 
 void Channel::Send(ChannelItem item) {
@@ -213,8 +226,11 @@ void OperatorInstance::OnControl(int channel_idx, const ControlEvent& ev) {
     }
   }
   if (alignment == nullptr) {
-    alignments_.push_back(Alignment{ev, {}});
+    alignments_.push_back(Alignment{ev, {}, 0});
     alignment = &alignments_.back();
+    // Alignment starts with the first marker received.
+    alignment->span = engine_->obs()->trace().BeginSpan(
+        "align", AlignmentName(ev.type), ScopeOf(this), ev.id);
   }
   alignment->channels.insert(channel_idx);
   MaybeCompleteFront();
@@ -258,6 +274,7 @@ void OperatorInstance::AbortAlignment(ControlEvent::Type type, uint64_t id) {
                    alignments_.front().ev.type == type;
   for (auto it = alignments_.begin(); it != alignments_.end();) {
     if (it->ev.id == id && it->ev.type == type) {
+      engine_->obs()->trace().EndSpan(it->span, {{"aborted", 1}});
       it = alignments_.erase(it);
     } else {
       ++it;
@@ -271,6 +288,7 @@ void OperatorInstance::MaybeCompleteFront() {
   while (!holding_ && !alignments_.empty() &&
          AlignmentComplete(alignments_.front())) {
     ControlEvent ev = alignments_.front().ev;
+    engine_->obs()->trace().EndSpan(alignments_.front().span);
     completed_controls_.insert({static_cast<int>(ev.type), ev.id});
     // Forward first (after any gate rewiring) so downstream alignment
     // starts while this instance performs its own role.
@@ -288,10 +306,16 @@ void OperatorInstance::BeforeForwardControl(const ControlEvent& ev) {
   // the output channels for the moved virtual nodes *before* forwarding
   // the marker, so every record sent after it routes to the target.
   if (ev.type == ControlEvent::Type::kHandoverMarker && ev.handover) {
+    int64_t rewired = 0;
     for (auto& gate : outputs_) {
       if (gate->downstream_op() == ev.handover->operator_name) {
         gate->ApplyHandover(*ev.handover);
+        ++rewired;
       }
+    }
+    if (rewired > 0) {
+      engine_->obs()->trace().Emit("handover", "rewire", ScopeOf(this), ev.id,
+                                   {{"gates", rewired}});
     }
   }
 }

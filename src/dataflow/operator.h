@@ -223,6 +223,7 @@ class OperatorInstance {
   struct Alignment {
     ControlEvent ev;
     std::set<int> channels;  // channels that delivered the marker
+    uint64_t span = 0;       // open trace span (0 when tracing is off)
   };
 
   void TryProcessNext();

@@ -12,7 +12,16 @@ StatefulInstance::StatefulInstance(Engine* engine, std::string op_name,
                                    ProcessingProfile profile,
                                    std::unique_ptr<state::StateBackend> backend)
     : OperatorInstance(engine, std::move(op_name), subtask, node_id, profile),
-      backend_(std::move(backend)) {}
+      backend_(std::move(backend)) {
+  trace_scope_ = this->op_name() + "#" + std::to_string(subtask);
+  obs::MetricsRegistry& metrics = engine->obs()->metrics();
+  obs::Labels labels{{"op", this->op_name()}};
+  batches_total_ = metrics.GetCounter("rhino_op_batches_total", labels);
+  records_total_ = metrics.GetCounter("rhino_op_records_total", labels);
+  dedup_dropped_total_ =
+      metrics.GetCounter("rhino_op_dedup_dropped_total", labels);
+  latency_us_ = metrics.GetHistogram("rhino_op_latency_us", labels);
+}
 
 void StatefulInstance::SetChannelSide(int channel_idx, int side) {
   if (channel_side_.size() <= static_cast<size_t>(channel_idx)) {
@@ -44,6 +53,7 @@ void StatefulInstance::HandleBatch(int channel_idx, Batch& batch) {
       }
     }
     if (!dropped.empty()) {
+      dedup_dropped_total_->Increment(dropped.size());
       batch.slices = std::move(fresh);
       if (!batch.records.empty()) {
         std::vector<Record> keep;
@@ -60,7 +70,19 @@ void StatefulInstance::HandleBatch(int channel_idx, Batch& batch) {
 
   // End-to-end processing latency, sampled at the last (instrumented)
   // stateful operator as in the paper's methodology (§5.1.5).
-  engine_->RecordLatency(op_name(), engine_->sim()->Now() - batch.create_time);
+  SimTime latency = engine_->sim()->Now() - batch.create_time;
+  engine_->RecordLatency(op_name(), latency);
+  batches_total_->Increment();
+  records_total_->Increment(batch.count);
+  latency_us_->Observe(latency);
+  obs::TraceLog& trace = engine_->obs()->trace();
+  if (trace.data_events()) {
+    // Per-batch firehose for protocol-shape tests ("no record applied
+    // inside a buffering hold"); too hot for TB-scale benches.
+    trace.Emit("data", "deliver", trace_scope_, 0,
+               {{"count", static_cast<int64_t>(batch.count)},
+                {"bytes", static_cast<int64_t>(batch.bytes)}});
+  }
   ProcessData(ChannelSide(channel_idx), batch);
 }
 
@@ -109,6 +131,9 @@ void StatefulInstance::HandleAlignedControl(const ControlEvent& ev) {
     // vnodes, so a restored copy deduplicates correctly.
     std::vector<uint32_t> owned(owned_vnodes_.begin(), owned_vnodes_.end());
     desc->vnode_watermarks = GetWatermarks(owned);
+    engine_->obs()->trace().Emit(
+        "checkpoint", "snapshot", trace_scope_, ev.id,
+        {{"vnodes", static_cast<int64_t>(owned.size())}});
     engine_->OnSnapshotTaken(this, std::move(desc).MoveValue());
     return;
   }
@@ -171,6 +196,10 @@ void StatefulInstance::HandleAlignedControl(const ControlEvent& ev) {
     // Buffer records until the checkpointed state is ingested
     // (paper §4.1.2 step ④).
     holding_for_ = spec.id;
+    hold_span_ = engine_->obs()->trace().BeginSpan(
+        "handover", "buffering_hold", trace_scope_, spec.id,
+        {{"pending_moves",
+          static_cast<int64_t>(progress.pending_target.size())}});
     HoldAlignment();
   } else {
     MaybeAckHandover(spec.id);
@@ -229,6 +258,8 @@ void StatefulInstance::CompleteHandoverAsTarget(const HandoverSpec& spec,
   for (uint32_t v : move.vnodes) owned_vnodes_.insert(v);
   if (progress.pending_target.empty() && holding_for_ == spec.id) {
     holding_for_ = 0;
+    engine_->obs()->trace().EndSpan(hold_span_);
+    hold_span_ = 0;
     ReleaseAlignment();
   }
   MaybeAckHandover(spec.id);

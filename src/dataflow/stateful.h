@@ -135,6 +135,16 @@ class StatefulInstance : public OperatorInstance {
   std::map<uint64_t, HandoverProgress> handover_progress_;
   /// Handover id this target is holding alignment for (0 = none).
   uint64_t holding_for_ = 0;
+
+  /// Metric handles, registered once at construction (hot-path updates are
+  /// plain arithmetic through these pointers) + the trace scope key.
+  std::string trace_scope_;
+  obs::Counter* batches_total_ = nullptr;
+  obs::Counter* records_total_ = nullptr;
+  obs::Counter* dedup_dropped_total_ = nullptr;
+  obs::HistogramMetric* latency_us_ = nullptr;
+  /// Open buffering-hold span while this target waits for moved state.
+  uint64_t hold_span_ = 0;
 };
 
 // --------------------------------------------------------------- real ops --

@@ -7,6 +7,17 @@
 
 namespace rhino::lsm {
 
+void DB::BindMetrics(obs::Observability* o) {
+  obs::MetricsRegistry& m = o->metrics();
+  puts_metric_ = m.GetCounter("rhino_lsm_puts_total");
+  gets_metric_ = m.GetCounter("rhino_lsm_gets_total");
+  flushes_metric_ = m.GetCounter("rhino_lsm_flushes_total");
+  flush_bytes_metric_ = m.GetCounter("rhino_lsm_flush_bytes_total");
+  compactions_metric_ = m.GetCounter("rhino_lsm_compactions_total");
+  checkpoints_metric_ = m.GetCounter("rhino_lsm_checkpoints_total");
+  checkpoint_bytes_metric_ = m.GetCounter("rhino_lsm_checkpoint_bytes_total");
+}
+
 // ------------------------------------------------------------------ Open --
 
 Result<std::unique_ptr<DB>> DB::Open(Env* env, std::string path,
@@ -54,6 +65,7 @@ Result<std::unique_ptr<DB>> DB::OpenFromCheckpoint(
 // -------------------------------------------------------------- Mutation --
 
 Status DB::Put(std::string_view key, std::string_view value) {
+  puts_metric_->Increment();
   RHINO_RETURN_NOT_OK(AppendWal(ValueType::kValue, key, value));
   uint64_t seq = versions_.last_seq() + 1;
   versions_.set_last_seq(seq);
@@ -135,6 +147,8 @@ Status DB::WriteLevel0Table() {
   meta.num_entries = builder.num_entries();
   std::string contents = builder.Finish();
   meta.file_size = contents.size();
+  flushes_metric_->Increment();
+  flush_bytes_metric_->Increment(contents.size());
   RHINO_RETURN_NOT_OK(env_->WriteFile(FilePath(TableFileName(meta.number)), contents));
   versions_.AddFile(0, std::move(meta));
   return PersistManifest();
@@ -143,6 +157,7 @@ Status DB::WriteLevel0Table() {
 // ---------------------------------------------------------------- Lookup --
 
 Status DB::Get(std::string_view key, std::string* value) {
+  gets_metric_->Increment();
   Entry entry;
   if (memtable_->Get(key, &entry)) {
     if (entry.type == ValueType::kDeletion) return Status::NotFound("deleted");
@@ -351,6 +366,7 @@ Status DB::DoCompaction(const std::vector<std::pair<int, FileMetaData>>& inputs,
     versions_.AddFile(output_level, std::move(meta));
   }
   ++compaction_count_;
+  compactions_metric_->Increment();
   return PersistManifest();
 }
 
@@ -370,6 +386,8 @@ Result<CheckpointInfo> DB::CreateCheckpoint(const std::string& dir) {
   }
   RHINO_RETURN_NOT_OK(
       env_->WriteFile(dir + "/" + kManifestName, versions_.EncodeManifest()));
+  checkpoints_metric_->Increment();
+  checkpoint_bytes_metric_->Increment(info.total_bytes);
   return info;
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "lsm/env.h"
+#include "obs/observability.h"
 #include "lsm/format.h"
 #include "lsm/memtable.h"
 #include "lsm/sstable.h"
@@ -122,12 +123,21 @@ class DB {
   /// Entries recovered from the WAL at the last Open (diagnostics).
   uint64_t wal_entries_recovered() const { return wal_recovered_; }
 
+  /// Installs the observability context and re-binds the cached metric
+  /// handles (defaults to the process-wide one; counters are store-wide,
+  /// not per-DB — one simulation opens hundreds of DBs).
+  void SetObservability(obs::Observability* o) { BindMetrics(o); }
+
  private:
   DB(Env* env, std::string path, Options options)
       : env_(env),
         path_(std::move(path)),
         options_(options),
-        versions_(options.num_levels) {}
+        versions_(options.num_levels) {
+    BindMetrics(obs::Observability::Default());
+  }
+
+  void BindMetrics(obs::Observability* o);
 
   std::string FilePath(const std::string& name) const { return path_ + "/" + name; }
 
@@ -161,6 +171,15 @@ class DB {
   uint64_t flush_count_ = 0;
   uint64_t compaction_count_ = 0;
   uint64_t wal_recovered_ = 0;
+
+  /// Hot-path metric handles (see BindMetrics).
+  obs::Counter* puts_metric_ = nullptr;
+  obs::Counter* gets_metric_ = nullptr;
+  obs::Counter* flushes_metric_ = nullptr;
+  obs::Counter* flush_bytes_metric_ = nullptr;
+  obs::Counter* compactions_metric_ = nullptr;
+  obs::Counter* checkpoints_metric_ = nullptr;
+  obs::Counter* checkpoint_bytes_metric_ = nullptr;
 };
 
 }  // namespace rhino::lsm

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_log.h"
+
+/// \file exporters.h
+/// Serialization of the observability state:
+///
+///  * `ToPrometheusText` — the text exposition format, one line per
+///    sample (counters, gauges, histogram count/sum/p50/p99);
+///  * `MetricsToJson`    — the same data as a flat JSON object keyed by
+///    `name{label="v"}`, for the machine-readable bench artifacts;
+///  * `TraceToChromeJson` — Chrome `trace_event` JSON (load it at
+///    chrome://tracing or https://ui.perfetto.dev): spans become complete
+///    ("X") events, instants become instant ("i") events, and each scope
+///    gets its own named track.
+
+namespace rhino::obs {
+
+std::string ToPrometheusText(const MetricsRegistry& registry);
+
+std::string MetricsToJson(const MetricsRegistry& registry);
+
+std::string TraceToChromeJson(const TraceLog& trace);
+
+/// JSON string escaping (shared with the bench artifact writer).
+std::string EscapeJson(const std::string& s);
+
+/// Writes `content` to `path` (parent directory must exist).
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace rhino::obs

@@ -1,0 +1,44 @@
+#include "obs/metrics_registry.h"
+
+namespace rhino::obs {
+
+std::string MetricsRegistry::KeyOf(const std::string& name,
+                                   const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string key = name + "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) key += ",";
+    first = false;
+    key += k + "=\"" + v + "\"";
+  }
+  key += "}";
+  return key;
+}
+
+template <typename T>
+T* MetricsRegistry::GetOrCreate(std::map<std::string, Instrument<T>>* family,
+                                const std::string& name, const Labels& labels) {
+  std::string key = KeyOf(name, labels);
+  auto it = family->find(key);
+  if (it == family->end()) {
+    it = family->emplace(std::move(key), Instrument<T>{name, labels, T()}).first;
+  }
+  return &it->second.metric;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  return GetOrCreate(&counters_, name, labels);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const Labels& labels) {
+  return GetOrCreate(&gauges_, name, labels);
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
+                                               const Labels& labels) {
+  return GetOrCreate(&histograms_, name, labels);
+}
+
+}  // namespace rhino::obs

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/histogram.h"
+
+/// \file metrics_registry.h
+/// Lock-cheap metrics registry: counters, gauges, and histograms with
+/// label sets.
+///
+/// Protocol code registers an instrument **once** (paying a name lookup
+/// and a possible allocation) and keeps the returned pointer; the hot-path
+/// update through that pointer is a plain arithmetic store — no lookup, no
+/// allocation, no branch on a registry lock. The simulation is single-
+/// threaded, so "lock-cheap" degenerates to "lock-free"; the handle
+/// discipline is what keeps instrumentation off the hot path.
+///
+/// Naming convention (see DESIGN.md "Observability"):
+///   rhino_<subsystem>_<quantity>_<unit|total>
+/// e.g. `rhino_replication_bytes_total`, `rhino_handover_state_fetch_us`.
+
+namespace rhino::obs {
+
+/// Sorted label set; part of an instrument's identity.
+using Labels = std::map<std::string, std::string>;
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-write-wins point-in-time value.
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Sample distribution with percentile queries (wraps rhino::Histogram).
+class HistogramMetric {
+ public:
+  void Observe(int64_t v) { hist_.Add(v); }
+  const Histogram& histogram() const { return hist_; }
+  void Reset() { hist_.Clear(); }
+
+ private:
+  Histogram hist_;
+};
+
+/// Registry of named instruments. Instruments live as long as the
+/// registry; returned pointers are stable (node-based storage).
+class MetricsRegistry {
+ public:
+  /// Idempotent: the same (name, labels) always returns the same handle.
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  HistogramMetric* GetHistogram(const std::string& name,
+                                const Labels& labels = {});
+
+  /// One registered instrument of type T, for exporter enumeration.
+  template <typename T>
+  struct Instrument {
+    std::string name;
+    Labels labels;
+    T metric;
+  };
+
+  /// Instruments in registration-key order (name, then serialized labels).
+  const std::map<std::string, Instrument<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Instrument<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, Instrument<HistogramMetric>>& histograms() const {
+    return histograms_;
+  }
+
+  /// The identity key of (name, labels), e.g. `foo{op="join",sut="Rhino"}`.
+  static std::string KeyOf(const std::string& name, const Labels& labels);
+
+  size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  template <typename T>
+  T* GetOrCreate(std::map<std::string, Instrument<T>>* family,
+                 const std::string& name, const Labels& labels);
+
+  std::map<std::string, Instrument<Counter>> counters_;
+  std::map<std::string, Instrument<Gauge>> gauges_;
+  std::map<std::string, Instrument<HistogramMetric>> histograms_;
+};
+
+}  // namespace rhino::obs

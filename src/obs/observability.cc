@@ -1,0 +1,10 @@
+#include "obs/observability.h"
+
+namespace rhino::obs {
+
+Observability* Observability::Default() {
+  static Observability instance;
+  return &instance;
+}
+
+}  // namespace rhino::obs

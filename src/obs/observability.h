@@ -1,0 +1,47 @@
+#pragma once
+
+#include <functional>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace_log.h"
+
+/// \file observability.h
+/// The observability context: one metrics registry + one trace log,
+/// shared by every protocol component of a simulation.
+///
+/// Components default to the process-wide `Observability::Default()`
+/// instance, so instrumentation works without wiring; testbeds that run
+/// several systems in one process (the fig/tab benches, parameterized
+/// tests) create their own instance and install it on the engine and the
+/// out-of-engine components (replication runtime, fault injector, ...) so
+/// runs do not bleed into each other.
+
+namespace rhino::obs {
+
+class Observability {
+ public:
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  TraceLog& trace() { return trace_; }
+  const TraceLog& trace() const { return trace_; }
+
+  /// Wires trace timestamps to a simulated clock.
+  void SetClock(std::function<SimTime()> clock) {
+    trace_.SetClock(std::move(clock));
+  }
+
+  /// Master runtime toggle for the allocating parts (trace events). Metric
+  /// handles keep working either way — a counter increment is cheaper than
+  /// the branch that would guard it.
+  void set_enabled(bool on) { trace_.set_enabled(on); }
+  bool enabled() const { return trace_.enabled(); }
+
+  /// Process-wide fallback instance.
+  static Observability* Default();
+
+ private:
+  MetricsRegistry metrics_;
+  TraceLog trace_;
+};
+
+}  // namespace rhino::obs

@@ -1,0 +1,86 @@
+#include "obs/trace_log.h"
+
+namespace rhino::obs {
+
+void TraceLog::Emit(std::string category, std::string name, std::string scope,
+                    uint64_t id, std::map<std::string, int64_t> args) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.time_us = Now();
+  ev.category = std::move(category);
+  ev.name = std::move(name);
+  ev.scope = std::move(scope);
+  ev.id = id;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+uint64_t TraceLog::BeginSpan(std::string category, std::string name,
+                             std::string scope, uint64_t id,
+                             std::map<std::string, int64_t> args) {
+  if (!enabled_) return 0;
+  TraceEvent ev;
+  ev.time_us = Now();
+  ev.duration_us = TraceEvent::kOpenSpan;
+  ev.category = std::move(category);
+  ev.name = std::move(name);
+  ev.scope = std::move(scope);
+  ev.id = id;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+  uint64_t handle = next_span_++;
+  open_spans_[handle] = events_.size() - 1;
+  return handle;
+}
+
+void TraceLog::EndSpan(uint64_t span, std::map<std::string, int64_t> extra_args) {
+  if (span == 0) return;
+  auto it = open_spans_.find(span);
+  if (it == open_spans_.end()) return;
+  TraceEvent& ev = events_[it->second];
+  ev.duration_us = Now() - ev.time_us;
+  for (auto& [k, v] : extra_args) ev.args[k] = v;
+  open_spans_.erase(it);
+}
+
+void TraceLog::EmitSpan(std::string category, std::string name,
+                        std::string scope, SimTime start_us, SimTime end_us,
+                        uint64_t id, std::map<std::string, int64_t> args) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.time_us = start_us;
+  ev.duration_us = end_us - start_us;
+  ev.category = std::move(category);
+  ev.name = std::move(name);
+  ev.scope = std::move(scope);
+  ev.id = id;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+void TraceLog::Clear() {
+  events_.clear();
+  open_spans_.clear();
+}
+
+std::vector<const TraceEvent*> TraceLog::Select(const std::string& category,
+                                                const std::string& name) const {
+  std::vector<const TraceEvent*> out;
+  for (const TraceEvent& ev : events_) {
+    if (ev.category != category) continue;
+    if (!name.empty() && ev.name != name) continue;
+    out.push_back(&ev);
+  }
+  return out;
+}
+
+std::vector<const TraceEvent*> TraceLog::Spans(const std::string& category,
+                                               const std::string& name) const {
+  std::vector<const TraceEvent*> out;
+  for (const TraceEvent* ev : Select(category, name)) {
+    if (ev->is_span()) out.push_back(ev);
+  }
+  return out;
+}
+
+}  // namespace rhino::obs

@@ -29,6 +29,18 @@ void RhinoCheckpointStorage::Persist(dataflow::OperatorInstance* instance,
   int node_id = instance->node_id();
   std::string op = instance->op_name();
   auto subtask = static_cast<uint32_t>(instance->subtask());
+  obs::Observability* o = instance->engine()->obs();
+  o->metrics()
+      .GetCounter("rhino_checkpoint_ship_bytes_total")
+      ->Increment(desc.DeltaBytes());
+  uint64_t span = o->trace().BeginSpan(
+      "checkpoint", "ship", op + "#" + std::to_string(subtask),
+      desc.checkpoint_id,
+      {{"bytes", static_cast<int64_t>(desc.DeltaBytes())}});
+  done = [o, span, inner = std::move(done)](Status st) {
+    o->trace().EndSpan(span, {{"ok", st.ok() ? 1 : 0}});
+    inner(std::move(st));
+  };
   // The delta is spooled to the local disk (the primary copy)...
   sim::Node& node = cluster_->node(node_id);
   int disk = disk_cursor_[node_id]++ % node.num_disks();
@@ -61,6 +73,17 @@ void DfsCheckpointStorage::Persist(dataflow::OperatorInstance* instance,
   for (auto& [vnode, blob] : CaptureVnodeBlobs(stateful)) {
     rep.vnode_blobs[vnode] = std::move(blob);
   }
+  obs::Observability* o = instance->engine()->obs();
+  o->metrics()
+      .GetCounter("rhino_checkpoint_dfs_upload_bytes_total")
+      ->Increment(desc.DeltaBytes());
+  uint64_t span = o->trace().BeginSpan(
+      "checkpoint", "dfs_upload", key, desc.checkpoint_id,
+      {{"bytes", static_cast<int64_t>(desc.DeltaBytes())}});
+  done = [o, span, inner = std::move(done)](Status st) {
+    o->trace().EndSpan(span, {{"ok", st.ok() ? 1 : 0}});
+    inner(std::move(st));
+  };
   dfs_->WriteFile(path, desc.DeltaBytes(), instance->node_id(), std::move(done));
 }
 

@@ -28,6 +28,10 @@ uint64_t HandoverManager::TriggerReconfiguration(
   return spec->id;
 }
 
+// Observability note: per-move state movement is spanned as
+// "handover"/"state_transfer" on scope `<op>#<target>`; the span ends when
+// the move resolves (ingested, restored, abandoned, or dropped as stale).
+
 uint64_t HandoverManager::TriggerLoadBalance(const std::string& op,
                                              uint32_t origin, uint32_t target,
                                              double fraction) {
@@ -40,6 +44,9 @@ uint64_t HandoverManager::TriggerLoadBalance(const std::string& op,
 
 std::vector<uint64_t> HandoverManager::RecoverFailedNode(int node) {
   std::vector<uint64_t> handovers;
+  engine_->obs()->metrics().GetCounter("rhino_recovery_total")->Increment();
+  engine_->obs()->trace().Emit("handover", "recovery_start",
+                               "node" + std::to_string(node));
   const auto* ckpt = engine_->LastCompletedCheckpoint();
 
   // The dead node's secondary copies died with its disks.
@@ -203,11 +210,33 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
   HandoverSpec spec_copy = spec;
   HandoverMove move_copy = move;
 
+  uint64_t span = engine_->obs()->trace().BeginSpan(
+      "handover", "state_transfer",
+      spec.operator_name + "#" + std::to_string(move.target_instance), spec.id,
+      {{"origin", static_cast<int64_t>(move.origin_instance)},
+       {"vnodes", static_cast<int64_t>(move.vnodes.size())},
+       {"origin_failed", origin == nullptr ? 1 : 0}});
+  // Every completion path resolves through `done`; closing the span there
+  // covers ingest, restore, abandon, and stale-drop alike.
+  done = [this, span, inner = std::move(done)]() {
+    engine_->obs()->trace().EndSpan(span);
+    inner();
+  };
+
   // The target's worker fail-stopped before the transfer began: abandon
   // the move (the origin keeps its state, the recovery handover re-homes
   // the vnodes later).
   auto abandon = [this, spec_copy, move_copy, origin, done]() {
     ++abandoned_moves_;
+    engine_->obs()
+        ->metrics()
+        .GetCounter("rhino_handover_abandoned_moves_total")
+        ->Increment();
+    engine_->obs()->trace().Emit(
+        "handover", "move_abandoned",
+        spec_copy.operator_name + "#" +
+            std::to_string(move_copy.target_instance),
+        spec_copy.id);
     RHINO_LOG(Warn) << "handover " << spec_copy.id << ": target instance "
                     << move_copy.target_instance
                     << " fail-stopped; move abandoned, origin keeps state";
@@ -254,6 +283,12 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
     stats.bytes_transferred +=
         origin->node_id() == target->node_id() ? 0 : wire_bytes;
     stats.local_fetch = target_has_replica;
+    if (origin->node_id() != target->node_id()) {
+      engine_->obs()
+          ->metrics()
+          .GetCounter("rhino_handover_bytes_total")
+          ->Increment(wire_bytes);
+    }
 
     auto ingest = [this, spec_copy, move_copy, origin, target, done, abandon,
                    start, target_has_replica,
@@ -261,6 +296,10 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
       HandoverStats& s = stats_[spec_copy.id];
       s.state_fetch_us =
           std::max(s.state_fetch_us, engine_->sim()->Now() - start);
+      engine_->obs()
+          ->metrics()
+          .GetHistogram("rhino_handover_state_fetch_us")
+          ->Observe(engine_->sim()->Now() - start);
       SimTime load = options_.load_per_file_us * 8;
       engine_->sim()->Schedule(load, [this, spec_copy, move_copy, origin,
                                       target, done, abandon,
@@ -280,6 +319,10 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
         }
         HandoverStats& s2 = stats_[spec_copy.id];
         s2.state_load_us = std::max(s2.state_load_us, load);
+        engine_->obs()
+            ->metrics()
+            .GetHistogram("rhino_handover_state_load_us")
+            ->Observe(load);
         RHINO_CHECK_OK(target->backend()->IngestVnodes(blob, target_has_replica));
         target->MergeWatermarks(marks);
         origin->CompleteHandoverAsOrigin(spec_copy, move_copy);
@@ -397,6 +440,14 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
   }
   if (plan->missing > 0) {
     ++degraded_restores_;
+    engine_->obs()
+        ->metrics()
+        .GetCounter("rhino_handover_degraded_restores_total")
+        ->Increment();
+    engine_->obs()->trace().Emit(
+        "handover", "degraded_restore",
+        op + "#" + std::to_string(move.target_instance), spec.id,
+        {{"missing_vnodes", static_cast<int64_t>(plan->missing)}});
     RHINO_LOG(Warn) << "handover " << spec.id << ": " << plan->missing
                     << " vnode(s) of " << op << "#" << move.origin_instance
                     << " have no live copy; restoring empty, upstream "
@@ -406,12 +457,20 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
   auto restore = [this, spec_copy, move_copy, target, done, plan, start] {
     HandoverStats& s = stats_[spec_copy.id];
     s.state_fetch_us = std::max(s.state_fetch_us, engine_->sim()->Now() - start);
+    engine_->obs()
+        ->metrics()
+        .GetHistogram("rhino_handover_state_fetch_us")
+        ->Observe(engine_->sim()->Now() - start);
     SimTime load = options_.load_fixed_us +
                    options_.load_per_file_us * static_cast<SimTime>(plan->files);
     engine_->sim()->Schedule(load, [this, spec_copy, move_copy, target, done,
                                     plan, load] {
       HandoverStats& s2 = stats_[spec_copy.id];
       s2.state_load_us = std::max(s2.state_load_us, load);
+      engine_->obs()
+          ->metrics()
+          .GetHistogram("rhino_handover_state_load_us")
+          ->Observe(load);
       if (target->halted()) {
         // Cascading failure while loading; the next recovery re-plans.
         done();
@@ -443,6 +502,10 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
       // the usual local fetch + load.
       stats.local_fetch = false;
       stats.bytes_transferred += plan->remote_bytes;
+      engine_->obs()
+          ->metrics()
+          .GetCounter("rhino_handover_bytes_total")
+          ->Increment(plan->remote_bytes);
       sim::Node& tgt = engine_->cluster()->node(target->node_id());
       uint64_t wire = plan->remote_bytes;
       engine_->cluster()->Transfer(

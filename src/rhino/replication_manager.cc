@@ -43,6 +43,9 @@ void ReplicationManager::BuildGroups(std::vector<InstanceInfo> instances) {
     groups_[key] = std::move(group);
     infos_[key] = info;
   }
+  obs_->metrics()
+      .GetGauge("rhino_replication_degraded_groups")
+      ->Set(static_cast<double>(degraded_groups().size()));
 }
 
 const std::vector<int>& ReplicationManager::Group(const std::string& op,
@@ -88,7 +91,15 @@ std::vector<GroupRepair> ReplicationManager::HandleWorkerFailure(int failed) {
       load_[best] += info.weight;
     }
     repairs.push_back(GroupRepair{info.op_name, info.subtask, best});
+    obs_->trace().Emit("replication", "group_repair", key, 0,
+                       {{"substitute", best}});
   }
+  obs_->metrics()
+      .GetCounter("rhino_replication_group_repairs_total")
+      ->Increment(repairs.size());
+  obs_->metrics()
+      .GetGauge("rhino_replication_degraded_groups")
+      ->Set(static_cast<double>(degraded_groups().size()));
   return repairs;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/observability.h"
 
 /// \file replication_manager.h
 /// Rhino's Replication Manager (paper §3.3, §4.2.2 phase 1).
@@ -84,6 +85,9 @@ class ReplicationManager {
   int replication_factor() const { return replication_factor_; }
   const std::vector<int>& workers() const { return workers_; }
 
+  /// Installs the observability context (defaults to the process-wide one).
+  void SetObservability(obs::Observability* o) { obs_ = o; }
+
  private:
   static std::string Key(const std::string& op, uint32_t subtask) {
     return op + "#" + std::to_string(subtask);
@@ -91,6 +95,7 @@ class ReplicationManager {
 
   std::vector<int> workers_;
   int replication_factor_;
+  obs::Observability* obs_ = obs::Observability::Default();
   std::map<std::string, std::vector<int>> groups_;
   std::map<std::string, InstanceInfo> infos_;
   std::map<int, uint64_t> load_;

@@ -25,6 +25,7 @@ struct ReplicationRuntime::Transfer {
   std::map<int, int> disk_cursor;
   std::function<void()> finalize;
   bool completed = false;
+  uint64_t span = 0;  // open "replication"/"transfer" trace span
 
   uint64_t ChunkSize(uint64_t index) const {
     return index + 1 == total_chunks ? last_chunk_bytes : chunk_bytes;
@@ -38,6 +39,13 @@ void ReplicationRuntime::ReplicateCheckpoint(
   const std::vector<int>& group = manager_->Group(op, subtask);
   uint64_t delta = desc.DeltaBytes();
   if (probe_) probe_("replication_transfer");
+  if (chunks_metric_ == nullptr) {
+    chunks_metric_ =
+        obs_->metrics().GetCounter("rhino_replication_chunks_total");
+    chunk_bytes_metric_ =
+        obs_->metrics().GetCounter("rhino_replication_bytes_total");
+  }
+  obs_->metrics().GetCounter("rhino_replication_transfers_total")->Increment();
 
   auto transfer = std::make_shared<Transfer>();
   transfer->op = op;
@@ -60,6 +68,10 @@ void ReplicationRuntime::ReplicateCheckpoint(
   transfer->durable.assign(transfer->path.size(), 0);
   transfer->available[0] = transfer->total_chunks;  // primary has everything
   transfer->durable[0] = transfer->total_chunks;
+  transfer->span = obs_->trace().BeginSpan(
+      "replication", "transfer", Key(op, subtask), desc.checkpoint_id,
+      {{"bytes", static_cast<int64_t>(delta)},
+       {"hops", static_cast<int64_t>(hops)}});
 
   auto finalize = [this, transfer] {
     if (transfer->completed) return;
@@ -90,6 +102,10 @@ void ReplicationRuntime::ReplicateCheckpoint(
       rep.vnode_blobs = transfer->blobs;
     }
     ++checkpoints_replicated_;
+    obs_->metrics()
+        .GetCounter("rhino_replication_completed_total")
+        ->Increment();
+    obs_->trace().EndSpan(transfer->span);
     // Tail ack travels back up the chain, one hop latency each.
     SimTime ack = options_.ack_latency * static_cast<SimTime>(transfer->path.size() - 1);
     cluster_->sim()->Schedule(ack, [transfer] { transfer->done(Status::OK()); });
@@ -111,6 +127,11 @@ void ReplicationRuntime::AbortTransfer(const std::shared_ptr<Transfer>& transfer
   // shared_ptr, so a stored copy would keep the object alive forever.
   transfer->finalize = nullptr;
   ++transfers_aborted_;
+  obs_->metrics().GetCounter("rhino_replication_aborted_total")->Increment();
+  obs_->trace().EndSpan(transfer->span, {{"aborted", 1}});
+  obs_->trace().Emit("replication", "abort",
+                     Key(transfer->op, transfer->subtask),
+                     transfer->desc.checkpoint_id);
   RHINO_LOG(Warn) << "replication of " << transfer->op << "#"
                   << transfer->subtask << " ckpt "
                   << transfer->desc.checkpoint_id
@@ -143,6 +164,8 @@ void ReplicationRuntime::PumpHop(std::shared_ptr<Transfer> transfer,
 
     uint64_t bytes = transfer->ChunkSize(chunk);
     bytes_replicated_ += bytes;
+    chunks_metric_->Increment();
+    chunk_bytes_metric_->Increment(bytes);
     if (probe_) probe_("replication_chunk");
     cluster_->Transfer(src, dst, bytes, [this, transfer, hop, bytes] {
       if (transfer->completed) return;
@@ -299,6 +322,14 @@ void ReplicationRuntime::CatchUpReplicas(const std::string& op,
   for (int m : lagging) {
     ++catchup_transfers_;
     catchup_bytes_ += bytes;
+    obs_->metrics().GetCounter("rhino_replication_catchup_total")->Increment();
+    obs_->metrics()
+        .GetCounter("rhino_replication_catchup_bytes_total")
+        ->Increment(bytes);
+    obs_->trace().Emit("replication", "catchup", key,
+                       snapshot->latest_checkpoint_id,
+                       {{"target_node", m},
+                        {"bytes", static_cast<int64_t>(bytes)}});
     cluster_->Transfer(
         source, m, bytes,
         [this, key, m, bytes, snapshot, aggregate, settle]() mutable {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/observability.h"
 #include "rhino/replication_manager.h"
 #include "sim/cluster.h"
 #include "state/checkpoint.h"
@@ -119,6 +120,13 @@ class ReplicationRuntime {
     probe_ = std::move(probe);
   }
 
+  /// Installs the observability context (defaults to the process-wide one).
+  void SetObservability(obs::Observability* o) {
+    obs_ = o;
+    chunks_metric_ = nullptr;
+    chunk_bytes_metric_ = nullptr;
+  }
+
   // ---- diagnostics ----
   uint64_t bytes_replicated() const { return bytes_replicated_; }
   int max_in_flight_chunks() const { return max_in_flight_; }
@@ -141,6 +149,11 @@ class ReplicationRuntime {
   ReplicationManager* manager_;
   ReplicationOptions options_;
   std::function<void(const std::string&)> probe_;
+  obs::Observability* obs_ = obs::Observability::Default();
+  /// Per-chunk counter handles, fetched once per registry (chunk sends are
+  /// the runtime's hot path).
+  obs::Counter* chunks_metric_ = nullptr;
+  obs::Counter* chunk_bytes_metric_ = nullptr;
 
   /// replica catalog: instance key -> node -> state
   std::map<std::string, std::map<int, ReplicaState>> replicas_;

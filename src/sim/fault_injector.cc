@@ -79,6 +79,9 @@ void FaultInjector::Fire(int node, const std::string& cause) {
   ev.cause = cause;
   ev.fired = true;
   crashes_.push_back(ev);
+  obs_->metrics().GetCounter("rhino_fault_crashes_total")->Increment();
+  obs_->trace().Emit("fault", "crash", "node" + std::to_string(node),
+                     static_cast<uint64_t>(crashes_.size()));
   RHINO_LOG(Info) << "fault-injector: crashing node " << node << " at t="
                   << sim_->Now() << "us (" << cause << ")";
   if (crash_handler_) {

@@ -9,6 +9,7 @@
 
 #include "common/random.h"
 #include "common/units.h"
+#include "obs/observability.h"
 #include "sim/cluster.h"
 #include "sim/simulation.h"
 
@@ -100,6 +101,9 @@ class FaultInjector {
   const std::vector<CrashEvent>& crashes() const { return crashes_; }
   Random& random() { return rng_; }
 
+  /// Installs the observability context (defaults to the process-wide one).
+  void SetObservability(obs::Observability* o) { obs_ = o; }
+
  private:
   struct EventTrigger {
     uint64_t nth = 0;
@@ -114,6 +118,7 @@ class FaultInjector {
   Cluster* cluster_;
   Random rng_;
   std::function<void(int)> crash_handler_;
+  obs::Observability* obs_ = obs::Observability::Default();
 
   std::set<int> crashed_;
   std::vector<CrashEvent> crashes_;

@@ -21,6 +21,7 @@
 #include "dataflow/sink.h"
 #include "dataflow/stateful.h"
 #include "lsm/env.h"
+#include "obs/observability.h"
 #include "state/lsm_state_backend.h"
 
 namespace rhino::dataflow {
@@ -80,6 +81,13 @@ std::map<uint64_t, uint64_t> RunSchedule(uint64_t seed,
   opts.vnodes_per_instance = 4;
   Engine engine(&sim, &cluster, &broker, opts);
   lsm::MemEnv env;
+
+  // Per-run trace on the simulated clock, with the per-batch data-event
+  // firehose on: the shape assertions below need to see every delivery.
+  obs::Observability obs;
+  obs.SetClock([&sim] { return sim.Now(); });
+  obs.trace().set_data_events(true);
+  engine.SetObservability(&obs);
 
   QueryDef def;
   def.AddSource("src", "events", kPartitions)
@@ -144,6 +152,37 @@ std::map<uint64_t, uint64_t> RunSchedule(uint64_t seed,
   // Finite completion (Theorem 1, part 2).
   for (const auto& record : engine.handovers()) {
     EXPECT_TRUE(record.completed) << "handover " << record.spec->id;
+  }
+
+  // Trace-shape form of exactly-once (stronger than comparing end states):
+  // while an instance holds alignment for a handover (buffering_hold span),
+  // no record may be delivered to it on the same scope.
+  const obs::TraceLog& trace = obs.trace();
+  for (const obs::TraceEvent* hold : trace.Spans("handover", "buffering_hold")) {
+    EXPECT_FALSE(hold->is_open())
+        << "hold never released on " << hold->scope;
+    for (const obs::TraceEvent* d : trace.Select("data", "deliver")) {
+      if (d->scope != hold->scope) continue;
+      EXPECT_FALSE(hold->time_us < d->time_us && d->time_us < hold->end_us())
+          << "record delivered to " << d->scope << " at t=" << d->time_us
+          << " inside hold [" << hold->time_us << ", " << hold->end_us()
+          << ") of handover " << hold->id;
+    }
+  }
+  // Every alignment resolved (no orphaned marker alignments), and every
+  // completed handover shows up as a closed engine-level span.
+  for (const obs::TraceEvent* align : trace.Spans("align")) {
+    EXPECT_FALSE(align->is_open()) << align->scope << " id " << align->id;
+  }
+  size_t completed = 0;
+  for (const auto& record : engine.handovers()) {
+    if (record.completed) ++completed;
+  }
+  EXPECT_EQ(trace.Spans("handover", "handover").size(), completed);
+  if (!moves.empty() && completed > 0) {
+    // A handover that moved vnodes must have rewired at least one gate
+    // before releasing the buffered records.
+    EXPECT_GT(trace.Count("handover", "rewire"), 0u);
   }
   return counts;
 }
