@@ -1,18 +1,28 @@
 // Google-benchmark microbenchmarks for the hot paths of the substrates:
 // the LSM store, SSTable build/lookup, bloom filters, key-group hashing,
-// binary encoding, and the simulation kernel.
+// binary encoding, and the simulation kernel — plus an artifact-emitting
+// section (BENCH_micro_lsm.json) that measures the block-granular LSM
+// read path: cold whole-file vs cold block-read vs warm point gets, the
+// cache-bounded memory profile of range scans, and vnode extraction.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+
+#include "artifact.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/serde.h"
 #include "hashring/key_groups.h"
+#include "lsm/block_cache.h"
 #include "lsm/bloom.h"
 #include "lsm/db.h"
 #include "lsm/env.h"
 #include "lsm/memtable.h"
 #include "lsm/sstable.h"
 #include "sim/simulation.h"
+#include "state/lsm_state_backend.h"
 
 namespace rhino {
 namespace {
@@ -144,7 +154,183 @@ void BM_SimulationEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulationEventThroughput);
 
+// ------------------------------------------------- LSM read-path artifact --
+
+/// Microseconds elapsed running `fn`.
+template <typename Fn>
+double TimeUs(Fn fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+/// Best-of-N timing: the minimum over `repeats` runs. Contention from a
+/// loaded (CI) box only ever inflates a wall-clock sample, so with small
+/// batches and enough repeats the minimum lands in a quiet scheduler
+/// quantum and estimates the true cost — keeping the guarded regression
+/// keys stable run to run.
+template <typename Fn>
+double MinTimeUs(int repeats, Fn fn) {
+  double best = TimeUs(fn);
+  for (int r = 1; r < repeats; ++r) best = std::min(best, TimeUs(fn));
+  return best;
+}
+
+/// Point-get comparison on one SSTable: the pre-block-cache read path
+/// (read the whole file, parse, look up) vs the streaming one (positional
+/// block reads through a budgeted cache), cold and warm.
+void BenchPointGets(bench::BenchArtifact* artifact) {
+  const uint64_t kEntries = bench::SmokeScaled<uint64_t>(200000, 20000);
+  const std::string value(64, 'v');
+  lsm::MemEnv env;
+  lsm::SSTableBuilder builder;
+  for (uint64_t i = 0; i < kEntries; ++i) {
+    builder.Add(Key(i), i, lsm::ValueType::kValue, value);
+  }
+  RHINO_CHECK_OK(env.WriteFile("/bench.sst", builder.Finish()));
+
+  // Cold, whole-file: what every uncached lookup cost before the reader
+  // became block-granular — fetch and parse the entire table.
+  const int kColdLookups = 5;
+  Random rng(11);
+  lsm::Entry entry;
+  double cold_wholefile_us = MinTimeUs(10, [&] {
+    for (int i = 0; i < kColdLookups; ++i) {
+      std::string contents;
+      RHINO_CHECK_OK(env.ReadFile("/bench.sst", &contents));
+      auto table = lsm::SSTableReader::Open(
+          std::make_shared<const std::string>(std::move(contents)));
+      RHINO_CHECK_OK(table.status());
+      RHINO_CHECK_OK((*table)->Get(Key(rng.Uniform(kEntries)), &entry));
+    }
+  }) / kColdLookups;
+
+  // Cold, block-granular: open handle held, cache dropped before each
+  // lookup, so every get pays one positional block fetch.
+  lsm::BlockCache cache(64 * 1024 * 1024);
+  auto file = env.NewRandomAccessFile("/bench.sst");
+  RHINO_CHECK_OK(file.status());
+  auto table = lsm::SSTableReader::Open(std::move(*file), &cache);
+  RHINO_CHECK_OK(table.status());
+  const int kBlockLookups = 100;
+  double cold_blockread_us = MinTimeUs(30, [&] {
+    for (int i = 0; i < kBlockLookups; ++i) {
+      cache.Clear();
+      RHINO_CHECK_OK((*table)->Get(Key(rng.Uniform(kEntries)), &entry));
+    }
+  }) / kBlockLookups;
+
+  // Warm: same lookups with the cache populated.
+  const int kWarmLookups = 500;
+  for (int i = 0; i < 4 * kWarmLookups; ++i) {  // warm-up pass
+    RHINO_CHECK_OK((*table)->Get(Key(rng.Uniform(kEntries)), &entry));
+  }
+  double warm_us = MinTimeUs(50, [&] {
+    for (int i = 0; i < kWarmLookups; ++i) {
+      RHINO_CHECK_OK((*table)->Get(Key(rng.Uniform(kEntries)), &entry));
+    }
+  }) / kWarmLookups;
+
+  artifact->Set("point_get_us.cold_wholefile", cold_wholefile_us);
+  artifact->Set("point_get_us.cold_blockread", cold_blockread_us);
+  artifact->Set("point_get_us.warm", warm_us);
+  artifact->Set("point_get_speedup.warm_vs_cold_wholefile",
+                cold_wholefile_us / warm_us);
+}
+
+/// Full scans of a small and a large DB through dedicated block caches:
+/// the peak cache footprint must clamp at the budget for both, proving
+/// scan memory is independent of state size.
+void BenchRangeScans(bench::BenchArtifact* artifact) {
+  const uint64_t kCacheBytes = 256 * 1024;
+  const uint64_t kSmallEntries = bench::SmokeScaled<uint64_t>(50000, 5000);
+  const uint64_t kLargeEntries = bench::SmokeScaled<uint64_t>(500000, 50000);
+  const std::string value(128, 'v');
+
+  auto scan = [&](uint64_t entries, const char* tag) {
+    lsm::MemEnv env;
+    lsm::Options opts;
+    opts.block_cache = std::make_shared<lsm::BlockCache>(kCacheBytes);
+    auto db = lsm::DB::Open(&env, "/bench", opts);
+    RHINO_CHECK_OK(db.status());
+    for (uint64_t i = 0; i < entries; ++i) {
+      RHINO_CHECK_OK((*db)->Put(Key(i), value));
+    }
+    RHINO_CHECK_OK((*db)->Flush());
+    opts.block_cache->Clear();
+    opts.block_cache->ResetStats();
+
+    uint64_t count = 0;
+    double us = MinTimeUs(9, [&] {
+      count = 0;
+      auto it = (*db)->NewIterator();
+      RHINO_CHECK_OK(it.status());
+      for (; it->Valid(); it->Next()) ++count;
+    });
+    RHINO_CHECK(count == entries);
+    artifact->Set(std::string("range_scan_peak_cache_bytes.") + tag,
+                  static_cast<double>(opts.block_cache->peak_usage_bytes()));
+    return count / (us / 1e6);
+  };
+
+  scan(kSmallEntries, "small_db");
+  double large_rate = scan(kLargeEntries, "large_db");
+  artifact->Set("throughput_scan_entries_per_s.large_db", large_rate);
+  artifact->Set("range_scan_cache_budget_bytes",
+                static_cast<double>(kCacheBytes));
+}
+
+/// Vnode extraction throughput: the streaming serialization that handovers
+/// ship around, measured end to end over the state backend.
+void BenchExtractVnodes(bench::BenchArtifact* artifact) {
+  const uint32_t kVnodes = 16;
+  const uint64_t kEntriesPerVnode = bench::SmokeScaled<uint64_t>(20000, 2000);
+  const std::string value(128, 'v');
+  lsm::MemEnv env;
+  auto backend = state::LsmStateBackend::Open(&env, "/bench", "op", 0);
+  RHINO_CHECK_OK(backend.status());
+  for (uint32_t v = 0; v < kVnodes; ++v) {
+    for (uint64_t i = 0; i < kEntriesPerVnode; ++i) {
+      RHINO_CHECK_OK((*backend)->Put(v, Key(i), value, value.size()));
+    }
+  }
+  RHINO_CHECK_OK((*backend)->db()->Flush());
+
+  std::vector<uint32_t> vnodes(kVnodes);
+  for (uint32_t v = 0; v < kVnodes; ++v) vnodes[v] = v;
+  uint64_t blob_bytes = 0;
+  double us = TimeUs([&] {
+    auto blob = (*backend)->ExtractVnodes(vnodes);
+    RHINO_CHECK_OK(blob.status());
+    blob_bytes = blob->size();
+  });
+  artifact->Set("throughput_extract_vnodes_mb_per_s",
+                (blob_bytes / 1e6) / (us / 1e6));
+  artifact->Set("extract_vnodes_blob_mb", blob_bytes / 1e6);
+}
+
+int RunLsmReadPathArtifact() {
+  bench::BenchArtifact artifact("micro_lsm");
+  artifact.SetInfo("mode", bench::SmokeMode() ? "smoke" : "full");
+  BenchPointGets(&artifact);
+  BenchRangeScans(&artifact);
+  BenchExtractVnodes(&artifact);
+  Status st = artifact.Write();
+  if (!st.ok()) {
+    RHINO_LOG(Error) << "failed to write artifact: " << st.ToString();
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace rhino
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return rhino::RunLsmReadPathArtifact();
+}

@@ -7,6 +7,124 @@
 
 namespace rhino::lsm {
 
+// ----------------------------------------------------------- k-way merge --
+
+/// Internal (named, not anonymous, so DB::Iterator::Rep can hold these
+/// without subobject-linkage warnings) machinery for merging sorted entry
+/// sources. A source yields entries in strictly increasing key order; the
+/// merge yields, for each distinct user key across all sources, the entry
+/// with the largest sequence number — tombstones included, so callers
+/// decide whether to drop or keep them.
+namespace merge_detail {
+
+class MergeSource {
+ public:
+  virtual ~MergeSource() = default;
+  virtual bool Valid() const = 0;
+  virtual const Entry& Current() const = 0;
+  virtual void Advance() = 0;
+};
+
+/// Snapshot of the (bounded) memtable: entries are copied at iterator
+/// creation so a later Flush cannot invalidate them.
+class MemSource : public MergeSource {
+ public:
+  explicit MemSource(std::vector<Entry> entries)
+      : entries_(std::move(entries)) {}
+  bool Valid() const override { return pos_ < entries_.size(); }
+  const Entry& Current() const override { return entries_[pos_]; }
+  void Advance() override { ++pos_; }
+
+ private:
+  std::vector<Entry> entries_;
+  size_t pos_ = 0;
+};
+
+/// One SSTable, streamed block by block. Holding the reader's shared_ptr
+/// pins its RandomAccessFile, so a compaction deleting the file name does
+/// not disturb the iteration.
+class TableSource : public MergeSource {
+ public:
+  TableSource(std::shared_ptr<SSTableReader> table, std::string_view seek)
+      : table_(std::move(table)), it_(table_->NewIterator()) {
+    if (!seek.empty()) it_.Seek(seek);
+  }
+  bool Valid() const override { return it_.Valid(); }
+  const Entry& Current() const override { return it_.entry(); }
+  void Advance() override { it_.Next(); }
+
+ private:
+  std::shared_ptr<SSTableReader> table_;
+  SSTableReader::Iterator it_;
+};
+
+/// Binary min-heap of sources ordered by (key asc, seq desc): the top is
+/// the smallest pending key, newest version first.
+class KWayMerge {
+ public:
+  void AddSource(std::unique_ptr<MergeSource> source) {
+    if (source->Valid()) sources_.push_back(std::move(source));
+  }
+
+  /// Builds the heap; call once after the last AddSource.
+  void Finish() {
+    heap_.resize(sources_.size());
+    for (size_t i = 0; i < heap_.size(); ++i) heap_[i] = i;
+    std::make_heap(heap_.begin(), heap_.end(), Before());
+  }
+
+  /// Yields the newest version of the next distinct key (tombstones
+  /// included); false when every source is exhausted.
+  bool NextVersion(Entry* out) {
+    if (heap_.empty()) return false;
+    size_t top = PopTop();
+    *out = sources_[top]->Current();
+    AdvanceAndRestore(top);
+    // Drop shadowed versions of the same key from other sources.
+    while (!heap_.empty()) {
+      size_t idx = heap_.front();
+      if (sources_[idx]->Current().key != out->key) break;
+      PopTop();
+      AdvanceAndRestore(idx);
+    }
+    return true;
+  }
+
+ private:
+  /// Heap comparator ("less"): a sorts below b when its key is larger, or
+  /// equal with an older sequence number — making the heap top the
+  /// smallest key / newest version.
+  struct Less {
+    const KWayMerge* merge;
+    bool operator()(size_t a, size_t b) const {
+      const Entry& ea = merge->sources_[a]->Current();
+      const Entry& eb = merge->sources_[b]->Current();
+      if (ea.key != eb.key) return ea.key > eb.key;
+      return ea.seq < eb.seq;
+    }
+  };
+  Less Before() const { return Less{this}; }
+
+  size_t PopTop() {
+    std::pop_heap(heap_.begin(), heap_.end(), Before());
+    size_t idx = heap_.back();
+    heap_.pop_back();
+    return idx;
+  }
+
+  void AdvanceAndRestore(size_t idx) {
+    sources_[idx]->Advance();
+    if (!sources_[idx]->Valid()) return;
+    heap_.push_back(idx);
+    std::push_heap(heap_.begin(), heap_.end(), Before());
+  }
+
+  std::vector<std::unique_ptr<MergeSource>> sources_;
+  std::vector<size_t> heap_;
+};
+
+}  // namespace merge_detail
+
 void DB::BindMetrics(obs::Observability* o) {
   obs::MetricsRegistry& m = o->metrics();
   puts_metric_ = m.GetCounter("rhino_lsm_puts_total");
@@ -16,6 +134,11 @@ void DB::BindMetrics(obs::Observability* o) {
   compactions_metric_ = m.GetCounter("rhino_lsm_compactions_total");
   checkpoints_metric_ = m.GetCounter("rhino_lsm_checkpoints_total");
   checkpoint_bytes_metric_ = m.GetCounter("rhino_lsm_checkpoint_bytes_total");
+  table_cache_hits_metric_ = m.GetCounter("rhino_lsm_table_cache_hits_total");
+  table_cache_misses_metric_ =
+      m.GetCounter("rhino_lsm_table_cache_misses_total");
+  table_cache_evictions_metric_ =
+      m.GetCounter("rhino_lsm_table_cache_evictions_total");
 }
 
 // ------------------------------------------------------------------ Open --
@@ -29,7 +152,8 @@ Result<std::unique_ptr<DB>> DB::Open(Env* env, std::string path,
     std::string data;
     RHINO_RETURN_NOT_OK(env->ReadFile(manifest_path, &data));
     RHINO_RETURN_NOT_OK(db->versions_.DecodeManifest(data));
-    // Warm the table cache so corruption surfaces at open, not first read.
+    // Validate footers/indexes so corruption surfaces at open, not first
+    // read; the LRU cap keeps this from pinning every handle.
     for (const auto& f : db->versions_.AllFiles()) {
       RHINO_ASSIGN_OR_RETURN(auto table, db->OpenTable(f.number));
       (void)table;
@@ -192,41 +316,80 @@ Status DB::Get(std::string_view key, std::string* value) {
   return Status::NotFound(std::string(key));
 }
 
-Status DB::CollectRange(std::string_view begin, std::string_view end,
-                        std::map<std::string, Entry>* out) {
-  auto consider = [&](const Entry& e) {
-    if (e.key < begin) return;
-    if (!end.empty() && e.key >= end) return;
-    auto it = out->find(e.key);
-    if (it == out->end() || it->second.seq < e.seq) {
-      (*out)[e.key] = e;
+// ---------------------------------------------------------- DB::Iterator --
+
+struct DB::Iterator::Rep {
+  merge_detail::KWayMerge merge;
+  std::string end;
+  Entry current;
+  bool valid = false;
+  bool done = false;
+
+  /// Pulls merged versions until a live entry inside the bound appears.
+  void FindNext() {
+    valid = false;
+    if (done) return;
+    Entry e;
+    while (merge.NextVersion(&e)) {
+      if (!end.empty() && e.key >= end) {
+        // Sources yield in key order: nothing below `end` can follow.
+        done = true;
+        return;
+      }
+      if (e.type == ValueType::kDeletion) continue;  // dropped on the fly
+      current = std::move(e);
+      valid = true;
+      return;
     }
-  };
-  for (auto it = memtable_->NewIterator(); it.Valid(); it.Next()) {
-    Entry e{it.key(), it.seq(), it.type(), it.value()};
-    consider(e);
+    done = true;
   }
-  for (const auto& f : versions_.AllFiles()) {
-    if (!end.empty() && f.smallest >= std::string(end)) continue;
-    if (f.largest < std::string(begin)) continue;
-    RHINO_ASSIGN_OR_RETURN(auto table, OpenTable(f.number));
-    for (auto it = table->NewIterator(); it.Valid(); it.Next()) {
-      consider(it.entry());
-    }
-  }
-  return Status::OK();
+};
+
+DB::Iterator::Iterator() = default;
+DB::Iterator::~Iterator() = default;
+DB::Iterator::Iterator(Iterator&&) noexcept = default;
+DB::Iterator& DB::Iterator::operator=(Iterator&&) noexcept = default;
+
+bool DB::Iterator::Valid() const { return rep_ != nullptr && rep_->valid; }
+
+void DB::Iterator::Next() {
+  RHINO_DCHECK(Valid());
+  rep_->FindNext();
 }
+
+const std::string& DB::Iterator::key() const { return rep_->current.key; }
+
+const std::string& DB::Iterator::value() const { return rep_->current.value; }
 
 Result<DB::Iterator> DB::NewIterator(std::string_view begin,
                                      std::string_view end) {
-  std::map<std::string, Entry> merged;
-  RHINO_RETURN_NOT_OK(CollectRange(begin, end, &merged));
   Iterator it;
-  it.entries_.reserve(merged.size());
-  for (auto& [key, entry] : merged) {
-    if (entry.type == ValueType::kDeletion) continue;
-    it.entries_.push_back(std::move(entry));
+  it.rep_ = std::make_unique<Iterator::Rep>();
+  it.rep_->end.assign(end);
+
+  // Memtable snapshot: bounded by Options::memtable_bytes, and immune to a
+  // later Flush swapping the live memtable out underneath us.
+  std::vector<Entry> mem;
+  for (auto mit = memtable_->NewIterator(); mit.Valid(); mit.Next()) {
+    if (mit.key() < begin) continue;
+    if (!end.empty() && mit.key() >= end) break;
+    mem.push_back(Entry{mit.key(), mit.seq(), mit.type(), mit.value()});
   }
+  it.rep_->merge.AddSource(
+      std::make_unique<merge_detail::MemSource>(std::move(mem)));
+
+  // One block-streaming source per table overlapping the range. The
+  // sources hold the reader handles, pinning file content for the life of
+  // the iterator (compactions may delete the names meanwhile).
+  for (const auto& f : versions_.AllFiles()) {
+    if (!end.empty() && f.smallest >= end) continue;
+    if (!begin.empty() && f.largest < begin) continue;
+    RHINO_ASSIGN_OR_RETURN(auto table, OpenTable(f.number));
+    it.rep_->merge.AddSource(
+        std::make_unique<merge_detail::TableSource>(std::move(table), begin));
+  }
+  it.rep_->merge.Finish();
+  it.rep_->FindNext();
   return it;
 }
 
@@ -299,23 +462,21 @@ Status DB::CompactRange() {
 
 Status DB::DoCompaction(const std::vector<std::pair<int, FileMetaData>>& inputs,
                         int output_level) {
-  // Merge all input entries; the largest sequence number per user key wins
-  // (sequence numbers are global and monotone).
-  std::map<std::string, Entry> merged;
+  // Stream the inputs through a k-way merge; the largest sequence number
+  // per user key wins (sequence numbers are global and monotone). Peak
+  // memory is one block per input plus the output block under
+  // construction — not the merged key range.
+  merge_detail::KWayMerge merge;
   std::string smallest, largest;
   for (size_t i = 0; i < inputs.size(); ++i) {
     const auto& f = inputs[i].second;
     if (i == 0 || f.smallest < smallest) smallest = f.smallest;
     if (i == 0 || f.largest > largest) largest = f.largest;
     RHINO_ASSIGN_OR_RETURN(auto table, OpenTable(f.number));
-    for (auto it = table->NewIterator(); it.Valid(); it.Next()) {
-      const Entry& e = it.entry();
-      auto pos = merged.find(e.key);
-      if (pos == merged.end() || pos->second.seq < e.seq) {
-        merged[e.key] = e;
-      }
-    }
+    merge.AddSource(
+        std::make_unique<merge_detail::TableSource>(std::move(table), ""));
   }
+  merge.Finish();
   bool drop_tombstones =
       versions_.IsBottomMostForRange(output_level, smallest, largest);
 
@@ -341,7 +502,8 @@ Status DB::DoCompaction(const std::vector<std::pair<int, FileMetaData>>& inputs,
     return Status::OK();
   };
 
-  for (const auto& [key, entry] : merged) {
+  Entry entry;
+  while (merge.NextVersion(&entry)) {
     if (drop_tombstones && entry.type == ValueType::kDeletion) continue;
     if (!builder) {
       builder = std::make_unique<SSTableBuilder>(options_.block_bytes,
@@ -358,7 +520,7 @@ Status DB::DoCompaction(const std::vector<std::pair<int, FileMetaData>>& inputs,
   // links keep any shared content alive.
   for (const auto& [lvl, f] : inputs) {
     versions_.RemoveFile(lvl, f.number);
-    table_cache_.erase(f.number);
+    EvictTable(f.number);
     Status st = env_->DeleteFile(FilePath(TableFileName(f.number)));
     if (!st.ok() && !st.IsNotFound()) return st;
   }
@@ -403,14 +565,32 @@ Status DB::PersistManifest() {
 
 Result<std::shared_ptr<SSTableReader>> DB::OpenTable(uint64_t number) {
   auto it = table_cache_.find(number);
-  if (it != table_cache_.end()) return it->second;
-  auto contents = std::make_shared<std::string>();
-  RHINO_RETURN_NOT_OK(env_->ReadFile(FilePath(TableFileName(number)), contents.get()));
+  if (it != table_cache_.end()) {
+    table_cache_hits_metric_->Increment();
+    table_lru_.splice(table_lru_.begin(), table_lru_, it->second.lru_pos);
+    return it->second.table;
+  }
+  table_cache_misses_metric_->Increment();
   RHINO_ASSIGN_OR_RETURN(
-      auto table,
-      SSTableReader::Open(std::shared_ptr<const std::string>(contents)));
-  table_cache_[number] = table;
+      auto file, env_->NewRandomAccessFile(FilePath(TableFileName(number))));
+  RHINO_ASSIGN_OR_RETURN(
+      auto table, SSTableReader::Open(std::move(file), block_cache_.get()));
+  table_lru_.push_front(number);
+  table_cache_[number] = OpenTableEntry{table, table_lru_.begin()};
+  while (table_cache_.size() > options_.max_open_tables) {
+    uint64_t victim = table_lru_.back();
+    table_lru_.pop_back();
+    table_cache_.erase(victim);
+    table_cache_evictions_metric_->Increment();
+  }
   return table;
+}
+
+void DB::EvictTable(uint64_t number) {
+  auto it = table_cache_.find(number);
+  if (it == table_cache_.end()) return;
+  table_lru_.erase(it->second.lru_pos);
+  table_cache_.erase(it);
 }
 
 }  // namespace rhino::lsm

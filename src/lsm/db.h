@@ -1,12 +1,14 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <list>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "lsm/block_cache.h"
 #include "lsm/env.h"
 #include "obs/observability.h"
 #include "lsm/format.h"
@@ -23,6 +25,12 @@
 /// lookups, leveled compaction, and **checkpoints as hard links** of the
 /// live SSTs — which is what makes Rhino's incremental checkpoints cheap
 /// (only files new since the previous checkpoint are ever transferred).
+///
+/// The read path is streaming and block-granular: point lookups touch one
+/// data block through a shared byte-budgeted BlockCache, range scans merge
+/// memtable + per-table block iterators lazily through a k-way heap, and
+/// open-table handles live in a capped per-DB LRU. Scans of arbitrarily
+/// large state are O(block cache) resident memory.
 
 namespace rhino::lsm {
 
@@ -44,6 +52,16 @@ struct Options {
   /// Write-ahead logging: every Put/Delete is appended to a WAL before it
   /// is acknowledged, so an unflushed memtable survives a crash/reopen.
   bool enable_wal = true;
+  /// Data-block cache shared across DBs. When null the process-wide
+  /// BlockCache::Default() (64 MiB, `block_cache_bytes`) is used — one
+  /// budget across the hundreds of DBs a simulation opens.
+  std::shared_ptr<BlockCache> block_cache;
+  /// Capacity of BlockCache::Default(), for reference/sizing; a custom
+  /// budget is set by passing an explicit `block_cache`.
+  uint64_t block_cache_bytes = 64 * 1024 * 1024;
+  /// Cap on simultaneously open SSTable handles (footer + index + bloom
+  /// each); least-recently-used handles are closed beyond it.
+  size_t max_open_tables = 64;
 };
 
 /// One file captured by a checkpoint.
@@ -76,7 +94,8 @@ class DB {
   Status Put(std::string_view key, std::string_view value);
   Status Delete(std::string_view key);
 
-  /// Point lookup; NotFound when absent or deleted.
+  /// Point lookup; NotFound when absent or deleted. Reads at most one
+  /// data block per consulted table (bloom filters skip most tables).
   Status Get(std::string_view key, std::string* value);
 
   /// Flushes the memtable to a new L0 table (no-op when empty).
@@ -96,21 +115,34 @@ class DB {
   int NumLevelFiles(int level) const {
     return static_cast<int>(versions_.level(level).size());
   }
+  /// Open SSTable handles currently held by the table LRU (bounded by
+  /// Options::max_open_tables).
+  size_t OpenTableCount() const { return table_cache_.size(); }
   const std::string& path() const { return path_; }
 
-  /// Merging iterator over the live view (memtable + all levels), yielding
-  /// each visible key once in order, tombstones skipped.
+  /// Streaming merging iterator over a snapshot of the live view
+  /// (memtable + all levels): a heap-based k-way merge over per-source
+  /// block iterators that yields each visible key once in order, dropping
+  /// tombstones and shadowed versions on the fly. Resident memory is the
+  /// (bounded) memtable snapshot plus one block per table — independent of
+  /// the size of the scanned range. The snapshot is stable: later Put /
+  /// Flush / CompactRange calls do not change what it yields.
   class Iterator {
    public:
-    bool Valid() const { return pos_ < entries_.size(); }
-    void Next() { ++pos_; }
-    const std::string& key() const { return entries_[pos_].key; }
-    const std::string& value() const { return entries_[pos_].value; }
+    Iterator();
+    ~Iterator();
+    Iterator(Iterator&&) noexcept;
+    Iterator& operator=(Iterator&&) noexcept;
+
+    bool Valid() const;
+    void Next();
+    const std::string& key() const;
+    const std::string& value() const;
 
    private:
     friend class DB;
-    std::vector<Entry> entries_;
-    size_t pos_ = 0;
+    struct Rep;
+    std::unique_ptr<Rep> rep_;
   };
 
   /// Snapshot iterator over `[begin, end)`; empty `end` means unbounded.
@@ -123,16 +155,24 @@ class DB {
   /// Entries recovered from the WAL at the last Open (diagnostics).
   uint64_t wal_entries_recovered() const { return wal_recovered_; }
 
+  /// The shared data-block cache this DB reads through.
+  BlockCache* block_cache() const { return block_cache_.get(); }
+
   /// Installs the observability context and re-binds the cached metric
   /// handles (defaults to the process-wide one; counters are store-wide,
   /// not per-DB — one simulation opens hundreds of DBs).
-  void SetObservability(obs::Observability* o) { BindMetrics(o); }
+  void SetObservability(obs::Observability* o) {
+    BindMetrics(o);
+    block_cache_->SetObservability(o);
+  }
 
  private:
   DB(Env* env, std::string path, Options options)
       : env_(env),
         path_(std::move(path)),
         options_(options),
+        block_cache_(options.block_cache ? options.block_cache
+                                         : BlockCache::Default()),
         versions_(options.num_levels) {
     BindMetrics(obs::Observability::Default());
   }
@@ -148,26 +188,34 @@ class DB {
   /// Replays a surviving WAL into the memtable; truncated tails are
   /// tolerated (a torn final record is discarded, as in RocksDB).
   Status RecoverWal();
+  /// Returns an open handle to table `number` through the LRU table cache.
   Result<std::shared_ptr<SSTableReader>> OpenTable(uint64_t number);
+  /// Drops `number` from the table cache (compaction removed the file).
+  void EvictTable(uint64_t number);
   Status WriteLevel0Table();
   Status MaybeCompact();
   Status CompactLevel(int level);
   uint64_t MaxBytesForLevel(int level) const;
-  /// Merges `inputs` (newest source first) into files at `output_level`.
+  /// Streams `inputs` through a k-way merge into files at `output_level`.
   Status DoCompaction(const std::vector<std::pair<int, FileMetaData>>& inputs,
                       int output_level);
-
-  /// Collects the newest visible entry for every key in range across all
-  /// sources into `*out` (key → entry), tombstones retained.
-  Status CollectRange(std::string_view begin, std::string_view end,
-                      std::map<std::string, Entry>* out);
 
   Env* env_;
   std::string path_;
   Options options_;
+  std::shared_ptr<BlockCache> block_cache_;
   std::unique_ptr<MemTable> memtable_ = std::make_unique<MemTable>();
   VersionSet versions_;
-  std::map<uint64_t, std::shared_ptr<SSTableReader>> table_cache_;
+  /// LRU of open table handles: `table_lru_` front is most recent; the
+  /// map holds the handle plus its list position. Bounded by
+  /// Options::max_open_tables — the fix for the unbounded growth the old
+  /// per-DB map exhibited across long compaction histories.
+  struct OpenTableEntry {
+    std::shared_ptr<SSTableReader> table;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+  std::list<uint64_t> table_lru_;
+  std::unordered_map<uint64_t, OpenTableEntry> table_cache_;
   uint64_t flush_count_ = 0;
   uint64_t compaction_count_ = 0;
   uint64_t wal_recovered_ = 0;
@@ -180,6 +228,9 @@ class DB {
   obs::Counter* compactions_metric_ = nullptr;
   obs::Counter* checkpoints_metric_ = nullptr;
   obs::Counter* checkpoint_bytes_metric_ = nullptr;
+  obs::Counter* table_cache_hits_metric_ = nullptr;
+  obs::Counter* table_cache_misses_metric_ = nullptr;
+  obs::Counter* table_cache_evictions_metric_ = nullptr;
 };
 
 }  // namespace rhino::lsm

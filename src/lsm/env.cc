@@ -1,5 +1,6 @@
 #include "lsm/env.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -19,6 +20,64 @@ std::string DirName(const std::string& path) {
   if (pos == std::string::npos || pos == 0) return "/";
   return path.substr(0, pos);
 }
+
+/// EOF-clamped copy of `[offset, offset+n)` out of an in-memory buffer.
+void RangeFrom(const std::string& content, uint64_t offset, size_t n,
+               std::string* out) {
+  out->clear();
+  if (offset >= content.size()) return;
+  size_t len = std::min<uint64_t>(n, content.size() - offset);
+  out->assign(content, static_cast<size_t>(offset), len);
+}
+
+/// RandomAccessFile over a shared in-memory content buffer. Holding the
+/// shared_ptr pins the content exactly like an extra hard link would.
+class MemRandomAccessFile : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(std::shared_ptr<const std::string> content)
+      : content_(std::move(content)) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    RangeFrom(*content_, offset, n, out);
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return content_->size(); }
+
+ private:
+  std::shared_ptr<const std::string> content_;
+};
+
+/// RandomAccessFile over an open stdio stream. The open descriptor keeps
+/// the inode alive after unlink/rename, matching MemRandomAccessFile.
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::FILE* file, uint64_t size)
+      : file_(file), size_(size) {}
+  ~PosixRandomAccessFile() override { std::fclose(file_); }
+  PosixRandomAccessFile(const PosixRandomAccessFile&) = delete;
+  PosixRandomAccessFile& operator=(const PosixRandomAccessFile&) = delete;
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    out->clear();
+    if (offset >= size_) return Status::OK();
+    size_t len = std::min<uint64_t>(n, size_ - offset);
+    out->resize(len);
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IOError("seek");
+    }
+    size_t got = std::fread(out->data(), 1, len, file_);
+    out->resize(got);
+    if (got < len && std::ferror(file_)) return Status::IOError("read");
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  std::FILE* file_;
+  uint64_t size_;
+};
 
 }  // namespace
 
@@ -43,6 +102,22 @@ Status MemEnv::ReadFile(const std::string& path, std::string* out) {
   if (it == files_.end()) return Status::NotFound(path);
   *out = *it->second;
   return Status::OK();
+}
+
+Status MemEnv::ReadFileRange(const std::string& path, uint64_t offset,
+                             size_t n, std::string* out) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  RangeFrom(*it->second, offset, n, out);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RandomAccessFile>> MemEnv::NewRandomAccessFile(
+    const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound(path);
+  return std::unique_ptr<RandomAccessFile>(
+      std::make_unique<MemRandomAccessFile>(it->second));
 }
 
 Result<uint64_t> MemEnv::GetFileSize(const std::string& path) {
@@ -154,6 +229,23 @@ Status PosixEnv::ReadFile(const std::string& path, std::string* out) {
   out->assign(std::istreambuf_iterator<char>(in),
               std::istreambuf_iterator<char>());
   return Status::OK();
+}
+
+Status PosixEnv::ReadFileRange(const std::string& path, uint64_t offset,
+                               size_t n, std::string* out) {
+  RHINO_ASSIGN_OR_RETURN(auto file, NewRandomAccessFile(path));
+  return file->Read(offset, n, out);
+}
+
+Result<std::unique_ptr<RandomAccessFile>> PosixEnv::NewRandomAccessFile(
+    const std::string& path) {
+  std::error_code ec;
+  auto size = fs::file_size(path, ec);
+  if (ec) return Status::NotFound(path);
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::NotFound(path);
+  return std::unique_ptr<RandomAccessFile>(
+      std::make_unique<PosixRandomAccessFile>(file, size));
 }
 
 Result<uint64_t> PosixEnv::GetFileSize(const std::string& path) {

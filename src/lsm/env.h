@@ -21,6 +21,24 @@
 
 namespace rhino::lsm {
 
+/// Read-only positional handle to one file's content. The handle pins the
+/// content it was opened on: like a POSIX file descriptor, it keeps serving
+/// the original bytes even after the name is deleted, renamed, or replaced
+/// by a fresh WriteFile. This is what makes long-lived SSTable readers (and
+/// the iterators holding them) immune to concurrent compaction deletes.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes starting at `offset` into `*out`. Reads that
+  /// extend past EOF are clamped (short read); reads starting at or past
+  /// EOF return OK with an empty `*out`.
+  virtual Status Read(uint64_t offset, size_t n, std::string* out) const = 0;
+
+  /// Size of the pinned content in bytes.
+  virtual uint64_t Size() const = 0;
+};
+
 /// Abstract filesystem. All paths are '/'-separated and absolute within
 /// the Env's namespace.
 class Env {
@@ -39,6 +57,17 @@ class Env {
 
   /// Reads a whole file into `*out`.
   virtual Status ReadFile(const std::string& path, std::string* out) = 0;
+
+  /// Positional partial read: up to `n` bytes of `path` starting at
+  /// `offset`. Same EOF-clamping semantics as RandomAccessFile::Read. This
+  /// is the one-shot form; block-granular readers that issue many reads
+  /// against the same file should hold a NewRandomAccessFile handle.
+  virtual Status ReadFileRange(const std::string& path, uint64_t offset,
+                               size_t n, std::string* out) = 0;
+
+  /// Opens a pinned positional-read handle on `path`.
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
 
   virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
   virtual bool FileExists(const std::string& path) = 0;
@@ -63,6 +92,10 @@ class MemEnv : public Env {
   Status WriteFile(const std::string& path, std::string_view data) override;
   Status AppendFile(const std::string& path, std::string_view data) override;
   Status ReadFile(const std::string& path, std::string* out) override;
+  Status ReadFileRange(const std::string& path, uint64_t offset, size_t n,
+                       std::string* out) override;
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
   Result<uint64_t> GetFileSize(const std::string& path) override;
   bool FileExists(const std::string& path) override;
   Status DeleteFile(const std::string& path) override;
@@ -87,6 +120,10 @@ class PosixEnv : public Env {
   Status WriteFile(const std::string& path, std::string_view data) override;
   Status AppendFile(const std::string& path, std::string_view data) override;
   Status ReadFile(const std::string& path, std::string* out) override;
+  Status ReadFileRange(const std::string& path, uint64_t offset, size_t n,
+                       std::string* out) override;
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
   Result<uint64_t> GetFileSize(const std::string& path) override;
   bool FileExists(const std::string& path) override;
   Status DeleteFile(const std::string& path) override;

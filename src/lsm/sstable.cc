@@ -45,6 +45,27 @@ Status DecodeEntry(std::string_view data, size_t* pos, Entry* entry) {
   return Status::OK();
 }
 
+/// RandomAccessFile adapter over an owned in-memory buffer, for readers
+/// opened on a byte string instead of an Env path.
+class StringFile : public RandomAccessFile {
+ public:
+  explicit StringFile(std::shared_ptr<const std::string> content)
+      : content_(std::move(content)) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    out->clear();
+    if (offset >= content_->size()) return Status::OK();
+    size_t len = std::min<uint64_t>(n, content_->size() - offset);
+    out->assign(*content_, static_cast<size_t>(offset), len);
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return content_->size(); }
+
+ private:
+  std::shared_ptr<const std::string> content_;
+};
+
 }  // namespace
 
 // -------------------------------------------------------- SSTableBuilder --
@@ -97,11 +118,14 @@ std::string SSTableBuilder::Finish() {
 // --------------------------------------------------------- SSTableReader --
 
 Result<std::shared_ptr<SSTableReader>> SSTableReader::Open(
-    std::shared_ptr<const std::string> contents) {
+    std::unique_ptr<RandomAccessFile> file, BlockCache* cache) {
   constexpr size_t kFooter = 48;
-  if (contents->size() < kFooter) return Status::Corruption("sst too small");
-  BinaryReader footer(
-      std::string_view(*contents).substr(contents->size() - kFooter));
+  uint64_t file_size = file->Size();
+  if (file_size < kFooter) return Status::Corruption("sst too small");
+  std::string footer_data;
+  RHINO_RETURN_NOT_OK(file->Read(file_size - kFooter, kFooter, &footer_data));
+  if (footer_data.size() != kFooter) return Status::Corruption("sst footer");
+  BinaryReader footer(footer_data);
   uint64_t index_off, index_len, bloom_off, bloom_len, num_entries, magic;
   RHINO_RETURN_NOT_OK(footer.GetU64(&index_off));
   RHINO_RETURN_NOT_OK(footer.GetU64(&index_len));
@@ -110,18 +134,27 @@ Result<std::shared_ptr<SSTableReader>> SSTableReader::Open(
   RHINO_RETURN_NOT_OK(footer.GetU64(&num_entries));
   RHINO_RETURN_NOT_OK(footer.GetU64(&magic));
   if (magic != kSstMagic) return Status::Corruption("bad sst magic");
-  if (index_off + index_len > contents->size() ||
-      bloom_off + bloom_len > contents->size()) {
+  if (index_off + index_len > file_size || bloom_off + bloom_len > file_size) {
     return Status::Corruption("bad sst footer offsets");
   }
 
   auto table = std::shared_ptr<SSTableReader>(new SSTableReader());
-  table->contents_ = std::move(contents);
+  table->file_ = std::move(file);
+  table->cache_ = cache;
+  if (cache != nullptr) table->cache_id_ = cache->NewTableId();
   table->num_entries_ = num_entries;
-  table->bloom_data_ =
-      std::string_view(*table->contents_).substr(bloom_off, bloom_len);
+  RHINO_RETURN_NOT_OK(
+      table->file_->Read(bloom_off, bloom_len, &table->bloom_));
+  if (table->bloom_.size() != bloom_len) {
+    return Status::Corruption("sst bloom truncated");
+  }
 
-  BinaryReader idx(std::string_view(*table->contents_).substr(index_off, index_len));
+  std::string index_data;
+  RHINO_RETURN_NOT_OK(table->file_->Read(index_off, index_len, &index_data));
+  if (index_data.size() != index_len) {
+    return Status::Corruption("sst index truncated");
+  }
+  BinaryReader idx(index_data);
   uint64_t blocks;
   RHINO_RETURN_NOT_OK(idx.GetVarint(&blocks));
   table->index_.reserve(blocks);
@@ -130,24 +163,55 @@ Result<std::shared_ptr<SSTableReader>> SSTableReader::Open(
     RHINO_RETURN_NOT_OK(idx.GetString(&e.last_key));
     RHINO_RETURN_NOT_OK(idx.GetVarint(&e.offset));
     RHINO_RETURN_NOT_OK(idx.GetVarint(&e.size));
+    if (e.offset + e.size > index_off) {
+      return Status::Corruption("sst index entry out of bounds");
+    }
     table->index_.push_back(std::move(e));
   }
   if (!table->index_.empty() && num_entries > 0) {
-    // Recover smallest/largest by decoding the first entry and using the
-    // last block's index key.
+    // Recover smallest/largest from the first data block's first entry and
+    // the last block's index key. This is the only data-block read at open.
+    RHINO_ASSIGN_OR_RETURN(auto first_block, table->ReadBlock(0));
     Entry first;
-    size_t pos = static_cast<size_t>(table->index_.front().offset);
+    size_t pos = 0;
     RHINO_RETURN_NOT_OK(
-        DecodeEntry(std::string_view(*table->contents_), &pos, &first));
+        DecodeEntry(std::string_view(*first_block), &pos, &first));
     table->smallest_ = first.key;
     table->largest_ = table->index_.back().last_key;
   }
   return table;
 }
 
+Result<std::shared_ptr<SSTableReader>> SSTableReader::Open(
+    std::shared_ptr<const std::string> contents) {
+  return Open(std::make_unique<StringFile>(std::move(contents)), nullptr);
+}
+
+SSTableReader::~SSTableReader() {
+  if (cache_ != nullptr) cache_->EraseTable(cache_id_);
+}
+
+Result<BlockCache::BlockHandle> SSTableReader::ReadBlock(size_t idx) const {
+  const IndexEntry& e = index_[idx];
+  if (cache_ != nullptr) {
+    if (auto block = cache_->Lookup(cache_id_, static_cast<uint32_t>(idx))) {
+      return block;
+    }
+  }
+  auto block = std::make_shared<std::string>();
+  RHINO_RETURN_NOT_OK(
+      file_->Read(e.offset, static_cast<size_t>(e.size), block.get()));
+  if (block->size() != e.size) return Status::Corruption("sst block truncated");
+  BlockCache::BlockHandle handle = std::move(block);
+  if (cache_ != nullptr) {
+    cache_->Insert(cache_id_, static_cast<uint32_t>(idx), handle);
+  }
+  return handle;
+}
+
 Status SSTableReader::Get(std::string_view key, Entry* entry) const {
   if (index_.empty()) return Status::NotFound("empty table");
-  if (!BloomFilter(bloom_data_).MayContain(key)) {
+  if (!BloomFilter(bloom_).MayContain(key)) {
     return Status::NotFound("bloom miss");
   }
   // First block whose last key is >= key.
@@ -155,10 +219,11 @@ Status SSTableReader::Get(std::string_view key, Entry* entry) const {
       index_.begin(), index_.end(), key,
       [](const IndexEntry& e, std::string_view k) { return e.last_key < k; });
   if (it == index_.end()) return Status::NotFound("past last block");
-  size_t pos = static_cast<size_t>(it->offset);
-  size_t end = pos + static_cast<size_t>(it->size);
-  std::string_view data(*contents_);
-  while (pos < end) {
+  RHINO_ASSIGN_OR_RETURN(
+      auto block, ReadBlock(static_cast<size_t>(it - index_.begin())));
+  std::string_view data(*block);
+  size_t pos = 0;
+  while (pos < data.size()) {
     RHINO_RETURN_NOT_OK(DecodeEntry(data, &pos, entry));
     if (entry->key == key) return Status::OK();
     if (entry->key > key) break;
@@ -169,23 +234,48 @@ Status SSTableReader::Get(std::string_view key, Entry* entry) const {
 SSTableReader::Iterator::Iterator(const SSTableReader* table) : table_(table) {
   if (!table_->index_.empty()) {
     block_idx_ = 0;
-    pos_ = static_cast<size_t>(table_->index_[0].offset);
-    block_end_ = pos_ + static_cast<size_t>(table_->index_[0].size);
+    pos_ = 0;
     ParseCurrent();
   }
 }
 
+void SSTableReader::Iterator::Seek(std::string_view key) {
+  const auto& index = table_->index_;
+  auto it = std::lower_bound(
+      index.begin(), index.end(), key,
+      [](const IndexEntry& e, std::string_view k) { return e.last_key < k; });
+  if (it == index.end()) {
+    valid_ = false;
+    block_ = nullptr;
+    return;
+  }
+  block_idx_ = static_cast<size_t>(it - index.begin());
+  block_ = nullptr;
+  pos_ = 0;
+  ParseCurrent();
+  // The target lives in this block (its last key is >= key), so a linear
+  // scan within it suffices.
+  while (valid_ && entry_.key < key) ParseCurrent();
+}
+
 void SSTableReader::Iterator::ParseCurrent() {
-  while (pos_ >= block_end_) {
-    ++block_idx_;
+  while (true) {
     if (block_idx_ >= table_->index_.size()) {
       valid_ = false;
+      block_ = nullptr;
       return;
     }
-    pos_ = static_cast<size_t>(table_->index_[block_idx_].offset);
-    block_end_ = pos_ + static_cast<size_t>(table_->index_[block_idx_].size);
+    if (block_ == nullptr) {
+      auto block = table_->ReadBlock(block_idx_);
+      RHINO_CHECK_OK(block.status());
+      block_ = *block;
+      pos_ = 0;
+    }
+    if (pos_ < block_->size()) break;
+    ++block_idx_;
+    block_ = nullptr;
   }
-  Status st = DecodeEntry(std::string_view(*table_->contents_), &pos_, &entry_);
+  Status st = DecodeEntry(std::string_view(*block_), &pos_, &entry_);
   RHINO_CHECK_OK(st);
   valid_ = true;
 }

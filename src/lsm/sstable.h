@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "lsm/block_cache.h"
 #include "lsm/bloom.h"
+#include "lsm/env.h"
 #include "lsm/format.h"
 
 /// \file sstable.h
@@ -26,6 +28,12 @@
 /// Tables are built entirely in memory (memtables are bounded) and written
 /// with one atomic Env::WriteFile, mirroring RocksDB's immutable-SST
 /// model that makes checkpoint hard-linking safe.
+///
+/// Readers are block-granular: Open() fetches only the footer, index, and
+/// bloom filter; data blocks are read positionally on demand and cached in
+/// a shared byte-budgeted BlockCache. A reader therefore costs O(index)
+/// memory, not O(file), and a full-table scan costs O(one block) resident
+/// bytes beyond the cache budget.
 
 namespace rhino::lsm {
 
@@ -69,38 +77,61 @@ class SSTableBuilder {
   uint64_t num_entries_ = 0;
 };
 
-/// Reads an SSTable from an in-memory buffer (shared with the Env).
+/// Block-granular SSTable reader.
+///
+/// The RandomAccessFile pins the underlying content (an open fd / shared
+/// buffer), so a reader — and any iterator holding one — keeps working
+/// after the file name is deleted by a compaction. When a `cache` is
+/// given, data blocks are shared through it under a reader-unique id and
+/// erased again when the reader closes.
 class SSTableReader {
  public:
-  /// Parses the footer and index. The buffer is retained via shared_ptr.
+  /// Opens via positional reads: footer + index + bloom eagerly, data
+  /// blocks on demand through `cache` (nullptr disables caching).
+  static Result<std::shared_ptr<SSTableReader>> Open(
+      std::unique_ptr<RandomAccessFile> file, BlockCache* cache);
+
+  /// Opens over an in-memory buffer without a cache (tests, tools).
   static Result<std::shared_ptr<SSTableReader>> Open(
       std::shared_ptr<const std::string> contents);
 
-  /// Point lookup through bloom filter + block binary search.
-  /// Returns NotFound when absent; tombstones are returned as entries with
-  /// `type == kDeletion` (the DB layer interprets them).
+  ~SSTableReader();
+  SSTableReader(const SSTableReader&) = delete;
+  SSTableReader& operator=(const SSTableReader&) = delete;
+
+  /// Point lookup through bloom filter + block binary search; reads at
+  /// most one data block. Returns NotFound when absent; tombstones are
+  /// returned as entries with `type == kDeletion` (the DB layer interprets
+  /// them).
   Status Get(std::string_view key, Entry* entry) const;
 
   uint64_t num_entries() const { return num_entries_; }
   const std::string& smallest() const { return smallest_; }
   const std::string& largest() const { return largest_; }
-  uint64_t file_size() const { return contents_->size(); }
+  uint64_t file_size() const { return file_->Size(); }
+  size_t num_blocks() const { return index_.size(); }
 
-  /// Forward iterator over every entry in key order.
+  /// Forward iterator over entries in key order. Holds one data block at a
+  /// time; resident memory is O(block), not O(file).
   class Iterator {
    public:
     explicit Iterator(const SSTableReader* table);
+    /// Repositions to the first entry with key >= `key`.
+    void Seek(std::string_view key);
     bool Valid() const { return valid_; }
     void Next();
     const std::string& key() const { return entry_.key; }
     const Entry& entry() const { return entry_; }
 
    private:
+    /// Loads block `block_idx_` and decodes the entry at `pos_`, walking
+    /// into following blocks when the current one is exhausted.
     void ParseCurrent();
+
     const SSTableReader* table_;
     size_t block_idx_ = 0;
-    size_t pos_ = 0;     // absolute offset in file buffer
-    size_t block_end_ = 0;
+    BlockCache::BlockHandle block_;  // pinned current block
+    size_t pos_ = 0;                 // offset within block_
     Entry entry_;
     bool valid_ = false;
   };
@@ -116,9 +147,14 @@ class SSTableReader {
     uint64_t size;
   };
 
-  std::shared_ptr<const std::string> contents_;
+  /// Fetches data block `idx`, via the cache when one is attached.
+  Result<BlockCache::BlockHandle> ReadBlock(size_t idx) const;
+
+  std::unique_ptr<RandomAccessFile> file_;
+  BlockCache* cache_ = nullptr;
+  uint64_t cache_id_ = 0;
   std::vector<IndexEntry> index_;
-  std::string_view bloom_data_;
+  std::string bloom_;
   uint64_t num_entries_ = 0;
   std::string smallest_;
   std::string largest_;

@@ -1,5 +1,7 @@
 #include "state/lsm_state_backend.h"
 
+#include <cstring>
+
 #include "common/serde.h"
 
 namespace rhino::state {
@@ -50,13 +52,25 @@ Status LsmStateBackend::Delete(uint32_t vnode, std::string_view key,
 
 Result<std::vector<std::pair<std::string, std::string>>>
 LsmStateBackend::ScanVnode(uint32_t vnode) {
+  std::vector<std::pair<std::string, std::string>> out;
+  RHINO_RETURN_NOT_OK(
+      VisitVnode(vnode, [&](std::string_view key, std::string_view value) {
+        out.emplace_back(key, value);
+        return Status::OK();
+      }));
+  return out;
+}
+
+Status LsmStateBackend::VisitVnode(uint32_t vnode, const EntryVisitor& fn) {
+  // The DB iterator streams block by block; only the entries the visitor
+  // chooses to keep are ever materialized.
   RHINO_ASSIGN_OR_RETURN(
       auto it, db_->NewIterator(EncodeKey(vnode, ""), EncodeKey(vnode + 1, "")));
-  std::vector<std::pair<std::string, std::string>> out;
   for (; it.Valid(); it.Next()) {
-    out.emplace_back(it.key().substr(4), it.value());
+    RHINO_RETURN_NOT_OK(
+        fn(std::string_view(it.key()).substr(4), it.value()));
   }
-  return out;
+  return Status::OK();
 }
 
 Result<std::vector<std::pair<std::string, std::string>>>
@@ -110,18 +124,26 @@ Result<CheckpointDescriptor> LsmStateBackend::Checkpoint(
 
 Result<std::string> LsmStateBackend::ExtractVnodes(
     const std::vector<uint32_t>& vnodes) {
+  // Entries stream straight from the DB iterator into the blob; the only
+  // intermediate state per vnode is the fixed-width entry count, written
+  // as a placeholder and patched once the vnode is done.
   std::string blob;
   BinaryWriter w(&blob);
   w.PutU32(static_cast<uint32_t>(vnodes.size()));
   for (uint32_t v : vnodes) {
-    RHINO_ASSIGN_OR_RETURN(auto entries, ScanVnode(v));
     w.PutU32(v);
     w.PutU64(VnodeBytes(v));
-    w.PutU64(entries.size());
-    for (const auto& [key, value] : entries) {
-      w.PutString(key);
-      w.PutString(value);
-    }
+    size_t count_offset = blob.size();
+    w.PutU64(0);
+    uint64_t count = 0;
+    RHINO_RETURN_NOT_OK(
+        VisitVnode(v, [&](std::string_view key, std::string_view value) {
+          w.PutString(key);
+          w.PutString(value);
+          ++count;
+          return Status::OK();
+        }));
+    std::memcpy(blob.data() + count_offset, &count, sizeof(count));
   }
   return blob;
 }
@@ -149,9 +171,13 @@ Status LsmStateBackend::IngestVnodes(std::string_view blob, bool) {
 
 Status LsmStateBackend::DropVnodes(const std::vector<uint32_t>& vnodes) {
   for (uint32_t v : vnodes) {
-    RHINO_ASSIGN_OR_RETURN(auto entries, ScanVnode(v));
-    for (const auto& [key, _] : entries) {
-      RHINO_RETURN_NOT_OK(db_->Delete(EncodeKey(v, key)));
+    // Deleting while iterating is safe: the iterator is a snapshot, so
+    // the tombstones it writes (and any flush/compaction they trigger) do
+    // not perturb the visit.
+    RHINO_ASSIGN_OR_RETURN(
+        auto it, db_->NewIterator(EncodeKey(v, ""), EncodeKey(v + 1, "")));
+    for (; it.Valid(); it.Next()) {
+      RHINO_RETURN_NOT_OK(db_->Delete(it.key()));
     }
     vnode_bytes_.erase(v);
   }

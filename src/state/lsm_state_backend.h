@@ -36,6 +36,7 @@ class LsmStateBackend : public StateBackend {
       uint32_t vnode) override;
   Result<std::vector<std::pair<std::string, std::string>>> ScanPrefix(
       uint32_t vnode, std::string_view prefix) override;
+  Status VisitVnode(uint32_t vnode, const EntryVisitor& fn) override;
   uint64_t SizeBytes() const override;
   uint64_t VnodeBytes(uint32_t vnode) const override;
   Result<CheckpointDescriptor> Checkpoint(uint64_t checkpoint_id) override;

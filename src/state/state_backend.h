@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,22 @@ class StateBackend {
   /// Live pairs of `vnode` whose key starts with `prefix`, in key order.
   virtual Result<std::vector<std::pair<std::string, std::string>>> ScanPrefix(
       uint32_t vnode, std::string_view prefix) = 0;
+
+  /// Per-entry callback for VisitVnode; a non-OK return aborts the visit
+  /// and propagates. The views are only valid during the call.
+  using EntryVisitor =
+      std::function<Status(std::string_view key, std::string_view value)>;
+
+  /// Streams the live entries of `vnode` into `fn` in key order without
+  /// materializing the range. The default adapts ScanVnode; real backends
+  /// override it to keep resident memory at O(one block).
+  virtual Status VisitVnode(uint32_t vnode, const EntryVisitor& fn) {
+    RHINO_ASSIGN_OR_RETURN(auto entries, ScanVnode(vnode));
+    for (const auto& [key, value] : entries) {
+      RHINO_RETURN_NOT_OK(fn(key, value));
+    }
+    return Status::OK();
+  }
 
   /// Current state footprint in (nominal) bytes.
   virtual uint64_t SizeBytes() const = 0;

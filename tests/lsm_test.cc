@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <map>
 #include <set>
 #include <string>
 
 #include "common/random.h"
+#include "lsm/block_cache.h"
 #include "lsm/bloom.h"
 #include "lsm/db.h"
 #include "lsm/env.h"
@@ -21,6 +23,14 @@ std::string Key(int i) {
 }
 
 // ------------------------------------------------------------------- Env --
+
+/// Fresh scratch directory on the real filesystem for PosixEnv tests.
+std::string PosixScratchDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "rhino_lsm_test_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
 
 TEST(MemEnvTest, WriteReadRoundTrip) {
   MemEnv env;
@@ -80,6 +90,149 @@ TEST(MemEnvTest, RenameMovesContent) {
 }
 
 // ----------------------------------------------------------------- Bloom --
+
+// Partial reads must clamp at EOF and treat past-EOF starts as empty OK
+// reads on both Env implementations.
+template <typename MakeEnv>
+void CheckReadFileRangeEdgeCases(MakeEnv make_env, const std::string& dir) {
+  auto env = make_env();
+  std::string path = dir + "/f";
+  ASSERT_TRUE(env->WriteFile(path, "0123456789").ok());
+
+  std::string out;
+  ASSERT_TRUE(env->ReadFileRange(path, 2, 4, &out).ok());
+  EXPECT_EQ(out, "2345");
+  // Read extending past EOF is clamped, not an error.
+  ASSERT_TRUE(env->ReadFileRange(path, 7, 100, &out).ok());
+  EXPECT_EQ(out, "789");
+  // Read starting at EOF and past EOF both yield empty OK.
+  ASSERT_TRUE(env->ReadFileRange(path, 10, 5, &out).ok());
+  EXPECT_EQ(out, "");
+  ASSERT_TRUE(env->ReadFileRange(path, 999, 5, &out).ok());
+  EXPECT_EQ(out, "");
+  // Zero-length range.
+  ASSERT_TRUE(env->ReadFileRange(path, 3, 0, &out).ok());
+  EXPECT_EQ(out, "");
+  // Missing file.
+  EXPECT_TRUE(env->ReadFileRange(dir + "/missing", 0, 1, &out).IsNotFound());
+  EXPECT_TRUE(env->NewRandomAccessFile(dir + "/missing").status().IsNotFound());
+
+  // Ranges read through a hard link see the same content.
+  ASSERT_TRUE(env->LinkFile(path, dir + "/g").ok());
+  ASSERT_TRUE(env->ReadFileRange(dir + "/g", 4, 3, &out).ok());
+  EXPECT_EQ(out, "456");
+  // ... even after the original name is deleted.
+  ASSERT_TRUE(env->DeleteFile(path).ok());
+  ASSERT_TRUE(env->ReadFileRange(dir + "/g", 0, 4, &out).ok());
+  EXPECT_EQ(out, "0123");
+}
+
+TEST(MemEnvTest, ReadFileRangeEdgeCases) {
+  CheckReadFileRangeEdgeCases([] { return std::make_unique<MemEnv>(); },
+                              "/dir");
+}
+
+TEST(PosixEnvTest, ReadFileRangeEdgeCases) {
+  CheckReadFileRangeEdgeCases([] { return std::make_unique<PosixEnv>(); },
+                              PosixScratchDir("range"));
+}
+
+// A RandomAccessFile pins content: deleting (or replacing) the name must
+// not disturb reads through an already-open handle. This property is what
+// keeps live iterators working across compaction deletes.
+template <typename MakeEnv>
+void CheckRandomAccessFilePinsContent(MakeEnv make_env, const std::string& dir) {
+  auto env = make_env();
+  std::string path = dir + "/f";
+  ASSERT_TRUE(env->WriteFile(path, "abcdef").ok());
+  auto file = env->NewRandomAccessFile(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->Size(), 6u);
+
+  ASSERT_TRUE(env->DeleteFile(path).ok());
+  std::string out;
+  ASSERT_TRUE((*file)->Read(1, 3, &out).ok());
+  EXPECT_EQ(out, "bcd");
+  ASSERT_TRUE((*file)->Read(4, 100, &out).ok());
+  EXPECT_EQ(out, "ef");
+
+  // A fresh file under the old name is new content; the handle still
+  // serves the original bytes.
+  ASSERT_TRUE(env->WriteFile(path, "XYZ").ok());
+  ASSERT_TRUE((*file)->Read(0, 6, &out).ok());
+  EXPECT_EQ(out, "abcdef");
+}
+
+TEST(MemEnvTest, RandomAccessFilePinsContent) {
+  CheckRandomAccessFilePinsContent([] { return std::make_unique<MemEnv>(); },
+                                   "/dir");
+}
+
+TEST(PosixEnvTest, RandomAccessFilePinsContent) {
+  CheckRandomAccessFilePinsContent([] { return std::make_unique<PosixEnv>(); },
+                                   PosixScratchDir("pin"));
+}
+
+// ------------------------------------------------------------ BlockCache --
+
+TEST(BlockCacheTest, MissThenHit) {
+  BlockCache cache(1024);
+  uint64_t t = cache.NewTableId();
+  EXPECT_EQ(cache.Lookup(t, 0), nullptr);
+  cache.Insert(t, 0, std::make_shared<std::string>(100, 'a'));
+  auto block = cache.Lookup(t, 0);
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->size(), 100u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.usage_bytes(), 100u);
+}
+
+TEST(BlockCacheTest, EvictsLeastRecentlyUsedUnderBudget) {
+  BlockCache cache(300);
+  uint64_t t = cache.NewTableId();
+  cache.Insert(t, 0, std::make_shared<std::string>(100, 'a'));
+  cache.Insert(t, 1, std::make_shared<std::string>(100, 'b'));
+  cache.Insert(t, 2, std::make_shared<std::string>(100, 'c'));
+  // Touch block 0 so block 1 is the LRU victim.
+  ASSERT_NE(cache.Lookup(t, 0), nullptr);
+  cache.Insert(t, 3, std::make_shared<std::string>(100, 'd'));
+  EXPECT_EQ(cache.Lookup(t, 1), nullptr) << "LRU victim should be gone";
+  EXPECT_NE(cache.Lookup(t, 0), nullptr);
+  EXPECT_NE(cache.Lookup(t, 3), nullptr);
+  EXPECT_LE(cache.usage_bytes(), 300u);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(BlockCacheTest, OversizedBlockIsNotCached) {
+  BlockCache cache(50);
+  uint64_t t = cache.NewTableId();
+  cache.Insert(t, 0, std::make_shared<std::string>(100, 'a'));
+  EXPECT_EQ(cache.Lookup(t, 0), nullptr);
+  EXPECT_EQ(cache.usage_bytes(), 0u);
+}
+
+TEST(BlockCacheTest, EraseTableDropsOnlyThatTable) {
+  BlockCache cache(1024);
+  uint64_t t1 = cache.NewTableId();
+  uint64_t t2 = cache.NewTableId();
+  cache.Insert(t1, 0, std::make_shared<std::string>(10, 'a'));
+  cache.Insert(t2, 0, std::make_shared<std::string>(10, 'b'));
+  cache.EraseTable(t1);
+  EXPECT_EQ(cache.Lookup(t1, 0), nullptr);
+  EXPECT_NE(cache.Lookup(t2, 0), nullptr);
+  EXPECT_EQ(cache.usage_bytes(), 10u);
+}
+
+TEST(BlockCacheTest, PeakUsageTracksHighWaterMark) {
+  BlockCache cache(250);
+  uint64_t t = cache.NewTableId();
+  cache.Insert(t, 0, std::make_shared<std::string>(100, 'a'));
+  cache.Insert(t, 1, std::make_shared<std::string>(100, 'b'));
+  cache.Insert(t, 2, std::make_shared<std::string>(100, 'c'));  // evicts one
+  EXPECT_EQ(cache.peak_usage_bytes(), 200u);
+  EXPECT_LE(cache.usage_bytes(), 250u);
+}
 
 TEST(BloomTest, NoFalseNegatives) {
   BloomFilterBuilder builder(10);
@@ -520,6 +673,122 @@ TEST(DBWalTest, DisabledWalSkipsRecovery) {
   std::string v;
   EXPECT_TRUE((*db)->Get("k", &v).IsNotFound())
       << "without a WAL the unflushed memtable is lost on reopen";
+}
+
+// An iterator is a snapshot: writes, flushes, and full compactions issued
+// after its creation must not change what it yields, even though compaction
+// deletes the very files it is reading (the pinned handles keep them alive).
+TEST(DBTest, IteratorSnapshotStableAcrossFlushAndCompact) {
+  MemEnv env;
+  auto db = DB::Open(&env, "/db", SmallOptions());
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE((*db)->Put(Key(i), "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE((*db)->Flush().ok());
+
+  auto it = (*db)->NewIterator();
+  ASSERT_TRUE(it.ok());
+
+  // Mutate heavily behind the snapshot: overwrites, new keys, deletes,
+  // then force the tree through a full rewrite.
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE((*db)->Put(Key(i), "CHANGED").ok());
+  }
+  for (int i = 500; i < 600; ++i) {
+    ASSERT_TRUE((*db)->Put(Key(i), "NEW").ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*db)->Delete(Key(i)).ok());
+  }
+  ASSERT_TRUE((*db)->Flush().ok());
+  ASSERT_TRUE((*db)->CompactRange().ok());
+
+  int count = 0;
+  for (; it->Valid(); it->Next(), ++count) {
+    ASSERT_EQ(it->key(), Key(count));
+    ASSERT_EQ(it->value(), "v" + std::to_string(count))
+        << "snapshot leaked a post-creation write at " << it->key();
+  }
+  EXPECT_EQ(count, 500) << "snapshot gained or lost keys";
+}
+
+// Regression: the per-DB table cache used to grow one entry per table file
+// ever opened, leaking handles across long flush/compaction histories. It
+// is now an LRU capped at Options::max_open_tables.
+TEST(DBTest, OpenTableHandlesStayBounded) {
+  MemEnv env;
+  Options opts = SmallOptions();
+  opts.memtable_bytes = 2 * 1024;  // frequent flushes
+  opts.max_open_tables = 4;
+  auto db = DB::Open(&env, "/db", opts);
+  ASSERT_TRUE(db.ok());
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(
+          (*db)->Put(Key(i), std::string(64, static_cast<char>('a' + cycle % 26)))
+              .ok());
+    }
+    ASSERT_TRUE((*db)->Flush().ok());
+    EXPECT_LE((*db)->OpenTableCount(), opts.max_open_tables);
+  }
+  ASSERT_TRUE((*db)->CompactRange().ok());
+  EXPECT_LE((*db)->OpenTableCount(), opts.max_open_tables);
+  // Reads after heavy churn still bounded.
+  std::string v;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE((*db)->Get(Key(i), &v).ok());
+  }
+  EXPECT_LE((*db)->OpenTableCount(), opts.max_open_tables);
+}
+
+// A full scan's resident block memory is capped by the cache budget, no
+// matter how much state it covers.
+TEST(DBTest, ScanBlockMemoryBoundedByCacheBudget) {
+  MemEnv env;
+  Options opts = SmallOptions();
+  opts.block_cache = std::make_shared<BlockCache>(32 * 1024);
+  auto db = DB::Open(&env, "/db", opts);
+  ASSERT_TRUE(db.ok());
+  // ~1 MiB of state: far more than the 32 KiB budget.
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE((*db)->Put(Key(i), std::string(512, 'x')).ok());
+  }
+  ASSERT_TRUE((*db)->Flush().ok());
+  opts.block_cache->ResetStats();
+
+  auto it = (*db)->NewIterator();
+  ASSERT_TRUE(it.ok());
+  int count = 0;
+  for (; it->Valid(); it->Next()) ++count;
+  EXPECT_EQ(count, 2000);
+  EXPECT_LE(opts.block_cache->peak_usage_bytes(), 32u * 1024);
+  EXPECT_GT(opts.block_cache->misses(), 0u);
+}
+
+// Warm point lookups are served from the block cache without re-reading
+// the file.
+TEST(DBTest, PointGetsWarmTheBlockCache) {
+  MemEnv env;
+  Options opts = SmallOptions();
+  opts.block_cache = std::make_shared<BlockCache>(1024 * 1024);
+  auto db = DB::Open(&env, "/db", opts);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE((*db)->Put(Key(i), "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE((*db)->Flush().ok());
+  opts.block_cache->Clear();
+  opts.block_cache->ResetStats();
+
+  std::string v;
+  ASSERT_TRUE((*db)->Get(Key(123), &v).ok());
+  uint64_t cold_misses = opts.block_cache->misses();
+  EXPECT_GT(cold_misses, 0u);
+  ASSERT_TRUE((*db)->Get(Key(123), &v).ok());
+  EXPECT_EQ(opts.block_cache->misses(), cold_misses)
+      << "second read of the same block should hit the cache";
+  EXPECT_GT(opts.block_cache->hits(), 0u);
 }
 
 // Property sweep: random workload against an in-memory reference model.
