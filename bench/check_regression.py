@@ -24,7 +24,9 @@ import sys
 # (artifact name, key glob) pairs that gate CI. Handover/recovery time and
 # steady-state throughput are the paper's headline claims; the micro_lsm
 # keys guard the block-granular read path (warm point-get latency, scan
-# throughput, and the cache-bounded scan memory profile).
+# throughput, the cache-bounded scan memory profile) and the streaming
+# write path (group-commit speedup and per-entry WAL cost, the bounded
+# flush/compaction build buffer, and vnode-restore ingest throughput).
 GUARDED = [
     ("fig1_reconfiguration_time", "recovery_total_s.*"),
     ("overhead_steady_state", "throughput_records_per_s.*"),
@@ -33,10 +35,16 @@ GUARDED = [
     ("micro_lsm", "point_get_us.cold_blockread"),
     ("micro_lsm", "throughput_scan_entries_per_s.*"),
     ("micro_lsm", "range_scan_peak_cache_bytes.*"),
+    ("micro_lsm", "throughput_put_batched_per_s"),
+    ("micro_lsm", "put_batched_speedup"),
+    ("micro_lsm", "wal_appends_per_1k_entries.batched"),
+    ("micro_lsm", "wal_bytes_per_entry.*"),
+    ("micro_lsm", "write_peak_buffer_bytes.*"),
+    ("micro_lsm", "throughput_ingest_vnodes_mb_per_s"),
 ]
 
 # Keys where a higher current value is an improvement.
-HIGHER_IS_BETTER = ["throughput_*"]
+HIGHER_IS_BETTER = ["throughput_*", "*speedup*"]
 
 
 def load_artifacts(directory):

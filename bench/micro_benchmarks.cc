@@ -2,8 +2,11 @@
 // the LSM store, SSTable build/lookup, bloom filters, key-group hashing,
 // binary encoding, and the simulation kernel — plus an artifact-emitting
 // section (BENCH_micro_lsm.json) that measures the block-granular LSM
-// read path: cold whole-file vs cold block-read vs warm point gets, the
-// cache-bounded memory profile of range scans, and vnode extraction.
+// read path (cold whole-file vs cold block-read vs warm point gets, the
+// cache-bounded memory profile of range scans, vnode extraction) and the
+// streaming write path (single vs group-committed put throughput, WAL
+// appends/bytes per entry, flush/compaction peak buffering, vnode-restore
+// ingest).
 
 #include <benchmark/benchmark.h>
 
@@ -310,12 +313,146 @@ void BenchExtractVnodes(bench::BenchArtifact* artifact) {
   artifact->Set("extract_vnodes_blob_mb", blob_bytes / 1e6);
 }
 
+// ------------------------------------------------ LSM write-path artifact --
+
+/// Put throughput, singleton commits vs group-committed WriteBatches, and
+/// the physical WAL accounting (appends and bytes per entry) behind the
+/// difference: a batch pays one framed append + flush for all its entries.
+/// Runs on PosixEnv — the WAL flush per commit is a real write() syscall,
+/// which is exactly the per-commit cost group commit amortizes.
+void BenchWritePath(bench::BenchArtifact* artifact) {
+  const uint64_t kEntries = bench::SmokeScaled<uint64_t>(200000, 20000);
+  const uint64_t kBatchSize = 256;
+  const std::string value(64, 'v');
+  lsm::PosixEnv env;
+  const std::string root = "bench-writepath-tmp";
+  auto fresh_dir = [&](const std::string& dir) {
+    if (auto names = env.ListDir(dir); names.ok()) {
+      for (const auto& name : *names) (void)env.DeleteFile(dir + "/" + name);
+    }
+    RHINO_CHECK_OK(env.CreateDir(dir));
+  };
+
+  double single_rate = 0;
+  {
+    fresh_dir(root + "/single");
+    auto db = lsm::DB::Open(&env, root + "/single");
+    RHINO_CHECK_OK(db.status());
+    double us = TimeUs([&] {
+      for (uint64_t i = 0; i < kEntries; ++i) {
+        RHINO_CHECK_OK((*db)->Put(Key(i), value));
+      }
+    });
+    single_rate = kEntries / (us / 1e6);
+    artifact->Set("wal_appends_per_1k_entries.single",
+                  1000.0 * (*db)->wal_appends() / (*db)->wal_records());
+    artifact->Set("wal_bytes_per_entry.single",
+                  static_cast<double>((*db)->wal_bytes_written()) /
+                      (*db)->wal_records());
+  }
+
+  double batched_rate = 0;
+  {
+    fresh_dir(root + "/batched");
+    auto db = lsm::DB::Open(&env, root + "/batched");
+    RHINO_CHECK_OK(db.status());
+    double us = TimeUs([&] {
+      lsm::WriteBatch batch;
+      for (uint64_t i = 0; i < kEntries; ++i) {
+        batch.Put(Key(i), value);
+        if (batch.num_entries() >= kBatchSize) {
+          RHINO_CHECK_OK((*db)->Write(batch));
+          batch.Clear();
+        }
+      }
+      RHINO_CHECK_OK((*db)->Write(batch));
+    });
+    batched_rate = kEntries / (us / 1e6);
+    artifact->Set("wal_appends_per_1k_entries.batched",
+                  1000.0 * (*db)->wal_appends() / (*db)->wal_records());
+    artifact->Set("wal_bytes_per_entry.batched",
+                  static_cast<double>((*db)->wal_bytes_written()) /
+                      (*db)->wal_records());
+  }
+
+  artifact->Set("throughput_put_single_per_s", single_rate);
+  artifact->Set("throughput_put_batched_per_s", batched_rate);
+  artifact->Set("put_batched_speedup", batched_rate / single_rate);
+  for (const char* sub : {"/single", "/batched"}) {
+    std::string dir = root + sub;
+    if (auto names = env.ListDir(dir); names.ok()) {
+      for (const auto& name : *names) (void)env.DeleteFile(dir + "/" + name);
+    }
+  }
+}
+
+/// Peak bytes buffered while building tables (flush + full compaction) for
+/// a small and a large DB: the streaming build bounds it at ~one block
+/// plus the index/bloom tail, instead of the whole table the old
+/// string-assembling path materialized.
+void BenchFlushPeakMemory(bench::BenchArtifact* artifact) {
+  auto peak = [&](uint64_t entries, const char* tag) {
+    lsm::MemEnv env;
+    lsm::Options opts;
+    opts.enable_wal = false;  // isolate the table-build path
+    opts.memtable_bytes = 1ull << 31;  // one flush holds everything
+    auto db = lsm::DB::Open(&env, "/bench-peak", opts);
+    RHINO_CHECK_OK(db.status());
+    const std::string value(128, 'v');
+    for (uint64_t i = 0; i < entries; ++i) {
+      RHINO_CHECK_OK((*db)->Put(Key(i), value));
+    }
+    RHINO_CHECK_OK((*db)->Flush());
+    RHINO_CHECK_OK((*db)->CompactRange());
+    uint64_t table_bytes = (*db)->ApproximateSize();
+    artifact->Set(std::string("write_peak_buffer_bytes.") + tag,
+                  static_cast<double>((*db)->write_peak_buffer_bytes()));
+    artifact->Set(std::string("write_peak_buffer_fraction_of_db.") + tag,
+                  static_cast<double>((*db)->write_peak_buffer_bytes()) /
+                      static_cast<double>(table_bytes));
+  };
+  peak(bench::SmokeScaled<uint64_t>(20000, 5000), "small_db");
+  peak(bench::SmokeScaled<uint64_t>(200000, 20000), "large_db");
+}
+
+/// Vnode-restore ingest throughput: replaying an extracted blob into a
+/// fresh backend through group-committed batches (the handover /
+/// replica-restore path).
+void BenchIngestVnodes(bench::BenchArtifact* artifact) {
+  const uint32_t kVnodes = 16;
+  const uint64_t kEntriesPerVnode = bench::SmokeScaled<uint64_t>(20000, 2000);
+  const std::string value(128, 'v');
+  lsm::MemEnv env;
+  auto origin = state::LsmStateBackend::Open(&env, "/bench-origin", "op", 0);
+  RHINO_CHECK_OK(origin.status());
+  for (uint32_t v = 0; v < kVnodes; ++v) {
+    for (uint64_t i = 0; i < kEntriesPerVnode; ++i) {
+      RHINO_CHECK_OK((*origin)->Put(v, Key(i), value, value.size()));
+    }
+  }
+  std::vector<uint32_t> vnodes(kVnodes);
+  for (uint32_t v = 0; v < kVnodes; ++v) vnodes[v] = v;
+  auto blob = (*origin)->ExtractVnodes(vnodes);
+  RHINO_CHECK_OK(blob.status());
+
+  auto target = state::LsmStateBackend::Open(&env, "/bench-target", "op", 1);
+  RHINO_CHECK_OK(target.status());
+  double us = TimeUs([&] {
+    RHINO_CHECK_OK((*target)->IngestVnodes(*blob, false));
+  });
+  artifact->Set("throughput_ingest_vnodes_mb_per_s",
+                (blob->size() / 1e6) / (us / 1e6));
+}
+
 int RunLsmReadPathArtifact() {
   bench::BenchArtifact artifact("micro_lsm");
   artifact.SetInfo("mode", bench::SmokeMode() ? "smoke" : "full");
   BenchPointGets(&artifact);
   BenchRangeScans(&artifact);
   BenchExtractVnodes(&artifact);
+  BenchWritePath(&artifact);
+  BenchFlushPeakMemory(&artifact);
+  BenchIngestVnodes(&artifact);
   Status st = artifact.Write();
   if (!st.ok()) {
     RHINO_LOG(Error) << "failed to write artifact: " << st.ToString();

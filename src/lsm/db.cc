@@ -4,8 +4,17 @@
 
 #include "common/logging.h"
 #include "common/serde.h"
+#include "lsm/log_format.h"
 
 namespace rhino::lsm {
+
+namespace {
+
+/// MANIFEST record kinds (first payload byte of each framed record).
+constexpr uint8_t kManifestSnapshot = 0;  // full VersionSet state
+constexpr uint8_t kManifestEdit = 1;      // one VersionEdit
+
+}  // namespace
 
 // ----------------------------------------------------------- k-way merge --
 
@@ -128,6 +137,10 @@ class KWayMerge {
 void DB::BindMetrics(obs::Observability* o) {
   obs::MetricsRegistry& m = o->metrics();
   puts_metric_ = m.GetCounter("rhino_lsm_puts_total");
+  deletes_metric_ = m.GetCounter("rhino_lsm_deletes_total");
+  batch_commits_metric_ = m.GetCounter("rhino_lsm_batch_commits_total");
+  wal_appends_metric_ = m.GetCounter("rhino_lsm_wal_appends_total");
+  wal_bytes_metric_ = m.GetCounter("rhino_lsm_wal_bytes_total");
   gets_metric_ = m.GetCounter("rhino_lsm_gets_total");
   flushes_metric_ = m.GetCounter("rhino_lsm_flushes_total");
   flush_bytes_metric_ = m.GetCounter("rhino_lsm_flush_bytes_total");
@@ -151,16 +164,18 @@ Result<std::unique_ptr<DB>> DB::Open(Env* env, std::string path,
   if (env->FileExists(manifest_path)) {
     std::string data;
     RHINO_RETURN_NOT_OK(env->ReadFile(manifest_path, &data));
-    RHINO_RETURN_NOT_OK(db->versions_.DecodeManifest(data));
+    RHINO_RETURN_NOT_OK(db->LoadManifest(data));
     // Validate footers/indexes so corruption surfaces at open, not first
     // read; the LRU cap keeps this from pinning every handle.
     for (const auto& f : db->versions_.AllFiles()) {
       RHINO_ASSIGN_OR_RETURN(auto table, db->OpenTable(f.number));
       (void)table;
     }
-  } else {
-    RHINO_RETURN_NOT_OK(db->PersistManifest());
   }
+  // Rotate at open: collapse any replayed edit log into one fresh
+  // snapshot (bounding the next recovery) and leave an append handle
+  // ready for edits.
+  RHINO_RETURN_NOT_OK(db->RotateManifest());
   if (options.enable_wal) {
     RHINO_RETURN_NOT_OK(db->RecoverWal());
   }
@@ -190,57 +205,108 @@ Result<std::unique_ptr<DB>> DB::OpenFromCheckpoint(
 
 Status DB::Put(std::string_view key, std::string_view value) {
   puts_metric_->Increment();
-  RHINO_RETURN_NOT_OK(AppendWal(ValueType::kValue, key, value));
-  uint64_t seq = versions_.last_seq() + 1;
-  versions_.set_last_seq(seq);
-  memtable_->Add(key, seq, ValueType::kValue, value);
-  if (memtable_->ApproximateBytes() >= options_.memtable_bytes) {
-    return Flush();
-  }
-  return Status::OK();
+  std::string payload;
+  BinaryWriter w(&payload);
+  w.PutVarint(1);
+  w.PutU8(static_cast<uint8_t>(ValueType::kValue));
+  w.PutString(key);
+  w.PutString(value);
+  return CommitEntries(payload, 1);
 }
 
 Status DB::Delete(std::string_view key) {
-  RHINO_RETURN_NOT_OK(AppendWal(ValueType::kDeletion, key, ""));
-  uint64_t seq = versions_.last_seq() + 1;
+  deletes_metric_->Increment();
+  std::string payload;
+  BinaryWriter w(&payload);
+  w.PutVarint(1);
+  w.PutU8(static_cast<uint8_t>(ValueType::kDeletion));
+  w.PutString(key);
+  w.PutString("");
+  return CommitEntries(payload, 1);
+}
+
+Status DB::Write(const WriteBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  puts_metric_->Increment(batch.num_puts());
+  deletes_metric_->Increment(batch.num_deletes());
+  batch_commits_metric_->Increment();
+  return CommitEntries(batch.EncodePayload(), batch.num_entries());
+}
+
+Status DB::CommitEntries(std::string_view payload, uint64_t num_entries) {
+  RHINO_RETURN_NOT_OK(CommitWal(payload, num_entries));
+  uint64_t count = 0;
+  std::string_view entries;
+  RHINO_RETURN_NOT_OK(WriteBatch::DecodePayload(payload, &count, &entries));
+  uint64_t seq = versions_.last_seq();
+  RHINO_RETURN_NOT_OK(WriteBatch::DecodeEntries(
+      entries,
+      [&](ValueType type, std::string_view key, std::string_view value) {
+        memtable_->Add(key, ++seq, type, value);
+        return Status::OK();
+      }));
   versions_.set_last_seq(seq);
-  memtable_->Add(key, seq, ValueType::kDeletion, "");
   if (memtable_->ApproximateBytes() >= options_.memtable_bytes) {
     return Flush();
   }
   return Status::OK();
 }
 
-Status DB::AppendWal(ValueType type, std::string_view key,
-                     std::string_view value) {
+Status DB::EnsureWalFile() {
+  if (wal_file_ != nullptr) return Status::OK();
+  RHINO_ASSIGN_OR_RETURN(wal_file_,
+                         env_->NewWritableFile(WalPath(), /*append=*/true));
+  return Status::OK();
+}
+
+Status DB::CommitWal(std::string_view payload, uint64_t num_entries) {
   if (!options_.enable_wal) return Status::OK();
+  RHINO_RETURN_NOT_OK(EnsureWalFile());
   std::string record;
-  BinaryWriter w(&record);
-  w.PutU8(static_cast<uint8_t>(type));
-  w.PutString(key);
-  w.PutString(value);
-  return env_->AppendFile(WalPath(), record);
+  record.reserve(payload.size() + 8);
+  AppendLogRecord(&record, payload);
+  RHINO_RETURN_NOT_OK(wal_file_->Append(record));
+  // One flush per commit — regardless of how many entries it covers —
+  // is the group-commit win over flushing per mutation.
+  RHINO_RETURN_NOT_OK(wal_file_->Flush());
+  ++wal_appends_;
+  wal_records_ += num_entries;
+  wal_bytes_ += record.size();
+  wal_appends_metric_->Increment();
+  wal_bytes_metric_->Increment(record.size());
+  return Status::OK();
 }
 
 Status DB::RecoverWal() {
   if (!env_->FileExists(WalPath())) return Status::OK();
   std::string data;
   RHINO_RETURN_NOT_OK(env_->ReadFile(WalPath(), &data));
-  BinaryReader r(data);
-  while (!r.AtEnd()) {
-    uint8_t type = 0;
-    std::string_view key, value;
-    // A torn tail (crash mid-append) ends the replay; everything before
-    // it is intact because records are appended atomically enough for
-    // our single-writer usage.
-    if (!r.GetU8(&type).ok() || !r.GetString(&key).ok() ||
-        !r.GetString(&value).ok()) {
+  size_t pos = 0;
+  std::string_view payload;
+  while (true) {
+    LogRead got = ReadLogRecord(data, &pos, &payload);
+    if (got == LogRead::kEnd) break;
+    if (got == LogRead::kTorn) {
+      // Crash mid-append: the framing pinpoints the torn record. Truncate
+      // it away so later appends land after a clean prefix.
+      RHINO_RETURN_NOT_OK(
+          env_->WriteFile(WalPath(), std::string_view(data).substr(0, pos)));
       break;
     }
-    uint64_t seq = versions_.last_seq() + 1;
+    // Inside a checksummed record, a decode failure is real corruption,
+    // not a torn tail — surface it.
+    uint64_t count = 0;
+    std::string_view entries;
+    RHINO_RETURN_NOT_OK(WriteBatch::DecodePayload(payload, &count, &entries));
+    uint64_t seq = versions_.last_seq();
+    RHINO_RETURN_NOT_OK(WriteBatch::DecodeEntries(
+        entries,
+        [&](ValueType type, std::string_view key, std::string_view value) {
+          memtable_->Add(key, ++seq, type, value);
+          ++wal_recovered_;
+          return Status::OK();
+        }));
     versions_.set_last_seq(seq);
-    memtable_->Add(key, seq, static_cast<ValueType>(type), value);
-    ++wal_recovered_;
   }
   return Status::OK();
 }
@@ -250,8 +316,10 @@ Status DB::Flush() {
   RHINO_RETURN_NOT_OK(WriteLevel0Table());
   memtable_ = std::make_unique<MemTable>();
   ++flush_count_;
-  // Everything in the WAL is now durable in an SST; start a fresh log.
+  // Everything in the WAL is now durable in an SST; close the handle and
+  // start a fresh log on the next commit.
   if (options_.enable_wal) {
+    wal_file_.reset();
     Status st = env_->DeleteFile(WalPath());
     if (!st.ok() && !st.IsNotFound()) return st;
   }
@@ -259,23 +327,46 @@ Status DB::Flush() {
   return Status::OK();
 }
 
+Result<std::unique_ptr<WritableFile>> DB::NewTableSink(uint64_t number) {
+  return env_->NewWritableFile(FilePath(TableFileName(number)) + ".tmp",
+                               /*append=*/false);
+}
+
+Status DB::FinishTableSink(uint64_t number, SSTableBuilder* builder,
+                           std::unique_ptr<WritableFile> sink,
+                           FileMetaData* meta) {
+  RHINO_RETURN_NOT_OK(builder->FinishStream());
+  sink.reset();  // close before rename
+  std::string final_path = FilePath(TableFileName(number));
+  RHINO_RETURN_NOT_OK(env_->RenameFile(final_path + ".tmp", final_path));
+  meta->number = number;
+  meta->smallest = builder->smallest();
+  meta->largest = builder->largest();
+  meta->num_entries = builder->num_entries();
+  meta->file_size = builder->file_size();
+  write_peak_buffer_bytes_ =
+      std::max(write_peak_buffer_bytes_, builder->peak_buffer_bytes());
+  return Status::OK();
+}
+
 Status DB::WriteLevel0Table() {
-  SSTableBuilder builder(options_.block_bytes, options_.bloom_bits_per_key);
+  uint64_t number = versions_.NewFileNumber();
+  RHINO_ASSIGN_OR_RETURN(auto sink, NewTableSink(number));
+  SSTableBuilder builder(sink.get(), options_.block_bytes,
+                         options_.bloom_bits_per_key);
   for (auto it = memtable_->NewIterator(); it.Valid(); it.Next()) {
     builder.Add(it.key(), it.seq(), it.type(), it.value());
   }
   FileMetaData meta;
-  meta.number = versions_.NewFileNumber();
-  meta.smallest = builder.smallest();
-  meta.largest = builder.largest();
-  meta.num_entries = builder.num_entries();
-  std::string contents = builder.Finish();
-  meta.file_size = contents.size();
+  RHINO_RETURN_NOT_OK(FinishTableSink(number, &builder, std::move(sink), &meta));
   flushes_metric_->Increment();
-  flush_bytes_metric_->Increment(contents.size());
-  RHINO_RETURN_NOT_OK(env_->WriteFile(FilePath(TableFileName(meta.number)), contents));
+  flush_bytes_metric_->Increment(meta.file_size);
+  VersionEdit edit;
+  edit.next_file_number = versions_.next_file_number();
+  edit.last_seq = versions_.last_seq();
+  edit.added.emplace_back(0, meta);
   versions_.AddFile(0, std::move(meta));
-  return PersistManifest();
+  return AppendManifestEdit(edit);
 }
 
 // ---------------------------------------------------------------- Lookup --
@@ -373,7 +464,8 @@ Result<DB::Iterator> DB::NewIterator(std::string_view begin,
   for (auto mit = memtable_->NewIterator(); mit.Valid(); mit.Next()) {
     if (mit.key() < begin) continue;
     if (!end.empty() && mit.key() >= end) break;
-    mem.push_back(Entry{mit.key(), mit.seq(), mit.type(), mit.value()});
+    mem.push_back(Entry{std::string(mit.key()), mit.seq(), mit.type(),
+                        std::string(mit.value())});
   }
   it.rep_->merge.AddSource(
       std::make_unique<merge_detail::MemSource>(std::move(mem)));
@@ -480,23 +572,21 @@ Status DB::DoCompaction(const std::vector<std::pair<int, FileMetaData>>& inputs,
   bool drop_tombstones =
       versions_.IsBottomMostForRange(output_level, smallest, largest);
 
-  // Write merged entries into output files split at target_file_bytes.
+  // Stream merged entries into output files split at target_file_bytes;
+  // each output buffers ~one block, never the whole table.
   std::vector<FileMetaData> outputs;
   std::unique_ptr<SSTableBuilder> builder;
+  std::unique_ptr<WritableFile> sink;
+  uint64_t output_number = 0;
   auto finish_output = [&]() -> Status {
     if (!builder || builder->empty()) {
       builder.reset();
+      sink.reset();
       return Status::OK();
     }
     FileMetaData meta;
-    meta.number = versions_.NewFileNumber();
-    meta.smallest = builder->smallest();
-    meta.largest = builder->largest();
-    meta.num_entries = builder->num_entries();
-    std::string contents = builder->Finish();
-    meta.file_size = contents.size();
     RHINO_RETURN_NOT_OK(
-        env_->WriteFile(FilePath(TableFileName(meta.number)), contents));
+        FinishTableSink(output_number, builder.get(), std::move(sink), &meta));
     outputs.push_back(std::move(meta));
     builder.reset();
     return Status::OK();
@@ -506,8 +596,10 @@ Status DB::DoCompaction(const std::vector<std::pair<int, FileMetaData>>& inputs,
   while (merge.NextVersion(&entry)) {
     if (drop_tombstones && entry.type == ValueType::kDeletion) continue;
     if (!builder) {
-      builder = std::make_unique<SSTableBuilder>(options_.block_bytes,
-                                                 options_.bloom_bits_per_key);
+      output_number = versions_.NewFileNumber();
+      RHINO_ASSIGN_OR_RETURN(sink, NewTableSink(output_number));
+      builder = std::make_unique<SSTableBuilder>(
+          sink.get(), options_.block_bytes, options_.bloom_bits_per_key);
     }
     builder->Add(entry.key, entry.seq, entry.type, entry.value);
     if (builder->data_bytes() >= options_.target_file_bytes) {
@@ -517,19 +609,24 @@ Status DB::DoCompaction(const std::vector<std::pair<int, FileMetaData>>& inputs,
   RHINO_RETURN_NOT_OK(finish_output());
 
   // Install outputs, drop inputs, delete obsolete files. Checkpoint hard
-  // links keep any shared content alive.
+  // links keep any shared content alive. One edit records the whole swap.
+  VersionEdit edit;
+  edit.next_file_number = versions_.next_file_number();
+  edit.last_seq = versions_.last_seq();
   for (const auto& [lvl, f] : inputs) {
+    edit.removed.emplace_back(lvl, f.number);
     versions_.RemoveFile(lvl, f.number);
     EvictTable(f.number);
     Status st = env_->DeleteFile(FilePath(TableFileName(f.number)));
     if (!st.ok() && !st.IsNotFound()) return st;
   }
   for (auto& meta : outputs) {
+    edit.added.emplace_back(output_level, meta);
     versions_.AddFile(output_level, std::move(meta));
   }
   ++compaction_count_;
   compactions_metric_->Increment();
-  return PersistManifest();
+  return AppendManifestEdit(edit);
 }
 
 // ----------------------------------------------------------- Checkpoints --
@@ -546,8 +643,15 @@ Result<CheckpointInfo> DB::CreateCheckpoint(const std::string& dir) {
     info.files.push_back(CheckpointFile{name, f.file_size});
     info.total_bytes += f.file_size;
   }
-  RHINO_RETURN_NOT_OK(
-      env_->WriteFile(dir + "/" + kManifestName, versions_.EncodeManifest()));
+  // The checkpoint MANIFEST is a one-record log (a snapshot), the same
+  // format Open's LoadManifest replays — no separate decode path.
+  std::string snapshot;
+  {
+    std::string payload(1, static_cast<char>(kManifestSnapshot));
+    payload += versions_.EncodeManifest();
+    AppendLogRecord(&snapshot, payload);
+  }
+  RHINO_RETURN_NOT_OK(env_->WriteFile(dir + "/" + kManifestName, snapshot));
   checkpoints_metric_->Increment();
   checkpoint_bytes_metric_->Increment(info.total_bytes);
   return info;
@@ -559,8 +663,78 @@ uint64_t DB::ApproximateSize() const {
   return memtable_->ApproximateBytes() + versions_.TotalBytes();
 }
 
-Status DB::PersistManifest() {
-  return env_->WriteFile(FilePath(kManifestName), versions_.EncodeManifest());
+Status DB::LoadManifest(std::string_view data) {
+  size_t pos = 0;
+  std::string_view payload;
+  bool have_snapshot = false;
+  while (true) {
+    LogRead got = ReadLogRecord(data, &pos, &payload);
+    if (got == LogRead::kEnd) break;
+    if (got == LogRead::kTorn) {
+      // A torn trailing edit is the un-acknowledged suffix of a crash:
+      // the matching WAL entries were not yet deleted, so dropping it
+      // loses nothing. A tear before any snapshot means no usable state.
+      if (!have_snapshot) {
+        return Status::Corruption("MANIFEST torn before snapshot record");
+      }
+      break;
+    }
+    BinaryReader r(payload);
+    uint8_t kind = 0;
+    RHINO_RETURN_NOT_OK(r.GetU8(&kind));
+    std::string_view body = payload.substr(1);
+    if (kind == kManifestSnapshot) {
+      RHINO_RETURN_NOT_OK(versions_.DecodeManifest(body));
+      have_snapshot = true;
+    } else if (kind == kManifestEdit) {
+      if (!have_snapshot) {
+        return Status::Corruption("MANIFEST edit before snapshot record");
+      }
+      VersionEdit edit;
+      RHINO_RETURN_NOT_OK(edit.Decode(body));
+      versions_.ApplyEdit(edit);
+    } else {
+      return Status::Corruption("unknown MANIFEST record kind");
+    }
+  }
+  if (!have_snapshot) {
+    return Status::Corruption("MANIFEST missing snapshot record");
+  }
+  return Status::OK();
+}
+
+Status DB::RotateManifest() {
+  manifest_file_.reset();
+  std::string payload(1, static_cast<char>(kManifestSnapshot));
+  payload += versions_.EncodeManifest();
+  std::string record;
+  AppendLogRecord(&record, payload);
+  // Temp + rename: a crash mid-rotation leaves the previous MANIFEST (or
+  // an orphan .tmp) rather than a half-written snapshot.
+  std::string path = FilePath(kManifestName);
+  RHINO_RETURN_NOT_OK(env_->WriteFile(path + ".tmp", record));
+  RHINO_RETURN_NOT_OK(env_->RenameFile(path + ".tmp", path));
+  RHINO_ASSIGN_OR_RETURN(manifest_file_,
+                         env_->NewWritableFile(path, /*append=*/true));
+  manifest_edits_ = 0;
+  ++manifest_rotations_;
+  return Status::OK();
+}
+
+Status DB::AppendManifestEdit(const VersionEdit& edit) {
+  RHINO_CHECK(manifest_file_ != nullptr);
+  std::string payload(1, static_cast<char>(kManifestEdit));
+  payload += edit.Encode();
+  std::string record;
+  AppendLogRecord(&record, payload);
+  RHINO_RETURN_NOT_OK(manifest_file_->Append(record));
+  RHINO_RETURN_NOT_OK(manifest_file_->Flush());
+  ++manifest_edits_;
+  if (manifest_edits_ >= options_.manifest_rotate_edits) {
+    // versions_ already reflects the edit, so the fresh snapshot does too.
+    return RotateManifest();
+  }
+  return Status::OK();
 }
 
 Result<std::shared_ptr<SSTableReader>> DB::OpenTable(uint64_t number) {

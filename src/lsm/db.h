@@ -15,6 +15,7 @@
 #include "lsm/memtable.h"
 #include "lsm/sstable.h"
 #include "lsm/version.h"
+#include "lsm/write_batch.h"
 
 /// \file db.h
 /// Embedded LSM key-value store: the from-scratch RocksDB substitute that
@@ -31,6 +32,15 @@
 /// memtable + per-table block iterators lazily through a k-way heap, and
 /// open-table handles live in a capped per-DB LRU. Scans of arbitrarily
 /// large state are O(block cache) resident memory.
+///
+/// The write path is streaming and batched to match: the WAL is one open
+/// buffered append handle receiving framed (length + checksum) commit
+/// records — a WriteBatch group-commits N mutations as a single append +
+/// flush; the memtable allocates nodes from an arena freed wholesale at
+/// flush; table builds stream finished blocks through a WritableFile so
+/// flush/compaction buffer ~one block, not the whole table; and the
+/// MANIFEST is an appended edit log rotated into fresh snapshots instead
+/// of an O(tree) rewrite per flush.
 
 namespace rhino::lsm {
 
@@ -49,9 +59,13 @@ struct Options {
   /// When false, compaction only runs via CompactRange() (tests use this
   /// to pin the tree shape).
   bool auto_compact = true;
-  /// Write-ahead logging: every Put/Delete is appended to a WAL before it
-  /// is acknowledged, so an unflushed memtable survives a crash/reopen.
+  /// Write-ahead logging: every commit (single mutation or WriteBatch) is
+  /// appended to the WAL as one framed record before it is acknowledged,
+  /// so an unflushed memtable survives a crash/reopen.
   bool enable_wal = true;
+  /// MANIFEST edits appended before the log is rotated into a fresh
+  /// snapshot record (bounds recovery replay and file growth).
+  uint64_t manifest_rotate_edits = 64;
   /// Data-block cache shared across DBs. When null the process-wide
   /// BlockCache::Default() (64 MiB, `block_cache_bytes`) is used — one
   /// budget across the hundreds of DBs a simulation opens.
@@ -93,6 +107,12 @@ class DB {
 
   Status Put(std::string_view key, std::string_view value);
   Status Delete(std::string_view key);
+
+  /// Group-commits a batch atomically: one framed WAL append (and one
+  /// buffer flush) covers every entry, then the whole batch is applied to
+  /// the memtable over a contiguous sequence range. After a crash either
+  /// the entire batch is recovered or none of it is.
+  Status Write(const WriteBatch& batch);
 
   /// Point lookup; NotFound when absent or deleted. Reads at most one
   /// data block per consulted table (bloom filters skip most tables).
@@ -154,6 +174,18 @@ class DB {
   uint64_t compaction_count() const { return compaction_count_; }
   /// Entries recovered from the WAL at the last Open (diagnostics).
   uint64_t wal_entries_recovered() const { return wal_recovered_; }
+  /// WAL write-path diagnostics for this DB: framed appends (== commits),
+  /// entries covered by them, and physical bytes written. One batched
+  /// commit of N entries costs 1 append; N singleton commits cost N.
+  uint64_t wal_appends() const { return wal_appends_; }
+  uint64_t wal_records() const { return wal_records_; }
+  uint64_t wal_bytes_written() const { return wal_bytes_; }
+  /// High-water mark of bytes buffered by any table build (flush or
+  /// compaction output) — the streaming write path keeps this at ~one
+  /// block + tail regardless of table size.
+  uint64_t write_peak_buffer_bytes() const { return write_peak_buffer_bytes_; }
+  /// MANIFEST snapshot rewrites (at open and on edit-log rotation).
+  uint64_t manifest_rotations() const { return manifest_rotations_; }
 
   /// The shared data-block cache this DB reads through.
   BlockCache* block_cache() const { return block_cache_.get(); }
@@ -181,13 +213,35 @@ class DB {
 
   std::string FilePath(const std::string& name) const { return path_ + "/" + name; }
 
-  Status PersistManifest();
+  /// Rebuilds the MANIFEST log from versions_ (one snapshot record,
+  /// written atomically via temp + rename) and reopens the append handle.
+  Status RotateManifest();
+  /// Frames and appends one VersionEdit; rotates once enough accumulate.
+  Status AppendManifestEdit(const VersionEdit& edit);
+  /// Replays a MANIFEST log (snapshot record + edits) into versions_.
+  Status LoadManifest(std::string_view data);
   std::string WalPath() const { return FilePath("WAL"); }
-  /// Appends one mutation to the WAL (no-op when disabled).
-  Status AppendWal(ValueType type, std::string_view key, std::string_view value);
-  /// Replays a surviving WAL into the memtable; truncated tails are
-  /// tolerated (a torn final record is discarded, as in RocksDB).
+  /// Opens the WAL append handle lazily (first commit after open/flush).
+  Status EnsureWalFile();
+  /// Appends one framed commit record covering `num_entries` mutations and
+  /// flushes the handle (no-op when the WAL is disabled).
+  Status CommitWal(std::string_view payload, uint64_t num_entries);
+  /// Shared Put/Delete/Write tail: WAL commit + memtable apply + flush
+  /// check, over a contiguous sequence range.
+  Status CommitEntries(std::string_view payload, uint64_t num_entries);
+  /// Replays a surviving WAL into the memtable. A torn final record
+  /// (crash mid-append) is detected via the length+checksum framing and
+  /// truncated away; everything before it is intact.
   Status RecoverWal();
+  /// Opens a streaming sink for new table `number`, writing to a temp
+  /// name so a crash mid-build never leaves a partial table under a name
+  /// the MANIFEST could reference.
+  Result<std::unique_ptr<WritableFile>> NewTableSink(uint64_t number);
+  /// Completes a streamed build: finalizes the builder, closes the sink,
+  /// renames temp -> final, and fills `meta` from the builder.
+  Status FinishTableSink(uint64_t number, SSTableBuilder* builder,
+                         std::unique_ptr<WritableFile> sink,
+                         FileMetaData* meta);
   /// Returns an open handle to table `number` through the LRU table cache.
   Result<std::shared_ptr<SSTableReader>> OpenTable(uint64_t number);
   /// Drops `number` from the table cache (compaction removed the file).
@@ -216,12 +270,27 @@ class DB {
   };
   std::list<uint64_t> table_lru_;
   std::unordered_map<uint64_t, OpenTableEntry> table_cache_;
+  /// Open append handles; the WAL one is created lazily on first commit
+  /// and dropped (file deleted) by Flush, the MANIFEST one lives from
+  /// Open until destruction (rotation swaps it).
+  std::unique_ptr<WritableFile> wal_file_;
+  std::unique_ptr<WritableFile> manifest_file_;
+  uint64_t manifest_edits_ = 0;  // edits appended since the last snapshot
+  uint64_t manifest_rotations_ = 0;
   uint64_t flush_count_ = 0;
   uint64_t compaction_count_ = 0;
   uint64_t wal_recovered_ = 0;
+  uint64_t wal_appends_ = 0;
+  uint64_t wal_records_ = 0;
+  uint64_t wal_bytes_ = 0;
+  uint64_t write_peak_buffer_bytes_ = 0;
 
   /// Hot-path metric handles (see BindMetrics).
   obs::Counter* puts_metric_ = nullptr;
+  obs::Counter* deletes_metric_ = nullptr;
+  obs::Counter* batch_commits_metric_ = nullptr;
+  obs::Counter* wal_appends_metric_ = nullptr;
+  obs::Counter* wal_bytes_metric_ = nullptr;
   obs::Counter* gets_metric_ = nullptr;
   obs::Counter* flushes_metric_ = nullptr;
   obs::Counter* flush_bytes_metric_ = nullptr;

@@ -79,6 +79,78 @@ class PosixRandomAccessFile : public RandomAccessFile {
   uint64_t size_;
 };
 
+/// Buffered appender over a shared in-memory content buffer. Like its
+/// POSIX sibling, the handle keeps targeting the content it was opened on:
+/// a concurrent WriteFile replacing the name writes fresh content, and this
+/// handle's appends keep going to the old "inode".
+class MemWritableFile : public WritableFile {
+ public:
+  explicit MemWritableFile(std::shared_ptr<std::string> content)
+      : content_(std::move(content)) {}
+  ~MemWritableFile() override { (void)Flush(); }
+
+  Status Append(std::string_view data) override {
+    buffer_.append(data);
+    if (buffer_.size() >= kBufferBytes) return Flush();
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (!buffer_.empty()) {
+      content_->append(buffer_);
+      buffer_.clear();
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override { return Flush(); }
+
+  uint64_t Size() const override { return content_->size() + buffer_.size(); }
+
+ private:
+  static constexpr size_t kBufferBytes = 64 * 1024;
+  std::shared_ptr<std::string> content_;
+  std::string buffer_;
+};
+
+/// Buffered appender over a stdio stream (stdio provides the buffer;
+/// Flush maps to fflush, Sync additionally fsyncs the descriptor).
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::FILE* file, std::string path, uint64_t size)
+      : file_(file), path_(std::move(path)), size_(size) {}
+  ~PosixWritableFile() override { std::fclose(file_); }
+  PosixWritableFile(const PosixWritableFile&) = delete;
+  PosixWritableFile& operator=(const PosixWritableFile&) = delete;
+
+  Status Append(std::string_view data) override {
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return Status::IOError("append " + path_);
+    }
+    size_ += data.size();
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (std::fflush(file_) != 0) return Status::IOError("flush " + path_);
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    // fflush pushes stdio's buffer to the kernel; page-cache durability is
+    // sufficient for the simulated crash model (fail-stop of the process,
+    // not the machine), so no fsync — matching WriteFile's semantics.
+    return Flush();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+  uint64_t size_;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------- MemEnv --
@@ -118,6 +190,18 @@ Result<std::unique_ptr<RandomAccessFile>> MemEnv::NewRandomAccessFile(
   if (it == files_.end()) return Status::NotFound(path);
   return std::unique_ptr<RandomAccessFile>(
       std::make_unique<MemRandomAccessFile>(it->second));
+}
+
+Result<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
+    const std::string& path, bool append) {
+  auto it = files_.find(path);
+  if (it == files_.end() || !append) {
+    // Truncation creates fresh content (a new inode): hard links and open
+    // handles keep the old bytes.
+    it = files_.insert_or_assign(path, std::make_shared<std::string>()).first;
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<MemWritableFile>(it->second));
 }
 
 Result<uint64_t> MemEnv::GetFileSize(const std::string& path) {
@@ -246,6 +330,20 @@ Result<std::unique_ptr<RandomAccessFile>> PosixEnv::NewRandomAccessFile(
   if (file == nullptr) return Status::NotFound(path);
   return std::unique_ptr<RandomAccessFile>(
       std::make_unique<PosixRandomAccessFile>(file, size));
+}
+
+Result<std::unique_ptr<WritableFile>> PosixEnv::NewWritableFile(
+    const std::string& path, bool append) {
+  uint64_t size = 0;
+  if (append) {
+    std::error_code ec;
+    auto existing = fs::file_size(path, ec);
+    if (!ec) size = existing;
+  }
+  std::FILE* file = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (file == nullptr) return Status::IOError("open for write " + path);
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<PosixWritableFile>(file, path, size));
 }
 
 Result<uint64_t> PosixEnv::GetFileSize(const std::string& path) {

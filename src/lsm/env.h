@@ -39,6 +39,32 @@ class RandomAccessFile {
   virtual uint64_t Size() const = 0;
 };
 
+/// Buffered, append-only writable handle to one file. The handle is opened
+/// once and appended to many times — the write-ahead log and streaming
+/// SSTable builds hold one of these instead of re-resolving the path per
+/// record. Appends accumulate in an internal buffer; `Flush` pushes them to
+/// the file's content (where readers and other handles see them) and
+/// `Sync` additionally asks the platform for durability. The destructor
+/// flushes (normal close), so only a crash — modeled by a fault-injecting
+/// Env — loses buffered bytes.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Buffers `data` at the end of the file.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Pushes buffered bytes into the file content.
+  virtual Status Flush() = 0;
+
+  /// Flush + durability barrier (fsync on real filesystems).
+  virtual Status Sync() = 0;
+
+  /// Total bytes appended through this handle plus the size the file had
+  /// when the handle was opened (i.e. the file size once flushed).
+  virtual uint64_t Size() const = 0;
+};
+
 /// Abstract filesystem. All paths are '/'-separated and absolute within
 /// the Env's namespace.
 class Env {
@@ -69,6 +95,12 @@ class Env {
   virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
       const std::string& path) = 0;
 
+  /// Opens a buffered append-only handle. `append == false` truncates
+  /// (creating fresh content, like WriteFile); `append == true` keeps
+  /// existing bytes and positions at the end, creating the file if absent.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append) = 0;
+
   virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
   virtual bool FileExists(const std::string& path) = 0;
   virtual Status DeleteFile(const std::string& path) = 0;
@@ -96,6 +128,8 @@ class MemEnv : public Env {
                        std::string* out) override;
   Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
       const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append) override;
   Result<uint64_t> GetFileSize(const std::string& path) override;
   bool FileExists(const std::string& path) override;
   Status DeleteFile(const std::string& path) override;
@@ -124,6 +158,8 @@ class PosixEnv : public Env {
                        std::string* out) override;
   Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
       const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append) override;
   Result<uint64_t> GetFileSize(const std::string& path) override;
   bool FileExists(const std::string& path) override;
   Status DeleteFile(const std::string& path) override;

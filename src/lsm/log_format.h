@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/hash.h"
+
+/// \file log_format.h
+/// Length + checksum framing shared by the write-ahead log and the
+/// manifest edit log.
+///
+/// A record is `u32 checksum | u32 length | payload`, little endian, with
+/// the checksum taken over the payload bytes (FNV-1a folded to 32 bits).
+/// Framing makes torn tails *explicit*: a crash mid-append leaves either a
+/// short header, a short payload, or a checksum mismatch — all three are
+/// reported as `kTorn` so recovery can discard exactly the un-committed
+/// tail instead of relying on the payload parser to fail by luck.
+
+namespace rhino::lsm {
+
+inline uint32_t LogChecksum(std::string_view payload) {
+  uint64_t h = Fnv1a64(payload);
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+/// Frames `payload` into `out` (append).
+inline void AppendLogRecord(std::string* out, std::string_view payload) {
+  uint32_t crc = LogChecksum(payload);
+  auto len = static_cast<uint32_t>(payload.size());
+  char header[8];
+  std::memcpy(header, &crc, 4);
+  std::memcpy(header + 4, &len, 4);
+  out->append(header, 8);
+  out->append(payload.data(), payload.size());
+}
+
+enum class LogRead {
+  kRecord,  // *payload holds the next record's payload
+  kEnd,     // clean end of log
+  kTorn,    // truncated or checksum-corrupt tail: discard from *pos on
+};
+
+/// Reads the framed record starting at `*pos` in `data`. On `kRecord`,
+/// advances `*pos` past it; on `kTorn`, leaves `*pos` at the torn record's
+/// first byte (the valid prefix is `data.substr(0, *pos)`).
+inline LogRead ReadLogRecord(std::string_view data, size_t* pos,
+                             std::string_view* payload) {
+  if (*pos == data.size()) return LogRead::kEnd;
+  if (data.size() - *pos < 8) return LogRead::kTorn;
+  uint32_t crc = 0, len = 0;
+  std::memcpy(&crc, data.data() + *pos, 4);
+  std::memcpy(&len, data.data() + *pos + 4, 4);
+  if (data.size() - *pos - 8 < len) return LogRead::kTorn;
+  std::string_view body = data.substr(*pos + 8, len);
+  if (LogChecksum(body) != crc) return LogRead::kTorn;
+  *payload = body;
+  *pos += 8 + static_cast<size_t>(len);
+  return LogRead::kRecord;
+}
+
+}  // namespace rhino::lsm

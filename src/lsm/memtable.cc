@@ -1,27 +1,19 @@
 #include "lsm/memtable.h"
 
-#include <cstdlib>
-#include <new>
-
 namespace rhino::lsm {
 
 MemTable::Node* MemTable::NewNode(std::string_view key, int height) {
-  // Tower slots beyond the first are allocated inline after the struct.
+  // Tower slots beyond the first are allocated inline after the struct;
+  // the key bytes are copied into the arena alongside.
   size_t size = sizeof(Node) + sizeof(Node*) * static_cast<size_t>(height - 1);
-  void* mem = ::operator new(size);
-  Node* node = new (mem) Node{std::string(key), 0, ValueType::kValue, "", height, {nullptr}};
+  Node* node = reinterpret_cast<Node*>(arena_.AllocateAligned(size));
+  node->key = arena_.CopyString(key);
+  node->value = {};
+  node->seq = 0;
+  node->type = ValueType::kValue;
+  node->height = height;
   for (int i = 0; i < height; ++i) node->next[i] = nullptr;
   return node;
-}
-
-MemTable::~MemTable() {
-  Node* n = head_;
-  while (n != nullptr) {
-    Node* next = n->next[0];
-    n->~Node();
-    ::operator delete(n);
-    n = next;
-  }
 }
 
 int MemTable::RandomHeight() {
@@ -52,11 +44,12 @@ void MemTable::Add(std::string_view key, uint64_t seq, ValueType type,
   Node* node = FindGreaterOrEqual(key, prev);
   if (node != nullptr && node->key == key) {
     // In-place overwrite: the newest sequence number shadows the old entry,
-    // so keeping only the newest is equivalent and cheaper.
+    // so keeping only the newest is equivalent and cheaper. The old value
+    // bytes stay behind in the arena until the flush drops it wholesale.
     bytes_ += value.size() - node->value.size();
     node->seq = seq;
     node->type = type;
-    node->value.assign(value);
+    node->value = arena_.CopyString(value);
     return;
   }
   int height = RandomHeight();
@@ -67,7 +60,7 @@ void MemTable::Add(std::string_view key, uint64_t seq, ValueType type,
   Node* n = NewNode(key, height);
   n->seq = seq;
   n->type = type;
-  n->value.assign(value);
+  n->value = arena_.CopyString(value);
   for (int i = 0; i < height; ++i) {
     n->next[i] = prev[i]->next[i];
     prev[i]->next[i] = n;
@@ -79,10 +72,10 @@ void MemTable::Add(std::string_view key, uint64_t seq, ValueType type,
 bool MemTable::Get(std::string_view key, Entry* entry) const {
   Node* node = FindGreaterOrEqual(key, nullptr);
   if (node == nullptr || node->key != key) return false;
-  entry->key = node->key;
+  entry->key.assign(node->key);
   entry->seq = node->seq;
   entry->type = node->type;
-  entry->value = node->value;
+  entry->value.assign(node->value);
   return true;
 }
 

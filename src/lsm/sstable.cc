@@ -79,21 +79,27 @@ void SSTableBuilder::Add(std::string_view key, uint64_t seq, ValueType type,
   bloom_.AddKey(key);
   EncodeEntry(&block_, key, seq, type, value);
   ++num_entries_;
+  peak_buffer_bytes_ = std::max<uint64_t>(peak_buffer_bytes_, block_.size());
   if (block_.size() >= block_size_) FlushBlock();
 }
 
 void SSTableBuilder::FlushBlock() {
   if (block_.empty()) return;
-  index_.push_back(IndexEntry{largest_, file_.size(), block_.size()});
-  file_ += block_;
+  index_.push_back(IndexEntry{largest_, data_offset_, block_.size()});
+  data_offset_ += block_.size();
+  if (sink_ != nullptr) {
+    if (sink_status_.ok()) sink_status_ = sink_->Append(block_);
+  } else {
+    file_ += block_;
+  }
   block_.clear();
 }
 
-std::string SSTableBuilder::Finish() {
-  FlushBlock();
-  uint64_t index_off = file_.size();
+std::string SSTableBuilder::EncodeTail() {
+  std::string tail;
+  uint64_t index_off = data_offset_;
   {
-    BinaryWriter w(&file_);
+    BinaryWriter w(&tail);
     w.PutVarint(index_.size());
     for (const auto& e : index_) {
       w.PutString(e.last_key);
@@ -101,18 +107,40 @@ std::string SSTableBuilder::Finish() {
       w.PutVarint(e.size);
     }
   }
-  uint64_t index_len = file_.size() - index_off;
-  uint64_t bloom_off = file_.size();
-  file_ += bloom_.Finish();
-  uint64_t bloom_len = file_.size() - bloom_off;
-  BinaryWriter w(&file_);
+  uint64_t index_len = tail.size();
+  uint64_t bloom_off = index_off + index_len;
+  tail += bloom_.Finish();
+  uint64_t bloom_len = index_off + tail.size() - bloom_off;
+  BinaryWriter w(&tail);
   w.PutU64(index_off);
   w.PutU64(index_len);
   w.PutU64(bloom_off);
   w.PutU64(bloom_len);
   w.PutU64(num_entries_);
   w.PutU64(kSstMagic);
+  return tail;
+}
+
+std::string SSTableBuilder::Finish() {
+  RHINO_DCHECK(sink_ == nullptr) << "streaming builds finalize via FinishStream";
+  FlushBlock();
+  std::string tail = EncodeTail();
+  peak_buffer_bytes_ = std::max<uint64_t>(peak_buffer_bytes_, tail.size());
+  file_ += tail;
+  file_size_ = file_.size();
   return std::move(file_);
+}
+
+Status SSTableBuilder::FinishStream() {
+  RHINO_DCHECK(sink_ != nullptr) << "in-memory builds finalize via Finish";
+  FlushBlock();
+  RHINO_RETURN_NOT_OK(sink_status_);
+  std::string tail = EncodeTail();
+  peak_buffer_bytes_ = std::max<uint64_t>(peak_buffer_bytes_, tail.size());
+  RHINO_RETURN_NOT_OK(sink_->Append(tail));
+  RHINO_RETURN_NOT_OK(sink_->Flush());
+  file_size_ = data_offset_ + tail.size();
+  return Status::OK();
 }
 
 // --------------------------------------------------------- SSTableReader --

@@ -25,9 +25,13 @@
 ///     footer        u64 index_off | u64 index_len | u64 bloom_off
 ///                   | u64 bloom_len | u64 num_entries | u64 magic
 ///
-/// Tables are built entirely in memory (memtables are bounded) and written
-/// with one atomic Env::WriteFile, mirroring RocksDB's immutable-SST
-/// model that makes checkpoint hard-linking safe.
+/// Builds are streaming: given a `WritableFile` sink, the builder appends
+/// each data block as it completes and never holds more than one block
+/// (plus the index under construction) in memory — the write-side mirror
+/// of the reader's block-granular bound. Writers stream into a temp name
+/// and rename on finish, so the immutable-SST model that makes checkpoint
+/// hard-linking safe is preserved. A builder without a sink accumulates
+/// the whole table in memory (tests, tools).
 ///
 /// Readers are block-granular: Open() fetches only the footer, index, and
 /// bloom filter; data blocks are read positionally on demand and cached in
@@ -39,33 +43,61 @@ namespace rhino::lsm {
 
 constexpr uint64_t kSstMagic = 0x52484e4f53535431ull;  // "RHNOSST1"
 
-/// Accumulates sorted entries and serializes an SSTable.
+/// Accumulates sorted entries and serializes an SSTable, streaming
+/// finished blocks into a `WritableFile` when one is attached.
 class SSTableBuilder {
  public:
+  /// In-memory builder: Finish() returns the whole file as a string.
   explicit SSTableBuilder(size_t block_size = 4096, int bloom_bits_per_key = 10)
       : block_size_(block_size), bloom_(bloom_bits_per_key) {}
+
+  /// Streaming builder: completed data blocks are appended to `sink` as
+  /// they fill, bounding the builder's resident memory at ~one block plus
+  /// the index; finalize with FinishStream(). `sink` must outlive the
+  /// builder and is not closed by it.
+  SSTableBuilder(WritableFile* sink, size_t block_size, int bloom_bits_per_key)
+      : block_size_(block_size), bloom_(bloom_bits_per_key), sink_(sink) {}
 
   /// Adds an entry; keys must arrive in strictly increasing order.
   void Add(std::string_view key, uint64_t seq, ValueType type,
            std::string_view value);
 
-  /// Finalizes and returns the file contents. The builder is consumed.
+  /// Finalizes and returns the file contents (in-memory builders only).
+  /// The builder is consumed.
   std::string Finish();
+
+  /// Finalizes a streaming build: flushes the last data block, appends
+  /// index + bloom + footer to the sink, and flushes it. The builder is
+  /// consumed; the total file size is in file_size().
+  Status FinishStream();
 
   uint64_t num_entries() const { return num_entries_; }
   const std::string& smallest() const { return smallest_; }
   const std::string& largest() const { return largest_; }
   /// Bytes of data blocks written so far (used to split compaction output).
-  uint64_t data_bytes() const { return file_.size() + block_.size(); }
+  uint64_t data_bytes() const { return data_offset_ + block_.size(); }
+  /// Total file size after Finish/FinishStream.
+  uint64_t file_size() const { return file_size_; }
+  /// High-water mark of bytes buffered in the builder (current block plus,
+  /// at finish, the serialized index/bloom tail) — the write-side memory
+  /// bound the streaming path guarantees.
+  uint64_t peak_buffer_bytes() const { return peak_buffer_bytes_; }
   bool empty() const { return num_entries_ == 0; }
 
  private:
   void FlushBlock();
+  /// Serializes index + bloom + footer (everything after the data blocks).
+  std::string EncodeTail();
 
   size_t block_size_;
   BloomFilterBuilder bloom_;
-  std::string file_;   // completed data blocks
+  WritableFile* sink_ = nullptr;  // null: in-memory build into file_
+  Status sink_status_;
+  std::string file_;   // completed data blocks (in-memory mode only)
   std::string block_;  // block under construction
+  uint64_t data_offset_ = 0;  // bytes of completed data blocks
+  uint64_t file_size_ = 0;
+  uint64_t peak_buffer_bytes_ = 0;
   struct IndexEntry {
     std::string last_key;
     uint64_t offset;

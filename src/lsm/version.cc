@@ -73,6 +73,85 @@ void VersionSet::AddFile(int level, FileMetaData meta) {
   }
 }
 
+namespace {
+
+void EncodeFileMeta(BinaryWriter* w, const FileMetaData& f) {
+  w->PutU64(f.number);
+  w->PutU64(f.file_size);
+  w->PutString(f.smallest);
+  w->PutString(f.largest);
+  w->PutU64(f.num_entries);
+}
+
+Status DecodeFileMeta(BinaryReader* r, FileMetaData* f) {
+  RHINO_RETURN_NOT_OK(r->GetU64(&f->number));
+  RHINO_RETURN_NOT_OK(r->GetU64(&f->file_size));
+  RHINO_RETURN_NOT_OK(r->GetString(&f->smallest));
+  RHINO_RETURN_NOT_OK(r->GetString(&f->largest));
+  RHINO_RETURN_NOT_OK(r->GetU64(&f->num_entries));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string VersionEdit::Encode() const {
+  std::string out;
+  BinaryWriter w(&out);
+  w.PutU64(next_file_number);
+  w.PutU64(last_seq);
+  w.PutU32(static_cast<uint32_t>(removed.size()));
+  for (const auto& [level, number] : removed) {
+    w.PutU32(static_cast<uint32_t>(level));
+    w.PutU64(number);
+  }
+  w.PutU32(static_cast<uint32_t>(added.size()));
+  for (const auto& [level, file] : added) {
+    w.PutU32(static_cast<uint32_t>(level));
+    EncodeFileMeta(&w, file);
+  }
+  return out;
+}
+
+Status VersionEdit::Decode(std::string_view data) {
+  BinaryReader r(data);
+  RHINO_RETURN_NOT_OK(r.GetU64(&next_file_number));
+  RHINO_RETURN_NOT_OK(r.GetU64(&last_seq));
+  uint32_t num_removed = 0;
+  RHINO_RETURN_NOT_OK(r.GetU32(&num_removed));
+  removed.clear();
+  removed.reserve(num_removed);
+  for (uint32_t i = 0; i < num_removed; ++i) {
+    uint32_t level = 0;
+    uint64_t number = 0;
+    RHINO_RETURN_NOT_OK(r.GetU32(&level));
+    RHINO_RETURN_NOT_OK(r.GetU64(&number));
+    removed.emplace_back(static_cast<int>(level), number);
+  }
+  uint32_t num_added = 0;
+  RHINO_RETURN_NOT_OK(r.GetU32(&num_added));
+  added.clear();
+  added.reserve(num_added);
+  for (uint32_t i = 0; i < num_added; ++i) {
+    uint32_t level = 0;
+    FileMetaData f;
+    RHINO_RETURN_NOT_OK(r.GetU32(&level));
+    RHINO_RETURN_NOT_OK(DecodeFileMeta(&r, &f));
+    added.emplace_back(static_cast<int>(level), std::move(f));
+  }
+  return Status::OK();
+}
+
+void VersionSet::ApplyEdit(const VersionEdit& edit) {
+  for (const auto& [level, number] : edit.removed) {
+    RemoveFile(level, number);
+  }
+  for (const auto& [level, file] : edit.added) {
+    AddFile(level, file);
+  }
+  next_file_number_ = std::max(next_file_number_, edit.next_file_number);
+  last_seq_ = std::max(last_seq_, edit.last_seq);
+}
+
 std::string VersionSet::EncodeManifest() const {
   std::string out;
   BinaryWriter w(&out);
@@ -81,13 +160,7 @@ std::string VersionSet::EncodeManifest() const {
   w.PutU32(static_cast<uint32_t>(levels_.size()));
   for (const auto& level : levels_) {
     w.PutU32(static_cast<uint32_t>(level.size()));
-    for (const auto& f : level) {
-      w.PutU64(f.number);
-      w.PutU64(f.file_size);
-      w.PutString(f.smallest);
-      w.PutString(f.largest);
-      w.PutU64(f.num_entries);
-    }
+    for (const auto& f : level) EncodeFileMeta(&w, f);
   }
   return out;
 }
@@ -105,11 +178,7 @@ Status VersionSet::DecodeManifest(std::string_view data) {
     levels_[l].reserve(count);
     for (uint32_t i = 0; i < count; ++i) {
       FileMetaData f;
-      RHINO_RETURN_NOT_OK(r.GetU64(&f.number));
-      RHINO_RETURN_NOT_OK(r.GetU64(&f.file_size));
-      RHINO_RETURN_NOT_OK(r.GetString(&f.smallest));
-      RHINO_RETURN_NOT_OK(r.GetString(&f.largest));
-      RHINO_RETURN_NOT_OK(r.GetU64(&f.num_entries));
+      RHINO_RETURN_NOT_OK(DecodeFileMeta(&r, &f));
       levels_[l].push_back(std::move(f));
     }
   }

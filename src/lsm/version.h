@@ -10,6 +10,13 @@
 /// The file-level metadata of an LSM tree: which SSTs live at which level,
 /// persisted in a MANIFEST file so a DB (or a checkpoint of one) can be
 /// reopened.
+///
+/// The MANIFEST is a log of framed records (log_format.h): a full
+/// snapshot record first, then one `VersionEdit` per flush/compaction.
+/// Appending an edit is O(edit); the old scheme rewrote the entire file
+/// set on every flush, which is O(tree) per mutation and dominated
+/// metadata cost for wide trees. The log is rotated (fresh snapshot)
+/// when enough edits accumulate, bounding recovery replay.
 
 namespace rhino::lsm {
 
@@ -20,6 +27,18 @@ struct FileMetaData {
   std::string smallest;
   std::string largest;
   uint64_t num_entries = 0;
+};
+
+/// One atomic change to the tree shape: files added/removed by a flush or
+/// compaction, plus the counter high-water marks at that point.
+struct VersionEdit {
+  uint64_t next_file_number = 0;  // applied as a max(); 0 = no change
+  uint64_t last_seq = 0;          // applied as a max(); 0 = no change
+  std::vector<std::pair<int, FileMetaData>> added;  // (level, file)
+  std::vector<std::pair<int, uint64_t>> removed;    // (level, file number)
+
+  std::string Encode() const;
+  Status Decode(std::string_view data);
 };
 
 /// Mutable description of the current tree shape plus counters.
@@ -68,6 +87,9 @@ class VersionSet {
 
   /// Adds a file keeping the level's ordering invariant.
   void AddFile(int level, FileMetaData meta);
+
+  /// Removals first, then additions, then counter high-water marks.
+  void ApplyEdit(const VersionEdit& edit);
 
   std::string EncodeManifest() const;
   Status DecodeManifest(std::string_view data);

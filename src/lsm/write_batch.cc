@@ -1,0 +1,59 @@
+#include "lsm/write_batch.h"
+
+#include "common/serde.h"
+
+namespace rhino::lsm {
+
+void WriteBatch::Put(std::string_view key, std::string_view value) {
+  BinaryWriter w(&rep_);
+  w.PutU8(static_cast<uint8_t>(ValueType::kValue));
+  w.PutString(key);
+  w.PutString(value);
+  ++count_;
+  ++puts_;
+}
+
+void WriteBatch::Delete(std::string_view key) {
+  BinaryWriter w(&rep_);
+  w.PutU8(static_cast<uint8_t>(ValueType::kDeletion));
+  w.PutString(key);
+  w.PutString("");
+  ++count_;
+}
+
+void WriteBatch::Clear() {
+  rep_.clear();
+  count_ = 0;
+  puts_ = 0;
+}
+
+std::string WriteBatch::EncodePayload() const {
+  std::string payload;
+  BinaryWriter w(&payload);
+  w.PutVarint(count_);
+  payload.append(rep_);
+  return payload;
+}
+
+Status WriteBatch::DecodeEntries(std::string_view entries, const Handler& fn) {
+  BinaryReader r(entries);
+  while (!r.AtEnd()) {
+    uint8_t type = 0;
+    std::string_view key, value;
+    RHINO_RETURN_NOT_OK(r.GetU8(&type));
+    RHINO_RETURN_NOT_OK(r.GetString(&key));
+    RHINO_RETURN_NOT_OK(r.GetString(&value));
+    RHINO_RETURN_NOT_OK(fn(static_cast<ValueType>(type), key, value));
+  }
+  return Status::OK();
+}
+
+Status WriteBatch::DecodePayload(std::string_view payload, uint64_t* count,
+                                 std::string_view* entries) {
+  BinaryReader r(payload);
+  RHINO_RETURN_NOT_OK(r.GetVarint(count));
+  *entries = payload.substr(r.position());
+  return Status::OK();
+}
+
+}  // namespace rhino::lsm

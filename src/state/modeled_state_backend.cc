@@ -105,6 +105,22 @@ Result<std::string> ModeledStateBackend::ExtractVnodes(
   return blob;
 }
 
+Result<std::map<uint32_t, std::string>> ModeledStateBackend::ExtractVnodeBlobs(
+    const std::vector<uint32_t>& vnodes) {
+  // Size-only blobs are a counter lookup each; emit them directly rather
+  // than through the one-ExtractVnodes-per-vnode default.
+  std::map<uint32_t, std::string> blobs;
+  for (uint32_t v : vnodes) {
+    std::string blob;
+    BinaryWriter w(&blob);
+    w.PutU32(1);
+    w.PutU32(v);
+    w.PutU64(VnodeBytes(v));
+    blobs.emplace(v, std::move(blob));
+  }
+  return blobs;
+}
+
 Status ModeledStateBackend::IngestVnodes(std::string_view blob,
                                          bool already_durable) {
   BinaryReader r(blob);

@@ -38,6 +38,8 @@ class ModeledStateBackend : public StateBackend {
   uint64_t VnodeBytes(uint32_t vnode) const override;
   Result<CheckpointDescriptor> Checkpoint(uint64_t checkpoint_id) override;
   Result<std::string> ExtractVnodes(const std::vector<uint32_t>& vnodes) override;
+  Result<std::map<uint32_t, std::string>> ExtractVnodeBlobs(
+      const std::vector<uint32_t>& vnodes) override;
   Status IngestVnodes(std::string_view blob, bool already_durable) override;
   Status DropVnodes(const std::vector<uint32_t>& vnodes) override;
 

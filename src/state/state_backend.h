@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,15 @@
 
 namespace rhino::state {
 
+/// One buffered mutation for StateBackend::ApplyBatch.
+struct StateWrite {
+  uint32_t vnode = 0;
+  bool is_delete = false;
+  std::string key;
+  std::string value;          // ignored for deletes
+  uint64_t nominal_bytes = 0;
+};
+
 /// Abstract keyed state store scoped to one operator instance.
 class StateBackend {
  public:
@@ -39,6 +49,21 @@ class StateBackend {
 
   virtual Status Delete(uint32_t vnode, std::string_view key,
                         uint64_t nominal_bytes) = 0;
+
+  /// Applies a buffered run of mutations. The default loops Put/Delete;
+  /// LSM-backed stores override it to group-commit the run as one WAL
+  /// append instead of one per entry. No atomicity beyond what the
+  /// backend's override provides is implied — this is a throughput hint.
+  virtual Status ApplyBatch(const std::vector<StateWrite>& writes) {
+    for (const auto& w : writes) {
+      if (w.is_delete) {
+        RHINO_RETURN_NOT_OK(Delete(w.vnode, w.key, w.nominal_bytes));
+      } else {
+        RHINO_RETURN_NOT_OK(Put(w.vnode, w.key, w.value, w.nominal_bytes));
+      }
+    }
+    return Status::OK();
+  }
 
   /// All live key-value pairs of a vnode, in key order. Only meaningful
   /// for real backends (modeled backends return empty).
@@ -80,6 +105,21 @@ class StateBackend {
   /// internal; pass to IngestVnodes of a backend of the same kind).
   virtual Result<std::string> ExtractVnodes(
       const std::vector<uint32_t>& vnodes) = 0;
+
+  /// Serializes each of `vnodes` into its own blob (each the same wire
+  /// format as ExtractVnodes({v})) keyed by vnode id. The default loops
+  /// ExtractVnodes one vnode at a time — one full extraction pass per
+  /// vnode; backends with sorted storage override it to produce every
+  /// blob in a single scan.
+  virtual Result<std::map<uint32_t, std::string>> ExtractVnodeBlobs(
+      const std::vector<uint32_t>& vnodes) {
+    std::map<uint32_t, std::string> blobs;
+    for (uint32_t v : vnodes) {
+      RHINO_ASSIGN_OR_RETURN(auto blob, ExtractVnodes({v}));
+      blobs.emplace(v, std::move(blob));
+    }
+    return blobs;
+  }
 
   /// Ingests a blob produced by ExtractVnodes on the origin instance.
   /// `already_durable` marks bytes that came out of a replicated/persisted

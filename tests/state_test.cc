@@ -133,6 +133,57 @@ TEST_F(LsmBackendTest, ExtractIngestMovesVnodes) {
   ASSERT_TRUE(backend_->Get(4, "c", &v).ok()) << "vnode 4 untouched";
 }
 
+TEST_F(LsmBackendTest, ApplyBatchGroupCommitsMixedRun) {
+  std::vector<StateWrite> writes;
+  writes.push_back({1, false, "a", "va", 10});
+  writes.push_back({1, false, "b", "vb", 10});
+  writes.push_back({2, false, "c", "vc", 5});
+  writes.push_back({1, true, "a", "", 10});  // delete within the same run
+  uint64_t appends_before = backend_->db()->wal_appends();
+  ASSERT_TRUE(backend_->ApplyBatch(writes).ok());
+  EXPECT_EQ(backend_->db()->wal_appends(), appends_before + 1)
+      << "the whole run must be one group commit";
+  std::string v;
+  EXPECT_TRUE(backend_->Get(1, "a", &v).IsNotFound());
+  ASSERT_TRUE(backend_->Get(1, "b", &v).ok());
+  EXPECT_EQ(v, "vb");
+  ASSERT_TRUE(backend_->Get(2, "c", &v).ok());
+  EXPECT_EQ(v, "vc");
+  EXPECT_EQ(backend_->VnodeBytes(1), 10u);
+  EXPECT_EQ(backend_->VnodeBytes(2), 5u);
+}
+
+TEST_F(LsmBackendTest, ExtractVnodeBlobsMatchesPerVnodeExtraction) {
+  for (int v = 0; v < 6; v += 2) {
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(backend_
+                      ->Put(static_cast<uint32_t>(v), "k" + std::to_string(i),
+                            "v" + std::to_string(v) + "-" + std::to_string(i),
+                            8)
+                      .ok());
+    }
+  }
+  // The single-scan blobs must be byte-identical to what the per-vnode
+  // path produces — including for an owned-but-empty vnode (5) — so every
+  // downstream consumer (replication, handover ingest) is unaffected.
+  std::vector<uint32_t> owned = {0, 2, 4, 5};
+  auto blobs = backend_->ExtractVnodeBlobs(owned);
+  ASSERT_TRUE(blobs.ok());
+  ASSERT_EQ(blobs->size(), owned.size());
+  for (uint32_t v : owned) {
+    auto single = backend_->ExtractVnodes({v});
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(blobs->at(v), *single) << "vnode " << v;
+  }
+  // And they ingest cleanly.
+  auto other = LsmStateBackend::Open(&env_, "/state/op-2", "op", 2);
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE((*other)->IngestVnodes(blobs->at(2), false).ok());
+  std::string v;
+  ASSERT_TRUE((*other)->Get(2, "k7", &v).ok());
+  EXPECT_EQ(v, "v2-7");
+}
+
 // ----------------------------------------------------- ModeledStateBackend
 
 TEST(ModeledBackendTest, ByteAccounting) {
@@ -183,6 +234,20 @@ TEST(ModeledBackendTest, ExtractIngestMovesBytes) {
   EXPECT_EQ(target.VnodeBytes(2), 6000u);
   ASSERT_TRUE(origin.DropVnodes({2}).ok());
   EXPECT_EQ(origin.SizeBytes(), 4000u);
+}
+
+TEST(ModeledBackendTest, ExtractVnodeBlobsMatchesPerVnodeExtraction) {
+  ModeledStateBackend backend("op", 0);
+  backend.AddBytes(1, 4000);
+  backend.AddBytes(2, 6000);
+  auto blobs = backend.ExtractVnodeBlobs({1, 2, 9});
+  ASSERT_TRUE(blobs.ok());
+  ASSERT_EQ(blobs->size(), 3u);
+  for (uint32_t v : {1u, 2u, 9u}) {
+    auto single = backend.ExtractVnodes({v});
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(blobs->at(v), *single) << "vnode " << v;
+  }
 }
 
 TEST(ModeledBackendTest, IngestedBytesAppearInNextDelta) {
