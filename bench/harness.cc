@@ -84,7 +84,7 @@ class MegaphoneDelegate : public dataflow::HandoverDelegate {
     if (it == queues_.end()) {
       it = queues_
                .emplace(key, std::make_unique<sim::QueueResource>(
-                                 engine_->sim(), "megaphone-serde",
+                                 engine_->executor(), "megaphone-serde",
                                  options_.serialize_bytes_per_sec))
                .first;
     }

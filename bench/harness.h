@@ -20,6 +20,7 @@
 #include "rhino/handover_manager.h"
 #include "rhino/replication_manager.h"
 #include "rhino/replication_runtime.h"
+#include "runtime/sim_executor.h"
 #include "sim/cluster.h"
 
 /// \file harness.h
@@ -121,7 +122,10 @@ class Testbed {
 
   // ---- components (construction order matters) ----
   TestbedOptions options;
-  sim::Simulation sim;
+  /// Deterministic execution substrate (the member keeps its historical
+  /// name: scenario drivers step it exactly as they stepped the raw
+  /// kernel, and its call-order-to-event-order mapping is identical).
+  runtime::SimExecutor sim;
   /// Per-testbed observability context (simulated-clock trace + metrics);
   /// installed on the engine and the out-of-engine components in the ctor
   /// so benches that build several testbeds in one process don't bleed

@@ -18,9 +18,11 @@
 #include "rhino/handover_manager.h"
 #include "rhino/replication_manager.h"
 #include "rhino/replication_runtime.h"
+#include "runtime/sim_executor.h"
 #include "state/lsm_state_backend.h"
 
 namespace sim = rhino::sim;
+namespace runtime = rhino::runtime;
 namespace broker = rhino::broker;
 namespace lsm = rhino::lsm;
 namespace state = rhino::state;
@@ -30,7 +32,7 @@ using namespace rhino::dataflow;  // NOLINT: example brevity
 int main() {
   std::printf("== Fault-tolerant join pipeline ==\n\n");
 
-  sim::Simulation sim;
+  runtime::SimExecutor sim;
   sim::Cluster cluster(&sim, 5);  // node 0: broker; 1-4: workers
   broker::Broker broker({0});
   broker.CreateTopic("left", 2);

@@ -22,9 +22,11 @@
 #include "rhino/handover_manager.h"
 #include "rhino/replication_manager.h"
 #include "rhino/replication_runtime.h"
+#include "runtime/sim_executor.h"
 #include "state/lsm_state_backend.h"
 
 namespace sim = rhino::sim;
+namespace runtime = rhino::runtime;
 namespace broker = rhino::broker;
 namespace lsm = rhino::lsm;
 namespace state = rhino::state;
@@ -36,7 +38,7 @@ int main() {
 
   // 1. A simulated 4-node cluster: node 0 hosts the broker, 1-3 are
   //    workers.
-  sim::Simulation sim;
+  runtime::SimExecutor sim;
   sim::Cluster cluster(&sim, 4);
   broker::Broker broker({0});
   broker.CreateTopic("events", 2);

@@ -17,7 +17,7 @@ using dataflow::StatefulInstance;
 
 void FlinkRestartController::RestartFromLastCheckpoint(
     int failed_node, std::function<void(RestartBreakdown)> done) {
-  sim::Simulation* sim = engine_->sim();
+  runtime::Executor* sim = engine_->executor();
   const auto* ckpt = engine_->LastCompletedCheckpoint();
   SimTime start = sim->Now();
 

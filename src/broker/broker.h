@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,13 @@
 /// source simply rewinds its offset and replays. Batches are retained for
 /// the lifetime of the experiment (the paper sizes Kafka's page cache and
 /// SSDs so that replay is always possible).
+///
+/// Thread safety: a partition's log is guarded by an internal mutex, so a
+/// generator thread can append while a source node fetches. `Fetch`
+/// returns a pointer into the append-only deque — deque push_back never
+/// invalidates references to existing entries, so the pointer stays valid
+/// for the experiment's lifetime. The data listener fires *outside* the
+/// partition lock (the consumer's TryFetch re-enters Fetch).
 
 namespace rhino::broker {
 
@@ -39,30 +47,45 @@ class Partition {
 
   /// Appends a batch, assigns its offset, and fires the data listener.
   uint64_t Append(dataflow::Batch batch) {
-    uint64_t offset = next_offset_++;
-    entries_.push_back(LogEntry{offset, std::move(batch)});
-    if (listener_) listener_();
+    uint64_t offset;
+    std::function<void()> listener;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      offset = next_offset_++;
+      entries_.push_back(LogEntry{offset, std::move(batch)});
+      listener = listener_;
+    }
+    if (listener) listener();
     return offset;
   }
 
   /// The batch at `offset`, or nullptr when past the end.
   const LogEntry* Fetch(uint64_t offset) const {
+    std::lock_guard<std::mutex> lock(mu_);
     if (offset >= next_offset_) return nullptr;
     uint64_t first = entries_.empty() ? next_offset_ : entries_.front().offset;
     RHINO_CHECK_GE(offset, first) << "offset truncated from the log";
     return &entries_[offset - first];
   }
 
-  uint64_t end_offset() const { return next_offset_; }
-  uint64_t size() const { return entries_.size(); }
+  uint64_t end_offset() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_offset_;
+  }
+  uint64_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
   /// Registers the (single) consumer-side callback fired on append.
   void SetDataListener(std::function<void()> listener) {
+    std::lock_guard<std::mutex> lock(mu_);
     listener_ = std::move(listener);
   }
 
  private:
   int home_node_;
+  mutable std::mutex mu_;
   std::deque<LogEntry> entries_;
   uint64_t next_offset_ = 0;
   std::function<void()> listener_;

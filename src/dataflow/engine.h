@@ -1,10 +1,13 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
-#include <set>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -13,8 +16,8 @@
 #include "dataflow/operator.h"
 #include "hashring/key_groups.h"
 #include "obs/observability.h"
+#include "runtime/executor.h"
 #include "sim/cluster.h"
-#include "sim/simulation.h"
 #include "state/checkpoint.h"
 
 /// \file engine.h
@@ -22,6 +25,22 @@
 /// (aligned barriers, Carbone et al.), handover marker injection, and
 /// failure handling. Rhino and the baselines plug in through the
 /// `CheckpointStorage` and `HandoverDelegate` strategy interfaces.
+///
+/// ## Thread safety (RealtimeExecutor)
+///
+/// Coordinator records (checkpoints, handovers, routing registry) are
+/// guarded by a recursive engine mutex. The locking discipline is strict:
+/// the engine NEVER holds its mutex while calling into an instance or a
+/// storage/delegate strategy — records are mutated under the lock, then
+/// the lock is released before fanning out (barrier injection, alignment
+/// aborts, persistence). Instances hold their own lock when they call up
+/// into the engine, so the only cross-component lock order is
+/// instance -> engine, never the reverse. Listener callbacks fire under
+/// the engine lock (they may re-enter engine accessors — the mutex is
+/// recursive — but must not call into instances).
+///
+/// Record containers are deques: completion paths hold references across
+/// asynchronous persistence, and deque growth never invalidates them.
 
 namespace rhino::dataflow {
 
@@ -95,11 +114,14 @@ struct EngineOptions {
 /// The per-query runtime coordinator.
 class Engine {
  public:
-  Engine(sim::Simulation* sim, sim::Cluster* cluster, broker::Broker* broker,
-         EngineOptions options = EngineOptions())
-      : sim_(sim), cluster_(cluster), broker_(broker), options_(options) {}
+  Engine(runtime::Executor* executor, sim::Cluster* cluster,
+         broker::Broker* broker, EngineOptions options = EngineOptions())
+      : executor_(executor),
+        cluster_(cluster),
+        broker_(broker),
+        options_(options) {}
 
-  sim::Simulation* sim() { return sim_; }
+  runtime::Executor* executor() { return executor_; }
   sim::Cluster* cluster() { return cluster_; }
   broker::Broker* broker() { return broker_; }
   const EngineOptions& options() const { return options_; }
@@ -112,7 +134,8 @@ class Engine {
 
   // ------------------------------------------------------- registration --
 
-  /// Takes ownership of an instance. Called by the graph builder.
+  /// Takes ownership of an instance. Called by the graph builder (wiring
+  /// happens before the executor runs; registration is not thread-safe).
   OperatorInstance* AddInstance(std::unique_ptr<OperatorInstance> instance);
   Channel* AddChannel(std::unique_ptr<Channel> channel);
 
@@ -151,7 +174,9 @@ class Engine {
   void OnSnapshotTaken(OperatorInstance* instance,
                        state::CheckpointDescriptor desc);
 
-  /// Checkpoint record by id (nullptr when unknown).
+  /// Checkpoint record by id (nullptr when unknown). The pointer is stable
+  /// (deque storage); read its fields only from engine callbacks or after
+  /// the executor drained.
   CheckpointRecord* FindCheckpoint(uint64_t id);
 
   /// True when checkpoint `id` was aborted by a failure; its barriers are
@@ -162,10 +187,14 @@ class Engine {
   /// snapshots are discarded and its alignments flushed everywhere.
   void AbortCheckpoint(uint64_t id);
 
-  bool checkpoint_in_flight() const { return checkpoint_in_flight_; }
+  bool checkpoint_in_flight() const {
+    return checkpoint_in_flight_.load(std::memory_order_acquire);
+  }
   /// Most recent fully durable checkpoint, or nullptr.
   const CheckpointRecord* LastCompletedCheckpoint() const;
-  const std::vector<CheckpointRecord>& checkpoints() const { return checkpoints_; }
+  const std::deque<CheckpointRecord>& checkpoints() const {
+    return checkpoints_;
+  }
   void SetCheckpointListener(std::function<void(const CheckpointRecord&)> fn) {
     checkpoint_listener_ = std::move(fn);
   }
@@ -184,7 +213,15 @@ class Engine {
   void SetHandoverListener(std::function<void(const HandoverRecord&)> fn) {
     handover_listener_ = std::move(fn);
   }
-  const std::vector<HandoverRecord>& handovers() const { return handovers_; }
+  const std::deque<HandoverRecord>& handovers() const { return handovers_; }
+
+  /// Copy of the handover records, taken under the engine lock — safe to
+  /// iterate while other strands trigger or complete handovers (the deque
+  /// reference above is for quiescent reads only).
+  std::vector<HandoverRecord> SnapshotHandovers() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return {handovers_.begin(), handovers_.end()};
+  }
 
   /// Handover record by id (nullptr when unknown).
   const HandoverRecord* FindHandover(uint64_t id) const;
@@ -205,7 +242,10 @@ class Engine {
     latency_listener_ = std::move(fn);
   }
   void RecordLatency(const std::string& op, SimTime latency) {
-    if (latency_listener_) latency_listener_(op, sim_->Now(), latency);
+    if (latency_listener_) {
+      std::lock_guard<std::recursive_mutex> lock(mu_);
+      latency_listener_(op, executor_->Now(), latency);
+    }
   }
 
   // ------------------------------------------------------------- failure --
@@ -223,7 +263,12 @@ class Engine {
   void ReinitKeyedGates(const std::string& op);
 
  private:
-  sim::Simulation* sim_;
+  /// Both Locked helpers require mu_ held by the caller.
+  CheckpointRecord* FindCheckpointLocked(uint64_t id);
+  /// Completes `record` once every still-live participant acked.
+  void MaybeCompleteHandoverLocked(HandoverRecord& record);
+
+  runtime::Executor* executor_;
   sim::Cluster* cluster_;
   broker::Broker* broker_;
   EngineOptions options_;
@@ -244,16 +289,18 @@ class Engine {
   CheckpointStorage* storage_ = nullptr;
   HandoverDelegate* delegate_ = nullptr;
 
-  std::vector<CheckpointRecord> checkpoints_;
-  bool checkpoint_in_flight_ = false;
+  /// Guards the coordinator records (checkpoints_, handovers_, routing_
+  /// lookups after wiring). Recursive so listeners can re-enter engine
+  /// accessors. Never held across calls into instances or strategies.
+  mutable std::recursive_mutex mu_;
+
+  std::deque<CheckpointRecord> checkpoints_;
+  std::atomic<bool> checkpoint_in_flight_{false};
   uint64_t next_checkpoint_id_ = 1;
-  bool periodic_checkpoints_ = false;
+  std::atomic<bool> periodic_checkpoints_{false};
   std::function<void(const CheckpointRecord&)> checkpoint_listener_;
 
-  /// Completes `record` once every still-live participant acked.
-  void MaybeCompleteHandover(HandoverRecord& record);
-
-  std::vector<HandoverRecord> handovers_;
+  std::deque<HandoverRecord> handovers_;
   std::function<void(const HandoverRecord&)> handover_listener_;
   std::function<void(const std::string&)> probe_;
 

@@ -23,18 +23,20 @@ const char* AlignmentName(ControlEvent::Type type) {
 // --------------------------------------------------------------- Channel --
 
 void Channel::Send(ChannelItem item) {
-  ++in_flight_;
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
   uint64_t bytes = item.WireBytes();
   int src = from_ ? from_->node_id() : to_->node_id();
+  int dst = to_->node_id();
   auto deliver = [this, item = std::move(item)]() mutable {
-    --in_flight_;
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
     to_->Deliver(to_channel_idx_, std::move(item));
   };
-  if (src == to_->node_id()) {
-    // Local exchange: a scheduling quantum, no NIC time.
-    engine_->sim()->Schedule(50, std::move(deliver));
+  if (src == dst) {
+    // Local exchange: a scheduling quantum, no NIC time. Delivery runs on
+    // the receiver's node strand.
+    engine_->cluster()->node(dst).queue()->PostDelayed(50, std::move(deliver));
   } else {
-    engine_->cluster()->Transfer(src, to_->node_id(), bytes, std::move(deliver));
+    engine_->cluster()->Transfer(src, dst, bytes, std::move(deliver));
   }
 }
 
@@ -129,32 +131,36 @@ OperatorInstance::OperatorInstance(Engine* engine, std::string op_name,
       profile_(profile) {}
 
 void OperatorInstance::Deliver(int channel_idx, ChannelItem item) {
-  if (halted_) return;  // fail-stop: the instance is gone
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (halted()) return;  // fail-stop: the instance is gone
   input_queues_[static_cast<size_t>(channel_idx)].push_back(std::move(item));
   TryProcessNext();
 }
 
 void OperatorInstance::Halt() {
-  halted_ = true;
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  halted_.store(true, std::memory_order_release);
   for (auto& q : input_queues_) q.clear();
   alignments_.clear();
   holding_ = false;
 }
 
 void OperatorInstance::Resume() {
-  halted_ = false;
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  halted_.store(false, std::memory_order_release);
   busy_ = false;
   TryProcessNext();
 }
 
 uint64_t OperatorInstance::QueuedItems() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& q : input_queues_) total += q.size();
   return total;
 }
 
 void OperatorInstance::TryProcessNext() {
-  if (busy_ || halted_) return;
+  if (busy_ || halted()) return;
   if (input_queues_.empty()) return;
   int n = static_cast<int>(input_queues_.size());
   for (int probe = 0; probe < n; ++probe) {
@@ -176,13 +182,18 @@ void OperatorInstance::TryProcessNext() {
           std::ceil(static_cast<double>(item.batch.count) /
                     profile_.records_per_sec * kSecond));
     }
-    engine_->cluster()->node(node_id_).AddCpuBusy(cost);
-    engine_->sim()->Schedule(cost, [this, ch, item = std::move(item)]() mutable {
-      busy_ = false;
-      if (halted_) return;
-      ProcessItem(ch, std::move(item));
-      TryProcessNext();
-    });
+    engine_->cluster()->node(node_id()).AddCpuBusy(cost);
+    // The completion runs on this instance's node strand (the simulator's
+    // global order refines this; under real threads it serializes the
+    // node's callbacks).
+    engine_->cluster()->node(node_id()).queue()->PostDelayed(
+        cost, [this, ch, item = std::move(item)]() mutable {
+          std::lock_guard<std::recursive_mutex> lock(mu_);
+          busy_ = false;
+          if (halted()) return;
+          ProcessItem(ch, std::move(item));
+          TryProcessNext();
+        });
     return;
   }
 }
@@ -246,6 +257,7 @@ bool OperatorInstance::AlignmentComplete(const Alignment& alignment) const {
 }
 
 std::string OperatorInstance::AlignmentDebugString() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (alignments_.empty()) return "no alignments";
   const Alignment& a = alignments_.front();
   std::string out = "front id=" + std::to_string(a.ev.id) +
@@ -265,11 +277,13 @@ std::string OperatorInstance::AlignmentDebugString() const {
 }
 
 void OperatorInstance::NotifyPeerFailure() {
-  if (!halted_) MaybeCompleteFront();
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (!halted()) MaybeCompleteFront();
 }
 
 void OperatorInstance::AbortAlignment(ControlEvent::Type type, uint64_t id) {
-  if (halted_) return;
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (halted()) return;
   bool was_front = !alignments_.empty() && alignments_.front().ev.id == id &&
                    alignments_.front().ev.type == type;
   for (auto it = alignments_.begin(); it != alignments_.end();) {
@@ -321,6 +335,7 @@ void OperatorInstance::BeforeForwardControl(const ControlEvent& ev) {
 }
 
 void OperatorInstance::ReleaseAlignment() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   holding_ = false;
   if (!alignments_.empty()) alignments_.pop_front();
   MaybeCompleteFront();

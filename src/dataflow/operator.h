@@ -1,9 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -20,6 +22,18 @@
 /// the paper §2.1: order is preserved per channel, control events ride in
 /// band with records, and marker alignment (paper §4.1.1) is implemented
 /// by *not polling* a channel that already delivered the active marker.
+///
+/// Thread safety (RealtimeExecutor): an instance's processing state is
+/// guarded by a per-instance recursive mutex taken at every public entry
+/// point (Deliver, the processing-completion callback, Halt/Resume,
+/// alignment maintenance). Processing callbacks are pinned to the
+/// instance's node strand, so intra-node callback order matches the
+/// simulator; the mutex covers the cross-strand entries (coordinator
+/// fan-out, transfers completing on another node's strand). Instances may
+/// call up into the engine while holding their own lock — the engine never
+/// calls down while holding its lock, so instance -> engine is the only
+/// cross-component order. `halted_` is an atomic read lock-free by peers
+/// (AlignmentComplete checks sender liveness) and the coordinator.
 
 namespace rhino::dataflow {
 
@@ -47,7 +61,9 @@ class Channel {
   void set_to_channel_idx(int idx) { to_channel_idx_ = idx; }
 
   /// Bytes currently in flight or queued at the receiver (diagnostics).
-  uint64_t in_flight_items() const { return in_flight_; }
+  uint64_t in_flight_items() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class OperatorInstance;
@@ -55,7 +71,7 @@ class Channel {
   OperatorInstance* from_;
   OperatorInstance* to_;
   int to_channel_idx_;
-  uint64_t in_flight_ = 0;
+  std::atomic<uint64_t> in_flight_{0};
 };
 
 /// How an output gate picks destination channels for data batches.
@@ -136,8 +152,10 @@ class OperatorInstance {
 
   const std::string& op_name() const { return op_name_; }
   int subtask() const { return subtask_; }
-  int node_id() const { return node_id_; }
-  void set_node_id(int node) { node_id_ = node; }
+  int node_id() const { return node_id_.load(std::memory_order_relaxed); }
+  void set_node_id(int node) {
+    node_id_.store(node, std::memory_order_relaxed);
+  }
   Engine* engine() { return engine_; }
 
   /// Registers an inbound channel; returns its index.
@@ -159,7 +177,7 @@ class OperatorInstance {
 
   /// Stops processing and drops queued input (fail-stop or restart).
   void Halt();
-  bool halted() const { return halted_; }
+  bool halted() const { return halted_.load(std::memory_order_acquire); }
   /// Resumes after a restart (queues start empty).
   void Resume();
 
@@ -181,8 +199,14 @@ class OperatorInstance {
 
   /// Diagnostics: true while this instance holds its front alignment
   /// (target waiting for state), and the number of queued alignments.
-  bool IsHoldingAlignment() const { return holding_; }
-  size_t PendingAlignments() const { return alignments_.size(); }
+  bool IsHoldingAlignment() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return holding_;
+  }
+  size_t PendingAlignments() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return alignments_.size();
+  }
   /// Diagnostics: describes the front alignment and the live channels it
   /// is still waiting on.
   std::string AlignmentDebugString() const;
@@ -215,6 +239,11 @@ class OperatorInstance {
 
   Engine* engine_;
 
+  /// Per-instance lock; recursive because protocol roles re-enter (e.g. a
+  /// handover target's ReleaseAlignment resumes processing, which may
+  /// complete the next alignment synchronously).
+  mutable std::recursive_mutex mu_;
+
  private:
   /// One in-flight aligned control event. Several may overlap (e.g.
   /// reconfigurations of different operators in a multi-query job); FIFO
@@ -237,7 +266,7 @@ class OperatorInstance {
 
   std::string op_name_;
   int subtask_;
-  int node_id_;
+  std::atomic<int> node_id_;
   ProcessingProfile profile_;
 
   std::vector<Channel*> inputs_;
@@ -253,7 +282,7 @@ class OperatorInstance {
   bool holding_ = false;
 
   bool busy_ = false;
-  bool halted_ = false;
+  std::atomic<bool> halted_{false};
   int poll_cursor_ = 0;
 };
 

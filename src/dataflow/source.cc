@@ -12,10 +12,16 @@ SourceInstance::SourceInstance(Engine* engine, std::string op_name, int subtask,
                                broker::Partition* partition)
     : OperatorInstance(engine, std::move(op_name), subtask, node_id, profile),
       partition_(partition) {
-  partition_->SetDataListener([this] { TryFetch(); });
+  partition_->SetDataListener([this] {
+    // Fires on the producer's thread (generator or replayed append); the
+    // instance lock serializes it against this source's own strand.
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    TryFetch();
+  });
 }
 
 void SourceInstance::Start() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   started_ = true;
   TryFetch();
 }
@@ -35,6 +41,7 @@ void SourceInstance::TryFetch() {
   engine_->cluster()->Transfer(
       partition_->home_node(), node_id(), batch.bytes,
       [this, epoch, batch = std::move(batch)]() mutable {
+        std::lock_guard<std::recursive_mutex> lock(mu_);
         fetch_in_flight_ = false;
         if (halted()) return;
         if (epoch != epoch_) {
@@ -51,6 +58,7 @@ void SourceInstance::TryFetch() {
 }
 
 void SourceInstance::InjectControl(const ControlEvent& ev) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (halted()) return;
   BeforeForwardControl(ev);
   ForwardControl(ev);

@@ -30,11 +30,15 @@ class SourceInstance : public OperatorInstance {
   /// current position (between batches).
   void InjectControl(const ControlEvent& ev);
 
-  uint64_t offset() const { return offset_; }
+  uint64_t offset() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return offset_;
+  }
   /// Rewinds (or advances) the consumer position; the next fetch reads
   /// from `offset`. Used for replay after a restart. Any fetch already in
   /// flight is invalidated (its result is discarded).
   void ResetOffset(uint64_t offset) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     offset_ = offset;
     ++epoch_;
   }

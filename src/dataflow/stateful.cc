@@ -70,7 +70,7 @@ void StatefulInstance::HandleBatch(int channel_idx, Batch& batch) {
 
   // End-to-end processing latency, sampled at the last (instrumented)
   // stateful operator as in the paper's methodology (§5.1.5).
-  SimTime latency = engine_->sim()->Now() - batch.create_time;
+  SimTime latency = engine_->executor()->Now() - batch.create_time;
   engine_->RecordLatency(op_name(), latency);
   batches_total_->Increment();
   records_total_->Increment(batch.count);
@@ -88,6 +88,7 @@ void StatefulInstance::HandleBatch(int channel_idx, Batch& batch) {
 
 StatefulInstance::WatermarkMap StatefulInstance::GetWatermarks(
     const std::vector<uint32_t>& vnodes) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   WatermarkMap out;
   for (uint32_t v : vnodes) {
     auto it = watermarks_.find(v);
@@ -97,6 +98,7 @@ StatefulInstance::WatermarkMap StatefulInstance::GetWatermarks(
 }
 
 void StatefulInstance::MergeWatermarks(const WatermarkMap& marks) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   for (const auto& [vnode, sources] : marks) {
     for (const auto& [source, next] : sources) {
       uint64_t& mine = watermarks_[vnode][source];
@@ -218,6 +220,7 @@ void StatefulInstance::MaybeAckHandover(uint64_t handover_id) {
 
 void StatefulInstance::CompleteHandoverAsOrigin(const HandoverSpec& spec,
                                                 const HandoverMove& move) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   HandoverProgress& progress = handover_progress_[spec.id];
   if (progress.pending_origin.erase(MoveIndex(spec, move)) == 0) {
     return;  // already completed or abandoned
@@ -235,6 +238,7 @@ void StatefulInstance::CompleteHandoverAsOrigin(const HandoverSpec& spec,
 
 void StatefulInstance::AbandonHandoverMoveAsOrigin(const HandoverSpec& spec,
                                                    const HandoverMove& move) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   HandoverProgress& progress = handover_progress_[spec.id];
   if (progress.pending_origin.erase(MoveIndex(spec, move)) == 0) return;
   // Keep the state: the target never ingested it; the failure-recovery
@@ -244,6 +248,7 @@ void StatefulInstance::AbandonHandoverMoveAsOrigin(const HandoverSpec& spec,
 
 void StatefulInstance::CompleteHandoverAsTarget(const HandoverSpec& spec,
                                                 const HandoverMove& move) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   size_t idx = MoveIndex(spec, move);
   HandoverProgress& progress = handover_progress_[spec.id];
   if (!progress.aligned) {
@@ -266,6 +271,7 @@ void StatefulInstance::CompleteHandoverAsTarget(const HandoverSpec& spec,
 }
 
 void StatefulInstance::NotifyPeerFailure() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (!halted()) {
     for (auto& [id, progress] : handover_progress_) {
       if (!progress.aligned || progress.acked) continue;
@@ -388,7 +394,7 @@ ModeledStatefulOperator::ModeledStatefulOperator(Engine* engine,
       config_(config) {}
 
 void ModeledStatefulOperator::ProcessData(int, Batch& batch) {
-  SimTime now = engine_->sim()->Now();
+  SimTime now = engine_->executor()->Now();
   for (const VnodeSlice& slice : batch.slices) {
     auto add = static_cast<uint64_t>(static_cast<double>(slice.bytes) *
                                      config_.state_bytes_per_input_byte);

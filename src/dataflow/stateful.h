@@ -41,6 +41,7 @@ class StatefulInstance : public OperatorInstance {
   /// Swaps in a fresh backend (restart-based recovery restores state by
   /// rebuilding the backend from a checkpoint).
   void ReplaceBackend(std::unique_ptr<state::StateBackend> backend) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     backend_ = std::move(backend);
   }
 
@@ -76,7 +77,10 @@ class StatefulInstance : public OperatorInstance {
   /// Replaces all watermarks (restart-based recovery rolls state *and*
   /// dedup positions back to the checkpoint; merging would wrongly keep
   /// post-checkpoint positions and drop the replay).
-  void ResetWatermarks(WatermarkMap marks) { watermarks_ = std::move(marks); }
+  void ResetWatermarks(WatermarkMap marks) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    watermarks_ = std::move(marks);
+  }
 
   // ---- handover completion callbacks (invoked by the HandoverDelegate) --
 

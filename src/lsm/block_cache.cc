@@ -18,6 +18,7 @@ void BlockCache::SetObservability(obs::Observability* o) {
 
 BlockCache::BlockHandle BlockCache::Lookup(uint64_t table_id,
                                            uint32_t block_idx) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(Key{table_id, block_idx});
   if (it == entries_.end()) {
     ++misses_;
@@ -34,6 +35,7 @@ void BlockCache::Insert(uint64_t table_id, uint32_t block_idx,
                         BlockHandle block) {
   uint64_t bytes = block->size();
   if (bytes > capacity_) return;  // would evict everything for one block
+  std::lock_guard<std::mutex> lock(mu_);
   Key key{table_id, block_idx};
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -63,6 +65,7 @@ void BlockCache::EvictUntil(uint64_t target_bytes) {
 }
 
 void BlockCache::EraseTable(uint64_t table_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->table_id != table_id) {
       ++it;
@@ -77,6 +80,7 @@ void BlockCache::EraseTable(uint64_t table_id) {
 }
 
 void BlockCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   entries_.clear();
   usage_ = 0;
@@ -84,6 +88,7 @@ void BlockCache::Clear() {
 }
 
 void BlockCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
   hits_ = misses_ = evictions_ = 0;
   peak_usage_ = usage_;
 }

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -19,8 +21,11 @@
 /// SSTableReader — a reader erases its blocks on close so a recycled id
 /// can never alias stale bytes.
 ///
-/// Single-threaded by design (the simulation is single-threaded); the LRU
-/// list + hash map cost is O(1) per lookup/insert.
+/// Thread-safe: the cache is shared by every DB in the process, and under
+/// the realtime executor those DBs are driven from different node strands.
+/// One internal mutex covers the LRU list, the map, and the stats — the
+/// O(1) critical sections are short enough that sharding has not been
+/// needed. Table ids come from an atomic counter.
 
 namespace rhino::lsm {
 
@@ -45,16 +50,36 @@ class BlockCache {
   void Clear();
 
   /// Allocates a process-unique id for a new reader.
-  uint64_t NewTableId() { return next_table_id_++; }
+  uint64_t NewTableId() {
+    return next_table_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   uint64_t capacity_bytes() const { return capacity_; }
-  uint64_t usage_bytes() const { return usage_; }
+  uint64_t usage_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return usage_;
+  }
   /// High-water mark of usage_bytes() since construction/ResetStats.
-  uint64_t peak_usage_bytes() const { return peak_usage_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
-  size_t num_blocks() const { return entries_.size(); }
+  uint64_t peak_usage_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_usage_;
+  }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
+  size_t num_blocks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
   void ResetStats();
 
@@ -85,15 +110,17 @@ class BlockCache {
     std::list<Key>::iterator lru_pos;
   };
 
+  /// Requires mu_ held.
   void EvictUntil(uint64_t target_bytes);
 
   uint64_t capacity_;
+  mutable std::mutex mu_;
   uint64_t usage_ = 0;
   uint64_t peak_usage_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
-  uint64_t next_table_id_ = 1;
+  std::atomic<uint64_t> next_table_id_{1};
   std::list<Key> lru_;  // front = MRU, back = LRU
   std::unordered_map<Key, Entry, KeyHash> entries_;
 

@@ -204,6 +204,7 @@ Result<std::unique_ptr<DB>> DB::OpenFromCheckpoint(
 // -------------------------------------------------------------- Mutation --
 
 Status DB::Put(std::string_view key, std::string_view value) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   puts_metric_->Increment();
   std::string payload;
   BinaryWriter w(&payload);
@@ -215,6 +216,7 @@ Status DB::Put(std::string_view key, std::string_view value) {
 }
 
 Status DB::Delete(std::string_view key) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   deletes_metric_->Increment();
   std::string payload;
   BinaryWriter w(&payload);
@@ -226,6 +228,7 @@ Status DB::Delete(std::string_view key) {
 }
 
 Status DB::Write(const WriteBatch& batch) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (batch.empty()) return Status::OK();
   puts_metric_->Increment(batch.num_puts());
   deletes_metric_->Increment(batch.num_deletes());
@@ -312,6 +315,7 @@ Status DB::RecoverWal() {
 }
 
 Status DB::Flush() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (memtable_->Empty()) return Status::OK();
   RHINO_RETURN_NOT_OK(WriteLevel0Table());
   memtable_ = std::make_unique<MemTable>();
@@ -372,6 +376,7 @@ Status DB::WriteLevel0Table() {
 // ---------------------------------------------------------------- Lookup --
 
 Status DB::Get(std::string_view key, std::string* value) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   gets_metric_->Increment();
   Entry entry;
   if (memtable_->Get(key, &entry)) {
@@ -454,6 +459,7 @@ const std::string& DB::Iterator::value() const { return rep_->current.value; }
 
 Result<DB::Iterator> DB::NewIterator(std::string_view begin,
                                      std::string_view end) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Iterator it;
   it.rep_ = std::make_unique<Iterator::Rep>();
   it.rep_->end.assign(end);
@@ -542,6 +548,7 @@ Status DB::CompactLevel(int level) {
 }
 
 Status DB::CompactRange() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   RHINO_RETURN_NOT_OK(Flush());
   // Repeatedly push every populated level into the next one.
   for (int l = 0; l < versions_.num_levels() - 1; ++l) {
@@ -632,6 +639,7 @@ Status DB::DoCompaction(const std::vector<std::pair<int, FileMetaData>>& inputs,
 // ----------------------------------------------------------- Checkpoints --
 
 Result<CheckpointInfo> DB::CreateCheckpoint(const std::string& dir) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   RHINO_RETURN_NOT_OK(Flush());
   RHINO_RETURN_NOT_OK(env_->CreateDir(dir));
   CheckpointInfo info;
@@ -660,6 +668,7 @@ Result<CheckpointInfo> DB::CreateCheckpoint(const std::string& dir) {
 // --------------------------------------------------------------- Support --
 
 uint64_t DB::ApproximateSize() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   return memtable_->ApproximateBytes() + versions_.TotalBytes();
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -91,7 +92,12 @@ struct CheckpointInfo {
   uint64_t total_bytes = 0;
 };
 
-/// Single-writer embedded LSM store.
+/// Embedded LSM store. Logically single-writer, but safe to call from
+/// multiple threads: one store-wide recursive mutex serializes every
+/// public entry point (reads included — point gets consult the memtable
+/// and the open-table LRU, both of which writers mutate). A returned
+/// Iterator snapshots its sources at creation and can then be consumed
+/// without the DB lock; the shared BlockCache below it has its own lock.
 class DB {
  public:
   /// Opens (creating or recovering) a DB at `path`.
@@ -131,13 +137,20 @@ class DB {
 
   /// Bytes across memtable + all table files.
   uint64_t ApproximateSize() const;
-  uint64_t NumTableFiles() const { return static_cast<uint64_t>(versions_.NumFiles()); }
+  uint64_t NumTableFiles() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return static_cast<uint64_t>(versions_.NumFiles());
+  }
   int NumLevelFiles(int level) const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     return static_cast<int>(versions_.level(level).size());
   }
   /// Open SSTable handles currently held by the table LRU (bounded by
   /// Options::max_open_tables).
-  size_t OpenTableCount() const { return table_cache_.size(); }
+  size_t OpenTableCount() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return table_cache_.size();
+  }
   const std::string& path() const { return path_; }
 
   /// Streaming merging iterator over a snapshot of the live view
@@ -170,22 +183,24 @@ class DB {
                                std::string_view end = "");
 
   /// Number of flushes and compactions performed (for tests/benchmarks).
-  uint64_t flush_count() const { return flush_count_; }
-  uint64_t compaction_count() const { return compaction_count_; }
+  uint64_t flush_count() const { return Stat(flush_count_); }
+  uint64_t compaction_count() const { return Stat(compaction_count_); }
   /// Entries recovered from the WAL at the last Open (diagnostics).
-  uint64_t wal_entries_recovered() const { return wal_recovered_; }
+  uint64_t wal_entries_recovered() const { return Stat(wal_recovered_); }
   /// WAL write-path diagnostics for this DB: framed appends (== commits),
   /// entries covered by them, and physical bytes written. One batched
   /// commit of N entries costs 1 append; N singleton commits cost N.
-  uint64_t wal_appends() const { return wal_appends_; }
-  uint64_t wal_records() const { return wal_records_; }
-  uint64_t wal_bytes_written() const { return wal_bytes_; }
+  uint64_t wal_appends() const { return Stat(wal_appends_); }
+  uint64_t wal_records() const { return Stat(wal_records_); }
+  uint64_t wal_bytes_written() const { return Stat(wal_bytes_); }
   /// High-water mark of bytes buffered by any table build (flush or
   /// compaction output) — the streaming write path keeps this at ~one
   /// block + tail regardless of table size.
-  uint64_t write_peak_buffer_bytes() const { return write_peak_buffer_bytes_; }
+  uint64_t write_peak_buffer_bytes() const {
+    return Stat(write_peak_buffer_bytes_);
+  }
   /// MANIFEST snapshot rewrites (at open and on edit-log rotation).
-  uint64_t manifest_rotations() const { return manifest_rotations_; }
+  uint64_t manifest_rotations() const { return Stat(manifest_rotations_); }
 
   /// The shared data-block cache this DB reads through.
   BlockCache* block_cache() const { return block_cache_.get(); }
@@ -194,6 +209,7 @@ class DB {
   /// handles (defaults to the process-wide one; counters are store-wide,
   /// not per-DB — one simulation opens hundreds of DBs).
   void SetObservability(obs::Observability* o) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     BindMetrics(o);
     block_cache_->SetObservability(o);
   }
@@ -210,6 +226,11 @@ class DB {
   }
 
   void BindMetrics(obs::Observability* o);
+
+  uint64_t Stat(const uint64_t& field) const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return field;
+  }
 
   std::string FilePath(const std::string& name) const { return path_ + "/" + name; }
 
@@ -257,6 +278,11 @@ class DB {
   Env* env_;
   std::string path_;
   Options options_;
+  /// Store-wide lock taken at every public entry point. Recursive because
+  /// the write path re-enters public methods internally (a commit whose
+  /// memtable fills calls Flush; CompactRange and CreateCheckpoint call
+  /// Flush too). Private helpers assume it is held.
+  mutable std::recursive_mutex mu_;
   std::shared_ptr<BlockCache> block_cache_;
   std::unique_ptr<MemTable> memtable_ = std::make_unique<MemTable>();
   VersionSet versions_;

@@ -156,11 +156,13 @@ class PosixWritableFile : public WritableFile {
 // ---------------------------------------------------------------- MemEnv --
 
 Status MemEnv::WriteFile(const std::string& path, std::string_view data) {
+  std::lock_guard<std::mutex> lock(mu_);
   files_[path] = std::make_shared<std::string>(data);
   return Status::OK();
 }
 
 Status MemEnv::AppendFile(const std::string& path, std::string_view data) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) {
     it = files_.emplace(path, std::make_shared<std::string>()).first;
@@ -170,6 +172,7 @@ Status MemEnv::AppendFile(const std::string& path, std::string_view data) {
 }
 
 Status MemEnv::ReadFile(const std::string& path, std::string* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   *out = *it->second;
@@ -178,6 +181,7 @@ Status MemEnv::ReadFile(const std::string& path, std::string* out) {
 
 Status MemEnv::ReadFileRange(const std::string& path, uint64_t offset,
                              size_t n, std::string* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   RangeFrom(*it->second, offset, n, out);
@@ -186,6 +190,7 @@ Status MemEnv::ReadFileRange(const std::string& path, uint64_t offset,
 
 Result<std::unique_ptr<RandomAccessFile>> MemEnv::NewRandomAccessFile(
     const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   return std::unique_ptr<RandomAccessFile>(
@@ -194,6 +199,7 @@ Result<std::unique_ptr<RandomAccessFile>> MemEnv::NewRandomAccessFile(
 
 Result<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
     const std::string& path, bool append) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end() || !append) {
     // Truncation creates fresh content (a new inode): hard links and open
@@ -205,21 +211,25 @@ Result<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
 }
 
 Result<uint64_t> MemEnv::GetFileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
   return static_cast<uint64_t>(it->second->size());
 }
 
 bool MemEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   return files_.count(path) > 0;
 }
 
 Status MemEnv::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (files_.erase(path) == 0) return Status::NotFound(path);
   return Status::OK();
 }
 
 Status MemEnv::CreateDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   // Record the directory and all ancestors; files don't strictly need
   // them, but ListDir consults the set to distinguish "empty dir" from
   // "missing dir".
@@ -235,6 +245,7 @@ Status MemEnv::CreateDir(const std::string& path) {
 }
 
 Status MemEnv::LinkFile(const std::string& src, const std::string& dst) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(src);
   if (it == files_.end()) return Status::NotFound(src);
   if (files_.count(dst)) return Status::AlreadyExists(dst);
@@ -243,6 +254,7 @@ Status MemEnv::LinkFile(const std::string& src, const std::string& dst) {
 }
 
 Status MemEnv::RenameFile(const std::string& src, const std::string& dst) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(src);
   if (it == files_.end()) return Status::NotFound(src);
   files_[dst] = it->second;
@@ -251,6 +263,7 @@ Status MemEnv::RenameFile(const std::string& src, const std::string& dst) {
 }
 
 Result<std::vector<std::string>> MemEnv::ListDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!dirs_.count(dir)) {
     // A directory also "exists" if any file lives directly under it.
     bool found = false;
@@ -275,6 +288,7 @@ Result<std::vector<std::string>> MemEnv::ListDir(const std::string& dir) {
 }
 
 uint64_t MemEnv::UniqueContentBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::unordered_set<const std::string*> seen;
   uint64_t total = 0;
   for (const auto& [_, content] : files_) {

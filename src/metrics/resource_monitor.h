@@ -5,8 +5,8 @@
 #include <vector>
 
 #include "common/units.h"
+#include "runtime/executor.h"
 #include "sim/cluster.h"
-#include "sim/simulation.h"
 
 /// \file resource_monitor.h
 /// Periodic sampling of cluster resource utilization (Figure 5): CPU,
@@ -29,9 +29,9 @@ struct ResourceSample {
 /// Samples utilization deltas every `interval` of simulated time.
 class ResourceMonitor {
  public:
-  ResourceMonitor(sim::Simulation* sim, sim::Cluster* cluster,
+  ResourceMonitor(runtime::Executor* executor, sim::Cluster* cluster,
                   std::vector<int> nodes, SimTime interval = kSecond)
-      : sim_(sim), cluster_(cluster), nodes_(std::move(nodes)),
+      : executor_(executor), cluster_(cluster), nodes_(std::move(nodes)),
         interval_(interval) {}
 
   /// Extra memory to report (e.g. modeled operator state), queried at each
@@ -76,12 +76,12 @@ class ResourceMonitor {
 
   void Tick() {
     if (!running_) return;
-    sim_->Schedule(interval_, [this] {
+    executor_->Schedule(interval_, [this] {
       if (!running_) return;
       Counters now;
       Snapshot(&now);
       ResourceSample sample;
-      sample.time = sim_->Now();
+      sample.time = executor_->Now();
       double n = static_cast<double>(nodes_.size());
       double interval = static_cast<double>(interval_);
       int cores = cluster_->node(nodes_[0]).spec().cores;
@@ -104,7 +104,7 @@ class ResourceMonitor {
     });
   }
 
-  sim::Simulation* sim_;
+  runtime::Executor* executor_;
   sim::Cluster* cluster_;
   std::vector<int> nodes_;
   SimTime interval_;

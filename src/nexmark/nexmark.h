@@ -7,7 +7,7 @@
 #include "broker/broker.h"
 #include "common/random.h"
 #include "dataflow/graph.h"
-#include "sim/simulation.h"
+#include "runtime/executor.h"
 
 /// \file nexmark.h
 /// NEXMark workload (paper §5.1.2): the event model, a rate-controlled
@@ -46,9 +46,12 @@ struct GeneratorOptions {
 /// Drives a broker topic with modeled (or real) NEXMark traffic.
 class NexmarkGenerator {
  public:
-  NexmarkGenerator(sim::Simulation* sim, broker::Topic* topic,
+  NexmarkGenerator(runtime::Executor* executor, broker::Topic* topic,
                    GeneratorOptions options, uint64_t seed = 42)
-      : sim_(sim), topic_(topic), options_(std::move(options)), rng_(seed) {}
+      : executor_(executor),
+        topic_(topic),
+        options_(std::move(options)),
+        rng_(seed) {}
 
   void Start();
   void Stop() { running_ = false; }
@@ -59,7 +62,7 @@ class NexmarkGenerator {
  private:
   void Tick();
 
-  sim::Simulation* sim_;
+  runtime::Executor* executor_;
   broker::Topic* topic_;
   GeneratorOptions options_;
   Random rng_;

@@ -20,9 +20,13 @@ template <typename T>
 T* MetricsRegistry::GetOrCreate(std::map<std::string, Instrument<T>>* family,
                                 const std::string& name, const Labels& labels) {
   std::string key = KeyOf(name, labels);
-  auto it = family->find(key);
-  if (it == family->end()) {
-    it = family->emplace(std::move(key), Instrument<T>{name, labels, T()}).first;
+  std::lock_guard<std::mutex> lock(mu_);
+  // try_emplace default-constructs in place: instruments hold atomics and
+  // mutexes, which cannot be copied into the map.
+  auto [it, inserted] = family->try_emplace(std::move(key));
+  if (inserted) {
+    it->second.name = name;
+    it->second.labels = labels;
   }
   return &it->second.metric;
 }

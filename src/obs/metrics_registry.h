@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "common/histogram.h"
@@ -13,9 +15,11 @@
 /// Protocol code registers an instrument **once** (paying a name lookup
 /// and a possible allocation) and keeps the returned pointer; the hot-path
 /// update through that pointer is a plain arithmetic store — no lookup, no
-/// allocation, no branch on a registry lock. The simulation is single-
-/// threaded, so "lock-cheap" degenerates to "lock-free"; the handle
-/// discipline is what keeps instrumentation off the hot path.
+/// allocation, no branch on a registry lock. Counters and gauges are
+/// relaxed atomics so node threads under `RealtimeExecutor` update them
+/// without coordination; histograms take a short internal lock (they
+/// allocate). Registration itself is serialized by a registry mutex; the
+/// handle discipline is what keeps instrumentation off the hot path.
 ///
 /// Naming convention (see DESIGN.md "Observability"):
 ///   rhino_<subsystem>_<quantity>_<unit|total>
@@ -26,36 +30,51 @@ namespace rhino::obs {
 /// Sorted label set; part of an instrument's identity.
 using Labels = std::map<std::string, std::string>;
 
-/// Monotonically increasing counter.
+/// Monotonically increasing counter (relaxed atomic: totals are exact,
+/// cross-counter ordering is not promised under real threads).
 class Counter {
  public:
-  void Increment(uint64_t delta = 1) { value_ += delta; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 /// Last-write-wins point-in-time value.
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  void Add(double delta) { value_ += delta; }
-  double value() const { return value_; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 /// Sample distribution with percentile queries (wraps rhino::Histogram).
+/// Observations lock internally; `histogram()` hands out the unlocked
+/// sample set and must only be read when writers are quiescent (after the
+/// executor drained) — which is when exporters and tests run.
 class HistogramMetric {
  public:
-  void Observe(int64_t v) { hist_.Add(v); }
+  void Observe(int64_t v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Add(v);
+  }
   const Histogram& histogram() const { return hist_; }
-  void Reset() { hist_.Clear(); }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Clear();
+  }
 
  private:
+  mutable std::mutex mu_;
   Histogram hist_;
 };
 
@@ -78,6 +97,7 @@ class MetricsRegistry {
   };
 
   /// Instruments in registration-key order (name, then serialized labels).
+  /// Enumeration is unlocked: export/assert after the executor drained.
   const std::map<std::string, Instrument<Counter>>& counters() const {
     return counters_;
   }
@@ -100,6 +120,7 @@ class MetricsRegistry {
   T* GetOrCreate(std::map<std::string, Instrument<T>>* family,
                  const std::string& name, const Labels& labels);
 
+  mutable std::mutex mu_;
   std::map<std::string, Instrument<Counter>> counters_;
   std::map<std::string, Instrument<Gauge>> gauges_;
   std::map<std::string, Instrument<HistogramMetric>> histograms_;

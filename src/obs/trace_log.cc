@@ -4,7 +4,7 @@ namespace rhino::obs {
 
 void TraceLog::Emit(std::string category, std::string name, std::string scope,
                     uint64_t id, std::map<std::string, int64_t> args) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent ev;
   ev.time_us = Now();
   ev.category = std::move(category);
@@ -12,13 +12,14 @@ void TraceLog::Emit(std::string category, std::string name, std::string scope,
   ev.scope = std::move(scope);
   ev.id = id;
   ev.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(ev));
 }
 
 uint64_t TraceLog::BeginSpan(std::string category, std::string name,
                              std::string scope, uint64_t id,
                              std::map<std::string, int64_t> args) {
-  if (!enabled_) return 0;
+  if (!enabled()) return 0;
   TraceEvent ev;
   ev.time_us = Now();
   ev.duration_us = TraceEvent::kOpenSpan;
@@ -27,6 +28,7 @@ uint64_t TraceLog::BeginSpan(std::string category, std::string name,
   ev.scope = std::move(scope);
   ev.id = id;
   ev.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(ev));
   uint64_t handle = next_span_++;
   open_spans_[handle] = events_.size() - 1;
@@ -35,6 +37,7 @@ uint64_t TraceLog::BeginSpan(std::string category, std::string name,
 
 void TraceLog::EndSpan(uint64_t span, std::map<std::string, int64_t> extra_args) {
   if (span == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = open_spans_.find(span);
   if (it == open_spans_.end()) return;
   TraceEvent& ev = events_[it->second];
@@ -46,7 +49,7 @@ void TraceLog::EndSpan(uint64_t span, std::map<std::string, int64_t> extra_args)
 void TraceLog::EmitSpan(std::string category, std::string name,
                         std::string scope, SimTime start_us, SimTime end_us,
                         uint64_t id, std::map<std::string, int64_t> args) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent ev;
   ev.time_us = start_us;
   ev.duration_us = end_us - start_us;
@@ -55,10 +58,12 @@ void TraceLog::EmitSpan(std::string category, std::string name,
   ev.scope = std::move(scope);
   ev.id = id;
   ev.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(ev));
 }
 
 void TraceLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   open_spans_.clear();
 }

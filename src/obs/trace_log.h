@@ -1,9 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,13 @@
 /// ("no record delivered inside a buffering hold") instead of only end
 /// state; exporters turn it into Chrome `trace_event` JSON for visual
 /// timeline debugging (see exporters.h).
+///
+/// Thread safety: recording (Emit/BeginSpan/EndSpan/EmitSpan) serializes
+/// on an internal mutex so node threads under `RealtimeExecutor` can
+/// trace concurrently; the enabled flags are lock-free so a disabled log
+/// costs one relaxed load. Queries (`events`, `Select`, `Spans`) read
+/// without the lock and are only valid once writers are quiescent (after
+/// the executor drained) — which is when tests and exporters run.
 
 namespace rhino::obs {
 
@@ -52,13 +61,19 @@ class TraceLog {
 
   /// Runtime toggle: when disabled, Emit/BeginSpan/EndSpan are no-ops
   /// (one branch on the hot path, no allocation).
-  void set_enabled(bool on) { enabled_ = on; }
-  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Opt-in firehose: per-batch data events (used by protocol-shape tests;
   /// too hot for TB-scale benches). Off by default.
-  void set_data_events(bool on) { data_events_ = on; }
-  bool data_events() const { return enabled_ && data_events_; }
+  void set_data_events(bool on) {
+    data_events_.store(on, std::memory_order_relaxed);
+  }
+  bool data_events() const {
+    return enabled() && data_events_.load(std::memory_order_relaxed);
+  }
 
   /// Records an instant event.
   void Emit(std::string category, std::string name, std::string scope,
@@ -100,9 +115,10 @@ class TraceLog {
  private:
   SimTime Now() const { return clock_ ? clock_() : 0; }
 
-  bool enabled_ = true;
-  bool data_events_ = false;
+  std::atomic<bool> enabled_{true};
+  std::atomic<bool> data_events_{false};
   std::function<SimTime()> clock_;
+  mutable std::mutex mu_;
   std::deque<TraceEvent> events_;
   uint64_t next_span_ = 1;
   std::map<uint64_t, size_t> open_spans_;  ///< handle -> index into events_

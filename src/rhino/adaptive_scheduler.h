@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 
 #include "dataflow/engine.h"
 
@@ -41,19 +42,22 @@ class AdaptiveCheckpointScheduler {
   /// Starts the loop. Replaces any fixed periodic checkpointing — do not
   /// also call Engine::StartPeriodicCheckpoints.
   void Start() {
-    running_ = true;
+    running_.store(true, std::memory_order_release);
     Tick();
   }
-  void Stop() { running_ = false; }
+  void Stop() { running_.store(false, std::memory_order_release); }
 
   SimTime current_interval() const { return interval_; }
   uint64_t last_delta_bytes() const { return last_delta_; }
 
  private:
+  // Tick and the completion observer always run on the executor's default
+  // strand, so interval_/last_delta_ need no lock; running_ is atomic for
+  // the cross-thread Stop().
   void Tick() {
-    if (!running_) return;
-    engine_->sim()->Schedule(interval_, [this] {
-      if (!running_) return;
+    if (!running_.load(std::memory_order_acquire)) return;
+    engine_->executor()->Schedule(interval_, [this] {
+      if (!running_.load(std::memory_order_acquire)) return;
       if (!engine_->checkpoint_in_flight()) {
         uint64_t id = engine_->TriggerCheckpoint();
         ObserveWhenComplete(id);
@@ -65,7 +69,7 @@ class AdaptiveCheckpointScheduler {
   void ObserveWhenComplete(uint64_t id) {
     // Poll cheaply on the simulated clock; the checkpoint completes within
     // a few seconds of simulated time.
-    engine_->sim()->Schedule(kSecond, [this, id] {
+    engine_->executor()->Schedule(kSecond, [this, id] {
       const dataflow::CheckpointRecord* record = engine_->FindCheckpoint(id);
       if (record == nullptr || record->aborted) return;
       if (!record->completed) {
@@ -91,7 +95,7 @@ class AdaptiveCheckpointScheduler {
   AdaptiveSchedulerOptions options_;
   SimTime interval_;
   uint64_t last_delta_ = 0;
-  bool running_ = false;
+  std::atomic<bool> running_{false};
 };
 
 }  // namespace rhino::rhino

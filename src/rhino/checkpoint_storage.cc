@@ -44,7 +44,11 @@ void RhinoCheckpointStorage::Persist(dataflow::OperatorInstance* instance,
   };
   // The delta is spooled to the local disk (the primary copy)...
   sim::Node& node = cluster_->node(node_id);
-  int disk = disk_cursor_[node_id]++ % node.num_disks();
+  int disk;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    disk = disk_cursor_[node_id]++ % node.num_disks();
+  }
   node.disk(disk).Write(
       desc.DeltaBytes(),
       [this, op, subtask, node_id, desc, blobs = std::move(blobs),
@@ -67,12 +71,16 @@ void DfsCheckpointStorage::Persist(dataflow::OperatorInstance* instance,
                         static_cast<uint32_t>(instance->subtask()));
   std::string path =
       "/checkpoints/" + key + "/delta-" + std::to_string(desc.checkpoint_id);
-  paths_[key].push_back(path);
-  ReplicaState& rep = latest_[key];
-  rep.latest_checkpoint_id = desc.checkpoint_id;
-  rep.latest_descriptor = desc;
-  for (auto& [vnode, blob] : CaptureVnodeBlobs(stateful)) {
-    rep.vnode_blobs[vnode] = std::move(blob);
+  auto blobs = CaptureVnodeBlobs(stateful);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paths_[key].push_back(path);
+    ReplicaState& rep = latest_[key];
+    rep.latest_checkpoint_id = desc.checkpoint_id;
+    rep.latest_descriptor = desc;
+    for (auto& [vnode, blob] : blobs) {
+      rep.vnode_blobs[vnode] = std::move(blob);
+    }
   }
   obs::Observability* o = instance->engine()->obs();
   o->metrics()
@@ -90,6 +98,7 @@ void DfsCheckpointStorage::Persist(dataflow::OperatorInstance* instance,
 
 std::vector<std::string> DfsCheckpointStorage::PathsFor(const std::string& op,
                                                         uint32_t subtask) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = paths_.find(Key(op, subtask));
   if (it == paths_.end()) return {};
   return it->second;
@@ -97,6 +106,7 @@ std::vector<std::string> DfsCheckpointStorage::PathsFor(const std::string& op,
 
 const ReplicaState* DfsCheckpointStorage::LatestFor(const std::string& op,
                                                     uint32_t subtask) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = latest_.find(Key(op, subtask));
   return it == latest_.end() ? nullptr : &it->second;
 }
@@ -108,8 +118,9 @@ void DfsCheckpointStorage::SeedCheckpoint(
   std::string key = Key(op, subtask);
   std::string path =
       "/checkpoints/" + key + "/delta-" + std::to_string(desc.checkpoint_id);
-  paths_[key].push_back(path);
   dfs_->RegisterFile(path, desc.TotalBytes(), home_node);
+  std::lock_guard<std::mutex> lock(mu_);
+  paths_[key].push_back(path);
   ReplicaState& rep = latest_[key];
   rep.latest_checkpoint_id = desc.checkpoint_id;
   rep.latest_descriptor = desc;

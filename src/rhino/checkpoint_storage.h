@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,7 @@ class RhinoCheckpointStorage : public dataflow::CheckpointStorage {
  private:
   sim::Cluster* cluster_;
   ReplicationRuntime* runtime_;
+  std::mutex mu_;  ///< guards disk_cursor_ (Persist runs on node strands)
   std::map<int, int> disk_cursor_;
 };
 
@@ -71,6 +73,10 @@ class DfsCheckpointStorage : public dataflow::CheckpointStorage {
 
   sim::Cluster* cluster_;
   dfs::DistributedFileSystem* dfs_;
+  /// Guards the catalog below. `LatestFor` hands out stable map-node
+  /// pointers; a later checkpoint of the same instance overwrites the
+  /// entry's fields, so callers copy promptly.
+  mutable std::mutex mu_;
   std::map<std::string, std::vector<std::string>> paths_;
   std::map<std::string, ReplicaState> latest_;
 };

@@ -20,10 +20,11 @@ uint64_t HandoverManager::TriggerReconfiguration(
   spec->id = NextHandoverId();
   spec->operator_name = op;
   spec->moves = std::move(moves);
-  HandoverStats& stats = stats_[spec->id];
-  stats.handover_id = spec->id;
-  stats.triggered_at = engine_->sim()->Now();
-  stats.moves = static_cast<int>(spec->moves.size());
+  UpdateStats(spec->id, [&](HandoverStats& stats) {
+    stats.handover_id = spec->id;
+    stats.triggered_at = engine_->executor()->Now();
+    stats.moves = static_cast<int>(spec->moves.size());
+  });
   engine_->StartHandover(spec);
   return spec->id;
 }
@@ -89,7 +90,7 @@ std::vector<uint64_t> HandoverManager::RecoverFailedNode(int node) {
     for (uint32_t v = 0; v < owner.size(); ++v) {
       owner[v] = table->InstanceForVnode(v);
     }
-    for (const auto& record : engine_->handovers()) {
+    for (const auto& record : engine_->SnapshotHandovers()) {
       if (record.completed || record.spec->operator_name != op) continue;
       for (const HandoverMove& mv : record.spec->moves) {
         for (uint32_t v : mv.vnodes) owner[v] = mv.target_instance;
@@ -158,10 +159,11 @@ std::vector<uint64_t> HandoverManager::RecoverFailedNode(int node) {
     spec->operator_name = op;
     spec->moves = std::move(moves);
     spec->origin_failed = true;
-    HandoverStats& stats = stats_[spec->id];
-    stats.handover_id = spec->id;
-    stats.triggered_at = engine_->sim()->Now();
-    stats.moves = static_cast<int>(spec->moves.size());
+    UpdateStats(spec->id, [&](HandoverStats& stats) {
+      stats.handover_id = spec->id;
+      stats.triggered_at = engine_->executor()->Now();
+      stats.moves = static_cast<int>(spec->moves.size());
+    });
     engine_->StartHandover(spec);
     handovers.push_back(spec->id);
   }
@@ -205,8 +207,7 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
                                     StatefulInstance* origin,
                                     StatefulInstance* target,
                                     std::function<void()> done) {
-  HandoverStats& stats = stats_[spec.id];
-  SimTime start = engine_->sim()->Now();
+  SimTime start = engine_->executor()->Now();
   HandoverSpec spec_copy = spec;
   HandoverMove move_copy = move;
 
@@ -227,7 +228,7 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
   // the move (the origin keeps its state, the recovery handover re-homes
   // the vnodes later).
   auto abandon = [this, spec_copy, move_copy, origin, done]() {
-    ++abandoned_moves_;
+    abandoned_moves_.fetch_add(1, std::memory_order_relaxed);
     engine_->obs()
         ->metrics()
         .GetCounter("rhino_handover_abandoned_moves_total")
@@ -249,7 +250,7 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
   if (origin != nullptr) {
     // ---- live migration: incremental checkpoint + tail transfer --------
     if (target == nullptr || target->halted()) {
-      engine_->sim()->Schedule(0, abandon);
+      engine_->executor()->Schedule(0, abandon);
       return;
     }
     uint64_t moved_bytes = 0;
@@ -280,9 +281,11 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
     RHINO_CHECK(blob.ok()) << blob.status().ToString();
     auto marks = origin->GetWatermarks(move.vnodes);
 
-    stats.bytes_transferred +=
-        origin->node_id() == target->node_id() ? 0 : wire_bytes;
-    stats.local_fetch = target_has_replica;
+    UpdateStats(spec.id, [&](HandoverStats& stats) {
+      stats.bytes_transferred +=
+          origin->node_id() == target->node_id() ? 0 : wire_bytes;
+      stats.local_fetch = target_has_replica;
+    });
     if (origin->node_id() != target->node_id()) {
       engine_->obs()
           ->metrics()
@@ -293,15 +296,16 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
     auto ingest = [this, spec_copy, move_copy, origin, target, done, abandon,
                    start, target_has_replica,
                    blob = std::move(blob).MoveValue(), marks]() {
-      HandoverStats& s = stats_[spec_copy.id];
-      s.state_fetch_us =
-          std::max(s.state_fetch_us, engine_->sim()->Now() - start);
+      SimTime fetch = engine_->executor()->Now() - start;
+      UpdateStats(spec_copy.id, [&](HandoverStats& s) {
+        s.state_fetch_us = std::max(s.state_fetch_us, fetch);
+      });
       engine_->obs()
           ->metrics()
           .GetHistogram("rhino_handover_state_fetch_us")
-          ->Observe(engine_->sim()->Now() - start);
+          ->Observe(fetch);
       SimTime load = options_.load_per_file_us * 8;
-      engine_->sim()->Schedule(load, [this, spec_copy, move_copy, origin,
+      engine_->executor()->Schedule(load, [this, spec_copy, move_copy, origin,
                                       target, done, abandon,
                                       target_has_replica, blob, marks, load] {
         if (target->halted()) {
@@ -317,8 +321,9 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
           done();
           return;
         }
-        HandoverStats& s2 = stats_[spec_copy.id];
-        s2.state_load_us = std::max(s2.state_load_us, load);
+        UpdateStats(spec_copy.id, [&](HandoverStats& s2) {
+          s2.state_load_us = std::max(s2.state_load_us, load);
+        });
         engine_->obs()
             ->metrics()
             .GetHistogram("rhino_handover_state_load_us")
@@ -334,7 +339,7 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
     int origin_node = origin->node_id();
     int target_node = target->node_id();
     if (origin_node == target_node) {
-      engine_->sim()->Schedule(0, std::move(ingest));
+      engine_->executor()->Schedule(0, std::move(ingest));
     } else {
       // Write the tail locally (part of the checkpoint), then ship it and
       // spool it at the target.
@@ -353,7 +358,7 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
   if (target->halted()) {
     // Cascading failure: the chosen substitute died too. The next
     // RecoverFailedNode re-plans these vnodes.
-    engine_->sim()->Schedule(0, abandon);
+    engine_->executor()->Schedule(0, abandon);
     return;
   }
   const std::string& op = spec.operator_name;
@@ -439,7 +444,7 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
     plan->missing = to_restore.size();
   }
   if (plan->missing > 0) {
-    ++degraded_restores_;
+    degraded_restores_.fetch_add(1, std::memory_order_relaxed);
     engine_->obs()
         ->metrics()
         .GetCounter("rhino_handover_degraded_restores_total")
@@ -455,18 +460,21 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
   }
 
   auto restore = [this, spec_copy, move_copy, target, done, plan, start] {
-    HandoverStats& s = stats_[spec_copy.id];
-    s.state_fetch_us = std::max(s.state_fetch_us, engine_->sim()->Now() - start);
+    SimTime fetch = engine_->executor()->Now() - start;
+    UpdateStats(spec_copy.id, [&](HandoverStats& s) {
+      s.state_fetch_us = std::max(s.state_fetch_us, fetch);
+    });
     engine_->obs()
         ->metrics()
         .GetHistogram("rhino_handover_state_fetch_us")
-        ->Observe(engine_->sim()->Now() - start);
+        ->Observe(fetch);
     SimTime load = options_.load_fixed_us +
                    options_.load_per_file_us * static_cast<SimTime>(plan->files);
-    engine_->sim()->Schedule(load, [this, spec_copy, move_copy, target, done,
+    engine_->executor()->Schedule(load, [this, spec_copy, move_copy, target, done,
                                     plan, load] {
-      HandoverStats& s2 = stats_[spec_copy.id];
-      s2.state_load_us = std::max(s2.state_load_us, load);
+      UpdateStats(spec_copy.id, [&](HandoverStats& s2) {
+        s2.state_load_us = std::max(s2.state_load_us, load);
+      });
       engine_->obs()
           ->metrics()
           .GetHistogram("rhino_handover_state_load_us")
@@ -485,7 +493,9 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
       for (uint32_t v : move_copy.vnodes) {
         restored += target->backend()->VnodeBytes(v);
       }
-      s2.bytes_transferred += restored;
+      UpdateStats(spec_copy.id, [&](HandoverStats& s2) {
+        s2.bytes_transferred += restored;
+      });
       target->CompleteHandoverAsTarget(spec_copy, move_copy);
       done();
     });
@@ -495,13 +505,16 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
     if (plan->remote_bytes == 0) {
       // Secondary copy on this worker's own disks: fetching is
       // hard-linking checkpoint files (paper: ~0.2 s, size-independent).
-      stats.local_fetch = true;
-      engine_->sim()->Schedule(options_.local_fetch_us, restore);
+      UpdateStats(spec.id,
+                  [](HandoverStats& stats) { stats.local_fetch = true; });
+      engine_->executor()->Schedule(options_.local_fetch_us, restore);
     } else {
       // Replica lives elsewhere: one bulk hop to the target's disks, then
       // the usual local fetch + load.
-      stats.local_fetch = false;
-      stats.bytes_transferred += plan->remote_bytes;
+      UpdateStats(spec.id, [&](HandoverStats& stats) {
+        stats.local_fetch = false;
+        stats.bytes_transferred += plan->remote_bytes;
+      });
       engine_->obs()
           ->metrics()
           .GetCounter("rhino_handover_bytes_total")
@@ -512,7 +525,7 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
           plan->remote_source, target->node_id(), wire,
           [this, &tgt, wire, restore]() {
             tgt.disk(0).Write(wire, [this, restore]() {
-              engine_->sim()->Schedule(options_.local_fetch_us, restore);
+              engine_->executor()->Schedule(options_.local_fetch_us, restore);
             });
           });
     }
@@ -520,16 +533,18 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
     // RhinoDFS: the protocol is the same but the state comes through the
     // block-centric DFS — remote blocks cross the network (Figure 3).
     RHINO_CHECK(options_.dfs != nullptr);
-    stats.local_fetch = false;
+    UpdateStats(spec.id,
+                [](HandoverStats& stats) { stats.local_fetch = false; });
     std::vector<std::string> paths;
     if (options_.dfs_paths) {
       paths = options_.dfs_paths(op, move.origin_instance);
     }
     if (paths.empty()) {
-      engine_->sim()->Schedule(options_.local_fetch_us, restore);
+      engine_->executor()->Schedule(options_.local_fetch_us, restore);
       return;
     }
-    auto remaining = std::make_shared<size_t>(paths.size());
+    auto remaining =
+        std::make_shared<std::atomic<size_t>>(paths.size());
     for (const auto& path : paths) {
       options_.dfs->ReadFile(path, target->node_id(),
                              [remaining, restore](Status st) {
@@ -538,13 +553,14 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
                                      << "DFS read failed during restore: "
                                      << st.ToString();
                                }
-                               if (--*remaining == 0) restore();
+                               if (remaining->fetch_sub(1) == 1) restore();
                              });
     }
   }
 }
 
 const HandoverStats* HandoverManager::StatsFor(uint64_t handover_id) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
   auto it = stats_.find(handover_id);
   return it == stats_.end() ? nullptr : &it->second;
 }

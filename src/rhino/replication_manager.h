@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -63,10 +64,13 @@ class ReplicationManager {
   /// requested replication factor.
   std::vector<std::string> degraded_groups() const;
 
-  /// The replica chain of an instance (ordered: head first).
-  const std::vector<int>& Group(const std::string& op, uint32_t subtask) const;
+  /// The replica chain of an instance (ordered: head first). Returned by
+  /// value: `HandleWorkerFailure` rewrites groups in place from the
+  /// coordinator while replication transfers start on node strands.
+  std::vector<int> Group(const std::string& op, uint32_t subtask) const;
 
   bool HasGroup(const std::string& op, uint32_t subtask) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return groups_.count(Key(op, subtask)) > 0;
   }
 
@@ -93,6 +97,12 @@ class ReplicationManager {
     return op + "#" + std::to_string(subtask);
   }
 
+  /// Requires mu_ held by the caller.
+  std::vector<std::string> DegradedGroupsLocked() const;
+
+  /// Guards the group/load bookkeeping (read by replication transfers on
+  /// node strands, rewritten by failure repair on the coordinator).
+  mutable std::mutex mu_;
   std::vector<int> workers_;
   int replication_factor_;
   obs::Observability* obs_ = obs::Observability::Default();

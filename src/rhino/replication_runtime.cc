@@ -7,7 +7,13 @@
 namespace rhino::rhino {
 
 /// One checkpoint's journey down a replica chain.
+///
+/// Chunk completions land on the receiving nodes' strands, so a chain with
+/// several hops mutates this bookkeeping from several threads; `mu` guards
+/// it (recursive: a durability callback holds it while pumping the next
+/// hop, which re-locks).
 struct ReplicationRuntime::Transfer {
+  std::recursive_mutex mu;
   std::string op;
   uint32_t subtask = 0;
   std::vector<int> path;  // [primary, replica_1, ..., replica_r]
@@ -36,7 +42,7 @@ void ReplicationRuntime::ReplicateCheckpoint(
     const std::string& op, uint32_t subtask, int primary_node,
     const state::CheckpointDescriptor& desc,
     std::map<uint32_t, std::string> blobs, std::function<void(Status)> done) {
-  const std::vector<int>& group = manager_->Group(op, subtask);
+  std::vector<int> group = manager_->Group(op, subtask);
   uint64_t delta = desc.DeltaBytes();
   if (probe_) probe_("replication_transfer");
   if (chunks_metric_ == nullptr) {
@@ -73,24 +79,27 @@ void ReplicationRuntime::ReplicateCheckpoint(
       {{"bytes", static_cast<int64_t>(delta)},
        {"hops", static_cast<int64_t>(hops)}});
 
+  // Runs with transfer->mu held (called from the tail's durability
+  // callback).
   auto finalize = [this, transfer] {
     if (transfer->completed) return;
     transfer->completed = true;
+    std::lock_guard<std::mutex> catalog_lock(catalog_mu_);
     // Record the secondary copies against the group's *current* live
     // membership: HandleWorkerFailure may have rewritten the group while
     // the chunks were in flight, and a node that left the group (or died)
     // must not be advertised as a replica holder.
     std::string key = Key(transfer->op, transfer->subtask);
-    const std::vector<int>* group_now = nullptr;
-    if (manager_->HasGroup(transfer->op, transfer->subtask)) {
-      group_now = &manager_->Group(transfer->op, transfer->subtask);
+    bool has_group = manager_->HasGroup(transfer->op, transfer->subtask);
+    std::vector<int> group_now;
+    if (has_group) {
+      group_now = manager_->Group(transfer->op, transfer->subtask);
     }
     for (size_t i = 1; i < transfer->path.size(); ++i) {
       int node = transfer->path[i];
       if (!cluster_->node(node).alive()) continue;
-      if (group_now != nullptr &&
-          std::find(group_now->begin(), group_now->end(), node) ==
-              group_now->end()) {
+      if (has_group && std::find(group_now.begin(), group_now.end(), node) ==
+                           group_now.end()) {
         continue;
       }
       ReplicaState& rep = replicas_[key][node];
@@ -101,32 +110,36 @@ void ReplicationRuntime::ReplicateCheckpoint(
       // that moved away since the previous checkpoint.
       rep.vnode_blobs = transfer->blobs;
     }
-    ++checkpoints_replicated_;
+    checkpoints_replicated_.fetch_add(1, std::memory_order_relaxed);
     obs_->metrics()
         .GetCounter("rhino_replication_completed_total")
         ->Increment();
     obs_->trace().EndSpan(transfer->span);
     // Tail ack travels back up the chain, one hop latency each.
     SimTime ack = options_.ack_latency * static_cast<SimTime>(transfer->path.size() - 1);
-    cluster_->sim()->Schedule(ack, [transfer] { transfer->done(Status::OK()); });
+    cluster_->executor()->Schedule(ack,
+                                   [transfer] { transfer->done(Status::OK()); });
   };
 
   if (transfer->total_chunks == 0) {
+    std::lock_guard<std::recursive_mutex> lock(transfer->mu);
     finalize();
     return;
   }
   transfer->finalize = std::move(finalize);
+  std::lock_guard<std::recursive_mutex> lock(transfer->mu);
   for (size_t hop = 0; hop < hops; ++hop) PumpHop(transfer, hop);
 }
 
 void ReplicationRuntime::AbortTransfer(const std::shared_ptr<Transfer>& transfer,
                                        Status status) {
+  // Requires transfer->mu held by the caller.
   if (transfer->completed) return;
   transfer->completed = true;
   // Break the self-reference cycle: `finalize` captures the transfer's own
   // shared_ptr, so a stored copy would keep the object alive forever.
   transfer->finalize = nullptr;
-  ++transfers_aborted_;
+  transfers_aborted_.fetch_add(1, std::memory_order_relaxed);
   obs_->metrics().GetCounter("rhino_replication_aborted_total")->Increment();
   obs_->trace().EndSpan(transfer->span, {{"aborted", 1}});
   obs_->trace().Emit("replication", "abort",
@@ -141,6 +154,7 @@ void ReplicationRuntime::AbortTransfer(const std::shared_ptr<Transfer>& transfer
 
 void ReplicationRuntime::PumpHop(std::shared_ptr<Transfer> transfer,
                                  size_t hop) {
+  // Requires transfer->mu held by the caller.
   if (transfer->completed) return;
   while (transfer->credits[hop] > 0 &&
          transfer->next_to_send[hop] < transfer->available[hop]) {
@@ -160,14 +174,18 @@ void ReplicationRuntime::PumpHop(std::shared_ptr<Transfer> transfer,
     uint64_t chunk = transfer->next_to_send[hop]++;
     --transfer->credits[hop];
     int in_flight = options_.credit_window - transfer->credits[hop];
-    max_in_flight_ = std::max(max_in_flight_, in_flight);
+    int seen = max_in_flight_.load(std::memory_order_relaxed);
+    while (in_flight > seen &&
+           !max_in_flight_.compare_exchange_weak(seen, in_flight)) {
+    }
 
     uint64_t bytes = transfer->ChunkSize(chunk);
-    bytes_replicated_ += bytes;
+    bytes_replicated_.fetch_add(bytes, std::memory_order_relaxed);
     chunks_metric_->Increment();
     chunk_bytes_metric_->Increment(bytes);
     if (probe_) probe_("replication_chunk");
     cluster_->Transfer(src, dst, bytes, [this, transfer, hop, bytes] {
+      std::lock_guard<std::recursive_mutex> lock(transfer->mu);
       if (transfer->completed) return;
       // Chunk arrived at the receiver: it may flow further down the chain
       // immediately (chain replication pipelines hops)...
@@ -188,6 +206,7 @@ void ReplicationRuntime::PumpHop(std::shared_ptr<Transfer> transfer,
       sim::Node& node = cluster_->node(node_id);
       int disk = transfer->disk_cursor[node_id]++ % node.num_disks();
       node.disk(disk).Write(bytes, [this, transfer, hop, receiver, node_id] {
+        std::lock_guard<std::recursive_mutex> lock(transfer->mu);
         if (transfer->completed) return;
         if (!cluster_->node(node_id).alive()) {
           AbortTransfer(transfer, Status::Aborted(
@@ -215,6 +234,7 @@ const ReplicaState* ReplicationRuntime::ReplicaOn(const std::string& op,
                                                   uint32_t subtask,
                                                   int node) const {
   if (!cluster_->node(node).alive()) return nullptr;
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   auto it = replicas_.find(Key(op, subtask));
   if (it == replicas_.end()) return nullptr;
   auto nit = it->second.find(node);
@@ -224,6 +244,7 @@ const ReplicaState* ReplicationRuntime::ReplicaOn(const std::string& op,
 
 int ReplicationRuntime::LiveReplicaNode(const std::string& op,
                                         uint32_t subtask) const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   auto it = replicas_.find(Key(op, subtask));
   if (it == replicas_.end()) return -1;
   int best = -1;
@@ -243,6 +264,7 @@ const ReplicaState* ReplicationRuntime::FindVnodeReplica(
     int* holder) const {
   *holder = -1;
   const ReplicaState* best = nullptr;
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   std::string prefix = op + "#";
   for (auto it = replicas_.lower_bound(prefix);
        it != replicas_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
@@ -265,6 +287,7 @@ const ReplicaState* ReplicationRuntime::FindVnodeReplica(
 }
 
 void ReplicationRuntime::PurgeNode(int node) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   size_t purged = 0;
   for (auto& [key, per_node] : replicas_) {
     purged += per_node.erase(node);
@@ -312,16 +335,31 @@ void ReplicationRuntime::CatchUpReplicas(const std::string& op,
   // Copy the reference state now: the catalog entry may be overwritten by
   // the next checkpoint (or purged) while the copies are on the wire.
   auto snapshot = std::make_shared<ReplicaState>(*ref);
-  auto remaining = std::make_shared<size_t>(lagging.size());
-  auto aggregate = std::make_shared<Status>(Status::OK());
-  auto done_shared = std::make_shared<std::function<void(Status)>>(std::move(done));
+  // Copies complete on their targets' strands: the countdown is atomic and
+  // the aggregate status carries its own lock.
+  struct Settle {
+    std::atomic<size_t> remaining;
+    std::mutex mu;
+    Status aggregate = Status::OK();
+    std::function<void(Status)> done;
+  };
+  auto ctl = std::make_shared<Settle>();
+  ctl->remaining.store(lagging.size());
+  ctl->done = std::move(done);
+  auto fail = [ctl](Status st) {
+    std::lock_guard<std::mutex> lock(ctl->mu);
+    if (ctl->aggregate.ok()) ctl->aggregate = std::move(st);
+  };
   uint64_t bytes = snapshot->latest_descriptor.TotalBytes();
-  auto settle = [remaining, aggregate, done_shared] {
-    if (--*remaining == 0 && *done_shared) (*done_shared)(*aggregate);
+  auto settle = [ctl] {
+    if (ctl->remaining.fetch_sub(1) == 1 && ctl->done) {
+      std::lock_guard<std::mutex> lock(ctl->mu);
+      ctl->done(ctl->aggregate);
+    }
   };
   for (int m : lagging) {
-    ++catchup_transfers_;
-    catchup_bytes_ += bytes;
+    catchup_transfers_.fetch_add(1, std::memory_order_relaxed);
+    catchup_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     obs_->metrics().GetCounter("rhino_replication_catchup_total")->Increment();
     obs_->metrics()
         .GetCounter("rhino_replication_catchup_bytes_total")
@@ -332,24 +370,27 @@ void ReplicationRuntime::CatchUpReplicas(const std::string& op,
                         {"bytes", static_cast<int64_t>(bytes)}});
     cluster_->Transfer(
         source, m, bytes,
-        [this, key, m, bytes, snapshot, aggregate, settle]() mutable {
+        [this, key, m, bytes, snapshot, fail, settle]() mutable {
           if (!cluster_->node(m).alive()) {
-            if (aggregate->ok()) {
-              *aggregate = Status::Aborted("catch-up target node " +
-                                           std::to_string(m) + " died");
-            }
+            fail(Status::Aborted("catch-up target node " + std::to_string(m) +
+                                 " died"));
             settle();
             return;
           }
           sim::Node& node = cluster_->node(m);
-          int disk = disk_cursor_[m]++ % node.num_disks();
+          int disk;
+          {
+            std::lock_guard<std::mutex> lock(catalog_mu_);
+            disk = disk_cursor_[m]++ % node.num_disks();
+          }
           node.disk(disk).Write(
-              bytes, [this, key, m, snapshot, aggregate, settle]() mutable {
+              bytes, [this, key, m, snapshot, fail, settle]() mutable {
                 if (cluster_->node(m).alive()) {
+                  std::lock_guard<std::mutex> lock(catalog_mu_);
                   replicas_[key][m] = *snapshot;
-                } else if (aggregate->ok()) {
-                  *aggregate = Status::Aborted("catch-up target node " +
-                                               std::to_string(m) + " died");
+                } else {
+                  fail(Status::Aborted("catch-up target node " +
+                                       std::to_string(m) + " died"));
                 }
                 settle();
               });
@@ -360,8 +401,9 @@ void ReplicationRuntime::CatchUpReplicas(const std::string& op,
 void ReplicationRuntime::SeedReplica(const std::string& op, uint32_t subtask,
                                      const state::CheckpointDescriptor& desc,
                                      std::map<uint32_t, std::string> blobs) {
-  const std::vector<int>& group = manager_->Group(op, subtask);
+  std::vector<int> group = manager_->Group(op, subtask);
   std::string key = Key(op, subtask);
+  std::lock_guard<std::mutex> lock(catalog_mu_);
   for (int node : group) {
     ReplicaState& rep = replicas_[key][node];
     rep.latest_checkpoint_id = desc.checkpoint_id;

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -78,6 +80,10 @@ class ReplicationRuntime {
   /// Latest state fully replicated on `node` for the instance, or nullptr
   /// when that node holds no (complete) copy. Dead nodes never advertise
   /// replicas, whatever the catalog remembers.
+  ///
+  /// Catalog lookups return pointers to stable map nodes; a concurrent
+  /// re-replication of the *same* instance may overwrite the entry's
+  /// fields, so callers copy what they need promptly after the lookup.
   const ReplicaState* ReplicaOn(const std::string& op, uint32_t subtask,
                                 int node) const;
 
@@ -128,12 +134,14 @@ class ReplicationRuntime {
   }
 
   // ---- diagnostics ----
-  uint64_t bytes_replicated() const { return bytes_replicated_; }
-  int max_in_flight_chunks() const { return max_in_flight_; }
-  uint64_t checkpoints_replicated() const { return checkpoints_replicated_; }
-  uint64_t transfers_aborted() const { return transfers_aborted_; }
-  uint64_t catchup_transfers() const { return catchup_transfers_; }
-  uint64_t catchup_bytes() const { return catchup_bytes_; }
+  uint64_t bytes_replicated() const { return bytes_replicated_.load(); }
+  int max_in_flight_chunks() const { return max_in_flight_.load(); }
+  uint64_t checkpoints_replicated() const {
+    return checkpoints_replicated_.load();
+  }
+  uint64_t transfers_aborted() const { return transfers_aborted_.load(); }
+  uint64_t catchup_transfers() const { return catchup_transfers_.load(); }
+  uint64_t catchup_bytes() const { return catchup_bytes_.load(); }
 
  private:
   struct Transfer;
@@ -155,16 +163,19 @@ class ReplicationRuntime {
   obs::Counter* chunks_metric_ = nullptr;
   obs::Counter* chunk_bytes_metric_ = nullptr;
 
+  /// Guards the replica catalog (replicas_, disk_cursor_): finalizing
+  /// transfers write it from node strands while recovery planning reads it.
+  mutable std::mutex catalog_mu_;
   /// replica catalog: instance key -> node -> state
   std::map<std::string, std::map<int, ReplicaState>> replicas_;
   std::map<int, int> disk_cursor_;
 
-  uint64_t bytes_replicated_ = 0;
-  uint64_t checkpoints_replicated_ = 0;
-  int max_in_flight_ = 0;
-  uint64_t transfers_aborted_ = 0;
-  uint64_t catchup_transfers_ = 0;
-  uint64_t catchup_bytes_ = 0;
+  std::atomic<uint64_t> bytes_replicated_{0};
+  std::atomic<uint64_t> checkpoints_replicated_{0};
+  std::atomic<int> max_in_flight_{0};
+  std::atomic<uint64_t> transfers_aborted_{0};
+  std::atomic<uint64_t> catchup_transfers_{0};
+  std::atomic<uint64_t> catchup_bytes_{0};
 };
 
 }  // namespace rhino::rhino

@@ -1,0 +1,129 @@
+#include "runtime/realtime_executor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rhino::runtime {
+
+void RealtimeExecutor::SerialQueue::PostAt(SimTime when, Callback fn) {
+  static_cast<RealtimeExecutor*>(executor_)->Enqueue(this, when,
+                                                     std::move(fn));
+}
+
+RealtimeExecutor::RealtimeExecutor(int num_threads)
+    : epoch_(std::chrono::steady_clock::now()) {
+  RHINO_CHECK_GE(num_threads, 1);
+  default_queue_ = static_cast<SerialQueue*>(CreateQueue("default"));
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+RealtimeExecutor::~RealtimeExecutor() { Shutdown(); }
+
+SimTime RealtimeExecutor::Now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void RealtimeExecutor::ScheduleAt(SimTime when, Callback fn) {
+  Enqueue(default_queue_, when, std::move(fn));
+}
+
+TaskQueue* RealtimeExecutor::CreateQueue(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queues_.push_back(std::make_unique<SerialQueue>(this, name));
+  return queues_.back().get();
+}
+
+void RealtimeExecutor::Enqueue(SerialQueue* queue, SimTime when,
+                               Callback fn) {
+  SimTime now = Now();
+  if (when < now) {
+    clamped_.fetch_add(1, std::memory_order_relaxed);
+    RHINO_LOG(Debug) << "PostAt clamped past deadline " << when
+                     << "us to now=" << now << "us on queue '"
+                     << queue->name() << "'";
+    when = now;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    queue->heap.push_back(Task{when, next_seq_++, std::move(fn)});
+    std::push_heap(queue->heap.begin(), queue->heap.end(), Later{});
+    ++outstanding_;
+  }
+  work_cv_.notify_one();
+}
+
+void RealtimeExecutor::RunUntil(SimTime t) {
+  std::this_thread::sleep_until(Deadline(t));
+}
+
+void RealtimeExecutor::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return outstanding_ == 0 || shutdown_; });
+}
+
+void RealtimeExecutor::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    for (auto& queue : queues_) {
+      outstanding_ -= queue->heap.size();
+      queue->heap.clear();
+    }
+  }
+  work_cv_.notify_all();
+  idle_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void RealtimeExecutor::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (shutdown_) return;
+    // Pick the queue (not already running on another worker) whose next
+    // task has the earliest (deadline, seq). Queues are few — one per node
+    // plus the default — so a linear scan beats a cross-queue index.
+    SerialQueue* best = nullptr;
+    for (auto& queue : queues_) {
+      if (queue->running || queue->heap.empty()) continue;
+      if (best == nullptr || Later{}(best->heap.front(), queue->heap.front())) {
+        best = queue.get();
+      }
+    }
+    if (best == nullptr) {
+      work_cv_.wait(lock);
+      continue;
+    }
+    SimTime due = best->heap.front().when;
+    if (due > Now()) {
+      work_cv_.wait_until(lock, Deadline(due));
+      continue;
+    }
+    std::pop_heap(best->heap.begin(), best->heap.end(), Later{});
+    Task task = std::move(best->heap.back());
+    best->heap.pop_back();
+    best->running = true;
+    lock.unlock();
+    task.fn();
+    task.fn = nullptr;  // release captured state before re-taking the lock
+    lock.lock();
+    best->running = false;
+    --outstanding_;
+    if (outstanding_ == 0) {
+      idle_cv_.notify_all();
+    } else if (!best->heap.empty()) {
+      // The queue this worker just released may hold the next due task;
+      // wake a peer in case every other worker is parked on a timer.
+      work_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace rhino::runtime

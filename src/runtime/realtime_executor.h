@@ -1,0 +1,109 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/executor.h"
+
+/// \file realtime_executor.h
+/// Multi-threaded executor backend: N worker threads drain per-queue timer
+/// heaps against `std::chrono::steady_clock`.
+///
+/// Each `TaskQueue` is a strand: a min-heap of (deadline, seq, fn) plus a
+/// `running` flag. A worker claims the queue with the earliest due task
+/// that is not already running, marks it running, executes the task with
+/// the scheduler lock released, then releases the queue — so one queue's
+/// tasks are serialized (deadline order, FIFO within a deadline) while
+/// distinct queues execute genuinely in parallel. Pinning every component
+/// of a worker node to that node's queue preserves intra-node ordering the
+/// same way the single-threaded simulator did, which is what the engine's
+/// per-node protocol logic assumes.
+///
+/// `Now()` is microseconds since the executor's construction, so simulated
+/// and wall-clock timelines share an origin at 0.
+
+namespace rhino::runtime {
+
+class RealtimeExecutor final : public Executor {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit RealtimeExecutor(int num_threads);
+  ~RealtimeExecutor() override;
+
+  RealtimeExecutor(const RealtimeExecutor&) = delete;
+  RealtimeExecutor& operator=(const RealtimeExecutor&) = delete;
+
+  // ---- Executor contract ----
+  SimTime Now() const override;
+  void ScheduleAt(SimTime when, Callback fn) override;
+  TaskQueue* CreateQueue(const std::string& name) override;
+  /// Sleeps until the wall clock reaches epoch + `t`. Workers keep
+  /// executing; pair with Drain() to also wait for quiescence.
+  void RunUntil(SimTime t) override;
+  /// Blocks until no task is queued or running, timers included. Must be
+  /// called from outside the worker pool (e.g. the test's main thread).
+  void Drain() override;
+  bool realtime() const override { return true; }
+  uint64_t clamped_schedules() const override {
+    return clamped_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops accepting work, drops undelivered tasks, joins the workers.
+  /// Called by the destructor; idempotent.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct Task {
+    SimTime when;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Task& a, const Task& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  class SerialQueue final : public TaskQueue {
+   public:
+    using TaskQueue::TaskQueue;
+    void PostAt(SimTime when, Callback fn) override;
+
+    // Guarded by the executor's mu_.
+    std::vector<Task> heap;  // min-heap on (when, seq)
+    bool running = false;
+  };
+
+  void Enqueue(SerialQueue* queue, SimTime when, Callback fn);
+  void WorkerLoop();
+  std::chrono::steady_clock::time_point Deadline(SimTime t) const {
+    return epoch_ + std::chrono::microseconds(t);
+  }
+
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // new/ready work or shutdown
+  std::condition_variable idle_cv_;  // outstanding_ reached zero
+  std::vector<std::unique_ptr<SerialQueue>> queues_;
+  SerialQueue* default_queue_ = nullptr;  // target of Schedule/ScheduleAt
+  uint64_t next_seq_ = 0;
+  /// Tasks queued or currently executing; Drain waits for zero.
+  uint64_t outstanding_ = 0;
+  bool shutdown_ = false;
+
+  std::atomic<uint64_t> clamped_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rhino::runtime

@@ -1,13 +1,14 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/units.h"
+#include "runtime/executor.h"
 #include "sim/resource.h"
-#include "sim/simulation.h"
 
 /// \file cluster.h
 /// Modeled cluster of worker nodes.
@@ -15,6 +16,13 @@
 /// Node parameters default to the paper's testbed: GCP `n1-standard-16`
 /// VMs with 16 vcores, 64 GiB RAM, two local NVMe SSDs, and a
 /// 2 Gbps-per-vcore virtual network (= 4 GB/s full duplex per VM).
+///
+/// Each node owns a serial `TaskQueue` ("node<i>"): channel deliveries,
+/// disk completions, and operator processing for that node are posted
+/// there, so under `RealtimeExecutor` every node is a genuinely parallel
+/// strand while intra-node callback order matches the simulator's.
+/// Liveness, memory, and CPU accounting are atomics so protocol threads
+/// can read them without taking a node lock.
 
 namespace rhino::sim {
 
@@ -32,9 +40,12 @@ struct NodeSpec {
 /// One local NVMe SSD with independent read and write service queues.
 class Disk {
  public:
-  Disk(Simulation* sim, const std::string& name, const NodeSpec& spec)
-      : read_(sim, name + "/read", spec.disk_read_bytes_per_sec),
-        write_(sim, name + "/write", spec.disk_write_bytes_per_sec) {}
+  Disk(runtime::Executor* executor, const std::string& name,
+       const NodeSpec& spec, runtime::TaskQueue* completions = nullptr)
+      : read_(executor, name + "/read", spec.disk_read_bytes_per_sec,
+              completions),
+        write_(executor, name + "/write", spec.disk_write_bytes_per_sec,
+               completions) {}
 
   SimTime Read(uint64_t bytes, std::function<void()> done = nullptr) {
     return read_.Submit(bytes, std::move(done));
@@ -54,21 +65,30 @@ class Disk {
 /// One modeled VM: full-duplex NIC, disks, memory budget, liveness flag.
 class Node {
  public:
-  Node(Simulation* sim, int id, const NodeSpec& spec)
+  Node(runtime::Executor* executor, int id, const NodeSpec& spec)
       : id_(id),
         spec_(spec),
-        tx_(sim, "node" + std::to_string(id) + "/tx", spec.net_bytes_per_sec),
-        rx_(sim, "node" + std::to_string(id) + "/rx", spec.net_bytes_per_sec) {
+        queue_(executor->CreateQueue("node" + std::to_string(id))),
+        tx_(executor, "node" + std::to_string(id) + "/tx",
+            spec.net_bytes_per_sec, queue_),
+        rx_(executor, "node" + std::to_string(id) + "/rx",
+            spec.net_bytes_per_sec, queue_) {
     for (int d = 0; d < spec.num_disks; ++d) {
       disks_.push_back(std::make_unique<Disk>(
-          sim, "node" + std::to_string(id) + "/disk" + std::to_string(d), spec));
+          executor, "node" + std::to_string(id) + "/disk" + std::to_string(d),
+          spec, queue_));
     }
   }
 
   int id() const { return id_; }
   const NodeSpec& spec() const { return spec_; }
-  bool alive() const { return alive_; }
-  void set_alive(bool alive) { alive_ = alive; }
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+  void set_alive(bool alive) {
+    alive_.store(alive, std::memory_order_release);
+  }
+
+  /// The node's serial strand: all callbacks of this node's components.
+  runtime::TaskQueue* queue() const { return queue_; }
 
   QueueResource& tx() { return tx_; }
   QueueResource& rx() { return rx_; }
@@ -78,42 +98,56 @@ class Node {
   /// Tracks modeled heap usage (Megaphone's in-memory state lives here).
   /// Returns false when the allocation would exceed the node's memory.
   bool AllocateMemory(uint64_t bytes) {
-    if (memory_used_ + bytes > spec_.memory_bytes) return false;
-    memory_used_ += bytes;
+    uint64_t used = memory_used_.load(std::memory_order_relaxed);
+    do {
+      if (used + bytes > spec_.memory_bytes) return false;
+    } while (!memory_used_.compare_exchange_weak(used, used + bytes,
+                                                 std::memory_order_relaxed));
     return true;
   }
   void FreeMemory(uint64_t bytes) {
-    memory_used_ = bytes > memory_used_ ? 0 : memory_used_ - bytes;
+    uint64_t used = memory_used_.load(std::memory_order_relaxed);
+    while (!memory_used_.compare_exchange_weak(
+        used, bytes > used ? 0 : used - bytes, std::memory_order_relaxed)) {
+    }
   }
-  uint64_t memory_used() const { return memory_used_; }
+  uint64_t memory_used() const {
+    return memory_used_.load(std::memory_order_relaxed);
+  }
 
   /// Cumulative modeled CPU busy time across all operator instances pinned
   /// to this node (filled in by the dataflow runtime).
-  void AddCpuBusy(SimTime us) { cpu_busy_us_ += us; }
-  SimTime cpu_busy_us() const { return cpu_busy_us_; }
+  void AddCpuBusy(SimTime us) {
+    cpu_busy_us_.fetch_add(us, std::memory_order_relaxed);
+  }
+  SimTime cpu_busy_us() const {
+    return cpu_busy_us_.load(std::memory_order_relaxed);
+  }
 
  private:
   int id_;
   NodeSpec spec_;
+  runtime::TaskQueue* queue_;
   QueueResource tx_;
   QueueResource rx_;
   std::vector<std::unique_ptr<Disk>> disks_;
-  bool alive_ = true;
-  uint64_t memory_used_ = 0;
-  SimTime cpu_busy_us_ = 0;
+  std::atomic<bool> alive_{true};
+  std::atomic<uint64_t> memory_used_{0};
+  std::atomic<SimTime> cpu_busy_us_{0};
 };
 
-/// The modeled cluster: a set of nodes sharing one simulation clock.
+/// The modeled cluster: a set of nodes sharing one executor.
 class Cluster {
  public:
-  Cluster(Simulation* sim, int num_nodes, const NodeSpec& spec = NodeSpec())
-      : sim_(sim) {
+  Cluster(runtime::Executor* executor, int num_nodes,
+          const NodeSpec& spec = NodeSpec())
+      : executor_(executor) {
     for (int i = 0; i < num_nodes; ++i) {
-      nodes_.push_back(std::make_unique<Node>(sim, i, spec));
+      nodes_.push_back(std::make_unique<Node>(executor, i, spec));
     }
   }
 
-  Simulation* sim() { return sim_; }
+  runtime::Executor* executor() { return executor_; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   Node& node(int id) { return *nodes_[static_cast<size_t>(id)]; }
 
@@ -121,22 +155,23 @@ class Cluster {
   void FailNode(int id) { node(id).set_alive(false); }
 
   /// Transfers `bytes` between two nodes (or hands it to the local
-  /// loopback, which is free, when src == dst).
+  /// loopback, which is free, when src == dst). `done` runs on the
+  /// destination node's strand.
   SimTime Transfer(int src, int dst, uint64_t bytes,
                    std::function<void()> done = nullptr) {
     if (src == dst) {
-      SimTime end = sim_->Now();
-      if (done) sim_->ScheduleAt(end, std::move(done));
+      SimTime end = executor_->Now();
+      if (done) node(dst).queue()->PostAt(end, std::move(done));
       return end;
     }
     Node& s = node(src);
     Node& d = node(dst);
-    return NetworkTransfer(sim_, &s.tx(), &d.rx(), bytes, s.spec().net_latency,
-                           std::move(done));
+    return NetworkTransfer(executor_, &s.tx(), &d.rx(), bytes,
+                           s.spec().net_latency, std::move(done));
   }
 
  private:
-  Simulation* sim_;
+  runtime::Executor* executor_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };
 

@@ -7,7 +7,7 @@
 namespace rhino::sim {
 
 void FaultInjector::CrashAt(SimTime when, int node, std::string cause) {
-  sim_->ScheduleAt(when, [this, node, cause = std::move(cause)] {
+  executor_->ScheduleAt(when, [this, node, cause = std::move(cause)] {
     Fire(node, cause);
   });
 }
@@ -15,25 +15,40 @@ void FaultInjector::CrashAt(SimTime when, int node, std::string cause) {
 void FaultInjector::CrashOnEvent(const std::string& event, uint64_t nth,
                                  int node, SimTime delay) {
   RHINO_CHECK_GE(nth, 1u) << "event occurrences are 1-based";
+  std::lock_guard<std::mutex> lock(mu_);
   event_triggers_[event].push_back(EventTrigger{nth, node, delay});
 }
 
 void FaultInjector::Notify(const std::string& event) {
-  uint64_t count = ++event_counts_[event];
-  auto it = event_triggers_.find(event);
-  if (it == event_triggers_.end()) return;
-  std::vector<EventTrigger>& armed = it->second;
-  for (auto t = armed.begin(); t != armed.end();) {
-    if (t->nth != count) {
-      ++t;
-      continue;
+  struct Pending {
+    int node;
+    SimTime delay;
+    std::string cause;
+  };
+  std::vector<Pending> to_fire;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t count = ++event_counts_[event];
+    auto it = event_triggers_.find(event);
+    if (it == event_triggers_.end()) return;
+    std::vector<EventTrigger>& armed = it->second;
+    for (auto t = armed.begin(); t != armed.end();) {
+      if (t->nth != count) {
+        ++t;
+        continue;
+      }
+      to_fire.push_back(Pending{
+          t->node, t->delay, "event:" + event + "#" + std::to_string(count)});
+      t = armed.erase(t);
     }
-    // Always bounce through the event queue, even at delay 0: firing
-    // synchronously would re-enter the protocol code that called the probe.
-    std::string cause = "event:" + event + "#" + std::to_string(count);
-    int node = t->node;
-    sim_->Schedule(t->delay, [this, node, cause] { Fire(node, cause); });
-    t = armed.erase(t);
+  }
+  // Always bounce through the event queue, even at delay 0: firing
+  // synchronously would re-enter the protocol code that called the probe.
+  for (Pending& p : to_fire) {
+    executor_->Schedule(
+        p.delay, [this, node = p.node, cause = std::move(p.cause)] {
+          Fire(node, cause);
+        });
   }
 }
 
@@ -67,23 +82,29 @@ std::vector<CrashEvent> FaultInjector::ScheduleRandomCrashes(
 }
 
 void FaultInjector::Fire(int node, const std::string& cause) {
-  if (crashed_.count(node)) return;  // at most one fail-stop per node
-  if (!cluster_->node(node).alive()) {
+  size_t crash_index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_.count(node)) return;  // at most one fail-stop per node
     crashed_.insert(node);
-    return;  // someone else already killed it
+    if (!cluster_->node(node).alive()) {
+      return;  // someone else already killed it
+    }
+    CrashEvent ev;
+    ev.time = executor_->Now();
+    ev.node = node;
+    ev.cause = cause;
+    ev.fired = true;
+    crashes_.push_back(ev);
+    crash_index = crashes_.size();
   }
-  crashed_.insert(node);
-  CrashEvent ev;
-  ev.time = sim_->Now();
-  ev.node = node;
-  ev.cause = cause;
-  ev.fired = true;
-  crashes_.push_back(ev);
   obs_->metrics().GetCounter("rhino_fault_crashes_total")->Increment();
   obs_->trace().Emit("fault", "crash", "node" + std::to_string(node),
-                     static_cast<uint64_t>(crashes_.size()));
+                     static_cast<uint64_t>(crash_index));
   RHINO_LOG(Info) << "fault-injector: crashing node " << node << " at t="
-                  << sim_->Now() << "us (" << cause << ")";
+                  << executor_->Now() << "us (" << cause << ")";
+  // The handler re-enters the engine's failure path; the injector lock is
+  // released so probe callbacks from that path cannot deadlock.
   if (crash_handler_) {
     crash_handler_(node);
   } else {

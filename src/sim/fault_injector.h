@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -10,8 +11,8 @@
 #include "common/random.h"
 #include "common/units.h"
 #include "obs/observability.h"
+#include "runtime/executor.h"
 #include "sim/cluster.h"
-#include "sim/simulation.h"
 
 /// \file fault_injector.h
 /// Seeded, deterministic fault-injection framework (paper §4.2.3 fail-stop
@@ -21,7 +22,7 @@
 /// occurrence of a named protocol event (k-th checkpoint trigger, k-th
 /// replication chunk, k-th handover marker, ...), or drawn from a seeded
 /// random schedule — including multi-node and cascading schedules. All
-/// scheduling goes through the simulation's event queue, so a fault run
+/// scheduling goes through the executor's event queue, so a fault run
 /// with the same seed is exactly reproducible.
 ///
 /// Protocol components expose *probes*: they call `Notify("event")` at
@@ -44,8 +45,9 @@ struct CrashEvent {
 /// Deterministic crash scheduler over a simulated cluster.
 class FaultInjector {
  public:
-  FaultInjector(Simulation* sim, Cluster* cluster, uint64_t seed = 42)
-      : sim_(sim), cluster_(cluster), rng_(seed) {}
+  FaultInjector(runtime::Executor* executor, Cluster* cluster,
+                uint64_t seed = 42)
+      : executor_(executor), cluster_(cluster), rng_(seed) {}
 
   /// Replaces the default crash action (`Cluster::FailNode`). Engines
   /// install their own handler so a crash also halts instances, aborts
@@ -61,7 +63,7 @@ class FaultInjector {
 
   /// Fail-stops `node` `delay` microseconds from now.
   void CrashAfter(SimTime delay, int node, std::string cause = "timed") {
-    CrashAt(sim_->Now() + delay, node, std::move(cause));
+    CrashAt(executor_->Now() + delay, node, std::move(cause));
   }
 
   // ------------------------------------------------- event schedules ------
@@ -78,6 +80,7 @@ class FaultInjector {
 
   /// Occurrences of `event` observed so far.
   uint64_t EventCount(const std::string& event) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = event_counts_.find(event);
     return it == event_counts_.end() ? 0 : it->second;
   }
@@ -96,8 +99,12 @@ class FaultInjector {
 
   // ----------------------------------------------------- diagnostics ------
 
-  bool crashed(int node) const { return crashed_.count(node) > 0; }
-  /// Every crash that actually fired, in firing order.
+  bool crashed(int node) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return crashed_.count(node) > 0;
+  }
+  /// Every crash that actually fired, in firing order. Read after the
+  /// executor has drained (the vector grows while crashes fire).
   const std::vector<CrashEvent>& crashes() const { return crashes_; }
   Random& random() { return rng_; }
 
@@ -114,12 +121,15 @@ class FaultInjector {
   /// Executes the crash now (idempotent per node).
   void Fire(int node, const std::string& cause);
 
-  Simulation* sim_;
+  runtime::Executor* executor_;
   Cluster* cluster_;
   Random rng_;
   std::function<void(int)> crash_handler_;
   obs::Observability* obs_ = obs::Observability::Default();
 
+  /// Guards the schedules and counts; never held while calling the crash
+  /// handler (which re-enters engine code).
+  mutable std::mutex mu_;
   std::set<int> crashed_;
   std::vector<CrashEvent> crashes_;
   std::map<std::string, uint64_t> event_counts_;

@@ -2,10 +2,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 
 #include "common/units.h"
-#include "sim/simulation.h"
+#include "runtime/executor.h"
 
 /// \file resource.h
 /// Modeled bandwidth resources (NIC queues, disks, per-instance CPU).
@@ -16,51 +17,108 @@
 /// the standard M/G/1-style model for links and disks in cluster
 /// simulators; it preserves the transfer-time ratios the paper's evaluation
 /// depends on. Busy time is accumulated for utilization reporting (Fig. 5).
+///
+/// Thread safety: the reservation state (`free_at_`, busy/bytes counters)
+/// is guarded by an internal mutex so multiple node threads can share a
+/// resource under `RealtimeExecutor`. Coupled transfers that must reserve
+/// two resources atomically (`NetworkTransfer`) take both mutexes via
+/// `std::scoped_lock` and use the `*Locked` accessors.
 
 namespace rhino::sim {
 
 /// FIFO bandwidth resource.
 class QueueResource {
  public:
-  QueueResource(Simulation* sim, std::string name, double bytes_per_sec)
-      : sim_(sim), name_(std::move(name)), bytes_per_sec_(bytes_per_sec) {}
+  /// `completions` (optional) is the serial queue completion callbacks are
+  /// posted to — typically the owning node's queue, so a disk or NIC
+  /// completion runs on its node's strand. Defaults to the executor's
+  /// default queue.
+  QueueResource(runtime::Executor* executor, std::string name,
+                double bytes_per_sec,
+                runtime::TaskQueue* completions = nullptr)
+      : executor_(executor),
+        name_(std::move(name)),
+        bytes_per_sec_(bytes_per_sec),
+        completions_(completions) {}
 
   /// Earliest time a new request could start service.
-  SimTime FreeAt() const { return free_at_ < sim_->Now() ? sim_->Now() : free_at_; }
+  SimTime FreeAt() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return FreeAtLocked();
+  }
 
   /// Enqueues a request of `bytes`; invokes `done` (if set) at completion.
   /// Returns the completion time.
   SimTime Submit(uint64_t bytes, std::function<void()> done = nullptr) {
-    SimTime start = FreeAt();
-    SimTime duration = TransferTime(bytes, bytes_per_sec_);
-    SimTime end = start + duration;
-    free_at_ = end;
-    busy_us_ += duration;
-    bytes_served_ += bytes;
-    if (done) sim_->ScheduleAt(end, std::move(done));
+    SimTime end;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      SimTime start = FreeAtLocked();
+      SimTime duration = TransferTime(bytes, bytes_per_sec_);
+      end = start + duration;
+      free_at_ = end;
+      busy_us_ += duration;
+      bytes_served_ += bytes;
+    }
+    if (done) PostCompletion(end, std::move(done));
     return end;
   }
 
   /// Reserves the interval [start, start+duration) without a callback.
   /// Used by coupled transfers that compute their own completion time.
   void Occupy(SimTime start, SimTime duration, uint64_t bytes) {
-    if (start < FreeAt()) start = FreeAt();
-    free_at_ = start + duration;
-    busy_us_ += duration;
-    bytes_served_ += bytes;
+    std::lock_guard<std::mutex> lock(mu_);
+    OccupyLocked(start, duration, bytes);
   }
 
   double bytes_per_sec() const { return bytes_per_sec_; }
   const std::string& name() const { return name_; }
+  runtime::Executor* executor() const { return executor_; }
+  runtime::TaskQueue* completion_queue() const { return completions_; }
+  void set_completion_queue(runtime::TaskQueue* queue) {
+    completions_ = queue;
+  }
 
   /// Cumulative busy time, for utilization sampling.
-  SimTime busy_us() const { return busy_us_; }
-  uint64_t bytes_served() const { return bytes_served_; }
+  SimTime busy_us() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return busy_us_;
+  }
+  uint64_t bytes_served() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_served_;
+  }
+
+  // ---- coupled two-resource reservations (NetworkTransfer) ----
+  std::mutex& mu() const { return mu_; }
+  /// Caller holds mu().
+  SimTime FreeAtLocked() const {
+    SimTime now = executor_->Now();
+    return free_at_ < now ? now : free_at_;
+  }
+  /// Caller holds mu().
+  void OccupyLocked(SimTime start, SimTime duration, uint64_t bytes) {
+    if (start < FreeAtLocked()) start = FreeAtLocked();
+    free_at_ = start + duration;
+    busy_us_ += duration;
+    bytes_served_ += bytes;
+  }
+  /// Posts `done` at `end` on the completion queue (or the executor's
+  /// default queue).
+  void PostCompletion(SimTime end, std::function<void()> done) {
+    if (completions_ != nullptr) {
+      completions_->PostAt(end, std::move(done));
+    } else {
+      executor_->ScheduleAt(end, std::move(done));
+    }
+  }
 
  private:
-  Simulation* sim_;
+  runtime::Executor* executor_;
   std::string name_;
   double bytes_per_sec_;
+  runtime::TaskQueue* completions_;
+  mutable std::mutex mu_;
   SimTime free_at_ = 0;
   SimTime busy_us_ = 0;
   uint64_t bytes_served_ = 0;
@@ -70,19 +128,32 @@ class QueueResource {
 ///
 /// The transfer starts when both queues are free and occupies both for the
 /// full duration (full-duplex NIC model); `latency` is added once at the
-/// end (propagation + protocol overhead). Invokes `done` at completion and
-/// returns the completion time.
-inline SimTime NetworkTransfer(Simulation* sim, QueueResource* tx,
-                               QueueResource* rx, uint64_t bytes,
-                               SimTime latency,
+/// end (propagation + protocol overhead). Invokes `done` at completion (on
+/// the *receiver's* completion queue) and returns the completion time.
+inline SimTime NetworkTransfer(runtime::Executor* /*executor*/,
+                               QueueResource* tx, QueueResource* rx,
+                               uint64_t bytes, SimTime latency,
                                std::function<void()> done = nullptr) {
-  SimTime start = std::max(tx->FreeAt(), rx->FreeAt());
-  SimTime duration =
-      TransferTime(bytes, std::min(tx->bytes_per_sec(), rx->bytes_per_sec()));
-  tx->Occupy(start, duration, bytes);
-  rx->Occupy(start, duration, bytes);
-  SimTime end = start + duration + latency;
-  if (done) sim->ScheduleAt(end, std::move(done));
+  SimTime end;
+  {
+    // Both reservations must see a consistent (free_at) snapshot or two
+    // concurrent transfers could overlap on one NIC; scoped_lock orders
+    // the two mutexes internally, so no lock-order cycle is possible.
+    std::unique_lock<std::mutex> tx_lock(tx->mu(), std::defer_lock);
+    std::unique_lock<std::mutex> rx_lock(rx->mu(), std::defer_lock);
+    if (tx == rx) {
+      tx_lock.lock();
+    } else {
+      std::lock(tx_lock, rx_lock);
+    }
+    SimTime start = std::max(tx->FreeAtLocked(), rx->FreeAtLocked());
+    SimTime duration = TransferTime(
+        bytes, std::min(tx->bytes_per_sec(), rx->bytes_per_sec()));
+    tx->OccupyLocked(start, duration, bytes);
+    if (tx != rx) rx->OccupyLocked(start, duration, bytes);
+    end = start + duration + latency;
+  }
+  if (done) rx->PostCompletion(end, std::move(done));
   return end;
 }
 

@@ -1,10 +1,11 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/units.h"
 
 /// \file simulation.h
@@ -29,21 +30,30 @@ class Simulation {
   /// Schedules `fn` to run `delay` microseconds from now (delay >= 0).
   void Schedule(SimTime delay, Callback fn) { ScheduleAt(now_ + delay, std::move(fn)); }
 
-  /// Schedules `fn` at absolute time `t` (clamped to now).
+  /// Schedules `fn` at absolute time `t`. A deadline already in the past is
+  /// clamped to now — that is almost always a caller bug (e.g. computing a
+  /// completion time from stale state), so clamps are logged at debug level
+  /// and counted in `clamped_schedules()`.
   void ScheduleAt(SimTime t, Callback fn) {
-    if (t < now_) t = now_;
-    queue_.push(Event{t, next_seq_++, std::move(fn)});
+    if (t < now_) {
+      ++clamped_schedules_;
+      RHINO_LOG(Debug) << "ScheduleAt clamped past deadline " << t
+                       << "us to now=" << now_ << "us (clamp #"
+                       << clamped_schedules_ << ")";
+      t = now_;
+    }
+    queue_.push_back(Event{t, next_seq_++, std::move(fn)});
+    std::push_heap(queue_.begin(), queue_.end(), Later{});
   }
 
   /// Runs one event; returns false when the queue is empty.
   bool Step() {
     if (queue_.empty()) return false;
-    // std::priority_queue::top returns const&; the callback must be moved
-    // out before pop, so we const_cast the (about to be destroyed) node.
-    Event& ev = const_cast<Event&>(queue_.top());
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    Event ev = std::move(queue_.back());
+    queue_.pop_back();
     now_ = ev.time;
     Callback fn = std::move(ev.fn);
-    queue_.pop();
     fn();
     return true;
   }
@@ -56,27 +66,35 @@ class Simulation {
 
   /// Runs all events with time <= `t`, then advances the clock to `t`.
   void RunUntil(SimTime t) {
-    while (!queue_.empty() && queue_.top().time <= t) Step();
+    while (!queue_.empty() && queue_.front().time <= t) Step();
     if (now_ < t) now_ = t;
   }
 
   /// Number of pending events.
   size_t PendingEvents() const { return queue_.size(); }
 
+  /// Number of ScheduleAt calls whose deadline was in the past.
+  uint64_t clamped_schedules() const { return clamped_schedules_; }
+
  private:
   struct Event {
     SimTime time;
     uint64_t seq;
     Callback fn;
-    bool operator>(const Event& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
+  };
+  /// Heap comparator: the max-heap algorithms + `Later` yield a min-heap on
+  /// (time, seq), i.e. the front is the earliest event, FIFO within a tick.
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Event> queue_;  // binary heap via std::push_heap/std::pop_heap
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
+  uint64_t clamped_schedules_ = 0;
 };
 
 }  // namespace rhino::sim

@@ -30,6 +30,7 @@ std::string LsmStateBackend::EncodeKey(uint32_t vnode, std::string_view key) {
 
 Status LsmStateBackend::Put(uint32_t vnode, std::string_view key,
                             std::string_view value, uint64_t nominal_bytes) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   RHINO_RETURN_NOT_OK(db_->Put(EncodeKey(vnode, key), value));
   vnode_bytes_[vnode] += nominal_bytes;
   return Status::OK();
@@ -42,6 +43,7 @@ Status LsmStateBackend::Get(uint32_t vnode, std::string_view key,
 
 Status LsmStateBackend::Delete(uint32_t vnode, std::string_view key,
                                uint64_t nominal_bytes) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   RHINO_RETURN_NOT_OK(db_->Delete(EncodeKey(vnode, key)));
   DiscountBytes(vnode, nominal_bytes);
   return Status::OK();
@@ -55,6 +57,7 @@ void LsmStateBackend::DiscountBytes(uint32_t vnode, uint64_t nominal_bytes) {
 }
 
 Status LsmStateBackend::ApplyBatch(const std::vector<StateWrite>& writes) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   lsm::WriteBatch batch;
   for (const auto& w : writes) {
     if (w.is_delete) {
@@ -87,6 +90,7 @@ LsmStateBackend::ScanVnode(uint32_t vnode) {
 }
 
 Status LsmStateBackend::VisitVnode(uint32_t vnode, const EntryVisitor& fn) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   // The DB iterator streams block by block; only the entries the visitor
   // chooses to keep are ever materialized.
   RHINO_ASSIGN_OR_RETURN(
@@ -119,18 +123,21 @@ LsmStateBackend::ScanPrefix(uint32_t vnode, std::string_view prefix) {
 }
 
 uint64_t LsmStateBackend::SizeBytes() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& [_, bytes] : vnode_bytes_) total += bytes;
   return total;
 }
 
 uint64_t LsmStateBackend::VnodeBytes(uint32_t vnode) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = vnode_bytes_.find(vnode);
   return it == vnode_bytes_.end() ? 0 : it->second;
 }
 
 Result<CheckpointDescriptor> LsmStateBackend::Checkpoint(
     uint64_t checkpoint_id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::string ckpt_dir = dir_ + "-chk-" + std::to_string(checkpoint_id);
   RHINO_ASSIGN_OR_RETURN(auto info, db_->CreateCheckpoint(ckpt_dir));
 
@@ -149,6 +156,7 @@ Result<CheckpointDescriptor> LsmStateBackend::Checkpoint(
 
 Result<std::string> LsmStateBackend::ExtractVnodes(
     const std::vector<uint32_t>& vnodes) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   // Entries stream straight from the DB iterator into the blob; the only
   // intermediate state per vnode is the fixed-width entry count, written
   // as a placeholder and patched once the vnode is done.
@@ -175,6 +183,7 @@ Result<std::string> LsmStateBackend::ExtractVnodes(
 
 Result<std::map<uint32_t, std::string>> LsmStateBackend::ExtractVnodeBlobs(
     const std::vector<uint32_t>& vnodes) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   // One streaming pass over the whole store; the big-endian vnode prefix
   // routes each entry to its blob. Every blob is wire-identical to
   // ExtractVnodes({v}), whose per-vnode header is fixed-width — so the
@@ -214,6 +223,7 @@ Result<std::map<uint32_t, std::string>> LsmStateBackend::ExtractVnodeBlobs(
 }
 
 Status LsmStateBackend::IngestVnodes(std::string_view blob, bool) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   // Entries are replayed through group-committed batches: one WAL append
   // per ~kIngestCommitBytes of entries rather than one per entry, which
   // is where vnode-restore ingest throughput comes from.
@@ -244,6 +254,7 @@ Status LsmStateBackend::IngestVnodes(std::string_view blob, bool) {
 }
 
 Status LsmStateBackend::DropVnodes(const std::vector<uint32_t>& vnodes) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   constexpr uint64_t kDropCommitBytes = 1 << 20;
   for (uint32_t v : vnodes) {
     // Deleting while iterating is safe: the iterator is a snapshot, so

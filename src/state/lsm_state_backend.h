@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "lsm/db.h"
@@ -19,6 +20,13 @@
 namespace rhino::state {
 
 /// LSM-backed implementation of StateBackend.
+///
+/// Thread safety: a backend-level recursive mutex guards the nominal byte
+/// accounting and checkpoint bookkeeping (the DB underneath has its own
+/// store-wide lock). The protocols already serialize writes to one
+/// instance's state on its node strand; the lock covers the cross-strand
+/// readers — checkpoint persistence and handover extraction reading sizes
+/// while the owner keeps processing.
 class LsmStateBackend : public StateBackend {
  public:
   /// Opens (or creates) the backing DB under `dir`. Checkpoints are placed
@@ -73,6 +81,9 @@ class LsmStateBackend : public StateBackend {
   std::string operator_name_;
   uint32_t instance_id_;
   std::unique_ptr<lsm::DB> db_;
+  /// Recursive: public methods re-enter each other (ScanVnode ->
+  /// VisitVnode, ExtractVnodes -> VnodeBytes).
+  mutable std::recursive_mutex mu_;
   /// Nominal byte accounting per vnode (adds minus deletes). Values are
   /// the caller-declared payload sizes, which is what the migration
   /// protocols budget with.

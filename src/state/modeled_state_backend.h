@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,11 @@
 namespace rhino::state {
 
 /// Size-only implementation of StateBackend.
+///
+/// Thread safety: every method locks one internal recursive mutex (the
+/// counters are cheap; contention is not a concern for a size-only
+/// backend). Recursive because ExtractVnodes/ExtractVnodeBlobs re-enter
+/// VnodeBytes.
 class ModeledStateBackend : public StateBackend {
  public:
   ModeledStateBackend(std::string operator_name, uint32_t instance_id)
@@ -57,6 +63,7 @@ class ModeledStateBackend : public StateBackend {
                              const std::vector<uint32_t>& vnodes);
 
  private:
+  mutable std::recursive_mutex mu_;
   std::string operator_name_;
   uint32_t instance_id_;
   std::map<uint32_t, uint64_t> vnode_bytes_;

@@ -13,6 +13,7 @@
 #include "dfs/dfs.h"
 #include "lsm/env.h"
 #include "rhino/checkpoint_storage.h"
+#include "runtime/sim_executor.h"
 #include "state/lsm_state_backend.h"
 
 namespace rhino::baselines {
@@ -29,7 +30,7 @@ using dataflow::Record;
 // ------------------------------------------------------------- Megaphone --
 
 TEST(MegaphoneModelTest, MemoryCeilingMatchesPaper) {
-  sim::Simulation sim;
+  runtime::SimExecutor sim;
   sim::NodeSpec spec;  // 64 GiB per node
   sim::Cluster cluster(&sim, 8, spec);
   MegaphoneModel model(&cluster, {0, 1, 2, 3, 4, 5, 6, 7});
@@ -40,7 +41,7 @@ TEST(MegaphoneModelTest, MemoryCeilingMatchesPaper) {
 }
 
 TEST(MegaphoneModelTest, MigrationTimeScalesWithState) {
-  sim::Simulation sim;
+  runtime::SimExecutor sim;
   sim::Cluster cluster(&sim, 8);
   MegaphoneModel model(&cluster, {0, 1, 2, 3, 4, 5, 6, 7});
   std::map<uint64_t, SimTime> durations;
@@ -66,7 +67,7 @@ TEST(MegaphoneModelTest, MigrationTimeScalesWithState) {
 }
 
 TEST(MegaphoneModelTest, OomReportedWithoutTransfers) {
-  sim::Simulation sim;
+  runtime::SimExecutor sim;
   sim::Cluster cluster(&sim, 8);
   MegaphoneModel model(&cluster, {0, 1, 2, 3, 4, 5, 6, 7});
   MegaphoneResult result;
@@ -141,7 +142,7 @@ class FlinkRestartTest : public ::testing::Test {
     }
   }
 
-  sim::Simulation sim_;
+  runtime::SimExecutor sim_;
   sim::Cluster cluster_;
   broker::Broker broker_;
   lsm::MemEnv env_;

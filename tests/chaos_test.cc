@@ -29,6 +29,7 @@
 #include "rhino/handover_manager.h"
 #include "rhino/replication_manager.h"
 #include "rhino/replication_runtime.h"
+#include "runtime/sim_executor.h"
 #include "sim/fault_injector.h"
 #include "state/lsm_state_backend.h"
 
@@ -70,7 +71,7 @@ void AssertNoDeliveryDuringHold(const obs::TraceLog& trace) {
 /// Pipeline over a 7-node cluster (0 = broker, 1-6 = workers; 4 stateful
 /// instances plus spare capacity to absorb up to two failures).
 struct ChaosStack {
-  sim::Simulation sim;
+  runtime::SimExecutor sim;
   obs::Observability obs;
   sim::Cluster cluster;
   broker::Broker broker;

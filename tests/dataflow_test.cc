@@ -12,6 +12,7 @@
 #include "dataflow/source.h"
 #include "dataflow/stateful.h"
 #include "lsm/env.h"
+#include "runtime/sim_executor.h"
 #include "state/lsm_state_backend.h"
 
 namespace rhino::dataflow {
@@ -80,7 +81,7 @@ class DataflowTest : public ::testing::Test {
     broker_.topic(topic).partition(partition).Append(std::move(batch));
   }
 
-  sim::Simulation sim_;
+  runtime::SimExecutor sim_;
   sim::Cluster cluster_;
   broker::Broker broker_;
   lsm::MemEnv env_;
@@ -272,7 +273,7 @@ TEST_F(DataflowTest, FailNodeHaltsItsInstances) {
 /// point, deliver them to the target after a modeled delay.
 class InlineDelegate : public HandoverDelegate {
  public:
-  InlineDelegate(sim::Simulation* sim, SimTime delay)
+  InlineDelegate(runtime::SimExecutor* sim, SimTime delay)
       : sim_(sim), delay_(delay) {}
 
   void TransferState(const HandoverSpec& spec, const HandoverMove& move,
@@ -297,7 +298,7 @@ class InlineDelegate : public HandoverDelegate {
   int transfers() const { return transfers_; }
 
  private:
-  sim::Simulation* sim_;
+  runtime::SimExecutor* sim_;
   SimTime delay_;
   int transfers_ = 0;
 };
@@ -349,7 +350,7 @@ TEST_F(DataflowTest, HandoverPreservesExactlyOnceCounts) {
   // Golden run: no handover.
   std::map<uint64_t, uint64_t> golden;
   {
-    sim::Simulation sim;
+    runtime::SimExecutor sim;
     sim::Cluster cluster(&sim, 4);
     broker::Broker broker({kBrokerNode});
     broker.CreateTopic("events", kPartitions);

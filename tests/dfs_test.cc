@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "dfs/dfs.h"
+#include "runtime/sim_executor.h"
 
 namespace rhino::dfs {
 namespace {
@@ -17,7 +18,7 @@ sim::NodeSpec Spec() {
 class DfsTest : public ::testing::Test {
  protected:
   DfsTest() : cluster_(&sim_, 4, Spec()), dfs_(&cluster_, {0, 1, 2, 3}) {}
-  sim::Simulation sim_;
+  runtime::SimExecutor sim_;
   sim::Cluster cluster_;
   DistributedFileSystem dfs_;
 };

@@ -29,6 +29,7 @@
 #include "rhino/handover_manager.h"
 #include "rhino/replication_manager.h"
 #include "rhino/replication_runtime.h"
+#include "runtime/sim_executor.h"
 #include "sim/fault_injector.h"
 #include "state/lsm_state_backend.h"
 
@@ -72,7 +73,7 @@ struct ChainOutcome {
 /// One chain transfer with a crash of `victim` at `crash_time` (victim < 0
 /// = fault-free). All protocol invariants are asserted inside.
 ChainOutcome RunChainTransfer(SimTime crash_time, int victim) {
-  sim::Simulation sim;
+  runtime::SimExecutor sim;
   sim::Cluster cluster(&sim, 4, FastSpec());
   ReplicationManager rm({0, 1, 2, 3}, /*r=*/2);
   rm.BuildGroups({{"op", 0, 0, 100}});
@@ -127,7 +128,7 @@ TEST(ReplicationChainCrashSweep, EveryInstantEveryVictimConverges) {
 
   // Victims: both chain members and the primary itself; instants sweep
   // from before the first chunk to past completion.
-  sim::Simulation probe_sim;
+  runtime::SimExecutor probe_sim;
   sim::Cluster probe_cluster(&probe_sim, 4, FastSpec());
   ReplicationManager probe_rm({0, 1, 2, 3}, 2);
   probe_rm.BuildGroups({{"op", 0, 0, 100}});
@@ -156,7 +157,7 @@ TEST(ReplicationChainCrashSweep, EveryInstantEveryVictimConverges) {
 struct RhinoStack {
   static constexpr int kPartitions = 2;
 
-  sim::Simulation sim;
+  runtime::SimExecutor sim;
   sim::Cluster cluster;
   broker::Broker broker;
   lsm::MemEnv env;

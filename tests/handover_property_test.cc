@@ -22,6 +22,7 @@
 #include "dataflow/stateful.h"
 #include "lsm/env.h"
 #include "obs/observability.h"
+#include "runtime/sim_executor.h"
 #include "state/lsm_state_backend.h"
 
 namespace rhino::dataflow {
@@ -43,7 +44,7 @@ struct PlannedMove {
 /// Deterministic transfer delegate with a seed-dependent delay.
 class DelayedDelegate : public HandoverDelegate {
  public:
-  DelayedDelegate(sim::Simulation* sim, SimTime delay)
+  DelayedDelegate(runtime::SimExecutor* sim, SimTime delay)
       : sim_(sim), delay_(delay) {}
 
   void TransferState(const HandoverSpec& spec, const HandoverMove& move,
@@ -65,14 +66,14 @@ class DelayedDelegate : public HandoverDelegate {
   }
 
  private:
-  sim::Simulation* sim_;
+  runtime::SimExecutor* sim_;
   SimTime delay_;
 };
 
 /// Runs the workload; when `moves` is empty this is the golden run.
 std::map<uint64_t, uint64_t> RunSchedule(uint64_t seed,
                                          const std::vector<PlannedMove>& moves) {
-  sim::Simulation sim;
+  runtime::SimExecutor sim;
   sim::Cluster cluster(&sim, 5);
   broker::Broker broker({0});
   broker.CreateTopic("events", kPartitions);

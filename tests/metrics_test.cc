@@ -2,6 +2,7 @@
 
 #include "metrics/resource_monitor.h"
 #include "metrics/timeline.h"
+#include "runtime/sim_executor.h"
 #include "sim/cluster.h"
 
 namespace rhino::metrics {
@@ -32,7 +33,7 @@ TEST(TimeSeriesTest, PeakMeanRespectsWindow) {
 }
 
 TEST(ResourceMonitorTest, SamplesUtilizationDeltas) {
-  sim::Simulation sim;
+  runtime::SimExecutor sim;
   sim::NodeSpec spec;
   spec.cores = 2;
   spec.net_bytes_per_sec = 1e9;
@@ -62,7 +63,7 @@ TEST(ResourceMonitorTest, SamplesUtilizationDeltas) {
 }
 
 TEST(ResourceMonitorTest, MemoryProbeIsIncluded) {
-  sim::Simulation sim;
+  runtime::SimExecutor sim;
   sim::Cluster cluster(&sim, 1);
   ResourceMonitor monitor(&sim, &cluster, {0}, kSecond);
   monitor.SetMemoryProbe([] { return uint64_t{12345}; });

@@ -2,13 +2,13 @@
 
 #include "broker/broker.h"
 #include "nexmark/nexmark.h"
-#include "sim/simulation.h"
+#include "runtime/sim_executor.h"
 
 namespace rhino::nexmark {
 namespace {
 
 TEST(GeneratorTest, ProducesAtConfiguredRate) {
-  sim::Simulation sim;
+  runtime::SimExecutor sim;
   broker::Broker broker({0});
   broker::Topic& topic = broker.CreateTopic("bids", 4);
   GeneratorOptions options;
@@ -31,7 +31,7 @@ TEST(GeneratorTest, ProducesAtConfiguredRate) {
 }
 
 TEST(GeneratorTest, RateFactorModulatesOutput) {
-  sim::Simulation sim;
+  runtime::SimExecutor sim;
   broker::Broker broker({0});
   broker::Topic& topic = broker.CreateTopic("bids", 1);
   GeneratorOptions options;
@@ -48,7 +48,7 @@ TEST(GeneratorTest, RateFactorModulatesOutput) {
 }
 
 TEST(GeneratorTest, RealRecordsCarryKeysAndSizes) {
-  sim::Simulation sim;
+  runtime::SimExecutor sim;
   broker::Broker broker({0});
   broker::Topic& topic = broker.CreateTopic("bids", 1);
   GeneratorOptions options;

@@ -15,6 +15,7 @@
 #include "rhino/handover_manager.h"
 #include "rhino/replication_manager.h"
 #include "rhino/replication_runtime.h"
+#include "runtime/sim_executor.h"
 #include "state/lsm_state_backend.h"
 
 namespace rhino::rhino {
@@ -138,7 +139,7 @@ class ReplicationRuntimeTest : public ::testing::Test {
     desc.delta_files = {{"delta-" + std::to_string(id), delta}};
     return desc;
   }
-  sim::Simulation sim_;
+  runtime::SimExecutor sim_;
   sim::Cluster cluster_;
   ReplicationManager rm_;
 };
@@ -319,7 +320,7 @@ class RhinoEndToEndTest : public ::testing::Test {
     }
   }
 
-  sim::Simulation sim_;
+  runtime::SimExecutor sim_;
   sim::Cluster cluster_;
   broker::Broker broker_;
   lsm::MemEnv env_;

@@ -4,6 +4,7 @@
 
 #include "sim/cluster.h"
 #include "sim/resource.h"
+#include "runtime/sim_executor.h"
 #include "sim/simulation.h"
 
 namespace rhino::sim {
@@ -65,7 +66,7 @@ TEST(SimulationTest, PastDeadlinesClampToNow) {
 }
 
 TEST(QueueResourceTest, SerializesRequests) {
-  Simulation sim;
+  runtime::SimExecutor sim;
   QueueResource q(&sim, "disk", 1e6);  // 1 MB/s
   SimTime end1 = q.Submit(500000);     // 0.5 s
   SimTime end2 = q.Submit(500000);     // queued behind the first
@@ -76,7 +77,7 @@ TEST(QueueResourceTest, SerializesRequests) {
 }
 
 TEST(QueueResourceTest, CallbackFiresAtCompletion) {
-  Simulation sim;
+  runtime::SimExecutor sim;
   QueueResource q(&sim, "disk", 1e6);
   SimTime completed = -1;
   q.Submit(1000000, [&] { completed = sim.Now(); });
@@ -85,7 +86,7 @@ TEST(QueueResourceTest, CallbackFiresAtCompletion) {
 }
 
 TEST(QueueResourceTest, IdleGapsDoNotAccumulateBusyTime) {
-  Simulation sim;
+  runtime::SimExecutor sim;
   QueueResource q(&sim, "disk", 1e6);
   q.Submit(100000);  // 0.1 s busy
   sim.Schedule(kSecond, [] {});
@@ -95,7 +96,7 @@ TEST(QueueResourceTest, IdleGapsDoNotAccumulateBusyTime) {
 }
 
 TEST(NetworkTransferTest, OccupiesBothEndpoints) {
-  Simulation sim;
+  runtime::SimExecutor sim;
   QueueResource tx(&sim, "tx", 1e9);
   QueueResource rx(&sim, "rx", 1e9);
   SimTime done = -1;
@@ -108,7 +109,7 @@ TEST(NetworkTransferTest, OccupiesBothEndpoints) {
 }
 
 TEST(NetworkTransferTest, BottleneckIsSlowerSide) {
-  Simulation sim;
+  runtime::SimExecutor sim;
   QueueResource tx(&sim, "tx", 2e9);
   QueueResource rx(&sim, "rx", 1e9);  // slower receiver
   SimTime end = NetworkTransfer(&sim, &tx, &rx, 1000000000ull, 0);
@@ -116,7 +117,7 @@ TEST(NetworkTransferTest, BottleneckIsSlowerSide) {
 }
 
 TEST(NetworkTransferTest, ConcurrentTransfersToDistinctReceiversQueueOnTx) {
-  Simulation sim;
+  runtime::SimExecutor sim;
   QueueResource tx(&sim, "tx", 1e9);
   QueueResource rx1(&sim, "rx1", 1e9);
   QueueResource rx2(&sim, "rx2", 1e9);
@@ -127,7 +128,7 @@ TEST(NetworkTransferTest, ConcurrentTransfersToDistinctReceiversQueueOnTx) {
 }
 
 TEST(ClusterTest, NodesHaveSpecResources) {
-  Simulation sim;
+  runtime::SimExecutor sim;
   NodeSpec spec;
   spec.num_disks = 2;
   Cluster cluster(&sim, 4, spec);
@@ -137,7 +138,7 @@ TEST(ClusterTest, NodesHaveSpecResources) {
 }
 
 TEST(ClusterTest, LocalTransferIsFree) {
-  Simulation sim;
+  runtime::SimExecutor sim;
   Cluster cluster(&sim, 2);
   SimTime end = cluster.Transfer(0, 0, kGiB);
   EXPECT_EQ(end, 0);
@@ -145,7 +146,7 @@ TEST(ClusterTest, LocalTransferIsFree) {
 }
 
 TEST(ClusterTest, RemoteTransferUsesNics) {
-  Simulation sim;
+  runtime::SimExecutor sim;
   NodeSpec spec;
   spec.net_bytes_per_sec = 1e9;
   spec.net_latency = 0;
@@ -157,7 +158,7 @@ TEST(ClusterTest, RemoteTransferUsesNics) {
 }
 
 TEST(ClusterTest, FailNodeFlipsLiveness) {
-  Simulation sim;
+  runtime::SimExecutor sim;
   Cluster cluster(&sim, 3);
   cluster.FailNode(1);
   EXPECT_FALSE(cluster.node(1).alive());
@@ -165,7 +166,7 @@ TEST(ClusterTest, FailNodeFlipsLiveness) {
 }
 
 TEST(ClusterTest, MemoryAccountingEnforcesBudget) {
-  Simulation sim;
+  runtime::SimExecutor sim;
   NodeSpec spec;
   spec.memory_bytes = 1000;
   Cluster cluster(&sim, 1, spec);
@@ -177,7 +178,7 @@ TEST(ClusterTest, MemoryAccountingEnforcesBudget) {
 }
 
 TEST(ClusterTest, DiskReadWriteHaveIndependentQueues) {
-  Simulation sim;
+  runtime::SimExecutor sim;
   NodeSpec spec;
   spec.disk_read_bytes_per_sec = 2e9;
   spec.disk_write_bytes_per_sec = 1e9;
