@@ -201,7 +201,17 @@ const CheckpointRecord* Engine::LastCompletedCheckpoint() const {
 
 // -------------------------------------------------------------- handover --
 
-void Engine::StartHandover(std::shared_ptr<const HandoverSpec> spec) {
+ControlEvent Engine::HandoverMarkerFor(
+    const std::shared_ptr<const HandoverSpec>& spec) {
+  ControlEvent marker;
+  marker.type = ControlEvent::Type::kHandoverMarker;
+  marker.id = spec->id;
+  marker.handover = spec;
+  return marker;
+}
+
+void Engine::StartHandover(std::shared_ptr<const HandoverSpec> spec,
+                           bool inject_markers) {
   if (probe_) probe_("handover_start");
   obs_->metrics().GetCounter("rhino_handover_triggered_total")->Increment();
   obs_->trace().Emit(
@@ -220,10 +230,8 @@ void Engine::StartHandover(std::shared_ptr<const HandoverSpec> spec) {
     handovers_.push_back(std::move(record));
   }
 
-  ControlEvent marker;
-  marker.type = ControlEvent::Type::kHandoverMarker;
-  marker.id = spec->id;
-  marker.handover = spec;
+  if (!inject_markers) return;  // caller injects atomically with a rewind
+  ControlEvent marker = HandoverMarkerFor(spec);
   for (SourceInstance* s : sources_) {
     if (!s->halted()) s->InjectControl(marker);
   }

@@ -205,7 +205,16 @@ class Engine {
   HandoverDelegate* handover_delegate() { return delegate_; }
 
   /// Injects handover markers at every live source (paper §4.1.2 step ①).
-  void StartHandover(std::shared_ptr<const HandoverSpec> spec);
+  /// With `inject_markers` false only the handover record is registered;
+  /// the caller must deliver the marker (`HandoverMarkerFor`) to every
+  /// live source itself — recovery does this atomically with the source
+  /// rewind so no pre-rewind record can slip through a rewired gate.
+  void StartHandover(std::shared_ptr<const HandoverSpec> spec,
+                     bool inject_markers = true);
+
+  /// The control event `StartHandover` would inject for `spec`.
+  static ControlEvent HandoverMarkerFor(
+      const std::shared_ptr<const HandoverSpec>& spec);
 
   /// Instance-level acknowledgment (paper step ④).
   void OnHandoverInstanceDone(uint64_t handover_id, OperatorInstance* instance);

@@ -57,6 +57,27 @@ void SourceInstance::TryFetch() {
       });
 }
 
+void SourceInstance::ResetOffset(uint64_t offset) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  obs::TraceLog& trace = engine_->obs()->trace();
+  if (trace.data_events()) {
+    trace.Emit("source", "rewind", op_name() + "#" + std::to_string(subtask()),
+               0,
+               {{"from", static_cast<int64_t>(offset_)},
+                {"to", static_cast<int64_t>(offset)}});
+  }
+  offset_ = offset;
+  ++epoch_;
+}
+
+void SourceInstance::RewindThroughMarkers(
+    const std::vector<ControlEvent>& markers, uint64_t offset) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  for (const ControlEvent& ev : markers) InjectControl(ev);
+  ResetOffset(offset);
+  Start();
+}
+
 void SourceInstance::InjectControl(const ControlEvent& ev) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (halted()) return;

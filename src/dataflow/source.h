@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "broker/broker.h"
 #include "dataflow/operator.h"
@@ -37,11 +38,17 @@ class SourceInstance : public OperatorInstance {
   /// Rewinds (or advances) the consumer position; the next fetch reads
   /// from `offset`. Used for replay after a restart. Any fetch already in
   /// flight is invalidated (its result is discarded).
-  void ResetOffset(uint64_t offset) {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    offset_ = offset;
-    ++epoch_;
-  }
+  void ResetOffset(uint64_t offset);
+
+  /// Atomically injects `markers` at the current stream position, rewinds
+  /// to `offset`, and resumes fetching — all under the instance lock.
+  /// Recovery must not let a fetch complete between marker injection and
+  /// the rewind: its pre-rewind record would route through an already
+  /// rewired gate and advance the new owner's replay watermark past the
+  /// tail about to be replayed, which would then be deduplicated as
+  /// already seen (i.e. silently lost).
+  void RewindThroughMarkers(const std::vector<ControlEvent>& markers,
+                            uint64_t offset);
 
   broker::Partition* partition() { return partition_; }
 

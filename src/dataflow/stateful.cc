@@ -54,6 +54,15 @@ void StatefulInstance::HandleBatch(int channel_idx, Batch& batch) {
     }
     if (!dropped.empty()) {
       dedup_dropped_total_->Increment(dropped.size());
+      obs::TraceLog& dtrace = engine_->obs()->trace();
+      if (dtrace.data_events()) {
+        for (uint32_t v : dropped) {
+          dtrace.Emit("data", "dedup_drop", trace_scope_, 0,
+                      {{"vnode", static_cast<int64_t>(v)},
+                       {"source", static_cast<int64_t>(batch.source_id)},
+                       {"offset", static_cast<int64_t>(batch.source_offset)}});
+        }
+      }
       batch.slices = std::move(fresh);
       if (!batch.records.empty()) {
         std::vector<Record> keep;

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "sim/reliable_transfer.h"
 
 namespace rhino::dfs {
 
@@ -59,8 +60,13 @@ void DistributedFileSystem::WriteFile(const std::string& path, uint64_t bytes,
     return;
   }
   auto remaining = std::make_shared<std::atomic<size_t>>(file.blocks.size());
-  auto finish = [remaining, done]() {
-    if (remaining->fetch_sub(1) == 1) done(Status::OK());
+  auto failed = std::make_shared<std::atomic<bool>>(false);
+  auto finish = [remaining, failed, done]() {
+    if (remaining->fetch_sub(1) == 1) {
+      done(failed->load(std::memory_order_relaxed)
+               ? Status::IOError("block replication failed")
+               : Status::OK());
+    }
   };
   for (const Block& block : file.blocks) {
     // Pipeline: every replica receives the block; the writer ships it to
@@ -84,8 +90,13 @@ void DistributedFileSystem::WriteFile(const std::string& path, uint64_t bytes,
       if (replica == writer_node) {
         write_disk();
       } else {
-        cluster_->Transfer(writer_node, replica, block.bytes,
-                           std::move(write_disk));
+        sim::ReliableTransfer(
+            cluster_, writer_node, replica, block.bytes, options_.retry,
+            options_.retry_seed ^ NextTransferSeq(), "dfs_block_write",
+            std::move(write_disk), [failed, block_done](Status) {
+              failed->store(true, std::memory_order_relaxed);
+              block_done();
+            });
       }
     }
   }
@@ -153,11 +164,15 @@ void DistributedFileSystem::ReadFile(const std::string& path, int reader_node,
       src_node.disk(disk).Read(
           block_bytes,
           [this, source, reader_node, block_bytes, finish, client] {
-            cluster_->Transfer(
-                source, reader_node, block_bytes,
+            sim::ReliableTransfer(
+                cluster_, source, reader_node, block_bytes, options_.retry,
+                options_.retry_seed ^ NextTransferSeq(), "dfs_block_read",
                 [client, block_bytes, finish] {
                   client->Submit(block_bytes,
                                  [finish] { finish(Status::OK()); });
+                },
+                [finish](Status) {
+                  finish(Status::IOError("block fetch failed"));
                 });
           });
     }

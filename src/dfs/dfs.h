@@ -11,6 +11,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "runtime/retry.h"
 #include "sim/cluster.h"
 #include "sim/resource.h"
 
@@ -36,6 +37,21 @@ struct DfsOptions {
   /// single-pipeline reads); the paper's Flink fetch times imply roughly
   /// 0.4-0.5 GB/s per restoring task manager.
   double client_bytes_per_sec = 600e6;
+  /// Retry policy of block shipments (write pipeline copies and remote
+  /// reads): blocks swallowed by an injected network partition are resent
+  /// with jittered backoff; exhaustion surfaces IOError on the file
+  /// operation. See `sim::ReliableTransfer`.
+  runtime::RetryOptions retry = DefaultRetry();
+  uint64_t retry_seed = 0xDF5;
+
+  static runtime::RetryOptions DefaultRetry() {
+    runtime::RetryOptions r;
+    r.initial_backoff_us = 100 * kMillisecond;
+    r.max_backoff_us = kSecond;
+    r.max_attempts = 0;               // deadline-governed
+    r.deadline_us = 60 * kSecond;     // per block shipment
+    return r;
+  }
 };
 
 /// One replicated block.
@@ -96,6 +112,12 @@ class DistributedFileSystem {
   /// Per-reader-node client pipeline for remote block streaming.
   sim::QueueResource* ClientQueue(int reader_node);
 
+  /// Distinct backoff-jitter seed per block shipment.
+  uint64_t NextTransferSeq() {
+    return transfer_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> transfer_seq_{0};
   sim::Cluster* cluster_;
   std::vector<int> datanodes_;
   DfsOptions options_;

@@ -1,0 +1,170 @@
+#include "lsm/fault_env.h"
+
+#include <chrono>
+#include <thread>
+
+namespace rhino::lsm {
+
+/// Write handle that consults the owning FaultEnv on every mutation. A
+/// failing Append tears when the env says so: half the bytes land and are
+/// flushed before the error surfaces.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultEnv* env, std::unique_ptr<WritableFile> inner)
+      : env_(env), inner_(std::move(inner)) {}
+
+  Status Append(std::string_view data) override;
+  Status Flush() override;
+  Status Sync() override;
+  uint64_t Size() const override { return inner_->Size(); }
+
+ private:
+  FaultEnv* env_;
+  std::unique_ptr<WritableFile> inner_;
+};
+
+bool FaultEnv::ShouldFailWrite() {
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (budget_ == 0) {
+      fail = true;  // crashed: the machine stays down until healed
+    } else {
+      if (budget_ > 0) --budget_;
+      if (write_fail_prob_ > 0 &&
+          rng_.NextDouble() < write_fail_prob_) {
+        fail = true;
+      }
+    }
+  }
+  if (fail) injected_faults_.fetch_add(1, std::memory_order_relaxed);
+  return fail;
+}
+
+bool FaultEnv::ShouldFailRead() {
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail = read_fail_prob_ > 0 && rng_.NextDouble() < read_fail_prob_;
+  }
+  if (fail) injected_faults_.fetch_add(1, std::memory_order_relaxed);
+  return fail;
+}
+
+bool FaultEnv::TornAppends() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return torn_appends_;
+}
+
+void FaultEnv::MaybeDelay() {
+  int64_t us;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    us = latency_us_;
+  }
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+Status FaultWritableFile::Append(std::string_view data) {
+  env_->MaybeDelay();
+  if (env_->ShouldFailWrite()) {
+    if (env_->TornAppends()) {
+      // Torn write: half the record lands, then the "machine dies".
+      (void)inner_->Append(data.substr(0, data.size() / 2));
+      (void)inner_->Flush();
+      return Status::IOError("injected torn append");
+    }
+    return Status::IOError("injected append failure");
+  }
+  return inner_->Append(data);
+}
+
+Status FaultWritableFile::Flush() {
+  env_->MaybeDelay();
+  if (env_->ShouldFailWrite()) return Status::IOError("injected flush failure");
+  return inner_->Flush();
+}
+
+Status FaultWritableFile::Sync() {
+  env_->MaybeDelay();
+  if (env_->ShouldFailWrite()) return Status::IOError("injected sync failure");
+  return inner_->Sync();
+}
+
+Status FaultEnv::WriteFile(const std::string& path, std::string_view data) {
+  MaybeDelay();
+  if (ShouldFailWrite()) return Status::IOError("injected WriteFile failure");
+  return base_->WriteFile(path, data);
+}
+
+Status FaultEnv::AppendFile(const std::string& path, std::string_view data) {
+  MaybeDelay();
+  if (ShouldFailWrite()) return Status::IOError("injected AppendFile failure");
+  return base_->AppendFile(path, data);
+}
+
+Status FaultEnv::ReadFile(const std::string& path, std::string* out) {
+  MaybeDelay();
+  if (ShouldFailRead()) return Status::IOError("injected ReadFile failure");
+  return base_->ReadFile(path, out);
+}
+
+Status FaultEnv::ReadFileRange(const std::string& path, uint64_t offset,
+                               size_t n, std::string* out) {
+  MaybeDelay();
+  if (ShouldFailRead()) {
+    return Status::IOError("injected ReadFileRange failure");
+  }
+  return base_->ReadFileRange(path, offset, n, out);
+}
+
+Result<std::unique_ptr<RandomAccessFile>> FaultEnv::NewRandomAccessFile(
+    const std::string& path) {
+  MaybeDelay();
+  if (ShouldFailRead()) return Status::IOError("injected open failure");
+  return base_->NewRandomAccessFile(path);
+}
+
+Result<std::unique_ptr<WritableFile>> FaultEnv::NewWritableFile(
+    const std::string& path, bool append) {
+  MaybeDelay();
+  RHINO_ASSIGN_OR_RETURN(auto inner, base_->NewWritableFile(path, append));
+  return std::unique_ptr<WritableFile>(
+      new FaultWritableFile(this, std::move(inner)));
+}
+
+Result<uint64_t> FaultEnv::GetFileSize(const std::string& path) {
+  return base_->GetFileSize(path);
+}
+
+bool FaultEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultEnv::DeleteFile(const std::string& path) {
+  MaybeDelay();
+  if (ShouldFailWrite()) return Status::IOError("injected delete failure");
+  return base_->DeleteFile(path);
+}
+
+Status FaultEnv::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
+}
+
+Status FaultEnv::LinkFile(const std::string& src, const std::string& dst) {
+  MaybeDelay();
+  if (ShouldFailWrite()) return Status::IOError("injected link failure");
+  return base_->LinkFile(src, dst);
+}
+
+Status FaultEnv::RenameFile(const std::string& src, const std::string& dst) {
+  MaybeDelay();
+  if (ShouldFailWrite()) return Status::IOError("injected rename failure");
+  return base_->RenameFile(src, dst);
+}
+
+Result<std::vector<std::string>> FaultEnv::ListDir(const std::string& dir) {
+  return base_->ListDir(dir);
+}
+
+}  // namespace rhino::lsm

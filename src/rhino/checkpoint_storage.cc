@@ -53,9 +53,55 @@ void RhinoCheckpointStorage::Persist(dataflow::OperatorInstance* instance,
       desc.DeltaBytes(),
       [this, op, subtask, node_id, desc, blobs = std::move(blobs),
        done = std::move(done)]() mutable {
-        // ...then replicated asynchronously down the chain (§4.2.2).
-        runtime_->ReplicateCheckpoint(op, subtask, node_id, desc,
-                                      std::move(blobs), std::move(done));
+        // ...then replicated asynchronously down the chain (§4.2.2), with
+        // transient replication failures retried before surfacing.
+        auto retrier = std::make_shared<runtime::Retrier>(
+            cluster_->executor(), retry_, 0xC4E ^ desc.checkpoint_id,
+            "checkpoint_persist");
+        ReplicateWithRetry(
+            std::move(op), subtask, node_id, desc, std::move(retrier),
+            std::make_shared<const std::map<uint32_t, std::string>>(
+                std::move(blobs)),
+            std::move(done));
+      });
+}
+
+void RhinoCheckpointStorage::ReplicateWithRetry(
+    std::string op, uint32_t subtask, int node_id,
+    state::CheckpointDescriptor desc,
+    std::shared_ptr<runtime::Retrier> retrier,
+    std::shared_ptr<const std::map<uint32_t, std::string>> blobs,
+    std::function<void(Status)> done) {
+  // Each attempt consumes its own copy of the blobs (ReplicateCheckpoint
+  // takes them by value); the shared snapshot feeds every retry.
+  runtime_->ReplicateCheckpoint(
+      op, subtask, node_id, desc, *blobs,
+      [this, op, subtask, node_id, desc, retrier, blobs,
+       done = std::move(done)](Status st) mutable {
+        if (st.ok() || !runtime::IsTransientStatus(st)) {
+          // Success, or a permanent fault (Aborted = fail-stop): surface
+          // as-is. The periodic checkpoint cadence re-replicates later.
+          done(std::move(st));
+          return;
+        }
+        SimTime backoff = 0;
+        if (!retrier->NextBackoff(&backoff)) {
+          done(retrier->Exhausted(st));
+          return;
+        }
+        RHINO_LOG(Warn) << "replication of " << op << "#" << subtask
+                        << " ckpt " << desc.checkpoint_id
+                        << " failed transiently (" << st.ToString()
+                        << "); retry " << retrier->retries() << " in "
+                        << backoff << "us";
+        cluster_->executor()->Schedule(
+            backoff, [this, op = std::move(op), subtask, node_id, desc,
+                      retrier = std::move(retrier), blobs = std::move(blobs),
+                      done = std::move(done)]() mutable {
+              ReplicateWithRetry(std::move(op), subtask, node_id, desc,
+                                 std::move(retrier), std::move(blobs),
+                                 std::move(done));
+            });
       });
 }
 

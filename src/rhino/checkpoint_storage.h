@@ -24,18 +24,42 @@
 namespace rhino::rhino {
 
 /// Rhino: persist locally, replicate the delta down the replica chain.
+///
+/// A replication attempt that fails *transiently* (IOError / TimedOut —
+/// e.g. an injected fault stalled the chain past its budget) is retried
+/// with jittered backoff before the failure is surfaced to the checkpoint
+/// coordinator; permanent failures (Aborted: a chain member fail-stopped)
+/// propagate immediately — the next checkpoint re-replicates.
 class RhinoCheckpointStorage : public dataflow::CheckpointStorage {
  public:
-  RhinoCheckpointStorage(sim::Cluster* cluster, ReplicationRuntime* runtime)
-      : cluster_(cluster), runtime_(runtime) {}
+  RhinoCheckpointStorage(sim::Cluster* cluster, ReplicationRuntime* runtime,
+                         runtime::RetryOptions retry = DefaultRetry())
+      : cluster_(cluster), runtime_(runtime), retry_(retry) {}
 
   void Persist(dataflow::OperatorInstance* instance,
                const state::CheckpointDescriptor& desc,
                std::function<void(Status)> done) override;
 
+  static runtime::RetryOptions DefaultRetry() {
+    runtime::RetryOptions r;
+    r.initial_backoff_us = 200 * kMillisecond;
+    r.max_backoff_us = 2 * kSecond;
+    r.max_attempts = 3;  // the periodic checkpoint cadence is the backstop
+    return r;
+  }
+
  private:
+  /// One replication attempt; retries per `retry_` on transient failure.
+  void ReplicateWithRetry(std::string op, uint32_t subtask, int node_id,
+                          state::CheckpointDescriptor desc,
+                          std::shared_ptr<runtime::Retrier> retrier,
+                          std::shared_ptr<const std::map<uint32_t, std::string>>
+                              blobs,
+                          std::function<void(Status)> done);
+
   sim::Cluster* cluster_;
   ReplicationRuntime* runtime_;
+  runtime::RetryOptions retry_;
   std::mutex mu_;  ///< guards disk_cursor_ (Persist runs on node strands)
   std::map<int, int> disk_cursor_;
 };

@@ -14,6 +14,100 @@ using dataflow::HandoverSpec;
 using dataflow::SourceInstance;
 using dataflow::StatefulInstance;
 
+namespace {
+
+/// One bulk state shipment (migration tail / remote replica fetch) with a
+/// durability timeout and retransmission. `settled` makes the first
+/// terminal event win: a timed-out attempt's late delivery cannot fire
+/// `deliver` twice, and a retry racing a death cannot fire both callbacks.
+struct Shipment {
+  dataflow::Engine* engine = nullptr;
+  int src = -1;
+  int dst = -1;
+  uint64_t bytes = 0;
+  std::function<void()> deliver;
+  std::function<void(Status)> give_up;
+  std::shared_ptr<runtime::Retrier> retrier;
+  std::atomic<bool> settled{false};
+
+  bool Settle() { return !settled.exchange(true); }
+
+  static void Attempt(std::shared_ptr<Shipment> s) {
+    if (s->settled.load(std::memory_order_acquire)) return;
+    sim::Cluster* cluster = s->engine->cluster();
+    // Fail-stops are permanent — retrying cannot revive a dead endpoint.
+    if (!cluster->node(s->src).alive() || !cluster->node(s->dst).alive()) {
+      int dead = cluster->node(s->src).alive() ? s->dst : s->src;
+      if (s->Settle()) {
+        s->give_up(Status::Aborted("shipment endpoint node " +
+                                   std::to_string(dead) + " fail-stopped"));
+      }
+      return;
+    }
+    cluster->Transfer(
+        s->src, s->dst, s->bytes,
+        [s] {
+          if (s->settled.load(std::memory_order_acquire)) return;
+          sim::Node& tgt = s->engine->cluster()->node(s->dst);
+          tgt.disk(0).Write(s->bytes, [s] {
+            if (s->Settle()) s->deliver();
+          });
+        },
+        sim::TransferKind::kState);
+    // Durability timeout: a generous multiple of the fault-free duration.
+    // An injected partition swallows the shipment entirely; the timeout is
+    // what turns that silence into a retry.
+    const sim::NodeSpec& spec = cluster->node(s->dst).spec();
+    SimTime expected = TransferTime(s->bytes, spec.net_bytes_per_sec) +
+                       TransferTime(s->bytes, spec.disk_write_bytes_per_sec) +
+                       spec.net_latency;
+    SimTime timeout = expected * 3 + 50 * kMillisecond;
+    s->engine->executor()->Schedule(timeout, [s] {
+      if (s->settled.load(std::memory_order_acquire)) return;
+      SimTime backoff = 0;
+      if (!s->retrier->NextBackoff(&backoff)) {
+        if (s->Settle()) {
+          s->give_up(s->retrier->Exhausted(Status::TimedOut(
+              "state shipment to node " + std::to_string(s->dst) +
+              " not durable in time")));
+        }
+        return;
+      }
+      s->engine->executor()->Schedule(backoff, [s] { Attempt(s); });
+    });
+  }
+};
+
+}  // namespace
+
+void HandoverManager::ShipStateWithRetry(int src, int dst, uint64_t bytes,
+                                         uint64_t handover_id,
+                                         std::function<void()> deliver,
+                                         std::function<void(Status)> give_up) {
+  if (options_.retry.initial_backoff_us == 0) {
+    // Watchdog disabled: the historical fire-and-forget path.
+    sim::Node& tgt = engine_->cluster()->node(dst);
+    engine_->cluster()->Transfer(
+        src, dst, bytes,
+        [&tgt, bytes, deliver = std::move(deliver)]() mutable {
+          tgt.disk(0).Write(bytes, std::move(deliver));
+        },
+        sim::TransferKind::kState);
+    return;
+  }
+  auto s = std::make_shared<Shipment>();
+  s->engine = engine_;
+  s->src = src;
+  s->dst = dst;
+  s->bytes = bytes;
+  s->deliver = std::move(deliver);
+  s->give_up = std::move(give_up);
+  s->retrier = std::make_shared<runtime::Retrier>(
+      engine_->executor(), options_.retry, options_.retry_seed ^ handover_id,
+      "handover_shipment", engine_->obs());
+  Shipment::Attempt(std::move(s));
+}
+
 uint64_t HandoverManager::TriggerReconfiguration(
     const std::string& op, std::vector<HandoverMove> moves) {
   auto spec = std::make_shared<HandoverSpec>();
@@ -151,8 +245,15 @@ std::vector<uint64_t> HandoverManager::RecoverFailedNode(int node) {
         HandoverMove{me, static_cast<uint32_t>(best->subtask()), vnodes});
   }
 
-  // Inject the markers *before* rewinding: the markers rewire upstream
-  // gates, so every replayed record routes to the new owners.
+  // Markers go in *before* the rewind (they rewire the upstream gates, so
+  // every replayed record routes to the new owners) — but both must land
+  // on each source atomically. Under real threads, a source left running
+  // between marker injection and its rewind can emit a pre-rewind record
+  // through an already-rewired gate; the new owner's replay watermark
+  // then jumps past the tail about to be replayed and deduplicates it as
+  // already seen — silently losing records the simulator (where this
+  // whole block is one event) could never lose.
+  std::vector<dataflow::ControlEvent> markers;
   for (auto& [op, moves] : moves_per_op) {
     auto spec = std::make_shared<HandoverSpec>();
     spec->id = NextHandoverId();
@@ -164,7 +265,8 @@ std::vector<uint64_t> HandoverManager::RecoverFailedNode(int node) {
       stats.triggered_at = engine_->executor()->Now();
       stats.moves = static_cast<int>(spec->moves.size());
     });
-    engine_->StartHandover(spec);
+    engine_->StartHandover(spec, /*inject_markers=*/false);
+    markers.push_back(dataflow::Engine::HandoverMarkerFor(spec));
     handovers.push_back(spec->id);
   }
 
@@ -181,8 +283,7 @@ std::vector<uint64_t> HandoverManager::RecoverFailedNode(int node) {
         if (oit != it->second.source_offsets.end()) offset = oit->second;
       }
     }
-    src->ResetOffset(offset);
-    src->Start();
+    src->RewindThroughMarkers(markers, offset);
   }
 
   // Repair the replica groups that lost the failed worker, then catch the
@@ -342,13 +443,18 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
       engine_->executor()->Schedule(0, std::move(ingest));
     } else {
       // Write the tail locally (part of the checkpoint), then ship it and
-      // spool it at the target.
-      sim::Node& tgt = engine_->cluster()->node(target_node);
-      engine_->cluster()->Transfer(
-          origin_node, target_node, wire_bytes,
-          [&tgt, wire_bytes, ingest = std::move(ingest)]() mutable {
-            tgt.disk(0).Write(wire_bytes, std::move(ingest));
-          });
+      // spool it at the target. A shipment swallowed by an injected fault
+      // is retransmitted; exhausting the retry budget abandons the move
+      // (the origin keeps its state, like a target fail-stop).
+      ShipStateWithRetry(origin_node, target_node, wire_bytes, spec.id,
+                         std::move(ingest),
+                         [spec_id = spec.id, abandon](Status st) {
+                           RHINO_LOG(Warn)
+                               << "handover " << spec_id
+                               << ": tail shipment failed permanently: "
+                               << st.ToString();
+                           abandon();
+                         });
     }
     return;
   }
@@ -519,14 +625,32 @@ void HandoverManager::TransferState(const HandoverSpec& spec,
           ->metrics()
           .GetCounter("rhino_handover_bytes_total")
           ->Increment(plan->remote_bytes);
-      sim::Node& tgt = engine_->cluster()->node(target->node_id());
       uint64_t wire = plan->remote_bytes;
-      engine_->cluster()->Transfer(
-          plan->remote_source, target->node_id(), wire,
-          [this, &tgt, wire, restore]() {
-            tgt.disk(0).Write(wire, [this, restore]() {
-              engine_->executor()->Schedule(options_.local_fetch_us, restore);
-            });
+      ShipStateWithRetry(
+          plan->remote_source, target->node_id(), wire, spec.id,
+          [this, restore]() {
+            engine_->executor()->Schedule(options_.local_fetch_us, restore);
+          },
+          [this, op, spec_copy, move_copy, plan, restore](Status st) {
+            // The remote copy stayed unreachable past the retry budget:
+            // degrade to upstream replay, the same contract as vnodes with
+            // no live copy at planning time.
+            degraded_restores_.fetch_add(1, std::memory_order_relaxed);
+            engine_->obs()
+                ->metrics()
+                .GetCounter("rhino_handover_degraded_restores_total")
+                ->Increment();
+            engine_->obs()->trace().Emit(
+                "handover", "degraded_restore",
+                op + "#" + std::to_string(move_copy.target_instance),
+                spec_copy.id);
+            RHINO_LOG(Warn) << "handover " << spec_copy.id
+                            << ": remote replica fetch failed permanently ("
+                            << st.ToString()
+                            << "); restoring from upstream replay only";
+            plan->blobs.clear();
+            plan->marks.clear();
+            engine_->executor()->Schedule(options_.local_fetch_us, restore);
           });
     }
   } else {

@@ -57,6 +57,16 @@ struct HandoverOptions {
   SimTime load_per_file_us = 2 * kMillisecond;
   /// Failure-detection + planning delay before a recovery handover.
   SimTime recovery_scheduling_us = 2500 * kMillisecond;
+
+  /// Retry policy of the bulk state shipments (migration tail, remote
+  /// replica fetch): a shipment that is not durable at the target within a
+  /// generous multiple of its fault-free duration is resent with jittered
+  /// backoff (injected partitions drop state transfers). The deadline
+  /// bounds continuous failure, not total shipment time; exhaustion
+  /// abandons the move / degrades the restore to upstream replay. Set
+  /// `retry.initial_backoff_us = 0` to disable.
+  runtime::RetryOptions retry = ReplicationOptions::DefaultRetry();
+  uint64_t retry_seed = 0x4a0b;
 };
 
 /// Per-handover observability (drives Table 1's time breakdown).
@@ -133,6 +143,15 @@ class HandoverManager : public dataflow::HandoverDelegate {
   uint64_t NextHandoverId() {
     return next_handover_id_.fetch_add(1, std::memory_order_relaxed);
   }
+
+  /// Ships `bytes` from `src` to `dst` and spools them to the target's
+  /// disk, retrying per `options_.retry` when an injected fault swallows
+  /// the shipment. Exactly one of `deliver` (durable at the target) or
+  /// `give_up` (a chain member died, or the retry budget ran out) fires.
+  void ShipStateWithRetry(int src, int dst, uint64_t bytes,
+                          uint64_t handover_id,
+                          std::function<void()> deliver,
+                          std::function<void(Status)> give_up);
 
   /// Applies `fn` to the stats row of `id` under the stats lock (moves of
   /// one handover resolve concurrently on different node strands).

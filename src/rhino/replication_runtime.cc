@@ -26,15 +26,52 @@ struct ReplicationRuntime::Transfer {
 
   std::vector<uint64_t> next_to_send;  // per hop
   std::vector<int> credits;            // per hop
-  std::vector<uint64_t> available;     // per path node: chunks received
-  std::vector<uint64_t> durable;       // per path node: chunks on disk
+  /// Per path node: length of the contiguous received-chunk prefix — how
+  /// far this node can pump the next hop.
+  std::vector<uint64_t> contiguous;
+  /// Per path node: chunks spooled to disk.
+  std::vector<uint64_t> durable;
+  /// Per path node, per chunk: arrival / durability bitmaps. A dropped
+  /// chunk (injected partition) is retransmitted by the stall watchdog;
+  /// these make the duplicate deliveries that retransmission can cause
+  /// idempotent.
+  std::vector<std::vector<bool>> received;
+  std::vector<std::vector<bool>> written;
   std::map<int, int> disk_cursor;
   std::function<void()> finalize;
   bool completed = false;
   uint64_t span = 0;  // open "replication"/"transfer" trace span
 
+  /// Forward-progress ticks (arrivals + durability acks); the watchdog
+  /// compares against `progress_marker` to detect a stall.
+  uint64_t progress = 0;
+  uint64_t progress_marker = 0;
+  std::unique_ptr<runtime::Retrier> retrier;
+
   uint64_t ChunkSize(uint64_t index) const {
     return index + 1 == total_chunks ? last_chunk_bytes : chunk_bytes;
+  }
+};
+
+/// One catch-up copy in flight: `finished` makes the first terminal event
+/// (copy durable, target/source death, retry budget exhausted) win, so
+/// `finish` fires exactly once even when a timed-out attempt's delivery
+/// races a retry.
+struct ReplicationRuntime::CatchUp {
+  std::string key;
+  int source = -1;
+  int target = -1;
+  uint64_t bytes = 0;
+  std::shared_ptr<ReplicaState> snapshot;
+  std::function<void(Status)> finish;
+  std::shared_ptr<runtime::Retrier> retrier;
+  std::atomic<bool> finished{false};
+
+  /// First terminal event wins.
+  bool Finish(Status st) {
+    if (finished.exchange(true)) return false;
+    finish(std::move(st));
+    return true;
   }
 };
 
@@ -45,12 +82,6 @@ void ReplicationRuntime::ReplicateCheckpoint(
   std::vector<int> group = manager_->Group(op, subtask);
   uint64_t delta = desc.DeltaBytes();
   if (probe_) probe_("replication_transfer");
-  if (chunks_metric_ == nullptr) {
-    chunks_metric_ =
-        obs_->metrics().GetCounter("rhino_replication_chunks_total");
-    chunk_bytes_metric_ =
-        obs_->metrics().GetCounter("rhino_replication_bytes_total");
-  }
   obs_->metrics().GetCounter("rhino_replication_transfers_total")->Increment();
 
   auto transfer = std::make_shared<Transfer>();
@@ -68,12 +99,18 @@ void ReplicationRuntime::ReplicateCheckpoint(
   transfer->done = std::move(done);
 
   size_t hops = transfer->path.size() - 1;
+  size_t members = transfer->path.size();
+  uint64_t chunks = transfer->total_chunks;
   transfer->next_to_send.assign(hops, 0);
   transfer->credits.assign(hops, options_.credit_window);
-  transfer->available.assign(transfer->path.size(), 0);
-  transfer->durable.assign(transfer->path.size(), 0);
-  transfer->available[0] = transfer->total_chunks;  // primary has everything
-  transfer->durable[0] = transfer->total_chunks;
+  transfer->contiguous.assign(members, 0);
+  transfer->durable.assign(members, 0);
+  transfer->received.assign(members, std::vector<bool>(chunks, false));
+  transfer->written.assign(members, std::vector<bool>(chunks, false));
+  transfer->contiguous[0] = chunks;  // primary has everything
+  transfer->durable[0] = chunks;
+  transfer->received[0].assign(chunks, true);
+  transfer->written[0].assign(chunks, true);
   transfer->span = obs_->trace().BeginSpan(
       "replication", "transfer", Key(op, subtask), desc.checkpoint_id,
       {{"bytes", static_cast<int64_t>(delta)},
@@ -127,8 +164,59 @@ void ReplicationRuntime::ReplicateCheckpoint(
     return;
   }
   transfer->finalize = std::move(finalize);
+  if (options_.retry.initial_backoff_us > 0) {
+    transfer->retrier = std::make_unique<runtime::Retrier>(
+        cluster_->executor(), options_.retry,
+        options_.retry_seed ^ desc.checkpoint_id, "replication_transfer",
+        obs_);
+    ArmWatchdog(transfer, options_.retry.initial_backoff_us);
+  }
   std::lock_guard<std::recursive_mutex> lock(transfer->mu);
   for (size_t hop = 0; hop < hops; ++hop) PumpHop(transfer, hop);
+}
+
+void ReplicationRuntime::ArmWatchdog(std::shared_ptr<Transfer> transfer,
+                                     SimTime delay) {
+  cluster_->executor()->Schedule(delay, [this, transfer] {
+    std::lock_guard<std::recursive_mutex> lock(transfer->mu);
+    if (transfer->completed) return;  // done or aborted: watchdog retires
+    if (transfer->progress != transfer->progress_marker) {
+      // Forward progress since the last check: reset the backoff ladder
+      // and the stall deadline, check again after the base interval.
+      transfer->progress_marker = transfer->progress;
+      transfer->retrier->Arm();
+      ArmWatchdog(transfer, options_.retry.initial_backoff_us);
+      return;
+    }
+    SimTime backoff = 0;
+    if (!transfer->retrier->NextBackoff(&backoff)) {
+      AbortTransfer(transfer, transfer->retrier->Exhausted(Status::TimedOut(
+                                  "replication chain stalled")));
+      return;
+    }
+    // Stalled (chunks or durability acks lost): rewind each hop to its
+    // receiver's contiguous prefix and restore full credits. Duplicate
+    // deliveries of chunks that were merely delayed are absorbed by the
+    // received/written bitmaps.
+    retransmit_rounds_.fetch_add(1, std::memory_order_relaxed);
+    obs_->metrics()
+        .GetCounter("rhino_replication_retransmit_rounds_total")
+        ->Increment();
+    obs_->trace().Emit("replication", "retransmit",
+                       Key(transfer->op, transfer->subtask),
+                       transfer->desc.checkpoint_id);
+    if (probe_) probe_("replication_retry");
+    size_t hops = transfer->path.size() - 1;
+    for (size_t h = 0; h < hops; ++h) {
+      transfer->next_to_send[h] = transfer->contiguous[h + 1];
+      transfer->credits[h] = options_.credit_window;
+    }
+    for (size_t h = 0; h < hops; ++h) {
+      PumpHop(transfer, h);
+      if (transfer->completed) return;
+    }
+    ArmWatchdog(transfer, backoff);
+  });
 }
 
 void ReplicationRuntime::AbortTransfer(const std::shared_ptr<Transfer>& transfer,
@@ -157,13 +245,15 @@ void ReplicationRuntime::PumpHop(std::shared_ptr<Transfer> transfer,
   // Requires transfer->mu held by the caller.
   if (transfer->completed) return;
   while (transfer->credits[hop] > 0 &&
-         transfer->next_to_send[hop] < transfer->available[hop]) {
+         transfer->next_to_send[hop] < transfer->contiguous[hop]) {
     int src = transfer->path[hop];
     int dst = transfer->path[hop + 1];
     // Fail-stop detection: a dead sender cannot pump, a dead receiver
     // cannot spool. Either way the chain is broken — complete with an
     // error instead of streaming into the void (the next checkpoint, or a
-    // catch-up transfer, re-replicates).
+    // catch-up transfer, re-replicates). A fail-stop is *permanent*
+    // (Aborted, never retried), unlike the transient stalls the watchdog
+    // absorbs.
     if (!cluster_->node(src).alive() || !cluster_->node(dst).alive()) {
       int dead = cluster_->node(src).alive() ? dst : src;
       AbortTransfer(transfer,
@@ -184,49 +274,73 @@ void ReplicationRuntime::PumpHop(std::shared_ptr<Transfer> transfer,
     chunks_metric_->Increment();
     chunk_bytes_metric_->Increment(bytes);
     if (probe_) probe_("replication_chunk");
-    cluster_->Transfer(src, dst, bytes, [this, transfer, hop, bytes] {
-      std::lock_guard<std::recursive_mutex> lock(transfer->mu);
-      if (transfer->completed) return;
-      // Chunk arrived at the receiver: it may flow further down the chain
-      // immediately (chain replication pipelines hops)...
-      size_t receiver = hop + 1;
-      int node_id = transfer->path[receiver];
-      if (!cluster_->node(node_id).alive()) {
-        AbortTransfer(transfer, Status::Aborted(
+    cluster_->Transfer(
+        src, dst, bytes,
+        [this, transfer, hop, chunk, bytes] {
+          std::lock_guard<std::recursive_mutex> lock(transfer->mu);
+          if (transfer->completed) return;
+          // Chunk arrived at the receiver: it may flow further down the
+          // chain immediately (chain replication pipelines hops)...
+          size_t receiver = hop + 1;
+          int node_id = transfer->path[receiver];
+          if (!cluster_->node(node_id).alive()) {
+            AbortTransfer(transfer, Status::Aborted(
+                                        "replica chain member node " +
+                                        std::to_string(node_id) +
+                                        " fail-stopped mid-transfer"));
+            return;
+          }
+          if (transfer->received[receiver][chunk]) return;  // retransmit dup
+          transfer->received[receiver][chunk] = true;
+          ++transfer->progress;
+          uint64_t& prefix = transfer->contiguous[receiver];
+          while (prefix < transfer->total_chunks &&
+                 transfer->received[receiver][prefix]) {
+            ++prefix;
+          }
+          if (receiver < transfer->path.size() - 1) {
+            PumpHop(transfer, receiver);
+            if (transfer->completed) return;
+          }
+          // ...while the receiver spools it to disk asynchronously. The
+          // credit returns only once the chunk is durable (credit-based
+          // flow control: the sender can never overrun a slow receiver's
+          // storage).
+          sim::Node& node = cluster_->node(node_id);
+          int disk = transfer->disk_cursor[node_id]++ % node.num_disks();
+          node.disk(disk).Write(
+              bytes, [this, transfer, hop, receiver, chunk, node_id] {
+                std::lock_guard<std::recursive_mutex> lock(transfer->mu);
+                if (transfer->completed) return;
+                if (!cluster_->node(node_id).alive()) {
+                  AbortTransfer(transfer,
+                                Status::Aborted(
                                     "replica chain member node " +
                                     std::to_string(node_id) +
-                                    " fail-stopped mid-transfer"));
-        return;
-      }
-      ++transfer->available[receiver];
-      if (receiver < transfer->path.size() - 1) PumpHop(transfer, receiver);
-      // ...while the receiver spools it to disk asynchronously. The credit
-      // returns only once the chunk is durable (credit-based flow control:
-      // the sender can never overrun a slow receiver's storage).
-      sim::Node& node = cluster_->node(node_id);
-      int disk = transfer->disk_cursor[node_id]++ % node.num_disks();
-      node.disk(disk).Write(bytes, [this, transfer, hop, receiver, node_id] {
-        std::lock_guard<std::recursive_mutex> lock(transfer->mu);
-        if (transfer->completed) return;
-        if (!cluster_->node(node_id).alive()) {
-          AbortTransfer(transfer, Status::Aborted(
-                                      "replica chain member node " +
-                                      std::to_string(node_id) +
-                                      " fail-stopped before durability"));
-          return;
-        }
-        ++transfer->durable[receiver];
-        ++transfer->credits[hop];
-        PumpHop(transfer, hop);
-        if (receiver == transfer->path.size() - 1 &&
-            transfer->durable[receiver] == transfer->total_chunks) {
-          // Move the closure out before invoking: it captures the
-          // transfer's own shared_ptr, and a stored copy would cycle.
-          auto fin = std::move(transfer->finalize);
-          fin();
-        }
-      });
-    });
+                                    " fail-stopped before durability"));
+                  return;
+                }
+                if (transfer->written[receiver][chunk]) return;
+                transfer->written[receiver][chunk] = true;
+                ++transfer->durable[receiver];
+                ++transfer->progress;
+                // A watchdog reset may have already restored full credits;
+                // clamp so late durability acks cannot overshoot the window.
+                transfer->credits[hop] =
+                    std::min(options_.credit_window, transfer->credits[hop] + 1);
+                PumpHop(transfer, hop);
+                if (transfer->completed) return;
+                if (receiver == transfer->path.size() - 1 &&
+                    transfer->durable[receiver] == transfer->total_chunks) {
+                  // Move the closure out before invoking: it captures the
+                  // transfer's own shared_ptr, and a stored copy would
+                  // cycle.
+                  auto fin = std::move(transfer->finalize);
+                  fin();
+                }
+              });
+            },
+        sim::TransferKind::kState);
   }
 }
 
@@ -346,56 +460,109 @@ void ReplicationRuntime::CatchUpReplicas(const std::string& op,
   auto ctl = std::make_shared<Settle>();
   ctl->remaining.store(lagging.size());
   ctl->done = std::move(done);
-  auto fail = [ctl](Status st) {
-    std::lock_guard<std::mutex> lock(ctl->mu);
-    if (ctl->aggregate.ok()) ctl->aggregate = std::move(st);
-  };
   uint64_t bytes = snapshot->latest_descriptor.TotalBytes();
-  auto settle = [ctl] {
-    if (ctl->remaining.fetch_sub(1) == 1 && ctl->done) {
-      std::lock_guard<std::mutex> lock(ctl->mu);
-      ctl->done(ctl->aggregate);
-    }
-  };
   for (int m : lagging) {
-    catchup_transfers_.fetch_add(1, std::memory_order_relaxed);
-    catchup_bytes_.fetch_add(bytes, std::memory_order_relaxed);
-    obs_->metrics().GetCounter("rhino_replication_catchup_total")->Increment();
-    obs_->metrics()
-        .GetCounter("rhino_replication_catchup_bytes_total")
-        ->Increment(bytes);
-    obs_->trace().Emit("replication", "catchup", key,
-                       snapshot->latest_checkpoint_id,
-                       {{"target_node", m},
-                        {"bytes", static_cast<int64_t>(bytes)}});
-    cluster_->Transfer(
-        source, m, bytes,
-        [this, key, m, bytes, snapshot, fail, settle]() mutable {
+    auto copy = std::make_shared<CatchUp>();
+    copy->key = key;
+    copy->source = source;
+    copy->target = m;
+    copy->bytes = bytes;
+    copy->snapshot = snapshot;
+    copy->finish = [this, ctl](Status st) {
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(ctl->mu);
+        if (ctl->aggregate.ok()) ctl->aggregate = std::move(st);
+      }
+      if (ctl->remaining.fetch_sub(1) == 1 && ctl->done) {
+        std::lock_guard<std::mutex> lock(ctl->mu);
+        ctl->done(ctl->aggregate);
+      }
+    };
+    copy->retrier = std::make_shared<runtime::Retrier>(
+        cluster_->executor(), options_.retry,
+        options_.retry_seed ^ (snapshot->latest_checkpoint_id * 31 +
+                               static_cast<uint64_t>(m)),
+        "replication_catchup", obs_);
+    AttemptCatchUp(std::move(copy));
+  }
+}
+
+void ReplicationRuntime::AttemptCatchUp(std::shared_ptr<CatchUp> ctl) {
+  if (ctl->finished.load(std::memory_order_acquire)) return;
+  int m = ctl->target;
+  // Fail-stops are permanent: no retry brings the copy (or its source)
+  // back, so surface Aborted immediately.
+  if (!cluster_->node(m).alive()) {
+    ctl->Finish(Status::Aborted("catch-up target node " + std::to_string(m) +
+                                " died"));
+    return;
+  }
+  if (!cluster_->node(ctl->source).alive()) {
+    ctl->Finish(Status::Aborted("catch-up source node " +
+                                std::to_string(ctl->source) + " died"));
+    return;
+  }
+  uint64_t bytes = ctl->bytes;
+  catchup_transfers_.fetch_add(1, std::memory_order_relaxed);
+  catchup_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  obs_->metrics().GetCounter("rhino_replication_catchup_total")->Increment();
+  obs_->metrics()
+      .GetCounter("rhino_replication_catchup_bytes_total")
+      ->Increment(bytes);
+  obs_->trace().Emit("replication", "catchup", ctl->key,
+                     ctl->snapshot->latest_checkpoint_id,
+                     {{"target_node", m},
+                      {"bytes", static_cast<int64_t>(bytes)},
+                      {"attempt", ctl->retrier->retries() + 1}});
+  cluster_->Transfer(
+      ctl->source, m, bytes,
+      [this, ctl, m, bytes]() mutable {
+        if (ctl->finished.load(std::memory_order_acquire)) return;
+        if (!cluster_->node(m).alive()) {
+          ctl->Finish(Status::Aborted("catch-up target node " +
+                                      std::to_string(m) + " died"));
+          return;
+        }
+        sim::Node& node = cluster_->node(m);
+        int disk;
+        {
+          std::lock_guard<std::mutex> lock(catalog_mu_);
+          disk = disk_cursor_[m]++ % node.num_disks();
+        }
+        node.disk(disk).Write(bytes, [this, ctl, m]() mutable {
           if (!cluster_->node(m).alive()) {
-            fail(Status::Aborted("catch-up target node " + std::to_string(m) +
-                                 " died"));
-            settle();
+            ctl->Finish(Status::Aborted("catch-up target node " +
+                                        std::to_string(m) + " died"));
             return;
           }
-          sim::Node& node = cluster_->node(m);
-          int disk;
-          {
+          if (ctl->Finish(Status::OK())) {
             std::lock_guard<std::mutex> lock(catalog_mu_);
-            disk = disk_cursor_[m]++ % node.num_disks();
+            replicas_[ctl->key][m] = *ctl->snapshot;
           }
-          node.disk(disk).Write(
-              bytes, [this, key, m, snapshot, fail, settle]() mutable {
-                if (cluster_->node(m).alive()) {
-                  std::lock_guard<std::mutex> lock(catalog_mu_);
-                  replicas_[key][m] = *snapshot;
-                } else {
-                  fail(Status::Aborted("catch-up target node " +
-                                       std::to_string(m) + " died"));
-                }
-                settle();
-              });
         });
-  }
+      },
+      sim::TransferKind::kState);
+  // Timeout guard: if the copy is not durable within a generous multiple
+  // of its fault-free duration (the transfer may be dropped by an injected
+  // partition), retry with backoff; an exhausted budget surfaces TimedOut.
+  const sim::NodeSpec& spec = cluster_->node(m).spec();
+  SimTime expected =
+      TransferTime(bytes, spec.net_bytes_per_sec) +
+      TransferTime(bytes, spec.disk_write_bytes_per_sec) + spec.net_latency;
+  SimTime timeout = expected * 3 + 50 * kMillisecond;
+  cluster_->executor()->Schedule(timeout, [this, ctl] {
+    if (ctl->finished.load(std::memory_order_acquire)) return;
+    SimTime backoff = 0;
+    if (!ctl->retrier->NextBackoff(&backoff)) {
+      ctl->Finish(ctl->retrier->Exhausted(Status::TimedOut(
+          "catch-up copy to node " + std::to_string(ctl->target) +
+          " not durable in time")));
+      return;
+    }
+    cluster_->executor()->Schedule(backoff, [this, ctl]() mutable {
+      AttemptCatchUp(std::move(ctl));
+    });
+  });
 }
 
 void ReplicationRuntime::SeedReplica(const std::string& op, uint32_t subtask,

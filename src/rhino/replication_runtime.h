@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "obs/observability.h"
 #include "rhino/replication_manager.h"
+#include "runtime/retry.h"
 #include "sim/cluster.h"
 #include "state/checkpoint.h"
 
@@ -47,6 +48,26 @@ struct ReplicationOptions {
   int credit_window = 4;
   /// One-way latency of a (tiny) ack message.
   SimTime ack_latency = 200;
+  /// Stall recovery: a per-transfer watchdog retransmits unacknowledged
+  /// chunks when the chain makes no forward progress for one (jittered,
+  /// exponentially growing) backoff interval — e.g. chunks dropped by an
+  /// injected network partition. The deadline measures *stall* time, not
+  /// total transfer time: it re-arms on every chunk arrival or durability
+  /// ack, so a slow-but-progressing transfer never times out, while a
+  /// fully stalled one aborts with TimedOut once the budget runs out.
+  /// Set `retry.initial_backoff_us = 0` to disable the watchdog.
+  runtime::RetryOptions retry = DefaultRetry();
+  /// Seed of the watchdog's backoff jitter (deterministic under sim).
+  uint64_t retry_seed = 0x7e71;
+
+  static runtime::RetryOptions DefaultRetry() {
+    runtime::RetryOptions r;
+    r.initial_backoff_us = 100 * kMillisecond;
+    r.max_backoff_us = kSecond;
+    r.max_attempts = 0;               // deadline-governed
+    r.deadline_us = 120 * kSecond;    // of continuous stall
+    return r;
+  }
 };
 
 /// Everything the replicas know about one instance's latest state.
@@ -63,7 +84,9 @@ class ReplicationRuntime {
  public:
   ReplicationRuntime(sim::Cluster* cluster, ReplicationManager* manager,
                      ReplicationOptions options = ReplicationOptions())
-      : cluster_(cluster), manager_(manager), options_(options) {}
+      : cluster_(cluster), manager_(manager), options_(options) {
+    SetObservability(obs_);
+  }
 
   /// Asynchronously replicates the *delta* of `desc` from `primary_node`
   /// through the instance's replica chain. `blobs` carries the per-vnode
@@ -127,10 +150,14 @@ class ReplicationRuntime {
   }
 
   /// Installs the observability context (defaults to the process-wide one).
+  /// Must be called before any transfer starts: the per-chunk counters are
+  /// resolved here, eagerly, so the hot chunk path (which runs on node
+  /// strands concurrently) never writes the cached pointers.
   void SetObservability(obs::Observability* o) {
     obs_ = o;
-    chunks_metric_ = nullptr;
-    chunk_bytes_metric_ = nullptr;
+    chunks_metric_ = obs_->metrics().GetCounter("rhino_replication_chunks_total");
+    chunk_bytes_metric_ =
+        obs_->metrics().GetCounter("rhino_replication_bytes_total");
   }
 
   // ---- diagnostics ----
@@ -142,12 +169,19 @@ class ReplicationRuntime {
   uint64_t transfers_aborted() const { return transfers_aborted_.load(); }
   uint64_t catchup_transfers() const { return catchup_transfers_.load(); }
   uint64_t catchup_bytes() const { return catchup_bytes_.load(); }
+  /// Chunk retransmission rounds triggered by the stall watchdog.
+  uint64_t retransmit_rounds() const { return retransmit_rounds_.load(); }
 
  private:
   struct Transfer;
+  struct CatchUp;
   void PumpHop(std::shared_ptr<Transfer> transfer, size_t hop);
   /// Completes `transfer` with an error exactly once.
   void AbortTransfer(const std::shared_ptr<Transfer>& transfer, Status status);
+  /// Schedules the next stall check `delay` from now.
+  void ArmWatchdog(std::shared_ptr<Transfer> transfer, SimTime delay);
+  /// Runs one catch-up copy attempt (with its timeout/retry guard).
+  void AttemptCatchUp(std::shared_ptr<CatchUp> ctl);
 
   static std::string Key(const std::string& op, uint32_t subtask) {
     return op + "#" + std::to_string(subtask);
@@ -176,6 +210,7 @@ class ReplicationRuntime {
   std::atomic<uint64_t> transfers_aborted_{0};
   std::atomic<uint64_t> catchup_transfers_{0};
   std::atomic<uint64_t> catchup_bytes_{0};
+  std::atomic<uint64_t> retransmit_rounds_{0};
 };
 
 }  // namespace rhino::rhino

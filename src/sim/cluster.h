@@ -26,6 +26,30 @@
 
 namespace rhino::sim {
 
+/// What a network transfer carries. Fault policies distinguish the data
+/// plane (record batches: reliable-transport semantics, delayable but
+/// never silently lost) from state movement (replication chunks, catch-up
+/// copies, handover tails: droppable, because the protocols above carry
+/// their own retry/timeout machinery and surface permanent loss as an
+/// error Status).
+enum class TransferKind { kData, kState };
+
+/// Verdict of a fault policy on one network transfer.
+struct LinkFault {
+  bool drop = false;          ///< swallow the transfer: `done` never fires
+  SimTime extra_latency = 0;  ///< added one-way latency (microseconds)
+};
+
+/// Seam for injected network faults: consulted by `Cluster::Transfer` on
+/// every send. Implementations must be thread-safe — under
+/// `RealtimeExecutor`, transfers originate on many node strands at once.
+class FaultPolicy {
+ public:
+  virtual ~FaultPolicy() = default;
+  virtual LinkFault OnTransfer(int src, int dst, uint64_t bytes,
+                               TransferKind kind) = 0;
+};
+
 /// Hardware description of one node.
 struct NodeSpec {
   int cores = 16;
@@ -38,28 +62,38 @@ struct NodeSpec {
 };
 
 /// One local NVMe SSD with independent read and write service queues.
+/// `penalty` (optional) is the owning node's injected per-op latency — a
+/// fault injector models a degraded device by raising it for a while.
 class Disk {
  public:
   Disk(runtime::Executor* executor, const std::string& name,
-       const NodeSpec& spec, runtime::TaskQueue* completions = nullptr)
+       const NodeSpec& spec, runtime::TaskQueue* completions = nullptr,
+       const std::atomic<SimTime>* penalty = nullptr)
       : read_(executor, name + "/read", spec.disk_read_bytes_per_sec,
               completions),
         write_(executor, name + "/write", spec.disk_write_bytes_per_sec,
-               completions) {}
+               completions),
+        penalty_(penalty) {}
 
   SimTime Read(uint64_t bytes, std::function<void()> done = nullptr) {
-    return read_.Submit(bytes, std::move(done));
+    return read_.Submit(bytes, std::move(done), PenaltyNow());
   }
   SimTime Write(uint64_t bytes, std::function<void()> done = nullptr) {
-    return write_.Submit(bytes, std::move(done));
+    return write_.Submit(bytes, std::move(done), PenaltyNow());
   }
 
   QueueResource& read_queue() { return read_; }
   QueueResource& write_queue() { return write_; }
 
  private:
+  SimTime PenaltyNow() const {
+    return penalty_ == nullptr ? 0
+                               : penalty_->load(std::memory_order_relaxed);
+  }
+
   QueueResource read_;
   QueueResource write_;
+  const std::atomic<SimTime>* penalty_;
 };
 
 /// One modeled VM: full-duplex NIC, disks, memory budget, liveness flag.
@@ -76,7 +110,7 @@ class Node {
     for (int d = 0; d < spec.num_disks; ++d) {
       disks_.push_back(std::make_unique<Disk>(
           executor, "node" + std::to_string(id) + "/disk" + std::to_string(d),
-          spec, queue_));
+          spec, queue_, &disk_penalty_us_));
     }
   }
 
@@ -94,6 +128,15 @@ class Node {
   QueueResource& rx() { return rx_; }
   Disk& disk(int i) { return *disks_[static_cast<size_t>(i) % disks_.size()]; }
   int num_disks() const { return static_cast<int>(disks_.size()); }
+
+  /// Injected per-operation latency on this node's disks (slow-disk
+  /// faults). 0 = healthy.
+  void set_disk_penalty_us(SimTime penalty) {
+    disk_penalty_us_.store(penalty, std::memory_order_relaxed);
+  }
+  SimTime disk_penalty_us() const {
+    return disk_penalty_us_.load(std::memory_order_relaxed);
+  }
 
   /// Tracks modeled heap usage (Megaphone's in-memory state lives here).
   /// Returns false when the allocation would exceed the node's memory.
@@ -131,6 +174,7 @@ class Node {
   QueueResource tx_;
   QueueResource rx_;
   std::vector<std::unique_ptr<Disk>> disks_;
+  std::atomic<SimTime> disk_penalty_us_{0};
   std::atomic<bool> alive_{true};
   std::atomic<uint64_t> memory_used_{0};
   std::atomic<SimTime> cpu_busy_us_{0};
@@ -154,25 +198,52 @@ class Cluster {
   /// Fail-stop failure of a node (paper §4.2.3 fault model).
   void FailNode(int id) { node(id).set_alive(false); }
 
+  /// Installs (or clears, with nullptr) the fault policy consulted on
+  /// every transfer. The policy must outlive the cluster or be cleared
+  /// before destruction.
+  void SetFaultPolicy(FaultPolicy* policy) {
+    fault_policy_.store(policy, std::memory_order_release);
+  }
+
+  /// Transfers dropped by the fault policy (the `done` callback was
+  /// swallowed; upper layers recover via their timeout/retry machinery).
+  uint64_t dropped_transfers() const {
+    return dropped_transfers_.load(std::memory_order_relaxed);
+  }
+
   /// Transfers `bytes` between two nodes (or hands it to the local
   /// loopback, which is free, when src == dst). `done` runs on the
-  /// destination node's strand.
+  /// destination node's strand. `kind` tags the payload for the fault
+  /// policy: kState transfers may be dropped (their protocols retry),
+  /// kData transfers are at most delayed (reliable-transport semantics).
   SimTime Transfer(int src, int dst, uint64_t bytes,
-                   std::function<void()> done = nullptr) {
+                   std::function<void()> done = nullptr,
+                   TransferKind kind = TransferKind::kData) {
+    SimTime extra = 0;
+    if (FaultPolicy* policy = fault_policy_.load(std::memory_order_acquire)) {
+      LinkFault fault = policy->OnTransfer(src, dst, bytes, kind);
+      if (fault.drop) {
+        dropped_transfers_.fetch_add(1, std::memory_order_relaxed);
+        return executor_->Now();
+      }
+      extra = fault.extra_latency;
+    }
     if (src == dst) {
-      SimTime end = executor_->Now();
+      SimTime end = executor_->Now() + extra;
       if (done) node(dst).queue()->PostAt(end, std::move(done));
       return end;
     }
     Node& s = node(src);
     Node& d = node(dst);
     return NetworkTransfer(executor_, &s.tx(), &d.rx(), bytes,
-                           s.spec().net_latency, std::move(done));
+                           s.spec().net_latency + extra, std::move(done));
   }
 
  private:
   runtime::Executor* executor_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::atomic<FaultPolicy*> fault_policy_{nullptr};
+  std::atomic<uint64_t> dropped_transfers_{0};
 };
 
 }  // namespace rhino::sim

@@ -48,13 +48,16 @@ class QueueResource {
   }
 
   /// Enqueues a request of `bytes`; invokes `done` (if set) at completion.
-  /// Returns the completion time.
-  SimTime Submit(uint64_t bytes, std::function<void()> done = nullptr) {
+  /// Returns the completion time. `extra_latency` inflates this request's
+  /// service time (slow-device fault injection) — it occupies the resource
+  /// like real service, so utilization accounting reflects the slowdown.
+  SimTime Submit(uint64_t bytes, std::function<void()> done = nullptr,
+                 SimTime extra_latency = 0) {
     SimTime end;
     {
       std::lock_guard<std::mutex> lock(mu_);
       SimTime start = FreeAtLocked();
-      SimTime duration = TransferTime(bytes, bytes_per_sec_);
+      SimTime duration = TransferTime(bytes, bytes_per_sec_) + extra_latency;
       end = start + duration;
       free_at_ = end;
       busy_us_ += duration;

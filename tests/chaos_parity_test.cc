@@ -1,0 +1,405 @@
+// Chaos parity suite: the same seeded fault schedule — fail-stop crashes
+// plus transient network partitions, link delays, and slow disks — driven
+// against the full protocol stack on BOTH executors:
+//
+//  * `SimExecutor`      — virtual time, fully deterministic in the seed;
+//  * `RealtimeExecutor` — real threads, wall-clock timers. The *schedule*
+//    is still seed-reproducible; thread interleavings vary run to run,
+//    which is exactly what the TSan chaos lane wants to shake out.
+//
+// After the dust settles, both modes must satisfy the same invariants:
+// exactly-once keyed output, every handover completed, routing converged
+// onto live instances, and nothing advertised on dead nodes. Transient
+// faults must be absorbed by the retry/backoff machinery (dropped state
+// transfers are resent; nothing is permanently lost), so the assertions
+// do not distinguish "clean" from "chaotic" runs.
+//
+// Every failure message carries the one-line `FaultInjector::Recipe()`
+// (seed + full schedule) so a failing seed can be replayed verbatim.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "broker/broker.h"
+#include "dataflow/engine.h"
+#include "dataflow/graph.h"
+#include "dataflow/sink.h"
+#include "dataflow/stateful.h"
+#include "lsm/env.h"
+#include "obs/exporters.h"
+#include "obs/observability.h"
+#include "rhino/checkpoint_storage.h"
+#include "rhino/handover_manager.h"
+#include "rhino/replication_manager.h"
+#include "rhino/replication_runtime.h"
+#include "runtime/realtime_executor.h"
+#include "runtime/sim_executor.h"
+#include "sim/fault_injector.h"
+#include "state/lsm_state_backend.h"
+
+namespace rhino::rhino {
+namespace {
+
+using dataflow::Batch;
+using dataflow::Engine;
+using dataflow::EngineOptions;
+using dataflow::ExecutionGraph;
+using dataflow::ProcessingProfile;
+using dataflow::QueryDef;
+using dataflow::Record;
+
+enum class Mode { kSim, kRealtime };
+
+std::string ModeName(Mode mode) {
+  return mode == Mode::kSim ? "Sim" : "Realtime";
+}
+
+constexpr int kPartitions = 4;
+constexpr int kParallelism = 4;
+constexpr uint64_t kKeys = 24;
+constexpr int kWaves = 9;
+constexpr int kNodeThreads = 4;
+
+/// Per-mode pacing. Simulation advances virtual time between waves;
+/// realtime sleeps wall-clock, so its schedule is compressed to keep the
+/// test fast while still landing faults inside the active window.
+struct Timing {
+  SimTime wave_gap;
+  SimTime crash_lo, crash_hi;
+  /// Minimum spacing between two crashes. Must comfortably exceed
+  /// recovery_delay + catch-up re-replication: r=2 only tolerates losing
+  /// both copies of a group if re-replication finishes in between, so a
+  /// second crash inside that window is outside the declared fault model
+  /// (it would legitimately lose state, not expose a bug).
+  SimTime crash_min_gap;
+  SimTime recovery_delay;
+  SimTime transient_lo, transient_hi;
+  SimTime transient_min_dur, transient_max_dur;
+};
+
+Timing TimingFor(Mode mode) {
+  if (mode == Mode::kSim) {
+    return {/*wave_gap=*/kSecond,
+            /*crash_lo=*/2 * kSecond, /*crash_hi=*/7 * kSecond,
+            /*crash_min_gap=*/1500 * kMillisecond,
+            /*recovery_delay=*/300 * kMillisecond,
+            /*transient_lo=*/1500 * kMillisecond,
+            /*transient_hi=*/6 * kSecond,
+            /*transient_min_dur=*/500 * kMillisecond,
+            /*transient_max_dur=*/1500 * kMillisecond};
+  }
+  // crash_min_gap is ~7x the recovery delay: recovery plus catch-up is
+  // timer-dominated (~100ms of compressed latencies), and TSan's CPU
+  // slowdown must not push it past the gap.
+  return {/*wave_gap=*/30 * kMillisecond,
+          /*crash_lo=*/60 * kMillisecond, /*crash_hi=*/220 * kMillisecond,
+          /*crash_min_gap=*/300 * kMillisecond,
+          /*recovery_delay=*/40 * kMillisecond,
+          /*transient_lo=*/40 * kMillisecond,
+          /*transient_hi=*/200 * kMillisecond,
+          /*transient_min_dur=*/40 * kMillisecond,
+          /*transient_max_dur=*/120 * kMillisecond};
+}
+
+/// Handover and retry knobs compressed to the realtime schedule: the
+/// defaults model paper-scale latencies (seconds), which would make a
+/// wall-clock chaos run take minutes.
+HandoverOptions HandoverOptionsFor(Mode mode) {
+  HandoverOptions opts;
+  if (mode == Mode::kRealtime) {
+    opts.local_fetch_us = 5 * kMillisecond;
+    opts.load_fixed_us = 10 * kMillisecond;
+    opts.load_per_file_us = 100;
+    opts.recovery_scheduling_us = 30 * kMillisecond;
+    opts.retry.initial_backoff_us = 10 * kMillisecond;
+    opts.retry.max_backoff_us = 100 * kMillisecond;
+    opts.retry.deadline_us = 20 * kSecond;
+  }
+  return opts;
+}
+
+ReplicationOptions ReplicationOptionsFor(Mode mode) {
+  ReplicationOptions opts;
+  if (mode == Mode::kRealtime) {
+    opts.retry.initial_backoff_us = 10 * kMillisecond;
+    opts.retry.max_backoff_us = 100 * kMillisecond;
+    opts.retry.deadline_us = 20 * kSecond;
+  }
+  return opts;
+}
+
+/// Pipeline over a 7-node cluster (0 = broker, 1-6 = workers; 4 stateful
+/// instances plus spare capacity to absorb failures) on either executor.
+struct ParityStack {
+  Mode mode;
+  Timing timing;
+  std::unique_ptr<runtime::SimExecutor> sim;
+  std::unique_ptr<runtime::RealtimeExecutor> rt;
+  runtime::Executor* exec = nullptr;
+
+  obs::Observability obs;
+  std::unique_ptr<sim::Cluster> cluster;
+  broker::Broker broker{{0}};
+  lsm::MemEnv env;
+  std::unique_ptr<Engine> engine;
+  ReplicationManager rm{{1, 2, 3, 4, 5, 6}, /*r=*/2};
+  std::unique_ptr<ReplicationRuntime> runtime;
+  std::unique_ptr<RhinoCheckpointStorage> storage;
+  std::unique_ptr<HandoverManager> hm;
+  std::unique_ptr<sim::FaultInjector> injector;
+  std::unique_ptr<ExecutionGraph> graph;
+
+  std::mutex counts_mu;
+  std::map<uint64_t, uint64_t> counts;
+
+  ParityStack(Mode m, uint64_t seed) : mode(m), timing(TimingFor(m)) {
+    if (mode == Mode::kSim) {
+      sim = std::make_unique<runtime::SimExecutor>();
+      exec = sim.get();
+    } else {
+      rt = std::make_unique<runtime::RealtimeExecutor>(kNodeThreads);
+      exec = rt.get();
+    }
+    cluster = std::make_unique<sim::Cluster>(exec, 7);
+    engine = std::make_unique<Engine>(exec, cluster.get(), &broker, Opts());
+    runtime = std::make_unique<ReplicationRuntime>(cluster.get(), &rm,
+                                                   ReplicationOptionsFor(mode));
+    storage = std::make_unique<RhinoCheckpointStorage>(cluster.get(),
+                                                       runtime.get());
+    hm = std::make_unique<HandoverManager>(engine.get(), &rm, runtime.get(),
+                                           HandoverOptionsFor(mode));
+    injector = std::make_unique<sim::FaultInjector>(exec, cluster.get(), seed);
+
+    obs.SetClock([this] { return exec->Now(); });
+    obs.trace().set_data_events(true);  // richer forensics in trace dumps
+    engine->SetObservability(&obs);
+    runtime->SetObservability(&obs);
+    rm.SetObservability(&obs);
+    injector->SetObservability(&obs);
+    broker.CreateTopic("events", kPartitions);
+    engine->SetCheckpointStorage(storage.get());
+    engine->SetFaultProbe([this](const std::string& e) { injector->Notify(e); });
+    runtime->SetFaultProbe(
+        [this](const std::string& e) { injector->Notify(e); });
+    injector->SetCrashHandler([this](int node) {
+      engine->FailNode(node);
+      exec->Schedule(timing.recovery_delay,
+                     [this, node] { hm->RecoverFailedNode(node); });
+    });
+    injector->InstallNetworkFaults();
+
+    QueryDef def;
+    def.AddSource("src", "events", kPartitions)
+        .AddStateful("counter", kParallelism, {"src"},
+                     [this](Engine* eng, int subtask, int node) {
+                       auto backend = state::LsmStateBackend::Open(
+                           &env, "/state/c" + std::to_string(subtask),
+                           "counter", static_cast<uint32_t>(subtask));
+                       RHINO_CHECK(backend.ok());
+                       return std::make_unique<dataflow::KeyedCounterOperator>(
+                           eng, "counter", subtask, node, ProcessingProfile(),
+                           std::move(backend).MoveValue());
+                     })
+        .AddSink("sink", 1, {"counter"});
+    graph = ExecutionGraph::Build(engine.get(), def, {1, 2, 3, 4, 5, 6});
+    graph->sinks("sink")[0]->SetCollector([this](const Record& r) {
+      std::lock_guard<std::mutex> lock(counts_mu);
+      uint64_t c = std::stoull(r.payload);
+      if (c > counts[r.key]) counts[r.key] = c;
+    });
+    std::vector<InstanceInfo> infos;
+    for (auto* inst : graph->stateful("counter")) {
+      infos.push_back({"counter", static_cast<uint32_t>(inst->subtask()),
+                       inst->node_id(), 1});
+    }
+    rm.BuildGroups(infos);
+    graph->StartSources();
+  }
+
+  ~ParityStack() {
+    // The injector is the cluster's installed FaultPolicy; make sure no
+    // late transfer consults it after destruction.
+    Quiesce();
+    cluster->SetFaultPolicy(nullptr);
+    Quiesce();
+  }
+
+  static EngineOptions Opts() {
+    EngineOptions opts;
+    opts.num_key_groups = 64;
+    opts.vnodes_per_instance = 2;
+    return opts;
+  }
+
+  void ProduceWave() {
+    for (uint64_t key = 0; key < kKeys; ++key) {
+      Batch batch;
+      batch.create_time = exec->Now();
+      batch.count = 1;
+      batch.bytes = 8;
+      batch.records.push_back(Record{key, exec->Now(), 8, "x"});
+      broker.topic("events")
+          .partition(static_cast<int>(key) % kPartitions)
+          .Append(std::move(batch));
+    }
+  }
+
+  /// Lets `us` of schedule elapse: virtual time in sim mode, wall clock in
+  /// realtime mode (the strands keep running underneath the sleep).
+  void Advance(SimTime us) {
+    if (mode == Mode::kSim) {
+      sim->RunUntil(sim->Now() + us);
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+  }
+
+  /// Runs the schedule to completion (including pending fault timers and
+  /// every retry they trigger).
+  void Quiesce() {
+    if (mode == Mode::kSim) {
+      sim->Run();
+    } else {
+      rt->Drain();
+    }
+  }
+
+  uint64_t CountOf(uint64_t key) {
+    std::lock_guard<std::mutex> lock(counts_mu);
+    return counts[key];
+  }
+};
+
+void RunChaosSchedule(ParityStack& stack) {
+  const Timing& t = stack.timing;
+  // 1-2 crashes plus 2 transient faults, all drawn from the seed.
+  int crash_count = 1 + static_cast<int>(stack.injector->seed() % 2);
+  auto crashes = stack.injector->ScheduleRandomCrashes(
+      crash_count, {1, 2, 3, 4, 5, 6}, t.crash_lo, t.crash_hi,
+      t.crash_min_gap);
+  ASSERT_EQ(crashes.size(), static_cast<size_t>(crash_count));
+  auto transients = stack.injector->ScheduleRandomTransients(
+      2, {1, 2, 3, 4, 5, 6}, t.transient_lo, t.transient_hi,
+      t.transient_min_dur, t.transient_max_dur);
+  ASSERT_EQ(transients.size(), 2u);
+
+  for (int wave = 0; wave < kWaves; ++wave) {
+    stack.ProduceWave();
+    // Same guard as the periodic-checkpoint path: under wall-clock pacing
+    // (and TSan slowdown) the previous checkpoint can still be in flight
+    // when the next trigger wave comes around; skip it, don't crash.
+    if (wave % 3 == 2 && !stack.engine->checkpoint_in_flight()) {
+      stack.engine->TriggerCheckpoint();
+    }
+    stack.Advance(t.wave_gap);
+  }
+  stack.Quiesce();
+  // One more wave after convergence: proves routing and liveness settled.
+  stack.ProduceWave();
+  stack.Quiesce();
+}
+
+void AssertConverged(ParityStack& stack) {
+  // Every planned crash fired.
+  auto fired = stack.injector->CrashLog();
+  EXPECT_GE(fired.size(), 1u);
+
+  // Exactly-once: each of the kWaves+1 waves incremented every key once —
+  // despite crashes, dropped state transfers, and slowed disks.
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    EXPECT_EQ(stack.CountOf(key), static_cast<uint64_t>(kWaves) + 1)
+        << "key " << key;
+  }
+  // Every handover (including recovery handovers) converged.
+  for (const auto& record : stack.engine->SnapshotHandovers()) {
+    EXPECT_TRUE(record.completed) << "handover " << record.spec->id;
+  }
+  // Routing converged onto live instances only.
+  auto* table = stack.engine->routing("counter");
+  for (uint32_t v = 0; v < table->map().num_vnodes(); ++v) {
+    uint32_t inst = table->InstanceForVnode(v);
+    EXPECT_FALSE(stack.graph->stateful("counter")[inst]->halted())
+        << "vnode " << v;
+  }
+  // The catalog advertises nothing on dead nodes.
+  for (const auto& crash : fired) {
+    for (uint32_t sub = 0; sub < kParallelism; ++sub) {
+      EXPECT_EQ(stack.runtime->ReplicaOn("counter", sub, crash.node), nullptr);
+    }
+  }
+}
+
+/// CI forensics: when a chaos run fails and RHINO_TRACE_DUMP names a
+/// directory, write the Chrome trace and the one-line repro recipe there
+/// (the nightly lane uploads that directory as a build artifact).
+void DumpOnFailure(ParityStack& stack, const std::string& label) {
+  if (!::testing::Test::HasFailure()) return;
+  const char* dir = std::getenv("RHINO_TRACE_DUMP");
+  if (dir == nullptr || *dir == '\0') return;
+  std::string base = std::string(dir) + "/chaos_" + label;
+  (void)obs::WriteTextFile(base + "_trace.json",
+                           obs::TraceToChromeJson(stack.obs.trace()));
+  (void)obs::WriteTextFile(base + "_repro.txt",
+                           stack.injector->Recipe() + "\n");
+}
+
+class ChaosParityTest
+    : public ::testing::TestWithParam<std::tuple<Mode, uint64_t>> {};
+
+TEST_P(ChaosParityTest, SeededScheduleIsExactlyOnceOnBothExecutors) {
+  auto [mode, seed] = GetParam();
+  ParityStack stack(mode, seed);
+  // Any failure below names the seed and the full fault schedule: paste
+  // the seed back into the fixture (or the --gtest_filter for this
+  // instantiation) to replay it.
+  SCOPED_TRACE("chaos repro: mode=" + ModeName(mode) + " " +
+               stack.injector->Recipe());
+  RunChaosSchedule(stack);
+  if (!::testing::Test::HasFatalFailure()) {
+    SCOPED_TRACE("schedule as fired: " + stack.injector->Recipe());
+    AssertConverged(stack);
+  }
+  DumpOnFailure(stack, ModeName(mode) + "_seed" + std::to_string(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ChaosParityTest,
+    ::testing::Combine(::testing::Values(Mode::kSim, Mode::kRealtime),
+                       ::testing::Range<uint64_t>(1, 5)),
+    [](const ::testing::TestParamInfo<std::tuple<Mode, uint64_t>>& info) {
+      return ModeName(std::get<0>(info.param)) + "Seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+/// Nightly seed-matrix hook: the chaos CI lane re-runs this binary with
+/// RHINO_CHAOS_SEED=<n> to sweep seeds far beyond the per-commit set.
+/// Skipped when the variable is unset.
+TEST(ChaosParityNightly, EnvSeedSweep) {
+  const char* env_seed = std::getenv("RHINO_CHAOS_SEED");
+  if (env_seed == nullptr) {
+    GTEST_SKIP() << "RHINO_CHAOS_SEED not set (nightly-only sweep)";
+  }
+  uint64_t seed = std::strtoull(env_seed, nullptr, 10);
+  for (Mode mode : {Mode::kSim, Mode::kRealtime}) {
+    ParityStack stack(mode, seed);
+    SCOPED_TRACE("chaos repro: mode=" + ModeName(mode) + " " +
+                 stack.injector->Recipe());
+    RunChaosSchedule(stack);
+    if (!::testing::Test::HasFatalFailure()) AssertConverged(stack);
+    DumpOnFailure(stack,
+                  ModeName(mode) + "_envseed" + std::to_string(seed));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace rhino::rhino

@@ -172,6 +172,9 @@ TEST_P(ChaosTest, RandomFaultScheduleIsExactlyOnce) {
       crash_count, {1, 2, 3, 4, 5, 6}, 2 * kSecond, 7 * kSecond,
       /*min_gap=*/1500 * kMillisecond);
   ASSERT_EQ(schedule.size(), static_cast<size_t>(crash_count));
+  // Any failure below names the seed and the full fault schedule — paste
+  // the seed back into this suite's INSTANTIATE range to replay the run.
+  SCOPED_TRACE("chaos repro: " + stack.injector.Recipe());
 
   for (int wave = 0; wave < kWaves; ++wave) {
     stack.ProduceWave();
@@ -259,6 +262,7 @@ TEST(NexmarkChaos, TwoRandomFailuresConverge) {
       2, tb.worker_nodes(), tb.sim.Now() + kSecond,
       tb.sim.Now() + opts.checkpoint_interval, /*min_gap=*/2 * kSecond);
   ASSERT_EQ(schedule.size(), 2u);
+  SCOPED_TRACE("chaos repro: " + injector.Recipe());
   tb.Run(4 * opts.checkpoint_interval);
   tb.StopGenerators();
   tb.Run(2 * opts.checkpoint_interval);

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "runtime/executor.h"
@@ -194,6 +197,105 @@ TEST(RealtimeExecutorTest, ShutdownDropsQueuedWorkAndJoins) {
   exec->Shutdown();
   exec.reset();
   EXPECT_FALSE(ran.load()) << "undelivered tasks are dropped, not run";
+}
+
+TEST(RealtimeExecutorTest, ShutdownRacesPendingTimers) {
+  // Shutdown while timers at mixed deadlines are pending and more are
+  // being scheduled from other threads: must join cleanly, never run a
+  // task after the destructor returned, and never touch freed state
+  // (the ASan/TSan lanes give this test its teeth).
+  for (int round = 0; round < 20; ++round) {
+    auto exec = std::make_unique<RealtimeExecutor>(4);
+    auto ran = std::make_shared<std::atomic<int>>(0);
+    std::atomic<bool> stop{false};
+    std::thread scheduler([&exec, ran, &stop] {
+      for (int i = 0; !stop.load(std::memory_order_acquire); ++i) {
+        // A mix of due-now and far-future deadlines.
+        SimTime delay = (i % 3 == 0) ? 0 : (i % 3 == 1) ? 200 : 60 * kSecond;
+        exec->Schedule(delay, [ran] {
+          ran->fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::microseconds(100 * round));
+    exec->Shutdown();
+    stop.store(true, std::memory_order_release);
+    scheduler.join();
+    exec.reset();
+    int after_reset = ran->load(std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // No task may fire after the executor is gone.
+    EXPECT_EQ(ran->load(std::memory_order_relaxed), after_reset);
+  }
+}
+
+TEST(RealtimeExecutorTest, ShutdownWaitsForInFlightStrandTasks) {
+  // A strand task is mid-execution when Shutdown is called: the join must
+  // wait for it (no use-after-free of queue state), and a task that
+  // re-posts onto its own strand during shutdown must not crash.
+  for (int round = 0; round < 20; ++round) {
+    RealtimeExecutor exec(2);
+    TaskQueue* q = exec.CreateQueue("strand");
+    std::atomic<bool> entered{false};
+    std::atomic<bool> finished{false};
+    q->Post([&entered, &finished, q] {
+      entered.store(true, std::memory_order_release);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      q->Post([] {});  // re-post during (possible) shutdown: dropped or run
+      finished.store(true, std::memory_order_release);
+    });
+    while (!entered.load(std::memory_order_acquire)) {
+    }
+    exec.Shutdown();
+    // Shutdown joined the workers: the in-flight task ran to completion.
+    EXPECT_TRUE(finished.load(std::memory_order_acquire));
+  }
+}
+
+TEST(RealtimeExecutorTest, DrainConcurrentWithPost) {
+  // Producers post from outside the pool while the main thread drains.
+  // Drain must not miss work posted before the producers finished and
+  // must not deadlock; a final drain after joining sees everything.
+  constexpr int kProducers = 4;
+  constexpr int kTasksPerProducer = 500;
+  RealtimeExecutor exec(4);
+  TaskQueue* q = exec.CreateQueue("strand");
+  std::atomic<int> ran{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&exec, q, &ran, p] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        if ((p + i) % 2 == 0) {
+          q->Post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+        } else {
+          exec.Schedule(i % 50, [&ran] {
+            ran.fetch_add(1, std::memory_order_relaxed);
+          });
+        }
+      }
+    });
+  }
+  // Interleave drains with the posting storm.
+  exec.Drain();
+  for (auto& t : producers) t.join();
+  exec.Drain();
+  EXPECT_EQ(ran.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(RealtimeExecutorTest, DrainFromTimerStormTerminates) {
+  // Chains of timers that re-schedule a bounded number of times: Drain
+  // must follow the chains to quiescence (not return while a timer is
+  // about to re-arm) and terminate once they stop.
+  RealtimeExecutor exec(2);
+  std::atomic<int> hops{0};
+  std::function<void()> hop = [&exec, &hops, &hop] {
+    if (hops.fetch_add(1, std::memory_order_relaxed) < 100) {
+      exec.Schedule(100, hop);
+    }
+  };
+  exec.Schedule(0, hop);
+  exec.Drain();
+  EXPECT_GE(hops.load(), 101);
 }
 
 TEST(RealtimeExecutorTest, RealtimeFlagDistinguishesBackends) {
