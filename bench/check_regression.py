@@ -57,6 +57,11 @@ REPORT_ONLY = [
     ("realtime_recovery", "records.*"),
     ("realtime_recovery", "catchup.transfers"),
     ("realtime_recovery", "threads"),
+    ("dist_handover", "wall_s.*"),
+    ("dist_handover", "records_per_s.*"),
+    ("dist_handover", "records.*"),
+    ("dist_handover", "vnodes.moved"),
+    ("dist_handover", "nodes"),
 ]
 
 # Keys where a higher current value is an improvement.

@@ -1,0 +1,220 @@
+// Distributed-runtime artifact over real sockets: three `NodeServer`s,
+// each behind its own `RpcServer` on a kernel-assigned loopback port, a
+// `TcpTransport` driver, and state on a real filesystem (`PosixEnv` under
+// a mkdtemp root). Same protocol the multi-process e2e test exercises,
+// but single-process so the bench can wall-clock the phases directly:
+//
+//   ingest     — waves routed per-vnode over RPC into the LSM shards;
+//   checkpoint — barrier broadcast, per-node durable image, chain
+//                replication to the ring successor;
+//   handover   — live migration of every vnode node 0 owns (extract ->
+//                ingest -> drop, watermarks included);
+//   recovery   — fail-stop of node 2 (its RPC server stops answering),
+//                failure probe, replica promotion on the ring successor,
+//                cursor rewind, and the replay pump.
+//
+// The run must lose nothing: after recovery a final wave flows through
+// the re-routed cluster and every key's count is audited exactly-once —
+// `records.lost` and `records.duplicated` are required to be 0.
+//
+// Wall seconds are host-dependent and not regression-gated (report-only
+// in check_regression.py); what CI checks is that the distributed story
+// converges over real sockets with zero loss.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "artifact.h"
+#include "broker/broker.h"
+#include "common/logging.h"
+#include "common/units.h"
+#include "lsm/env.h"
+#include "metrics/table.h"
+#include "net/driver.h"
+#include "net/node_server.h"
+#include "net/rpc.h"
+#include "net/socket.h"
+#include "net/transport.h"
+
+namespace rhino::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+constexpr uint32_t kNumNodes = 3;
+constexpr uint32_t kNumVnodes = 16;
+constexpr uint32_t kFailedNode = 2;
+const char* const kOp = "counter";
+
+void Run(bench::BenchArtifact* artifact) {
+  const uint64_t keys = bench::SmokeScaled<uint64_t>(256, 48);
+  const int waves_before_ckpt = bench::SmokeScaled(8, 2);
+  const int waves_after_ckpt = bench::SmokeScaled(4, 2);
+
+  // Real directories so ingest/checkpoint pay real filesystem costs.
+  char root_template[] = "/tmp/rhino_dist_handover_XXXXXX";
+  RHINO_CHECK(mkdtemp(root_template) != nullptr);
+  const std::string root = root_template;
+  lsm::PosixEnv env;
+
+  // Nodes first (each needs the shared transport for chain replication),
+  // then their RPC servers on port 0 — endpoints are known only after
+  // bind, which is why the driver comes last.
+  RpcClientOptions rpc_opts;
+  rpc_opts.retry.initial_backoff_us = 2 * kMillisecond;
+  rpc_opts.retry.max_backoff_us = 100 * kMillisecond;
+  rpc_opts.retry.max_attempts = 5;
+  TcpTransport transport(rpc_opts);
+
+  std::vector<std::unique_ptr<NodeServer>> nodes;
+  std::vector<std::unique_ptr<RpcServer>> servers;
+  std::vector<std::string> endpoints;
+  for (uint32_t i = 0; i < kNumNodes; ++i) {
+    std::string data_dir = root + "/n" + std::to_string(i);
+    RHINO_CHECK_OK(env.CreateDir(data_dir));
+    nodes.push_back(std::make_unique<NodeServer>(
+        &env, &transport, NodeServerOptions{data_dir, root + "/ckpt"}));
+    servers.push_back(std::make_unique<RpcServer>(nodes.back()->AsHandler()));
+    RHINO_CHECK_OK(servers.back()->Start("127.0.0.1", 0));
+    endpoints.push_back(FormatEndpoint("127.0.0.1", servers.back()->port()));
+  }
+  RHINO_CHECK_OK(env.CreateDir(root + "/ckpt"));
+
+  ClusterDriver driver(&transport, endpoints);
+  RHINO_CHECK_OK(driver.ConnectAll());
+  RHINO_CHECK_OK(driver.AddOperator(kOp, kNumVnodes));
+  broker::Partition partition{0};
+  driver.AddPartition(&partition);
+
+  auto produce_wave = [&] {
+    dataflow::Batch batch;
+    for (uint64_t key = 0; key < keys; ++key) {
+      dataflow::Record rec;
+      rec.key = key;
+      rec.event_time = 1000;
+      rec.size = 32;
+      batch.records.push_back(rec);
+      batch.count += 1;
+      batch.bytes += rec.size;
+    }
+    partition.Append(std::move(batch));
+  };
+
+  metrics::TablePrinter table({"phase", "wall time", "detail"});
+
+  // Phase 1: ingest — every wave crosses a real socket per owning node.
+  for (int w = 0; w < waves_before_ckpt; ++w) produce_wave();
+  auto t0 = Clock::now();
+  auto pumped = driver.Pump();
+  RHINO_CHECK_OK(pumped.status());
+  double ingest_s = Seconds(t0, Clock::now());
+  uint64_t ingested = pumped->applied;
+  RHINO_CHECK(ingested == keys * static_cast<uint64_t>(waves_before_ckpt));
+  table.AddRow({"ingest", std::to_string(ingest_s) + " s",
+                std::to_string(ingested) + " records, " +
+                    std::to_string(pumped->batches_sent) + " RPC batches"});
+  artifact->Set("wall_s.ingest", ingest_s);
+  artifact->Set("records_per_s.ingest",
+                static_cast<double>(ingested) / ingest_s);
+  artifact->Set("records.ingested", static_cast<double>(ingested));
+
+  // Phase 2: checkpoint — durable image per node + chain replication.
+  t0 = Clock::now();
+  auto ckpt = driver.Checkpoint();
+  RHINO_CHECK_OK(ckpt.status());
+  double ckpt_s = Seconds(t0, Clock::now());
+  RHINO_CHECK(ckpt->nodes == kNumNodes);
+  RHINO_CHECK(ckpt->replicated_nodes == kNumNodes);
+  table.AddRow({"checkpoint", std::to_string(ckpt_s) + " s",
+                std::to_string(ckpt->bytes) + " bytes over " +
+                    std::to_string(ckpt->replicated_nodes) + " chain hops"});
+  artifact->Set("wall_s.checkpoint", ckpt_s);
+
+  // Phase 3: live handover — everything node 0 owns migrates to node 1.
+  std::vector<uint32_t> moved = driver.VnodesOwnedBy(kOp, 0);
+  RHINO_CHECK(!moved.empty());
+  t0 = Clock::now();
+  RHINO_CHECK_OK(driver.TriggerHandover(kOp, /*origin=*/0, /*target=*/1,
+                                        moved));
+  double handover_s = Seconds(t0, Clock::now());
+  table.AddRow({"handover", std::to_string(handover_s) + " s",
+                std::to_string(moved.size()) + " vnodes node0 -> node1"});
+  artifact->Set("wall_s.handover", handover_s);
+  artifact->Set("vnodes.moved", static_cast<double>(moved.size()));
+
+  // More waves past the checkpoint: this is the window recovery replays.
+  for (int w = 0; w < waves_after_ckpt; ++w) produce_wave();
+  RHINO_CHECK_OK(driver.Pump().status());
+
+  // Phase 4: fail-stop node 2 and recover. Stopping its RPC server models
+  // the crash (connections refused); the replica its ring predecessor
+  // holds is promoted, cursors rewind, and the replay pump re-delivers
+  // the post-checkpoint window (survivors dedup it).
+  servers[kFailedNode]->Stop();
+  t0 = Clock::now();
+  std::vector<uint32_t> dead = driver.ProbeFailures();
+  RHINO_CHECK(dead == std::vector<uint32_t>{kFailedNode});
+  RHINO_CHECK_OK(driver.RecoverNode(kFailedNode));
+  auto replay = driver.Pump();
+  RHINO_CHECK_OK(replay.status());
+  double recovery_s = Seconds(t0, Clock::now());
+  table.AddRow({"recovery", std::to_string(recovery_s) + " s",
+                "replayed " + std::to_string(replay->records_sent) +
+                    " records (" + std::to_string(replay->deduped) +
+                    " deduped)"});
+  artifact->Set("wall_s.recovery", recovery_s);
+  artifact->Set("records.replayed", static_cast<double>(replay->records_sent));
+
+  // Phase 5: one wave through the re-routed cluster, then the audit.
+  produce_wave();
+  RHINO_CHECK_OK(driver.Pump().status());
+  const uint64_t expected =
+      static_cast<uint64_t>(waves_before_ckpt + waves_after_ckpt) + 1;
+  uint64_t lost = 0, duplicated = 0;
+  for (uint64_t key = 0; key < keys; ++key) {
+    auto count = driver.QueryCount(kOp, key);
+    RHINO_CHECK_OK(count.status());
+    if (*count < expected) lost += expected - *count;
+    if (*count > expected) duplicated += *count - expected;
+  }
+  artifact->Set("records.lost", static_cast<double>(lost));
+  artifact->Set("records.duplicated", static_cast<double>(duplicated));
+  artifact->Set("records.expected_per_key", static_cast<double>(expected));
+  RHINO_CHECK(lost == 0) << lost << " records lost";
+  RHINO_CHECK(duplicated == 0) << duplicated << " records duplicated";
+
+  table.Print();
+  std::printf("\nexactly-once verified: every key counted %llu times over "
+              "real sockets, 0 records lost\n",
+              static_cast<unsigned long long>(expected));
+
+  artifact->Set("nodes", kNumNodes);
+  artifact->SetInfo("transport", "tcp (loopback)");
+  artifact->SetInfo("failed_node", std::to_string(kFailedNode));
+  artifact->SetInfo("regression_gate", "none (wall-clock, host-dependent)");
+
+  driver.Shutdown();
+  for (auto& server : servers) server->Stop();
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+}
+
+}  // namespace
+}  // namespace rhino::net
+
+int main() {
+  std::printf("=== Networked runtime: checkpoint, handover, recovery ===\n\n");
+  rhino::bench::BenchArtifact artifact("dist_handover");
+  rhino::net::Run(&artifact);
+  RHINO_CHECK_OK(artifact.Write());
+  return 0;
+}

@@ -319,35 +319,54 @@ std::string EncodeU64Key(uint64_t key) {
 
 }  // namespace
 
+Result<uint64_t> ApplyKeyedCount(state::StateBackend* backend, uint32_t vnode,
+                                 uint64_t key) {
+  std::string store_key = EncodeU64Key(key);
+  std::string stored;
+  uint64_t count = 0;
+  Status st = backend->Get(vnode, store_key, &stored);
+  if (st.ok()) {
+    BinaryReader reader(stored);
+    RHINO_RETURN_NOT_OK(reader.GetU64(&count));
+  } else if (!st.IsNotFound()) {
+    return st;
+  }
+  ++count;
+  std::string value;
+  BinaryWriter writer(&value);
+  writer.PutU64(count);
+  // RMW: 16 nominal bytes per key (key + counter), written once — the
+  // paper's "read-modify-write state update pattern".
+  uint64_t nominal = st.IsNotFound() ? 16 : 0;
+  RHINO_RETURN_NOT_OK(backend->Put(vnode, store_key, value, nominal));
+  return count;
+}
+
+Result<uint64_t> ReadKeyedCount(state::StateBackend* backend, uint32_t vnode,
+                                uint64_t key) {
+  std::string stored;
+  Status st = backend->Get(vnode, EncodeU64Key(key), &stored);
+  if (st.IsNotFound()) return uint64_t{0};
+  RHINO_RETURN_NOT_OK(st);
+  BinaryReader reader(stored);
+  uint64_t count = 0;
+  RHINO_RETURN_NOT_OK(reader.GetU64(&count));
+  return count;
+}
+
 void KeyedCounterOperator::ProcessData(int, Batch& batch) {
   Batch out;
   out.create_time = batch.create_time;
   for (const Record& r : batch.records) {
     uint32_t vnode = vnode_map()->VnodeForKey(r.key);
-    std::string key = EncodeU64Key(r.key);
-    std::string stored;
-    uint64_t count = 0;
-    Status st = backend()->Get(vnode, key, &stored);
-    if (st.ok()) {
-      BinaryReader reader(stored);
-      RHINO_CHECK_OK(reader.GetU64(&count));
-    } else {
-      RHINO_CHECK(st.IsNotFound()) << st.ToString();
-    }
-    ++count;
-    std::string value;
-    BinaryWriter writer(&value);
-    writer.PutU64(count);
-    // RMW: 16 nominal bytes per key (key + counter), written once — the
-    // paper's "read-modify-write state update pattern".
-    uint64_t nominal = st.IsNotFound() ? 16 : 0;
-    RHINO_CHECK_OK(backend()->Put(vnode, key, value, nominal));
+    auto count = ApplyKeyedCount(backend(), vnode, r.key);
+    RHINO_CHECK(count.ok()) << count.status().ToString();
 
     Record result;
     result.key = r.key;
     result.event_time = r.event_time;
     result.size = 16;
-    result.payload = std::to_string(count);
+    result.payload = std::to_string(*count);
     out.records.push_back(std::move(result));
     ++out.count;
     out.bytes += 16;

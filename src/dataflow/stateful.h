@@ -153,6 +153,22 @@ class StatefulInstance : public OperatorInstance {
 
 // --------------------------------------------------------------- real ops --
 
+// Engine-independent keyed-counter kernel. The update/read semantics live
+// outside the operator class so the thread-mode engine
+// (`KeyedCounterOperator` below) and the networked node process
+// (`net::NodeServer`) fold records into state with byte-identical LSM
+// contents — a vnode blob extracted in one mode ingests cleanly in the
+// other.
+
+/// Increments `key`'s running count inside `vnode` and returns the new
+/// count (read-modify-write, 16 nominal bytes per distinct key).
+Result<uint64_t> ApplyKeyedCount(state::StateBackend* backend, uint32_t vnode,
+                                 uint64_t key);
+
+/// Current count of `key` in `vnode`; 0 when the key was never counted.
+Result<uint64_t> ReadKeyedCount(state::StateBackend* backend, uint32_t vnode,
+                                uint64_t key);
+
 /// Read-modify-write aggregate: running count per key, one output record
 /// per input record (exercises the NBQ5 state-update pattern).
 class KeyedCounterOperator : public StatefulInstance {

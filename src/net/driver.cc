@@ -1,0 +1,372 @@
+#include "net/driver.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "rhino/replication_runtime.h"
+
+namespace rhino::net {
+
+ClusterDriver::ClusterDriver(Transport* transport,
+                             std::vector<std::string> endpoints,
+                             obs::Observability* obs)
+    : transport_(transport),
+      endpoints_(std::move(endpoints)),
+      alive_(endpoints_.size(), true),
+      obs_(obs != nullptr ? obs : obs::Observability::Default()) {
+  RHINO_CHECK(!endpoints_.empty());
+}
+
+Status ClusterDriver::Call(uint32_t node, MessageType type,
+                           std::string_view body, std::string* reply) {
+  if (node >= endpoints_.size() || !alive_[node]) {
+    return Status::FailedPrecondition("node " + std::to_string(node) +
+                                      " is not alive");
+  }
+  return transport_->Call(endpoints_[node], type, body, reply);
+}
+
+Result<uint32_t> ClusterDriver::NextAlive(uint32_t node) const {
+  for (uint32_t step = 1; step < endpoints_.size(); ++step) {
+    uint32_t candidate =
+        (node + step) % static_cast<uint32_t>(endpoints_.size());
+    if (alive_[candidate]) return candidate;
+  }
+  return Status::FailedPrecondition("no surviving node on the ring");
+}
+
+Status ClusterDriver::ConnectAll() { return ReformRing(); }
+
+Status ClusterDriver::ReformRing() {
+  uint32_t live = 0;
+  for (uint32_t node = 0; node < endpoints_.size(); ++node) {
+    if (alive_[node]) ++live;
+  }
+  for (uint32_t node = 0; node < endpoints_.size(); ++node) {
+    if (!alive_[node]) continue;
+    HelloRequest hello;
+    hello.node_id = node;
+    if (live > 1) {
+      RHINO_ASSIGN_OR_RETURN(uint32_t successor, NextAlive(node));
+      hello.successor = endpoints_[successor];
+    }
+    std::string body;
+    hello.EncodeTo(&body);
+    RHINO_RETURN_NOT_OK(Call(node, MessageType::kHello, body, nullptr));
+  }
+  return Status::OK();
+}
+
+Status ClusterDriver::AddOperator(const std::string& op, uint32_t num_vnodes) {
+  if (routing_.count(op)) {
+    return Status::AlreadyExists("operator already routed: " + op);
+  }
+  OpRouting routing;
+  routing.num_vnodes = num_vnodes;
+  routing.owner.resize(num_vnodes);
+  std::vector<std::vector<uint32_t>> owned(endpoints_.size());
+  uint32_t next = 0;
+  for (uint32_t vnode = 0; vnode < num_vnodes; ++vnode) {
+    while (!alive_[next]) next = (next + 1) % endpoints_.size();
+    routing.owner[vnode] = next;
+    owned[next].push_back(vnode);
+    next = (next + 1) % endpoints_.size();
+  }
+  for (uint32_t node = 0; node < endpoints_.size(); ++node) {
+    if (!alive_[node]) continue;
+    AddOperatorRequest req;
+    req.name = op;
+    req.num_vnodes = num_vnodes;
+    req.owned_vnodes = owned[node];
+    std::string body;
+    req.EncodeTo(&body);
+    RHINO_RETURN_NOT_OK(Call(node, MessageType::kAddOperator, body, nullptr));
+  }
+  routing_.emplace(op, std::move(routing));
+  return Status::OK();
+}
+
+void ClusterDriver::AddPartition(const broker::PartitionSource* partition) {
+  partitions_.push_back(partition);
+  cursors_.push_back(0);
+}
+
+Result<PumpStats> ClusterDriver::Pump() {
+  PumpStats stats;
+  // The networked runtime routes a single stateful operator graph; every
+  // partition feeds every operator (currently one) through key routing.
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    while (cursors_[p] < partitions_[p]->end_offset()) {
+      const broker::LogEntry* entry = partitions_[p]->Fetch(cursors_[p]);
+      RHINO_CHECK(entry != nullptr);
+      for (auto& [op, routing] : routing_) {
+        // Split the batch into one sub-batch per owning node; provenance
+        // (source_id, source_offset) is preserved so nodes can dedup.
+        std::map<uint32_t, dataflow::Batch> per_node;
+        for (const auto& rec : entry->batch.records) {
+          uint32_t vnode = VnodeForKey(rec.key, routing.num_vnodes);
+          uint32_t node = routing.owner[vnode];
+          auto& sub = per_node[node];
+          sub.create_time = entry->batch.create_time;
+          sub.source_id = static_cast<int>(p);
+          sub.source_offset = entry->offset;
+          sub.records.push_back(rec);
+          sub.count += 1;
+          sub.bytes += rec.size;
+        }
+        for (auto& [node, sub] : per_node) {
+          ProcessBatchRequest req;
+          req.op = op;
+          req.batch = std::move(sub);
+          std::string body;
+          req.EncodeTo(&body);
+          std::string reply_body;
+          // A failure here leaves the cursor unchanged: after recovery the
+          // whole offset is re-pumped and surviving nodes dedup their
+          // already-applied sub-batches.
+          RHINO_RETURN_NOT_OK(
+              Call(node, MessageType::kProcessBatch, body, &reply_body));
+          RHINO_ASSIGN_OR_RETURN(ProcessBatchReply reply,
+                                 ProcessBatchReply::Decode(reply_body));
+          stats.batches_sent += 1;
+          stats.records_sent += req.batch.records.size();
+          stats.applied += reply.applied;
+          stats.deduped += reply.deduped;
+        }
+      }
+      ++cursors_[p];
+    }
+  }
+  return stats;
+}
+
+Result<CheckpointStats> ClusterDriver::Checkpoint() {
+  CheckpointStats stats;
+  stats.checkpoint_id = ++last_checkpoint_id_;
+  dataflow::ControlEvent barrier;
+  barrier.type = dataflow::ControlEvent::Type::kCheckpointBarrier;
+  barrier.id = stats.checkpoint_id;
+  std::string body;
+  EncodeControlEvent(barrier, &body);
+  for (uint32_t node = 0; node < endpoints_.size(); ++node) {
+    if (!alive_[node]) continue;
+    std::string reply_body;
+    RHINO_RETURN_NOT_OK(
+        Call(node, MessageType::kCheckpoint, body, &reply_body));
+    RHINO_ASSIGN_OR_RETURN(CheckpointReply reply,
+                           CheckpointReply::Decode(reply_body));
+    stats.bytes += reply.bytes;
+    stats.nodes += 1;
+    stats.replicated_nodes += reply.replicated;
+  }
+  obs_->trace().Emit("net", "cluster_checkpoint", "driver",
+                     stats.checkpoint_id,
+                     {{"bytes", static_cast<int64_t>(stats.bytes)},
+                      {"nodes", static_cast<int64_t>(stats.nodes)}});
+  return stats;
+}
+
+Status ClusterDriver::TriggerHandover(const std::string& op, uint32_t origin,
+                                      uint32_t target,
+                                      const std::vector<uint32_t>& vnodes) {
+  auto rit = routing_.find(op);
+  if (rit == routing_.end()) return Status::NotFound("no operator: " + op);
+  for (uint32_t vnode : vnodes) {
+    if (vnode >= rit->second.num_vnodes ||
+        rit->second.owner[vnode] != origin) {
+      return Status::FailedPrecondition(
+          "vnode " + std::to_string(vnode) + " not owned by node " +
+          std::to_string(origin));
+    }
+  }
+  auto spec = std::make_shared<dataflow::HandoverSpec>();
+  spec->id = ++last_handover_id_;
+  spec->operator_name = op;
+  spec->moves.push_back(dataflow::HandoverMove{origin, target, vnodes});
+  dataflow::ControlEvent marker;
+  marker.type = dataflow::ControlEvent::Type::kHandoverMarker;
+  marker.id = spec->id;
+  marker.handover = spec;
+
+  // Step 1: origin serializes the moved vnodes (state + watermarks).
+  HandoverStateRequest extract;
+  extract.control = marker;
+  extract.move_index = 0;
+  std::string body;
+  extract.EncodeTo(&body);
+  std::string replica;
+  RHINO_RETURN_NOT_OK(Call(origin, MessageType::kExtractVnodes, body, &replica));
+
+  // Step 2: target ingests them (a live migration tail, not yet durable).
+  HandoverStateRequest ingest;
+  ingest.control = marker;
+  ingest.move_index = 0;
+  ingest.replica = std::move(replica);
+  ingest.durable = 0;
+  body.clear();
+  ingest.EncodeTo(&body);
+  RHINO_RETURN_NOT_OK(Call(target, MessageType::kIngestVnodes, body, nullptr));
+
+  // Step 3: origin releases the migrated state ("release unneeded
+  // resources"), and routing flips — later batches go to the target.
+  VnodeSetRequest drop;
+  drop.op = op;
+  drop.vnodes = vnodes;
+  body.clear();
+  drop.EncodeTo(&body);
+  RHINO_RETURN_NOT_OK(Call(origin, MessageType::kDropVnodes, body, nullptr));
+
+  for (uint32_t vnode : vnodes) rit->second.owner[vnode] = target;
+  obs_->trace().Emit("net", "cluster_handover", "driver", spec->id,
+                     {{"origin", origin},
+                      {"target", target},
+                      {"vnodes", static_cast<int64_t>(vnodes.size())}});
+  return Status::OK();
+}
+
+Status ClusterDriver::RecoverNodes(const std::vector<uint32_t>& dead_nodes) {
+  // Declare every death FIRST: the re-formed ring and the recovery RPCs
+  // below must only touch true survivors, even when several nodes (e.g.
+  // one VM's worth) failed together.
+  std::vector<uint32_t> newly_dead;
+  for (uint32_t dead : dead_nodes) {
+    if (dead >= endpoints_.size()) {
+      return Status::InvalidArgument("no such node");
+    }
+    if (!alive_[dead]) continue;  // already recovered
+    alive_[dead] = false;
+    transport_->Forget(endpoints_[dead]);
+    newly_dead.push_back(dead);
+  }
+  if (newly_dead.empty()) return Status::OK();
+  // Survivors re-form the ring around the holes, so the checkpoint a
+  // caller takes right after recovery replicates (and doesn't hang trying
+  // to reach a dead successor).
+  RHINO_RETURN_NOT_OK(ReformRing());
+  for (uint32_t dead : newly_dead) {
+    RHINO_RETURN_NOT_OK(RecoverOne(dead));
+  }
+  return Status::OK();
+}
+
+Status ClusterDriver::RecoverOne(uint32_t dead_node) {
+  RHINO_ASSIGN_OR_RETURN(uint32_t target, NextAlive(dead_node));
+
+  for (auto& [op, routing] : routing_) {
+    std::vector<uint32_t> lost;
+    for (uint32_t vnode = 0; vnode < routing.num_vnodes; ++vnode) {
+      if (routing.owner[vnode] == dead_node) lost.push_back(vnode);
+    }
+    if (lost.empty()) continue;
+
+    ReplicaFetchRequest fetch;
+    fetch.origin_node = dead_node;
+    fetch.op = op;
+    fetch.vnodes = lost;
+    std::string body;
+    fetch.EncodeTo(&body);
+    std::string reply_body;
+    // Rhino path: the ring successor already holds the replica in memory.
+    Status st =
+        Call(target, MessageType::kPromoteReplica, body, &reply_body);
+    bool promoted = st.ok();
+    if (st.code() == StatusCode::kNotFound) {
+      // Fallback: no replica survived (replication off, or the holder died
+      // too) — restore the durable checkpoint image from shared storage.
+      st = Call(target, MessageType::kRestoreFromCheckpoint, body,
+                &reply_body);
+    }
+    RHINO_RETURN_NOT_OK(st);
+    RHINO_ASSIGN_OR_RETURN(rhino::ReplicaState rs,
+                           rhino::DecodeReplicaState(reply_body));
+
+    for (uint32_t vnode : lost) routing.owner[vnode] = target;
+
+    // Rewind each partition cursor to the earliest offset any restored
+    // vnode still needs; surviving vnodes dedup the replayed overlap. A
+    // restored vnode with no watermark for a partition replays that
+    // partition from the start (it may have applied records that were
+    // never checkpointed).
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      uint64_t low = cursors_[p];
+      for (uint32_t vnode : lost) {
+        uint64_t mark = 0;
+        auto vit = rs.latest_descriptor.vnode_watermarks.find(vnode);
+        if (vit != rs.latest_descriptor.vnode_watermarks.end()) {
+          auto sit = vit->second.find(static_cast<int>(p));
+          if (sit != vit->second.end()) mark = sit->second;
+        }
+        low = std::min(low, mark);
+      }
+      cursors_[p] = low;
+    }
+    obs_->trace().Emit("net", "cluster_recovery", "driver",
+                       rs.latest_checkpoint_id,
+                       {{"dead", dead_node},
+                        {"target", target},
+                        {"vnodes", static_cast<int64_t>(lost.size())},
+                        {"promoted", promoted ? 1 : 0}});
+  }
+  return Status::OK();
+}
+
+std::vector<uint32_t> ClusterDriver::ProbeFailures() {
+  std::vector<uint32_t> dead;
+  for (uint32_t node = 0; node < endpoints_.size(); ++node) {
+    if (!alive_[node]) continue;
+    std::string reply_body;
+    if (!Call(node, MessageType::kStats, {}, &reply_body).ok()) {
+      dead.push_back(node);
+    }
+  }
+  return dead;
+}
+
+Result<uint64_t> ClusterDriver::QueryCount(const std::string& op,
+                                           uint64_t key) {
+  RHINO_ASSIGN_OR_RETURN(uint32_t node, RouteKey(op, key));
+  QueryCountRequest req;
+  req.op = op;
+  req.key = key;
+  std::string body;
+  req.EncodeTo(&body);
+  std::string reply_body;
+  RHINO_RETURN_NOT_OK(Call(node, MessageType::kQueryCount, body, &reply_body));
+  RHINO_ASSIGN_OR_RETURN(QueryCountReply reply,
+                         QueryCountReply::Decode(reply_body));
+  return reply.count;
+}
+
+Result<StatsReply> ClusterDriver::NodeStats(uint32_t node) {
+  std::string reply_body;
+  RHINO_RETURN_NOT_OK(Call(node, MessageType::kStats, {}, &reply_body));
+  return StatsReply::Decode(reply_body);
+}
+
+void ClusterDriver::Shutdown() {
+  for (uint32_t node = 0; node < endpoints_.size(); ++node) {
+    if (!alive_[node]) continue;
+    Call(node, MessageType::kShutdown, {}, nullptr);  // best-effort
+  }
+}
+
+Result<uint32_t> ClusterDriver::RouteKey(const std::string& op,
+                                         uint64_t key) const {
+  auto it = routing_.find(op);
+  if (it == routing_.end()) return Status::NotFound("no operator: " + op);
+  return it->second.owner[VnodeForKey(key, it->second.num_vnodes)];
+}
+
+std::vector<uint32_t> ClusterDriver::VnodesOwnedBy(const std::string& op,
+                                                   uint32_t node) const {
+  std::vector<uint32_t> vnodes;
+  auto it = routing_.find(op);
+  if (it == routing_.end()) return vnodes;
+  for (uint32_t vnode = 0; vnode < it->second.num_vnodes; ++vnode) {
+    if (it->second.owner[vnode] == node) vnodes.push_back(vnode);
+  }
+  return vnodes;
+}
+
+}  // namespace rhino::net

@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "broker/broker.h"
+#include "common/status.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "obs/observability.h"
+
+/// \file driver.h
+/// The coordinator process of the networked runtime.
+///
+/// `ClusterDriver` plays the role the engine's coordinator plays
+/// in-process: it owns the routing table (vnode -> node), the upstream
+/// backup cursors (one per broker partition), and the protocol clocks
+/// (checkpoint and handover ids), and it sequences cluster-wide operations
+/// over the RPC layer — the checkpoint barrier broadcast, the three-step
+/// live handover (extract -> ingest -> drop), and failure recovery
+/// (promote the ring successor's replica, or fall back to the durable
+/// checkpoint image, then rewind partition cursors to the restored replay
+/// watermarks and re-pump).
+///
+/// Exactly-once: the driver may re-send any batch (after an RPC retry or
+/// a post-failure rewind); nodes deduplicate on per-(vnode, source) replay
+/// watermarks, so output counts stay exact no matter how often the driver
+/// replays.
+///
+/// Single-threaded by design — every method must be called from one
+/// coordinating thread, mirroring how the paper's coordinator serializes
+/// reconfigurations.
+
+namespace rhino::net {
+
+struct PumpStats {
+  uint64_t batches_sent = 0;
+  uint64_t records_sent = 0;
+  uint64_t applied = 0;
+  uint64_t deduped = 0;
+};
+
+struct CheckpointStats {
+  uint64_t checkpoint_id = 0;
+  uint64_t bytes = 0;
+  uint32_t nodes = 0;
+  uint32_t replicated_nodes = 0;
+};
+
+class ClusterDriver {
+ public:
+  /// `endpoints[i]` is node i's address under `transport`.
+  ClusterDriver(Transport* transport, std::vector<std::string> endpoints,
+                obs::Observability* obs = nullptr);
+
+  // ------------------------------------------------------------ topology --
+
+  /// Sends kHello to every node: node ids and the replication ring
+  /// (node i replicates to node i+1 mod n; no ring with one node).
+  Status ConnectAll();
+
+  /// Hosts `op` on every node (any node can become a recovery target);
+  /// vnode ownership is round-robin across nodes.
+  Status AddOperator(const std::string& op, uint32_t num_vnodes);
+
+  /// Registers one upstream-backup partition; its index is the
+  /// `source_id` stamped on every batch pumped from it.
+  void AddPartition(const broker::PartitionSource* partition);
+
+  // ---------------------------------------------------------- data plane --
+
+  /// Drains every partition from its cursor to its current end, routing
+  /// per-vnode sub-batches to the owning nodes. Re-entrant after failures:
+  /// rewound cursors simply replay, and nodes dedup.
+  Result<PumpStats> Pump();
+
+  // ------------------------------------------------------- control plane --
+
+  /// Broadcasts a checkpoint barrier; every node persists + replicates its
+  /// image before acking.
+  Result<CheckpointStats> Checkpoint();
+
+  /// Live handover of `vnodes` of `op` from `origin` to `target`:
+  /// extract -> ingest -> drop, then the routing update.
+  Status TriggerHandover(const std::string& op, uint32_t origin,
+                         uint32_t target, const std::vector<uint32_t>& vnodes);
+
+  /// Declares `dead_node` failed and re-homes everything it owned onto
+  /// surviving nodes: promote the successor's replica (Rhino) or restore
+  /// the durable checkpoint image (fallback), rewind partition cursors to
+  /// the restored replay watermarks. Call `Pump()` afterwards to replay.
+  Status RecoverNode(uint32_t dead_node) { return RecoverNodes({dead_node}); }
+
+  /// Recovery from CORRELATED failures (e.g. a whole VM taking several
+  /// nodes down): every listed node is declared dead up front — so the
+  /// re-formed ring and the recovery RPCs only touch true survivors —
+  /// then each dead node's state is re-homed in turn.
+  Status RecoverNodes(const std::vector<uint32_t>& dead_nodes);
+
+  /// Probes every live node with kStats; returns ids that did not answer.
+  std::vector<uint32_t> ProbeFailures();
+
+  Result<uint64_t> QueryCount(const std::string& op, uint64_t key);
+  Result<StatsReply> NodeStats(uint32_t node);
+
+  /// kShutdown to every live node (best-effort).
+  void Shutdown();
+
+  // ------------------------------------------------------- introspection --
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(endpoints_.size()); }
+  bool IsAlive(uint32_t node) const { return alive_[node]; }
+  /// The node currently owning `key` of `op`.
+  Result<uint32_t> RouteKey(const std::string& op, uint64_t key) const;
+  std::vector<uint32_t> VnodesOwnedBy(const std::string& op,
+                                      uint32_t node) const;
+  uint64_t cursor(size_t partition) const { return cursors_[partition]; }
+
+ private:
+  struct OpRouting {
+    uint32_t num_vnodes = 0;
+    std::vector<uint32_t> owner;  ///< vnode -> node id
+  };
+
+  Status Call(uint32_t node, MessageType type, std::string_view body,
+              std::string* reply);
+
+  /// Next live node after `node` on the ring (the replica holder).
+  Result<uint32_t> NextAlive(uint32_t node) const;
+
+  /// (Re)announces node ids + replication successors over the LIVE nodes:
+  /// the initial ring, and the re-formed ring after each failure (a dead
+  /// node's predecessor must stop replicating to it, or every later
+  /// checkpoint fails on the chain hop).
+  Status ReformRing();
+
+  /// Re-homes one (already declared dead) node's vnodes onto a survivor.
+  Status RecoverOne(uint32_t dead_node);
+
+  Transport* transport_;
+  std::vector<std::string> endpoints_;
+  std::vector<bool> alive_;
+  obs::Observability* obs_;
+
+  std::map<std::string, OpRouting> routing_;
+  std::vector<const broker::PartitionSource*> partitions_;
+  std::vector<uint64_t> cursors_;
+
+  uint64_t last_checkpoint_id_ = 0;
+  uint64_t last_handover_id_ = 0;
+};
+
+}  // namespace rhino::net

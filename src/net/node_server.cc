@@ -1,0 +1,373 @@
+#include "net/node_server.h"
+
+#include <utility>
+#include <vector>
+
+#include "dataflow/stateful.h"
+#include "rhino/checkpoint_storage.h"
+
+namespace rhino::net {
+
+std::string CheckpointImagePath(const std::string& ckpt_dir,
+                                uint32_t origin_node, const std::string& op) {
+  return ckpt_dir + "/node-" + std::to_string(origin_node) + "-" + op +
+         ".img";
+}
+
+NodeServer::NodeServer(lsm::Env* env, Transport* transport,
+                       NodeServerOptions options, obs::Observability* obs)
+    : env_(env),
+      transport_(transport),
+      options_(std::move(options)),
+      obs_(obs != nullptr ? obs : obs::Observability::Default()) {}
+
+Result<std::string> NodeServer::Handle(MessageType type,
+                                       std::string_view body) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (type) {
+    case MessageType::kHello:
+      return HandleHello(body);
+    case MessageType::kAddOperator:
+      return HandleAddOperator(body);
+    case MessageType::kProcessBatch:
+      return HandleProcessBatch(body);
+    case MessageType::kCheckpoint:
+      return HandleCheckpoint(body);
+    case MessageType::kExtractVnodes:
+      return HandleExtractVnodes(body);
+    case MessageType::kIngestVnodes:
+      return HandleIngestVnodes(body);
+    case MessageType::kDropVnodes:
+      return HandleDropVnodes(body);
+    case MessageType::kReplicateState:
+      return HandleReplicateState(body);
+    case MessageType::kPromoteReplica:
+    case MessageType::kRestoreFromCheckpoint:
+      return HandleReplicaFetch(type, body);
+    case MessageType::kQueryCount:
+      return HandleQueryCount(body);
+    case MessageType::kStats:
+      return HandleStats();
+    case MessageType::kShutdown:
+      shutdown_.store(true);
+      return std::string();
+    case MessageType::kReply:
+      break;
+  }
+  return Status::InvalidArgument(std::string("node cannot serve ") +
+                                 MessageTypeName(type));
+}
+
+Result<NodeServer::Shard*> NodeServer::FindShard(const std::string& op) {
+  auto it = shards_.find(op);
+  if (it == shards_.end()) {
+    return Status::NotFound("no operator shard: " + op);
+  }
+  return &it->second;
+}
+
+Result<std::string> NodeServer::HandleHello(std::string_view body) {
+  RHINO_ASSIGN_OR_RETURN(HelloRequest req, HelloRequest::Decode(body));
+  node_id_.store(req.node_id);
+  successor_ = req.successor;
+  RHINO_RETURN_NOT_OK(env_->CreateDir(options_.data_dir));
+  RHINO_RETURN_NOT_OK(env_->CreateDir(options_.ckpt_dir));
+  return std::string();
+}
+
+Result<std::string> NodeServer::HandleAddOperator(std::string_view body) {
+  RHINO_ASSIGN_OR_RETURN(AddOperatorRequest req,
+                         AddOperatorRequest::Decode(body));
+  if (req.num_vnodes == 0) {
+    return Status::InvalidArgument("num_vnodes must be > 0");
+  }
+  auto it = shards_.find(req.name);
+  if (it != shards_.end()) {
+    // Idempotent re-add (driver retry after a transport hiccup).
+    if (it->second.num_vnodes != req.num_vnodes) {
+      return Status::AlreadyExists("operator " + req.name +
+                                   " exists with different vnode count");
+    }
+    return std::string();
+  }
+  RHINO_ASSIGN_OR_RETURN(
+      auto backend,
+      state::LsmStateBackend::Open(env_, options_.data_dir + "/" + req.name,
+                                   req.name, node_id_.load()));
+  Shard shard;
+  shard.backend = std::move(backend);
+  shard.num_vnodes = req.num_vnodes;
+  shard.owned.insert(req.owned_vnodes.begin(), req.owned_vnodes.end());
+  shards_.emplace(req.name, std::move(shard));
+  return std::string();
+}
+
+Result<std::string> NodeServer::HandleProcessBatch(std::string_view body) {
+  RHINO_ASSIGN_OR_RETURN(ProcessBatchRequest req,
+                         ProcessBatchRequest::Decode(body));
+  RHINO_ASSIGN_OR_RETURN(Shard * shard, FindShard(req.op));
+  ProcessBatchReply reply;
+  const int source = req.batch.source_id;
+  const uint64_t offset = req.batch.source_offset;
+  std::set<uint32_t> advanced;
+  for (const auto& rec : req.batch.records) {
+    uint32_t vnode = VnodeForKey(rec.key, shard->num_vnodes);
+    if (!shard->owned.count(vnode)) {
+      return Status::FailedPrecondition(
+          "node " + std::to_string(node_id_.load()) + " does not own vnode " +
+          std::to_string(vnode) + " of " + req.op + " (stale routing?)");
+    }
+    auto vit = shard->watermarks.find(vnode);
+    if (vit != shard->watermarks.end()) {
+      auto sit = vit->second.find(source);
+      if (sit != vit->second.end() && offset < sit->second) {
+        ++reply.deduped;
+        continue;  // already folded into state before a replay
+      }
+    }
+    RHINO_ASSIGN_OR_RETURN(uint64_t count,
+                           dataflow::ApplyKeyedCount(shard->backend.get(),
+                                                     vnode, rec.key));
+    (void)count;
+    ++reply.applied;
+    advanced.insert(vnode);
+  }
+  // Watermarks advance only after the whole batch: every record of one
+  // vnode in this batch shares `offset`, so advancing mid-batch would
+  // wrongly dedup its siblings.
+  for (uint32_t vnode : advanced) {
+    uint64_t& mark = shard->watermarks[vnode][source];
+    if (offset + 1 > mark) mark = offset + 1;
+  }
+  shard->applied += reply.applied;
+  shard->deduped += reply.deduped;
+  std::string out;
+  reply.EncodeTo(&out);
+  return out;
+}
+
+Result<rhino::ReplicaState> NodeServer::Snapshot(
+    const std::string& op, Shard* shard, const std::vector<uint32_t>& vnodes,
+    uint64_t id) {
+  rhino::ReplicaState rs;
+  rs.latest_checkpoint_id = id;
+  auto& desc = rs.latest_descriptor;
+  desc.checkpoint_id = id;
+  desc.operator_name = op;
+  desc.instance_id = node_id_.load();
+  for (uint32_t vnode : vnodes) {
+    desc.vnode_bytes[vnode] = shard->backend->VnodeBytes(vnode);
+    auto it = shard->watermarks.find(vnode);
+    if (it != shard->watermarks.end()) {
+      desc.vnode_watermarks[vnode] = it->second;
+    }
+  }
+  RHINO_ASSIGN_OR_RETURN(rs.vnode_blobs,
+                         shard->backend->ExtractVnodeBlobs(vnodes));
+  return rs;
+}
+
+Status NodeServer::Absorb(const std::string& op,
+                          const rhino::ReplicaState& rs,
+                          const std::vector<uint32_t>& vnodes,
+                          bool already_durable) {
+  RHINO_ASSIGN_OR_RETURN(Shard * shard, FindShard(op));
+  std::vector<uint32_t> wanted = vnodes;
+  if (wanted.empty()) {
+    for (const auto& [vnode, blob] : rs.vnode_blobs) wanted.push_back(vnode);
+  }
+  for (uint32_t vnode : wanted) {
+    auto blob = rs.vnode_blobs.find(vnode);
+    if (blob != rs.vnode_blobs.end() && !blob->second.empty()) {
+      RHINO_RETURN_NOT_OK(
+          shard->backend->IngestVnodes(blob->second, already_durable));
+    }
+    shard->owned.insert(vnode);
+    // Dedup positions come WITH the state: replay resumes exactly where
+    // this snapshot stopped. Assign (not max-merge) — the receiver never
+    // owned these vnodes, and recovery must roll dedup back to the
+    // snapshot so the replayed tail is applied.
+    auto marks = rs.latest_descriptor.vnode_watermarks.find(vnode);
+    if (marks != rs.latest_descriptor.vnode_watermarks.end()) {
+      shard->watermarks[vnode] = marks->second;
+    } else {
+      shard->watermarks.erase(vnode);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> NodeServer::HandleCheckpoint(std::string_view body) {
+  RHINO_ASSIGN_OR_RETURN(dataflow::ControlEvent ev, DecodeControlEvent(body));
+  if (ev.type != dataflow::ControlEvent::Type::kCheckpointBarrier) {
+    return Status::InvalidArgument("kCheckpoint body is not a barrier");
+  }
+  CheckpointReply reply;
+  reply.checkpoint_id = ev.id;
+  for (auto& [op, shard] : shards_) {
+    std::vector<uint32_t> owned(shard.owned.begin(), shard.owned.end());
+    RHINO_ASSIGN_OR_RETURN(rhino::ReplicaState rs,
+                           Snapshot(op, &shard, owned, ev.id));
+    std::string image;
+    rhino::EncodeReplicaState(rs, &image);
+    reply.bytes += image.size();
+    ++reply.operators;
+    // Durable image first (the "DFS" copy), then the chain hop: a crash
+    // between the two leaves at least the image restorable.
+    RHINO_RETURN_NOT_OK(rhino::WriteCheckpointImage(
+        env_, CheckpointImagePath(options_.ckpt_dir, node_id_.load(), op),
+        rs));
+    if (!successor_.empty() && transport_ != nullptr) {
+      ReplicateStateRequest rep;
+      rep.origin_node = node_id_.load();
+      rep.op = op;
+      rep.replica = std::move(image);
+      std::string rep_body;
+      rep.EncodeTo(&rep_body);
+      RHINO_RETURN_NOT_OK(transport_->Call(
+          successor_, MessageType::kReplicateState, rep_body, nullptr));
+      reply.replicated = 1;
+    }
+  }
+  obs_->trace().Emit("net", "node_checkpoint",
+                     "node" + std::to_string(node_id_.load()), ev.id,
+                     {{"bytes", static_cast<int64_t>(reply.bytes)}});
+  std::string out;
+  reply.EncodeTo(&out);
+  return out;
+}
+
+Result<std::string> NodeServer::HandleExtractVnodes(std::string_view body) {
+  RHINO_ASSIGN_OR_RETURN(HandoverStateRequest req,
+                         HandoverStateRequest::Decode(body));
+  if (req.control.handover == nullptr ||
+      req.move_index >= req.control.handover->moves.size()) {
+    return Status::InvalidArgument("extract request without a valid move");
+  }
+  const auto& spec = *req.control.handover;
+  const auto& move = spec.moves[req.move_index];
+  RHINO_ASSIGN_OR_RETURN(Shard * shard, FindShard(spec.operator_name));
+  for (uint32_t vnode : move.vnodes) {
+    if (!shard->owned.count(vnode)) {
+      return Status::FailedPrecondition("extract of unowned vnode " +
+                                        std::to_string(vnode));
+    }
+  }
+  RHINO_ASSIGN_OR_RETURN(
+      rhino::ReplicaState rs,
+      Snapshot(spec.operator_name, shard, move.vnodes, spec.id));
+  obs_->trace().Emit("net", "handover_extract",
+                     "node" + std::to_string(node_id_.load()), spec.id,
+                     {{"vnodes", static_cast<int64_t>(move.vnodes.size())}});
+  std::string out;
+  EncodeReplicaState(rs, &out);
+  return out;
+}
+
+Result<std::string> NodeServer::HandleIngestVnodes(std::string_view body) {
+  RHINO_ASSIGN_OR_RETURN(HandoverStateRequest req,
+                         HandoverStateRequest::Decode(body));
+  if (req.control.handover == nullptr ||
+      req.move_index >= req.control.handover->moves.size()) {
+    return Status::InvalidArgument("ingest request without a valid move");
+  }
+  const auto& spec = *req.control.handover;
+  const auto& move = spec.moves[req.move_index];
+  RHINO_ASSIGN_OR_RETURN(rhino::ReplicaState rs,
+                         rhino::DecodeReplicaState(req.replica));
+  RHINO_RETURN_NOT_OK(Absorb(spec.operator_name, rs, move.vnodes,
+                             req.durable != 0));
+  obs_->trace().Emit("net", "handover_ingest",
+                     "node" + std::to_string(node_id_.load()), spec.id,
+                     {{"vnodes", static_cast<int64_t>(move.vnodes.size())}});
+  return std::string();
+}
+
+Result<std::string> NodeServer::HandleDropVnodes(std::string_view body) {
+  RHINO_ASSIGN_OR_RETURN(VnodeSetRequest req, VnodeSetRequest::Decode(body));
+  RHINO_ASSIGN_OR_RETURN(Shard * shard, FindShard(req.op));
+  RHINO_RETURN_NOT_OK(shard->backend->DropVnodes(req.vnodes));
+  for (uint32_t vnode : req.vnodes) {
+    shard->owned.erase(vnode);
+    shard->watermarks.erase(vnode);
+  }
+  return std::string();
+}
+
+Result<std::string> NodeServer::HandleReplicateState(std::string_view body) {
+  RHINO_ASSIGN_OR_RETURN(ReplicateStateRequest req,
+                         ReplicateStateRequest::Decode(body));
+  RHINO_ASSIGN_OR_RETURN(rhino::ReplicaState rs,
+                         rhino::DecodeReplicaState(req.replica));
+  replicas_[{req.origin_node, req.op}] = std::move(rs);
+  return std::string();
+}
+
+Result<std::string> NodeServer::HandleReplicaFetch(MessageType type,
+                                                   std::string_view body) {
+  RHINO_ASSIGN_OR_RETURN(ReplicaFetchRequest req,
+                         ReplicaFetchRequest::Decode(body));
+  rhino::ReplicaState rs;
+  if (type == MessageType::kPromoteReplica) {
+    auto it = replicas_.find({req.origin_node, req.op});
+    if (it == replicas_.end()) {
+      return Status::NotFound("no replica of node " +
+                              std::to_string(req.origin_node) + " op " +
+                              req.op + " on node " +
+                              std::to_string(node_id_.load()));
+    }
+    rs = it->second;
+  } else {
+    RHINO_ASSIGN_OR_RETURN(
+        rs, rhino::ReadCheckpointImage(
+                env_, CheckpointImagePath(options_.ckpt_dir, req.origin_node,
+                                          req.op)));
+  }
+  RHINO_RETURN_NOT_OK(Absorb(req.op, rs, req.vnodes, /*already_durable=*/true));
+  obs_->trace().Emit(
+      "net",
+      type == MessageType::kPromoteReplica ? "promote_replica"
+                                           : "restore_from_checkpoint",
+      "node" + std::to_string(node_id_.load()), rs.latest_checkpoint_id,
+      {{"origin", static_cast<int64_t>(req.origin_node)}});
+  // The reply is the image minus the blobs: the driver only needs the
+  // descriptor (replay watermarks) to rewind its partition cursors.
+  rs.vnode_blobs.clear();
+  std::string out;
+  EncodeReplicaState(rs, &out);
+  return out;
+}
+
+Result<std::string> NodeServer::HandleQueryCount(std::string_view body) {
+  RHINO_ASSIGN_OR_RETURN(QueryCountRequest req,
+                         QueryCountRequest::Decode(body));
+  RHINO_ASSIGN_OR_RETURN(Shard * shard, FindShard(req.op));
+  uint32_t vnode = VnodeForKey(req.key, shard->num_vnodes);
+  if (!shard->owned.count(vnode)) {
+    return Status::FailedPrecondition("query for unowned vnode " +
+                                      std::to_string(vnode));
+  }
+  QueryCountReply reply;
+  RHINO_ASSIGN_OR_RETURN(
+      reply.count,
+      dataflow::ReadKeyedCount(shard->backend.get(), vnode, req.key));
+  std::string out;
+  reply.EncodeTo(&out);
+  return out;
+}
+
+Result<std::string> NodeServer::HandleStats() {
+  StatsReply reply;
+  for (const auto& [op, shard] : shards_) {
+    reply.applied += shard.applied;
+    reply.deduped += shard.deduped;
+    reply.owned_vnodes += shard.owned.size();
+    reply.state_bytes += shard.backend->SizeBytes();
+  }
+  reply.replicas_held = replicas_.size();
+  std::string out;
+  reply.EncodeTo(&out);
+  return out;
+}
+
+}  // namespace rhino::net

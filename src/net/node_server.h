@@ -1,0 +1,147 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+#include "lsm/env.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "obs/observability.h"
+#include "rhino/replication_runtime.h"
+#include "state/lsm_state_backend.h"
+
+/// \file node_server.h
+/// One worker process of the networked runtime.
+///
+/// A `NodeServer` hosts operator instances — each an `LsmStateBackend`
+/// shard plus the per-(vnode, source) replay watermarks that make batch
+/// application idempotent — and answers the driver's RPC verbs. It is
+/// transport-agnostic: `Handle` consumes decoded request bodies and is
+/// plugged into an `RpcServer` (the `rhino_node` binary) or a
+/// `LoopbackTransport` (in-process tests) unchanged.
+///
+/// Protocol roles, mirroring the in-process engine:
+///
+///  * **data plane** — `kProcessBatch` folds routed records into the shard
+///    with the same `ApplyKeyedCount` kernel the thread-mode
+///    `KeyedCounterOperator` uses; records below a vnode's replay
+///    watermark are deduplicated (exactly-once under replay);
+///  * **checkpoint** — `kCheckpoint` snapshots every shard (vnode blobs +
+///    watermarks), persists a framed image to the shared checkpoint
+///    directory (the DFS stand-in), and chain-replicates the image to the
+///    ring successor (`kReplicateState`) — Rhino's state-centric
+///    replication between real processes;
+///  * **handover** — `kExtractVnodes` / `kIngestVnodes` / `kDropVnodes`
+///    implement the origin and target halves of a live migration, moving
+///    state *and* dedup watermarks;
+///  * **recovery** — `kPromoteReplica` folds a held replica of a dead peer
+///    into live state; `kRestoreFromCheckpoint` does the same from the
+///    durable image when no replica survived (the RhinoDFS fallback).
+///
+/// Thread safety: one mutex serializes all verbs, so every checkpoint or
+/// extraction observes a consistent shard. The driver sequences
+/// cluster-wide operations, so the blocking successor RPC inside
+/// `kCheckpoint` cannot form a lock cycle.
+
+namespace rhino::net {
+
+struct NodeServerOptions {
+  /// This node's private state directory (each operator shard in a
+  /// subdirectory).
+  std::string data_dir;
+  /// Shared checkpoint directory (all nodes + driver see the same files;
+  /// stands in for a DFS).
+  std::string ckpt_dir;
+};
+
+/// Path of the durable checkpoint image `origin_node` writes for `op`.
+/// Node (writer) and recovery peers (readers) must agree, so it lives
+/// here.
+std::string CheckpointImagePath(const std::string& ckpt_dir,
+                                uint32_t origin_node, const std::string& op);
+
+class NodeServer {
+ public:
+  /// `transport` issues the successor replication RPC; it may be null when
+  /// replication is disabled (single-node clusters).
+  NodeServer(lsm::Env* env, Transport* transport, NodeServerOptions options,
+             obs::Observability* obs = nullptr);
+
+  /// Dispatches one request; the returned string is the reply body. Safe
+  /// to call concurrently (internal lock).
+  Result<std::string> Handle(MessageType type, std::string_view body);
+
+  /// Adapter for RpcServer / LoopbackTransport registration.
+  RpcServer::Handler AsHandler() {
+    return [this](MessageType type, std::string_view body) {
+      return Handle(type, body);
+    };
+  }
+
+  /// Set by kShutdown; the hosting binary polls this to exit.
+  bool shutdown_requested() const { return shutdown_.load(); }
+
+  uint32_t node_id() const { return node_id_.load(); }
+
+ private:
+  /// One hosted operator instance.
+  struct Shard {
+    std::unique_ptr<state::LsmStateBackend> backend;
+    uint32_t num_vnodes = 0;
+    std::set<uint32_t> owned;
+    /// vnode -> source -> next expected offset (records below are dropped).
+    std::map<uint32_t, std::map<int, uint64_t>> watermarks;
+    uint64_t applied = 0;
+    uint64_t deduped = 0;
+  };
+
+  Result<std::string> HandleHello(std::string_view body);
+  Result<std::string> HandleAddOperator(std::string_view body);
+  Result<std::string> HandleProcessBatch(std::string_view body);
+  Result<std::string> HandleCheckpoint(std::string_view body);
+  Result<std::string> HandleExtractVnodes(std::string_view body);
+  Result<std::string> HandleIngestVnodes(std::string_view body);
+  Result<std::string> HandleDropVnodes(std::string_view body);
+  Result<std::string> HandleReplicateState(std::string_view body);
+  Result<std::string> HandleReplicaFetch(MessageType type,
+                                         std::string_view body);
+  Result<std::string> HandleQueryCount(std::string_view body);
+  Result<std::string> HandleStats();
+
+  Result<Shard*> FindShard(const std::string& op);
+
+  /// Builds the full replica image of `shard` (blobs + watermarks) for the
+  /// given vnodes at checkpoint/handover id `id`.
+  Result<rhino::ReplicaState> Snapshot(const std::string& op, Shard* shard,
+                                       const std::vector<uint32_t>& vnodes,
+                                       uint64_t id);
+
+  /// Folds `rs`'s blobs/watermarks for `vnodes` (empty = all) into the
+  /// live shard of `op`.
+  Status Absorb(const std::string& op, const rhino::ReplicaState& rs,
+                const std::vector<uint32_t>& vnodes, bool already_durable);
+
+  lsm::Env* env_;
+  Transport* transport_;
+  NodeServerOptions options_;
+  obs::Observability* obs_;
+
+  std::atomic<uint32_t> node_id_{0};
+  std::atomic<bool> shutdown_{false};
+
+  std::mutex mu_;
+  std::string successor_;  ///< replication successor endpoint ("" = off)
+  std::map<std::string, Shard> shards_;
+  /// Replica catalog: (origin node, op) -> latest chain-replicated image.
+  std::map<std::pair<uint32_t, std::string>, rhino::ReplicaState> replicas_;
+};
+
+}  // namespace rhino::net

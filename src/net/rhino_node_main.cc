@@ -1,0 +1,108 @@
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "lsm/env.h"
+#include "net/node_server.h"
+#include "net/rpc.h"
+#include "net/transport.h"
+#include "obs/exporters.h"
+#include "obs/observability.h"
+
+/// \file rhino_node_main.cc
+/// `rhino_node`: one worker process of the networked runtime.
+///
+/// Hosts a `NodeServer` (operator shards + LSM state on local disk) behind
+/// an `RpcServer`, and a `TcpTransport` for its own outbound chain
+/// replication. The driver process configures it entirely over RPC
+/// (kHello / kAddOperator), so the command line only names where to
+/// listen and where state lives:
+///
+///   rhino_node --port=0 --data-dir=/tmp/n0 --ckpt-dir=/tmp/ckpt
+///
+/// On startup the bound port is announced on stdout as
+/// `RHINO_NODE_PORT=<port>` (port 0 requests a kernel-assigned port), which
+/// is how launchers and the multi-process test discover dynamically bound
+/// nodes. The process exits on kShutdown, SIGTERM, or SIGINT.
+
+namespace {
+
+volatile std::sig_atomic_t g_signaled = 0;
+
+void OnSignal(int) { g_signaled = 1; }
+
+/// CI forensics: mirror the chaos/bench idiom — when RHINO_TRACE_DUMP
+/// names a directory, write this node's Chrome trace there on exit. The
+/// multiprocess-e2e lane uploads that directory as a build artifact.
+void MaybeDumpTrace(uint32_t node_id) {
+  const char* dir = std::getenv("RHINO_TRACE_DUMP");
+  if (dir == nullptr || *dir == '\0') return;
+  auto* obs = rhino::obs::Observability::Default();
+  std::string path = std::string(dir) + "/rhino_node_" +
+                     std::to_string(node_id) + "_trace.json";
+  (void)rhino::obs::WriteTextFile(path,
+                                  rhino::obs::TraceToChromeJson(obs->trace()));
+}
+
+const char* FlagValue(const char* arg, const char* name) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    return arg + len + 1;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string data_dir = "rhino-node-data";
+  std::string ckpt_dir = "rhino-node-ckpt";
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = FlagValue(argv[i], "--host")) {
+      host = v;
+    } else if (const char* v = FlagValue(argv[i], "--port")) {
+      port = std::atoi(v);
+    } else if (const char* v = FlagValue(argv[i], "--data-dir")) {
+      data_dir = v;
+    } else if (const char* v = FlagValue(argv[i], "--ckpt-dir")) {
+      ckpt_dir = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: rhino_node [--host=H] [--port=P] [--data-dir=D] "
+                   "[--ckpt-dir=D]\n");
+      return 2;
+    }
+  }
+
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+
+  rhino::lsm::PosixEnv env;
+  rhino::net::TcpTransport transport;
+  rhino::net::NodeServer node(
+      &env, &transport,
+      rhino::net::NodeServerOptions{data_dir, ckpt_dir});
+  rhino::net::RpcServer server(node.AsHandler());
+  rhino::Status st = server.Start(host, static_cast<uint16_t>(port));
+  if (!st.ok()) {
+    std::fprintf(stderr, "rhino_node: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  // The launch handshake: parent parses this line to learn the bound port.
+  std::printf("RHINO_NODE_PORT=%u\n", server.port());
+  std::fflush(stdout);
+
+  while (!node.shutdown_requested() && !g_signaled) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  server.Stop();
+  MaybeDumpTrace(node.node_id());
+  std::fprintf(stderr, "rhino_node: node %u exiting\n", node.node_id());
+  return 0;
+}

@@ -1,0 +1,174 @@
+#include "net/rpc.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "net/frame.h"
+
+namespace rhino::net {
+
+namespace {
+
+/// Accept/read poll interval: how often blocked server threads re-check
+/// the stop flag. Long enough to stay off the profile, short enough that
+/// Stop() completes promptly.
+constexpr int kServerPollMs = 100;
+
+}  // namespace
+
+// ---------------------------------------------------------------- server --
+
+Status RpcServer::Start(const std::string& host, uint16_t port) {
+  RHINO_ASSIGN_OR_RETURN(listener_, Socket::Listen(host, port));
+  RHINO_RETURN_NOT_OK(listener_.SetRecvTimeout(kServerPollMs));
+  port_ = listener_.local_port();
+  stop_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void RpcServer::Stop() {
+  if (stop_.exchange(true)) {
+    // Second caller still joins in case the first is mid-Stop.
+  }
+  if (listener_.valid()) listener_.ShutdownBoth();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& conn : conns_) conn->ShutdownBoth();
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  listener_.Close();
+}
+
+void RpcServer::AcceptLoop() {
+  while (!stop_.load()) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kTimedOut) continue;
+      // Listener shut down (Stop) or hard error: either way the accept
+      // loop is done.
+      break;
+    }
+    auto conn = std::make_shared<Socket>(std::move(accepted).MoveValue());
+    if (!conn->SetRecvTimeout(kServerPollMs).ok()) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_.load()) break;
+    conns_.push_back(conn);
+    conn_threads_.emplace_back([this, conn] { Serve(*conn); });
+  }
+}
+
+void RpcServer::Serve(Socket& conn) {
+  std::string frame;
+  while (!stop_.load()) {
+    Status st = ReadFrame(conn, &frame);
+    if (st.code() == StatusCode::kTimedOut) continue;  // poll stop flag
+    if (!st.ok()) {
+      // Aborted = client hung up cleanly; IOError = mid-message
+      // disconnect; Corruption = garbage framing. None of them can be
+      // answered (the stream is unsynchronized), so drop the connection —
+      // the client's whole-call retry reconnects on a fresh stream.
+      break;
+    }
+    auto request = RequestEnvelope::Decode(frame);
+    ReplyEnvelope reply;
+    if (!request.ok()) {
+      // Framing was intact but the envelope is malformed: report it on
+      // seq 0 (the client detects the mismatch and fails the call), then
+      // resynchronize by closing.
+      reply.seq = 0;
+      reply.code = request.status().code();
+      reply.message = request.status().message();
+    } else {
+      reply.seq = request->seq;
+      auto result = handler_(request->type, request->body);
+      if (result.ok()) {
+        reply.body = std::move(result).MoveValue();
+      } else {
+        reply.code = result.status().code();
+        reply.message = result.status().message();
+      }
+    }
+    std::string encoded;
+    reply.EncodeTo(&encoded);
+    if (!WriteFrame(conn, encoded).ok()) break;
+    if (!request.ok()) break;
+  }
+  conn.Close();
+}
+
+// ---------------------------------------------------------------- client --
+
+RpcClient::RpcClient(std::string host, uint16_t port, RpcClientOptions options,
+                     std::string what)
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      what_(std::move(what)) {}
+
+RpcClient::~RpcClient() { Disconnect(); }
+
+void RpcClient::Disconnect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  conn_.Close();
+}
+
+Status RpcClient::Call(MessageType type, std::string_view body,
+                       std::string* reply_body) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Seed the backoff jitter from the endpoint + call count so concurrent
+  // clients de-synchronize deterministically (no wall-clock entropy).
+  runtime::BlockingRetrier retrier(
+      options_.retry, Fnv1a64(host_) + port_ + next_seq_, what_);
+  Status last;
+  while (true) {
+    last = CallOnce(type, body, reply_body);
+    if (last.ok() || !runtime::IsTransientStatus(last)) return last;
+    conn_.Close();  // reconnect on a fresh stream
+    if (!retrier.BackoffAndRetry()) break;
+  }
+  return retrier.Exhausted(last);
+}
+
+Status RpcClient::CallOnce(MessageType type, std::string_view body,
+                           std::string* reply_body) {
+  if (!conn_.valid()) {
+    RHINO_ASSIGN_OR_RETURN(conn_, Socket::Connect(host_, port_));
+    RHINO_RETURN_NOT_OK(conn_.SetRecvTimeout(options_.recv_timeout_ms));
+  }
+  RequestEnvelope request;
+  request.type = type;
+  request.seq = next_seq_++;
+  request.body.assign(body);
+  std::string frame;
+  request.EncodeTo(&frame);
+  RHINO_RETURN_NOT_OK(WriteFrame(conn_, frame));
+
+  std::string reply_frame;
+  Status read = ReadFrame(conn_, &reply_frame);
+  if (read.code() == StatusCode::kAborted) {
+    // The peer closed cleanly after we sent the request (e.g. a server
+    // restart). Every verb is idempotent, so surface it as a transient
+    // IOError and let the whole-call retry reconnect and resend.
+    return Status::IOError(what_ + ": connection closed before reply");
+  }
+  RHINO_RETURN_NOT_OK(read);
+  RHINO_ASSIGN_OR_RETURN(ReplyEnvelope reply,
+                         ReplyEnvelope::Decode(reply_frame));
+  if (reply.seq != request.seq) {
+    // The server lost sync (e.g. it rejected our envelope on seq 0).
+    // Treat as an IO failure so the retry path reconnects cleanly.
+    return Status::IOError(what_ + ": reply seq " + std::to_string(reply.seq) +
+                           " for request " + std::to_string(request.seq));
+  }
+  RHINO_RETURN_NOT_OK(reply.ToStatus());
+  if (reply_body != nullptr) *reply_body = std::move(reply.body);
+  return Status::OK();
+}
+
+}  // namespace rhino::net

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "runtime/retry.h"
+
+/// \file rpc.h
+/// Blocking request/reply RPC over framed TCP.
+///
+/// One frame carries one `RequestEnvelope` (client -> server) or one
+/// `ReplyEnvelope` (server -> client); the handler's `Status` travels
+/// inside the reply so application failures are distinguishable from
+/// transport failures. Transport failures never hang or crash either side:
+/// corrupt frames produce error replies or clean connection teardown, and
+/// all reads are bounded by receive timeouts.
+///
+/// `RpcClient::Call` retries the WHOLE call (reconnect included) through a
+/// `runtime::BlockingRetrier` on transient transport errors. That is safe
+/// because every verb a node serves is idempotent — batch application
+/// dedups on replay watermarks, ingest/drop/replicate are
+/// set-state operations — mirroring how the in-process protocol tolerates
+/// re-delivered completions.
+
+namespace rhino::net {
+
+/// Server side: accept loop plus one thread per live connection.
+class RpcServer {
+ public:
+  /// Handles one decoded request; the returned string is the reply body.
+  /// Called concurrently from connection threads — the handler owns its
+  /// locking.
+  using Handler =
+      std::function<Result<std::string>(MessageType, std::string_view)>;
+
+  explicit RpcServer(Handler handler) : handler_(std::move(handler)) {}
+  ~RpcServer() { Stop(); }
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Binds `host:port` (port 0 = kernel-assigned) and starts the accept
+  /// thread.
+  Status Start(const std::string& host, uint16_t port);
+
+  /// Port actually bound (valid after `Start`).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, closes every connection, joins all threads.
+  /// Idempotent.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void Serve(Socket& conn);
+
+  Handler handler_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::vector<std::thread> conn_threads_;
+  /// fds of live connections, shut down on Stop to unblock their reads.
+  std::vector<std::shared_ptr<Socket>> conns_;
+};
+
+struct RpcClientOptions {
+  /// Receive timeout per reply. Checkpoints serialize and replicate whole
+  /// shards, so this is generous; a SIGKILLed peer still fails fast
+  /// because its kernel resets the connection rather than timing out.
+  int recv_timeout_ms = 10'000;
+  /// Whole-call retry budget. Small so the driver detects a dead node in
+  /// well under a second of backoff.
+  runtime::RetryOptions retry;
+};
+
+/// Client side: one connection, one outstanding call at a time (guarded by
+/// an internal mutex — callers on different threads serialize).
+class RpcClient {
+ public:
+  RpcClient(std::string host, uint16_t port, RpcClientOptions options,
+            std::string what);
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Sends `body` as a `type` request; on success `*reply_body` holds the
+  /// reply payload. Application errors come back verbatim from the
+  /// handler; transport errors surface after the retry budget (typically
+  /// as `IOError`/`TimedOut` naming the endpoint).
+  Status Call(MessageType type, std::string_view body,
+              std::string* reply_body);
+
+  /// Drops the cached connection (next call reconnects).
+  void Disconnect();
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+  std::string endpoint() const { return FormatEndpoint(host_, port_); }
+
+ private:
+  Status CallOnce(MessageType type, std::string_view body,
+                  std::string* reply_body);
+
+  std::string host_;
+  uint16_t port_;
+  RpcClientOptions options_;
+  std::string what_;
+
+  std::mutex mu_;
+  Socket conn_;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace rhino::net

@@ -1,0 +1,64 @@
+#include "net/transport.h"
+
+#include <utility>
+
+namespace rhino::net {
+
+Status TcpTransport::Call(const std::string& endpoint, MessageType type,
+                          std::string_view body, std::string* reply_body) {
+  RpcClient* client = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = clients_.find(endpoint);
+    if (it == clients_.end()) {
+      std::string host;
+      uint16_t port = 0;
+      RHINO_RETURN_NOT_OK(ParseEndpoint(endpoint, &host, &port));
+      it = clients_
+               .emplace(endpoint,
+                        std::make_unique<RpcClient>(
+                            host, port, options_, "rpc_call:" + endpoint))
+               .first;
+    }
+    client = it->second.get();
+  }
+  // The client serializes its own calls; holding mu_ across the RPC would
+  // needlessly serialize calls to DIFFERENT endpoints.
+  return client->Call(type, body, reply_body);
+}
+
+void TcpTransport::Forget(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clients_.erase(endpoint);
+}
+
+void LoopbackTransport::Register(const std::string& endpoint,
+                                 RpcServer::Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[endpoint] = std::move(handler);
+}
+
+void LoopbackTransport::Kill(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_.erase(endpoint);
+}
+
+Status LoopbackTransport::Call(const std::string& endpoint, MessageType type,
+                               std::string_view body,
+                               std::string* reply_body) {
+  RpcServer::Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = handlers_.find(endpoint);
+    if (it == handlers_.end()) {
+      return Status::IOError("loopback endpoint unreachable: " + endpoint);
+    }
+    handler = it->second;
+  }
+  auto result = handler(type, body);
+  RHINO_RETURN_NOT_OK(result.status());
+  if (reply_body != nullptr) *reply_body = std::move(result).MoveValue();
+  return Status::OK();
+}
+
+}  // namespace rhino::net

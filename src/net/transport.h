@@ -1,0 +1,83 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/rpc.h"
+#include "net/wire.h"
+
+/// \file transport.h
+/// The transport seam between cluster logic and the wire.
+///
+/// `ClusterDriver` and `NodeServer` address peers by endpoint string and
+/// never touch sockets directly; the `Transport` implementation decides
+/// what an endpoint means:
+///
+///  * `TcpTransport`      — "host:port" over real sockets via `RpcClient`
+///    (multi-process clusters);
+///  * `LoopbackTransport` — a name registered in an in-process table
+///    (deterministic single-process tests of the same protocol logic,
+///    including simulated node death by unregistering).
+///
+/// Both carry the exact same encoded bodies, so a protocol exercised over
+/// loopback is byte-for-byte the protocol on the wire.
+
+namespace rhino::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Issues one RPC to `endpoint`. Application errors come back from the
+  /// remote handler; unreachable/dead endpoints surface as transient
+  /// transport errors (`IOError`/`TimedOut`).
+  virtual Status Call(const std::string& endpoint, MessageType type,
+                      std::string_view body, std::string* reply_body) = 0;
+
+  /// Drops any cached connection to `endpoint` (after a peer restart).
+  virtual void Forget(const std::string& /*endpoint*/) {}
+};
+
+/// Real sockets. Caches one `RpcClient` per endpoint; clients already
+/// reconnect-with-backoff internally, so `Call` here is a thin lookup.
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(RpcClientOptions options = {})
+      : options_(options) {}
+
+  Status Call(const std::string& endpoint, MessageType type,
+              std::string_view body, std::string* reply_body) override;
+  void Forget(const std::string& endpoint) override;
+
+ private:
+  RpcClientOptions options_;
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<RpcClient>> clients_;
+};
+
+/// In-process table of endpoint -> handler. `Call` invokes the handler on
+/// the calling thread with the same encoded bodies that would cross a
+/// socket.
+class LoopbackTransport : public Transport {
+ public:
+  /// Registers `endpoint`; replaces any previous registration.
+  void Register(const std::string& endpoint, RpcServer::Handler handler);
+
+  /// Unregisters `endpoint`: subsequent calls fail with `IOError`, which
+  /// is how tests simulate a fail-stopped node.
+  void Kill(const std::string& endpoint);
+
+  Status Call(const std::string& endpoint, MessageType type,
+              std::string_view body, std::string* reply_body) override;
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, RpcServer::Handler> handlers_;
+};
+
+}  // namespace rhino::net

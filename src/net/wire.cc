@@ -1,0 +1,446 @@
+#include "net/wire.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/serde.h"
+
+namespace rhino::net {
+
+namespace {
+
+// Decoders share this trailing-bytes check: a frame that parses but has
+// leftover bytes is as suspect as a truncated one.
+Status CheckAtEnd(const BinaryReader& r, const char* what) {
+  if (!r.AtEnd()) {
+    return Status::Corruption(std::string("trailing bytes after ") + what);
+  }
+  return Status::OK();
+}
+
+void PutVnodes(BinaryWriter* w, const std::vector<uint32_t>& vnodes) {
+  w->PutVarint(vnodes.size());
+  for (uint32_t v : vnodes) w->PutU32(v);
+}
+
+Status GetVnodes(BinaryReader* r, std::vector<uint32_t>* vnodes) {
+  uint64_t n = 0;
+  RHINO_RETURN_NOT_OK(r->GetVarint(&n));
+  vnodes->clear();
+  vnodes->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t v = 0;
+    RHINO_RETURN_NOT_OK(r->GetU32(&v));
+    vnodes->push_back(v);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kReply: return "Reply";
+    case MessageType::kHello: return "Hello";
+    case MessageType::kAddOperator: return "AddOperator";
+    case MessageType::kProcessBatch: return "ProcessBatch";
+    case MessageType::kCheckpoint: return "Checkpoint";
+    case MessageType::kExtractVnodes: return "ExtractVnodes";
+    case MessageType::kIngestVnodes: return "IngestVnodes";
+    case MessageType::kDropVnodes: return "DropVnodes";
+    case MessageType::kReplicateState: return "ReplicateState";
+    case MessageType::kPromoteReplica: return "PromoteReplica";
+    case MessageType::kRestoreFromCheckpoint: return "RestoreFromCheckpoint";
+    case MessageType::kQueryCount: return "QueryCount";
+    case MessageType::kStats: return "Stats";
+    case MessageType::kShutdown: return "Shutdown";
+  }
+  return "Unknown";
+}
+
+// ------------------------------------------------------------ envelopes --
+
+void RequestEnvelope::EncodeTo(std::string* out) const {
+  BinaryWriter w(out);
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU64(seq);
+  out->append(body);
+}
+
+Result<RequestEnvelope> RequestEnvelope::Decode(std::string_view data) {
+  BinaryReader r(data);
+  RequestEnvelope env;
+  uint8_t type = 0;
+  RHINO_RETURN_NOT_OK(r.GetU8(&type));
+  if (type == 0 || type > static_cast<uint8_t>(MessageType::kShutdown)) {
+    return Status::Corruption("unknown request type " + std::to_string(type));
+  }
+  env.type = static_cast<MessageType>(type);
+  RHINO_RETURN_NOT_OK(r.GetU64(&env.seq));
+  env.body.assign(data.substr(r.position()));
+  return env;
+}
+
+void ReplyEnvelope::EncodeTo(std::string* out) const {
+  BinaryWriter w(out);
+  w.PutU8(static_cast<uint8_t>(MessageType::kReply));
+  w.PutU64(seq);
+  w.PutU8(static_cast<uint8_t>(code));
+  w.PutString(message);
+  out->append(body);
+}
+
+Result<ReplyEnvelope> ReplyEnvelope::Decode(std::string_view data) {
+  BinaryReader r(data);
+  ReplyEnvelope env;
+  uint8_t type = 0;
+  RHINO_RETURN_NOT_OK(r.GetU8(&type));
+  if (type != static_cast<uint8_t>(MessageType::kReply)) {
+    return Status::Corruption("reply envelope has type " +
+                              std::to_string(type));
+  }
+  RHINO_RETURN_NOT_OK(r.GetU64(&env.seq));
+  uint8_t code = 0;
+  RHINO_RETURN_NOT_OK(r.GetU8(&code));
+  if (code > static_cast<uint8_t>(StatusCode::kUnknown)) {
+    return Status::Corruption("reply has status code " + std::to_string(code));
+  }
+  env.code = static_cast<StatusCode>(code);
+  RHINO_RETURN_NOT_OK(r.GetString(&env.message));
+  env.body.assign(data.substr(r.position()));
+  return env;
+}
+
+// -------------------------------------------------- batches and control --
+
+void EncodeBatch(const dataflow::Batch& batch, std::string* out) {
+  BinaryWriter w(out);
+  w.PutI64(batch.create_time);
+  w.PutU64(batch.count);
+  w.PutU64(batch.bytes);
+  w.PutI64(batch.source_id);
+  w.PutU64(batch.source_offset);
+  w.PutVarint(batch.records.size());
+  for (const auto& rec : batch.records) {
+    w.PutU64(rec.key);
+    w.PutI64(rec.event_time);
+    w.PutU32(rec.size);
+    w.PutString(rec.payload);
+  }
+  // Modeled-mode slices do not cross the wire: the networked runtime
+  // always runs in real (record-carrying) mode.
+}
+
+Result<dataflow::Batch> DecodeBatch(std::string_view data) {
+  BinaryReader r(data);
+  dataflow::Batch batch;
+  RHINO_RETURN_NOT_OK(r.GetI64(&batch.create_time));
+  RHINO_RETURN_NOT_OK(r.GetU64(&batch.count));
+  RHINO_RETURN_NOT_OK(r.GetU64(&batch.bytes));
+  int64_t source_id = 0;
+  RHINO_RETURN_NOT_OK(r.GetI64(&source_id));
+  batch.source_id = static_cast<int>(source_id);
+  RHINO_RETURN_NOT_OK(r.GetU64(&batch.source_offset));
+  uint64_t n = 0;
+  RHINO_RETURN_NOT_OK(r.GetVarint(&n));
+  // Record count bounded by the remaining bytes (each record is >= 21
+  // bytes encoded) so a corrupt varint cannot force a huge allocation.
+  if (n > r.remaining()) {
+    return Status::Corruption("batch record count " + std::to_string(n) +
+                              " exceeds payload size");
+  }
+  batch.records.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    dataflow::Record rec;
+    RHINO_RETURN_NOT_OK(r.GetU64(&rec.key));
+    RHINO_RETURN_NOT_OK(r.GetI64(&rec.event_time));
+    RHINO_RETURN_NOT_OK(r.GetU32(&rec.size));
+    RHINO_RETURN_NOT_OK(r.GetString(&rec.payload));
+    batch.records.push_back(std::move(rec));
+  }
+  RHINO_RETURN_NOT_OK(CheckAtEnd(r, "batch"));
+  return batch;
+}
+
+void EncodeHandoverSpec(const dataflow::HandoverSpec& spec, std::string* out) {
+  BinaryWriter w(out);
+  w.PutU64(spec.id);
+  w.PutString(spec.operator_name);
+  w.PutU8(spec.origin_failed ? 1 : 0);
+  w.PutVarint(spec.moves.size());
+  for (const auto& move : spec.moves) {
+    w.PutU32(move.origin_instance);
+    w.PutU32(move.target_instance);
+    PutVnodes(&w, move.vnodes);
+  }
+}
+
+Result<dataflow::HandoverSpec> DecodeHandoverSpec(std::string_view data) {
+  BinaryReader r(data);
+  dataflow::HandoverSpec spec;
+  RHINO_RETURN_NOT_OK(r.GetU64(&spec.id));
+  RHINO_RETURN_NOT_OK(r.GetString(&spec.operator_name));
+  uint8_t origin_failed = 0;
+  RHINO_RETURN_NOT_OK(r.GetU8(&origin_failed));
+  spec.origin_failed = origin_failed != 0;
+  uint64_t n = 0;
+  RHINO_RETURN_NOT_OK(r.GetVarint(&n));
+  if (n > r.remaining()) {
+    return Status::Corruption("handover move count exceeds payload size");
+  }
+  spec.moves.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    dataflow::HandoverMove move;
+    RHINO_RETURN_NOT_OK(r.GetU32(&move.origin_instance));
+    RHINO_RETURN_NOT_OK(r.GetU32(&move.target_instance));
+    RHINO_RETURN_NOT_OK(GetVnodes(&r, &move.vnodes));
+    spec.moves.push_back(std::move(move));
+  }
+  RHINO_RETURN_NOT_OK(CheckAtEnd(r, "handover spec"));
+  return spec;
+}
+
+void EncodeControlEvent(const dataflow::ControlEvent& ev, std::string* out) {
+  BinaryWriter w(out);
+  w.PutU8(static_cast<uint8_t>(ev.type));
+  w.PutU64(ev.id);
+  std::string spec;
+  if (ev.handover != nullptr) EncodeHandoverSpec(*ev.handover, &spec);
+  w.PutString(spec);
+}
+
+Result<dataflow::ControlEvent> DecodeControlEvent(std::string_view data) {
+  BinaryReader r(data);
+  dataflow::ControlEvent ev;
+  uint8_t type = 0;
+  RHINO_RETURN_NOT_OK(r.GetU8(&type));
+  if (type >
+      static_cast<uint8_t>(dataflow::ControlEvent::Type::kHandoverMarker)) {
+    return Status::Corruption("unknown control event type " +
+                              std::to_string(type));
+  }
+  ev.type = static_cast<dataflow::ControlEvent::Type>(type);
+  RHINO_RETURN_NOT_OK(r.GetU64(&ev.id));
+  std::string_view spec_bytes;
+  RHINO_RETURN_NOT_OK(r.GetString(&spec_bytes));
+  if (!spec_bytes.empty()) {
+    RHINO_ASSIGN_OR_RETURN(dataflow::HandoverSpec spec,
+                           DecodeHandoverSpec(spec_bytes));
+    ev.handover =
+        std::make_shared<const dataflow::HandoverSpec>(std::move(spec));
+  }
+  RHINO_RETURN_NOT_OK(CheckAtEnd(r, "control event"));
+  return ev;
+}
+
+// ------------------------------------------------------- request bodies --
+
+void HelloRequest::EncodeTo(std::string* out) const {
+  BinaryWriter w(out);
+  w.PutU32(node_id);
+  w.PutString(successor);
+}
+
+Result<HelloRequest> HelloRequest::Decode(std::string_view data) {
+  BinaryReader r(data);
+  HelloRequest req;
+  RHINO_RETURN_NOT_OK(r.GetU32(&req.node_id));
+  RHINO_RETURN_NOT_OK(r.GetString(&req.successor));
+  RHINO_RETURN_NOT_OK(CheckAtEnd(r, "hello request"));
+  return req;
+}
+
+void AddOperatorRequest::EncodeTo(std::string* out) const {
+  BinaryWriter w(out);
+  w.PutString(name);
+  w.PutU32(num_vnodes);
+  PutVnodes(&w, owned_vnodes);
+}
+
+Result<AddOperatorRequest> AddOperatorRequest::Decode(std::string_view data) {
+  BinaryReader r(data);
+  AddOperatorRequest req;
+  RHINO_RETURN_NOT_OK(r.GetString(&req.name));
+  RHINO_RETURN_NOT_OK(r.GetU32(&req.num_vnodes));
+  RHINO_RETURN_NOT_OK(GetVnodes(&r, &req.owned_vnodes));
+  RHINO_RETURN_NOT_OK(CheckAtEnd(r, "add-operator request"));
+  return req;
+}
+
+void ProcessBatchRequest::EncodeTo(std::string* out) const {
+  BinaryWriter w(out);
+  w.PutString(op);
+  std::string encoded;
+  EncodeBatch(batch, &encoded);
+  w.PutString(encoded);
+}
+
+Result<ProcessBatchRequest> ProcessBatchRequest::Decode(std::string_view data) {
+  BinaryReader r(data);
+  ProcessBatchRequest req;
+  RHINO_RETURN_NOT_OK(r.GetString(&req.op));
+  std::string_view encoded;
+  RHINO_RETURN_NOT_OK(r.GetString(&encoded));
+  RHINO_ASSIGN_OR_RETURN(req.batch, DecodeBatch(encoded));
+  RHINO_RETURN_NOT_OK(CheckAtEnd(r, "process-batch request"));
+  return req;
+}
+
+void ProcessBatchReply::EncodeTo(std::string* out) const {
+  BinaryWriter w(out);
+  w.PutU64(applied);
+  w.PutU64(deduped);
+}
+
+Result<ProcessBatchReply> ProcessBatchReply::Decode(std::string_view data) {
+  BinaryReader r(data);
+  ProcessBatchReply rep;
+  RHINO_RETURN_NOT_OK(r.GetU64(&rep.applied));
+  RHINO_RETURN_NOT_OK(r.GetU64(&rep.deduped));
+  RHINO_RETURN_NOT_OK(CheckAtEnd(r, "process-batch reply"));
+  return rep;
+}
+
+void CheckpointReply::EncodeTo(std::string* out) const {
+  BinaryWriter w(out);
+  w.PutU64(checkpoint_id);
+  w.PutU64(bytes);
+  w.PutU32(operators);
+  w.PutU8(replicated);
+}
+
+Result<CheckpointReply> CheckpointReply::Decode(std::string_view data) {
+  BinaryReader r(data);
+  CheckpointReply rep;
+  RHINO_RETURN_NOT_OK(r.GetU64(&rep.checkpoint_id));
+  RHINO_RETURN_NOT_OK(r.GetU64(&rep.bytes));
+  RHINO_RETURN_NOT_OK(r.GetU32(&rep.operators));
+  RHINO_RETURN_NOT_OK(r.GetU8(&rep.replicated));
+  RHINO_RETURN_NOT_OK(CheckAtEnd(r, "checkpoint reply"));
+  return rep;
+}
+
+void HandoverStateRequest::EncodeTo(std::string* out) const {
+  BinaryWriter w(out);
+  std::string encoded;
+  EncodeControlEvent(control, &encoded);
+  w.PutString(encoded);
+  w.PutU32(move_index);
+  w.PutString(replica);
+  w.PutU8(durable);
+}
+
+Result<HandoverStateRequest> HandoverStateRequest::Decode(
+    std::string_view data) {
+  BinaryReader r(data);
+  HandoverStateRequest req;
+  std::string_view encoded;
+  RHINO_RETURN_NOT_OK(r.GetString(&encoded));
+  RHINO_ASSIGN_OR_RETURN(req.control, DecodeControlEvent(encoded));
+  RHINO_RETURN_NOT_OK(r.GetU32(&req.move_index));
+  RHINO_RETURN_NOT_OK(r.GetString(&req.replica));
+  RHINO_RETURN_NOT_OK(r.GetU8(&req.durable));
+  RHINO_RETURN_NOT_OK(CheckAtEnd(r, "handover state request"));
+  return req;
+}
+
+void VnodeSetRequest::EncodeTo(std::string* out) const {
+  BinaryWriter w(out);
+  w.PutString(op);
+  PutVnodes(&w, vnodes);
+}
+
+Result<VnodeSetRequest> VnodeSetRequest::Decode(std::string_view data) {
+  BinaryReader r(data);
+  VnodeSetRequest req;
+  RHINO_RETURN_NOT_OK(r.GetString(&req.op));
+  RHINO_RETURN_NOT_OK(GetVnodes(&r, &req.vnodes));
+  RHINO_RETURN_NOT_OK(CheckAtEnd(r, "vnode-set request"));
+  return req;
+}
+
+void ReplicateStateRequest::EncodeTo(std::string* out) const {
+  BinaryWriter w(out);
+  w.PutU32(origin_node);
+  w.PutString(op);
+  w.PutString(replica);
+}
+
+Result<ReplicateStateRequest> ReplicateStateRequest::Decode(
+    std::string_view data) {
+  BinaryReader r(data);
+  ReplicateStateRequest req;
+  RHINO_RETURN_NOT_OK(r.GetU32(&req.origin_node));
+  RHINO_RETURN_NOT_OK(r.GetString(&req.op));
+  RHINO_RETURN_NOT_OK(r.GetString(&req.replica));
+  RHINO_RETURN_NOT_OK(CheckAtEnd(r, "replicate-state request"));
+  return req;
+}
+
+void ReplicaFetchRequest::EncodeTo(std::string* out) const {
+  BinaryWriter w(out);
+  w.PutU32(origin_node);
+  w.PutString(op);
+  PutVnodes(&w, vnodes);
+}
+
+Result<ReplicaFetchRequest> ReplicaFetchRequest::Decode(std::string_view data) {
+  BinaryReader r(data);
+  ReplicaFetchRequest req;
+  RHINO_RETURN_NOT_OK(r.GetU32(&req.origin_node));
+  RHINO_RETURN_NOT_OK(r.GetString(&req.op));
+  RHINO_RETURN_NOT_OK(GetVnodes(&r, &req.vnodes));
+  RHINO_RETURN_NOT_OK(CheckAtEnd(r, "replica-fetch request"));
+  return req;
+}
+
+void QueryCountRequest::EncodeTo(std::string* out) const {
+  BinaryWriter w(out);
+  w.PutString(op);
+  w.PutU64(key);
+}
+
+Result<QueryCountRequest> QueryCountRequest::Decode(std::string_view data) {
+  BinaryReader r(data);
+  QueryCountRequest req;
+  RHINO_RETURN_NOT_OK(r.GetString(&req.op));
+  RHINO_RETURN_NOT_OK(r.GetU64(&req.key));
+  RHINO_RETURN_NOT_OK(CheckAtEnd(r, "query-count request"));
+  return req;
+}
+
+void QueryCountReply::EncodeTo(std::string* out) const {
+  BinaryWriter w(out);
+  w.PutU64(count);
+}
+
+Result<QueryCountReply> QueryCountReply::Decode(std::string_view data) {
+  BinaryReader r(data);
+  QueryCountReply rep;
+  RHINO_RETURN_NOT_OK(r.GetU64(&rep.count));
+  RHINO_RETURN_NOT_OK(CheckAtEnd(r, "query-count reply"));
+  return rep;
+}
+
+void StatsReply::EncodeTo(std::string* out) const {
+  BinaryWriter w(out);
+  w.PutU64(applied);
+  w.PutU64(deduped);
+  w.PutU64(owned_vnodes);
+  w.PutU64(replicas_held);
+  w.PutU64(state_bytes);
+}
+
+Result<StatsReply> StatsReply::Decode(std::string_view data) {
+  BinaryReader r(data);
+  StatsReply rep;
+  RHINO_RETURN_NOT_OK(r.GetU64(&rep.applied));
+  RHINO_RETURN_NOT_OK(r.GetU64(&rep.deduped));
+  RHINO_RETURN_NOT_OK(r.GetU64(&rep.owned_vnodes));
+  RHINO_RETURN_NOT_OK(r.GetU64(&rep.replicas_held));
+  RHINO_RETURN_NOT_OK(r.GetU64(&rep.state_bytes));
+  RHINO_RETURN_NOT_OK(CheckAtEnd(r, "stats reply"));
+  return rep;
+}
+
+}  // namespace rhino::net

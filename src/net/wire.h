@@ -1,0 +1,236 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "dataflow/record.h"
+
+/// \file wire.h
+/// Wire format of the multi-process runtime: RPC envelopes plus binary
+/// serialization of the things that cross process boundaries — data
+/// batches, in-band control events (checkpoint barriers and handover
+/// markers, `dataflow::ControlEvent`), and state blobs (replica images are
+/// encoded by `rhino::EncodeReplicaState`).
+///
+/// Everything uses the little-endian `BinaryWriter`/`BinaryReader` format
+/// shared with the LSM on-disk structures; every `Decode` returns
+/// `Corruption` on truncated or trailing bytes instead of crashing — the
+/// payload may have arrived from a byte stream in an arbitrary failure
+/// state.
+
+namespace rhino::net {
+
+/// RPC verbs understood by a `NodeServer`. The driver plans checkpoints
+/// and handovers by issuing these over TCP (or the in-process loopback
+/// transport — same bytes either way).
+enum class MessageType : uint8_t {
+  kReply = 0,                 ///< server -> client response envelope
+  kHello = 1,                 ///< configure node id + replication successor
+  kAddOperator = 2,           ///< host an operator instance + LSM shard
+  kProcessBatch = 3,          ///< data plane: one routed batch
+  kCheckpoint = 4,            ///< control: checkpoint barrier
+  kExtractVnodes = 5,         ///< handover origin: serialize moved vnodes
+  kIngestVnodes = 6,          ///< handover target: ingest moved vnodes
+  kDropVnodes = 7,            ///< handover origin: release migrated state
+  kReplicateState = 8,        ///< node -> node: chain-replicated image
+  kPromoteReplica = 9,        ///< recovery: fold a held replica into live state
+  kRestoreFromCheckpoint = 10,///< recovery: load a dead node's durable image
+  kQueryCount = 11,           ///< read side: keyed counter lookup
+  kStats = 12,                ///< introspection for tests/benches
+  kShutdown = 13,             ///< graceful stop
+};
+
+const char* MessageTypeName(MessageType type);
+
+/// Key -> virtual node mapping of the networked runtime. Driver (routing)
+/// and nodes (ownership checks) must agree, so it lives here.
+inline uint32_t VnodeForKey(uint64_t key, uint32_t num_vnodes) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>(key >> (8 * i));
+  }
+  return static_cast<uint32_t>(Fnv1a64(bytes, 8) % num_vnodes);
+}
+
+// ----------------------------------------------------------- envelopes --
+
+/// Client -> server: `u8 type | u64 seq | body`.
+struct RequestEnvelope {
+  MessageType type = MessageType::kReply;
+  uint64_t seq = 0;
+  std::string body;
+
+  void EncodeTo(std::string* out) const;
+  static Result<RequestEnvelope> Decode(std::string_view data);
+};
+
+/// Server -> client: `u8 kReply | u64 seq | u8 code | msg | body`. The
+/// handler's `Status` travels in the envelope so application errors are
+/// distinguishable from transport failures.
+struct ReplyEnvelope {
+  uint64_t seq = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  std::string body;
+
+  void EncodeTo(std::string* out) const;
+  static Result<ReplyEnvelope> Decode(std::string_view data);
+
+  Status ToStatus() const {
+    if (code == StatusCode::kOk) return Status::OK();
+    return Status(code, message);
+  }
+};
+
+// ------------------------------------------------- batches and control --
+
+void EncodeBatch(const dataflow::Batch& batch, std::string* out);
+Result<dataflow::Batch> DecodeBatch(std::string_view data);
+
+void EncodeHandoverSpec(const dataflow::HandoverSpec& spec, std::string* out);
+Result<dataflow::HandoverSpec> DecodeHandoverSpec(std::string_view data);
+
+/// Control events are what flow through channels in-process (paper R1);
+/// across processes they flow inside these request bodies with identical
+/// content — a checkpoint barrier carries its id, a handover marker its
+/// full `HandoverSpec`.
+void EncodeControlEvent(const dataflow::ControlEvent& ev, std::string* out);
+Result<dataflow::ControlEvent> DecodeControlEvent(std::string_view data);
+
+// ------------------------------------------------------- request bodies --
+
+/// kHello: assigns the node id and the chain-replication successor
+/// (endpoint string, empty = replication off). Sent by the driver once
+/// every node's port is known.
+struct HelloRequest {
+  uint32_t node_id = 0;
+  std::string successor;
+
+  void EncodeTo(std::string* out) const;
+  static Result<HelloRequest> Decode(std::string_view data);
+};
+
+/// kAddOperator: host `name` with `num_vnodes` virtual nodes and the
+/// given initially-owned set.
+struct AddOperatorRequest {
+  std::string name;
+  uint32_t num_vnodes = 0;
+  std::vector<uint32_t> owned_vnodes;
+
+  void EncodeTo(std::string* out) const;
+  static Result<AddOperatorRequest> Decode(std::string_view data);
+};
+
+/// kProcessBatch: one batch routed to this node. `batch.source_id` is the
+/// broker partition, `batch.source_offset` the log offset — the node's
+/// per-vnode replay watermarks deduplicate on them.
+struct ProcessBatchRequest {
+  std::string op;
+  dataflow::Batch batch;
+
+  void EncodeTo(std::string* out) const;
+  static Result<ProcessBatchRequest> Decode(std::string_view data);
+};
+
+struct ProcessBatchReply {
+  uint64_t applied = 0;
+  uint64_t deduped = 0;
+
+  void EncodeTo(std::string* out) const;
+  static Result<ProcessBatchReply> Decode(std::string_view data);
+};
+
+/// kCheckpoint carries an encoded checkpoint-barrier ControlEvent as its
+/// body; this is the reply.
+struct CheckpointReply {
+  uint64_t checkpoint_id = 0;
+  uint64_t bytes = 0;
+  uint32_t operators = 0;
+  /// 1 when the image was also chain-replicated to the successor.
+  uint8_t replicated = 0;
+
+  void EncodeTo(std::string* out) const;
+  static Result<CheckpointReply> Decode(std::string_view data);
+};
+
+/// kExtractVnodes / kIngestVnodes: the handover marker (control event with
+/// the full spec) plus which move of the spec this node participates in.
+/// For ingest, `replica` holds the origin's encoded `ReplicaState` and
+/// `durable` says whether those bytes came from a persisted checkpoint
+/// (recovery) or a live migration tail.
+struct HandoverStateRequest {
+  dataflow::ControlEvent control;
+  uint32_t move_index = 0;
+  std::string replica;
+  uint8_t durable = 0;
+
+  void EncodeTo(std::string* out) const;
+  static Result<HandoverStateRequest> Decode(std::string_view data);
+};
+
+/// kDropVnodes.
+struct VnodeSetRequest {
+  std::string op;
+  std::vector<uint32_t> vnodes;
+
+  void EncodeTo(std::string* out) const;
+  static Result<VnodeSetRequest> Decode(std::string_view data);
+};
+
+/// kReplicateState: a chain-replicated checkpoint image from `origin_node`
+/// (`replica` = encoded ReplicaState). The receiver stores it in its
+/// replica catalog; it does NOT touch live state until promoted.
+struct ReplicateStateRequest {
+  uint32_t origin_node = 0;
+  std::string op;
+  std::string replica;
+
+  void EncodeTo(std::string* out) const;
+  static Result<ReplicateStateRequest> Decode(std::string_view data);
+};
+
+/// kPromoteReplica / kRestoreFromCheckpoint: fold `vnodes` of
+/// `origin_node`'s latest image (held replica, or durable checkpoint
+/// image) into this node's live state. The reply body is the image's
+/// encoded ReplicaState with blobs stripped — the driver reads the replay
+/// watermarks out of its descriptor.
+struct ReplicaFetchRequest {
+  uint32_t origin_node = 0;
+  std::string op;
+  std::vector<uint32_t> vnodes;
+
+  void EncodeTo(std::string* out) const;
+  static Result<ReplicaFetchRequest> Decode(std::string_view data);
+};
+
+struct QueryCountRequest {
+  std::string op;
+  uint64_t key = 0;
+
+  void EncodeTo(std::string* out) const;
+  static Result<QueryCountRequest> Decode(std::string_view data);
+};
+
+struct QueryCountReply {
+  uint64_t count = 0;
+
+  void EncodeTo(std::string* out) const;
+  static Result<QueryCountReply> Decode(std::string_view data);
+};
+
+struct StatsReply {
+  uint64_t applied = 0;
+  uint64_t deduped = 0;
+  uint64_t owned_vnodes = 0;
+  uint64_t replicas_held = 0;
+  uint64_t state_bytes = 0;
+
+  void EncodeTo(std::string* out) const;
+  static Result<StatsReply> Decode(std::string_view data);
+};
+
+}  // namespace rhino::net

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "dataflow/source.h"
+#include "lsm/log_format.h"
 
 namespace rhino::rhino {
 
@@ -171,6 +172,35 @@ void DfsCheckpointStorage::SeedCheckpoint(
   rep.latest_checkpoint_id = desc.checkpoint_id;
   rep.latest_descriptor = desc;
   rep.vnode_blobs = std::move(blobs);
+}
+
+Status WriteCheckpointImage(lsm::Env* env, const std::string& path,
+                            const ReplicaState& rs) {
+  size_t slash = path.rfind('/');
+  if (slash != std::string::npos && slash > 0) {
+    RHINO_RETURN_NOT_OK(env->CreateDir(path.substr(0, slash)));
+  }
+  std::string payload;
+  EncodeReplicaState(rs, &payload);
+  std::string framed;
+  framed.reserve(8 + payload.size());
+  lsm::AppendLogRecord(&framed, payload);
+  // Env::WriteFile replaces atomically (fresh content), so a reader never
+  // observes a half-written image under a stable name.
+  return env->WriteFile(path, framed);
+}
+
+Result<ReplicaState> ReadCheckpointImage(lsm::Env* env,
+                                         const std::string& path) {
+  std::string framed;
+  RHINO_RETURN_NOT_OK(env->ReadFile(path, &framed));
+  size_t pos = 0;
+  std::string_view payload;
+  lsm::LogRead read = lsm::ReadLogRecord(framed, &pos, &payload);
+  if (read != lsm::LogRead::kRecord) {
+    return Status::Corruption("torn checkpoint image: " + path);
+  }
+  return DecodeReplicaState(payload);
 }
 
 }  // namespace rhino::rhino

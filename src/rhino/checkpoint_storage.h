@@ -8,6 +8,7 @@
 #include "dataflow/engine.h"
 #include "dataflow/stateful.h"
 #include "dfs/dfs.h"
+#include "lsm/env.h"
 #include "rhino/replication_runtime.h"
 
 /// \file checkpoint_storage.h
@@ -109,5 +110,25 @@ class DfsCheckpointStorage : public dataflow::CheckpointStorage {
 /// both storages and by experiment seeding).
 std::map<uint32_t, std::string> CaptureVnodeBlobs(
     dataflow::StatefulInstance* instance);
+
+// ------------------------------------------------- durable image helpers --
+//
+// The networked runtime persists whole replica images (descriptor +
+// blobs) as single files on an `lsm::Env` — the node's "local disk" and
+// the shared checkpoint directory standing in for a DFS. The image is one
+// framed record (len + checksum, the WAL idiom), so a torn write from a
+// SIGKILL mid-checkpoint is detected on load and the image is discarded
+// rather than half-restored.
+
+/// Atomically writes the framed image of `rs` at `path` (parent directory
+/// is created if missing).
+Status WriteCheckpointImage(lsm::Env* env, const std::string& path,
+                            const ReplicaState& rs);
+
+/// Loads and validates an image written by `WriteCheckpointImage`. A torn
+/// or checksum-corrupt file is `Corruption`; a missing file is the Env's
+/// read error.
+Result<ReplicaState> ReadCheckpointImage(lsm::Env* env,
+                                         const std::string& path);
 
 }  // namespace rhino::rhino

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/serde.h"
 
 namespace rhino::rhino {
 
@@ -579,6 +580,116 @@ void ReplicationRuntime::SeedReplica(const std::string& op, uint32_t subtask,
       rep.vnode_blobs[vnode] = blob;
     }
   }
+}
+
+// ------------------------------------------------------------ wire form --
+
+void EncodeReplicaState(const ReplicaState& rs, std::string* out) {
+  BinaryWriter w(out);
+  w.PutU64(rs.latest_checkpoint_id);
+  const state::CheckpointDescriptor& d = rs.latest_descriptor;
+  w.PutU64(d.checkpoint_id);
+  w.PutString(d.operator_name);
+  w.PutU32(d.instance_id);
+  auto put_files = [&w](const std::vector<state::StateFile>& files) {
+    w.PutVarint(files.size());
+    for (const auto& f : files) {
+      w.PutString(f.name);
+      w.PutU64(f.bytes);
+    }
+  };
+  put_files(d.files);
+  put_files(d.delta_files);
+  w.PutVarint(d.vnode_bytes.size());
+  for (const auto& [vnode, bytes] : d.vnode_bytes) {
+    w.PutU32(vnode);
+    w.PutU64(bytes);
+  }
+  w.PutVarint(d.source_offsets.size());
+  for (const auto& [source, offset] : d.source_offsets) {
+    w.PutI64(source);
+    w.PutU64(offset);
+  }
+  w.PutVarint(d.vnode_watermarks.size());
+  for (const auto& [vnode, marks] : d.vnode_watermarks) {
+    w.PutU32(vnode);
+    w.PutVarint(marks.size());
+    for (const auto& [source, offset] : marks) {
+      w.PutI64(source);
+      w.PutU64(offset);
+    }
+  }
+  w.PutVarint(rs.vnode_blobs.size());
+  for (const auto& [vnode, blob] : rs.vnode_blobs) {
+    w.PutU32(vnode);
+    w.PutString(blob);
+  }
+}
+
+Result<ReplicaState> DecodeReplicaState(std::string_view data) {
+  BinaryReader r(data);
+  ReplicaState rs;
+  RHINO_RETURN_NOT_OK(r.GetU64(&rs.latest_checkpoint_id));
+  state::CheckpointDescriptor& d = rs.latest_descriptor;
+  RHINO_RETURN_NOT_OK(r.GetU64(&d.checkpoint_id));
+  RHINO_RETURN_NOT_OK(r.GetString(&d.operator_name));
+  RHINO_RETURN_NOT_OK(r.GetU32(&d.instance_id));
+  auto get_files = [&r](std::vector<state::StateFile>* files) -> Status {
+    uint64_t n = 0;
+    RHINO_RETURN_NOT_OK(r.GetVarint(&n));
+    for (uint64_t i = 0; i < n; ++i) {
+      state::StateFile f;
+      RHINO_RETURN_NOT_OK(r.GetString(&f.name));
+      RHINO_RETURN_NOT_OK(r.GetU64(&f.bytes));
+      files->push_back(std::move(f));
+    }
+    return Status::OK();
+  };
+  RHINO_RETURN_NOT_OK(get_files(&d.files));
+  RHINO_RETURN_NOT_OK(get_files(&d.delta_files));
+  uint64_t n = 0;
+  RHINO_RETURN_NOT_OK(r.GetVarint(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t vnode = 0;
+    uint64_t bytes = 0;
+    RHINO_RETURN_NOT_OK(r.GetU32(&vnode));
+    RHINO_RETURN_NOT_OK(r.GetU64(&bytes));
+    d.vnode_bytes[vnode] = bytes;
+  }
+  RHINO_RETURN_NOT_OK(r.GetVarint(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t source = 0;
+    uint64_t offset = 0;
+    RHINO_RETURN_NOT_OK(r.GetI64(&source));
+    RHINO_RETURN_NOT_OK(r.GetU64(&offset));
+    d.source_offsets[static_cast<int>(source)] = offset;
+  }
+  RHINO_RETURN_NOT_OK(r.GetVarint(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t vnode = 0;
+    uint64_t marks = 0;
+    RHINO_RETURN_NOT_OK(r.GetU32(&vnode));
+    RHINO_RETURN_NOT_OK(r.GetVarint(&marks));
+    for (uint64_t j = 0; j < marks; ++j) {
+      int64_t source = 0;
+      uint64_t offset = 0;
+      RHINO_RETURN_NOT_OK(r.GetI64(&source));
+      RHINO_RETURN_NOT_OK(r.GetU64(&offset));
+      d.vnode_watermarks[vnode][static_cast<int>(source)] = offset;
+    }
+  }
+  RHINO_RETURN_NOT_OK(r.GetVarint(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t vnode = 0;
+    std::string blob;
+    RHINO_RETURN_NOT_OK(r.GetU32(&vnode));
+    RHINO_RETURN_NOT_OK(r.GetString(&blob));
+    rs.vnode_blobs[vnode] = std::move(blob);
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after replica state");
+  }
+  return rs;
 }
 
 }  // namespace rhino::rhino

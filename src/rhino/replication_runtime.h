@@ -79,6 +79,16 @@ struct ReplicaState {
   std::map<uint32_t, std::string> vnode_blobs;
 };
 
+/// Binary encoding of a full replica image (descriptor — including the
+/// per-vnode replay watermarks — plus the content blobs). This is the
+/// payload chain replication ships between node *processes* and the record
+/// the networked runtime persists as a durable checkpoint image
+/// (`WriteCheckpointImage` in checkpoint_storage.h). Little-endian
+/// `BinaryWriter` format; `DecodeReplicaState` fails with `Corruption` on
+/// any truncation instead of reading out of bounds.
+void EncodeReplicaState(const ReplicaState& rs, std::string* out);
+Result<ReplicaState> DecodeReplicaState(std::string_view data);
+
 /// Chain-replication engine + replica catalog.
 class ReplicationRuntime {
  public:

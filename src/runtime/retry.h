@@ -1,9 +1,11 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/random.h"
@@ -159,6 +161,81 @@ class Retrier {
   SimTime next_backoff_ = 0;
   int retries_ = 0;
   uint64_t total_retries_ = 0;
+};
+
+/// Synchronous counterpart of `Retrier` for blocking client paths — the
+/// TCP RPC client reconnecting to a node process, where there is no
+/// executor to schedule continuations on. Same jittered-backoff /
+/// attempt-budget / deadline policy and the same
+/// `rhino_retry_attempts_total{what=...}` accounting, but measured on
+/// `steady_clock` and slept on the calling thread.
+///
+/// Not for use under `SimExecutor`: real sleeps would desynchronize the
+/// simulated clock. The networked runtime is realtime by construction.
+class BlockingRetrier {
+ public:
+  BlockingRetrier(RetryOptions options, uint64_t seed, std::string what,
+                  obs::Observability* obs = nullptr)
+      : options_(options), rng_(seed), what_(std::move(what)) {
+    if (obs == nullptr) obs = obs::Observability::Default();
+    attempts_metric_ = obs->metrics().GetCounter(
+        "rhino_retry_attempts_total", {{"what", what_}});
+    started_at_ = std::chrono::steady_clock::now();
+    next_backoff_ = options_.initial_backoff_us;
+  }
+
+  /// Decides whether one more retry is allowed and, if so, sleeps the
+  /// jittered backoff before returning true. On false the budget is
+  /// exhausted; surface the last error via `Exhausted()`.
+  bool BackoffAndRetry() {
+    if (options_.max_attempts > 0 && retries_ + 1 >= options_.max_attempts) {
+      return false;
+    }
+    if (DeadlineExpired()) return false;
+    ++retries_;
+    attempts_metric_->Increment();
+    double base = static_cast<double>(next_backoff_);
+    double lo = base * (1.0 - options_.jitter);
+    double hi = base * (1.0 + options_.jitter);
+    auto delay = std::max<SimTime>(
+        1, static_cast<SimTime>(lo + (hi - lo) * rng_.NextDouble()));
+    next_backoff_ = std::min<SimTime>(
+        options_.max_backoff_us,
+        static_cast<SimTime>(base * options_.multiplier));
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    return true;
+  }
+
+  bool DeadlineExpired() const {
+    if (options_.deadline_us <= 0) return false;
+    auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - started_at_)
+                       .count();
+    return elapsed >= static_cast<int64_t>(options_.deadline_us);
+  }
+
+  int retries() const { return retries_; }
+
+  /// The error to surface when the budget ran out.
+  Status Exhausted(const Status& last) const {
+    std::string msg = what_ + " gave up after " +
+                      std::to_string(retries_ + 1) + " attempts: " +
+                      (last.ok() ? "no completion before deadline"
+                                 : last.ToString());
+    if (DeadlineExpired() || last.ok()) {
+      return Status::TimedOut(std::move(msg));
+    }
+    return Status(last.code(), std::move(msg));
+  }
+
+ private:
+  RetryOptions options_;
+  Random rng_;
+  std::string what_;
+  obs::Counter* attempts_metric_ = nullptr;
+  std::chrono::steady_clock::time_point started_at_;
+  SimTime next_backoff_ = 0;
+  int retries_ = 0;
 };
 
 }  // namespace rhino::runtime

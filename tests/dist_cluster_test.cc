@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/broker.h"
+#include "lsm/env.h"
+#include "net/driver.h"
+#include "net/node_server.h"
+#include "net/transport.h"
+#include "net/wire.h"
+
+/// \file dist_cluster_test.cc
+/// The distributed protocol on an in-process cluster: three `NodeServer`s
+/// behind a `LoopbackTransport` (same request bytes as TCP, zero sockets),
+/// a shared `MemEnv` standing in for node disks + the shared checkpoint
+/// directory, and the real `ClusterDriver` sequencing everything.
+///
+/// This is where protocol *semantics* are pinned down — exactly-once
+/// through replay, live handover moving state and dedup watermarks,
+/// replica promotion after a fail-stop, and the durable-image fallback
+/// when the replica holder died too. The multi-process test
+/// (`multiprocess_e2e_test.cc`) re-runs the same story over real sockets
+/// and SIGKILL.
+
+namespace rhino::net {
+namespace {
+
+constexpr uint32_t kNumVnodes = 16;
+constexpr uint64_t kNumKeys = 40;
+const char* const kOp = "counter";
+
+/// Three nodes + driver wired over loopback.
+struct Cluster {
+  lsm::MemEnv env;  // shared: node dirs are disjoint, ckpt dir is common
+  LoopbackTransport transport;
+  std::vector<std::unique_ptr<NodeServer>> nodes;
+  std::unique_ptr<ClusterDriver> driver;
+  broker::Partition partition{0};
+
+  explicit Cluster(uint32_t n = 3) {
+    std::vector<std::string> endpoints;
+    for (uint32_t i = 0; i < n; ++i) {
+      std::string endpoint = "node" + std::to_string(i);
+      nodes.push_back(std::make_unique<NodeServer>(
+          &env, &transport,
+          NodeServerOptions{"/data/n" + std::to_string(i), "/ckpt"}));
+      transport.Register(endpoint, nodes.back()->AsHandler());
+      endpoints.push_back(endpoint);
+    }
+    driver = std::make_unique<ClusterDriver>(&transport, endpoints);
+  }
+
+  void Bootstrap() {
+    ASSERT_TRUE(driver->ConnectAll().ok());
+    ASSERT_TRUE(driver->AddOperator(kOp, kNumVnodes).ok());
+    driver->AddPartition(&partition);
+  }
+
+  /// Appends one wave: every key once, as one batch at the next offset.
+  void AppendWave() {
+    dataflow::Batch batch;
+    for (uint64_t key = 0; key < kNumKeys; ++key) {
+      dataflow::Record rec;
+      rec.key = key;
+      rec.event_time = 1000;
+      rec.size = 32;
+      batch.records.push_back(rec);
+      batch.count += 1;
+      batch.bytes += rec.size;
+    }
+    partition.Append(std::move(batch));
+  }
+
+  /// Asserts every key counts exactly `waves` (exactly-once invariant).
+  void ExpectAllCounts(uint64_t waves) {
+    for (uint64_t key = 0; key < kNumKeys; ++key) {
+      auto count = driver->QueryCount(kOp, key);
+      ASSERT_TRUE(count.ok()) << count.status().ToString();
+      EXPECT_EQ(*count, waves) << "key " << key;
+    }
+  }
+};
+
+TEST(DistClusterTest, PumpAppliesAndCheckpointReplicates) {
+  Cluster cluster;
+  cluster.Bootstrap();
+  cluster.AppendWave();
+  cluster.AppendWave();
+
+  auto pumped = cluster.driver->Pump();
+  ASSERT_TRUE(pumped.ok()) << pumped.status().ToString();
+  EXPECT_EQ(pumped->records_sent, 2 * kNumKeys);
+  EXPECT_EQ(pumped->applied, 2 * kNumKeys);
+  EXPECT_EQ(pumped->deduped, 0u);
+  cluster.ExpectAllCounts(2);
+
+  // Re-pumping with no new data is a no-op.
+  auto again = cluster.driver->Pump();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->records_sent, 0u);
+
+  auto ckpt = cluster.driver->Checkpoint();
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+  EXPECT_EQ(ckpt->checkpoint_id, 1u);
+  EXPECT_EQ(ckpt->nodes, 3u);
+  // Ring replication: every node shipped its image to its successor.
+  EXPECT_EQ(ckpt->replicated_nodes, 3u);
+  EXPECT_GT(ckpt->bytes, 0u);
+  for (uint32_t node = 0; node < 3; ++node) {
+    auto stats = cluster.driver->NodeStats(node);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->replicas_held, 1u) << "node " << node;
+  }
+}
+
+TEST(DistClusterTest, DedupMakesBatchReplayIdempotent) {
+  Cluster cluster;
+  cluster.Bootstrap();
+  cluster.AppendWave();
+  ASSERT_TRUE(cluster.driver->Pump().ok());
+
+  // Replay the same offsets by hand: every record is below the watermark.
+  ProcessBatchRequest request;
+  request.op = kOp;
+  const broker::LogEntry* entry = cluster.partition.Fetch(0);
+  ASSERT_NE(entry, nullptr);
+  request.batch = entry->batch;
+  request.batch.source_id = 0;
+  request.batch.source_offset = entry->offset;
+  uint64_t total_deduped = 0;
+  for (uint32_t node = 0; node < 3; ++node) {
+    // Keep only this node's records so ownership checks pass.
+    ProcessBatchRequest routed = request;
+    routed.batch.records.clear();
+    for (const auto& rec : request.batch.records) {
+      auto owner = cluster.driver->RouteKey(kOp, rec.key);
+      ASSERT_TRUE(owner.ok());
+      if (*owner == node) routed.batch.records.push_back(rec);
+    }
+    if (routed.batch.records.empty()) continue;
+    std::string body, reply_body;
+    routed.EncodeTo(&body);
+    ASSERT_TRUE(cluster.transport
+                    .Call("node" + std::to_string(node),
+                          MessageType::kProcessBatch, body, &reply_body)
+                    .ok());
+    auto reply = ProcessBatchReply::Decode(reply_body);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->applied, 0u);
+    total_deduped += reply->deduped;
+  }
+  EXPECT_EQ(total_deduped, kNumKeys);
+  cluster.ExpectAllCounts(1);
+}
+
+TEST(DistClusterTest, StaleRoutingIsRejectedNotApplied) {
+  Cluster cluster;
+  cluster.Bootstrap();
+
+  // Find a key owned by node 0 and send it to node 1: the ownership check
+  // must reject the whole batch (strict routing, no partial application).
+  uint64_t misrouted_key = 0;
+  for (uint64_t key = 0; key < kNumKeys; ++key) {
+    auto owner = cluster.driver->RouteKey(kOp, key);
+    ASSERT_TRUE(owner.ok());
+    if (*owner == 0) {
+      misrouted_key = key;
+      break;
+    }
+  }
+  ProcessBatchRequest request;
+  request.op = kOp;
+  dataflow::Record rec;
+  rec.key = misrouted_key;
+  request.batch.records.push_back(rec);
+  request.batch.source_id = 0;
+  request.batch.source_offset = 0;
+  std::string body, reply_body;
+  request.EncodeTo(&body);
+  Status st = cluster.transport.Call("node1", MessageType::kProcessBatch, body,
+                                     &reply_body);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition) << st.ToString();
+  EXPECT_NE(st.message().find("does not own vnode"), std::string::npos);
+}
+
+TEST(DistClusterTest, LiveHandoverMovesStateAndWatermarks) {
+  Cluster cluster;
+  cluster.Bootstrap();
+  cluster.AppendWave();
+  cluster.AppendWave();
+  ASSERT_TRUE(cluster.driver->Pump().ok());
+
+  std::vector<uint32_t> moved = cluster.driver->VnodesOwnedBy(kOp, 0);
+  ASSERT_FALSE(moved.empty());
+  ASSERT_TRUE(cluster.driver->TriggerHandover(kOp, 0, 1, moved).ok());
+  EXPECT_TRUE(cluster.driver->VnodesOwnedBy(kOp, 0).empty());
+
+  // Counts survived the move (state traveled)...
+  cluster.ExpectAllCounts(2);
+  // ...and the next wave is NOT deduplicated on the target (watermarks
+  // traveled too, so replay bookkeeping stays exact).
+  cluster.AppendWave();
+  auto pumped = cluster.driver->Pump();
+  ASSERT_TRUE(pumped.ok());
+  EXPECT_EQ(pumped->applied, kNumKeys);
+  EXPECT_EQ(pumped->deduped, 0u);
+  cluster.ExpectAllCounts(3);
+
+  auto stats0 = cluster.driver->NodeStats(0);
+  ASSERT_TRUE(stats0.ok());
+  EXPECT_EQ(stats0->owned_vnodes, 0u);
+}
+
+TEST(DistClusterTest, FailStopRecoveryPromotesReplicaExactlyOnce) {
+  Cluster cluster;
+  cluster.Bootstrap();
+  cluster.AppendWave();
+  cluster.AppendWave();
+  ASSERT_TRUE(cluster.driver->Pump().ok());
+  ASSERT_TRUE(cluster.driver->Checkpoint().ok());
+
+  // Wave 3 lands AFTER the checkpoint: the failed node's share of it
+  // exists only in its live state and must come back via replay.
+  cluster.AppendWave();
+  ASSERT_TRUE(cluster.driver->Pump().ok());
+
+  cluster.transport.Kill("node2");
+  EXPECT_EQ(cluster.driver->ProbeFailures(), (std::vector<uint32_t>{2}));
+  std::vector<uint32_t> lost = cluster.driver->VnodesOwnedBy(kOp, 2);
+  ASSERT_FALSE(lost.empty());
+
+  ASSERT_TRUE(cluster.driver->RecoverNode(2).ok());
+  EXPECT_FALSE(cluster.driver->IsAlive(2));
+  EXPECT_TRUE(cluster.driver->VnodesOwnedBy(kOp, 2).empty());
+  // The cursor rewound to the checkpoint watermark so wave 3 replays.
+  EXPECT_LT(cluster.driver->cursor(0), cluster.partition.end_offset());
+
+  auto replayed = cluster.driver->Pump();
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  // Surviving vnodes already hold wave 3: their replayed records dedup.
+  // The recovered vnodes (rolled back to the checkpoint) apply them.
+  EXPECT_GT(replayed->deduped, 0u);
+  EXPECT_GT(replayed->applied, 0u);
+  cluster.ExpectAllCounts(3);
+
+  // Steady state continues on the survivors.
+  cluster.AppendWave();
+  ASSERT_TRUE(cluster.driver->Pump().ok());
+  cluster.ExpectAllCounts(4);
+}
+
+TEST(DistClusterTest, RecoveryFallsBackToDurableImageWhenReplicaDiedToo) {
+  Cluster cluster;
+  cluster.Bootstrap();
+  cluster.AppendWave();
+  cluster.AppendWave();
+  ASSERT_TRUE(cluster.driver->Pump().ok());
+  ASSERT_TRUE(cluster.driver->Checkpoint().ok());
+  cluster.AppendWave();  // post-checkpoint tail, must replay
+  ASSERT_TRUE(cluster.driver->Pump().ok());
+
+  // Nodes 1 and 2 fail together (a correlated failure, declared as one).
+  // Node 2's replica lives on node 0 (ring 0 -> 1 -> 2 -> 0): promote.
+  // Node 1's replica lived on node 2, which died too — so node 1 must
+  // fall back to its durable image in the shared /ckpt dir.
+  cluster.transport.Kill("node1");
+  cluster.transport.Kill("node2");
+
+  ASSERT_TRUE(cluster.driver->RecoverNodes({1, 2}).ok());
+  EXPECT_EQ(cluster.driver->VnodesOwnedBy(kOp, 0).size(), kNumVnodes);
+
+  auto replayed = cluster.driver->Pump();
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  cluster.ExpectAllCounts(3);
+
+  cluster.AppendWave();
+  ASSERT_TRUE(cluster.driver->Pump().ok());
+  cluster.ExpectAllCounts(4);
+
+  auto stats0 = cluster.driver->NodeStats(0);
+  ASSERT_TRUE(stats0.ok());
+  EXPECT_EQ(stats0->owned_vnodes, kNumVnodes);
+  EXPECT_GT(stats0->state_bytes, 0u);
+}
+
+TEST(DistClusterTest, CheckpointFailsCleanlyWhenANodeIsDownUndeclared) {
+  Cluster cluster;
+  cluster.Bootstrap();
+  cluster.AppendWave();
+  ASSERT_TRUE(cluster.driver->Pump().ok());
+  ASSERT_TRUE(cluster.driver->Checkpoint().ok());
+
+  // A node died but nobody told the driver yet: the barrier must surface
+  // an error (no silent partial checkpoint) — node 0's chain hop to its
+  // dead successor fails, and the failure propagates.
+  cluster.transport.Kill("node1");
+  auto broken = cluster.driver->Checkpoint();
+  EXPECT_FALSE(broken.ok());
+
+  // RecoverNode re-forms the ring around the hole (0 <-> 2), so the next
+  // barrier both succeeds and replicates on the survivors.
+  ASSERT_TRUE(cluster.driver->RecoverNode(1).ok());
+  ASSERT_TRUE(cluster.driver->Pump().ok());
+  auto ckpt = cluster.driver->Checkpoint();
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+  EXPECT_EQ(ckpt->nodes, 2u);
+  EXPECT_EQ(ckpt->replicated_nodes, 2u);
+  cluster.ExpectAllCounts(1);
+}
+
+}  // namespace
+}  // namespace rhino::net

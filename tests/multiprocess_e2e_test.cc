@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "broker/broker.h"
+#include "common/units.h"
+#include "net/driver.h"
+#include "net/transport.h"
+
+/// \file multiprocess_e2e_test.cc
+/// The distributed end-to-end lane: three real `rhino_node` PROCESSES
+/// (forked + exec'd, each with its own LSM directory), coordinated by a
+/// `ClusterDriver` over real TCP sockets. The run drives a checkpoint, a
+/// live handover, a SIGKILL of one node, and recovery — and asserts
+/// exactly-once output counts at the end, the acceptance bar of the
+/// networked runtime.
+///
+/// Launch handshake: every node binds port 0 and announces the kernel-
+/// assigned port on stdout as `RHINO_NODE_PORT=<port>`; the test parses it
+/// from a pipe. Node stderr goes to per-node log files (in
+/// `$RHINO_NODE_LOG_DIR` when set — CI uploads that directory as a build
+/// artifact on failure, alongside `$RHINO_TRACE_DUMP` traces the nodes
+/// write on clean exit).
+///
+/// `RHINO_NODE_BIN` (compile definition) is the path of the built binary.
+
+namespace rhino::net {
+namespace {
+
+constexpr uint32_t kNumVnodes = 16;
+constexpr uint64_t kNumKeys = 30;
+const char* const kOp = "counter";
+
+struct NodeProc {
+  pid_t pid = -1;
+  uint16_t port = 0;
+};
+
+class MultiProcessClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::path(::testing::TempDir()) /
+            ("rhino_e2e_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(root_ / "ckpt");
+    const char* log_env = std::getenv("RHINO_NODE_LOG_DIR");
+    log_dir_ = (log_env != nullptr && *log_env != '\0')
+                   ? std::filesystem::path(log_env)
+                   : root_ / "logs";
+    std::filesystem::create_directories(log_dir_);
+  }
+
+  void TearDown() override {
+    for (auto& node : nodes_) {
+      if (node.pid > 0) {
+        ::kill(node.pid, SIGKILL);
+        ::waitpid(node.pid, nullptr, 0);
+      }
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+  }
+
+  /// Forks + execs one rhino_node and parses its port announcement.
+  void Launch(size_t id) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    std::string data_flag =
+        "--data-dir=" + (root_ / ("n" + std::to_string(id))).string();
+    std::string ckpt_flag = "--ckpt-dir=" + (root_ / "ckpt").string();
+    std::string log_path =
+        (log_dir_ / ("rhino_node_" + std::to_string(id) + ".log")).string();
+    pid_t pid = ::fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+      ::dup2(fds[1], STDOUT_FILENO);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      int logfd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (logfd >= 0) {
+        ::dup2(logfd, STDERR_FILENO);
+        ::close(logfd);
+      }
+      ::execl(RHINO_NODE_BIN, "rhino_node", "--port=0", data_flag.c_str(),
+              ckpt_flag.c_str(), static_cast<char*>(nullptr));
+      _exit(127);  // exec failed
+    }
+    ::close(fds[1]);
+    FILE* out = ::fdopen(fds[0], "r");
+    ASSERT_NE(out, nullptr);
+    char line[256];
+    unsigned port = 0;
+    while (std::fgets(line, sizeof(line), out) != nullptr) {
+      if (std::sscanf(line, "RHINO_NODE_PORT=%u", &port) == 1) break;
+    }
+    std::fclose(out);
+    ASSERT_NE(port, 0u) << "node " << id
+                        << " never announced a port (see " << log_path << ")";
+    nodes_.push_back(NodeProc{pid, static_cast<uint16_t>(port)});
+  }
+
+  /// Reaps a node; returns its exit code (or -1 on abnormal termination).
+  int WaitExit(size_t id) {
+    int status = 0;
+    if (::waitpid(nodes_[id].pid, &status, 0) != nodes_[id].pid) return -1;
+    nodes_[id].pid = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  void AppendWave(broker::Partition* partition) {
+    dataflow::Batch batch;
+    for (uint64_t key = 0; key < kNumKeys; ++key) {
+      dataflow::Record rec;
+      rec.key = key;
+      rec.event_time = 1000;
+      rec.size = 32;
+      batch.records.push_back(rec);
+      batch.count += 1;
+      batch.bytes += rec.size;
+    }
+    partition->Append(std::move(batch));
+  }
+
+  void ExpectAllCounts(ClusterDriver* driver, uint64_t waves) {
+    for (uint64_t key = 0; key < kNumKeys; ++key) {
+      auto count = driver->QueryCount(kOp, key);
+      ASSERT_TRUE(count.ok()) << count.status().ToString();
+      EXPECT_EQ(*count, waves) << "key " << key;
+    }
+  }
+
+  std::filesystem::path root_;
+  std::filesystem::path log_dir_;
+  std::vector<NodeProc> nodes_;
+};
+
+TEST_F(MultiProcessClusterTest, CheckpointHandoverSigkillRecoveryExactlyOnce) {
+  for (size_t id = 0; id < 3; ++id) {
+    Launch(id);
+    if (HasFatalFailure()) return;
+  }
+
+  std::vector<std::string> endpoints;
+  for (const auto& node : nodes_) {
+    endpoints.push_back("127.0.0.1:" + std::to_string(node.port));
+  }
+  RpcClientOptions options;
+  options.retry.initial_backoff_us = 2 * kMillisecond;
+  options.retry.max_backoff_us = 100 * kMillisecond;
+  options.retry.max_attempts = 5;
+  TcpTransport transport(options);
+  ClusterDriver driver(&transport, endpoints);
+  ASSERT_TRUE(driver.ConnectAll().ok());
+  ASSERT_TRUE(driver.AddOperator(kOp, kNumVnodes).ok());
+  broker::Partition partition(0);
+  driver.AddPartition(&partition);
+
+  // Waves 1-2, then checkpoint #1: every node persists its image into the
+  // shared ckpt dir and chain-replicates it to its ring successor.
+  AppendWave(&partition);
+  AppendWave(&partition);
+  auto pumped = driver.Pump();
+  ASSERT_TRUE(pumped.ok()) << pumped.status().ToString();
+  EXPECT_EQ(pumped->applied, 2 * kNumKeys);
+  auto ckpt = driver.Checkpoint();
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+  EXPECT_EQ(ckpt->nodes, 3u);
+  EXPECT_EQ(ckpt->replicated_nodes, 3u);
+  ExpectAllCounts(&driver, 2);
+
+  // Live handover: everything node 0 owns migrates to node 1 over RPC —
+  // state and replay watermarks — while the cluster keeps counting.
+  std::vector<uint32_t> moved = driver.VnodesOwnedBy(kOp, 0);
+  ASSERT_FALSE(moved.empty());
+  ASSERT_TRUE(driver.TriggerHandover(kOp, 0, 1, moved).ok());
+  EXPECT_TRUE(driver.VnodesOwnedBy(kOp, 0).empty());
+  AppendWave(&partition);  // wave 3
+  ASSERT_TRUE(driver.Pump().ok());
+  ExpectAllCounts(&driver, 3);
+  // Checkpoint #2 records the post-handover ownership.
+  ASSERT_TRUE(driver.Checkpoint().ok());
+
+  // Wave 4 lands after the checkpoint: the doomed node's share lives only
+  // in its memory + local disk and must come back via upstream replay.
+  AppendWave(&partition);
+  ASSERT_TRUE(driver.Pump().ok());
+  ExpectAllCounts(&driver, 4);
+
+  // Fail-stop: SIGKILL node 2 (no shutdown handler runs — a real crash).
+  ASSERT_EQ(::kill(nodes_[2].pid, SIGKILL), 0);
+  ::waitpid(nodes_[2].pid, nullptr, 0);
+  nodes_[2].pid = -1;
+  EXPECT_EQ(driver.ProbeFailures(), (std::vector<uint32_t>{2}));
+
+  // Recovery: node 0 (ring successor) promotes its in-memory replica of
+  // node 2, the driver rewinds the partition cursor to the restored
+  // watermarks, and replay re-applies wave 4 — survivors dedup it.
+  ASSERT_TRUE(driver.RecoverNode(2).ok());
+  EXPECT_FALSE(driver.IsAlive(2));
+  EXPECT_LT(driver.cursor(0), partition.end_offset());
+  auto replayed = driver.Pump();
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_GT(replayed->applied, 0u);
+  EXPECT_GT(replayed->deduped, 0u);
+  ExpectAllCounts(&driver, 4);
+
+  // Steady state on the survivors, then graceful shutdown.
+  AppendWave(&partition);  // wave 5
+  ASSERT_TRUE(driver.Pump().ok());
+  ExpectAllCounts(&driver, 5);
+
+  driver.Shutdown();
+  EXPECT_EQ(WaitExit(0), 0);
+  EXPECT_EQ(WaitExit(1), 0);
+}
+
+}  // namespace
+}  // namespace rhino::net

@@ -1,0 +1,574 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lsm/env.h"
+#include "lsm/log_format.h"
+#include "net/frame.h"
+#include "net/rpc.h"
+#include "net/socket.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "rhino/checkpoint_storage.h"
+#include "rhino/replication_runtime.h"
+
+/// \file net_test.cc
+/// The networked substrate in isolation: socket error contract, frame
+/// robustness (truncated / corrupt / oversized / mid-message disconnect on
+/// BOTH sides), RPC request/reply incl. reconnect-after-restart, and wire
+/// serialization round trips with prefix-truncation fuzzing.
+///
+/// Everything binds port 0 (kernel-assigned), so parallel test shards
+/// never collide.
+
+namespace rhino::net {
+namespace {
+
+/// A listener + one accepted connection, paired with a client socket.
+struct SocketPair {
+  Socket listener;
+  Socket server;  // accepted side
+  Socket client;  // connecting side
+
+  static SocketPair Make() {
+    SocketPair p;
+    auto listen = Socket::Listen("127.0.0.1", 0);
+    EXPECT_TRUE(listen.ok()) << listen.status().ToString();
+    p.listener = std::move(listen).MoveValue();
+    auto client = Socket::Connect("127.0.0.1", p.listener.local_port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    p.client = std::move(client).MoveValue();
+    auto server = p.listener.Accept();
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    p.server = std::move(server).MoveValue();
+    return p;
+  }
+};
+
+TEST(SocketTest, PortZeroGetsKernelAssignedPort) {
+  auto listen = Socket::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listen.ok()) << listen.status().ToString();
+  EXPECT_NE(listen->local_port(), 0);
+}
+
+TEST(SocketTest, ConnectToClosedPortIsError) {
+  // Bind a port, close the listener, then connect to the now-dead port.
+  uint16_t dead_port;
+  {
+    auto listen = Socket::Listen("127.0.0.1", 0);
+    ASSERT_TRUE(listen.ok());
+    dead_port = listen->local_port();
+  }
+  auto conn = Socket::Connect("127.0.0.1", dead_port);
+  ASSERT_FALSE(conn.ok());
+  EXPECT_EQ(conn.status().code(), StatusCode::kIOError);
+}
+
+TEST(SocketTest, CleanPeerCloseIsAborted) {
+  auto p = SocketPair::Make();
+  p.client.Close();
+  char buf[1];
+  Status st = p.server.ReadExact(buf, 1);
+  EXPECT_EQ(st.code(), StatusCode::kAborted) << st.ToString();
+}
+
+TEST(SocketTest, MidMessageDisconnectIsIOError) {
+  auto p = SocketPair::Make();
+  ASSERT_TRUE(p.client.WriteAll("abc").ok());
+  p.client.Close();
+  char buf[8];
+  Status st = p.server.ReadExact(buf, 8);  // wants 8, peer sent 3 and died
+  EXPECT_EQ(st.code(), StatusCode::kIOError) << st.ToString();
+}
+
+TEST(SocketTest, RecvTimeoutIsTimedOut) {
+  auto p = SocketPair::Make();
+  ASSERT_TRUE(p.server.SetRecvTimeout(50).ok());
+  char buf[1];
+  Status st = p.server.ReadExact(buf, 1);
+  EXPECT_EQ(st.code(), StatusCode::kTimedOut) << st.ToString();
+}
+
+TEST(ParseEndpointTest, RoundTripAndErrors) {
+  std::string host;
+  uint16_t port = 0;
+  ASSERT_TRUE(ParseEndpoint("127.0.0.1:8080", &host, &port).ok());
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 8080);
+  EXPECT_EQ(FormatEndpoint(host, port), "127.0.0.1:8080");
+  EXPECT_FALSE(ParseEndpoint("no-port", &host, &port).ok());
+  EXPECT_FALSE(ParseEndpoint("h:99999", &host, &port).ok());
+  EXPECT_FALSE(ParseEndpoint("h:abc", &host, &port).ok());
+}
+
+// ------------------------------------------------------------- framing --
+
+TEST(FrameTest, RoundTrip) {
+  auto p = SocketPair::Make();
+  std::string payload(100000, 'x');
+  payload += "tail";
+  ASSERT_TRUE(WriteFrame(p.client, payload).ok());
+  std::string got;
+  ASSERT_TRUE(ReadFrame(p.server, &got).ok());
+  EXPECT_EQ(got, payload);
+}
+
+TEST(FrameTest, TruncatedPayloadIsIOError) {
+  auto p = SocketPair::Make();
+  // Header promises 100 bytes; only 10 arrive before the peer dies.
+  std::string framed;
+  lsm::AppendLogRecord(&framed, std::string(100, 'x'));
+  ASSERT_TRUE(p.client.WriteAll(framed.substr(0, 8 + 10)).ok());
+  p.client.Close();
+  std::string got;
+  Status st = ReadFrame(p.server, &got);
+  EXPECT_EQ(st.code(), StatusCode::kIOError) << st.ToString();
+}
+
+TEST(FrameTest, TruncatedHeaderIsIOError) {
+  auto p = SocketPair::Make();
+  ASSERT_TRUE(p.client.WriteAll("abc").ok());  // 3 of 8 header bytes
+  p.client.Close();
+  std::string got;
+  Status st = ReadFrame(p.server, &got);
+  EXPECT_EQ(st.code(), StatusCode::kIOError) << st.ToString();
+}
+
+TEST(FrameTest, CleanCloseBetweenFramesIsAborted) {
+  auto p = SocketPair::Make();
+  ASSERT_TRUE(WriteFrame(p.client, "one").ok());
+  p.client.Close();
+  std::string got;
+  ASSERT_TRUE(ReadFrame(p.server, &got).ok());
+  EXPECT_EQ(got, "one");
+  Status st = ReadFrame(p.server, &got);
+  EXPECT_EQ(st.code(), StatusCode::kAborted) << st.ToString();
+}
+
+TEST(FrameTest, CorruptChecksumIsCorruption) {
+  auto p = SocketPair::Make();
+  std::string framed;
+  lsm::AppendLogRecord(&framed, "payload");
+  framed[0] ^= 0x5a;  // flip checksum bits
+  ASSERT_TRUE(p.client.WriteAll(framed).ok());
+  std::string got;
+  Status st = ReadFrame(p.server, &got);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption) << st.ToString();
+}
+
+TEST(FrameTest, OversizedLengthPrefixIsRejectedBeforeAllocation) {
+  auto p = SocketPair::Make();
+  // A garbage header claiming ~4 GiB. ReadFrame must fail on the length
+  // check alone — it never waits for (or allocates) the claimed bytes.
+  char header[8];
+  uint32_t crc = 0xdeadbeef, len = 0xfffffff0;
+  std::memcpy(header, &crc, 4);
+  std::memcpy(header + 4, &len, 4);
+  ASSERT_TRUE(p.client.WriteAll(std::string_view(header, 8)).ok());
+  std::string got;
+  Status st = ReadFrame(p.server, &got);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption) << st.ToString();
+
+  // Same with a caller-tightened limit: 1 byte over is rejected.
+  ASSERT_TRUE(WriteFrame(p.client, std::string(65, 'x')).ok());
+  st = ReadFrame(p.server, &got, /*max_frame_bytes=*/64);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption) << st.ToString();
+}
+
+// ------------------------------------------------------------------ rpc --
+
+RpcClientOptions FastRetryOptions() {
+  RpcClientOptions options;
+  options.retry.initial_backoff_us = 1000;  // 1ms: keep tests snappy
+  options.retry.max_backoff_us = 10000;
+  options.retry.max_attempts = 4;
+  return options;
+}
+
+TEST(RpcTest, EchoAndApplicationError) {
+  RpcServer server([](MessageType type, std::string_view body) -> Result<std::string> {
+    if (type == MessageType::kStats) {
+      return Status::FailedPrecondition("stats refused");
+    }
+    return std::string(body);
+  });
+  ASSERT_TRUE(server.Start("127.0.0.1", 0).ok());
+  RpcClient client("127.0.0.1", server.port(), FastRetryOptions(), "test");
+  std::string reply;
+  ASSERT_TRUE(client.Call(MessageType::kHello, "ping", &reply).ok());
+  EXPECT_EQ(reply, "ping");
+  // Application errors are not transport errors: no retry, code preserved.
+  Status st = client.Call(MessageType::kStats, "", &reply);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(st.message(), "stats refused");
+}
+
+TEST(RpcTest, ServerSurvivesGarbageBytes) {
+  std::atomic<int> served{0};
+  RpcServer server([&](MessageType, std::string_view body) -> Result<std::string> {
+    ++served;
+    return std::string(body);
+  });
+  ASSERT_TRUE(server.Start("127.0.0.1", 0).ok());
+
+  {  // Raw garbage that is not even a frame header.
+    auto conn = Socket::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn->WriteAll("total garbage, not a frame").ok());
+    conn->Close();
+  }
+  {  // A valid frame whose payload is not a request envelope.
+    auto conn = Socket::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(WriteFrame(*conn, "\xff").ok());
+    // The server answers on seq 0 with an error (or closes); either way it
+    // must not crash or hang.
+    conn->SetRecvTimeout(2000);
+    std::string got;
+    (void)ReadFrame(*conn, &got);
+  }
+  {  // A frame with an oversized length prefix.
+    auto conn = Socket::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(conn.ok());
+    char header[8];
+    uint32_t crc = 1, len = 0xffffff00;
+    std::memcpy(header, &crc, 4);
+    std::memcpy(header + 4, &len, 4);
+    ASSERT_TRUE(conn->WriteAll(std::string_view(header, 8)).ok());
+    conn->Close();
+  }
+
+  // After all that abuse, a well-formed client still gets service.
+  RpcClient client("127.0.0.1", server.port(), FastRetryOptions(), "test");
+  std::string reply;
+  ASSERT_TRUE(client.Call(MessageType::kHello, "still alive", &reply).ok());
+  EXPECT_EQ(reply, "still alive");
+  EXPECT_GE(served.load(), 1);
+}
+
+TEST(RpcTest, ClientSurvivesGarbageReply) {
+  // A hand-rolled "server" that answers every frame with a corrupt one.
+  auto listen = Socket::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listen.ok());
+  ASSERT_TRUE(listen->SetRecvTimeout(500).ok());  // bounded accept waits
+  uint16_t port = listen->local_port();
+  std::thread server([listener = std::move(listen).MoveValue()]() mutable {
+    for (int i = 0; i < 8; ++i) {  // serve a few connections, then quit
+      auto conn = listener.Accept();
+      if (!conn.ok()) return;
+      conn->SetRecvTimeout(2000);
+      std::string frame;
+      if (!ReadFrame(*conn, &frame).ok()) continue;
+      std::string garbage;
+      lsm::AppendLogRecord(&garbage, "\x01\x02not an envelope");
+      (void)conn->WriteAll(garbage);
+    }
+  });
+  RpcClientOptions options = FastRetryOptions();
+  options.retry.max_attempts = 2;
+  RpcClient client("127.0.0.1", port, options, "test");
+  std::string reply;
+  Status st = client.Call(MessageType::kHello, "hi", &reply);
+  EXPECT_FALSE(st.ok());  // corrupt reply is an error, never a hang/crash
+  server.join();
+}
+
+TEST(RpcTest, ClientReconnectsAfterServerRestart) {
+  auto handler = [](MessageType, std::string_view body) -> Result<std::string> {
+    return std::string(body);
+  };
+  auto server = std::make_unique<RpcServer>(handler);
+  ASSERT_TRUE(server->Start("127.0.0.1", 0).ok());
+  uint16_t port = server->port();
+
+  RpcClient client("127.0.0.1", port, FastRetryOptions(), "test");
+  std::string reply;
+  ASSERT_TRUE(client.Call(MessageType::kHello, "before", &reply).ok());
+
+  // Restart the server on the same port (SO_REUSEADDR): the client's
+  // cached connection is now stale, so the next call must transparently
+  // reconnect via its whole-call retry.
+  server->Stop();
+  server = std::make_unique<RpcServer>(handler);
+  ASSERT_TRUE(server->Start("127.0.0.1", port).ok());
+  ASSERT_TRUE(client.Call(MessageType::kHello, "after", &reply).ok());
+  EXPECT_EQ(reply, "after");
+}
+
+TEST(RpcTest, DeadEndpointFailsFastWithExhaustedRetries) {
+  uint16_t dead_port;
+  {
+    auto listen = Socket::Listen("127.0.0.1", 0);
+    ASSERT_TRUE(listen.ok());
+    dead_port = listen->local_port();
+  }
+  RpcClient client("127.0.0.1", dead_port, FastRetryOptions(), "test");
+  Status st = client.Call(MessageType::kStats, "", nullptr);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("gave up after"), std::string::npos)
+      << st.ToString();
+}
+
+// ------------------------------------------------------- wire round trips --
+
+dataflow::Batch MakeBatch() {
+  dataflow::Batch batch;
+  batch.create_time = 123456;
+  batch.source_id = 3;
+  batch.source_offset = 42;
+  for (uint64_t k = 0; k < 5; ++k) {
+    dataflow::Record rec;
+    rec.key = k * 1000 + 7;
+    rec.event_time = 1000 + static_cast<SimTime>(k);
+    rec.size = 32;
+    rec.payload = "payload-" + std::to_string(k);
+    batch.records.push_back(rec);
+    batch.count += 1;
+    batch.bytes += rec.size;
+  }
+  return batch;
+}
+
+dataflow::ControlEvent MakeHandoverMarker() {
+  auto spec = std::make_shared<dataflow::HandoverSpec>();
+  spec->id = 9;
+  spec->operator_name = "counter";
+  spec->origin_failed = true;
+  spec->moves.push_back(dataflow::HandoverMove{0, 2, {1, 3, 5}});
+  spec->moves.push_back(dataflow::HandoverMove{1, 2, {7}});
+  dataflow::ControlEvent ev;
+  ev.type = dataflow::ControlEvent::Type::kHandoverMarker;
+  ev.id = 9;
+  ev.handover = spec;
+  return ev;
+}
+
+/// Every strict prefix of a valid encoding must decode to an error (or,
+/// for a handful of self-delimiting prefixes, a success) — never crash,
+/// never read out of bounds. ASan turns any violation into a test failure.
+template <typename DecodeFn>
+void FuzzPrefixes(const std::string& encoded, DecodeFn decode) {
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    (void)decode(std::string_view(encoded).substr(0, len));
+  }
+}
+
+TEST(WireTest, BatchRoundTripAndTruncationFuzz) {
+  dataflow::Batch batch = MakeBatch();
+  std::string encoded;
+  EncodeBatch(batch, &encoded);
+  auto decoded = DecodeBatch(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->create_time, batch.create_time);
+  EXPECT_EQ(decoded->source_id, batch.source_id);
+  EXPECT_EQ(decoded->source_offset, batch.source_offset);
+  ASSERT_EQ(decoded->records.size(), batch.records.size());
+  for (size_t i = 0; i < batch.records.size(); ++i) {
+    EXPECT_EQ(decoded->records[i].key, batch.records[i].key);
+    EXPECT_EQ(decoded->records[i].payload, batch.records[i].payload);
+  }
+  FuzzPrefixes(encoded, DecodeBatch);
+  // Trailing garbage is Corruption, not silent acceptance.
+  EXPECT_EQ(DecodeBatch(encoded + "x").status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(WireTest, ControlEventRoundTripAndTruncationFuzz) {
+  dataflow::ControlEvent ev = MakeHandoverMarker();
+  std::string encoded;
+  EncodeControlEvent(ev, &encoded);
+  auto decoded = DecodeControlEvent(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, ev.type);
+  EXPECT_EQ(decoded->id, ev.id);
+  ASSERT_NE(decoded->handover, nullptr);
+  EXPECT_EQ(decoded->handover->operator_name, "counter");
+  EXPECT_TRUE(decoded->handover->origin_failed);
+  ASSERT_EQ(decoded->handover->moves.size(), 2u);
+  EXPECT_EQ(decoded->handover->moves[0].vnodes,
+            (std::vector<uint32_t>{1, 3, 5}));
+  FuzzPrefixes(encoded, DecodeControlEvent);
+
+  // A plain barrier has no spec attached.
+  dataflow::ControlEvent barrier;
+  barrier.id = 4;
+  encoded.clear();
+  EncodeControlEvent(barrier, &encoded);
+  auto barrier2 = DecodeControlEvent(encoded);
+  ASSERT_TRUE(barrier2.ok());
+  EXPECT_EQ(barrier2->handover, nullptr);
+  EXPECT_EQ(barrier2->id, 4u);
+}
+
+TEST(WireTest, EnvelopesRoundTripAndRejectJunk) {
+  RequestEnvelope req;
+  req.type = MessageType::kProcessBatch;
+  req.seq = 77;
+  req.body = "body-bytes";
+  std::string encoded;
+  req.EncodeTo(&encoded);
+  auto decoded = RequestEnvelope::Decode(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, MessageType::kProcessBatch);
+  EXPECT_EQ(decoded->seq, 77u);
+  EXPECT_EQ(decoded->body, "body-bytes");
+  EXPECT_FALSE(RequestEnvelope::Decode("\xff junk").ok());
+
+  ReplyEnvelope rep;
+  rep.seq = 77;
+  rep.code = StatusCode::kNotFound;
+  rep.message = "nope";
+  rep.body = "partial";
+  encoded.clear();
+  rep.EncodeTo(&encoded);
+  auto decoded2 = ReplyEnvelope::Decode(encoded);
+  ASSERT_TRUE(decoded2.ok());
+  EXPECT_EQ(decoded2->ToStatus().code(), StatusCode::kNotFound);
+  EXPECT_EQ(decoded2->body, "partial");
+  FuzzPrefixes(encoded, ReplyEnvelope::Decode);
+}
+
+TEST(WireTest, RequestBodiesRoundTripAndFuzz) {
+  {
+    HelloRequest msg;
+    msg.node_id = 2;
+    msg.successor = "127.0.0.1:9999";
+    std::string encoded;
+    msg.EncodeTo(&encoded);
+    auto decoded = HelloRequest::Decode(encoded);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->successor, msg.successor);
+    FuzzPrefixes(encoded, HelloRequest::Decode);
+  }
+  {
+    AddOperatorRequest msg;
+    msg.name = "counter";
+    msg.num_vnodes = 16;
+    msg.owned_vnodes = {0, 3, 6, 9};
+    std::string encoded;
+    msg.EncodeTo(&encoded);
+    auto decoded = AddOperatorRequest::Decode(encoded);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->owned_vnodes, msg.owned_vnodes);
+    FuzzPrefixes(encoded, AddOperatorRequest::Decode);
+  }
+  {
+    ProcessBatchRequest msg;
+    msg.op = "counter";
+    msg.batch = MakeBatch();
+    std::string encoded;
+    msg.EncodeTo(&encoded);
+    auto decoded = ProcessBatchRequest::Decode(encoded);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->batch.records.size(), msg.batch.records.size());
+    FuzzPrefixes(encoded, ProcessBatchRequest::Decode);
+  }
+  {
+    HandoverStateRequest msg;
+    msg.control = MakeHandoverMarker();
+    msg.move_index = 1;
+    msg.replica = "replica-bytes";
+    msg.durable = 1;
+    std::string encoded;
+    msg.EncodeTo(&encoded);
+    auto decoded = HandoverStateRequest::Decode(encoded);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->move_index, 1u);
+    EXPECT_EQ(decoded->replica, "replica-bytes");
+    EXPECT_EQ(decoded->durable, 1);
+    FuzzPrefixes(encoded, HandoverStateRequest::Decode);
+  }
+  {
+    ReplicaFetchRequest msg;
+    msg.origin_node = 3;
+    msg.op = "counter";
+    msg.vnodes = {1, 2};
+    std::string encoded;
+    msg.EncodeTo(&encoded);
+    auto decoded = ReplicaFetchRequest::Decode(encoded);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->vnodes, msg.vnodes);
+    FuzzPrefixes(encoded, ReplicaFetchRequest::Decode);
+  }
+}
+
+TEST(WireTest, ReplicaStateRoundTripAndTruncationFuzz) {
+  rhino::ReplicaState rs;
+  rs.latest_checkpoint_id = 12;
+  rs.latest_descriptor.checkpoint_id = 12;
+  rs.latest_descriptor.operator_name = "counter";
+  rs.latest_descriptor.instance_id = 1;
+  rs.latest_descriptor.files = {{"000001.sst", 4096}, {"000002.sst", 512}};
+  rs.latest_descriptor.delta_files = {{"000002.sst", 512}};
+  rs.latest_descriptor.vnode_bytes = {{0, 128}, {5, 64}};
+  rs.latest_descriptor.source_offsets = {{0, 10}, {1, 4}};
+  rs.latest_descriptor.vnode_watermarks = {{0, {{0, 10}, {1, 4}}},
+                                           {5, {{0, 9}}}};
+  rs.vnode_blobs = {{0, "blob-zero"}, {5, std::string(1000, 'z')}};
+
+  std::string encoded;
+  rhino::EncodeReplicaState(rs, &encoded);
+  auto decoded = rhino::DecodeReplicaState(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->latest_checkpoint_id, 12u);
+  EXPECT_EQ(decoded->latest_descriptor.files, rs.latest_descriptor.files);
+  EXPECT_EQ(decoded->latest_descriptor.vnode_watermarks,
+            rs.latest_descriptor.vnode_watermarks);
+  EXPECT_EQ(decoded->vnode_blobs, rs.vnode_blobs);
+  FuzzPrefixes(encoded, rhino::DecodeReplicaState);
+  EXPECT_EQ(rhino::DecodeReplicaState(encoded + "x").status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(WireTest, TornCheckpointImageIsCorruption) {
+  lsm::MemEnv env;
+  rhino::ReplicaState rs;
+  rs.latest_checkpoint_id = 3;
+  rs.latest_descriptor.operator_name = "counter";
+  rs.vnode_blobs = {{1, "some-state"}};
+  ASSERT_TRUE(rhino::WriteCheckpointImage(&env, "/ckpt/img", rs).ok());
+  auto loaded = rhino::ReadCheckpointImage(&env, "/ckpt/img");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->vnode_blobs, rs.vnode_blobs);
+
+  // A SIGKILL mid-write leaves a short file: the framed record is torn and
+  // the image must be rejected, not half-restored.
+  std::string raw;
+  ASSERT_TRUE(env.ReadFile("/ckpt/img", &raw).ok());
+  ASSERT_TRUE(env.WriteFile("/ckpt/img", raw.substr(0, raw.size() / 2)).ok());
+  auto torn = rhino::ReadCheckpointImage(&env, "/ckpt/img");
+  EXPECT_EQ(torn.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WireTest, VnodeForKeySpreadsAndIsStable) {
+  const uint32_t kVnodes = 16;
+  std::vector<int> hits(kVnodes, 0);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    uint32_t vnode = VnodeForKey(key, kVnodes);
+    ASSERT_LT(vnode, kVnodes);
+    EXPECT_EQ(vnode, VnodeForKey(key, kVnodes));  // deterministic
+    hits[vnode]++;
+  }
+  for (uint32_t v = 0; v < kVnodes; ++v) {
+    EXPECT_GT(hits[v], 0) << "vnode " << v << " never hit";
+  }
+}
+
+TEST(LoopbackTransportTest, KillMakesEndpointUnreachable) {
+  LoopbackTransport transport;
+  transport.Register("nodeA", [](MessageType, std::string_view body) {
+    return Result<std::string>(std::string(body));
+  });
+  std::string reply;
+  ASSERT_TRUE(transport.Call("nodeA", MessageType::kStats, "x", &reply).ok());
+  EXPECT_EQ(reply, "x");
+  transport.Kill("nodeA");
+  Status st = transport.Call("nodeA", MessageType::kStats, "x", &reply);
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace rhino::net
