@@ -11,8 +11,10 @@ direction-aware: for throughput keys higher is better, for everything
 else (times, latencies) lower is better.
 
 Keys present only on one side are reported but never fail the check
-(benches grow keys over time); a guarded *artifact* missing from the
-current run does fail, so CI can't silently stop running a bench.
+(benches grow keys over time) — EXCEPT guarded keys: a baseline key that
+matches a guarded pattern but is absent from the current artifact fails,
+exactly like a guarded artifact missing wholesale, so a bench can't
+silently stop emitting the number that gates it.
 """
 
 import argparse
@@ -41,6 +43,13 @@ GUARDED = [
     ("micro_lsm", "wal_bytes_per_entry.*"),
     ("micro_lsm", "write_peak_buffer_bytes.*"),
     ("micro_lsm", "throughput_ingest_vnodes_mb_per_s"),
+    # Sharded-concurrency lane: multi-threaded put/get/scan throughput and
+    # the machine-aware 4-thread put-scaling gate (1.0 = the speedup claim
+    # holds, or the machine is too small to test it; 0.0 = a real miss).
+    ("micro_lsm", "throughput_mt_put_per_s.*"),
+    ("micro_lsm", "throughput_mt_get_per_s.*"),
+    ("micro_lsm", "throughput_mt_scan_entries_per_s.*"),
+    ("micro_lsm", "mt_put_speedup_4t_ok"),
 ]
 
 # (artifact name, key glob) pairs that are REPORT-ONLY: wall-clock numbers
@@ -62,6 +71,21 @@ REPORT_ONLY = [
     ("dist_handover", "records.*"),
     ("dist_handover", "vnodes.moved"),
     ("dist_handover", "nodes"),
+    # Amplification accounting: WA/RA depend on workload shape and cache
+    # budget, not code speed — tracked for drift, not gated (a genuine WA
+    # regression shows up as a guarded throughput regression anyway).
+    ("micro_lsm", "write_amplification"),
+    ("micro_lsm", "read_amplification"),
+    ("micro_lsm", "*_per_user_byte"),
+    ("micro_lsm", "compaction_in_mb"),
+    ("micro_lsm", "compaction_out_mb"),
+    ("micro_lsm", "user_write_mb"),
+    ("micro_lsm", "sst_read_bytes_per_get"),
+    ("micro_lsm", "sst_blocks_read_per_get"),
+    ("micro_lsm", "write_stall_ms"),
+    ("micro_lsm", "mt_write_stall_ms.*"),
+    ("micro_lsm", "mt_put_speedup_4t"),
+    ("micro_lsm", "hardware_threads"),
 ]
 
 # Keys where a higher current value is an improvement.
@@ -138,7 +162,11 @@ def main():
             continue
         for key, base_value in sorted(base_metrics.items()):
             if key not in cur_metrics:
-                print(f"note: {bench}/{key} missing from current run")
+                if is_guarded(bench, key):
+                    failures.append(f"{bench}/{key}: guarded key missing "
+                                    f"from current artifact")
+                else:
+                    print(f"note: {bench}/{key} missing from current run")
                 continue
             cur_value = cur_metrics[key]
             compared += 1

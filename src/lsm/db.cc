@@ -14,6 +14,13 @@ namespace {
 constexpr uint8_t kManifestSnapshot = 0;  // full VersionSet state
 constexpr uint8_t kManifestEdit = 1;      // one VersionEdit
 
+void AtomicMax(std::atomic<uint64_t>* slot, uint64_t value) {
+  uint64_t prev = slot->load(std::memory_order_relaxed);
+  while (prev < value &&
+         !slot->compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 // ----------------------------------------------------------- k-way merge --
@@ -145,6 +152,14 @@ void DB::BindMetrics(obs::Observability* o) {
   flushes_metric_ = m.GetCounter("rhino_lsm_flushes_total");
   flush_bytes_metric_ = m.GetCounter("rhino_lsm_flush_bytes_total");
   compactions_metric_ = m.GetCounter("rhino_lsm_compactions_total");
+  compaction_bytes_in_metric_ =
+      m.GetCounter("rhino_lsm_compaction_bytes_in_total");
+  compaction_bytes_out_metric_ =
+      m.GetCounter("rhino_lsm_compaction_bytes_out_total");
+  user_write_bytes_metric_ = m.GetCounter("rhino_lsm_user_write_bytes_total");
+  user_read_bytes_metric_ = m.GetCounter("rhino_lsm_user_read_bytes_total");
+  stall_micros_metric_ = m.GetCounter("rhino_lsm_write_stall_micros_total");
+  stalls_metric_ = m.GetCounter("rhino_lsm_write_stalls_total");
   checkpoints_metric_ = m.GetCounter("rhino_lsm_checkpoints_total");
   checkpoint_bytes_metric_ = m.GetCounter("rhino_lsm_checkpoint_bytes_total");
   table_cache_hits_metric_ = m.GetCounter("rhino_lsm_table_cache_hits_total");
@@ -152,6 +167,9 @@ void DB::BindMetrics(obs::Observability* o) {
       m.GetCounter("rhino_lsm_table_cache_misses_total");
   table_cache_evictions_metric_ =
       m.GetCounter("rhino_lsm_table_cache_evictions_total");
+  read_stats_.bytes_metric.store(
+      m.GetCounter("rhino_lsm_sst_read_bytes_total"),
+      std::memory_order_relaxed);
 }
 
 // ------------------------------------------------------------------ Open --
@@ -167,16 +185,21 @@ Result<std::unique_ptr<DB>> DB::Open(Env* env, std::string path,
     RHINO_RETURN_NOT_OK(db->LoadManifest(data));
     // Validate footers/indexes so corruption surfaces at open, not first
     // read; the LRU cap keeps this from pinning every handle.
+    std::lock_guard<std::mutex> lock(db->versions_mu_);
     for (const auto& f : db->versions_.AllFiles()) {
-      RHINO_ASSIGN_OR_RETURN(auto table, db->OpenTable(f.number));
+      RHINO_ASSIGN_OR_RETURN(auto table, db->OpenTableLocked(f.number));
       (void)table;
     }
   }
+  db->last_seq_.store(db->versions_.last_seq(), std::memory_order_relaxed);
   // Rotate at open: collapse any replayed edit log into one fresh
   // snapshot (bounding the next recovery) and leave an append handle
   // ready for edits.
-  RHINO_RETURN_NOT_OK(db->RotateManifest());
-  if (options.enable_wal) {
+  {
+    std::lock_guard<std::mutex> lock(db->versions_mu_);
+    RHINO_RETURN_NOT_OK(db->RotateManifestLocked());
+  }
+  if (db->options_.enable_wal) {
     RHINO_RETURN_NOT_OK(db->RecoverWal());
   }
   return db;
@@ -198,13 +221,27 @@ Result<std::unique_ptr<DB>> DB::OpenFromCheckpoint(
       RHINO_RETURN_NOT_OK(env->LinkFile(checkpoint_dir + "/" + name, dst));
     }
   }
-  return Open(env, std::move(path), options);
+  return Open(env, std::move(path), std::move(options));
+}
+
+DB::~DB() {
+  shutting_down_.store(true, std::memory_order_release);
+  {
+    std::unique_lock<std::mutex> lock(bg_->mu);
+    bg_->exit = true;
+    bg_->db_alive = false;
+    bg_->cv.notify_all();
+    // Wait for maintenance passes that already started; a pass that is
+    // merely queued on an external executor will see db_alive == false
+    // when (if) it runs and bail without touching this object.
+    bg_->cv.wait(lock, [this] { return bg_->inflight == 0; });
+  }
+  if (bg_thread_.joinable()) bg_thread_.join();
 }
 
 // -------------------------------------------------------------- Mutation --
 
 Status DB::Put(std::string_view key, std::string_view value) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   puts_metric_->Increment();
   std::string payload;
   BinaryWriter w(&payload);
@@ -216,7 +253,6 @@ Status DB::Put(std::string_view key, std::string_view value) {
 }
 
 Status DB::Delete(std::string_view key) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   deletes_metric_->Increment();
   std::string payload;
   BinaryWriter w(&payload);
@@ -228,7 +264,6 @@ Status DB::Delete(std::string_view key) {
 }
 
 Status DB::Write(const WriteBatch& batch) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (batch.empty()) return Status::OK();
   puts_metric_->Increment(batch.num_puts());
   deletes_metric_->Increment(batch.num_deletes());
@@ -237,25 +272,43 @@ Status DB::Write(const WriteBatch& batch) {
 }
 
 Status DB::CommitEntries(std::string_view payload, uint64_t num_entries) {
-  RHINO_RETURN_NOT_OK(CommitWal(payload, num_entries));
+  if (has_bg_error_.load(std::memory_order_acquire)) return BackgroundError();
   uint64_t count = 0;
   std::string_view entries;
   RHINO_RETURN_NOT_OK(WriteBatch::DecodePayload(payload, &count, &entries));
-  uint64_t seq = versions_.last_seq();
-  RHINO_RETURN_NOT_OK(WriteBatch::DecodeEntries(
-      entries,
-      [&](ValueType type, std::string_view key, std::string_view value) {
-        memtable_->Add(key, ++seq, type, value);
-        return Status::OK();
-      }));
-  versions_.set_last_seq(seq);
-  if (memtable_->ApproximateBytes() >= options_.memtable_bytes) {
-    return Flush();
+  std::shared_ptr<ShardedMemTable> mem;
+  uint64_t payload_bytes = 0;
+  {
+    // Shared rotation lock across {WAL append, memtable apply}: a freeze
+    // (exclusive) can never interleave, so an acknowledged commit's WAL
+    // record and memtable entries always rotate together.
+    std::shared_lock<std::shared_mutex> rotate(rotate_mu_);
+    RHINO_RETURN_NOT_OK(CommitWal(payload, num_entries));
+    uint64_t seq = last_seq_.fetch_add(num_entries, std::memory_order_relaxed);
+    mem = mem_;  // stable while the rotation lock is held shared
+    RHINO_RETURN_NOT_OK(WriteBatch::DecodeEntries(
+        entries,
+        [&](ValueType type, std::string_view key, std::string_view value) {
+          payload_bytes += key.size() + value.size();
+          mem->Add(key, ++seq, type, value);
+          return Status::OK();
+        }));
   }
-  return Status::OK();
+  user_bytes_written_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  user_write_bytes_metric_->Increment(payload_bytes);
+  // Flush policy runs outside the commit critical section. `mem` may be a
+  // just-frozen table by now; the freeze re-checks under its own locks.
+  if (mem->ApproximateBytes() < options_.memtable_bytes) return Status::OK();
+  if (options_.background_maintenance) {
+    RHINO_ASSIGN_OR_RETURN(bool frozen, FreezeActiveMemTable(true));
+    if (frozen) ScheduleMaintenance();
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> maint(maintenance_mu_);
+  return MaintainInline(true);
 }
 
-Status DB::EnsureWalFile() {
+Status DB::EnsureWalFileLocked() {
   if (wal_file_ != nullptr) return Status::OK();
   RHINO_ASSIGN_OR_RETURN(wal_file_,
                          env_->NewWritableFile(WalPath(), /*append=*/true));
@@ -264,71 +317,169 @@ Status DB::EnsureWalFile() {
 
 Status DB::CommitWal(std::string_view payload, uint64_t num_entries) {
   if (!options_.enable_wal) return Status::OK();
-  RHINO_RETURN_NOT_OK(EnsureWalFile());
   std::string record;
   record.reserve(payload.size() + 8);
   AppendLogRecord(&record, payload);
-  RHINO_RETURN_NOT_OK(wal_file_->Append(record));
-  // One flush per commit — regardless of how many entries it covers —
-  // is the group-commit win over flushing per mutation.
-  RHINO_RETURN_NOT_OK(wal_file_->Flush());
-  ++wal_appends_;
-  wal_records_ += num_entries;
-  wal_bytes_ += record.size();
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    RHINO_RETURN_NOT_OK(EnsureWalFileLocked());
+    RHINO_RETURN_NOT_OK(wal_file_->Append(record));
+    // One flush per commit — regardless of how many entries it covers —
+    // is the group-commit win over flushing per mutation.
+    RHINO_RETURN_NOT_OK(wal_file_->Flush());
+  }
+  wal_appends_.fetch_add(1, std::memory_order_relaxed);
+  wal_records_.fetch_add(num_entries, std::memory_order_relaxed);
+  wal_bytes_.fetch_add(record.size(), std::memory_order_relaxed);
   wal_appends_metric_->Increment();
   wal_bytes_metric_->Increment(record.size());
   return Status::OK();
 }
 
 Status DB::RecoverWal() {
-  if (!env_->FileExists(WalPath())) return Status::OK();
-  std::string data;
-  RHINO_RETURN_NOT_OK(env_->ReadFile(WalPath(), &data));
-  size_t pos = 0;
-  std::string_view payload;
-  while (true) {
-    LogRead got = ReadLogRecord(data, &pos, &payload);
-    if (got == LogRead::kEnd) break;
-    if (got == LogRead::kTorn) {
-      // Crash mid-append: the framing pinpoints the torn record. Truncate
-      // it away so later appends land after a clean prefix.
+  // A surviving WAL.imm means the process died after freezing a memtable
+  // but before its flush retired the log. Replay it first (its entries are
+  // older), then the active WAL. When both exist they are consolidated
+  // back into one fresh "WAL": the next freeze renames "WAL" over
+  // "WAL.imm", and acknowledged records must not be orphaned under a name
+  // that rename would clobber.
+  bool had_imm = env_->FileExists(ImmWalPath());
+  std::string consolidated;
+  uint64_t seq = last_seq_.load(std::memory_order_relaxed);
+  auto replay = [&](const std::string& wal_path,
+                    bool truncate_tail) -> Status {
+    if (!env_->FileExists(wal_path)) return Status::OK();
+    std::string data;
+    RHINO_RETURN_NOT_OK(env_->ReadFile(wal_path, &data));
+    size_t pos = 0;
+    std::string_view payload;
+    while (true) {
+      LogRead got = ReadLogRecord(data, &pos, &payload);
+      if (got == LogRead::kEnd) break;
+      if (got == LogRead::kTorn) {
+        // Crash mid-append: the framing pinpoints the torn record.
+        // Truncate it away so later appends land after a clean prefix
+        // (consolidation rewrites the file anyway).
+        if (truncate_tail && !had_imm) {
+          RHINO_RETURN_NOT_OK(env_->WriteFile(
+              wal_path, std::string_view(data).substr(0, pos)));
+        }
+        break;
+      }
+      // Inside a checksummed record, a decode failure is real corruption,
+      // not a torn tail — surface it.
+      uint64_t count = 0;
+      std::string_view entries;
       RHINO_RETURN_NOT_OK(
-          env_->WriteFile(WalPath(), std::string_view(data).substr(0, pos)));
-      break;
+          WriteBatch::DecodePayload(payload, &count, &entries));
+      RHINO_RETURN_NOT_OK(WriteBatch::DecodeEntries(
+          entries,
+          [&](ValueType type, std::string_view key, std::string_view value) {
+            mem_->Add(key, ++seq, type, value);
+            wal_recovered_.fetch_add(1, std::memory_order_relaxed);
+            return Status::OK();
+          }));
+      if (had_imm) AppendLogRecord(&consolidated, payload);
     }
-    // Inside a checksummed record, a decode failure is real corruption,
-    // not a torn tail — surface it.
-    uint64_t count = 0;
-    std::string_view entries;
-    RHINO_RETURN_NOT_OK(WriteBatch::DecodePayload(payload, &count, &entries));
-    uint64_t seq = versions_.last_seq();
-    RHINO_RETURN_NOT_OK(WriteBatch::DecodeEntries(
-        entries,
-        [&](ValueType type, std::string_view key, std::string_view value) {
-          memtable_->Add(key, ++seq, type, value);
-          ++wal_recovered_;
-          return Status::OK();
-        }));
-    versions_.set_last_seq(seq);
+    return Status::OK();
+  };
+  RHINO_RETURN_NOT_OK(replay(ImmWalPath(), /*truncate_tail=*/false));
+  RHINO_RETURN_NOT_OK(replay(WalPath(), /*truncate_tail=*/true));
+  last_seq_.store(seq, std::memory_order_relaxed);
+  if (had_imm) {
+    RHINO_RETURN_NOT_OK(env_->WriteFile(WalPath(), consolidated));
+    Status st = env_->DeleteFile(ImmWalPath());
+    if (!st.ok() && !st.IsNotFound()) return st;
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------- Flush / rotation --
+
+Result<bool> DB::FreezeActiveMemTable(bool only_if_over) {
+  // Exclusive rotation lock: no commit is mid-flight across the swap.
+  std::unique_lock<std::shared_mutex> rotate(rotate_mu_);
+  std::unique_lock<std::mutex> lock(mem_mu_);
+  if (only_if_over &&
+      mem_->ApproximateBytes() < options_.memtable_bytes) {
+    return false;  // a racing writer already rotated
+  }
+  if (mem_->Empty()) return false;
+  if (imm_ != nullptr) {
+    // At most one frozen memtable: stall until the background flush
+    // retires it (the classic write stall; accounted, and surfaced in the
+    // micro bench as stall_ms).
+    write_stalls_.fetch_add(1, std::memory_order_relaxed);
+    stalls_metric_->Increment();
+    auto start = std::chrono::steady_clock::now();
+    mem_cv_.wait(lock, [this] {
+      return imm_ == nullptr || has_bg_error_.load(std::memory_order_acquire);
+    });
+    auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    stall_micros_.fetch_add(static_cast<uint64_t>(micros),
+                            std::memory_order_relaxed);
+    stall_micros_metric_->Increment(static_cast<uint64_t>(micros));
+    if (has_bg_error_.load(std::memory_order_acquire)) {
+      return BackgroundError();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    wal_file_.reset();
+    if (options_.enable_wal && env_->FileExists(WalPath())) {
+      RHINO_RETURN_NOT_OK(env_->RenameFile(WalPath(), ImmWalPath()));
+    }
+  }
+  imm_ = std::move(mem_);
+  mem_ = std::make_shared<ShardedMemTable>(options_.memtable_shards);
+  return true;
+}
+
+Status DB::FlushFrozenMemTable(const std::shared_ptr<ShardedMemTable>& imm) {
+  RHINO_RETURN_NOT_OK(WriteLevel0Table(*imm));
+  flush_count_.fetch_add(1, std::memory_order_relaxed);
+  // Everything in the frozen log is now durable in an SST; drop it before
+  // retiring the frozen slot so `imm_ == null` implies no WAL.imm file.
+  if (options_.enable_wal) {
+    Status st = env_->DeleteFile(ImmWalPath());
+    if (!st.ok() && !st.IsNotFound()) return st;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mem_mu_);
+    imm_.reset();
+  }
+  mem_cv_.notify_all();
+  return Status::OK();
+}
+
+Status DB::MaintainInline(bool only_if_over) {
+  RHINO_ASSIGN_OR_RETURN(bool frozen, FreezeActiveMemTable(only_if_over));
+  if (!frozen) return Status::OK();
+  std::shared_ptr<ShardedMemTable> imm;
+  {
+    std::lock_guard<std::mutex> lock(mem_mu_);
+    imm = imm_;
+  }
+  RHINO_RETURN_NOT_OK(FlushFrozenMemTable(imm));
+  if (!options_.auto_compact) return Status::OK();
+  bool did_work = true;
+  while (did_work) {
+    RHINO_RETURN_NOT_OK(CompactOnce(&did_work));
   }
   return Status::OK();
 }
 
 Status DB::Flush() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (memtable_->Empty()) return Status::OK();
-  RHINO_RETURN_NOT_OK(WriteLevel0Table());
-  memtable_ = std::make_unique<MemTable>();
-  ++flush_count_;
-  // Everything in the WAL is now durable in an SST; close the handle and
-  // start a fresh log on the next commit.
-  if (options_.enable_wal) {
-    wal_file_.reset();
-    Status st = env_->DeleteFile(WalPath());
-    if (!st.ok() && !st.IsNotFound()) return st;
+  if (has_bg_error_.load(std::memory_order_acquire)) return BackgroundError();
+  if (options_.background_maintenance) {
+    RHINO_ASSIGN_OR_RETURN(bool frozen, FreezeActiveMemTable(false));
+    if (frozen) ScheduleMaintenance();
+    return WaitForBackgroundWork();
   }
-  if (options_.auto_compact) return MaybeCompact();
-  return Status::OK();
+  std::lock_guard<std::mutex> maint(maintenance_mu_);
+  return MaintainInline(false);
 }
 
 Result<std::unique_ptr<WritableFile>> DB::NewTableSink(uint64_t number) {
@@ -348,66 +499,96 @@ Status DB::FinishTableSink(uint64_t number, SSTableBuilder* builder,
   meta->largest = builder->largest();
   meta->num_entries = builder->num_entries();
   meta->file_size = builder->file_size();
-  write_peak_buffer_bytes_ =
-      std::max(write_peak_buffer_bytes_, builder->peak_buffer_bytes());
+  AtomicMax(&write_peak_buffer_bytes_, builder->peak_buffer_bytes());
   return Status::OK();
 }
 
-Status DB::WriteLevel0Table() {
-  uint64_t number = versions_.NewFileNumber();
+Status DB::WriteLevel0Table(const ShardedMemTable& mem) {
+  uint64_t number;
+  {
+    std::lock_guard<std::mutex> lock(versions_mu_);
+    number = versions_.NewFileNumber();
+  }
   RHINO_ASSIGN_OR_RETURN(auto sink, NewTableSink(number));
   SSTableBuilder builder(sink.get(), options_.block_bytes,
                          options_.bloom_bits_per_key);
-  for (auto it = memtable_->NewIterator(); it.Valid(); it.Next()) {
+  // The table is frozen (or the caller owns it exclusively), so the
+  // merging cursor streams the shards lock-free in global key order —
+  // identical bytes to what a single skiplist would have produced.
+  for (auto it = mem.NewMergingIterator(); it.Valid(); it.Next()) {
     builder.Add(it.key(), it.seq(), it.type(), it.value());
   }
   FileMetaData meta;
-  RHINO_RETURN_NOT_OK(FinishTableSink(number, &builder, std::move(sink), &meta));
+  RHINO_RETURN_NOT_OK(
+      FinishTableSink(number, &builder, std::move(sink), &meta));
   flushes_metric_->Increment();
   flush_bytes_metric_->Increment(meta.file_size);
+  flush_bytes_.fetch_add(meta.file_size, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(versions_mu_);
+  versions_.set_last_seq(last_seq_.load(std::memory_order_relaxed));
   VersionEdit edit;
   edit.next_file_number = versions_.next_file_number();
   edit.last_seq = versions_.last_seq();
   edit.added.emplace_back(0, meta);
   versions_.AddFile(0, std::move(meta));
-  return AppendManifestEdit(edit);
+  return AppendManifestEditLocked(edit);
 }
 
 // ---------------------------------------------------------------- Lookup --
 
 Status DB::Get(std::string_view key, std::string* value) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   gets_metric_->Increment();
   Entry entry;
-  if (memtable_->Get(key, &entry)) {
+  // Memtable snapshot: pin both buffers under a brief lock, probe without.
+  std::shared_ptr<ShardedMemTable> mem, imm;
+  {
+    std::lock_guard<std::mutex> lock(mem_mu_);
+    mem = mem_;
+    imm = imm_;
+  }
+  bool found = mem->Get(key, &entry);
+  if (!found && imm != nullptr) found = imm->Get(key, &entry);
+  if (found) {
     if (entry.type == ValueType::kDeletion) return Status::NotFound("deleted");
+    user_bytes_read_.fetch_add(entry.value.size(), std::memory_order_relaxed);
+    user_read_bytes_metric_->Increment(entry.value.size());
     *value = std::move(entry.value);
     return Status::OK();
   }
-  // L0: newest file first (AddFile keeps recency order).
-  for (const auto& f : versions_.level(0)) {
-    if (key < f.smallest || key > f.largest) continue;
-    RHINO_ASSIGN_OR_RETURN(auto table, OpenTable(f.number));
+  // Version snapshot: candidate files AND their pinned handles are
+  // collected under versions_mu_ (opens are usually LRU hits), then the
+  // bloom probes and block reads below run without any DB lock. Search
+  // order — L0 newest first, then deeper levels — is preserved in the
+  // flat candidate list.
+  std::vector<std::shared_ptr<SSTableReader>> tables;
+  {
+    std::lock_guard<std::mutex> lock(versions_mu_);
+    for (const auto& f : versions_.level(0)) {
+      if (key < f.smallest || key > f.largest) continue;
+      RHINO_ASSIGN_OR_RETURN(auto table, OpenTableLocked(f.number));
+      tables.push_back(std::move(table));
+    }
+    for (int l = 1; l < versions_.num_levels(); ++l) {
+      for (const auto& f :
+           versions_.Overlapping(l, std::string(key), std::string(key))) {
+        RHINO_ASSIGN_OR_RETURN(auto table, OpenTableLocked(f.number));
+        tables.push_back(std::move(table));
+      }
+    }
+  }
+  for (const auto& table : tables) {
     Status st = table->Get(key, &entry);
     if (st.ok()) {
-      if (entry.type == ValueType::kDeletion) return Status::NotFound("deleted");
+      if (entry.type == ValueType::kDeletion) {
+        return Status::NotFound("deleted");
+      }
+      user_bytes_read_.fetch_add(entry.value.size(),
+                                 std::memory_order_relaxed);
+      user_read_bytes_metric_->Increment(entry.value.size());
       *value = std::move(entry.value);
       return Status::OK();
     }
     if (!st.IsNotFound()) return st;
-  }
-  // Deeper levels: at most one candidate file per level.
-  for (int l = 1; l < versions_.num_levels(); ++l) {
-    for (const auto& f : versions_.Overlapping(l, std::string(key), std::string(key))) {
-      RHINO_ASSIGN_OR_RETURN(auto table, OpenTable(f.number));
-      Status st = table->Get(key, &entry);
-      if (st.ok()) {
-        if (entry.type == ValueType::kDeletion) return Status::NotFound("deleted");
-        *value = std::move(entry.value);
-        return Status::OK();
-      }
-      if (!st.IsNotFound()) return st;
-    }
   }
   return Status::NotFound(std::string(key));
 }
@@ -459,30 +640,43 @@ const std::string& DB::Iterator::value() const { return rep_->current.value; }
 
 Result<DB::Iterator> DB::NewIterator(std::string_view begin,
                                      std::string_view end) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   Iterator it;
   it.rep_ = std::make_unique<Iterator::Rep>();
   it.rep_->end.assign(end);
 
-  // Memtable snapshot: bounded by Options::memtable_bytes, and immune to a
-  // later Flush swapping the live memtable out underneath us.
-  std::vector<Entry> mem;
-  for (auto mit = memtable_->NewIterator(); mit.Valid(); mit.Next()) {
-    if (mit.key() < begin) continue;
-    if (!end.empty() && mit.key() >= end) break;
-    mem.push_back(Entry{std::string(mit.key()), mit.seq(), mit.type(),
-                        std::string(mit.value())});
+  // Memtable snapshots first, table list second: an entry a concurrent
+  // flush moves from memtable to L0 in between appears in both sources
+  // with the same sequence number, and the merge de-duplicates it. The
+  // reverse order could lose it entirely.
+  std::shared_ptr<ShardedMemTable> mem, imm;
+  {
+    std::lock_guard<std::mutex> lock(mem_mu_);
+    mem = mem_;
+    imm = imm_;
   }
-  it.rep_->merge.AddSource(
-      std::make_unique<merge_detail::MemSource>(std::move(mem)));
+  it.rep_->merge.AddSource(std::make_unique<merge_detail::MemSource>(
+      mem->SortedSnapshot(begin, end)));
+  if (imm != nullptr) {
+    it.rep_->merge.AddSource(std::make_unique<merge_detail::MemSource>(
+        imm->SortedSnapshot(begin, end)));
+  }
 
-  // One block-streaming source per table overlapping the range. The
-  // sources hold the reader handles, pinning file content for the life of
-  // the iterator (compactions may delete the names meanwhile).
-  for (const auto& f : versions_.AllFiles()) {
-    if (!end.empty() && f.smallest >= end) continue;
-    if (!begin.empty() && f.largest < begin) continue;
-    RHINO_ASSIGN_OR_RETURN(auto table, OpenTable(f.number));
+  // One block-streaming source per table overlapping the range. Handles
+  // are opened under versions_mu_ (so a concurrent compaction cannot
+  // delete a file before we pin it) but the sources — whose construction
+  // reads blocks — are built after it is released. The sources hold the
+  // reader handles, pinning file content for the life of the iterator.
+  std::vector<std::shared_ptr<SSTableReader>> tables;
+  {
+    std::lock_guard<std::mutex> lock(versions_mu_);
+    for (const auto& f : versions_.AllFiles()) {
+      if (!end.empty() && f.smallest >= end) continue;
+      if (!begin.empty() && f.largest < begin) continue;
+      RHINO_ASSIGN_OR_RETURN(auto table, OpenTableLocked(f.number));
+      tables.push_back(std::move(table));
+    }
+  }
+  for (auto& table : tables) {
     it.rep_->merge.AddSource(
         std::make_unique<merge_detail::TableSource>(std::move(table), begin));
   }
@@ -499,60 +693,77 @@ uint64_t DB::MaxBytesForLevel(int level) const {
   return static_cast<uint64_t>(bytes);
 }
 
-Status DB::MaybeCompact() {
-  bool progress = true;
-  while (progress) {
-    progress = false;
+Status DB::CompactOnce(bool* did_work) {
+  *did_work = false;
+  int level = -1;
+  {
+    std::lock_guard<std::mutex> lock(versions_mu_);
     if (versions_.level(0).size() >=
         static_cast<size_t>(options_.l0_compaction_trigger)) {
-      RHINO_RETURN_NOT_OK(CompactLevel(0));
-      progress = true;
-      continue;
-    }
-    for (int l = 1; l < versions_.num_levels() - 1; ++l) {
-      if (versions_.LevelBytes(l) > MaxBytesForLevel(l)) {
-        RHINO_RETURN_NOT_OK(CompactLevel(l));
-        progress = true;
-        break;
+      level = 0;
+    } else {
+      for (int l = 1; l < versions_.num_levels() - 1; ++l) {
+        if (versions_.LevelBytes(l) > MaxBytesForLevel(l)) {
+          level = l;
+          break;
+        }
       }
     }
   }
-  return Status::OK();
+  if (level < 0) return Status::OK();
+  *did_work = true;
+  return CompactLevel(level);
 }
 
 Status DB::CompactLevel(int level) {
   std::vector<std::pair<int, FileMetaData>> inputs;
-  std::string smallest, largest;
-  if (level == 0) {
-    // All of L0 participates (files may overlap each other).
-    for (const auto& f : versions_.level(0)) {
-      if (inputs.empty() || f.smallest < smallest) smallest = f.smallest;
-      if (inputs.empty() || f.largest > largest) largest = f.largest;
-      inputs.emplace_back(0, f);
-    }
-  } else {
-    // Pick the file after the last compacted key (round-robin cursor keeps
-    // writes spread over the keyspace).
-    const auto& files = versions_.level(level);
-    RHINO_CHECK(!files.empty());
-    const FileMetaData& f = files.front();
-    smallest = f.smallest;
-    largest = f.largest;
-    inputs.emplace_back(level, f);
-  }
   int output_level = level + 1;
-  for (const auto& f : versions_.Overlapping(output_level, smallest, largest)) {
-    inputs.emplace_back(output_level, f);
+  {
+    std::lock_guard<std::mutex> lock(versions_mu_);
+    std::string smallest, largest;
+    if (level == 0) {
+      // All of L0 participates (files may overlap each other).
+      for (const auto& f : versions_.level(0)) {
+        if (inputs.empty() || f.smallest < smallest) smallest = f.smallest;
+        if (inputs.empty() || f.largest > largest) largest = f.largest;
+        inputs.emplace_back(0, f);
+      }
+    } else {
+      // Pick the file after the last compacted key (round-robin cursor
+      // keeps writes spread over the keyspace).
+      const auto& files = versions_.level(level);
+      RHINO_CHECK(!files.empty());
+      const FileMetaData& f = files.front();
+      smallest = f.smallest;
+      largest = f.largest;
+      inputs.emplace_back(level, f);
+    }
+    for (const auto& f :
+         versions_.Overlapping(output_level, smallest, largest)) {
+      inputs.emplace_back(output_level, f);
+    }
   }
   return DoCompaction(inputs, output_level);
 }
 
 Status DB::CompactRange() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   RHINO_RETURN_NOT_OK(Flush());
+  std::lock_guard<std::mutex> maint(maintenance_mu_);
+  // A writer may have frozen a fresh memtable between the flush above and
+  // this lock; retire it so its entries participate too.
+  std::shared_ptr<ShardedMemTable> imm;
+  {
+    std::lock_guard<std::mutex> lock(mem_mu_);
+    imm = imm_;
+  }
+  if (imm != nullptr) RHINO_RETURN_NOT_OK(FlushFrozenMemTable(imm));
   // Repeatedly push every populated level into the next one.
-  for (int l = 0; l < versions_.num_levels() - 1; ++l) {
-    while (!versions_.level(l).empty()) {
+  for (int l = 0; l < options_.num_levels - 1; ++l) {
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(versions_mu_);
+        if (versions_.level(l).empty()) break;
+      }
       RHINO_RETURN_NOT_OK(CompactLevel(l));
     }
   }
@@ -564,20 +775,32 @@ Status DB::DoCompaction(const std::vector<std::pair<int, FileMetaData>>& inputs,
   // Stream the inputs through a k-way merge; the largest sequence number
   // per user key wins (sequence numbers are global and monotone). Peak
   // memory is one block per input plus the output block under
-  // construction — not the merged key range.
-  merge_detail::KWayMerge merge;
+  // construction — not the merged key range. Only the input pinning, file
+  // numbering, and the final install touch versions_mu_; the merge itself
+  // runs lock-free, so readers proceed while data is rewritten.
   std::string smallest, largest;
-  for (size_t i = 0; i < inputs.size(); ++i) {
-    const auto& f = inputs[i].second;
-    if (i == 0 || f.smallest < smallest) smallest = f.smallest;
-    if (i == 0 || f.largest > largest) largest = f.largest;
-    RHINO_ASSIGN_OR_RETURN(auto table, OpenTable(f.number));
+  uint64_t bytes_in = 0;
+  std::vector<std::shared_ptr<SSTableReader>> input_tables;
+  bool drop_tombstones;
+  {
+    std::lock_guard<std::mutex> lock(versions_mu_);
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      const auto& f = inputs[i].second;
+      if (i == 0 || f.smallest < smallest) smallest = f.smallest;
+      if (i == 0 || f.largest > largest) largest = f.largest;
+      bytes_in += f.file_size;
+      RHINO_ASSIGN_OR_RETURN(auto table, OpenTableLocked(f.number));
+      input_tables.push_back(std::move(table));
+    }
+    drop_tombstones =
+        versions_.IsBottomMostForRange(output_level, smallest, largest);
+  }
+  merge_detail::KWayMerge merge;
+  for (auto& table : input_tables) {
     merge.AddSource(
         std::make_unique<merge_detail::TableSource>(std::move(table), ""));
   }
   merge.Finish();
-  bool drop_tombstones =
-      versions_.IsBottomMostForRange(output_level, smallest, largest);
 
   // Stream merged entries into output files split at target_file_bytes;
   // each output buffers ~one block, never the whole table.
@@ -603,7 +826,10 @@ Status DB::DoCompaction(const std::vector<std::pair<int, FileMetaData>>& inputs,
   while (merge.NextVersion(&entry)) {
     if (drop_tombstones && entry.type == ValueType::kDeletion) continue;
     if (!builder) {
-      output_number = versions_.NewFileNumber();
+      {
+        std::lock_guard<std::mutex> lock(versions_mu_);
+        output_number = versions_.NewFileNumber();
+      }
       RHINO_ASSIGN_OR_RETURN(sink, NewTableSink(output_number));
       builder = std::make_unique<SSTableBuilder>(
           sink.get(), options_.block_bytes, options_.bloom_bits_per_key);
@@ -615,15 +841,22 @@ Status DB::DoCompaction(const std::vector<std::pair<int, FileMetaData>>& inputs,
   }
   RHINO_RETURN_NOT_OK(finish_output());
 
-  // Install outputs, drop inputs, delete obsolete files. Checkpoint hard
-  // links keep any shared content alive. One edit records the whole swap.
+  uint64_t bytes_out = 0;
+  for (const auto& meta : outputs) bytes_out += meta.file_size;
+
+  // Install outputs, drop inputs, delete obsolete files — all under
+  // versions_mu_, so a reader either pins a handle before the swap or
+  // never sees the old files. Checkpoint hard links keep any shared
+  // content alive. One edit records the whole swap.
+  std::lock_guard<std::mutex> lock(versions_mu_);
+  versions_.set_last_seq(last_seq_.load(std::memory_order_relaxed));
   VersionEdit edit;
   edit.next_file_number = versions_.next_file_number();
   edit.last_seq = versions_.last_seq();
   for (const auto& [lvl, f] : inputs) {
     edit.removed.emplace_back(lvl, f.number);
     versions_.RemoveFile(lvl, f.number);
-    EvictTable(f.number);
+    EvictTableLocked(f.number);
     Status st = env_->DeleteFile(FilePath(TableFileName(f.number)));
     if (!st.ok() && !st.IsNotFound()) return st;
   }
@@ -631,19 +864,128 @@ Status DB::DoCompaction(const std::vector<std::pair<int, FileMetaData>>& inputs,
     edit.added.emplace_back(output_level, meta);
     versions_.AddFile(output_level, std::move(meta));
   }
-  ++compaction_count_;
+  compaction_count_.fetch_add(1, std::memory_order_relaxed);
+  compaction_bytes_in_.fetch_add(bytes_in, std::memory_order_relaxed);
+  compaction_bytes_out_.fetch_add(bytes_out, std::memory_order_relaxed);
   compactions_metric_->Increment();
-  return AppendManifestEdit(edit);
+  compaction_bytes_in_metric_->Increment(bytes_in);
+  compaction_bytes_out_metric_->Increment(bytes_out);
+  return AppendManifestEditLocked(edit);
+}
+
+// ----------------------------------------------------- Background worker --
+
+void DB::ScheduleMaintenance() {
+  auto bg = bg_;
+  std::unique_lock<std::mutex> lock(bg->mu);
+  if (bg->exit || bg->pending) return;
+  bg->pending = true;
+  if (options_.background_post) {
+    lock.unlock();
+    // The closure owns only the shared BgState: if the DB dies first (or
+    // the executor drops the task), nothing dangles.
+    options_.background_post([bg] {
+      std::unique_lock<std::mutex> task_lock(bg->mu);
+      bg->pending = false;
+      if (!bg->db_alive || bg->exit) {
+        bg->cv.notify_all();
+        return;
+      }
+      DB* db = bg->db;
+      ++bg->inflight;
+      task_lock.unlock();
+      db->RunMaintenance();
+      task_lock.lock();
+      --bg->inflight;
+      bg->cv.notify_all();
+    });
+  } else {
+    if (!bg_thread_.joinable()) {
+      bg_thread_ = std::thread([this] { BackgroundThreadLoop(); });
+    }
+    bg->cv.notify_all();
+  }
+}
+
+void DB::BackgroundThreadLoop() {
+  std::unique_lock<std::mutex> lock(bg_->mu);
+  while (true) {
+    bg_->cv.wait(lock, [this] { return bg_->pending || bg_->exit; });
+    if (bg_->exit) return;
+    bg_->pending = false;
+    ++bg_->inflight;
+    lock.unlock();
+    RunMaintenance();
+    lock.lock();
+    --bg_->inflight;
+    bg_->cv.notify_all();
+  }
+}
+
+void DB::RunMaintenance() {
+  std::lock_guard<std::mutex> maint(maintenance_mu_);
+  while (true) {
+    if (shutting_down_.load(std::memory_order_acquire)) return;
+    std::shared_ptr<ShardedMemTable> imm;
+    {
+      std::lock_guard<std::mutex> lock(mem_mu_);
+      imm = imm_;
+    }
+    if (imm != nullptr) {
+      Status st = FlushFrozenMemTable(imm);
+      if (!st.ok()) {
+        RecordBackgroundError(st);
+        return;
+      }
+      continue;
+    }
+    if (!options_.auto_compact) return;
+    bool did_work = false;
+    Status st = CompactOnce(&did_work);
+    if (!st.ok()) {
+      RecordBackgroundError(st);
+      return;
+    }
+    if (!did_work) return;
+  }
+}
+
+void DB::RecordBackgroundError(const Status& s) {
+  {
+    std::lock_guard<std::mutex> lock(bg_error_mu_);
+    if (bg_error_.ok()) bg_error_ = s;
+  }
+  has_bg_error_.store(true, std::memory_order_release);
+  // Wake stalled writers; they surface the error instead of the stall.
+  mem_cv_.notify_all();
+}
+
+Status DB::BackgroundError() const {
+  if (!has_bg_error_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(bg_error_mu_);
+  return bg_error_;
+}
+
+Status DB::WaitForBackgroundWork() {
+  if (options_.background_maintenance) {
+    std::unique_lock<std::mutex> lock(bg_->mu);
+    bg_->cv.wait(lock, [this] {
+      return (!bg_->pending && bg_->inflight == 0) || bg_->exit;
+    });
+  }
+  return BackgroundError();
 }
 
 // ----------------------------------------------------------- Checkpoints --
 
 Result<CheckpointInfo> DB::CreateCheckpoint(const std::string& dir) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   RHINO_RETURN_NOT_OK(Flush());
   RHINO_RETURN_NOT_OK(env_->CreateDir(dir));
   CheckpointInfo info;
   info.directory = dir;
+  // Links and the manifest snapshot in one versions_mu_ hold: the captured
+  // file set and the manifest describing it cannot diverge.
+  std::lock_guard<std::mutex> lock(versions_mu_);
   for (const auto& f : versions_.AllFiles()) {
     std::string name = TableFileName(f.number);
     Status st = env_->LinkFile(FilePath(name), dir + "/" + name);
@@ -668,8 +1010,14 @@ Result<CheckpointInfo> DB::CreateCheckpoint(const std::string& dir) {
 // --------------------------------------------------------------- Support --
 
 uint64_t DB::ApproximateSize() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  return memtable_->ApproximateBytes() + versions_.TotalBytes();
+  uint64_t mem_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mem_mu_);
+    mem_bytes = mem_->ApproximateBytes();
+    if (imm_ != nullptr) mem_bytes += imm_->ApproximateBytes();
+  }
+  std::lock_guard<std::mutex> lock(versions_mu_);
+  return mem_bytes + versions_.TotalBytes();
 }
 
 Status DB::LoadManifest(std::string_view data) {
@@ -712,7 +1060,7 @@ Status DB::LoadManifest(std::string_view data) {
   return Status::OK();
 }
 
-Status DB::RotateManifest() {
+Status DB::RotateManifestLocked() {
   manifest_file_.reset();
   std::string payload(1, static_cast<char>(kManifestSnapshot));
   payload += versions_.EncodeManifest();
@@ -726,11 +1074,11 @@ Status DB::RotateManifest() {
   RHINO_ASSIGN_OR_RETURN(manifest_file_,
                          env_->NewWritableFile(path, /*append=*/true));
   manifest_edits_ = 0;
-  ++manifest_rotations_;
+  manifest_rotations_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
-Status DB::AppendManifestEdit(const VersionEdit& edit) {
+Status DB::AppendManifestEditLocked(const VersionEdit& edit) {
   RHINO_CHECK(manifest_file_ != nullptr);
   std::string payload(1, static_cast<char>(kManifestEdit));
   payload += edit.Encode();
@@ -741,12 +1089,12 @@ Status DB::AppendManifestEdit(const VersionEdit& edit) {
   ++manifest_edits_;
   if (manifest_edits_ >= options_.manifest_rotate_edits) {
     // versions_ already reflects the edit, so the fresh snapshot does too.
-    return RotateManifest();
+    return RotateManifestLocked();
   }
   return Status::OK();
 }
 
-Result<std::shared_ptr<SSTableReader>> DB::OpenTable(uint64_t number) {
+Result<std::shared_ptr<SSTableReader>> DB::OpenTableLocked(uint64_t number) {
   auto it = table_cache_.find(number);
   if (it != table_cache_.end()) {
     table_cache_hits_metric_->Increment();
@@ -757,7 +1105,8 @@ Result<std::shared_ptr<SSTableReader>> DB::OpenTable(uint64_t number) {
   RHINO_ASSIGN_OR_RETURN(
       auto file, env_->NewRandomAccessFile(FilePath(TableFileName(number))));
   RHINO_ASSIGN_OR_RETURN(
-      auto table, SSTableReader::Open(std::move(file), block_cache_.get()));
+      auto table,
+      SSTableReader::Open(std::move(file), block_cache_.get(), &read_stats_));
   table_lru_.push_front(number);
   table_cache_[number] = OpenTableEntry{table, table_lru_.begin()};
   while (table_cache_.size() > options_.max_open_tables) {
@@ -769,7 +1118,7 @@ Result<std::shared_ptr<SSTableReader>> DB::OpenTable(uint64_t number) {
   return table;
 }
 
-void DB::EvictTable(uint64_t number) {
+void DB::EvictTableLocked(uint64_t number) {
   auto it = table_cache_.find(number);
   if (it == table_cache_.end()) return;
   table_lru_.erase(it->second.lru_pos);

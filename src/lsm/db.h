@@ -1,10 +1,16 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -42,6 +48,13 @@
 /// flush/compaction buffer ~one block, not the whole table; and the
 /// MANIFEST is an appended edit log rotated into fresh snapshots instead
 /// of an O(tree) rewrite per flush.
+///
+/// Concurrency (DESIGN.md §14): there is no store-wide lock. Writers
+/// commit under a shared rotation lock plus one memtable-shard mutex;
+/// readers snapshot {active memtable, frozen memtable, pinned table
+/// handles} under brief locks and then traverse lock-free; flushes and
+/// compactions run serialized on a maintenance path that can be moved off
+/// the caller's thread entirely (`Options::background_maintenance`).
 
 namespace rhino::lsm {
 
@@ -77,6 +90,24 @@ struct Options {
   /// Cap on simultaneously open SSTable handles (footer + index + bloom
   /// each); least-recently-used handles are closed beyond it.
   size_t max_open_tables = 64;
+  /// Memtable shard count: concurrent writers only contend when their keys
+  /// hash to the same shard. 1 degenerates to a single skiplist; shard
+  /// count does not change flushed SST bytes (merge order is by key).
+  size_t memtable_shards = 8;
+  /// When true, full memtables are frozen and flushed — and compactions
+  /// run — on a background worker instead of the committing caller's
+  /// thread; a writer only stalls when a second memtable fills before the
+  /// previous flush finishes. Failures surface as the Status of the next
+  /// write (and of Flush/CompactRange/WaitForBackgroundWork). Off by
+  /// default: inline maintenance keeps the simulator deterministic.
+  bool background_maintenance = false;
+  /// Where background work runs. When set, each maintenance pass is handed
+  /// to this callback (e.g. posting onto a runtime::Executor task queue —
+  /// see runtime/background.h); the callback must execute it on a thread
+  /// that is not blocked inside this DB, and queued work must either run
+  /// or be dropped before the Env is destroyed. When null, the DB lazily
+  /// starts one internal worker thread.
+  std::function<void(std::function<void()>)> background_post;
 };
 
 /// One file captured by a checkpoint.
@@ -92,12 +123,27 @@ struct CheckpointInfo {
   uint64_t total_bytes = 0;
 };
 
-/// Embedded LSM store. Logically single-writer, but safe to call from
-/// multiple threads: one store-wide recursive mutex serializes every
-/// public entry point (reads included — point gets consult the memtable
-/// and the open-table LRU, both of which writers mutate). A returned
-/// Iterator snapshots its sources at creation and can then be consumed
-/// without the DB lock; the shared BlockCache below it has its own lock.
+/// Embedded LSM store, safe for concurrent use from multiple threads.
+///
+/// Lock hierarchy (acquire downward only; each is independent of the ones
+/// below unless noted):
+///
+///   rotate_mu_   shared by every commit across {WAL append, memtable
+///                apply}; exclusive to freeze/swap the active memtable —
+///                so no acknowledged commit can straddle a rotation and
+///                lose its WAL record.
+///   mem_mu_      the active/frozen memtable pointers and the writer-stall
+///                condition variable.
+///   wal_mu_      the WAL append handle.
+///   versions_mu_ the version set (levels), open-table LRU, and MANIFEST
+///                appends. Readers collect file metadata AND open their
+///                pinned table handles under it, so a concurrent
+///                compaction can never delete a file a reader is about to
+///                open; pinned handles keep content readable after the
+///                name is gone.
+///   maintenance_mu_  serializes flush/compaction bodies (one at a time),
+///                whether inline or on the background worker.
+///   (leaf) per-shard memtable mutexes, BlockCache's internal lock.
 class DB {
  public:
   /// Opens (creating or recovering) a DB at `path`.
@@ -110,6 +156,12 @@ class DB {
   static Result<std::unique_ptr<DB>> OpenFromCheckpoint(
       Env* env, const std::string& checkpoint_dir, std::string path,
       Options options = Options());
+
+  /// Blocks until in-flight background work finishes, then joins the
+  /// worker. Destroying a DB while other threads are still calling into it
+  /// is undefined behavior (callers own that ordering), but a compaction
+  /// in flight on the background worker is waited for cleanly.
+  ~DB();
 
   Status Put(std::string_view key, std::string_view value);
   Status Delete(std::string_view key);
@@ -124,37 +176,46 @@ class DB {
   /// data block per consulted table (bloom filters skip most tables).
   Status Get(std::string_view key, std::string* value);
 
-  /// Flushes the memtable to a new L0 table (no-op when empty).
+  /// Flushes the memtable to a new L0 table (no-op when empty). In
+  /// background mode this also waits for the resulting flush/compaction
+  /// work to complete, so the call is synchronous in both modes.
   Status Flush();
 
-  /// Fully compacts the tree into the deepest non-empty level.
+  /// Fully compacts the tree into the deepest non-empty level. Also the
+  /// manual trigger for tests running with background maintenance: it
+  /// flushes, lets in-flight background work finish, and compacts inline.
   Status CompactRange();
+
+  /// Blocks until no background maintenance is pending or running, then
+  /// returns the sticky background error (OK when none). Immediate in
+  /// inline mode.
+  Status WaitForBackgroundWork();
 
   /// Creates a point-in-time checkpoint at `dir`: flush + hard links +
   /// manifest. The returned file list (names + sizes) is what Rhino's
   /// replication protocol ships around.
   Result<CheckpointInfo> CreateCheckpoint(const std::string& dir);
 
-  /// Bytes across memtable + all table files.
+  /// Bytes across memtables + all table files.
   uint64_t ApproximateSize() const;
   uint64_t NumTableFiles() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(versions_mu_);
     return static_cast<uint64_t>(versions_.NumFiles());
   }
   int NumLevelFiles(int level) const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(versions_mu_);
     return static_cast<int>(versions_.level(level).size());
   }
   /// Open SSTable handles currently held by the table LRU (bounded by
   /// Options::max_open_tables).
   size_t OpenTableCount() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(versions_mu_);
     return table_cache_.size();
   }
   const std::string& path() const { return path_; }
 
   /// Streaming merging iterator over a snapshot of the live view
-  /// (memtable + all levels): a heap-based k-way merge over per-source
+  /// (memtables + all levels): a heap-based k-way merge over per-source
   /// block iterators that yields each visible key once in order, dropping
   /// tombstones and shadowed versions on the fly. Resident memory is the
   /// (bounded) memtable snapshot plus one block per table — independent of
@@ -183,33 +244,72 @@ class DB {
                                std::string_view end = "");
 
   /// Number of flushes and compactions performed (for tests/benchmarks).
-  uint64_t flush_count() const { return Stat(flush_count_); }
-  uint64_t compaction_count() const { return Stat(compaction_count_); }
+  uint64_t flush_count() const { return Load(flush_count_); }
+  uint64_t compaction_count() const { return Load(compaction_count_); }
   /// Entries recovered from the WAL at the last Open (diagnostics).
-  uint64_t wal_entries_recovered() const { return Stat(wal_recovered_); }
+  uint64_t wal_entries_recovered() const { return Load(wal_recovered_); }
   /// WAL write-path diagnostics for this DB: framed appends (== commits),
   /// entries covered by them, and physical bytes written. One batched
   /// commit of N entries costs 1 append; N singleton commits cost N.
-  uint64_t wal_appends() const { return Stat(wal_appends_); }
-  uint64_t wal_records() const { return Stat(wal_records_); }
-  uint64_t wal_bytes_written() const { return Stat(wal_bytes_); }
+  uint64_t wal_appends() const { return Load(wal_appends_); }
+  uint64_t wal_records() const { return Load(wal_records_); }
+  uint64_t wal_bytes_written() const { return Load(wal_bytes_); }
   /// High-water mark of bytes buffered by any table build (flush or
   /// compaction output) — the streaming write path keeps this at ~one
   /// block + tail regardless of table size.
   uint64_t write_peak_buffer_bytes() const {
-    return Stat(write_peak_buffer_bytes_);
+    return Load(write_peak_buffer_bytes_);
   }
   /// MANIFEST snapshot rewrites (at open and on edit-log rotation).
-  uint64_t manifest_rotations() const { return Stat(manifest_rotations_); }
+  uint64_t manifest_rotations() const { return Load(manifest_rotations_); }
+
+  // ---- Amplification accounting (per DB; relaxed atomics) ----
+  /// Logical payload bytes (key + value) accepted by Put/Delete/Write.
+  uint64_t user_bytes_written() const { return Load(user_bytes_written_); }
+  /// Value bytes returned to callers by successful Gets.
+  uint64_t user_bytes_read() const { return Load(user_bytes_read_); }
+  /// SST bytes written by memtable flushes.
+  uint64_t flush_bytes_written() const { return Load(flush_bytes_); }
+  /// SST bytes consumed / produced by compactions.
+  uint64_t compaction_bytes_in() const { return Load(compaction_bytes_in_); }
+  uint64_t compaction_bytes_out() const { return Load(compaction_bytes_out_); }
+  /// Physical data-block bytes fetched from table files (cache misses).
+  uint64_t sst_bytes_read() const {
+    return read_stats_.bytes_read.load(std::memory_order_relaxed);
+  }
+  uint64_t sst_blocks_read() const {
+    return read_stats_.blocks_read.load(std::memory_order_relaxed);
+  }
+  /// Time writers spent stalled waiting for a memtable flush to retire the
+  /// frozen buffer (background mode only), and how often they stalled.
+  uint64_t stall_micros() const { return Load(stall_micros_); }
+  uint64_t write_stalls() const { return Load(write_stalls_); }
+  /// Write amplification: physical bytes persisted (WAL + flush +
+  /// compaction output) per logical byte accepted. 0 when nothing written.
+  double write_amplification() const {
+    uint64_t user = user_bytes_written();
+    if (user == 0) return 0.0;
+    return static_cast<double>(wal_bytes_written() + flush_bytes_written() +
+                               compaction_bytes_out()) /
+           static_cast<double>(user);
+  }
+  /// Read amplification: physical block bytes fetched per logical byte
+  /// returned by Gets. 0 when nothing read.
+  double read_amplification() const {
+    uint64_t user = user_bytes_read();
+    if (user == 0) return 0.0;
+    return static_cast<double>(sst_bytes_read()) / static_cast<double>(user);
+  }
 
   /// The shared data-block cache this DB reads through.
   BlockCache* block_cache() const { return block_cache_.get(); }
 
   /// Installs the observability context and re-binds the cached metric
   /// handles (defaults to the process-wide one; counters are store-wide,
-  /// not per-DB — one simulation opens hundreds of DBs).
+  /// not per-DB — one simulation opens hundreds of DBs). Call before the
+  /// DB is shared across threads: rebinding is not synchronized against
+  /// concurrent operations.
   void SetObservability(obs::Observability* o) {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
     BindMetrics(o);
     block_cache_->SetObservability(o);
   }
@@ -218,41 +318,52 @@ class DB {
   DB(Env* env, std::string path, Options options)
       : env_(env),
         path_(std::move(path)),
-        options_(options),
-        block_cache_(options.block_cache ? options.block_cache
-                                         : BlockCache::Default()),
-        versions_(options.num_levels) {
+        options_(std::move(options)),
+        block_cache_(options_.block_cache ? options_.block_cache
+                                          : BlockCache::Default()),
+        mem_(std::make_shared<ShardedMemTable>(options_.memtable_shards)),
+        versions_(options_.num_levels),
+        bg_(std::make_shared<BgState>()) {
+    bg_->db = this;
     BindMetrics(obs::Observability::Default());
   }
 
   void BindMetrics(obs::Observability* o);
 
-  uint64_t Stat(const uint64_t& field) const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    return field;
+  static uint64_t Load(const std::atomic<uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
   }
 
   std::string FilePath(const std::string& name) const { return path_ + "/" + name; }
 
   /// Rebuilds the MANIFEST log from versions_ (one snapshot record,
   /// written atomically via temp + rename) and reopens the append handle.
-  Status RotateManifest();
+  /// Requires versions_mu_.
+  Status RotateManifestLocked();
   /// Frames and appends one VersionEdit; rotates once enough accumulate.
-  Status AppendManifestEdit(const VersionEdit& edit);
-  /// Replays a MANIFEST log (snapshot record + edits) into versions_.
+  /// Requires versions_mu_.
+  Status AppendManifestEditLocked(const VersionEdit& edit);
+  /// Replays a MANIFEST log (snapshot record + edits) into versions_
+  /// (open-time only, no concurrency yet).
   Status LoadManifest(std::string_view data);
   std::string WalPath() const { return FilePath("WAL"); }
-  /// Opens the WAL append handle lazily (first commit after open/flush).
-  Status EnsureWalFile();
+  /// The frozen memtable's log: "WAL" is renamed here when the active
+  /// memtable is frozen, and the file is deleted once the flush lands.
+  std::string ImmWalPath() const { return FilePath("WAL.imm"); }
+  /// Opens the WAL append handle lazily (first commit after a rotation).
+  /// Requires wal_mu_.
+  Status EnsureWalFileLocked();
   /// Appends one framed commit record covering `num_entries` mutations and
-  /// flushes the handle (no-op when the WAL is disabled).
+  /// flushes the handle (no-op when the WAL is disabled). Takes wal_mu_.
   Status CommitWal(std::string_view payload, uint64_t num_entries);
-  /// Shared Put/Delete/Write tail: WAL commit + memtable apply + flush
-  /// check, over a contiguous sequence range.
+  /// Shared Put/Delete/Write tail: WAL commit + memtable apply under the
+  /// shared rotation lock, then the flush-threshold check.
   Status CommitEntries(std::string_view payload, uint64_t num_entries);
-  /// Replays a surviving WAL into the memtable. A torn final record
-  /// (crash mid-append) is detected via the length+checksum framing and
-  /// truncated away; everything before it is intact.
+  /// Replays surviving logs (WAL.imm first, then WAL) into the memtable at
+  /// open. A torn final record (crash mid-append) is detected via the
+  /// length+checksum framing and truncated away. When a frozen log
+  /// survived (crash mid-flush), both logs are consolidated back into one
+  /// fresh "WAL" so the next freeze cannot orphan acknowledged records.
   Status RecoverWal();
   /// Opens a streaming sink for new table `number`, writing to a temp
   /// name so a crash mid-build never leaves a partial table under a name
@@ -264,27 +375,73 @@ class DB {
                          std::unique_ptr<WritableFile> sink,
                          FileMetaData* meta);
   /// Returns an open handle to table `number` through the LRU table cache.
-  Result<std::shared_ptr<SSTableReader>> OpenTable(uint64_t number);
+  /// Requires versions_mu_.
+  Result<std::shared_ptr<SSTableReader>> OpenTableLocked(uint64_t number);
   /// Drops `number` from the table cache (compaction removed the file).
-  void EvictTable(uint64_t number);
-  Status WriteLevel0Table();
-  Status MaybeCompact();
+  /// Requires versions_mu_.
+  void EvictTableLocked(uint64_t number);
+
+  // ---- Rotation / maintenance ----
+  /// Swaps the active memtable into the frozen slot and rotates the WAL
+  /// ("WAL" -> "WAL.imm"), stalling first if a frozen memtable is still
+  /// being flushed. Returns whether a freeze happened (false when empty,
+  /// or — with `only_if_over` — when a racing writer already rotated).
+  Result<bool> FreezeActiveMemTable(bool only_if_over);
+  /// Builds an L0 table from `imm`, installs it, deletes WAL.imm, and
+  /// retires the frozen slot. Requires maintenance_mu_.
+  Status FlushFrozenMemTable(const std::shared_ptr<ShardedMemTable>& imm);
+  /// Streams `mem` into a new L0 table + manifest edit.
+  Status WriteLevel0Table(const ShardedMemTable& mem);
+  /// Runs one round of the leveling policy if a level is over its trigger;
+  /// `*did_work` reports whether anything was compacted. Requires
+  /// maintenance_mu_.
+  Status CompactOnce(bool* did_work);
+  /// Compacts `level` into `level + 1`. Requires maintenance_mu_.
   Status CompactLevel(int level);
   uint64_t MaxBytesForLevel(int level) const;
   /// Streams `inputs` through a k-way merge into files at `output_level`.
+  /// Requires maintenance_mu_; takes versions_mu_ only to pick file
+  /// numbers and to install the result.
   Status DoCompaction(const std::vector<std::pair<int, FileMetaData>>& inputs,
                       int output_level);
+  /// Inline-mode maintenance: freeze (optional threshold check), flush,
+  /// compact to quiescence — on the caller's thread. Requires
+  /// maintenance_mu_.
+  Status MaintainInline(bool only_if_over);
+  /// Requests a background maintenance pass (coalesced while one is
+  /// already queued).
+  void ScheduleMaintenance();
+  /// Background worker body: flush any frozen memtable, then compact until
+  /// the leveling policy is satisfied. Errors become the sticky
+  /// background error.
+  void RunMaintenance();
+  void BackgroundThreadLoop();
+  void RecordBackgroundError(const Status& s);
+  Status BackgroundError() const;
 
   Env* env_;
   std::string path_;
   Options options_;
-  /// Store-wide lock taken at every public entry point. Recursive because
-  /// the write path re-enters public methods internally (a commit whose
-  /// memtable fills calls Flush; CompactRange and CreateCheckpoint call
-  /// Flush too). Private helpers assume it is held.
-  mutable std::recursive_mutex mu_;
   std::shared_ptr<BlockCache> block_cache_;
-  std::unique_ptr<MemTable> memtable_ = std::make_unique<MemTable>();
+
+  /// Commits hold this shared across {WAL append + memtable apply};
+  /// FreezeActiveMemTable holds it exclusive across {WAL rotation +
+  /// memtable swap}. See the class comment for the full hierarchy.
+  std::shared_mutex rotate_mu_;
+
+  /// Guards the memtable pointers and the stall wait. Readers copy the two
+  /// shared_ptrs under it and then probe without it.
+  mutable std::mutex mem_mu_;
+  std::condition_variable mem_cv_;
+  std::shared_ptr<ShardedMemTable> mem_;  // active
+  std::shared_ptr<ShardedMemTable> imm_;  // frozen, being flushed (or null)
+
+  /// Guards the WAL append handle (created lazily, dropped at rotation).
+  std::mutex wal_mu_;
+  std::unique_ptr<WritableFile> wal_file_;
+
+  /// Guards versions_, the open-table LRU, and the MANIFEST log.
+  mutable std::mutex versions_mu_;
   VersionSet versions_;
   /// LRU of open table handles: `table_lru_` front is most recent; the
   /// map holds the handle plus its list position. Bounded by
@@ -296,20 +453,61 @@ class DB {
   };
   std::list<uint64_t> table_lru_;
   std::unordered_map<uint64_t, OpenTableEntry> table_cache_;
-  /// Open append handles; the WAL one is created lazily on first commit
-  /// and dropped (file deleted) by Flush, the MANIFEST one lives from
-  /// Open until destruction (rotation swaps it).
-  std::unique_ptr<WritableFile> wal_file_;
   std::unique_ptr<WritableFile> manifest_file_;
   uint64_t manifest_edits_ = 0;  // edits appended since the last snapshot
-  uint64_t manifest_rotations_ = 0;
-  uint64_t flush_count_ = 0;
-  uint64_t compaction_count_ = 0;
-  uint64_t wal_recovered_ = 0;
-  uint64_t wal_appends_ = 0;
-  uint64_t wal_records_ = 0;
-  uint64_t wal_bytes_ = 0;
-  uint64_t write_peak_buffer_bytes_ = 0;
+
+  /// Serializes flush/compaction bodies regardless of which thread runs
+  /// them; never held while blocking on another DB lock's condition.
+  std::mutex maintenance_mu_;
+
+  /// Global commit sequence; fetch_add gives each commit a contiguous
+  /// range without holding any lock. Mirrored into versions_ at each
+  /// manifest edit.
+  std::atomic<uint64_t> last_seq_{0};
+
+  std::atomic<bool> shutting_down_{false};
+
+  /// Sticky background failure: checked (cheaply) at the top of every
+  /// write, returned by the next one. `has_bg_error_` is the lock-free
+  /// fast path; the Status itself lives under bg_error_mu_.
+  std::atomic<bool> has_bg_error_{false};
+  mutable std::mutex bg_error_mu_;
+  Status bg_error_;
+
+  /// Background scheduling state. Held in a shared_ptr so a closure posted
+  /// to an external executor and then dropped (or run after this DB died)
+  /// can notice `db_alive == false` and bail without touching freed
+  /// memory; the destructor only waits for work that actually started.
+  struct BgState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool pending = false;  // a pass is requested but not yet started
+    int inflight = 0;      // passes currently executing
+    bool exit = false;     // internal worker: time to return
+    bool db_alive = true;
+    DB* db = nullptr;
+  };
+  std::shared_ptr<BgState> bg_;
+  std::thread bg_thread_;  // lazily started when no background_post is set
+
+  // ---- Statistics (relaxed atomics; exact totals, unordered) ----
+  std::atomic<uint64_t> manifest_rotations_{0};
+  std::atomic<uint64_t> flush_count_{0};
+  std::atomic<uint64_t> compaction_count_{0};
+  std::atomic<uint64_t> wal_recovered_{0};
+  std::atomic<uint64_t> wal_appends_{0};
+  std::atomic<uint64_t> wal_records_{0};
+  std::atomic<uint64_t> wal_bytes_{0};
+  std::atomic<uint64_t> write_peak_buffer_bytes_{0};
+  std::atomic<uint64_t> user_bytes_written_{0};
+  std::atomic<uint64_t> user_bytes_read_{0};
+  std::atomic<uint64_t> flush_bytes_{0};
+  std::atomic<uint64_t> compaction_bytes_in_{0};
+  std::atomic<uint64_t> compaction_bytes_out_{0};
+  std::atomic<uint64_t> stall_micros_{0};
+  std::atomic<uint64_t> write_stalls_{0};
+  /// Physical block reads, charged by every SSTableReader this DB opens.
+  mutable SSTableReader::ReadStats read_stats_;
 
   /// Hot-path metric handles (see BindMetrics).
   obs::Counter* puts_metric_ = nullptr;
@@ -321,6 +519,12 @@ class DB {
   obs::Counter* flushes_metric_ = nullptr;
   obs::Counter* flush_bytes_metric_ = nullptr;
   obs::Counter* compactions_metric_ = nullptr;
+  obs::Counter* compaction_bytes_in_metric_ = nullptr;
+  obs::Counter* compaction_bytes_out_metric_ = nullptr;
+  obs::Counter* user_write_bytes_metric_ = nullptr;
+  obs::Counter* user_read_bytes_metric_ = nullptr;
+  obs::Counter* stall_micros_metric_ = nullptr;
+  obs::Counter* stalls_metric_ = nullptr;
   obs::Counter* checkpoints_metric_ = nullptr;
   obs::Counter* checkpoint_bytes_metric_ = nullptr;
   obs::Counter* table_cache_hits_metric_ = nullptr;

@@ -46,6 +46,9 @@ void MemTable::Add(std::string_view key, uint64_t seq, ValueType type,
     // In-place overwrite: the newest sequence number shadows the old entry,
     // so keeping only the newest is equivalent and cheaper. The old value
     // bytes stay behind in the arena until the flush drops it wholesale.
+    // Concurrent commits can reach the shard lock out of sequence order;
+    // an older version arriving late must not clobber a newer one.
+    if (node->seq > seq) return;
     bytes_ += value.size() - node->value.size();
     node->seq = seq;
     node->type = type;
@@ -77,6 +80,116 @@ bool MemTable::Get(std::string_view key, Entry* entry) const {
   entry->type = node->type;
   entry->value.assign(node->value);
   return true;
+}
+
+// ------------------------------------------------------- ShardedMemTable --
+
+ShardedMemTable::ShardedMemTable(size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void ShardedMemTable::Add(std::string_view key, uint64_t seq, ValueType type,
+                          std::string_view value) {
+  Shard& shard = *shards_[ShardFor(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.table.Add(key, seq, type, value);
+  // Mirror the (single-writer-per-shard-at-a-time) counters into atomics so
+  // the flush-threshold check and ApproximateSize stay lock-free.
+  shard.bytes.store(shard.table.ApproximateBytes(), std::memory_order_relaxed);
+  shard.entries.store(shard.table.NumEntries(), std::memory_order_relaxed);
+}
+
+bool ShardedMemTable::Get(std::string_view key, Entry* entry) const {
+  const Shard& shard = *shards_[ShardFor(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.table.Get(key, entry);
+}
+
+uint64_t ShardedMemTable::ApproximateBytes() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t ShardedMemTable::ArenaBytes() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->table.ArenaBytes();
+  }
+  return total;
+}
+
+uint64_t ShardedMemTable::NumEntries() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->entries.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<Entry> ShardedMemTable::SortedSnapshot(std::string_view begin,
+                                                   std::string_view end) const {
+  // Per-shard sorted runs, copied under the shard lock...
+  std::vector<std::vector<Entry>> runs(shards_.size());
+  size_t total = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    for (auto it = shards_[i]->table.NewIterator(); it.Valid(); it.Next()) {
+      if (it.key() < begin) continue;
+      if (!end.empty() && it.key() >= end) break;
+      runs[i].push_back(Entry{std::string(it.key()), it.seq(), it.type(),
+                              std::string(it.value())});
+    }
+    total += runs[i].size();
+  }
+  // ...then merged: keys are unique across shards (one shard owns a key),
+  // so a linear-scan min over <= num_shards cursors suffices.
+  std::vector<Entry> out;
+  out.reserve(total);
+  std::vector<size_t> pos(runs.size(), 0);
+  while (out.size() < total) {
+    int min = -1;
+    for (size_t i = 0; i < runs.size(); ++i) {
+      if (pos[i] >= runs[i].size()) continue;
+      if (min < 0 || runs[i][pos[i]].key < runs[size_t(min)][pos[size_t(min)]].key) {
+        min = static_cast<int>(i);
+      }
+    }
+    out.push_back(std::move(runs[size_t(min)][pos[size_t(min)]]));
+    ++pos[size_t(min)];
+  }
+  return out;
+}
+
+ShardedMemTable::MergingIterator::MergingIterator(
+    const ShardedMemTable* table) {
+  its_.reserve(table->shards_.size());
+  for (const auto& s : table->shards_) {
+    its_.push_back(s->table.NewIterator());
+  }
+  FindMin();
+}
+
+void ShardedMemTable::MergingIterator::FindMin() {
+  cur_ = -1;
+  for (size_t i = 0; i < its_.size(); ++i) {
+    if (!its_[i].Valid()) continue;
+    if (cur_ < 0 || its_[i].key() < its_[size_t(cur_)].key()) {
+      cur_ = static_cast<int>(i);
+    }
+  }
+}
+
+void ShardedMemTable::MergingIterator::Next() {
+  its_[size_t(cur_)].Next();
+  FindMin();
 }
 
 }  // namespace rhino::lsm

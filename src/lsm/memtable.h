@@ -1,9 +1,12 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/random.h"
 #include "lsm/arena.h"
@@ -13,10 +16,10 @@
 /// In-memory write buffer: a skiplist ordered by user key.
 ///
 /// Matches the paper's RocksDB configuration of fixed-size memtables that
-/// are flushed to immutable SSTs. The store is single-writer within one
-/// simulated operator instance, so no synchronization is needed; a repeated
-/// Put to the same key updates the node in place (the newest sequence
-/// number wins anyway).
+/// are flushed to immutable SSTs. A single `MemTable` is unsynchronized;
+/// concurrent writers go through `ShardedMemTable`, which hash-partitions
+/// the keyspace over independent skiplists with one mutex each, so writers
+/// on different shards append without colliding (DESIGN.md §14).
 ///
 /// Nodes and their key/value bytes live in an `Arena`: insertion is a
 /// pointer bump instead of per-node `new` + two string allocations, and
@@ -32,7 +35,9 @@ class MemTable {
   MemTable() : head_(NewNode("", kMaxHeight)) {}
 
   /// Inserts or overwrites `key`. `type` distinguishes values from
-  /// tombstones.
+  /// tombstones. On overwrite the highest sequence number wins, so two
+  /// writers racing on the same key converge on the later commit
+  /// regardless of which one reaches the shard lock first.
   void Add(std::string_view key, uint64_t seq, ValueType type,
            std::string_view value);
 
@@ -98,6 +103,78 @@ class MemTable {
  public:
   MemTable(const MemTable&) = delete;
   MemTable& operator=(const MemTable&) = delete;
+};
+
+/// Hash-sharded write buffer: N independent skiplists, each behind its own
+/// mutex, with keys routed by `std::hash` of the user key. Concurrent
+/// writers only contend when they hit the same shard; size accounting is
+/// kept in per-shard atomics so the flush-threshold check never takes a
+/// lock. All versions of one key land in one shard, so merging the shards'
+/// sorted runs yields exactly what a single skiplist would hold.
+///
+/// Once frozen (no further Add calls, publication ordered through the DB's
+/// rotation lock) a ShardedMemTable may be read without the shard locks —
+/// that is how background flushes stream it into an SST.
+class ShardedMemTable {
+ public:
+  explicit ShardedMemTable(size_t num_shards);
+
+  void Add(std::string_view key, uint64_t seq, ValueType type,
+           std::string_view value);
+  bool Get(std::string_view key, Entry* entry) const;
+
+  /// Approximate logical footprint; a lock-free sum of per-shard atomics.
+  uint64_t ApproximateBytes() const;
+  uint64_t ArenaBytes() const;
+  uint64_t NumEntries() const;
+  bool Empty() const { return NumEntries() == 0; }
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Copies entries in `[begin, end)` (empty `end` = unbounded) out of all
+  /// shards, globally sorted by key. Takes each shard lock briefly, so it
+  /// is safe against concurrent writers; the result is a point-in-time
+  /// snapshot per shard.
+  std::vector<Entry> SortedSnapshot(std::string_view begin = "",
+                                    std::string_view end = "") const;
+
+  /// Merging cursor over all shards in key order, without copies or locks.
+  /// Only valid on a frozen table (no concurrent Add).
+  class MergingIterator {
+   public:
+    explicit MergingIterator(const ShardedMemTable* table);
+    bool Valid() const { return cur_ >= 0; }
+    void Next();
+    std::string_view key() const { return its_[size_t(cur_)].key(); }
+    uint64_t seq() const { return its_[size_t(cur_)].seq(); }
+    ValueType type() const { return its_[size_t(cur_)].type(); }
+    std::string_view value() const { return its_[size_t(cur_)].value(); }
+
+   private:
+    void FindMin();
+    std::vector<MemTable::Iterator> its_;
+    int cur_ = -1;
+  };
+
+  MergingIterator NewMergingIterator() const { return MergingIterator(this); }
+
+  ShardedMemTable(const ShardedMemTable&) = delete;
+  ShardedMemTable& operator=(const ShardedMemTable&) = delete;
+
+ private:
+  friend class MergingIterator;
+
+  struct Shard {
+    mutable std::mutex mu;
+    MemTable table;
+    std::atomic<uint64_t> bytes{0};
+    std::atomic<uint64_t> entries{0};
+  };
+
+  size_t ShardFor(std::string_view key) const {
+    return std::hash<std::string_view>{}(key) % shards_.size();
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace rhino::lsm

@@ -146,7 +146,8 @@ Status SSTableBuilder::FinishStream() {
 // --------------------------------------------------------- SSTableReader --
 
 Result<std::shared_ptr<SSTableReader>> SSTableReader::Open(
-    std::unique_ptr<RandomAccessFile> file, BlockCache* cache) {
+    std::unique_ptr<RandomAccessFile> file, BlockCache* cache,
+    ReadStats* stats) {
   constexpr size_t kFooter = 48;
   uint64_t file_size = file->Size();
   if (file_size < kFooter) return Status::Corruption("sst too small");
@@ -169,6 +170,7 @@ Result<std::shared_ptr<SSTableReader>> SSTableReader::Open(
   auto table = std::shared_ptr<SSTableReader>(new SSTableReader());
   table->file_ = std::move(file);
   table->cache_ = cache;
+  table->stats_ = stats;
   if (cache != nullptr) table->cache_id_ = cache->NewTableId();
   table->num_entries_ = num_entries;
   RHINO_RETURN_NOT_OK(
@@ -230,6 +232,13 @@ Result<BlockCache::BlockHandle> SSTableReader::ReadBlock(size_t idx) const {
   RHINO_RETURN_NOT_OK(
       file_->Read(e.offset, static_cast<size_t>(e.size), block.get()));
   if (block->size() != e.size) return Status::Corruption("sst block truncated");
+  if (stats_ != nullptr) {
+    stats_->bytes_read.fetch_add(e.size, std::memory_order_relaxed);
+    stats_->blocks_read.fetch_add(1, std::memory_order_relaxed);
+    if (auto* metric = stats_->bytes_metric.load(std::memory_order_relaxed)) {
+      metric->Increment(e.size);
+    }
+  }
   BlockCache::BlockHandle handle = std::move(block);
   if (cache_ != nullptr) {
     cache_->Insert(cache_id_, static_cast<uint32_t>(idx), handle);

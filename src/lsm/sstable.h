@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -118,10 +119,23 @@ class SSTableBuilder {
 /// erased again when the reader closes.
 class SSTableReader {
  public:
+  /// Physical-read accounting shared by every reader of one DB: bytes and
+  /// blocks actually fetched from the file (block-cache misses), the "real
+  /// reads" numerator of the store's read-amplification ratio. The owner
+  /// (DB) must outlive the readers it hands the pointer to. `bytes_metric`
+  /// mirrors the byte count into the obs registry when bound.
+  struct ReadStats {
+    std::atomic<uint64_t> bytes_read{0};
+    std::atomic<uint64_t> blocks_read{0};
+    std::atomic<obs::Counter*> bytes_metric{nullptr};
+  };
+
   /// Opens via positional reads: footer + index + bloom eagerly, data
-  /// blocks on demand through `cache` (nullptr disables caching).
+  /// blocks on demand through `cache` (nullptr disables caching). When
+  /// `stats` is non-null, every physical block fetch is charged to it.
   static Result<std::shared_ptr<SSTableReader>> Open(
-      std::unique_ptr<RandomAccessFile> file, BlockCache* cache);
+      std::unique_ptr<RandomAccessFile> file, BlockCache* cache,
+      ReadStats* stats = nullptr);
 
   /// Opens over an in-memory buffer without a cache (tests, tools).
   static Result<std::shared_ptr<SSTableReader>> Open(
@@ -184,6 +198,7 @@ class SSTableReader {
 
   std::unique_ptr<RandomAccessFile> file_;
   BlockCache* cache_ = nullptr;
+  ReadStats* stats_ = nullptr;
   uint64_t cache_id_ = 0;
   std::vector<IndexEntry> index_;
   std::string bloom_;

@@ -90,10 +90,16 @@ Result<std::string> NodeServer::HandleAddOperator(std::string_view body) {
     }
     return std::string();
   }
+  // Real worker processes take flushes/compactions off the RPC thread: a
+  // ProcessBatch that fills a memtable schedules the flush and returns
+  // instead of paying for it inline (failures surface on the next write).
+  lsm::Options lsm_options;
+  lsm_options.background_maintenance = true;
   RHINO_ASSIGN_OR_RETURN(
       auto backend,
       state::LsmStateBackend::Open(env_, options_.data_dir + "/" + req.name,
-                                   req.name, node_id_.load()));
+                                   req.name, node_id_.load(),
+                                   std::move(lsm_options)));
   Shard shard;
   shard.backend = std::move(backend);
   shard.num_vnodes = req.num_vnodes;

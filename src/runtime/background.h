@@ -1,0 +1,37 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "runtime/executor.h"
+
+/// \file background.h
+/// Adapter from the executor substrate to `lsm::Options::background_post`.
+///
+/// The LSM store's background maintenance (memtable flushes, compactions)
+/// accepts an abstract "run this closure somewhere that is not my caller's
+/// thread" callback. On the realtime backend the natural home for that
+/// work is an executor task queue: it lands on the shared worker pool,
+/// shows up in the executor's accounting like any other task, and —
+/// because each queue is a strand — passes for one store are naturally
+/// serialized without the store starting a private thread per DB.
+///
+/// Under `SimExecutor` the returned poster still works (the queue drains
+/// inside `Drain()`/`RunUntil` on the simulation thread), but deterministic
+/// experiments should simply leave `background_maintenance` off — inline
+/// maintenance is the reproducible configuration.
+
+namespace rhino::runtime {
+
+/// Returns a poster for `lsm::Options::background_post` that runs each
+/// maintenance pass on a dedicated serial queue named `name` on `executor`.
+/// The queue is owned by the executor (queues live as long as it), so the
+/// executor must outlive every DB handed this poster, and the executor must
+/// be drained (or the DBs destroyed) before it is torn down.
+inline std::function<void(std::function<void()>)> MakeBackgroundPoster(
+    Executor* executor, const std::string& name) {
+  TaskQueue* queue = executor->CreateQueue(name);
+  return [queue](std::function<void()> work) { queue->Post(std::move(work)); };
+}
+
+}  // namespace rhino::runtime
