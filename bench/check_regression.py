@@ -50,6 +50,16 @@ GUARDED = [
     ("micro_lsm", "throughput_mt_get_per_s.*"),
     ("micro_lsm", "throughput_mt_scan_entries_per_s.*"),
     ("micro_lsm", "mt_put_speedup_4t_ok"),
+    # Pipelined data plane: the credit-windowed pump must keep beating the
+    # blocking one under emulated service latency (>=2x is the claim, the
+    # raw ratio catches slower drifts), the drained continuous-replication
+    # stream must keep the full-image ship off the checkpoint barrier, and
+    # the kill/recover/replay audit must stay exactly-once.
+    ("dist_pipeline", "throughput_records_per_s.pipelined"),
+    ("dist_pipeline", "ingest_speedup"),
+    ("dist_pipeline", "ingest_speedup_2x_ok"),
+    ("dist_pipeline", "checkpoint_stream_off_barrier_ok"),
+    ("dist_pipeline", "exactly_once_ok"),
 ]
 
 # (artifact name, key glob) pairs that are REPORT-ONLY: wall-clock numbers
@@ -86,10 +96,26 @@ REPORT_ONLY = [
     ("micro_lsm", "mt_write_stall_ms.*"),
     ("micro_lsm", "mt_put_speedup_4t"),
     ("micro_lsm", "hardware_threads"),
+    # Pipelined data plane: absolute throughputs other than the guarded
+    # pipelined headline (the blocking number only exists as the speedup
+    # denominator, the window sweep is exploratory) and millisecond-scale
+    # checkpoint walls, which are too scheduler-noisy on small hosts to
+    # gate as percentages (their structural claim gates through the
+    # checkpoint_stream_off_barrier_ok boolean above).
+    ("dist_pipeline", "throughput_records_per_s.*"),
+    ("dist_pipeline", "checkpoint_wall_s.*"),
+    ("dist_pipeline", "checkpoint_growth.*"),
+    ("dist_pipeline", "checkpoint_speedup.*"),
+    ("dist_pipeline", "credit_stalls.*"),
+    ("dist_pipeline", "max_inflight.*"),
+    ("dist_pipeline", "records.*"),
+    ("dist_pipeline", "service_delay_us"),
+    ("dist_pipeline", "nodes"),
 ]
 
-# Keys where a higher current value is an improvement.
-HIGHER_IS_BETTER = ["throughput_*", "*speedup*"]
+# Keys where a higher current value is an improvement. `*_ok` booleans
+# encode "claim holds" as 1.0, so a drop to 0.0 must read as a regression.
+HIGHER_IS_BETTER = ["throughput_*", "*speedup*", "*_ok"]
 
 
 def load_artifacts(directory):

@@ -1,6 +1,9 @@
 #include "net/driver.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <utility>
 
 #include "common/logging.h"
@@ -8,13 +11,24 @@
 
 namespace rhino::net {
 
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
 ClusterDriver::ClusterDriver(Transport* transport,
                              std::vector<std::string> endpoints,
-                             obs::Observability* obs)
+                             obs::Observability* obs, DriverOptions options)
     : transport_(transport),
       endpoints_(std::move(endpoints)),
       alive_(endpoints_.size(), true),
-      obs_(obs != nullptr ? obs : obs::Observability::Default()) {
+      obs_(obs != nullptr ? obs : obs::Observability::Default()),
+      options_(options) {
   RHINO_CHECK(!endpoints_.empty());
 }
 
@@ -93,7 +107,13 @@ void ClusterDriver::AddPartition(const broker::PartitionSource* partition) {
 }
 
 Result<PumpStats> ClusterDriver::Pump() {
+  return options_.pipelined ? PumpPipelined() : PumpBlocking();
+}
+
+Result<PumpStats> ClusterDriver::PumpBlocking() {
+  auto start = std::chrono::steady_clock::now();
   PumpStats stats;
+  stats.max_inflight = 1;  // one request at a time, by construction
   // The networked runtime routes a single stateful operator graph; every
   // partition feeds every operator (currently one) through key routing.
   for (size_t p = 0; p < partitions_.size(); ++p) {
@@ -138,6 +158,166 @@ Result<PumpStats> ClusterDriver::Pump() {
       ++cursors_[p];
     }
   }
+  stats.wall_s = SecondsSince(start);
+  return stats;
+}
+
+Result<PumpStats> ClusterDriver::PumpPipelined() {
+  auto start = std::chrono::steady_clock::now();
+  PumpStats stats;
+
+  // Scratch state shared with completion callbacks (which run on
+  // transport reader threads). Everything under one mutex; the pump
+  // drains to zero in flight before returning, so callbacks never
+  // outlive this frame.
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<uint32_t, uint32_t> credits;
+    std::map<uint32_t, uint32_t> inflight;
+    std::map<uint32_t, uint32_t> hwm;
+    uint32_t total_inflight = 0;
+    uint32_t max_total_inflight = 0;
+    uint64_t applied = 0;
+    uint64_t deduped = 0;
+    uint64_t credit_stalls = 0;
+    Status first_error;
+  } shared;
+  std::map<uint32_t, obs::Gauge*> credit_gauges;
+  for (uint32_t node = 0; node < endpoints_.size(); ++node) {
+    if (!alive_[node]) continue;
+    shared.credits[node] = options_.credit_window;
+    credit_gauges[node] = obs_->metrics().GetGauge(
+        "rhino_net_credits", {{"node", std::to_string(node)}});
+    credit_gauges[node]->Set(options_.credit_window);
+  }
+
+  // Only pump offsets that exist NOW; appends racing the pump belong to
+  // the next one (and cursor advancement below must match this bound).
+  std::vector<uint64_t> ends(partitions_.size());
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    ends[p] = partitions_[p]->end_offset();
+  }
+
+  bool aborted = false;
+  for (size_t p = 0; p < partitions_.size() && !aborted; ++p) {
+    for (uint64_t off = cursors_[p]; off < ends[p] && !aborted; ++off) {
+      const broker::LogEntry* entry = partitions_[p]->Fetch(off);
+      RHINO_CHECK(entry != nullptr);
+      for (auto& [op, routing] : routing_) {
+        std::map<uint32_t, dataflow::Batch> per_node;
+        for (const auto& rec : entry->batch.records) {
+          uint32_t vnode = VnodeForKey(rec.key, routing.num_vnodes);
+          uint32_t node = routing.owner[vnode];
+          auto& sub = per_node[node];
+          sub.create_time = entry->batch.create_time;
+          sub.source_id = static_cast<int>(p);
+          sub.source_offset = entry->offset;
+          sub.records.push_back(rec);
+          sub.count += 1;
+          sub.bytes += rec.size;
+        }
+        for (auto& [node, sub] : per_node) {
+          if (node >= endpoints_.size() || !alive_[node]) {
+            std::lock_guard<std::mutex> lock(shared.mu);
+            if (shared.first_error.ok()) {
+              shared.first_error = Status::FailedPrecondition(
+                  "node " + std::to_string(node) + " is not alive");
+            }
+            aborted = true;
+            break;
+          }
+          // Acquire one credit for this node — the backpressure point.
+          {
+            std::unique_lock<std::mutex> lock(shared.mu);
+            if (!shared.first_error.ok()) {
+              aborted = true;
+              break;
+            }
+            if (shared.credits[node] == 0) {
+              ++shared.credit_stalls;
+              shared.cv.wait(lock, [&] {
+                return shared.credits[node] > 0 || !shared.first_error.ok();
+              });
+              if (!shared.first_error.ok()) {
+                aborted = true;
+                break;
+              }
+            }
+            --shared.credits[node];
+            credit_gauges[node]->Set(shared.credits[node]);
+            uint32_t in = ++shared.inflight[node];
+            shared.hwm[node] = std::max(shared.hwm[node], in);
+            ++shared.total_inflight;
+            shared.max_total_inflight =
+                std::max(shared.max_total_inflight, shared.total_inflight);
+          }
+          ProcessBatchRequest req;
+          req.op = op;
+          req.batch = std::move(sub);
+          std::string body;
+          req.EncodeTo(&body);
+          stats.batches_sent += 1;
+          stats.records_sent += req.batch.records.size();
+          auto* gauge = credit_gauges[node];
+          Status submitted = transport_->CallAsync(
+              endpoints_[node], MessageType::kProcessBatch, std::move(body),
+              [&shared, gauge, node](Status st, std::string reply_body) {
+                std::lock_guard<std::mutex> lock(shared.mu);
+                ++shared.credits[node];
+                gauge->Set(shared.credits[node]);
+                --shared.inflight[node];
+                --shared.total_inflight;
+                if (st.ok()) {
+                  auto reply = ProcessBatchReply::Decode(reply_body);
+                  if (reply.ok()) {
+                    shared.applied += reply->applied;
+                    shared.deduped += reply->deduped;
+                  } else if (shared.first_error.ok()) {
+                    shared.first_error = reply.status();
+                  }
+                } else if (shared.first_error.ok()) {
+                  shared.first_error = st;
+                }
+                shared.cv.notify_all();
+              });
+          if (!submitted.ok()) {
+            // Never submitted: the callback will not run, so the credit
+            // comes back here.
+            std::lock_guard<std::mutex> lock(shared.mu);
+            ++shared.credits[node];
+            --shared.inflight[node];
+            --shared.total_inflight;
+            if (shared.first_error.ok()) shared.first_error = submitted;
+            aborted = true;
+            break;
+          }
+        }
+        if (aborted) break;
+      }
+    }
+  }
+
+  // Drain: all acks in (or failed) before touching cursors or returning.
+  {
+    std::unique_lock<std::mutex> lock(shared.mu);
+    shared.cv.wait(lock, [&] { return shared.total_inflight == 0; });
+  }
+  stats.applied = shared.applied;
+  stats.deduped = shared.deduped;
+  stats.credit_stalls = shared.credit_stalls;
+  stats.max_inflight = shared.max_total_inflight;
+  stats.node_inflight_hwm = shared.hwm;
+  if (!shared.first_error.ok()) {
+    // Cursors untouched: the next pump replays the whole range and nodes
+    // dedup whatever did land — same exactly-once story as the blocking
+    // path, batched across the window.
+    return shared.first_error;
+  }
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    cursors_[p] = std::max(cursors_[p], ends[p]);
+  }
+  stats.wall_s = SecondsSince(start);
   return stats;
 }
 
@@ -149,16 +329,69 @@ Result<CheckpointStats> ClusterDriver::Checkpoint() {
   barrier.id = stats.checkpoint_id;
   std::string body;
   EncodeControlEvent(barrier, &body);
-  for (uint32_t node = 0; node < endpoints_.size(); ++node) {
-    if (!alive_[node]) continue;
-    std::string reply_body;
-    RHINO_RETURN_NOT_OK(
-        Call(node, MessageType::kCheckpoint, body, &reply_body));
-    RHINO_ASSIGN_OR_RETURN(CheckpointReply reply,
-                           CheckpointReply::Decode(reply_body));
-    stats.bytes += reply.bytes;
-    stats.nodes += 1;
-    stats.replicated_nodes += reply.replicated;
+
+  if (options_.pipelined) {
+    // Concurrent barrier broadcast: every node persists (and drains its
+    // replication stream) in parallel, so the cluster-wide checkpoint
+    // costs one slowest-node barrier, not the sum.
+    struct Shared {
+      std::mutex mu;
+      std::condition_variable cv;
+      uint32_t outstanding = 0;
+      uint64_t bytes = 0;
+      uint32_t replicated = 0;
+      Status first_error;
+    } shared;
+    for (uint32_t node = 0; node < endpoints_.size(); ++node) {
+      if (!alive_[node]) continue;
+      {
+        std::lock_guard<std::mutex> lock(shared.mu);
+        ++shared.outstanding;
+      }
+      stats.nodes += 1;
+      Status submitted = transport_->CallAsync(
+          endpoints_[node], MessageType::kCheckpoint, body,
+          [&shared](Status st, std::string reply_body) {
+            std::lock_guard<std::mutex> lock(shared.mu);
+            if (st.ok()) {
+              auto reply = CheckpointReply::Decode(reply_body);
+              if (reply.ok()) {
+                shared.bytes += reply->bytes;
+                shared.replicated += reply->replicated;
+              } else if (shared.first_error.ok()) {
+                shared.first_error = reply.status();
+              }
+            } else if (shared.first_error.ok()) {
+              shared.first_error = st;
+            }
+            --shared.outstanding;
+            shared.cv.notify_all();
+          });
+      if (!submitted.ok()) {
+        std::lock_guard<std::mutex> lock(shared.mu);
+        --shared.outstanding;
+        if (shared.first_error.ok()) shared.first_error = submitted;
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(shared.mu);
+      shared.cv.wait(lock, [&] { return shared.outstanding == 0; });
+    }
+    RHINO_RETURN_NOT_OK(shared.first_error);
+    stats.bytes = shared.bytes;
+    stats.replicated_nodes = shared.replicated;
+  } else {
+    for (uint32_t node = 0; node < endpoints_.size(); ++node) {
+      if (!alive_[node]) continue;
+      std::string reply_body;
+      RHINO_RETURN_NOT_OK(
+          Call(node, MessageType::kCheckpoint, body, &reply_body));
+      RHINO_ASSIGN_OR_RETURN(CheckpointReply reply,
+                             CheckpointReply::Decode(reply_body));
+      stats.bytes += reply.bytes;
+      stats.nodes += 1;
+      stats.replicated_nodes += reply.replicated;
+    }
   }
   obs_->trace().Emit("net", "cluster_checkpoint", "driver",
                      stats.checkpoint_id,

@@ -29,17 +29,47 @@
 /// watermarks, so output counts stay exact no matter how often the driver
 /// replays.
 ///
+/// The pump has two modes (`DriverOptions::pipelined`, default from
+/// `RHINO_NET_PIPELINE`). Blocking: one batch, one round trip — the
+/// original correctness skeleton. Pipelined: batches stream to all nodes
+/// concurrently through `Transport::CallAsync` under credit-based flow
+/// control — each node has `credit_window` credits, a submit spends one
+/// and its ack returns it, and a submitter with no credit BLOCKS
+/// (backpressure, never unbounded buffering). Per-node submission order
+/// is still cursor order, which the channel turns into per-node FIFO
+/// apply — that is what keeps replay watermarks safe. On any error the
+/// pump drains its window and leaves every cursor unmoved, so the next
+/// pump replays the whole range and nodes dedup.
+///
 /// Single-threaded by design — every method must be called from one
 /// coordinating thread, mirroring how the paper's coordinator serializes
-/// reconfigurations.
+/// reconfigurations. (Completion callbacks run on transport threads, but
+/// they only touch the pump's own synchronized scratch state.)
 
 namespace rhino::net {
+
+struct DriverOptions {
+  /// Pipelined pump + concurrent checkpoint broadcast when true; the
+  /// blocking batch-at-a-time path when false. Defaults to the
+  /// `RHINO_NET_PIPELINE` toggle so one env var flips a whole deployment
+  /// (nodes read the same toggle for continuous replication).
+  bool pipelined = NetPipelineEnabled();
+  /// Credits (max batches in flight) per node during a pipelined pump.
+  uint32_t credit_window = 16;
+};
 
 struct PumpStats {
   uint64_t batches_sent = 0;
   uint64_t records_sent = 0;
   uint64_t applied = 0;
   uint64_t deduped = 0;
+  /// Wall-clock duration of this Pump() call, both modes.
+  double wall_s = 0;
+  /// Pipelined mode: submits that had to wait for a credit (backpressure
+  /// events), and the in-flight high-water marks actually reached.
+  uint64_t credit_stalls = 0;
+  uint32_t max_inflight = 0;                        ///< cluster-wide
+  std::map<uint32_t, uint32_t> node_inflight_hwm;   ///< per node id
 };
 
 struct CheckpointStats {
@@ -53,7 +83,11 @@ class ClusterDriver {
  public:
   /// `endpoints[i]` is node i's address under `transport`.
   ClusterDriver(Transport* transport, std::vector<std::string> endpoints,
-                obs::Observability* obs = nullptr);
+                obs::Observability* obs = nullptr,
+                DriverOptions options = DriverOptions());
+
+  /// Mutable between operations (benches sweep the credit window).
+  DriverOptions& options() { return options_; }
 
   // ------------------------------------------------------------ topology --
 
@@ -127,6 +161,9 @@ class ClusterDriver {
   Status Call(uint32_t node, MessageType type, std::string_view body,
               std::string* reply);
 
+  Result<PumpStats> PumpBlocking();
+  Result<PumpStats> PumpPipelined();
+
   /// Next live node after `node` on the ring (the replica holder).
   Result<uint32_t> NextAlive(uint32_t node) const;
 
@@ -143,6 +180,7 @@ class ClusterDriver {
   std::vector<std::string> endpoints_;
   std::vector<bool> alive_;
   obs::Observability* obs_;
+  DriverOptions options_;
 
   std::map<std::string, OpRouting> routing_;
   std::vector<const broker::PartitionSource*> partitions_;

@@ -1,5 +1,7 @@
 #include "net/node_server.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -7,6 +9,13 @@
 #include "rhino/checkpoint_storage.h"
 
 namespace rhino::net {
+
+namespace {
+/// Pacing between retries after a stream failure: without it a dead
+/// successor turns the replicator into a busy loop (loopback Call and a
+/// broken channel Submit both fail instantly).
+constexpr auto kReplErrorPacing = std::chrono::milliseconds(20);
+}  // namespace
 
 std::string CheckpointImagePath(const std::string& ckpt_dir,
                                 uint32_t origin_node, const std::string& op) {
@@ -19,10 +28,38 @@ NodeServer::NodeServer(lsm::Env* env, Transport* transport,
     : env_(env),
       transport_(transport),
       options_(std::move(options)),
-      obs_(obs != nullptr ? obs : obs::Observability::Default()) {}
+      obs_(obs != nullptr ? obs : obs::Observability::Default()) {
+  if (options_.continuous_replication && transport_ != nullptr) {
+    replicating_ = true;
+    replicator_ = std::thread([this] { ReplicatorLoop(); });
+  }
+}
+
+NodeServer::~NodeServer() { StopReplication(); }
+
+void NodeServer::StopReplication() {
+  {
+    std::lock_guard<std::mutex> lock(repl_->mu);
+    repl_->stop = true;
+  }
+  repl_->work_cv.notify_all();
+  repl_->barrier_cv.notify_all();
+  if (replicator_.joinable()) replicator_.join();
+}
 
 Result<std::string> NodeServer::Handle(MessageType type,
                                        std::string_view body) {
+  if (type == MessageType::kCheckpoint) {
+    // Manages its own locking: the barrier must wait with mu_ released so
+    // the replicator can drain the stream.
+    return HandleCheckpoint(body);
+  }
+  if (type == MessageType::kProcessBatch && options_.apply_delay_us > 0) {
+    // Emulated service latency (bench seam) — outside mu_ so it models a
+    // slow link, not a held lock.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.apply_delay_us));
+  }
   std::lock_guard<std::mutex> lock(mu_);
   switch (type) {
     case MessageType::kHello:
@@ -32,7 +69,7 @@ Result<std::string> NodeServer::Handle(MessageType type,
     case MessageType::kProcessBatch:
       return HandleProcessBatch(body);
     case MessageType::kCheckpoint:
-      return HandleCheckpoint(body);
+      break;  // dispatched above
     case MessageType::kExtractVnodes:
       return HandleExtractVnodes(body);
     case MessageType::kIngestVnodes:
@@ -72,6 +109,19 @@ Result<std::string> NodeServer::HandleHello(std::string_view body) {
   successor_ = req.successor;
   RHINO_RETURN_NOT_OK(env_->CreateDir(options_.data_dir));
   RHINO_RETURN_NOT_OK(env_->CreateDir(options_.ckpt_dir));
+  if (replicating_) {
+    // The ring (re)formed: forget the old successor's failures and
+    // re-baseline — everything owned ships again so the NEW successor
+    // holds a complete replica, not just future deltas.
+    {
+      std::lock_guard<std::mutex> lock(repl_->mu);
+      repl_->error = Status::OK();
+    }
+    for (const auto& [op, shard] : shards_) {
+      MarkReplDirty(op, shard.owned);
+    }
+    repl_->work_cv.notify_all();
+  }
   return std::string();
 }
 
@@ -105,6 +155,10 @@ Result<std::string> NodeServer::HandleAddOperator(std::string_view body) {
   shard.num_vnodes = req.num_vnodes;
   shard.owned.insert(req.owned_vnodes.begin(), req.owned_vnodes.end());
   shards_.emplace(req.name, std::move(shard));
+  // Baseline the stream: even before any traffic, the successor should
+  // hold an (empty-state) replica of every owned vnode, so promotion
+  // works for a node killed right after setup.
+  MarkReplDirty(req.name, req.owned_vnodes);
   return std::string();
 }
 
@@ -145,6 +199,7 @@ Result<std::string> NodeServer::HandleProcessBatch(std::string_view body) {
     uint64_t& mark = shard->watermarks[vnode][source];
     if (offset + 1 > mark) mark = offset + 1;
   }
+  MarkReplDirty(req.op, advanced);
   shard->applied += reply.applied;
   shard->deduped += reply.deduped;
   std::string out;
@@ -200,6 +255,9 @@ Status NodeServer::Absorb(const std::string& op,
       shard->watermarks.erase(vnode);
     }
   }
+  // Newly absorbed vnodes are writes this node's OWN successor has not
+  // seen yet.
+  MarkReplDirty(op, wanted);
   return Status::OK();
 }
 
@@ -210,30 +268,44 @@ Result<std::string> NodeServer::HandleCheckpoint(std::string_view body) {
   }
   CheckpointReply reply;
   reply.checkpoint_id = ev.id;
-  for (auto& [op, shard] : shards_) {
-    std::vector<uint32_t> owned(shard.owned.begin(), shard.owned.end());
-    RHINO_ASSIGN_OR_RETURN(rhino::ReplicaState rs,
-                           Snapshot(op, &shard, owned, ev.id));
-    std::string image;
-    rhino::EncodeReplicaState(rs, &image);
-    reply.bytes += image.size();
-    ++reply.operators;
-    // Durable image first (the "DFS" copy), then the chain hop: a crash
-    // between the two leaves at least the image restorable.
-    RHINO_RETURN_NOT_OK(rhino::WriteCheckpointImage(
-        env_, CheckpointImagePath(options_.ckpt_dir, node_id_.load(), op),
-        rs));
-    if (!successor_.empty() && transport_ != nullptr) {
-      ReplicateStateRequest rep;
-      rep.origin_node = node_id_.load();
-      rep.op = op;
-      rep.replica = std::move(image);
-      std::string rep_body;
-      rep.EncodeTo(&rep_body);
-      RHINO_RETURN_NOT_OK(transport_->Call(
-          successor_, MessageType::kReplicateState, rep_body, nullptr));
-      reply.replicated = 1;
+  bool want_barrier = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [op, shard] : shards_) {
+      std::vector<uint32_t> owned(shard.owned.begin(), shard.owned.end());
+      RHINO_ASSIGN_OR_RETURN(rhino::ReplicaState rs,
+                             Snapshot(op, &shard, owned, ev.id));
+      std::string image;
+      rhino::EncodeReplicaState(rs, &image);
+      reply.bytes += image.size();
+      ++reply.operators;
+      // Durable image first (the "DFS" copy), then the chain hop: a crash
+      // between the two leaves at least the image restorable.
+      RHINO_RETURN_NOT_OK(rhino::WriteCheckpointImage(
+          env_, CheckpointImagePath(options_.ckpt_dir, node_id_.load(), op),
+          rs));
+      if (!replicating_ && !successor_.empty() && transport_ != nullptr) {
+        // Sync mode: the full image hops the chain inside the barrier —
+        // checkpoint cost scales with total state volume.
+        ReplicateStateRequest rep;
+        rep.origin_node = node_id_.load();
+        rep.op = op;
+        rep.replica = std::move(image);
+        std::string rep_body;
+        rep.EncodeTo(&rep_body);
+        RHINO_RETURN_NOT_OK(transport_->Call(
+            successor_, MessageType::kReplicateState, rep_body, nullptr));
+        reply.replicated = 1;
+      }
     }
+    want_barrier = replicating_ && !successor_.empty();
+  }
+  if (want_barrier) {
+    // Continuous mode: replication already streamed in the background;
+    // the barrier only waits for the stream to drain (sequence-number
+    // barrier), independent of how much state the deltas carried.
+    RHINO_RETURN_NOT_OK(WaitReplicationBarrier());
+    reply.replicated = 1;
   }
   obs_->trace().Emit("net", "node_checkpoint",
                      "node" + std::to_string(node_id_.load()), ev.id,
@@ -297,6 +369,22 @@ Result<std::string> NodeServer::HandleDropVnodes(std::string_view body) {
     shard->owned.erase(vnode);
     shard->watermarks.erase(vnode);
   }
+  if (replicating_ && !req.vnodes.empty()) {
+    // Dropped vnodes become stream tombstones: the successor must purge
+    // them from its replica, or a later promotion would resurrect state
+    // that was handed to another node (double counting).
+    {
+      std::lock_guard<std::mutex> lock(repl_->mu);
+      auto dit = repl_->dirty.find(req.op);
+      if (dit != repl_->dirty.end()) {
+        for (uint32_t vnode : req.vnodes) dit->second.erase(vnode);
+        if (dit->second.empty()) repl_->dirty.erase(dit);
+      }
+      auto& tomb = repl_->dropped[req.op];
+      tomb.insert(req.vnodes.begin(), req.vnodes.end());
+    }
+    repl_->work_cv.notify_all();
+  }
   return std::string();
 }
 
@@ -305,7 +393,44 @@ Result<std::string> NodeServer::HandleReplicateState(std::string_view body) {
                          ReplicateStateRequest::Decode(body));
   RHINO_ASSIGN_OR_RETURN(rhino::ReplicaState rs,
                          rhino::DecodeReplicaState(req.replica));
-  replicas_[{req.origin_node, req.op}] = std::move(rs);
+  if (req.delta == 0) {
+    // Full image (sync-mode checkpoint hop): wholesale replace.
+    replicas_[{req.origin_node, req.op}] = std::move(rs);
+    return std::string();
+  }
+  // Streamed delta: merge per vnode. The channel delivers deltas in
+  // stream order, so last-writer-wins per vnode is exactly the origin's
+  // latest snapshot of it.
+  auto& dst = replicas_[{req.origin_node, req.op}];
+  if (rs.latest_checkpoint_id > dst.latest_checkpoint_id) {
+    dst.latest_checkpoint_id = rs.latest_checkpoint_id;
+    dst.latest_descriptor.checkpoint_id = rs.latest_descriptor.checkpoint_id;
+  }
+  dst.latest_descriptor.operator_name = rs.latest_descriptor.operator_name;
+  dst.latest_descriptor.instance_id = rs.latest_descriptor.instance_id;
+  // desc.vnode_bytes names every vnode the delta carries (a blob may be
+  // absent when the vnode's state is empty — then the replica's copy is
+  // cleared, not kept).
+  for (const auto& [vnode, bytes] : rs.latest_descriptor.vnode_bytes) {
+    dst.latest_descriptor.vnode_bytes[vnode] = bytes;
+    auto marks = rs.latest_descriptor.vnode_watermarks.find(vnode);
+    if (marks != rs.latest_descriptor.vnode_watermarks.end()) {
+      dst.latest_descriptor.vnode_watermarks[vnode] = marks->second;
+    } else {
+      dst.latest_descriptor.vnode_watermarks.erase(vnode);
+    }
+    auto blob = rs.vnode_blobs.find(vnode);
+    if (blob != rs.vnode_blobs.end()) {
+      dst.vnode_blobs[vnode] = std::move(blob->second);
+    } else {
+      dst.vnode_blobs.erase(vnode);
+    }
+  }
+  for (uint32_t vnode : req.dropped_vnodes) {
+    dst.vnode_blobs.erase(vnode);
+    dst.latest_descriptor.vnode_bytes.erase(vnode);
+    dst.latest_descriptor.vnode_watermarks.erase(vnode);
+  }
   return std::string();
 }
 
@@ -371,9 +496,199 @@ Result<std::string> NodeServer::HandleStats() {
     reply.state_bytes += shard.backend->SizeBytes();
   }
   reply.replicas_held = replicas_.size();
+  {
+    std::lock_guard<std::mutex> lock(repl_->mu);
+    for (const auto& [op, set] : repl_->dirty) reply.repl_dirty += set.size();
+    for (const auto& [op, set] : repl_->dropped) {
+      reply.repl_dirty += set.size();
+    }
+    reply.repl_inflight = repl_->inflight;
+    reply.repl_stream_seq = repl_->stream_seq;
+    reply.repl_shipped = repl_->shipped;
+  }
   std::string out;
   reply.EncodeTo(&out);
   return out;
+}
+
+void NodeServer::ReplicatorLoop() {
+  // The loop holds repl_->mu only for bookkeeping and mu_ only while
+  // snapshotting; the actual ship is an async submit, so writers are
+  // never blocked behind the network.
+  auto repl = repl_;
+  while (true) {
+    std::string op;
+    std::vector<uint32_t> vnodes;
+    std::vector<uint32_t> dropped;
+    bool paced = false;
+    {
+      std::unique_lock<std::mutex> lock(repl->mu);
+      repl->work_cv.wait(lock, [&] {
+        return repl->stop ||
+               ((!repl->dirty.empty() || !repl->dropped.empty()) &&
+                repl->inflight < options_.repl_credit_window);
+      });
+      if (repl->stop) return;
+      op = !repl->dirty.empty() ? repl->dirty.begin()->first
+                                : repl->dropped.begin()->first;
+      auto dit = repl->dirty.find(op);
+      if (dit != repl->dirty.end()) {
+        vnodes.assign(dit->second.begin(), dit->second.end());
+        repl->dirty.erase(dit);
+      }
+      auto tit = repl->dropped.find(op);
+      if (tit != repl->dropped.end()) {
+        dropped.assign(tit->second.begin(), tit->second.end());
+        repl->dropped.erase(tit);
+      }
+      ++repl->inflight;  // credit spent before the lock drops
+      paced = !repl->error.ok();
+    }
+    if (paced) {
+      // Last ship failed (dead successor until the ring re-forms): retry,
+      // but not in a busy loop.
+      std::this_thread::sleep_for(kReplErrorPacing);
+      std::lock_guard<std::mutex> lock(repl->mu);
+      if (repl->stop) {
+        --repl->inflight;
+        return;
+      }
+    }
+    // Snapshot a consistent delta under mu_: each vnode's blob and its
+    // replay watermarks are captured together, so a promoted replica
+    // resumes dedup exactly where its state stopped.
+    ReplicateStateRequest req;
+    std::string successor;
+    Status failure;
+    bool have = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      successor = successor_;
+      if (!successor.empty()) {
+        auto it = shards_.find(op);
+        std::vector<uint32_t> live;
+        if (it != shards_.end()) {
+          for (uint32_t vnode : vnodes) {
+            // A vnode dirtied then handed away ships as a tombstone, not
+            // as state.
+            if (it->second.owned.count(vnode)) live.push_back(vnode);
+          }
+        }
+        if (!live.empty() || !dropped.empty()) {
+          uint64_t seq;
+          {
+            std::lock_guard<std::mutex> rlock(repl->mu);
+            seq = ++repl->stream_seq;
+          }
+          rhino::ReplicaState rs;
+          if (!live.empty()) {
+            auto snap = Snapshot(op, &it->second, live, seq);
+            if (!snap.ok()) {
+              failure = snap.status();
+            } else {
+              rs = std::move(snap).MoveValue();
+            }
+          } else {
+            rs.latest_checkpoint_id = seq;
+            rs.latest_descriptor.checkpoint_id = seq;
+            rs.latest_descriptor.operator_name = op;
+            rs.latest_descriptor.instance_id = node_id_.load();
+          }
+          if (failure.ok()) {
+            req.origin_node = node_id_.load();
+            req.op = op;
+            rhino::EncodeReplicaState(rs, &req.replica);
+            req.stream_seq = seq;
+            req.delta = 1;
+            req.dropped_vnodes = dropped;
+            have = true;
+          }
+        }
+      }
+    }
+    if (!have) {
+      // Nothing to ship (no successor, or the vnodes all moved away) or
+      // the snapshot failed. Return the credit; re-mark on failure.
+      std::lock_guard<std::mutex> lock(repl->mu);
+      --repl->inflight;
+      if (!failure.ok()) {
+        repl->error = failure;
+        repl->dirty[op].insert(vnodes.begin(), vnodes.end());
+        if (!dropped.empty()) {
+          repl->dropped[op].insert(dropped.begin(), dropped.end());
+        }
+      }
+      repl->work_cv.notify_all();
+      repl->barrier_cv.notify_all();
+      continue;
+    }
+    std::string req_body;
+    req.EncodeTo(&req_body);
+    // The callback captures only the shared stream block (+ the work it
+    // would have to re-mark): the transport may run it after this
+    // NodeServer is gone.
+    Status submitted = transport_->CallAsync(
+        successor, MessageType::kReplicateState, std::move(req_body),
+        [repl, op, vnodes, dropped](Status st, std::string /*reply*/) {
+          {
+            std::lock_guard<std::mutex> lock(repl->mu);
+            --repl->inflight;
+            if (st.ok()) {
+              ++repl->shipped;
+              repl->error = Status::OK();
+            } else {
+              // Unacked work goes back on the stream; a waiting barrier
+              // fails fast on the sticky error.
+              repl->error = st;
+              repl->dirty[op].insert(vnodes.begin(), vnodes.end());
+              if (!dropped.empty()) {
+                repl->dropped[op].insert(dropped.begin(), dropped.end());
+              }
+            }
+          }
+          repl->work_cv.notify_all();
+          repl->barrier_cv.notify_all();
+        });
+    if (!submitted.ok()) {
+      // Never handed to the transport — the callback will not run.
+      {
+        std::lock_guard<std::mutex> lock(repl->mu);
+        --repl->inflight;
+        repl->error = submitted;
+        repl->dirty[op].insert(vnodes.begin(), vnodes.end());
+        if (!dropped.empty()) {
+          repl->dropped[op].insert(dropped.begin(), dropped.end());
+        }
+      }
+      repl->work_cv.notify_all();
+      repl->barrier_cv.notify_all();
+    }
+  }
+}
+
+Status NodeServer::WaitReplicationBarrier() {
+  auto repl = repl_;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.barrier_timeout_ms);
+  std::unique_lock<std::mutex> lock(repl->mu);
+  bool done = repl->barrier_cv.wait_until(lock, deadline, [&] {
+    return repl->stop || !repl->error.ok() ||
+           (repl->dirty.empty() && repl->dropped.empty() &&
+            repl->inflight == 0);
+  });
+  if (!repl->error.ok()) {
+    return Status(repl->error.code(),
+                  "replication stream to successor failed: " +
+                      repl->error.ToString());
+  }
+  if (repl->stop) return Status::Aborted("node stopping");
+  if (!done) {
+    return Status::TimedOut("replication barrier: stream not drained after " +
+                            std::to_string(options_.barrier_timeout_ms) +
+                            "ms");
+  }
+  return Status::OK();
 }
 
 }  // namespace rhino::net

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -8,7 +9,9 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "lsm/env.h"
@@ -34,11 +37,20 @@
 ///    with the same `ApplyKeyedCount` kernel the thread-mode
 ///    `KeyedCounterOperator` uses; records below a vnode's replay
 ///    watermark are deduplicated (exactly-once under replay);
+///  * **replication** — in continuous mode (the default), every write
+///    marks its vnode dirty and a background replicator streams
+///    per-vnode deltas (state blob + replay watermarks, captured
+///    atomically) to the ring successor as pipelined `kReplicateState`
+///    requests under a small credit window — Rhino's state-centric
+///    replication as a continuous ordered stream, off the checkpoint
+///    path. In sync mode (`RHINO_NET_PIPELINE=0`) replication instead
+///    happens inside `kCheckpoint` as a blocking full-image hop;
 ///  * **checkpoint** — `kCheckpoint` snapshots every shard (vnode blobs +
-///    watermarks), persists a framed image to the shared checkpoint
-///    directory (the DFS stand-in), and chain-replicates the image to the
-///    ring successor (`kReplicateState`) — Rhino's state-centric
-///    replication between real processes;
+///    watermarks) and persists a framed image to the shared checkpoint
+///    directory (the DFS stand-in). Continuous mode then shrinks the
+///    barrier to "durable image + wait for the replication stream to
+///    drain" (a sequence-number barrier), so checkpoint cost no longer
+///    scales with replication traffic volume;
 ///  * **handover** — `kExtractVnodes` / `kIngestVnodes` / `kDropVnodes`
 ///    implement the origin and target halves of a live migration, moving
 ///    state *and* dedup watermarks;
@@ -46,10 +58,14 @@
 ///    into live state; `kRestoreFromCheckpoint` does the same from the
 ///    durable image when no replica survived (the RhinoDFS fallback).
 ///
-/// Thread safety: one mutex serializes all verbs, so every checkpoint or
-/// extraction observes a consistent shard. The driver sequences
-/// cluster-wide operations, so the blocking successor RPC inside
-/// `kCheckpoint` cannot form a lock cycle.
+/// Thread safety: one mutex (`mu_`) serializes all verbs, so every
+/// checkpoint or extraction observes a consistent shard. The replicator
+/// thread takes `mu_` only while building a delta snapshot; stream
+/// bookkeeping lives under the separate `ReplStream::mu` (lock order:
+/// `mu_` before `ReplStream::mu`, never the reverse). `kCheckpoint`
+/// releases `mu_` before waiting on the stream barrier, so the
+/// replicator can drain while the barrier waits — the one place a cycle
+/// could otherwise form.
 
 namespace rhino::net {
 
@@ -60,6 +76,23 @@ struct NodeServerOptions {
   /// Shared checkpoint directory (all nodes + driver see the same files;
   /// stands in for a DFS).
   std::string ckpt_dir;
+  /// Continuous background replication (dirty-vnode deltas stream to the
+  /// successor; checkpoints barrier on stream drain) vs legacy
+  /// synchronous full-image shipping inside kCheckpoint. Defaults to the
+  /// cluster-wide `RHINO_NET_PIPELINE` toggle.
+  bool continuous_replication = NetPipelineEnabled();
+  /// Deltas in flight to the successor before the replicator waits for
+  /// acks (the stream's own credit window).
+  uint32_t repl_credit_window = 2;
+  /// Upper bound on the checkpoint barrier's wait for stream drain.
+  int barrier_timeout_ms = 10'000;
+  /// Bench seam: emulated service latency (sleep, microseconds) per
+  /// kProcessBatch, taken BEFORE the server lock. Loopback on a small
+  /// host hides the round-trip structure real deployments have (network
+  /// hops, remote storage); `bench/dist_pipeline` reintroduces it in a
+  /// controlled way to measure how much of it each pump mode hides.
+  /// Always 0 outside benches.
+  int apply_delay_us = 0;
 };
 
 /// Path of the durable checkpoint image `origin_node` writes for `op`.
@@ -74,6 +107,17 @@ class NodeServer {
   /// replication is disabled (single-node clusters).
   NodeServer(lsm::Env* env, Transport* transport, NodeServerOptions options,
              obs::Observability* obs = nullptr);
+
+  /// Joins the replicator thread (continuous mode). In-flight
+  /// kReplicateState callbacks only touch the shared stream block, so a
+  /// transport may complete them after the node is gone.
+  ~NodeServer();
+
+  /// Stops the replication stream and joins its thread. Idempotent; the
+  /// destructor calls it. Tests with in-process clusters call it on all
+  /// nodes before tearing any node down, so no replicator is mid-call
+  /// into a dying peer.
+  void StopReplication();
 
   /// Dispatches one request; the returned string is the reply body. Safe
   /// to call concurrently (internal lock).
@@ -103,6 +147,27 @@ class NodeServer {
     uint64_t deduped = 0;
   };
 
+  /// Bookkeeping of the continuous replication stream, shared between the
+  /// verb handlers (which mark vnodes dirty), the replicator thread, the
+  /// checkpoint barrier, and the transport completion callbacks. Held by
+  /// shared_ptr so a late callback outliving the NodeServer stays safe.
+  struct ReplStream {
+    std::mutex mu;
+    std::condition_variable work_cv;     ///< replicator: work or credit
+    std::condition_variable barrier_cv;  ///< checkpoint barrier waiters
+    /// op -> vnodes with unshipped writes.
+    std::map<std::string, std::set<uint32_t>> dirty;
+    /// op -> vnodes dropped (handover) but not yet tombstoned downstream.
+    std::map<std::string, std::set<uint32_t>> dropped;
+    uint64_t stream_seq = 0;  ///< last delta sequence number assigned
+    uint64_t shipped = 0;     ///< deltas acked by the successor
+    uint32_t inflight = 0;    ///< deltas submitted, not yet acked
+    /// Last stream failure; sticky until a delta succeeds or kHello
+    /// re-forms the ring. A waiting barrier fails fast on it.
+    Status error;
+    bool stop = false;
+  };
+
   Result<std::string> HandleHello(std::string_view body);
   Result<std::string> HandleAddOperator(std::string_view body);
   Result<std::string> HandleProcessBatch(std::string_view body);
@@ -129,6 +194,29 @@ class NodeServer {
   Status Absorb(const std::string& op, const rhino::ReplicaState& rs,
                 const std::vector<uint32_t>& vnodes, bool already_durable);
 
+  /// Marks `vnodes` of `op` dirty on the replication stream. Caller holds
+  /// `mu_`; no-op unless continuous replication is running.
+  template <typename Container>
+  void MarkReplDirty(const std::string& op, const Container& vnodes) {
+    if (!replicating_ || vnodes.empty()) return;
+    {
+      std::lock_guard<std::mutex> lock(repl_->mu);
+      auto& set = repl_->dirty[op];
+      set.insert(vnodes.begin(), vnodes.end());
+    }
+    repl_->work_cv.notify_all();
+  }
+
+  /// Body of the replicator thread: pops one operator's dirty/dropped
+  /// vnodes, snapshots a consistent delta under `mu_`, and streams it to
+  /// the successor under the credit window.
+  void ReplicatorLoop();
+
+  /// Blocks (with `mu_` RELEASED) until the stream has drained — dirty
+  /// and dropped empty, nothing in flight — or fails on a sticky stream
+  /// error / the configured timeout.
+  Status WaitReplicationBarrier();
+
   lsm::Env* env_;
   Transport* transport_;
   NodeServerOptions options_;
@@ -141,7 +229,15 @@ class NodeServer {
   std::string successor_;  ///< replication successor endpoint ("" = off)
   std::map<std::string, Shard> shards_;
   /// Replica catalog: (origin node, op) -> latest chain-replicated image.
+  /// Continuous mode merges per-vnode deltas into it; sync mode replaces
+  /// it wholesale at each checkpoint.
   std::map<std::pair<uint32_t, std::string>, rhino::ReplicaState> replicas_;
+
+  /// True when the replicator thread was started (continuous mode with a
+  /// transport); constant after construction.
+  bool replicating_ = false;
+  std::shared_ptr<ReplStream> repl_ = std::make_shared<ReplStream>();
+  std::thread replicator_;
 };
 
 }  // namespace rhino::net

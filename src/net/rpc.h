@@ -84,6 +84,10 @@ struct RpcClientOptions {
   /// Whole-call retry budget. Small so the driver detects a dead node in
   /// well under a second of backoff.
   runtime::RetryOptions retry;
+  /// In-flight window per endpoint for the pipelined path
+  /// (`Transport::CallAsync` via `PipelinedChannel`); the blocking `Call`
+  /// path ignores it.
+  uint32_t pipeline_window = 32;
 };
 
 /// Client side: one connection, one outstanding call at a time (guarded by

@@ -71,8 +71,7 @@ Result<Socket> Socket::Connect(const std::string& host, uint16_t port) {
     return Status::IOError(
         Errno("connect " + host + ":" + std::to_string(port)));
   }
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  RHINO_RETURN_NOT_OK(sock.SetNoDelay(true));
   return sock;
 }
 
@@ -88,9 +87,25 @@ Result<Socket> Socket::Accept() const {
     return Status::IOError(Errno("accept"));
   }
   Socket sock(fd);
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  RHINO_RETURN_NOT_OK(sock.SetNoDelay(true));
   return sock;
+}
+
+Status Socket::SetNoDelay(bool enable) {
+  int flag = enable ? 1 : 0;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag)) != 0) {
+    return Status::IOError(Errno("setsockopt(TCP_NODELAY)"));
+  }
+  return Status::OK();
+}
+
+bool Socket::nodelay() const {
+  int flag = 0;
+  socklen_t len = sizeof(flag);
+  if (::getsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &flag, &len) != 0) {
+    return false;
+  }
+  return flag != 0;
 }
 
 Status Socket::SetRecvTimeout(int timeout_ms) {

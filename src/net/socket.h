@@ -52,6 +52,17 @@ class Socket {
   /// Caps how long a blocking read (or accept) waits. 0 disables.
   Status SetRecvTimeout(int timeout_ms);
 
+  /// Toggles TCP_NODELAY. The data plane exchanges small request/reply
+  /// frames where Nagle's algorithm would serialize every exchange behind
+  /// a delayed ACK, so `Connect` and `Accept` enable it on every
+  /// connection they produce; this seam exists so callers (and tests) can
+  /// assert or override the setting.
+  Status SetNoDelay(bool enable);
+
+  /// Reads TCP_NODELAY back from the kernel (false on any error), so
+  /// tests assert the option really reached the socket.
+  bool nodelay() const;
+
   /// Writes all of `data` (loops over partial sends, EINTR-safe). A broken
   /// pipe or reset is `IOError`.
   Status WriteAll(std::string_view data);

@@ -27,9 +27,49 @@ Status TcpTransport::Call(const std::string& endpoint, MessageType type,
   return client->Call(type, body, reply_body);
 }
 
+Status TcpTransport::CallAsync(const std::string& endpoint, MessageType type,
+                               std::string body, AsyncCallback cb) {
+  PipelinedChannel* channel = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = channels_.find(endpoint);
+    if (it == channels_.end()) {
+      std::string host;
+      uint16_t port = 0;
+      RHINO_RETURN_NOT_OK(ParseEndpoint(endpoint, &host, &port));
+      PipelinedChannelOptions opts;
+      opts.window = options_.pipeline_window;
+      opts.deadline_ms = options_.recv_timeout_ms;
+      opts.retry = options_.retry;
+      it = channels_
+               .emplace(endpoint, std::make_unique<PipelinedChannel>(
+                                      host, port, opts,
+                                      "pipelined_call:" + endpoint))
+               .first;
+    }
+    channel = it->second.get();
+  }
+  // The channel handles its own backpressure; holding mu_ across Submit
+  // would couple windows of DIFFERENT endpoints. Safe because channels
+  // are only destroyed by Forget, which callers order after draining
+  // their in-flight work for that endpoint.
+  return channel->Submit(type, std::move(body), std::move(cb));
+}
+
 void TcpTransport::Forget(const std::string& endpoint) {
-  std::lock_guard<std::mutex> lock(mu_);
-  clients_.erase(endpoint);
+  std::unique_ptr<PipelinedChannel> channel;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    clients_.erase(endpoint);
+    auto it = channels_.find(endpoint);
+    if (it != channels_.end()) {
+      channel = std::move(it->second);
+      channels_.erase(it);
+    }
+  }
+  // Destroyed outside mu_: Close() invokes pending callbacks, which must
+  // not deadlock against other transport calls.
+  channel.reset();
 }
 
 void LoopbackTransport::Register(const std::string& endpoint,

@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "net/pipeline.h"
 #include "net/rpc.h"
 #include "net/wire.h"
 
@@ -33,18 +34,44 @@ class Transport {
  public:
   virtual ~Transport() = default;
 
+  /// Completion of one asynchronous call: transport or application
+  /// status plus the reply body.
+  using AsyncCallback = std::function<void(Status, std::string)>;
+
   /// Issues one RPC to `endpoint`. Application errors come back from the
   /// remote handler; unreachable/dead endpoints surface as transient
   /// transport errors (`IOError`/`TimedOut`).
   virtual Status Call(const std::string& endpoint, MessageType type,
                       std::string_view body, std::string* reply_body) = 0;
 
+  /// Pipelined variant: submits the request and completes through `cb`
+  /// (possibly on another thread, possibly out of submission order
+  /// across endpoints). Per endpoint, requests are DELIVERED in
+  /// submission order — callers rely on that for replay-watermark
+  /// correctness. May block for backpressure (bounded in-flight window);
+  /// a non-OK return means the request was never submitted and `cb` will
+  /// not run.
+  ///
+  /// The default implementation completes synchronously on the calling
+  /// thread via `Call` — loopback transports inherit it, keeping
+  /// in-process tests deterministic while exercising the same call
+  /// sites.
+  virtual Status CallAsync(const std::string& endpoint, MessageType type,
+                           std::string body, AsyncCallback cb) {
+    std::string reply;
+    Status st = Call(endpoint, type, body, &reply);
+    cb(st, std::move(reply));
+    return Status::OK();
+  }
+
   /// Drops any cached connection to `endpoint` (after a peer restart).
+  /// Pending pipelined requests to it fail with `Aborted`.
   virtual void Forget(const std::string& /*endpoint*/) {}
 };
 
-/// Real sockets. Caches one `RpcClient` per endpoint; clients already
-/// reconnect-with-backoff internally, so `Call` here is a thin lookup.
+/// Real sockets. Caches one `RpcClient` (blocking calls) and one
+/// `PipelinedChannel` (async calls) per endpoint; both reconnect with
+/// backoff internally, so `Call`/`CallAsync` here are thin lookups.
 class TcpTransport : public Transport {
  public:
   explicit TcpTransport(RpcClientOptions options = {})
@@ -52,12 +79,15 @@ class TcpTransport : public Transport {
 
   Status Call(const std::string& endpoint, MessageType type,
               std::string_view body, std::string* reply_body) override;
+  Status CallAsync(const std::string& endpoint, MessageType type,
+                   std::string body, AsyncCallback cb) override;
   void Forget(const std::string& endpoint) override;
 
  private:
   RpcClientOptions options_;
   std::mutex mu_;
   std::map<std::string, std::unique_ptr<RpcClient>> clients_;
+  std::map<std::string, std::unique_ptr<PipelinedChannel>> channels_;
 };
 
 /// In-process table of endpoint -> handler. `Call` invokes the handler on

@@ -1,11 +1,17 @@
 #include "net/wire.h"
 
+#include <cstdlib>
 #include <memory>
 #include <utility>
 
 #include "common/serde.h"
 
 namespace rhino::net {
+
+bool NetPipelineEnabled() {
+  const char* v = std::getenv("RHINO_NET_PIPELINE");
+  return v == nullptr || std::string_view(v) != "0";
+}
 
 namespace {
 
@@ -14,6 +20,17 @@ namespace {
 Status CheckAtEnd(const BinaryReader& r, const char* what) {
   if (!r.AtEnd()) {
     return Status::Corruption(std::string("trailing bytes after ") + what);
+  }
+  return Status::OK();
+}
+
+Status CheckVersion(BinaryReader* r, const char* what) {
+  uint8_t version = 0;
+  RHINO_RETURN_NOT_OK(r->GetU8(&version));
+  if (version != kWireVersion) {
+    return Status::Corruption(std::string(what) + " has wire version " +
+                              std::to_string(version) + ", expected " +
+                              std::to_string(kWireVersion));
   }
   return Status::OK();
 }
@@ -63,6 +80,7 @@ const char* MessageTypeName(MessageType type) {
 void RequestEnvelope::EncodeTo(std::string* out) const {
   BinaryWriter w(out);
   w.PutU8(static_cast<uint8_t>(type));
+  w.PutU8(kWireVersion);
   w.PutU64(seq);
   out->append(body);
 }
@@ -76,6 +94,7 @@ Result<RequestEnvelope> RequestEnvelope::Decode(std::string_view data) {
     return Status::Corruption("unknown request type " + std::to_string(type));
   }
   env.type = static_cast<MessageType>(type);
+  RHINO_RETURN_NOT_OK(CheckVersion(&r, "request envelope"));
   RHINO_RETURN_NOT_OK(r.GetU64(&env.seq));
   env.body.assign(data.substr(r.position()));
   return env;
@@ -84,6 +103,7 @@ Result<RequestEnvelope> RequestEnvelope::Decode(std::string_view data) {
 void ReplyEnvelope::EncodeTo(std::string* out) const {
   BinaryWriter w(out);
   w.PutU8(static_cast<uint8_t>(MessageType::kReply));
+  w.PutU8(kWireVersion);
   w.PutU64(seq);
   w.PutU8(static_cast<uint8_t>(code));
   w.PutString(message);
@@ -99,6 +119,7 @@ Result<ReplyEnvelope> ReplyEnvelope::Decode(std::string_view data) {
     return Status::Corruption("reply envelope has type " +
                               std::to_string(type));
   }
+  RHINO_RETURN_NOT_OK(CheckVersion(&r, "reply envelope"));
   RHINO_RETURN_NOT_OK(r.GetU64(&env.seq));
   uint8_t code = 0;
   RHINO_RETURN_NOT_OK(r.GetU8(&code));
@@ -364,6 +385,9 @@ void ReplicateStateRequest::EncodeTo(std::string* out) const {
   w.PutU32(origin_node);
   w.PutString(op);
   w.PutString(replica);
+  w.PutU64(stream_seq);
+  w.PutU8(delta);
+  PutVnodes(&w, dropped_vnodes);
 }
 
 Result<ReplicateStateRequest> ReplicateStateRequest::Decode(
@@ -373,6 +397,9 @@ Result<ReplicateStateRequest> ReplicateStateRequest::Decode(
   RHINO_RETURN_NOT_OK(r.GetU32(&req.origin_node));
   RHINO_RETURN_NOT_OK(r.GetString(&req.op));
   RHINO_RETURN_NOT_OK(r.GetString(&req.replica));
+  RHINO_RETURN_NOT_OK(r.GetU64(&req.stream_seq));
+  RHINO_RETURN_NOT_OK(r.GetU8(&req.delta));
+  RHINO_RETURN_NOT_OK(GetVnodes(&r, &req.dropped_vnodes));
   RHINO_RETURN_NOT_OK(CheckAtEnd(r, "replicate-state request"));
   return req;
 }
@@ -429,6 +456,10 @@ void StatsReply::EncodeTo(std::string* out) const {
   w.PutU64(owned_vnodes);
   w.PutU64(replicas_held);
   w.PutU64(state_bytes);
+  w.PutU64(repl_dirty);
+  w.PutU64(repl_inflight);
+  w.PutU64(repl_stream_seq);
+  w.PutU64(repl_shipped);
 }
 
 Result<StatsReply> StatsReply::Decode(std::string_view data) {
@@ -439,6 +470,10 @@ Result<StatsReply> StatsReply::Decode(std::string_view data) {
   RHINO_RETURN_NOT_OK(r.GetU64(&rep.owned_vnodes));
   RHINO_RETURN_NOT_OK(r.GetU64(&rep.replicas_held));
   RHINO_RETURN_NOT_OK(r.GetU64(&rep.state_bytes));
+  RHINO_RETURN_NOT_OK(r.GetU64(&rep.repl_dirty));
+  RHINO_RETURN_NOT_OK(r.GetU64(&rep.repl_inflight));
+  RHINO_RETURN_NOT_OK(r.GetU64(&rep.repl_stream_seq));
+  RHINO_RETURN_NOT_OK(r.GetU64(&rep.repl_shipped));
   RHINO_RETURN_NOT_OK(CheckAtEnd(r, "stats reply"));
   return rep;
 }

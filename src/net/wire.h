@@ -46,6 +46,21 @@ enum class MessageType : uint8_t {
 
 const char* MessageTypeName(MessageType type);
 
+/// Version byte carried by every envelope, directly after the type byte.
+/// Decoders reject any other value as `Corruption` so a protocol change
+/// fails loudly at the first frame instead of mis-parsing the stream.
+/// Version 1 introduced correlation-id pipelining (out-of-order windows);
+/// version 0 never carried an explicit byte, so 1 is the first value.
+constexpr uint8_t kWireVersion = 1;
+
+/// Reads the `RHINO_NET_PIPELINE` toggle: `0` reverts the data plane to
+/// the blocking batch-at-a-time pump and synchronous checkpoint-time
+/// replication; unset or any other value selects the pipelined pump and
+/// the continuous replication stream. Driver and node consult the same
+/// switch so one environment variable flips both halves of the data
+/// plane (the protocol itself is identical either way).
+bool NetPipelineEnabled();
+
 /// Key -> virtual node mapping of the networked runtime. Driver (routing)
 /// and nodes (ownership checks) must agree, so it lives here.
 inline uint32_t VnodeForKey(uint64_t key, uint32_t num_vnodes) {
@@ -58,7 +73,10 @@ inline uint32_t VnodeForKey(uint64_t key, uint32_t num_vnodes) {
 
 // ----------------------------------------------------------- envelopes --
 
-/// Client -> server: `u8 type | u64 seq | body`.
+/// Client -> server: `u8 type | u8 version | u64 seq | body`. `seq` is
+/// the correlation id: a pipelined client keeps a window of requests in
+/// flight and matches replies back by `seq`, so the server echoes it
+/// verbatim (replies may then arrive out of submission order).
 struct RequestEnvelope {
   MessageType type = MessageType::kReply;
   uint64_t seq = 0;
@@ -68,9 +86,10 @@ struct RequestEnvelope {
   static Result<RequestEnvelope> Decode(std::string_view data);
 };
 
-/// Server -> client: `u8 kReply | u64 seq | u8 code | msg | body`. The
-/// handler's `Status` travels in the envelope so application errors are
-/// distinguishable from transport failures.
+/// Server -> client: `u8 kReply | u8 version | u64 seq | u8 code | msg |
+/// body`. The handler's `Status` travels in the envelope so application
+/// errors are distinguishable from transport failures; `seq` echoes the
+/// request's correlation id.
 struct ReplyEnvelope {
   uint64_t seq = 0;
   StatusCode code = StatusCode::kOk;
@@ -181,13 +200,25 @@ struct VnodeSetRequest {
   static Result<VnodeSetRequest> Decode(std::string_view data);
 };
 
-/// kReplicateState: a chain-replicated checkpoint image from `origin_node`
-/// (`replica` = encoded ReplicaState). The receiver stores it in its
-/// replica catalog; it does NOT touch live state until promoted.
+/// kReplicateState: chain-replicated state from `origin_node` (`replica`
+/// = encoded ReplicaState). The receiver stores it in its replica
+/// catalog; it does NOT touch live state until promoted.
+///
+/// Two shapes share the verb. `delta == 0` is the legacy full image: the
+/// receiver replaces its whole catalog entry (checkpoint-time sync
+/// replication). `delta == 1` is one element of the continuous stream:
+/// `replica` carries only the vnodes that changed since the last delta
+/// (each with its state blob AND replay watermarks, captured atomically
+/// per vnode), `dropped_vnodes` lists vnodes the origin no longer owns
+/// (handover tombstones), and `stream_seq` orders the stream for
+/// observability. The receiver merges vnode-by-vnode.
 struct ReplicateStateRequest {
   uint32_t origin_node = 0;
   std::string op;
   std::string replica;
+  uint64_t stream_seq = 0;
+  uint8_t delta = 0;
+  std::vector<uint32_t> dropped_vnodes;
 
   void EncodeTo(std::string* out) const;
   static Result<ReplicateStateRequest> Decode(std::string_view data);
@@ -228,6 +259,15 @@ struct StatsReply {
   uint64_t owned_vnodes = 0;
   uint64_t replicas_held = 0;
   uint64_t state_bytes = 0;
+  /// Continuous-replication stream health: vnodes dirtied but not yet
+  /// shipped, deltas in flight to the successor, and the stream/acked
+  /// sequence numbers. `repl_dirty == 0 && repl_inflight == 0` means the
+  /// stream is idle (benches poll this to separate steady replication
+  /// from checkpoint-barrier cost).
+  uint64_t repl_dirty = 0;
+  uint64_t repl_inflight = 0;
+  uint64_t repl_stream_seq = 0;
+  uint64_t repl_shipped = 0;
 
   void EncodeTo(std::string* out) const;
   static Result<StatsReply> Decode(std::string_view data);

@@ -206,11 +206,20 @@ TEST_F(MultiProcessClusterTest, CheckpointHandoverSigkillRecoveryExactlyOnce) {
   // watermarks, and replay re-applies wave 4 — survivors dedup it.
   ASSERT_TRUE(driver.RecoverNode(2).ok());
   EXPECT_FALSE(driver.IsAlive(2));
-  EXPECT_LT(driver.cursor(0), partition.end_offset());
+  if (!NetPipelineEnabled()) {
+    // Blocking mode: the replica is frozen at checkpoint #2, so the
+    // cursor must rewind past wave 4 and the replay must re-apply it. In
+    // continuous mode the stream may have made the replica current
+    // before the SIGKILL, leaving nothing to rewind — the exact counts
+    // below are the invariant that holds either way.
+    EXPECT_LT(driver.cursor(0), partition.end_offset());
+  }
   auto replayed = driver.Pump();
   ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
-  EXPECT_GT(replayed->applied, 0u);
-  EXPECT_GT(replayed->deduped, 0u);
+  if (!NetPipelineEnabled()) {
+    EXPECT_GT(replayed->applied, 0u);
+    EXPECT_GT(replayed->deduped, 0u);
+  }
   ExpectAllCounts(&driver, 4);
 
   // Steady state on the survivors, then graceful shutdown.

@@ -8,6 +8,7 @@
 #include "lsm/env.h"
 #include "lsm/log_format.h"
 #include "net/frame.h"
+#include "net/pipeline.h"
 #include "net/rpc.h"
 #include "net/socket.h"
 #include "net/transport.h"
@@ -90,6 +91,20 @@ TEST(SocketTest, RecvTimeoutIsTimedOut) {
   char buf[1];
   Status st = p.server.ReadExact(buf, 1);
   EXPECT_EQ(st.code(), StatusCode::kTimedOut) << st.ToString();
+}
+
+TEST(SocketTest, DataPlaneSocketsHaveNoDelay) {
+  // Both ends of every data-plane connection must disable Nagle: a
+  // pipelined window of small frames would otherwise sit in the kernel
+  // waiting for acks.
+  auto p = SocketPair::Make();
+  EXPECT_TRUE(p.client.nodelay());
+  EXPECT_TRUE(p.server.nodelay());
+  // The seam is real: the option can be flipped and read back.
+  ASSERT_TRUE(p.client.SetNoDelay(false).ok());
+  EXPECT_FALSE(p.client.nodelay());
+  ASSERT_TRUE(p.client.SetNoDelay(true).ok());
+  EXPECT_TRUE(p.client.nodelay());
 }
 
 TEST(ParseEndpointTest, RoundTripAndErrors) {
@@ -431,6 +446,85 @@ TEST(WireTest, EnvelopesRoundTripAndRejectJunk) {
   FuzzPrefixes(encoded, ReplyEnvelope::Decode);
 }
 
+TEST(WireTest, EnvelopeVersionByteIsChecked) {
+  RequestEnvelope req;
+  req.type = MessageType::kProcessBatch;
+  req.seq = 9;
+  req.body = "b";
+  std::string encoded;
+  req.EncodeTo(&encoded);
+  ASSERT_GE(encoded.size(), 2u);
+  std::string bad = encoded;
+  bad[1] = static_cast<char>(kWireVersion + 1);  // version follows type
+  EXPECT_EQ(RequestEnvelope::Decode(bad).status().code(),
+            StatusCode::kCorruption);
+
+  ReplyEnvelope rep;
+  rep.seq = 9;
+  rep.body = "r";
+  encoded.clear();
+  rep.EncodeTo(&encoded);
+  ASSERT_GE(encoded.size(), 2u);
+  bad = encoded;
+  bad[1] = static_cast<char>(kWireVersion + 1);
+  EXPECT_EQ(ReplyEnvelope::Decode(bad).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(WireTest, EnvelopeByteMutationFuzz) {
+  // Byte-granular: every single-byte corruption of a valid envelope must
+  // decode to an error or a (different) well-formed envelope — never
+  // crash or overread. ASan enforces the memory half.
+  RequestEnvelope req;
+  req.type = MessageType::kProcessBatch;
+  req.seq = 1234567;
+  req.body = "fuzz-body-abcdef";
+  std::string encoded;
+  req.EncodeTo(&encoded);
+  FuzzPrefixes(encoded, RequestEnvelope::Decode);
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    for (int mask : {0x01, 0x10, 0x80, 0xff}) {
+      std::string mutated = encoded;
+      mutated[i] = static_cast<char>(mutated[i] ^ mask);
+      (void)RequestEnvelope::Decode(mutated);
+    }
+  }
+
+  ReplyEnvelope rep;
+  rep.seq = 1234567;
+  rep.code = StatusCode::kNotFound;
+  rep.message = "nope";
+  rep.body = "fuzz-reply-body";
+  encoded.clear();
+  rep.EncodeTo(&encoded);
+  FuzzPrefixes(encoded, ReplyEnvelope::Decode);
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    for (int mask : {0x01, 0x10, 0x80, 0xff}) {
+      std::string mutated = encoded;
+      mutated[i] = static_cast<char>(mutated[i] ^ mask);
+      (void)ReplyEnvelope::Decode(mutated);
+    }
+  }
+}
+
+TEST(WireTest, ReplicateStateStreamFieldsRoundTrip) {
+  ReplicateStateRequest msg;
+  msg.origin_node = 2;
+  msg.op = "counter";
+  msg.replica = "replica-bytes";
+  msg.stream_seq = 99;
+  msg.delta = 1;
+  msg.dropped_vnodes = {3, 7, 11};
+  std::string encoded;
+  msg.EncodeTo(&encoded);
+  auto decoded = ReplicateStateRequest::Decode(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->stream_seq, 99u);
+  EXPECT_EQ(decoded->delta, 1);
+  EXPECT_EQ(decoded->dropped_vnodes, msg.dropped_vnodes);
+  FuzzPrefixes(encoded, ReplicateStateRequest::Decode);
+}
+
 TEST(WireTest, RequestBodiesRoundTripAndFuzz) {
   {
     HelloRequest msg;
@@ -555,6 +649,281 @@ TEST(WireTest, VnodeForKeySpreadsAndIsStable) {
   for (uint32_t v = 0; v < kVnodes; ++v) {
     EXPECT_GT(hits[v], 0) << "vnode " << v << " never hit";
   }
+}
+
+// ---------------------------------------------------- pipelined channel --
+
+PipelinedChannelOptions FastChannelOptions() {
+  PipelinedChannelOptions options;
+  options.poll_ms = 10;
+  options.retry.initial_backoff_us = 1000;
+  options.retry.max_backoff_us = 10000;
+  options.retry.max_attempts = 4;
+  return options;
+}
+
+/// Writes a reply envelope frame for `seq`.
+void SendReply(Socket* conn, uint64_t seq, const std::string& body) {
+  ReplyEnvelope rep;
+  rep.seq = seq;
+  rep.body = body;
+  std::string out;
+  rep.EncodeTo(&out);
+  EXPECT_TRUE(WriteFrame(*conn, out).ok());
+}
+
+/// Reads one request frame; returns seq 0 on any failure.
+RequestEnvelope ReadRequest(Socket* conn) {
+  std::string frame;
+  if (!ReadFrame(*conn, &frame).ok()) return RequestEnvelope{};
+  auto req = RequestEnvelope::Decode(frame);
+  if (!req.ok()) return RequestEnvelope{};
+  return std::move(req).MoveValue();
+}
+
+/// Blocks until the connection drops (the channel closed) — keeps a test
+/// server from racing the client's last reads.
+void HoldOpen(Socket* conn) {
+  std::string dummy;
+  while (ReadFrame(*conn, &dummy).ok()) {
+  }
+}
+
+TEST(PipelinedChannelTest, OutOfOrderRepliesMatchByCorrelationId) {
+  constexpr int kN = 4;
+  auto listen = Socket::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listen.ok());
+  uint16_t port = listen->local_port();
+  std::thread server([listener = std::move(listen).MoveValue()]() mutable {
+    auto conn = listener.Accept();
+    if (!conn.ok()) return;
+    std::vector<RequestEnvelope> got;
+    for (int i = 0; i < kN; ++i) got.push_back(ReadRequest(&*conn));
+    // Replies in REVERSE order: matching must be by correlation id, not
+    // arrival order.
+    for (int i = kN - 1; i >= 0; --i) {
+      SendReply(&*conn, got[i].seq, "echo:" + got[i].body);
+    }
+    HoldOpen(&*conn);
+  });
+
+  PipelinedChannel channel("127.0.0.1", port, FastChannelOptions(), "test");
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<int, std::string> results;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(channel
+                    .Submit(MessageType::kHello, "r" + std::to_string(i),
+                            [&, i](Status st, std::string body) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              results[i] =
+                                  st.ok() ? body : "ERR:" + st.ToString();
+                              cv.notify_all();
+                            })
+                    .ok());
+  }
+  ASSERT_TRUE(channel.Drain().ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] {
+      return results.size() == static_cast<size_t>(kN);
+    }));
+    for (int i = 0; i < kN; ++i) {
+      EXPECT_EQ(results[i], "echo:r" + std::to_string(i)) << "request " << i;
+    }
+  }
+  EXPECT_EQ(channel.inflight(), 0u);
+  // The server held all replies until it had read all requests, so the
+  // whole window was in flight at once.
+  EXPECT_EQ(channel.inflight_high_water(), static_cast<uint32_t>(kN));
+  EXPECT_EQ(channel.replayed_total(), 0u);
+  channel.Close();
+  server.join();
+}
+
+TEST(PipelinedChannelTest, FullWindowBlocksSubmitUntilAReplyFrees) {
+  auto listen = Socket::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listen.ok());
+  uint16_t port = listen->local_port();
+  std::atomic<bool> release{false};
+  std::thread server([&release,
+                      listener = std::move(listen).MoveValue()]() mutable {
+    auto conn = listener.Accept();
+    if (!conn.ok()) return;
+    RequestEnvelope first = ReadRequest(&*conn);
+    RequestEnvelope second = ReadRequest(&*conn);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    SendReply(&*conn, first.seq, "ok");
+    SendReply(&*conn, second.seq, "ok");
+    RequestEnvelope third = ReadRequest(&*conn);
+    SendReply(&*conn, third.seq, "ok");
+    HoldOpen(&*conn);
+  });
+
+  PipelinedChannelOptions options = FastChannelOptions();
+  options.window = 2;
+  PipelinedChannel channel("127.0.0.1", port, options, "test");
+  std::atomic<int> done{0};
+  auto count_ok = [&done](Status st, std::string) {
+    if (st.ok()) ++done;
+  };
+  ASSERT_TRUE(channel.Submit(MessageType::kHello, "a", count_ok).ok());
+  ASSERT_TRUE(channel.Submit(MessageType::kHello, "b", count_ok).ok());
+  std::atomic<bool> third_submitted{false};
+  std::thread submitter([&] {
+    EXPECT_TRUE(channel.Submit(MessageType::kHello, "c", count_ok).ok());
+    third_submitted.store(true);
+  });
+  // The window is full: the third submit must be BLOCKED (backpressure),
+  // not queued or dropped.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(third_submitted.load());
+  EXPECT_EQ(channel.inflight(), 2u);
+  release.store(true);
+  submitter.join();
+  ASSERT_TRUE(channel.Drain().ok());
+  // Drain empties the window; the last callback may still be returning.
+  for (int spins = 0; done.load() < 3 && spins < 500; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(done.load(), 3);
+  EXPECT_EQ(channel.inflight_high_water(), 2u);
+  channel.Close();
+  server.join();
+}
+
+TEST(PipelinedChannelTest, DeadlineExpiresOneRequestWhileWindowKeepsMoving) {
+  auto listen = Socket::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listen.ok());
+  uint16_t port = listen->local_port();
+  std::thread server([listener = std::move(listen).MoveValue()]() mutable {
+    auto conn = listener.Accept();
+    if (!conn.ok()) return;
+    RequestEnvelope starved = ReadRequest(&*conn);  // never answered in time
+    RequestEnvelope served = ReadRequest(&*conn);
+    SendReply(&*conn, served.seq, "served");
+    RequestEnvelope after = ReadRequest(&*conn);
+    SendReply(&*conn, after.seq, "after");
+    // A LATE reply to the starved id, long past its deadline: the channel
+    // must drop it silently (the callback already fired with TimedOut).
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    SendReply(&*conn, starved.seq, "too-late");
+    HoldOpen(&*conn);
+  });
+
+  PipelinedChannelOptions options = FastChannelOptions();
+  options.deadline_ms = 150;
+  options.poll_ms = 20;
+  PipelinedChannel channel("127.0.0.1", port, options, "test");
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<std::string, Status> statuses;
+  auto record = [&](const std::string& name) {
+    return [&, name](Status st, std::string) {
+      std::lock_guard<std::mutex> lock(mu);
+      statuses[name] = st;
+      cv.notify_all();
+    };
+  };
+  auto wait_for = [&](const std::string& name) {
+    std::unique_lock<std::mutex> lock(mu);
+    return cv.wait_for(lock, std::chrono::seconds(5),
+                       [&] { return statuses.count(name) > 0; });
+  };
+  ASSERT_TRUE(
+      channel.Submit(MessageType::kHello, "starved", record("starved")).ok());
+  ASSERT_TRUE(
+      channel.Submit(MessageType::kHello, "served", record("served")).ok());
+  ASSERT_TRUE(wait_for("served"));
+  // The starved request is still pending; the window keeps moving.
+  ASSERT_TRUE(
+      channel.Submit(MessageType::kHello, "after", record("after")).ok());
+  ASSERT_TRUE(wait_for("after"));
+  ASSERT_TRUE(wait_for("starved"));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_TRUE(statuses["served"].ok());
+    EXPECT_TRUE(statuses["after"].ok());
+    EXPECT_EQ(statuses["starved"].code(), StatusCode::kTimedOut)
+        << statuses["starved"].ToString();
+  }
+  ASSERT_TRUE(channel.Drain().ok());  // the expired entry left the window
+  // Give the late reply time to arrive and be dropped; the channel must
+  // stay usable afterwards.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  EXPECT_EQ(channel.inflight(), 0u);
+  channel.Close();
+  server.join();
+}
+
+TEST(PipelinedChannelTest, ReconnectReplaysPendingWindowExactlyOnce) {
+  auto listen = Socket::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listen.ok());
+  uint16_t port = listen->local_port();
+  std::thread server([listener = std::move(listen).MoveValue()]() mutable {
+    // First connection: serve one of three requests, then drop carrying
+    // two unanswered (a mid-window outage).
+    uint64_t pending_a = 0, pending_b = 0;
+    {
+      auto conn = listener.Accept();
+      if (!conn.ok()) return;
+      RequestEnvelope r1 = ReadRequest(&*conn);
+      RequestEnvelope r2 = ReadRequest(&*conn);
+      RequestEnvelope r3 = ReadRequest(&*conn);
+      SendReply(&*conn, r1.seq, "echo:" + r1.body);
+      pending_a = r2.seq;
+      pending_b = r3.seq;
+      // conn drops here (destructor closes the socket).
+    }
+    // Second connection: the channel must replay ONLY the unanswered
+    // window, in correlation-id order.
+    auto conn = listener.Accept();
+    if (!conn.ok()) return;
+    RequestEnvelope replay1 = ReadRequest(&*conn);
+    RequestEnvelope replay2 = ReadRequest(&*conn);
+    EXPECT_EQ(replay1.seq, pending_a);
+    EXPECT_EQ(replay2.seq, pending_b);
+    SendReply(&*conn, replay1.seq, "echo:" + replay1.body);
+    SendReply(&*conn, replay2.seq, "echo:" + replay2.body);
+    HoldOpen(&*conn);
+  });
+
+  PipelinedChannel channel("127.0.0.1", port, FastChannelOptions(), "test");
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<int, int> fired;  // exactly-once audit: callback count per req
+  std::map<int, std::string> results;
+  int total_fired = 0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(channel
+                    .Submit(MessageType::kHello, "r" + std::to_string(i),
+                            [&, i](Status st, std::string body) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              ++fired[i];
+                              ++total_fired;
+                              results[i] =
+                                  st.ok() ? body : "ERR:" + st.ToString();
+                              cv.notify_all();
+                            })
+                    .ok());
+  }
+  ASSERT_TRUE(channel.Drain().ok());
+  {
+    // Drain guarantees the window is empty, not that the last callback
+    // already returned — wait for the audit itself.
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return total_fired >= 3; }));
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(fired[i], 1) << "request " << i << " callback count";
+      EXPECT_EQ(results[i], "echo:r" + std::to_string(i)) << "request " << i;
+    }
+  }
+  EXPECT_EQ(channel.replayed_total(), 2u);
+  channel.Close();
+  server.join();
 }
 
 TEST(LoopbackTransportTest, KillMakesEndpointUnreachable) {
