@@ -94,6 +94,7 @@ void Run(bench::BenchArtifact* artifact) {
   RHINO_CHECK_OK(driver.AddOperator(kOp, kNumVnodes));
   broker::Partition partition{0};
   driver.AddPartition(&partition);
+  RHINO_CHECK_OK(driver.ConnectPartition(kOp, 0));
 
   auto produce_wave = [&] {
     dataflow::Batch batch;

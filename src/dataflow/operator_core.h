@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "dataflow/record.h"
+#include "state/state_backend.h"
+
+/// \file operator_core.h
+/// Execution-location-agnostic operator semantics.
+///
+/// A `StatefulOperatorCore` is the pure "fold a batch into state, emit
+/// outputs" half of a stateful operator: no engine, no channels, no
+/// transport, no locks. The in-process `StatefulInstance` and the
+/// networked `NodeServer` both host cores through `OperatorHost`
+/// (operator_host.h), so one implementation of the keyed counter, the
+/// symmetric hash join, and the modeled state patterns runs unmodified in
+/// sim, realtime-thread, and multi-process modes — state a core wrote in
+/// one mode ingests byte-identically in the others.
+
+namespace rhino::dataflow {
+
+/// Operator kinds that can be hosted anywhere (the operator-spec wire
+/// codec carries this byte; values are part of the wire format).
+enum class OperatorKind : uint8_t {
+  kKeyedCounter = 1,       ///< RMW running count per key (NBQ5-like)
+  kSymmetricHashJoin = 2,  ///< two-input append + probe (NBQ8-like)
+  kModeledState = 3,       ///< statistical state model (TB-scale sim)
+};
+
+const char* OperatorKindName(OperatorKind kind);
+bool ValidOperatorKind(uint8_t kind);
+
+/// Statistical state model for the simulation benches (and the modeled
+/// operator kind of the networked runtime).
+struct StateModelConfig {
+  enum class Pattern : uint8_t {
+    kAppend,           ///< joins over long windows: state grows with input
+    kReadModifyWrite,  ///< aggregates: state saturates at a per-key plateau
+    kSession,          ///< session windows: append + retention-based eviction
+  };
+  Pattern pattern = Pattern::kAppend;
+  /// State bytes added per input byte (before saturation/eviction).
+  double state_bytes_per_input_byte = 1.0;
+  /// Saturation plateau per vnode for kReadModifyWrite.
+  uint64_t rmw_cap_bytes_per_vnode = 64 * 1024;
+  /// kSession: state added now is evicted after this long (0 = never).
+  SimTime retention_us = 0;
+  /// Output bytes emitted per input byte.
+  double output_selectivity = 0.05;
+  /// Output record size used to derive output counts.
+  uint32_t output_record_bytes = 64;
+};
+
+/// Execution-location-independent description of a stateful operator:
+/// everything a host (engine subtask or node process) needs to
+/// instantiate it. This is what `kAddOperator` carries on the wire.
+struct OperatorSpec {
+  OperatorKind kind = OperatorKind::kKeyedCounter;
+  std::string name;
+  /// Virtual-node count of the operator's key space (0 in-process, where
+  /// routing comes from the engine's VirtualNodeMap instead).
+  uint32_t num_vnodes = 0;
+  /// Logical inputs (2 for the join; dedup cursors are per input source).
+  uint32_t input_arity = 1;
+  /// Only meaningful for kModeledState.
+  StateModelConfig model;
+};
+
+/// Key -> vnode routing supplied by the host (the engine uses its
+/// hashring `VirtualNodeMap`, the networked runtime `net::VnodeForKey`;
+/// the core must not bake in either).
+using VnodeFn = std::function<uint32_t(uint64_t key)>;
+
+/// Read-side point lookup result. `count` is kind-specific: the running
+/// count (counter), total stored entries for the key (join, with the
+/// per-side split in `left`/`right`), or the key's vnode state bytes
+/// (modeled).
+struct OperatorQueryResult {
+  uint64_t count = 0;
+  uint64_t left = 0;
+  uint64_t right = 0;
+};
+
+/// One operator's semantics over an abstract `StateBackend`. Not
+/// thread-safe; the embedding `OperatorHost` serializes calls.
+class StatefulOperatorCore {
+ public:
+  virtual ~StatefulOperatorCore() = default;
+
+  virtual OperatorKind kind() const = 0;
+
+  /// Folds an (already deduplicated) batch from logical input `side` into
+  /// `backend` and appends any produced records to `out` (never null;
+  /// the host decides whether outputs are emitted, shipped, or dropped).
+  /// `now` is the host's clock (event-time eviction in the modeled core).
+  virtual Status Apply(state::StateBackend* backend, int side,
+                       const Batch& batch, const VnodeFn& vnode_of,
+                       SimTime now, Batch* out) = 0;
+
+  /// Point query against `vnode` (where `key` routes).
+  virtual Result<OperatorQueryResult> Query(state::StateBackend* backend,
+                                            uint32_t vnode,
+                                            uint64_t key) const = 0;
+};
+
+/// Instantiates the core for `spec.kind`; `owner_tag` must be unique per
+/// hosting identity (node id / subtask) — the join folds it into its
+/// store-key uniquifier so entries appended by different owners of a
+/// migrated vnode can never collide (the join-state consistency rule,
+/// DESIGN.md §16). Unknown kinds return InvalidArgument.
+Result<std::unique_ptr<StatefulOperatorCore>> MakeOperatorCore(
+    const OperatorSpec& spec, uint64_t owner_tag);
+
+// Engine-independent keyed-counter kernels, kept as free functions so
+// read paths (query verbs, tests) share the exact store-key layout.
+
+/// Increments `key`'s running count inside `vnode` and returns the new
+/// count (read-modify-write, 16 nominal bytes per distinct key).
+Result<uint64_t> ApplyKeyedCount(state::StateBackend* backend, uint32_t vnode,
+                                 uint64_t key);
+
+/// Current count of `key` in `vnode`; 0 when the key was never counted.
+Result<uint64_t> ReadKeyedCount(state::StateBackend* backend, uint32_t vnode,
+                                uint64_t key);
+
+}  // namespace rhino::dataflow

@@ -1,0 +1,180 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/operator_core.h"
+#include "dataflow/record.h"
+#include "state/checkpoint.h"
+#include "state/state_backend.h"
+
+/// \file operator_host.h
+/// The execution-location-agnostic operator-hosting seam.
+///
+/// `OperatorHost` owns everything a stateful operator needs that is *not*
+/// engine- or transport-specific: the state backend, vnode ownership, the
+/// per-(vnode, source) replay watermarks, batch application with replay
+/// deduplication, checkpoint capture, and vnode image extract/absorb/drop
+/// for handover, replication, and recovery. The in-process
+/// `StatefulInstance` and the networked `NodeServer` both embed a host, so
+/// every protocol above this seam — checkpoints, live handover, ring
+/// replication, promote-replica recovery — is one implementation for every
+/// operator kind in sim, realtime-thread, and multi-process modes.
+///
+/// Not thread-safe: the embedding runtime serializes calls (the engine via
+/// the instance mutex / executor strand, the node server under its own
+/// lock).
+
+namespace rhino::dataflow {
+
+/// A consistent, migratable image of a set of vnodes: the descriptor
+/// (sizes + replay watermarks, the currency of Rhino's protocols) plus the
+/// per-vnode state blobs. For the join this is the unit of consistency —
+/// both side columns of a vnode travel inside one blob, so a migrated
+/// vnode can never land with one side's entries missing.
+struct OperatorImage {
+  state::CheckpointDescriptor descriptor;
+  std::map<uint32_t, std::string> blobs;
+};
+
+/// Outcome of folding one batch into the host's state.
+struct ApplyResult {
+  /// Records folded into state (post-dedup).
+  uint64_t applied = 0;
+  /// Records dropped because their (vnode, source) offset was already
+  /// reflected in the state.
+  uint64_t deduped = 0;
+  /// Vnodes whose replay watermark advanced — exactly the vnodes a
+  /// continuous replicator must re-ship.
+  std::set<uint32_t> applied_vnodes;
+  /// Vnodes fully dropped by dedup (slice-granular feeds; for tracing).
+  std::set<uint32_t> dropped_vnodes;
+  /// The entire batch was already reflected in the state.
+  bool fully_deduped = false;
+};
+
+class OperatorHost {
+ public:
+  /// Per-(vnode, source) replay watermarks: the next source offset this
+  /// host expects for that vnode. Batches at lower offsets were already
+  /// folded into the state and are dropped — the paper's "operators are
+  /// aware of an in-flight handover and ignore seen records" rule,
+  /// realized at offset granularity.
+  using WatermarkMap = std::map<uint32_t, std::map<int, uint64_t>>;
+
+  /// Builds a host for `spec` over `backend`. `vnode_of` supplies key
+  /// routing (engine hashring or `net::VnodeForKey`); `instance_id` is
+  /// the hosting identity (subtask / node id) folded into stateful
+  /// uniquifiers (join-state consistency rule). Fails with
+  /// InvalidArgument on an unknown operator kind.
+  static Result<std::unique_ptr<OperatorHost>> Create(
+      OperatorSpec spec, std::unique_ptr<state::StateBackend> backend,
+      VnodeFn vnode_of, uint32_t instance_id);
+
+  const OperatorSpec& spec() const { return spec_; }
+  uint32_t instance_id() const { return instance_id_; }
+  state::StateBackend* backend() { return backend_.get(); }
+  const state::StateBackend* backend() const { return backend_.get(); }
+
+  /// Swaps in a fresh backend (restart-based recovery restores state by
+  /// rebuilding the backend from a checkpoint).
+  void ReplaceBackend(std::unique_ptr<state::StateBackend> backend) {
+    backend_ = std::move(backend);
+  }
+
+  uint32_t VnodeOf(uint64_t key) const { return vnode_of_(key); }
+
+  // ------------------------------------------------------- apply path ----
+
+  /// Deduplicates `batch` against the replay watermarks (in place — seen
+  /// slices/records are removed and counts adjusted), folds the remainder
+  /// into the state via the operator core, appends outputs to `out`
+  /// (never null), and advances the watermarks of the applied vnodes.
+  /// With `strict_ownership`, a record or slice routed to a vnode this
+  /// host does not own fails the whole batch with FailedPrecondition
+  /// *before* any state mutation (the networked runtime's stale-routing
+  /// guard); the in-process engine routes by construction and skips it.
+  Result<ApplyResult> Apply(int side, Batch& batch, SimTime now, Batch* out,
+                            bool strict_ownership);
+
+  /// Kind-specific point query for `key` against the vnode it routes to.
+  Result<OperatorQueryResult> Query(uint64_t key);
+
+  // -------------------------------------------------- vnode ownership ----
+
+  void InitOwned(const std::vector<uint32_t>& vnodes) {
+    owned_ = std::set<uint32_t>(vnodes.begin(), vnodes.end());
+  }
+  void Own(const std::vector<uint32_t>& vnodes) {
+    owned_.insert(vnodes.begin(), vnodes.end());
+  }
+  bool Owns(uint32_t vnode) const { return owned_.count(vnode) != 0; }
+  const std::set<uint32_t>& owned() const { return owned_; }
+
+  /// Drops state, ownership, and replay watermarks of `vnodes` (origin
+  /// side after a successful handover). The watermarks go with the state:
+  /// if a later handover moves these vnodes back, stale entries would
+  /// dedup replayed records the restored copy has never applied.
+  Status Drop(const std::vector<uint32_t>& vnodes);
+
+  // ------------------------------------------------- replay watermarks ----
+
+  /// Watermarks of the given vnodes (for transfer alongside state).
+  WatermarkMap GetWatermarks(const std::vector<uint32_t>& vnodes) const;
+  /// Merges transferred watermarks (taking the max per entry).
+  void MergeWatermarks(const WatermarkMap& marks);
+  /// Replaces all watermarks (restart-based recovery rolls state *and*
+  /// dedup positions back to the checkpoint; merging would wrongly keep
+  /// post-checkpoint positions and drop the replay).
+  void ResetWatermarks(WatermarkMap marks) { watermarks_ = std::move(marks); }
+
+  // ------------------------------------- checkpoints and vnode images ----
+
+  /// Takes an incremental checkpoint of the backend and stamps the
+  /// descriptor with the replay watermarks of the owned vnodes, so a
+  /// restored copy deduplicates correctly.
+  Result<state::CheckpointDescriptor> CaptureCheckpoint(uint64_t checkpoint_id);
+
+  /// Serializes `vnodes` into a consistent image: per-vnode state blobs
+  /// plus a descriptor carrying sizes and replay watermarks. Used by
+  /// handover extract, replication snapshots, and checkpoint images.
+  Result<OperatorImage> ExtractImage(const std::vector<uint32_t>& vnodes,
+                                     uint64_t checkpoint_id);
+
+  /// Ingests an image produced by ExtractImage on a peer host: state
+  /// blobs into the backend, ownership, and replay watermarks (assigned,
+  /// not merged — the image is authoritative for its vnodes). `vnodes`
+  /// restricts absorption to a subset (empty = everything in the image);
+  /// `already_durable` marks bytes restored from a persisted checkpoint
+  /// (they must not surface in the next incremental delta). Returns the
+  /// vnodes actually absorbed.
+  Result<std::vector<uint32_t>> Absorb(const OperatorImage& image,
+                                       const std::vector<uint32_t>& vnodes,
+                                       bool already_durable);
+
+ private:
+  OperatorHost(OperatorSpec spec, std::unique_ptr<state::StateBackend> backend,
+               std::unique_ptr<StatefulOperatorCore> core, VnodeFn vnode_of,
+               uint32_t instance_id)
+      : spec_(std::move(spec)),
+        backend_(std::move(backend)),
+        core_(std::move(core)),
+        vnode_of_(std::move(vnode_of)),
+        instance_id_(instance_id) {}
+
+  OperatorSpec spec_;
+  std::unique_ptr<state::StateBackend> backend_;
+  std::unique_ptr<StatefulOperatorCore> core_;
+  VnodeFn vnode_of_;
+  uint32_t instance_id_ = 0;
+  std::set<uint32_t> owned_;
+  WatermarkMap watermarks_;
+};
+
+}  // namespace rhino::dataflow

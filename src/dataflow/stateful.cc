@@ -1,18 +1,22 @@
 #include "dataflow/stateful.h"
 
 #include "common/logging.h"
-#include "common/serde.h"
 
 namespace rhino::dataflow {
 
 // ------------------------------------------------------ StatefulInstance --
 
-StatefulInstance::StatefulInstance(Engine* engine, std::string op_name,
+StatefulInstance::StatefulInstance(Engine* engine, OperatorSpec spec,
                                    int subtask, int node_id,
                                    ProcessingProfile profile,
                                    std::unique_ptr<state::StateBackend> backend)
-    : OperatorInstance(engine, std::move(op_name), subtask, node_id, profile),
-      backend_(std::move(backend)) {
+    : OperatorInstance(engine, spec.name, subtask, node_id, profile) {
+  auto host = OperatorHost::Create(
+      std::move(spec), std::move(backend),
+      [this](uint64_t key) { return vnode_map()->VnodeForKey(key); },
+      static_cast<uint32_t>(subtask));
+  RHINO_CHECK(host.ok()) << host.status().ToString();
+  host_ = std::move(host).MoveValue();
   trace_scope_ = this->op_name() + "#" + std::to_string(subtask);
   obs::MetricsRegistry& metrics = engine->obs()->metrics();
   obs::Labels labels{{"op", this->op_name()}};
@@ -36,50 +40,34 @@ int StatefulInstance::ChannelSide(int channel_idx) const {
 }
 
 void StatefulInstance::HandleBatch(int channel_idx, Batch& batch) {
-  // Replay deduplication: drop the parts of the batch this instance's
-  // state already reflects (offset below the per-vnode watermark).
-  if (batch.source_id >= 0 && !batch.slices.empty()) {
-    std::vector<VnodeSlice> fresh;
-    std::set<uint32_t> dropped;
-    for (const VnodeSlice& slice : batch.slices) {
-      uint64_t& next = watermarks_[slice.vnode][batch.source_id];
-      if (batch.source_offset < next) {
-        dropped.insert(slice.vnode);
-        batch.count -= std::min(batch.count, slice.count);
-        batch.bytes -= std::min(batch.bytes, slice.bytes);
-      } else {
-        next = batch.source_offset + 1;
-        fresh.push_back(slice);
+  SimTime now = engine_->executor()->Now();
+  Batch out;
+  out.create_time = batch.create_time;
+  // The host deduplicates the batch against the replay watermarks, folds
+  // the remainder into the state through the operator core, and advances
+  // the watermarks of the applied vnodes. Ownership is not enforced — the
+  // engine routes by construction.
+  auto applied = host_->Apply(ChannelSide(channel_idx), batch, now, &out,
+                              /*strict_ownership=*/false);
+  RHINO_CHECK(applied.ok()) << applied.status().ToString();
+
+  if (!applied->dropped_vnodes.empty()) {
+    dedup_dropped_total_->Increment(applied->dropped_vnodes.size());
+    obs::TraceLog& dtrace = engine_->obs()->trace();
+    if (dtrace.data_events()) {
+      for (uint32_t v : applied->dropped_vnodes) {
+        dtrace.Emit("data", "dedup_drop", trace_scope_, 0,
+                    {{"vnode", static_cast<int64_t>(v)},
+                     {"source", static_cast<int64_t>(batch.source_id)},
+                     {"offset", static_cast<int64_t>(batch.source_offset)}});
       }
-    }
-    if (!dropped.empty()) {
-      dedup_dropped_total_->Increment(dropped.size());
-      obs::TraceLog& dtrace = engine_->obs()->trace();
-      if (dtrace.data_events()) {
-        for (uint32_t v : dropped) {
-          dtrace.Emit("data", "dedup_drop", trace_scope_, 0,
-                      {{"vnode", static_cast<int64_t>(v)},
-                       {"source", static_cast<int64_t>(batch.source_id)},
-                       {"offset", static_cast<int64_t>(batch.source_offset)}});
-        }
-      }
-      batch.slices = std::move(fresh);
-      if (!batch.records.empty()) {
-        std::vector<Record> keep;
-        for (auto& r : batch.records) {
-          if (!dropped.count(vnode_map()->VnodeForKey(r.key))) {
-            keep.push_back(std::move(r));
-          }
-        }
-        batch.records = std::move(keep);
-      }
-      if (batch.slices.empty()) return;  // whole batch already seen
     }
   }
+  if (applied->fully_deduped) return;  // whole batch already seen
 
   // End-to-end processing latency, sampled at the last (instrumented)
   // stateful operator as in the paper's methodology (§5.1.5).
-  SimTime latency = engine_->executor()->Now() - batch.create_time;
+  SimTime latency = now - batch.create_time;
   engine_->RecordLatency(op_name(), latency);
   batches_total_->Increment();
   records_total_->Increment(batch.count);
@@ -92,28 +80,18 @@ void StatefulInstance::HandleBatch(int channel_idx, Batch& batch) {
                {{"count", static_cast<int64_t>(batch.count)},
                 {"bytes", static_cast<int64_t>(batch.bytes)}});
   }
-  ProcessData(ChannelSide(channel_idx), batch);
+  if (out.count > 0) Emit(std::move(out));
 }
 
 StatefulInstance::WatermarkMap StatefulInstance::GetWatermarks(
     const std::vector<uint32_t>& vnodes) const {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  WatermarkMap out;
-  for (uint32_t v : vnodes) {
-    auto it = watermarks_.find(v);
-    if (it != watermarks_.end()) out[v] = it->second;
-  }
-  return out;
+  return host_->GetWatermarks(vnodes);
 }
 
 void StatefulInstance::MergeWatermarks(const WatermarkMap& marks) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  for (const auto& [vnode, sources] : marks) {
-    for (const auto& [source, next] : sources) {
-      uint64_t& mine = watermarks_[vnode][source];
-      if (next > mine) mine = next;
-    }
-  }
+  host_->MergeWatermarks(marks);
 }
 
 namespace {
@@ -136,15 +114,13 @@ size_t MoveIndex(const HandoverSpec& spec, const HandoverMove& move) {
 
 void StatefulInstance::HandleAlignedControl(const ControlEvent& ev) {
   if (ev.type == ControlEvent::Type::kCheckpointBarrier) {
-    auto desc = backend_->Checkpoint(ev.id);
-    RHINO_CHECK(desc.ok()) << desc.status().ToString();
     // The snapshot also captures the replay watermarks of the owned
     // vnodes, so a restored copy deduplicates correctly.
-    std::vector<uint32_t> owned(owned_vnodes_.begin(), owned_vnodes_.end());
-    desc->vnode_watermarks = GetWatermarks(owned);
+    auto desc = host_->CaptureCheckpoint(ev.id);
+    RHINO_CHECK(desc.ok()) << desc.status().ToString();
     engine_->obs()->trace().Emit(
         "checkpoint", "snapshot", trace_scope_, ev.id,
-        {{"vnodes", static_cast<int64_t>(owned.size())}});
+        {{"vnodes", static_cast<int64_t>(host_->owned().size())}});
     engine_->OnSnapshotTaken(this, std::move(desc).MoveValue());
     return;
   }
@@ -234,14 +210,9 @@ void StatefulInstance::CompleteHandoverAsOrigin(const HandoverSpec& spec,
   if (progress.pending_origin.erase(MoveIndex(spec, move)) == 0) {
     return;  // already completed or abandoned
   }
-  RHINO_CHECK_OK(backend_->DropVnodes(move.vnodes));
-  for (uint32_t v : move.vnodes) {
-    owned_vnodes_.erase(v);
-    // The replay watermarks go with the state: if a later handover moves
-    // these vnodes back (e.g. failure recovery), stale entries would
-    // dedup replayed records the restored copy has never applied.
-    watermarks_.erase(v);
-  }
+  // Drops state, ownership, and the replay watermarks — the watermarks go
+  // with the state (see OperatorHost::Drop).
+  RHINO_CHECK_OK(host_->Drop(move.vnodes));
   MaybeAckHandover(spec.id);
 }
 
@@ -262,14 +233,14 @@ void StatefulInstance::CompleteHandoverAsTarget(const HandoverSpec& spec,
   HandoverProgress& progress = handover_progress_[spec.id];
   if (!progress.aligned) {
     // Markers have not all arrived yet; alignment will account for it.
-    for (uint32_t v : move.vnodes) owned_vnodes_.insert(v);
+    host_->Own(move.vnodes);
     progress.early_target.insert(idx);
     return;
   }
   if (progress.pending_target.erase(idx) == 0) {
     return;  // duplicate (a re-issued restore raced the original transfer)
   }
-  for (uint32_t v : move.vnodes) owned_vnodes_.insert(v);
+  host_->Own(move.vnodes);
   if (progress.pending_target.empty() && holding_for_ == spec.id) {
     holding_for_ = 0;
     engine_->obs()->trace().EndSpan(hold_span_);
@@ -304,163 +275,49 @@ void StatefulInstance::NotifyPeerFailure() {
   OperatorInstance::NotifyPeerFailure();
 }
 
-// --------------------------------------------------- KeyedCounterOperator --
+// ----------------------------------------------------------- concrete ops --
 
 namespace {
 
-std::string EncodeU64Key(uint64_t key) {
-  std::string out(8, '\0');
-  for (int i = 7; i >= 0; --i) {
-    out[static_cast<size_t>(i)] = static_cast<char>(key & 0xff);
-    key >>= 8;
-  }
-  return out;
+OperatorSpec MakeSpec(OperatorKind kind, const std::string& name,
+                      uint32_t input_arity) {
+  OperatorSpec spec;
+  spec.kind = kind;
+  spec.name = name;
+  spec.input_arity = input_arity;
+  return spec;
 }
 
 }  // namespace
 
-Result<uint64_t> ApplyKeyedCount(state::StateBackend* backend, uint32_t vnode,
-                                 uint64_t key) {
-  std::string store_key = EncodeU64Key(key);
-  std::string stored;
-  uint64_t count = 0;
-  Status st = backend->Get(vnode, store_key, &stored);
-  if (st.ok()) {
-    BinaryReader reader(stored);
-    RHINO_RETURN_NOT_OK(reader.GetU64(&count));
-  } else if (!st.IsNotFound()) {
-    return st;
-  }
-  ++count;
-  std::string value;
-  BinaryWriter writer(&value);
-  writer.PutU64(count);
-  // RMW: 16 nominal bytes per key (key + counter), written once — the
-  // paper's "read-modify-write state update pattern".
-  uint64_t nominal = st.IsNotFound() ? 16 : 0;
-  RHINO_RETURN_NOT_OK(backend->Put(vnode, store_key, value, nominal));
-  return count;
-}
+KeyedCounterOperator::KeyedCounterOperator(
+    Engine* engine, std::string op_name, int subtask, int node_id,
+    ProcessingProfile profile, std::unique_ptr<state::StateBackend> backend)
+    : StatefulInstance(engine,
+                       MakeSpec(OperatorKind::kKeyedCounter, op_name, 1),
+                       subtask, node_id, profile, std::move(backend)) {}
 
-Result<uint64_t> ReadKeyedCount(state::StateBackend* backend, uint32_t vnode,
-                                uint64_t key) {
-  std::string stored;
-  Status st = backend->Get(vnode, EncodeU64Key(key), &stored);
-  if (st.IsNotFound()) return uint64_t{0};
-  RHINO_RETURN_NOT_OK(st);
-  BinaryReader reader(stored);
-  uint64_t count = 0;
-  RHINO_RETURN_NOT_OK(reader.GetU64(&count));
-  return count;
-}
-
-void KeyedCounterOperator::ProcessData(int, Batch& batch) {
-  Batch out;
-  out.create_time = batch.create_time;
-  for (const Record& r : batch.records) {
-    uint32_t vnode = vnode_map()->VnodeForKey(r.key);
-    auto count = ApplyKeyedCount(backend(), vnode, r.key);
-    RHINO_CHECK(count.ok()) << count.status().ToString();
-
-    Record result;
-    result.key = r.key;
-    result.event_time = r.event_time;
-    result.size = 16;
-    result.payload = std::to_string(*count);
-    out.records.push_back(std::move(result));
-    ++out.count;
-    out.bytes += 16;
-  }
-  if (out.count > 0) Emit(std::move(out));
-}
-
-// ---------------------------------------------- SymmetricHashJoinOperator --
-
-void SymmetricHashJoinOperator::ProcessData(int side, Batch& batch) {
-  RHINO_CHECK(side == 0 || side == 1);
-  Batch out;
-  out.create_time = batch.create_time;
-  for (const Record& r : batch.records) {
-    uint32_t vnode = vnode_map()->VnodeForKey(r.key);
-    // Layout: [8B key][1B side][8B uniq] — contiguous per (key, side), so
-    // probing the other side is a prefix scan.
-    std::string store_key = EncodeU64Key(r.key);
-    store_key.push_back(static_cast<char>(side));
-    store_key += EncodeU64Key(uniq_++);
-    RHINO_CHECK_OK(backend()->Put(vnode, store_key, r.payload, r.size));
-
-    std::string probe_prefix = EncodeU64Key(r.key);
-    probe_prefix.push_back(static_cast<char>(1 - side));
-    auto matches = backend()->ScanPrefix(vnode, probe_prefix);
-    RHINO_CHECK(matches.ok()) << matches.status().ToString();
-    for (const auto& [_, other_payload] : *matches) {
-      Record result;
-      result.key = r.key;
-      result.event_time = r.event_time;
-      const std::string& left = side == 0 ? r.payload : other_payload;
-      const std::string& right = side == 0 ? other_payload : r.payload;
-      result.payload = left + "|" + right;
-      result.size = static_cast<uint32_t>(result.payload.size());
-      out.count += 1;
-      out.bytes += result.size;
-      out.records.push_back(std::move(result));
-    }
-  }
-  if (out.count > 0) Emit(std::move(out));
-}
-
-// --------------------------------------------------- ModeledStatefulOperator
+SymmetricHashJoinOperator::SymmetricHashJoinOperator(
+    Engine* engine, std::string op_name, int subtask, int node_id,
+    ProcessingProfile profile, std::unique_ptr<state::StateBackend> backend)
+    : StatefulInstance(engine,
+                       MakeSpec(OperatorKind::kSymmetricHashJoin, op_name, 2),
+                       subtask, node_id, profile, std::move(backend)) {}
 
 ModeledStatefulOperator::ModeledStatefulOperator(Engine* engine,
                                                  std::string op_name,
                                                  int subtask, int node_id,
                                                  ProcessingProfile profile,
                                                  StateModelConfig config)
-    : StatefulInstance(engine, op_name, subtask, node_id, profile,
+    : StatefulInstance(engine,
+                       [&] {
+                         OperatorSpec spec = MakeSpec(
+                             OperatorKind::kModeledState, op_name, 1);
+                         spec.model = config;
+                         return spec;
+                       }(),
+                       subtask, node_id, profile,
                        std::make_unique<state::ModeledStateBackend>(
-                           op_name, static_cast<uint32_t>(subtask))),
-      config_(config) {}
-
-void ModeledStatefulOperator::ProcessData(int, Batch& batch) {
-  SimTime now = engine_->executor()->Now();
-  for (const VnodeSlice& slice : batch.slices) {
-    auto add = static_cast<uint64_t>(static_cast<double>(slice.bytes) *
-                                     config_.state_bytes_per_input_byte);
-    switch (config_.pattern) {
-      case StateModelConfig::Pattern::kAppend:
-        modeled()->AddBytes(slice.vnode, add);
-        break;
-      case StateModelConfig::Pattern::kReadModifyWrite: {
-        uint64_t current = modeled()->VnodeBytes(slice.vnode);
-        if (current < config_.rmw_cap_bytes_per_vnode) {
-          modeled()->AddBytes(
-              slice.vnode,
-              std::min(add, config_.rmw_cap_bytes_per_vnode - current));
-        }
-        break;
-      }
-      case StateModelConfig::Pattern::kSession: {
-        modeled()->AddBytes(slice.vnode, add);
-        auto& log = session_log_[slice.vnode];
-        log.emplace_back(now, add);
-        if (config_.retention_us > 0) {
-          while (!log.empty() && log.front().first < now - config_.retention_us) {
-            modeled()->RemoveBytes(slice.vnode, log.front().second);
-            log.pop_front();
-          }
-        }
-        break;
-      }
-    }
-  }
-  if (config_.output_selectivity > 0 && batch.bytes > 0) {
-    Batch out;
-    out.create_time = batch.create_time;
-    out.bytes = static_cast<uint64_t>(static_cast<double>(batch.bytes) *
-                                      config_.output_selectivity);
-    out.count = std::max<uint64_t>(1, out.bytes / config_.output_record_bytes);
-    if (out.bytes > 0) Emit(std::move(out));
-  }
-}
+                           op_name, static_cast<uint32_t>(subtask))) {}
 
 }  // namespace rhino::dataflow

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -10,6 +9,8 @@
 
 #include "dataflow/engine.h"
 #include "dataflow/operator.h"
+#include "dataflow/operator_core.h"
+#include "dataflow/operator_host.h"
 #include "state/modeled_state_backend.h"
 #include "state/state_backend.h"
 
@@ -19,8 +20,10 @@
 /// `StatefulInstance` implements the engine-side mechanics every stateful
 /// operator shares: latency instrumentation, aligned snapshots on
 /// checkpoint barriers, and the origin/target roles of the handover
-/// protocol (paper §4.1.2 step 3). Concrete operators supply semantics via
-/// `ProcessData`:
+/// protocol (paper §4.1.2 step 3). Operator *semantics* live in the
+/// execution-location-agnostic `StatefulOperatorCore` hosted through
+/// `OperatorHost` (operator_host.h) — the same cores the networked
+/// `NodeServer` runs:
 ///
 ///  * `KeyedCounterOperator`      — read-modify-write pattern (NBQ5-like)
 ///  * `SymmetricHashJoinOperator` — append pattern, two inputs (NBQ8-like)
@@ -29,20 +32,25 @@
 
 namespace rhino::dataflow {
 
-/// Base for operators with keyed, migratable state.
+/// Base for operators with keyed, migratable state. The spec's kind
+/// selects the hosted core; the thin subclasses below keep their
+/// historical constructor signatures.
 class StatefulInstance : public OperatorInstance {
  public:
-  StatefulInstance(Engine* engine, std::string op_name, int subtask,
+  StatefulInstance(Engine* engine, OperatorSpec spec, int subtask,
                    int node_id, ProcessingProfile profile,
                    std::unique_ptr<state::StateBackend> backend);
 
-  state::StateBackend* backend() { return backend_.get(); }
+  state::StateBackend* backend() { return host_->backend(); }
+
+  /// The hosted seam (apply/dedup/extract/ingest/checkpoint mechanics).
+  OperatorHost* host() { return host_.get(); }
 
   /// Swaps in a fresh backend (restart-based recovery restores state by
   /// rebuilding the backend from a checkpoint).
   void ReplaceBackend(std::unique_ptr<state::StateBackend> backend) {
     std::lock_guard<std::recursive_mutex> lock(mu_);
-    backend_ = std::move(backend);
+    host_->ReplaceBackend(std::move(backend));
   }
 
   /// Maps an inbound channel to a logical input side (0 = left/first).
@@ -52,9 +60,9 @@ class StatefulInstance : public OperatorInstance {
   /// Initial virtual-node ownership, copied from the routing table after
   /// graph wiring.
   void InitOwnedVnodes(const std::vector<uint32_t>& vnodes) {
-    owned_vnodes_ = std::set<uint32_t>(vnodes.begin(), vnodes.end());
+    host_->InitOwned(vnodes);
   }
-  const std::set<uint32_t>& owned_vnodes() const { return owned_vnodes_; }
+  const std::set<uint32_t>& owned_vnodes() const { return host_->owned(); }
 
   const hashring::VirtualNodeMap* vnode_map() const {
     return engine_->vnode_map(op_name());
@@ -62,12 +70,9 @@ class StatefulInstance : public OperatorInstance {
 
   // ------------------------------------------- replay deduplication ------
 
-  /// Per-(vnode, source) replay watermarks: the next source offset this
-  /// instance expects for that vnode. Batches at lower offsets were
-  /// already folded into the state and are dropped — this is the paper's
-  /// "operators are aware of an in-flight handover and ignore seen
-  /// records" rule, realized at offset granularity.
-  using WatermarkMap = std::map<uint32_t, std::map<int, uint64_t>>;
+  /// See `OperatorHost::WatermarkMap` — kept as a member alias for the
+  /// protocol layers above (handover manager, checkpoint storage).
+  using WatermarkMap = OperatorHost::WatermarkMap;
 
   /// Watermarks of the given vnodes (for transfer alongside state).
   WatermarkMap GetWatermarks(const std::vector<uint32_t>& vnodes) const;
@@ -79,7 +84,7 @@ class StatefulInstance : public OperatorInstance {
   /// post-checkpoint positions and drop the replay).
   void ResetWatermarks(WatermarkMap marks) {
     std::lock_guard<std::recursive_mutex> lock(mu_);
-    watermarks_ = std::move(marks);
+    host_->ResetWatermarks(std::move(marks));
   }
 
   // ---- handover completion callbacks (invoked by the HandoverDelegate) --
@@ -110,17 +115,12 @@ class StatefulInstance : public OperatorInstance {
   void HandleBatch(int channel_idx, Batch& batch) final;
   void HandleAlignedControl(const ControlEvent& ev) final;
 
-  /// Operator semantics: `side` is the logical input (0-based).
-  virtual void ProcessData(int side, Batch& batch) = 0;
-
  private:
   /// Acknowledges the handover once aligned and all roles are complete.
   void MaybeAckHandover(uint64_t handover_id);
 
-  std::unique_ptr<state::StateBackend> backend_;
+  std::unique_ptr<OperatorHost> host_;
   std::vector<int> channel_side_;
-  std::set<uint32_t> owned_vnodes_;
-  WatermarkMap watermarks_;
 
   /// Per-handover role bookkeeping, keyed by the move's index in
   /// `spec.moves`. Sets (not counters) make every completion idempotent:
@@ -153,30 +153,13 @@ class StatefulInstance : public OperatorInstance {
 
 // --------------------------------------------------------------- real ops --
 
-// Engine-independent keyed-counter kernel. The update/read semantics live
-// outside the operator class so the thread-mode engine
-// (`KeyedCounterOperator` below) and the networked node process
-// (`net::NodeServer`) fold records into state with byte-identical LSM
-// contents — a vnode blob extracted in one mode ingests cleanly in the
-// other.
-
-/// Increments `key`'s running count inside `vnode` and returns the new
-/// count (read-modify-write, 16 nominal bytes per distinct key).
-Result<uint64_t> ApplyKeyedCount(state::StateBackend* backend, uint32_t vnode,
-                                 uint64_t key);
-
-/// Current count of `key` in `vnode`; 0 when the key was never counted.
-Result<uint64_t> ReadKeyedCount(state::StateBackend* backend, uint32_t vnode,
-                                uint64_t key);
-
 /// Read-modify-write aggregate: running count per key, one output record
 /// per input record (exercises the NBQ5 state-update pattern).
 class KeyedCounterOperator : public StatefulInstance {
  public:
-  using StatefulInstance::StatefulInstance;
-
- protected:
-  void ProcessData(int side, Batch& batch) override;
+  KeyedCounterOperator(Engine* engine, std::string op_name, int subtask,
+                       int node_id, ProcessingProfile profile,
+                       std::unique_ptr<state::StateBackend> backend);
 };
 
 /// Symmetric hash join over two inputs: every record is appended to its
@@ -184,36 +167,12 @@ class KeyedCounterOperator : public StatefulInstance {
 /// immediately (exercises the NBQ8 append pattern).
 class SymmetricHashJoinOperator : public StatefulInstance {
  public:
-  using StatefulInstance::StatefulInstance;
-
- protected:
-  void ProcessData(int side, Batch& batch) override;
-
- private:
-  uint64_t uniq_ = 0;  // uniquifier for multi-record keys
+  SymmetricHashJoinOperator(Engine* engine, std::string op_name, int subtask,
+                            int node_id, ProcessingProfile profile,
+                            std::unique_ptr<state::StateBackend> backend);
 };
 
 // ------------------------------------------------------------ modeled op --
-
-/// Statistical state model for the simulation benches.
-struct StateModelConfig {
-  enum class Pattern {
-    kAppend,           ///< joins over long windows: state grows with input
-    kReadModifyWrite,  ///< aggregates: state saturates at a per-key plateau
-    kSession,          ///< session windows: append + retention-based eviction
-  };
-  Pattern pattern = Pattern::kAppend;
-  /// State bytes added per input byte (before saturation/eviction).
-  double state_bytes_per_input_byte = 1.0;
-  /// Saturation plateau per vnode for kReadModifyWrite.
-  uint64_t rmw_cap_bytes_per_vnode = 64 * 1024;
-  /// kSession: state added now is evicted after this long (0 = never).
-  SimTime retention_us = 0;
-  /// Output bytes emitted per input byte.
-  double output_selectivity = 0.05;
-  /// Output record size used to derive output counts.
-  uint32_t output_record_bytes = 64;
-};
 
 /// Stateful operator over a `ModeledStateBackend`: updates per-vnode byte
 /// counters per the configured pattern instead of materializing values.
@@ -222,20 +181,6 @@ class ModeledStatefulOperator : public StatefulInstance {
   ModeledStatefulOperator(Engine* engine, std::string op_name, int subtask,
                           int node_id, ProcessingProfile profile,
                           StateModelConfig config);
-
- protected:
-  void ProcessData(int side, Batch& batch) override;
-
- private:
-  /// The backend is always a ModeledStateBackend, but it may be replaced
-  /// wholesale by restart-based recovery — never cache the pointer.
-  state::ModeledStateBackend* modeled() {
-    return static_cast<state::ModeledStateBackend*>(backend());
-  }
-
-  StateModelConfig config_;
-  /// kSession bookkeeping: (deposit time, bytes) per vnode.
-  std::map<uint32_t, std::deque<std::pair<SimTime, uint64_t>>> session_log_;
 };
 
 }  // namespace rhino::dataflow

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <set>
 #include <utility>
 
 #include "common/logging.h"
@@ -72,16 +73,22 @@ Status ClusterDriver::ReformRing() {
   return Status::OK();
 }
 
-Status ClusterDriver::AddOperator(const std::string& op, uint32_t num_vnodes) {
-  if (routing_.count(op)) {
-    return Status::AlreadyExists("operator already routed: " + op);
+Status ClusterDriver::AddOperator(const dataflow::OperatorSpec& spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("operator needs a name");
+  }
+  if (spec.num_vnodes == 0) {
+    return Status::InvalidArgument("num_vnodes must be > 0");
+  }
+  if (routing_.count(spec.name)) {
+    return Status::AlreadyExists("operator already routed: " + spec.name);
   }
   OpRouting routing;
-  routing.num_vnodes = num_vnodes;
-  routing.owner.resize(num_vnodes);
+  routing.spec = spec;
+  routing.owner.resize(spec.num_vnodes);
   std::vector<std::vector<uint32_t>> owned(endpoints_.size());
   uint32_t next = 0;
-  for (uint32_t vnode = 0; vnode < num_vnodes; ++vnode) {
+  for (uint32_t vnode = 0; vnode < spec.num_vnodes; ++vnode) {
     while (!alive_[next]) next = (next + 1) % endpoints_.size();
     routing.owner[vnode] = next;
     owned[next].push_back(vnode);
@@ -90,235 +97,413 @@ Status ClusterDriver::AddOperator(const std::string& op, uint32_t num_vnodes) {
   for (uint32_t node = 0; node < endpoints_.size(); ++node) {
     if (!alive_[node]) continue;
     AddOperatorRequest req;
-    req.name = op;
-    req.num_vnodes = num_vnodes;
+    req.spec = spec;
     req.owned_vnodes = owned[node];
     std::string body;
     req.EncodeTo(&body);
     RHINO_RETURN_NOT_OK(Call(node, MessageType::kAddOperator, body, nullptr));
   }
-  routing_.emplace(op, std::move(routing));
+  routing_.emplace(spec.name, std::move(routing));
+  op_order_.push_back(spec.name);
   return Status::OK();
+}
+
+Status ClusterDriver::AddOperator(const std::string& op, uint32_t num_vnodes) {
+  dataflow::OperatorSpec spec;
+  spec.kind = dataflow::OperatorKind::kKeyedCounter;
+  spec.name = op;
+  spec.num_vnodes = num_vnodes;
+  spec.input_arity = 1;
+  return AddOperator(spec);
 }
 
 void ClusterDriver::AddPartition(const broker::PartitionSource* partition) {
   partitions_.push_back(partition);
-  cursors_.push_back(0);
+}
+
+Status ClusterDriver::ConnectPartition(const std::string& op, size_t partition,
+                                       uint32_t side) {
+  auto it = routing_.find(op);
+  if (it == routing_.end()) return Status::NotFound("no operator: " + op);
+  if (partition >= partitions_.size()) {
+    return Status::InvalidArgument("no partition " + std::to_string(partition));
+  }
+  if (side >= it->second.spec.input_arity) {
+    return Status::InvalidArgument("input side " + std::to_string(side) +
+                                   " out of range for " + op);
+  }
+  OpInput input;
+  input.from_partition = true;
+  input.partition = partition;
+  input.side = side;
+  // Partitions keep their index as the source id (the watermark maps are
+  // per operator shard, so sharing a partition across operators is fine).
+  input.source_id = static_cast<int>(partition);
+  it->second.inputs.push_back(std::move(input));
+  return Status::OK();
+}
+
+Status ClusterDriver::ConnectOperators(const std::string& upstream,
+                                       const std::string& downstream,
+                                       uint32_t side) {
+  auto uit = routing_.find(upstream);
+  if (uit == routing_.end()) {
+    return Status::NotFound("no operator: " + upstream);
+  }
+  auto dit = routing_.find(downstream);
+  if (dit == routing_.end()) {
+    return Status::NotFound("no operator: " + downstream);
+  }
+  if (side >= dit->second.spec.input_arity) {
+    return Status::InvalidArgument("input side " + std::to_string(side) +
+                                   " out of range for " + downstream);
+  }
+  auto pos = [&](const std::string& op) {
+    return std::find(op_order_.begin(), op_order_.end(), op) -
+           op_order_.begin();
+  };
+  if (pos(upstream) >= pos(downstream)) {
+    return Status::InvalidArgument(
+        "edges must point from an earlier operator to a later one: " +
+        upstream + " -> " + downstream);
+  }
+  uit->second.track_outputs = true;
+  OpInput input;
+  input.from_partition = false;
+  input.upstream = upstream;
+  input.side = side;
+  input.source_id = AllocateSourceId();
+  dit->second.inputs.push_back(std::move(input));
+  return Status::OK();
+}
+
+Status ClusterDriver::CollectOutputs(const std::string& op) {
+  auto it = routing_.find(op);
+  if (it == routing_.end()) return Status::NotFound("no operator: " + op);
+  it->second.track_outputs = true;
+  return Status::OK();
+}
+
+uint64_t ClusterDriver::CompletePrefix(const OpRouting& routing) {
+  uint64_t end = 0;
+  while (end < routing.entries.size() && routing.entries[end].complete) {
+    ++end;
+  }
+  return end;
+}
+
+Status ClusterDriver::RecordOutputs(OpRouting& routing, size_t input_idx,
+                                    uint64_t offset, SimTime create_time,
+                                    const ProcessBatchReply& reply) {
+  auto key = std::make_pair(input_idx, offset);
+  auto [it, inserted] = routing.entry_index.try_emplace(key,
+                                                        routing.entries.size());
+  if (inserted) routing.entries.emplace_back();
+  EdgeEntry& entry = routing.entries[it->second];
+  entry.create_time = std::max(entry.create_time, create_time);
+  // Replace exactly the slots of vnodes this reply applied: an applied
+  // vnode with no output clears to empty; a deduplicated vnode (absent
+  // from the set) keeps the outputs retained from its original apply.
+  std::set<uint32_t> applied(reply.applied_vnodes.begin(),
+                             reply.applied_vnodes.end());
+  for (uint32_t vnode : applied) entry.slots[vnode].clear();
+  if (!reply.outputs.empty()) {
+    RHINO_ASSIGN_OR_RETURN(dataflow::Batch out, DecodeBatch(reply.outputs));
+    for (auto& rec : out.records) {
+      uint32_t vnode = VnodeForKey(rec.key, routing.spec.num_vnodes);
+      if (applied.count(vnode)) {
+        entry.slots[vnode].push_back(std::move(rec));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Result<PumpStats> ClusterDriver::Pump() {
-  return options_.pipelined ? PumpPipelined() : PumpBlocking();
-}
-
-Result<PumpStats> ClusterDriver::PumpBlocking() {
   auto start = std::chrono::steady_clock::now();
   PumpStats stats;
-  stats.max_inflight = 1;  // one request at a time, by construction
-  // The networked runtime routes a single stateful operator graph; every
-  // partition feeds every operator (currently one) through key routing.
-  for (size_t p = 0; p < partitions_.size(); ++p) {
-    while (cursors_[p] < partitions_[p]->end_offset()) {
-      const broker::LogEntry* entry = partitions_[p]->Fetch(cursors_[p]);
-      RHINO_CHECK(entry != nullptr);
-      for (auto& [op, routing] : routing_) {
-        // Split the batch into one sub-batch per owning node; provenance
-        // (source_id, source_offset) is preserved so nodes can dedup.
-        std::map<uint32_t, dataflow::Batch> per_node;
-        for (const auto& rec : entry->batch.records) {
-          uint32_t vnode = VnodeForKey(rec.key, routing.num_vnodes);
-          uint32_t node = routing.owner[vnode];
-          auto& sub = per_node[node];
-          sub.create_time = entry->batch.create_time;
-          sub.source_id = static_cast<int>(p);
-          sub.source_offset = entry->offset;
-          sub.records.push_back(rec);
-          sub.count += 1;
-          sub.bytes += rec.size;
-        }
-        for (auto& [node, sub] : per_node) {
-          ProcessBatchRequest req;
-          req.op = op;
-          req.batch = std::move(sub);
-          std::string body;
-          req.EncodeTo(&body);
-          std::string reply_body;
-          // A failure here leaves the cursor unchanged: after recovery the
-          // whole offset is re-pumped and surviving nodes dedup their
-          // already-applied sub-batches.
-          RHINO_RETURN_NOT_OK(
-              Call(node, MessageType::kProcessBatch, body, &reply_body));
-          RHINO_ASSIGN_OR_RETURN(ProcessBatchReply reply,
-                                 ProcessBatchReply::Decode(reply_body));
-          stats.batches_sent += 1;
-          stats.records_sent += req.batch.records.size();
-          stats.applied += reply.applied;
-          stats.deduped += reply.deduped;
-        }
-      }
-      ++cursors_[p];
+  if (!options_.pipelined) {
+    stats.max_inflight = 1;  // one request at a time, by construction
+  }
+  // Topological passes: an operator drains its inputs before anything
+  // downstream of it pumps, and the loop repeats until a full pass moves
+  // no cursor — so one Pump() pushes source data through the whole graph.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const std::string& op : op_order_) {
+      bool advanced = false;
+      RHINO_RETURN_NOT_OK(
+          PumpOperator(op, routing_.at(op), &stats, &advanced));
+      progress = progress || advanced;
     }
   }
   stats.wall_s = SecondsSince(start);
   return stats;
 }
 
-Result<PumpStats> ClusterDriver::PumpPipelined() {
-  auto start = std::chrono::steady_clock::now();
-  PumpStats stats;
+Status ClusterDriver::PumpOperator(const std::string& op, OpRouting& routing,
+                                   PumpStats* stats, bool* advanced) {
+  for (size_t input_idx = 0; input_idx < routing.inputs.size(); ++input_idx) {
+    OpInput& input = routing.inputs[input_idx];
+    const OpRouting* upstream = nullptr;
+    uint64_t end;
+    if (input.from_partition) {
+      end = partitions_[input.partition]->end_offset();
+    } else {
+      upstream = &routing_.at(input.upstream);
+      end = CompletePrefix(*upstream);
+    }
+    if (input.cursor >= end) continue;
+    *advanced = true;
 
-  // Scratch state shared with completion callbacks (which run on
-  // transport reader threads). Everything under one mutex; the pump
-  // drains to zero in flight before returning, so callbacks never
-  // outlive this frame.
-  struct Shared {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::map<uint32_t, uint32_t> credits;
-    std::map<uint32_t, uint32_t> inflight;
-    std::map<uint32_t, uint32_t> hwm;
-    uint32_t total_inflight = 0;
-    uint32_t max_total_inflight = 0;
-    uint64_t applied = 0;
-    uint64_t deduped = 0;
-    uint64_t credit_stalls = 0;
-    Status first_error;
-  } shared;
-  std::map<uint32_t, obs::Gauge*> credit_gauges;
-  for (uint32_t node = 0; node < endpoints_.size(); ++node) {
-    if (!alive_[node]) continue;
-    shared.credits[node] = options_.credit_window;
-    credit_gauges[node] = obs_->metrics().GetGauge(
-        "rhino_net_credits", {{"node", std::to_string(node)}});
-    credit_gauges[node]->Set(options_.credit_window);
-  }
+    // Scratch shared with completion callbacks (pipelined mode; they run
+    // on transport reader threads). The pump drains to zero in flight
+    // before reading it single-threaded, so callbacks never outlive this
+    // frame. Blocking mode fills the same reply map synchronously so the
+    // cursor-advance walk below is one implementation.
+    struct Shared {
+      std::mutex mu;
+      std::condition_variable cv;
+      std::map<uint32_t, uint32_t> credits;
+      std::map<uint32_t, uint32_t> inflight;
+      std::map<uint32_t, uint32_t> hwm;
+      uint32_t total_inflight = 0;
+      uint32_t max_total_inflight = 0;
+      uint64_t credit_stalls = 0;
+      Status first_error;
+      /// (offset, node) -> decoded reply or per-call failure.
+      std::map<std::pair<uint64_t, uint32_t>, Result<ProcessBatchReply>>
+          replies;
+    } shared;
+    std::map<uint32_t, obs::Gauge*> credit_gauges;
+    if (options_.pipelined) {
+      for (uint32_t node = 0; node < endpoints_.size(); ++node) {
+        if (!alive_[node]) continue;
+        shared.credits[node] = options_.credit_window;
+        credit_gauges[node] = obs_->metrics().GetGauge(
+            "rhino_net_credits", {{"node", std::to_string(node)}});
+        credit_gauges[node]->Set(options_.credit_window);
+      }
+    }
 
-  // Only pump offsets that exist NOW; appends racing the pump belong to
-  // the next one (and cursor advancement below must match this bound).
-  std::vector<uint64_t> ends(partitions_.size());
-  for (size_t p = 0; p < partitions_.size(); ++p) {
-    ends[p] = partitions_[p]->end_offset();
-  }
+    struct OffsetWork {
+      uint64_t offset = 0;
+      SimTime create_time = 0;
+      std::vector<uint32_t> nodes;  ///< routed sub-batch targets, ascending
+    };
+    std::vector<OffsetWork> works;
+    bool aborted = false;
 
-  bool aborted = false;
-  for (size_t p = 0; p < partitions_.size() && !aborted; ++p) {
-    for (uint64_t off = cursors_[p]; off < ends[p] && !aborted; ++off) {
-      const broker::LogEntry* entry = partitions_[p]->Fetch(off);
-      RHINO_CHECK(entry != nullptr);
-      for (auto& [op, routing] : routing_) {
-        std::map<uint32_t, dataflow::Batch> per_node;
-        for (const auto& rec : entry->batch.records) {
-          uint32_t vnode = VnodeForKey(rec.key, routing.num_vnodes);
-          uint32_t node = routing.owner[vnode];
-          auto& sub = per_node[node];
-          sub.create_time = entry->batch.create_time;
-          sub.source_id = static_cast<int>(p);
-          sub.source_offset = entry->offset;
-          sub.records.push_back(rec);
-          sub.count += 1;
-          sub.bytes += rec.size;
+    for (uint64_t off = input.cursor; off < end && !aborted; ++off) {
+      // Materialize this offset's records: a broker log entry, or one
+      // complete edge-log entry of the upstream operator.
+      std::vector<dataflow::Record> edge_records;
+      const std::vector<dataflow::Record>* records = nullptr;
+      OffsetWork work;
+      work.offset = off;
+      if (input.from_partition) {
+        const broker::LogEntry* entry = partitions_[input.partition]->Fetch(off);
+        RHINO_CHECK(entry != nullptr);
+        records = &entry->batch.records;
+        work.create_time = entry->batch.create_time;
+      } else {
+        const EdgeEntry& entry = upstream->entries[off];
+        for (const auto& [vnode, recs] : entry.slots) {
+          edge_records.insert(edge_records.end(), recs.begin(), recs.end());
         }
-        for (auto& [node, sub] : per_node) {
-          if (node >= endpoints_.size() || !alive_[node]) {
-            std::lock_guard<std::mutex> lock(shared.mu);
-            if (shared.first_error.ok()) {
-              shared.first_error = Status::FailedPrecondition(
-                  "node " + std::to_string(node) + " is not alive");
-            }
+        records = &edge_records;
+        work.create_time = entry.create_time;
+      }
+
+      // Split into one sub-batch per owning node; provenance (source_id,
+      // source_offset) is preserved so nodes can dedup replays.
+      std::map<uint32_t, dataflow::Batch> per_node;
+      for (const auto& rec : *records) {
+        uint32_t vnode = VnodeForKey(rec.key, routing.spec.num_vnodes);
+        uint32_t node = routing.owner[vnode];
+        auto& sub = per_node[node];
+        sub.create_time = work.create_time;
+        sub.source_id = input.source_id;
+        sub.source_offset = off;
+        sub.records.push_back(rec);
+        sub.count += 1;
+        sub.bytes += rec.size;
+      }
+
+      for (auto& [node, sub] : per_node) {
+        if (node >= endpoints_.size() || !alive_[node]) {
+          if (shared.first_error.ok()) {
+            shared.first_error = Status::FailedPrecondition(
+                "node " + std::to_string(node) + " is not alive");
+          }
+          aborted = true;
+          break;
+        }
+        work.nodes.push_back(node);
+        ProcessBatchRequest req;
+        req.op = op;
+        req.side = input.side;
+        req.return_outputs = routing.track_outputs ? 1 : 0;
+        req.batch = std::move(sub);
+        std::string body;
+        req.EncodeTo(&body);
+        stats->batches_sent += 1;
+        stats->records_sent += req.batch.records.size();
+
+        if (!options_.pipelined) {
+          std::string reply_body;
+          Status st = Call(node, MessageType::kProcessBatch, body,
+                           &reply_body);
+          Result<ProcessBatchReply> decoded =
+              st.ok() ? ProcessBatchReply::Decode(reply_body)
+                      : Result<ProcessBatchReply>(st);
+          const bool failed = !decoded.ok();
+          shared.replies.insert_or_assign(std::make_pair(off, node),
+                                          std::move(decoded));
+          if (failed) {
+            aborted = true;  // blocking mode stops at the first failure
+            break;
+          }
+          continue;
+        }
+
+        // Acquire one credit for this node — the backpressure point.
+        {
+          std::unique_lock<std::mutex> lock(shared.mu);
+          if (!shared.first_error.ok()) {
             aborted = true;
             break;
           }
-          // Acquire one credit for this node — the backpressure point.
-          {
-            std::unique_lock<std::mutex> lock(shared.mu);
+          if (shared.credits[node] == 0) {
+            ++shared.credit_stalls;
+            shared.cv.wait(lock, [&] {
+              return shared.credits[node] > 0 || !shared.first_error.ok();
+            });
             if (!shared.first_error.ok()) {
               aborted = true;
               break;
             }
-            if (shared.credits[node] == 0) {
-              ++shared.credit_stalls;
-              shared.cv.wait(lock, [&] {
-                return shared.credits[node] > 0 || !shared.first_error.ok();
-              });
-              if (!shared.first_error.ok()) {
-                aborted = true;
-                break;
-              }
-            }
-            --shared.credits[node];
-            credit_gauges[node]->Set(shared.credits[node]);
-            uint32_t in = ++shared.inflight[node];
-            shared.hwm[node] = std::max(shared.hwm[node], in);
-            ++shared.total_inflight;
-            shared.max_total_inflight =
-                std::max(shared.max_total_inflight, shared.total_inflight);
           }
-          ProcessBatchRequest req;
-          req.op = op;
-          req.batch = std::move(sub);
-          std::string body;
-          req.EncodeTo(&body);
-          stats.batches_sent += 1;
-          stats.records_sent += req.batch.records.size();
-          auto* gauge = credit_gauges[node];
-          Status submitted = transport_->CallAsync(
-              endpoints_[node], MessageType::kProcessBatch, std::move(body),
-              [&shared, gauge, node](Status st, std::string reply_body) {
-                std::lock_guard<std::mutex> lock(shared.mu);
-                ++shared.credits[node];
-                gauge->Set(shared.credits[node]);
-                --shared.inflight[node];
-                --shared.total_inflight;
-                if (st.ok()) {
-                  auto reply = ProcessBatchReply::Decode(reply_body);
-                  if (reply.ok()) {
-                    shared.applied += reply->applied;
-                    shared.deduped += reply->deduped;
-                  } else if (shared.first_error.ok()) {
-                    shared.first_error = reply.status();
-                  }
-                } else if (shared.first_error.ok()) {
-                  shared.first_error = st;
-                }
-                shared.cv.notify_all();
-              });
-          if (!submitted.ok()) {
-            // Never submitted: the callback will not run, so the credit
-            // comes back here.
-            std::lock_guard<std::mutex> lock(shared.mu);
-            ++shared.credits[node];
-            --shared.inflight[node];
-            --shared.total_inflight;
-            if (shared.first_error.ok()) shared.first_error = submitted;
-            aborted = true;
-            break;
-          }
+          --shared.credits[node];
+          credit_gauges[node]->Set(shared.credits[node]);
+          uint32_t in = ++shared.inflight[node];
+          shared.hwm[node] = std::max(shared.hwm[node], in);
+          ++shared.total_inflight;
+          shared.max_total_inflight =
+              std::max(shared.max_total_inflight, shared.total_inflight);
         }
-        if (aborted) break;
+        auto* gauge = credit_gauges[node];
+        Status submitted = transport_->CallAsync(
+            endpoints_[node], MessageType::kProcessBatch, std::move(body),
+            [&shared, gauge, node, off](Status st, std::string reply_body) {
+              std::lock_guard<std::mutex> lock(shared.mu);
+              ++shared.credits[node];
+              gauge->Set(shared.credits[node]);
+              --shared.inflight[node];
+              --shared.total_inflight;
+              Result<ProcessBatchReply> decoded =
+                  st.ok() ? ProcessBatchReply::Decode(reply_body)
+                          : Result<ProcessBatchReply>(st);
+              if (!decoded.ok() && shared.first_error.ok()) {
+                shared.first_error = decoded.status();
+              }
+              shared.replies.insert_or_assign(std::make_pair(off, node),
+                                              std::move(decoded));
+              shared.cv.notify_all();
+            });
+        if (!submitted.ok()) {
+          // Never submitted: the callback will not run, so the credit
+          // comes back here.
+          std::lock_guard<std::mutex> lock(shared.mu);
+          ++shared.credits[node];
+          --shared.inflight[node];
+          --shared.total_inflight;
+          if (shared.first_error.ok()) shared.first_error = submitted;
+          aborted = true;
+          break;
+        }
+      }
+      works.push_back(std::move(work));
+    }
+
+    if (options_.pipelined) {
+      // Drain: all acks in (or failed) before touching cursors/edge log.
+      std::unique_lock<std::mutex> lock(shared.mu);
+      shared.cv.wait(lock, [&] { return shared.total_inflight == 0; });
+      stats->credit_stalls += shared.credit_stalls;
+      stats->max_inflight =
+          std::max(stats->max_inflight, shared.max_total_inflight);
+      for (const auto& [node, hwm] : shared.hwm) {
+        auto& slot = stats->node_inflight_hwm[node];
+        slot = std::max(slot, hwm);
       }
     }
-  }
 
-  // Drain: all acks in (or failed) before touching cursors or returning.
-  {
-    std::unique_lock<std::mutex> lock(shared.mu);
-    shared.cv.wait(lock, [&] { return shared.total_inflight == 0; });
+    // Single-threaded from here. Fold EVERY successful reply into stats
+    // and the edge log — even past a failed sibling, since a replay of
+    // that offset will dedup the successful sub-batch and return no
+    // outputs — then advance the cursor over the contiguous prefix of
+    // fully-acked offsets and mark those edge entries complete.
+    Status failure = shared.first_error;
+    bool prefix_intact = true;
+    for (const OffsetWork& work : works) {
+      bool all_ok = true;
+      for (uint32_t node : work.nodes) {
+        auto rit = shared.replies.find({work.offset, node});
+        if (rit == shared.replies.end() || !rit->second.ok()) {
+          all_ok = false;
+          if (failure.ok()) {
+            failure = rit == shared.replies.end()
+                          ? Status::Aborted("batch was never acknowledged")
+                          : rit->second.status();
+          }
+          continue;
+        }
+        const ProcessBatchReply& reply = rit->second.value();
+        stats->applied += reply.applied;
+        stats->deduped += reply.deduped;
+        if (routing.track_outputs) {
+          Status recorded = RecordOutputs(routing, input_idx, work.offset,
+                                          work.create_time, reply);
+          if (!recorded.ok()) {
+            all_ok = false;
+            if (failure.ok()) failure = recorded;
+          }
+        }
+      }
+      if (all_ok && prefix_intact) {
+        if (routing.track_outputs) {
+          auto key = std::make_pair(input_idx, work.offset);
+          auto [eit, inserted] = routing.entry_index.try_emplace(
+              key, routing.entries.size());
+          if (inserted) routing.entries.emplace_back();
+          EdgeEntry& entry = routing.entries[eit->second];
+          entry.create_time = std::max(entry.create_time, work.create_time);
+          entry.complete = true;
+        }
+        input.cursor = work.offset + 1;
+      } else {
+        prefix_intact = false;
+      }
+    }
+    RHINO_RETURN_NOT_OK(failure);
   }
-  stats.applied = shared.applied;
-  stats.deduped = shared.deduped;
-  stats.credit_stalls = shared.credit_stalls;
-  stats.max_inflight = shared.max_total_inflight;
-  stats.node_inflight_hwm = shared.hwm;
-  if (!shared.first_error.ok()) {
-    // Cursors untouched: the next pump replays the whole range and nodes
-    // dedup whatever did land — same exactly-once story as the blocking
-    // path, batched across the window.
-    return shared.first_error;
+  return Status::OK();
+}
+
+std::vector<dataflow::Record> ClusterDriver::OutputRecords(
+    const std::string& op) const {
+  std::vector<dataflow::Record> records;
+  auto it = routing_.find(op);
+  if (it == routing_.end()) return records;
+  uint64_t end = CompletePrefix(it->second);
+  for (uint64_t e = 0; e < end; ++e) {
+    for (const auto& [vnode, recs] : it->second.entries[e].slots) {
+      records.insert(records.end(), recs.begin(), recs.end());
+    }
   }
-  for (size_t p = 0; p < partitions_.size(); ++p) {
-    cursors_[p] = std::max(cursors_[p], ends[p]);
-  }
-  stats.wall_s = SecondsSince(start);
-  return stats;
+  return records;
 }
 
 Result<CheckpointStats> ClusterDriver::Checkpoint() {
@@ -406,7 +591,7 @@ Status ClusterDriver::TriggerHandover(const std::string& op, uint32_t origin,
   auto rit = routing_.find(op);
   if (rit == routing_.end()) return Status::NotFound("no operator: " + op);
   for (uint32_t vnode : vnodes) {
-    if (vnode >= rit->second.num_vnodes ||
+    if (vnode >= rit->second.spec.num_vnodes ||
         rit->second.owner[vnode] != origin) {
       return Status::FailedPrecondition(
           "vnode " + std::to_string(vnode) + " not owned by node " +
@@ -488,7 +673,7 @@ Status ClusterDriver::RecoverOne(uint32_t dead_node) {
 
   for (auto& [op, routing] : routing_) {
     std::vector<uint32_t> lost;
-    for (uint32_t vnode = 0; vnode < routing.num_vnodes; ++vnode) {
+    for (uint32_t vnode = 0; vnode < routing.spec.num_vnodes; ++vnode) {
       if (routing.owner[vnode] == dead_node) lost.push_back(vnode);
     }
     if (lost.empty()) continue;
@@ -516,23 +701,24 @@ Status ClusterDriver::RecoverOne(uint32_t dead_node) {
 
     for (uint32_t vnode : lost) routing.owner[vnode] = target;
 
-    // Rewind each partition cursor to the earliest offset any restored
-    // vnode still needs; surviving vnodes dedup the replayed overlap. A
-    // restored vnode with no watermark for a partition replays that
-    // partition from the start (it may have applied records that were
-    // never checkpointed).
-    for (size_t p = 0; p < partitions_.size(); ++p) {
-      uint64_t low = cursors_[p];
+    // Rewind each of THIS operator's input cursors to the earliest offset
+    // any restored vnode still needs; surviving vnodes dedup the replayed
+    // overlap. A restored vnode with no watermark for an input replays
+    // that input from the start (it may have applied records that were
+    // never checkpointed). Edge inputs rewind into the driver-resident
+    // edge log — the upstream backup of the edge.
+    for (OpInput& input : routing.inputs) {
+      uint64_t low = input.cursor;
       for (uint32_t vnode : lost) {
         uint64_t mark = 0;
         auto vit = rs.latest_descriptor.vnode_watermarks.find(vnode);
         if (vit != rs.latest_descriptor.vnode_watermarks.end()) {
-          auto sit = vit->second.find(static_cast<int>(p));
+          auto sit = vit->second.find(input.source_id);
           if (sit != vit->second.end()) mark = sit->second;
         }
         low = std::min(low, mark);
       }
-      cursors_[p] = low;
+      input.cursor = low;
     }
     obs_->trace().Emit("net", "cluster_recovery", "driver",
                        rs.latest_checkpoint_id,
@@ -558,6 +744,12 @@ std::vector<uint32_t> ClusterDriver::ProbeFailures() {
 
 Result<uint64_t> ClusterDriver::QueryCount(const std::string& op,
                                            uint64_t key) {
+  RHINO_ASSIGN_OR_RETURN(QueryCountReply reply, QueryState(op, key));
+  return reply.count;
+}
+
+Result<QueryCountReply> ClusterDriver::QueryState(const std::string& op,
+                                                  uint64_t key) {
   RHINO_ASSIGN_OR_RETURN(uint32_t node, RouteKey(op, key));
   QueryCountRequest req;
   req.op = op;
@@ -566,9 +758,7 @@ Result<uint64_t> ClusterDriver::QueryCount(const std::string& op,
   req.EncodeTo(&body);
   std::string reply_body;
   RHINO_RETURN_NOT_OK(Call(node, MessageType::kQueryCount, body, &reply_body));
-  RHINO_ASSIGN_OR_RETURN(QueryCountReply reply,
-                         QueryCountReply::Decode(reply_body));
-  return reply.count;
+  return QueryCountReply::Decode(reply_body);
 }
 
 Result<StatsReply> ClusterDriver::NodeStats(uint32_t node) {
@@ -588,7 +778,7 @@ Result<uint32_t> ClusterDriver::RouteKey(const std::string& op,
                                          uint64_t key) const {
   auto it = routing_.find(op);
   if (it == routing_.end()) return Status::NotFound("no operator: " + op);
-  return it->second.owner[VnodeForKey(key, it->second.num_vnodes)];
+  return it->second.owner[VnodeForKey(key, it->second.spec.num_vnodes)];
 }
 
 std::vector<uint32_t> ClusterDriver::VnodesOwnedBy(const std::string& op,
@@ -596,10 +786,23 @@ std::vector<uint32_t> ClusterDriver::VnodesOwnedBy(const std::string& op,
   std::vector<uint32_t> vnodes;
   auto it = routing_.find(op);
   if (it == routing_.end()) return vnodes;
-  for (uint32_t vnode = 0; vnode < it->second.num_vnodes; ++vnode) {
+  for (uint32_t vnode = 0; vnode < it->second.spec.num_vnodes; ++vnode) {
     if (it->second.owner[vnode] == node) vnodes.push_back(vnode);
   }
   return vnodes;
+}
+
+uint64_t ClusterDriver::cursor(size_t partition) const {
+  uint64_t low = 0;
+  bool found = false;
+  for (const auto& [op, routing] : routing_) {
+    for (const OpInput& input : routing.inputs) {
+      if (!input.from_partition || input.partition != partition) continue;
+      low = found ? std::min(low, input.cursor) : input.cursor;
+      found = true;
+    }
+  }
+  return low;
 }
 
 }  // namespace rhino::net

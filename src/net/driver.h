@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "broker/broker.h"
@@ -15,19 +16,35 @@
 /// The coordinator process of the networked runtime.
 ///
 /// `ClusterDriver` plays the role the engine's coordinator plays
-/// in-process: it owns the routing table (vnode -> node), the upstream
-/// backup cursors (one per broker partition), and the protocol clocks
-/// (checkpoint and handover ids), and it sequences cluster-wide operations
-/// over the RPC layer — the checkpoint barrier broadcast, the three-step
-/// live handover (extract -> ingest -> drop), and failure recovery
-/// (promote the ring successor's replica, or fall back to the durable
-/// checkpoint image, then rewind partition cursors to the restored replay
+/// in-process: it owns the routing tables (vnode -> node, per operator),
+/// the dataflow graph wiring (which broker partitions and which upstream
+/// operators feed each operator input), the upstream backup cursors (one
+/// per operator input), and the protocol clocks (checkpoint and handover
+/// ids). It sequences cluster-wide operations over the RPC layer — the
+/// checkpoint barrier broadcast, the three-step live handover
+/// (extract -> ingest -> drop), and failure recovery (promote the ring
+/// successor's replica, or fall back to the durable checkpoint image, then
+/// rewind the dead operator's input cursors to the restored replay
 /// watermarks and re-pump).
+///
+/// Multi-operator graphs: operators are wired explicitly —
+/// `ConnectPartition` feeds a broker partition into an operator input,
+/// `ConnectOperators` feeds one operator's output into another's input
+/// (`side` selects the input for multi-input operators such as the
+/// symmetric hash join). Operator outputs travel back in `kProcessBatch`
+/// replies and are retained in a driver-resident **edge log** — the
+/// upstream backup of every operator->operator edge, replayable exactly
+/// like a broker partition. Each edge-log entry keeps its output records
+/// in per-producer-vnode slots; a replayed upstream batch refreshes only
+/// the slots of vnodes the node actually re-applied
+/// (`ProcessBatchReply::applied_vnodes`), so deduplicated vnodes keep
+/// their original outputs and downstream operators never see duplicated
+/// or lost edge records.
 ///
 /// Exactly-once: the driver may re-send any batch (after an RPC retry or
 /// a post-failure rewind); nodes deduplicate on per-(vnode, source) replay
-/// watermarks, so output counts stay exact no matter how often the driver
-/// replays.
+/// watermarks — every operator input has its own source id, so the same
+/// rule covers broker partitions and operator edges uniformly.
 ///
 /// The pump has two modes (`DriverOptions::pipelined`, default from
 /// `RHINO_NET_PIPELINE`). Blocking: one batch, one round trip — the
@@ -36,10 +53,12 @@
 /// control — each node has `credit_window` credits, a submit spends one
 /// and its ack returns it, and a submitter with no credit BLOCKS
 /// (backpressure, never unbounded buffering). Per-node submission order
-/// is still cursor order, which the channel turns into per-node FIFO
-/// apply — that is what keeps replay watermarks safe. On any error the
-/// pump drains its window and leaves every cursor unmoved, so the next
-/// pump replays the whole range and nodes dedup.
+/// is (input, offset) order, which the channel turns into per-node FIFO
+/// apply — that is what keeps replay watermarks safe. Either mode drains
+/// an operator's inputs before its downstream consumers pump, so one
+/// `Pump()` pushes data through the whole graph. On any error a cursor
+/// only advances over the contiguous prefix of fully-acked offsets; the
+/// next pump replays the rest and nodes dedup.
 ///
 /// Single-threaded by design — every method must be called from one
 /// coordinating thread, mirroring how the paper's coordinator serializes
@@ -95,20 +114,44 @@ class ClusterDriver {
   /// (node i replicates to node i+1 mod n; no ring with one node).
   Status ConnectAll();
 
-  /// Hosts `op` on every node (any node can become a recovery target);
-  /// vnode ownership is round-robin across nodes.
+  /// Hosts the operator described by `spec` on every node (any node can
+  /// become a recovery target); vnode ownership is round-robin across
+  /// nodes. Operators must be added in topological order — an edge may
+  /// only point from an earlier operator to a later one.
+  Status AddOperator(const dataflow::OperatorSpec& spec);
+
+  /// Convenience: a keyed-counter operator named `op`.
   Status AddOperator(const std::string& op, uint32_t num_vnodes);
 
-  /// Registers one upstream-backup partition; its index is the
-  /// `source_id` stamped on every batch pumped from it.
+  /// Registers one upstream-backup partition (feeds nothing until
+  /// connected).
   void AddPartition(const broker::PartitionSource* partition);
+
+  /// Feeds broker partition `partition` into input `side` of `op`.
+  Status ConnectPartition(const std::string& op, size_t partition,
+                          uint32_t side = 0);
+
+  /// Feeds `upstream`'s output records into input `side` of `downstream`.
+  /// The edge gets its own source id and a driver-resident edge log (the
+  /// upstream backup of the edge).
+  Status ConnectOperators(const std::string& upstream,
+                          const std::string& downstream, uint32_t side = 0);
+
+  /// Retains `op`'s outputs driver-side even without a downstream consumer
+  /// (sink audit: `OutputRecords`).
+  Status CollectOutputs(const std::string& op);
 
   // ---------------------------------------------------------- data plane --
 
-  /// Drains every partition from its cursor to its current end, routing
-  /// per-vnode sub-batches to the owning nodes. Re-entrant after failures:
-  /// rewound cursors simply replay, and nodes dedup.
+  /// Drains every operator input from its cursor to its current end in
+  /// topological passes, routing per-vnode sub-batches to the owning nodes
+  /// and forwarding operator outputs along the wired edges. Re-entrant
+  /// after failures: rewound cursors simply replay, and nodes dedup.
   Result<PumpStats> Pump();
+
+  /// All output records `op` has produced, in edge-log order (complete
+  /// entries only). Exactly-once audit surface for sinks.
+  std::vector<dataflow::Record> OutputRecords(const std::string& op) const;
 
   // ------------------------------------------------------- control plane --
 
@@ -123,8 +166,9 @@ class ClusterDriver {
 
   /// Declares `dead_node` failed and re-homes everything it owned onto
   /// surviving nodes: promote the successor's replica (Rhino) or restore
-  /// the durable checkpoint image (fallback), rewind partition cursors to
-  /// the restored replay watermarks. Call `Pump()` afterwards to replay.
+  /// the durable checkpoint image (fallback), rewind the input cursors of
+  /// each affected operator to the restored replay watermarks. Call
+  /// `Pump()` afterwards to replay.
   Status RecoverNode(uint32_t dead_node) { return RecoverNodes({dead_node}); }
 
   /// Recovery from CORRELATED failures (e.g. a whole VM taking several
@@ -137,6 +181,9 @@ class ClusterDriver {
   std::vector<uint32_t> ProbeFailures();
 
   Result<uint64_t> QueryCount(const std::string& op, uint64_t key);
+  /// Kind-specific state query (join: per-side entry counts; modeled:
+  /// vnode bytes).
+  Result<QueryCountReply> QueryState(const std::string& op, uint64_t key);
   Result<StatsReply> NodeStats(uint32_t node);
 
   /// kShutdown to every live node (best-effort).
@@ -150,19 +197,67 @@ class ClusterDriver {
   Result<uint32_t> RouteKey(const std::string& op, uint64_t key) const;
   std::vector<uint32_t> VnodesOwnedBy(const std::string& op,
                                       uint32_t node) const;
-  uint64_t cursor(size_t partition) const { return cursors_[partition]; }
+  /// Earliest cursor of any operator input fed by broker partition
+  /// `partition` (0 when unconnected).
+  uint64_t cursor(size_t partition) const;
 
  private:
+  /// One wired input of an operator: a broker partition or an upstream
+  /// operator edge, the operator-side input index (`side`), the source id
+  /// stamped on its batches (dedup key), and the replay cursor — the next
+  /// upstream offset to pump.
+  struct OpInput {
+    bool from_partition = true;
+    size_t partition = 0;     ///< when from_partition
+    std::string upstream;     ///< when !from_partition
+    uint32_t side = 0;
+    int source_id = 0;
+    uint64_t cursor = 0;
+  };
+
+  /// One edge-log entry: the outputs one upstream (input, offset) step
+  /// produced, sliced per producer vnode so a replay can refresh exactly
+  /// the vnodes that re-applied. `complete` flips once every routed
+  /// sub-batch of the step acked; downstream consumers only read the
+  /// complete prefix.
+  struct EdgeEntry {
+    std::map<uint32_t, std::vector<dataflow::Record>> slots;
+    SimTime create_time = 0;
+    bool complete = false;
+  };
+
   struct OpRouting {
-    uint32_t num_vnodes = 0;
+    dataflow::OperatorSpec spec;
     std::vector<uint32_t> owner;  ///< vnode -> node id
+    std::vector<OpInput> inputs;
+    /// Outputs are requested from nodes and retained in the edge log
+    /// (set by ConnectOperators on the upstream, or CollectOutputs).
+    bool track_outputs = false;
+    /// The edge log: entry e is edge offset e. Appended in pump order,
+    /// looked up by (input index, upstream offset) on replay so an entry
+    /// keeps its offset across failures.
+    std::vector<EdgeEntry> entries;
+    std::map<std::pair<size_t, uint64_t>, size_t> entry_index;
   };
 
   Status Call(uint32_t node, MessageType type, std::string_view body,
               std::string* reply);
 
-  Result<PumpStats> PumpBlocking();
-  Result<PumpStats> PumpPipelined();
+  /// Drains every input of `op`; sets `*advanced` when at least one offset
+  /// was pumped. Blocking or pipelined per `options_.pipelined`.
+  Status PumpOperator(const std::string& op, OpRouting& routing,
+                      PumpStats* stats, bool* advanced);
+
+  /// Number of edge-log offsets of `routing` a downstream may consume
+  /// (length of the complete prefix).
+  static uint64_t CompletePrefix(const OpRouting& routing);
+
+  /// Folds one successful reply of (input_idx, offset) into the edge log:
+  /// clears and refills the slots of every vnode in `applied_vnodes`.
+  Status RecordOutputs(OpRouting& routing, size_t input_idx, uint64_t offset,
+                       SimTime create_time, const ProcessBatchReply& reply);
+
+  int AllocateSourceId() { return next_edge_source_id_++; }
 
   /// Next live node after `node` on the ring (the replica holder).
   Result<uint32_t> NextAlive(uint32_t node) const;
@@ -183,8 +278,11 @@ class ClusterDriver {
   DriverOptions options_;
 
   std::map<std::string, OpRouting> routing_;
+  std::vector<std::string> op_order_;  ///< topological (AddOperator order)
   std::vector<const broker::PartitionSource*> partitions_;
-  std::vector<uint64_t> cursors_;
+  /// Edge source ids live far above any partition index so one operator's
+  /// inputs never collide in its watermark maps.
+  int next_edge_source_id_ = 1 << 20;
 
   uint64_t last_checkpoint_id_ = 0;
   uint64_t last_handover_id_ = 0;

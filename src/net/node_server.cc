@@ -5,8 +5,8 @@
 #include <utility>
 #include <vector>
 
-#include "dataflow/stateful.h"
 #include "rhino/checkpoint_storage.h"
+#include "state/modeled_state_backend.h"
 
 namespace rhino::net {
 
@@ -118,7 +118,7 @@ Result<std::string> NodeServer::HandleHello(std::string_view body) {
       repl_->error = Status::OK();
     }
     for (const auto& [op, shard] : shards_) {
-      MarkReplDirty(op, shard.owned);
+      MarkReplDirty(op, shard.host->owned());
     }
     repl_->work_cv.notify_all();
   }
@@ -128,37 +128,54 @@ Result<std::string> NodeServer::HandleHello(std::string_view body) {
 Result<std::string> NodeServer::HandleAddOperator(std::string_view body) {
   RHINO_ASSIGN_OR_RETURN(AddOperatorRequest req,
                          AddOperatorRequest::Decode(body));
-  if (req.num_vnodes == 0) {
+  const dataflow::OperatorSpec& spec = req.spec;
+  if (spec.num_vnodes == 0) {
     return Status::InvalidArgument("num_vnodes must be > 0");
   }
-  auto it = shards_.find(req.name);
+  auto it = shards_.find(spec.name);
   if (it != shards_.end()) {
     // Idempotent re-add (driver retry after a transport hiccup).
-    if (it->second.num_vnodes != req.num_vnodes) {
-      return Status::AlreadyExists("operator " + req.name +
-                                   " exists with different vnode count");
+    const dataflow::OperatorSpec& have = it->second.host->spec();
+    if (have.num_vnodes != spec.num_vnodes || have.kind != spec.kind) {
+      return Status::AlreadyExists("operator " + spec.name +
+                                   " exists with a different spec");
     }
     return std::string();
   }
-  // Real worker processes take flushes/compactions off the RPC thread: a
-  // ProcessBatch that fills a memtable schedules the flush and returns
-  // instead of paying for it inline (failures surface on the next write).
-  lsm::Options lsm_options;
-  lsm_options.background_maintenance = true;
+  std::unique_ptr<state::StateBackend> backend;
+  if (spec.kind == dataflow::OperatorKind::kModeledState) {
+    // Modeled operators account bytes instead of materializing values —
+    // no LSM shard on disk, same protocols above the backend interface.
+    backend = std::make_unique<state::ModeledStateBackend>(spec.name,
+                                                           node_id_.load());
+  } else {
+    // Real worker processes take flushes/compactions off the RPC thread:
+    // a ProcessBatch that fills a memtable schedules the flush and
+    // returns instead of paying for it inline (failures surface on the
+    // next write).
+    lsm::Options lsm_options;
+    lsm_options.background_maintenance = true;
+    RHINO_ASSIGN_OR_RETURN(
+        backend,
+        state::LsmStateBackend::Open(env_, options_.data_dir + "/" + spec.name,
+                                     spec.name, node_id_.load(),
+                                     std::move(lsm_options)));
+  }
+  const uint32_t num_vnodes = spec.num_vnodes;
   RHINO_ASSIGN_OR_RETURN(
-      auto backend,
-      state::LsmStateBackend::Open(env_, options_.data_dir + "/" + req.name,
-                                   req.name, node_id_.load(),
-                                   std::move(lsm_options)));
+      auto host,
+      dataflow::OperatorHost::Create(
+          spec, std::move(backend),
+          [num_vnodes](uint64_t key) { return VnodeForKey(key, num_vnodes); },
+          node_id_.load()));
+  host->InitOwned(req.owned_vnodes);
   Shard shard;
-  shard.backend = std::move(backend);
-  shard.num_vnodes = req.num_vnodes;
-  shard.owned.insert(req.owned_vnodes.begin(), req.owned_vnodes.end());
-  shards_.emplace(req.name, std::move(shard));
+  shard.host = std::move(host);
+  shards_.emplace(spec.name, std::move(shard));
   // Baseline the stream: even before any traffic, the successor should
   // hold an (empty-state) replica of every owned vnode, so promotion
   // works for a node killed right after setup.
-  MarkReplDirty(req.name, req.owned_vnodes);
+  MarkReplDirty(spec.name, req.owned_vnodes);
   return std::string();
 }
 
@@ -166,98 +183,62 @@ Result<std::string> NodeServer::HandleProcessBatch(std::string_view body) {
   RHINO_ASSIGN_OR_RETURN(ProcessBatchRequest req,
                          ProcessBatchRequest::Decode(body));
   RHINO_ASSIGN_OR_RETURN(Shard * shard, FindShard(req.op));
+  // The host runs the same dedup + operator core as the in-process
+  // engine; strict ownership turns a misrouted record into a clean
+  // FailedPrecondition before any state mutation.
+  dataflow::Batch out;
+  out.create_time = req.batch.create_time;
+  RHINO_ASSIGN_OR_RETURN(
+      dataflow::ApplyResult applied,
+      shard->host->Apply(static_cast<int>(req.side), req.batch,
+                         /*now=*/req.batch.create_time, &out,
+                         /*strict_ownership=*/true));
   ProcessBatchReply reply;
-  const int source = req.batch.source_id;
-  const uint64_t offset = req.batch.source_offset;
-  std::set<uint32_t> advanced;
-  for (const auto& rec : req.batch.records) {
-    uint32_t vnode = VnodeForKey(rec.key, shard->num_vnodes);
-    if (!shard->owned.count(vnode)) {
-      return Status::FailedPrecondition(
-          "node " + std::to_string(node_id_.load()) + " does not own vnode " +
-          std::to_string(vnode) + " of " + req.op + " (stale routing?)");
-    }
-    auto vit = shard->watermarks.find(vnode);
-    if (vit != shard->watermarks.end()) {
-      auto sit = vit->second.find(source);
-      if (sit != vit->second.end() && offset < sit->second) {
-        ++reply.deduped;
-        continue;  // already folded into state before a replay
-      }
-    }
-    RHINO_ASSIGN_OR_RETURN(uint64_t count,
-                           dataflow::ApplyKeyedCount(shard->backend.get(),
-                                                     vnode, rec.key));
-    (void)count;
-    ++reply.applied;
-    advanced.insert(vnode);
+  reply.applied = applied.applied;
+  reply.deduped = applied.deduped;
+  reply.applied_vnodes.assign(applied.applied_vnodes.begin(),
+                              applied.applied_vnodes.end());
+  if (req.return_outputs != 0 && out.count > 0) {
+    EncodeBatch(out, &reply.outputs);
   }
-  // Watermarks advance only after the whole batch: every record of one
-  // vnode in this batch shares `offset`, so advancing mid-batch would
-  // wrongly dedup its siblings.
-  for (uint32_t vnode : advanced) {
-    uint64_t& mark = shard->watermarks[vnode][source];
-    if (offset + 1 > mark) mark = offset + 1;
-  }
-  MarkReplDirty(req.op, advanced);
+  MarkReplDirty(req.op, applied.applied_vnodes);
   shard->applied += reply.applied;
   shard->deduped += reply.deduped;
-  std::string out;
-  reply.EncodeTo(&out);
-  return out;
+  std::string encoded;
+  reply.EncodeTo(&encoded);
+  return encoded;
 }
 
 Result<rhino::ReplicaState> NodeServer::Snapshot(
-    const std::string& op, Shard* shard, const std::vector<uint32_t>& vnodes,
-    uint64_t id) {
+    Shard* shard, const std::vector<uint32_t>& vnodes, uint64_t id) {
+  RHINO_ASSIGN_OR_RETURN(dataflow::OperatorImage image,
+                         shard->host->ExtractImage(vnodes, id));
+  // For the join, this image is the unit of consistency: both side
+  // columns of a vnode travel inside one blob.
+  image.descriptor.instance_id = node_id_.load();
   rhino::ReplicaState rs;
   rs.latest_checkpoint_id = id;
-  auto& desc = rs.latest_descriptor;
-  desc.checkpoint_id = id;
-  desc.operator_name = op;
-  desc.instance_id = node_id_.load();
-  for (uint32_t vnode : vnodes) {
-    desc.vnode_bytes[vnode] = shard->backend->VnodeBytes(vnode);
-    auto it = shard->watermarks.find(vnode);
-    if (it != shard->watermarks.end()) {
-      desc.vnode_watermarks[vnode] = it->second;
-    }
-  }
-  RHINO_ASSIGN_OR_RETURN(rs.vnode_blobs,
-                         shard->backend->ExtractVnodeBlobs(vnodes));
+  rs.latest_descriptor = std::move(image.descriptor);
+  rs.vnode_blobs = std::move(image.blobs);
   return rs;
 }
 
-Status NodeServer::Absorb(const std::string& op,
-                          const rhino::ReplicaState& rs,
+Status NodeServer::Absorb(const std::string& op, rhino::ReplicaState&& rs,
                           const std::vector<uint32_t>& vnodes,
                           bool already_durable) {
   RHINO_ASSIGN_OR_RETURN(Shard * shard, FindShard(op));
-  std::vector<uint32_t> wanted = vnodes;
-  if (wanted.empty()) {
-    for (const auto& [vnode, blob] : rs.vnode_blobs) wanted.push_back(vnode);
-  }
-  for (uint32_t vnode : wanted) {
-    auto blob = rs.vnode_blobs.find(vnode);
-    if (blob != rs.vnode_blobs.end() && !blob->second.empty()) {
-      RHINO_RETURN_NOT_OK(
-          shard->backend->IngestVnodes(blob->second, already_durable));
-    }
-    shard->owned.insert(vnode);
-    // Dedup positions come WITH the state: replay resumes exactly where
-    // this snapshot stopped. Assign (not max-merge) — the receiver never
-    // owned these vnodes, and recovery must roll dedup back to the
-    // snapshot so the replayed tail is applied.
-    auto marks = rs.latest_descriptor.vnode_watermarks.find(vnode);
-    if (marks != rs.latest_descriptor.vnode_watermarks.end()) {
-      shard->watermarks[vnode] = marks->second;
-    } else {
-      shard->watermarks.erase(vnode);
-    }
-  }
+  dataflow::OperatorImage image;
+  // Blobs are stolen (they dominate the image); the descriptor is copied
+  // because kPromoteReplica still returns it to the driver afterwards.
+  image.descriptor = rs.latest_descriptor;
+  image.blobs = std::move(rs.vnode_blobs);
+  // Dedup positions come WITH the state: replay resumes exactly where the
+  // snapshot stopped (the host assigns, never max-merges).
+  RHINO_ASSIGN_OR_RETURN(std::vector<uint32_t> absorbed,
+                         shard->host->Absorb(image, vnodes, already_durable));
   // Newly absorbed vnodes are writes this node's OWN successor has not
   // seen yet.
-  MarkReplDirty(op, wanted);
+  MarkReplDirty(op, absorbed);
   return Status::OK();
 }
 
@@ -272,9 +253,10 @@ Result<std::string> NodeServer::HandleCheckpoint(std::string_view body) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [op, shard] : shards_) {
-      std::vector<uint32_t> owned(shard.owned.begin(), shard.owned.end());
+      const auto& owned_set = shard.host->owned();
+      std::vector<uint32_t> owned(owned_set.begin(), owned_set.end());
       RHINO_ASSIGN_OR_RETURN(rhino::ReplicaState rs,
-                             Snapshot(op, &shard, owned, ev.id));
+                             Snapshot(&shard, owned, ev.id));
       std::string image;
       rhino::EncodeReplicaState(rs, &image);
       reply.bytes += image.size();
@@ -326,14 +308,13 @@ Result<std::string> NodeServer::HandleExtractVnodes(std::string_view body) {
   const auto& move = spec.moves[req.move_index];
   RHINO_ASSIGN_OR_RETURN(Shard * shard, FindShard(spec.operator_name));
   for (uint32_t vnode : move.vnodes) {
-    if (!shard->owned.count(vnode)) {
+    if (!shard->host->Owns(vnode)) {
       return Status::FailedPrecondition("extract of unowned vnode " +
                                         std::to_string(vnode));
     }
   }
-  RHINO_ASSIGN_OR_RETURN(
-      rhino::ReplicaState rs,
-      Snapshot(spec.operator_name, shard, move.vnodes, spec.id));
+  RHINO_ASSIGN_OR_RETURN(rhino::ReplicaState rs,
+                         Snapshot(shard, move.vnodes, spec.id));
   obs_->trace().Emit("net", "handover_extract",
                      "node" + std::to_string(node_id_.load()), spec.id,
                      {{"vnodes", static_cast<int64_t>(move.vnodes.size())}});
@@ -353,7 +334,7 @@ Result<std::string> NodeServer::HandleIngestVnodes(std::string_view body) {
   const auto& move = spec.moves[req.move_index];
   RHINO_ASSIGN_OR_RETURN(rhino::ReplicaState rs,
                          rhino::DecodeReplicaState(req.replica));
-  RHINO_RETURN_NOT_OK(Absorb(spec.operator_name, rs, move.vnodes,
+  RHINO_RETURN_NOT_OK(Absorb(spec.operator_name, std::move(rs), move.vnodes,
                              req.durable != 0));
   obs_->trace().Emit("net", "handover_ingest",
                      "node" + std::to_string(node_id_.load()), spec.id,
@@ -364,11 +345,7 @@ Result<std::string> NodeServer::HandleIngestVnodes(std::string_view body) {
 Result<std::string> NodeServer::HandleDropVnodes(std::string_view body) {
   RHINO_ASSIGN_OR_RETURN(VnodeSetRequest req, VnodeSetRequest::Decode(body));
   RHINO_ASSIGN_OR_RETURN(Shard * shard, FindShard(req.op));
-  RHINO_RETURN_NOT_OK(shard->backend->DropVnodes(req.vnodes));
-  for (uint32_t vnode : req.vnodes) {
-    shard->owned.erase(vnode);
-    shard->watermarks.erase(vnode);
-  }
+  RHINO_RETURN_NOT_OK(shard->host->Drop(req.vnodes));
   if (replicating_ && !req.vnodes.empty()) {
     // Dropped vnodes become stream tombstones: the successor must purge
     // them from its replica, or a later promotion would resurrect state
@@ -454,7 +431,8 @@ Result<std::string> NodeServer::HandleReplicaFetch(MessageType type,
                 env_, CheckpointImagePath(options_.ckpt_dir, req.origin_node,
                                           req.op)));
   }
-  RHINO_RETURN_NOT_OK(Absorb(req.op, rs, req.vnodes, /*already_durable=*/true));
+  RHINO_RETURN_NOT_OK(
+      Absorb(req.op, std::move(rs), req.vnodes, /*already_durable=*/true));
   obs_->trace().Emit(
       "net",
       type == MessageType::kPromoteReplica ? "promote_replica"
@@ -473,15 +451,17 @@ Result<std::string> NodeServer::HandleQueryCount(std::string_view body) {
   RHINO_ASSIGN_OR_RETURN(QueryCountRequest req,
                          QueryCountRequest::Decode(body));
   RHINO_ASSIGN_OR_RETURN(Shard * shard, FindShard(req.op));
-  uint32_t vnode = VnodeForKey(req.key, shard->num_vnodes);
-  if (!shard->owned.count(vnode)) {
+  uint32_t vnode = shard->host->VnodeOf(req.key);
+  if (!shard->host->Owns(vnode)) {
     return Status::FailedPrecondition("query for unowned vnode " +
                                       std::to_string(vnode));
   }
+  RHINO_ASSIGN_OR_RETURN(dataflow::OperatorQueryResult result,
+                         shard->host->Query(req.key));
   QueryCountReply reply;
-  RHINO_ASSIGN_OR_RETURN(
-      reply.count,
-      dataflow::ReadKeyedCount(shard->backend.get(), vnode, req.key));
+  reply.count = result.count;
+  reply.left = result.left;
+  reply.right = result.right;
   std::string out;
   reply.EncodeTo(&out);
   return out;
@@ -492,8 +472,8 @@ Result<std::string> NodeServer::HandleStats() {
   for (const auto& [op, shard] : shards_) {
     reply.applied += shard.applied;
     reply.deduped += shard.deduped;
-    reply.owned_vnodes += shard.owned.size();
-    reply.state_bytes += shard.backend->SizeBytes();
+    reply.owned_vnodes += shard.host->owned().size();
+    reply.state_bytes += shard.host->backend()->SizeBytes();
   }
   reply.replicas_held = replicas_.size();
   {
@@ -571,7 +551,7 @@ void NodeServer::ReplicatorLoop() {
           for (uint32_t vnode : vnodes) {
             // A vnode dirtied then handed away ships as a tombstone, not
             // as state.
-            if (it->second.owned.count(vnode)) live.push_back(vnode);
+            if (it->second.host->Owns(vnode)) live.push_back(vnode);
           }
         }
         if (!live.empty() || !dropped.empty()) {
@@ -582,7 +562,7 @@ void NodeServer::ReplicatorLoop() {
           }
           rhino::ReplicaState rs;
           if (!live.empty()) {
-            auto snap = Snapshot(op, &it->second, live, seq);
+            auto snap = Snapshot(&it->second, live, seq);
             if (!snap.ok()) {
               failure = snap.status();
             } else {

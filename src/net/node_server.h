@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "dataflow/operator_host.h"
 #include "lsm/env.h"
 #include "net/transport.h"
 #include "net/wire.h"
@@ -24,19 +25,20 @@
 /// \file node_server.h
 /// One worker process of the networked runtime.
 ///
-/// A `NodeServer` hosts operator instances — each an `LsmStateBackend`
-/// shard plus the per-(vnode, source) replay watermarks that make batch
-/// application idempotent — and answers the driver's RPC verbs. It is
-/// transport-agnostic: `Handle` consumes decoded request bodies and is
-/// plugged into an `RpcServer` (the `rhino_node` binary) or a
+/// A `NodeServer` hosts operator instances — each a
+/// `dataflow::OperatorHost` (state backend + vnode ownership + replay
+/// watermarks + the operator core) — and answers the driver's RPC verbs.
+/// It is transport-agnostic: `Handle` consumes decoded request bodies and
+/// is plugged into an `RpcServer` (the `rhino_node` binary) or a
 /// `LoopbackTransport` (in-process tests) unchanged.
 ///
 /// Protocol roles, mirroring the in-process engine:
 ///
-///  * **data plane** — `kProcessBatch` folds routed records into the shard
-///    with the same `ApplyKeyedCount` kernel the thread-mode
-///    `KeyedCounterOperator` uses; records below a vnode's replay
-///    watermark are deduplicated (exactly-once under replay);
+///  * **data plane** — `kProcessBatch` folds routed records into the
+///    hosted operator through the exact same `StatefulOperatorCore` the
+///    thread-mode `StatefulInstance` runs (keyed counter, symmetric hash
+///    join, modeled state); records below a vnode's replay watermark are
+///    deduplicated (exactly-once under replay);
 ///  * **replication** — in continuous mode (the default), every write
 ///    marks its vnode dirty and a background replicator streams
 ///    per-vnode deltas (state blob + replay watermarks, captured
@@ -136,13 +138,11 @@ class NodeServer {
   uint32_t node_id() const { return node_id_.load(); }
 
  private:
-  /// One hosted operator instance.
+  /// One hosted operator instance. All state mechanics (backend,
+  /// ownership, replay watermarks, apply/extract/absorb/drop) live in the
+  /// host; the shard only keeps node-local traffic counters.
   struct Shard {
-    std::unique_ptr<state::LsmStateBackend> backend;
-    uint32_t num_vnodes = 0;
-    std::set<uint32_t> owned;
-    /// vnode -> source -> next expected offset (records below are dropped).
-    std::map<uint32_t, std::map<int, uint64_t>> watermarks;
+    std::unique_ptr<dataflow::OperatorHost> host;
     uint64_t applied = 0;
     uint64_t deduped = 0;
   };
@@ -185,13 +185,13 @@ class NodeServer {
 
   /// Builds the full replica image of `shard` (blobs + watermarks) for the
   /// given vnodes at checkpoint/handover id `id`.
-  Result<rhino::ReplicaState> Snapshot(const std::string& op, Shard* shard,
+  Result<rhino::ReplicaState> Snapshot(Shard* shard,
                                        const std::vector<uint32_t>& vnodes,
                                        uint64_t id);
 
   /// Folds `rs`'s blobs/watermarks for `vnodes` (empty = all) into the
-  /// live shard of `op`.
-  Status Absorb(const std::string& op, const rhino::ReplicaState& rs,
+  /// live shard of `op`. Consumes the image's blobs.
+  Status Absorb(const std::string& op, rhino::ReplicaState&& rs,
                 const std::vector<uint32_t>& vnodes, bool already_durable);
 
   /// Marks `vnodes` of `op` dirty on the replication stream. Caller holds

@@ -1,5 +1,6 @@
 #include "net/wire.h"
 
+#include <bit>
 #include <cstdlib>
 #include <memory>
 #include <utility>
@@ -50,6 +51,19 @@ Status GetVnodes(BinaryReader* r, std::vector<uint32_t>* vnodes) {
     RHINO_RETURN_NOT_OK(r->GetU32(&v));
     vnodes->push_back(v);
   }
+  return Status::OK();
+}
+
+// Doubles cross the wire as their IEEE-754 bit pattern in a u64; the
+// serde layer is integers-and-strings only.
+void PutDouble(BinaryWriter* w, double value) {
+  w->PutU64(std::bit_cast<uint64_t>(value));
+}
+
+Status GetDouble(BinaryReader* r, double* value) {
+  uint64_t bits = 0;
+  RHINO_RETURN_NOT_OK(r->GetU64(&bits));
+  *value = std::bit_cast<double>(bits);
   return Status::OK();
 }
 
@@ -254,6 +268,53 @@ Result<dataflow::ControlEvent> DecodeControlEvent(std::string_view data) {
   return ev;
 }
 
+void EncodeOperatorSpec(const dataflow::OperatorSpec& spec, std::string* out) {
+  BinaryWriter w(out);
+  w.PutU8(static_cast<uint8_t>(spec.kind));
+  w.PutString(spec.name);
+  w.PutU32(spec.num_vnodes);
+  w.PutU32(spec.input_arity);
+  w.PutU8(static_cast<uint8_t>(spec.model.pattern));
+  PutDouble(&w, spec.model.state_bytes_per_input_byte);
+  w.PutU64(spec.model.rmw_cap_bytes_per_vnode);
+  w.PutI64(spec.model.retention_us);
+  PutDouble(&w, spec.model.output_selectivity);
+  w.PutU32(spec.model.output_record_bytes);
+}
+
+Result<dataflow::OperatorSpec> DecodeOperatorSpec(std::string_view data) {
+  BinaryReader r(data);
+  dataflow::OperatorSpec spec;
+  uint8_t kind = 0;
+  RHINO_RETURN_NOT_OK(r.GetU8(&kind));
+  if (!dataflow::ValidOperatorKind(kind)) {
+    // InvalidArgument, not Corruption: the frame parsed fine, the peer
+    // just asked for an operator this build cannot host.
+    return Status::InvalidArgument("unknown operator kind " +
+                                   std::to_string(kind));
+  }
+  spec.kind = static_cast<dataflow::OperatorKind>(kind);
+  RHINO_RETURN_NOT_OK(r.GetString(&spec.name));
+  RHINO_RETURN_NOT_OK(r.GetU32(&spec.num_vnodes));
+  RHINO_RETURN_NOT_OK(r.GetU32(&spec.input_arity));
+  uint8_t pattern = 0;
+  RHINO_RETURN_NOT_OK(r.GetU8(&pattern));
+  if (pattern >
+      static_cast<uint8_t>(dataflow::StateModelConfig::Pattern::kSession)) {
+    return Status::Corruption("unknown state model pattern " +
+                              std::to_string(pattern));
+  }
+  spec.model.pattern =
+      static_cast<dataflow::StateModelConfig::Pattern>(pattern);
+  RHINO_RETURN_NOT_OK(GetDouble(&r, &spec.model.state_bytes_per_input_byte));
+  RHINO_RETURN_NOT_OK(r.GetU64(&spec.model.rmw_cap_bytes_per_vnode));
+  RHINO_RETURN_NOT_OK(r.GetI64(&spec.model.retention_us));
+  RHINO_RETURN_NOT_OK(GetDouble(&r, &spec.model.output_selectivity));
+  RHINO_RETURN_NOT_OK(r.GetU32(&spec.model.output_record_bytes));
+  RHINO_RETURN_NOT_OK(CheckAtEnd(r, "operator spec"));
+  return spec;
+}
+
 // ------------------------------------------------------- request bodies --
 
 void HelloRequest::EncodeTo(std::string* out) const {
@@ -273,16 +334,18 @@ Result<HelloRequest> HelloRequest::Decode(std::string_view data) {
 
 void AddOperatorRequest::EncodeTo(std::string* out) const {
   BinaryWriter w(out);
-  w.PutString(name);
-  w.PutU32(num_vnodes);
+  std::string encoded;
+  EncodeOperatorSpec(spec, &encoded);
+  w.PutString(encoded);
   PutVnodes(&w, owned_vnodes);
 }
 
 Result<AddOperatorRequest> AddOperatorRequest::Decode(std::string_view data) {
   BinaryReader r(data);
   AddOperatorRequest req;
-  RHINO_RETURN_NOT_OK(r.GetString(&req.name));
-  RHINO_RETURN_NOT_OK(r.GetU32(&req.num_vnodes));
+  std::string_view encoded;
+  RHINO_RETURN_NOT_OK(r.GetString(&encoded));
+  RHINO_ASSIGN_OR_RETURN(req.spec, DecodeOperatorSpec(encoded));
   RHINO_RETURN_NOT_OK(GetVnodes(&r, &req.owned_vnodes));
   RHINO_RETURN_NOT_OK(CheckAtEnd(r, "add-operator request"));
   return req;
@@ -291,6 +354,8 @@ Result<AddOperatorRequest> AddOperatorRequest::Decode(std::string_view data) {
 void ProcessBatchRequest::EncodeTo(std::string* out) const {
   BinaryWriter w(out);
   w.PutString(op);
+  w.PutU32(side);
+  w.PutU8(return_outputs);
   std::string encoded;
   EncodeBatch(batch, &encoded);
   w.PutString(encoded);
@@ -300,6 +365,8 @@ Result<ProcessBatchRequest> ProcessBatchRequest::Decode(std::string_view data) {
   BinaryReader r(data);
   ProcessBatchRequest req;
   RHINO_RETURN_NOT_OK(r.GetString(&req.op));
+  RHINO_RETURN_NOT_OK(r.GetU32(&req.side));
+  RHINO_RETURN_NOT_OK(r.GetU8(&req.return_outputs));
   std::string_view encoded;
   RHINO_RETURN_NOT_OK(r.GetString(&encoded));
   RHINO_ASSIGN_OR_RETURN(req.batch, DecodeBatch(encoded));
@@ -311,6 +378,8 @@ void ProcessBatchReply::EncodeTo(std::string* out) const {
   BinaryWriter w(out);
   w.PutU64(applied);
   w.PutU64(deduped);
+  PutVnodes(&w, applied_vnodes);
+  w.PutString(outputs);
 }
 
 Result<ProcessBatchReply> ProcessBatchReply::Decode(std::string_view data) {
@@ -318,6 +387,8 @@ Result<ProcessBatchReply> ProcessBatchReply::Decode(std::string_view data) {
   ProcessBatchReply rep;
   RHINO_RETURN_NOT_OK(r.GetU64(&rep.applied));
   RHINO_RETURN_NOT_OK(r.GetU64(&rep.deduped));
+  RHINO_RETURN_NOT_OK(GetVnodes(&r, &rep.applied_vnodes));
+  RHINO_RETURN_NOT_OK(r.GetString(&rep.outputs));
   RHINO_RETURN_NOT_OK(CheckAtEnd(r, "process-batch reply"));
   return rep;
 }
@@ -439,12 +510,16 @@ Result<QueryCountRequest> QueryCountRequest::Decode(std::string_view data) {
 void QueryCountReply::EncodeTo(std::string* out) const {
   BinaryWriter w(out);
   w.PutU64(count);
+  w.PutU64(left);
+  w.PutU64(right);
 }
 
 Result<QueryCountReply> QueryCountReply::Decode(std::string_view data) {
   BinaryReader r(data);
   QueryCountReply rep;
   RHINO_RETURN_NOT_OK(r.GetU64(&rep.count));
+  RHINO_RETURN_NOT_OK(r.GetU64(&rep.left));
+  RHINO_RETURN_NOT_OK(r.GetU64(&rep.right));
   RHINO_RETURN_NOT_OK(CheckAtEnd(r, "query-count reply"));
   return rep;
 }

@@ -7,6 +7,7 @@
 
 #include "common/hash.h"
 #include "common/status.h"
+#include "dataflow/operator_core.h"
 #include "dataflow/record.h"
 
 /// \file wire.h
@@ -51,7 +52,10 @@ const char* MessageTypeName(MessageType type);
 /// fails loudly at the first frame instead of mis-parsing the stream.
 /// Version 1 introduced correlation-id pipelining (out-of-order windows);
 /// version 0 never carried an explicit byte, so 1 is the first value.
-constexpr uint8_t kWireVersion = 1;
+/// Version 2 made `kAddOperator` carry a full operator spec (kind +
+/// config + input arity), `kProcessBatch` carry the input side and an
+/// output-collection flag, and widened the batch/query replies.
+constexpr uint8_t kWireVersion = 2;
 
 /// Reads the `RHINO_NET_PIPELINE` toggle: `0` reverts the data plane to
 /// the blocking batch-at-a-time pump and synchronous checkpoint-time
@@ -120,6 +124,14 @@ Result<dataflow::HandoverSpec> DecodeHandoverSpec(std::string_view data);
 void EncodeControlEvent(const dataflow::ControlEvent& ev, std::string* out);
 Result<dataflow::ControlEvent> DecodeControlEvent(std::string_view data);
 
+/// Operator specs travel inside `kAddOperator`: kind byte, name, vnode
+/// count, input arity, and the modeled-state config. An unknown kind byte
+/// decodes to `InvalidArgument` (not `Corruption`) — the frame is intact,
+/// the request is just not satisfiable, and the driver surfaces the error
+/// verbatim instead of silently hosting the wrong operator.
+void EncodeOperatorSpec(const dataflow::OperatorSpec& spec, std::string* out);
+Result<dataflow::OperatorSpec> DecodeOperatorSpec(std::string_view data);
+
 // ------------------------------------------------------- request bodies --
 
 /// kHello: assigns the node id and the chain-replication successor
@@ -133,11 +145,10 @@ struct HelloRequest {
   static Result<HelloRequest> Decode(std::string_view data);
 };
 
-/// kAddOperator: host `name` with `num_vnodes` virtual nodes and the
-/// given initially-owned set.
+/// kAddOperator: host the operator described by `spec` and initially own
+/// the given vnode set.
 struct AddOperatorRequest {
-  std::string name;
-  uint32_t num_vnodes = 0;
+  dataflow::OperatorSpec spec;
   std::vector<uint32_t> owned_vnodes;
 
   void EncodeTo(std::string* out) const;
@@ -145,10 +156,16 @@ struct AddOperatorRequest {
 };
 
 /// kProcessBatch: one batch routed to this node. `batch.source_id` is the
-/// broker partition, `batch.source_offset` the log offset — the node's
-/// per-vnode replay watermarks deduplicate on them.
+/// logical input source (broker partition or upstream operator edge),
+/// `batch.source_offset` the log offset — the node's per-vnode replay
+/// watermarks deduplicate on them. `side` is the operator's logical input
+/// (1 = the join's right column); `return_outputs` asks the node to ship
+/// produced records back in the reply so the driver can feed downstream
+/// operators or audit sink output.
 struct ProcessBatchRequest {
   std::string op;
+  uint32_t side = 0;
+  uint8_t return_outputs = 0;
   dataflow::Batch batch;
 
   void EncodeTo(std::string* out) const;
@@ -158,6 +175,13 @@ struct ProcessBatchRequest {
 struct ProcessBatchReply {
   uint64_t applied = 0;
   uint64_t deduped = 0;
+  /// Vnodes the batch actually folded into (post-dedup) — the driver
+  /// replaces its edge-log output slots only for these, so replays cannot
+  /// clobber retained outputs of deduplicated vnodes.
+  std::vector<uint32_t> applied_vnodes;
+  /// Encoded output batch when `return_outputs` was set and the operator
+  /// produced records; empty otherwise.
+  std::string outputs;
 
   void EncodeTo(std::string* out) const;
   static Result<ProcessBatchReply> Decode(std::string_view data);
@@ -246,8 +270,12 @@ struct QueryCountRequest {
   static Result<QueryCountRequest> Decode(std::string_view data);
 };
 
+/// Kind-specific: the running count (counter), total stored entries for
+/// the key with the per-side split (join), or vnode state bytes (modeled).
 struct QueryCountReply {
   uint64_t count = 0;
+  uint64_t left = 0;
+  uint64_t right = 0;
 
   void EncodeTo(std::string* out) const;
   static Result<QueryCountReply> Decode(std::string_view data);

@@ -20,10 +20,11 @@
 /// \file multiprocess_e2e_test.cc
 /// The distributed end-to-end lane: three real `rhino_node` PROCESSES
 /// (forked + exec'd, each with its own LSM directory), coordinated by a
-/// `ClusterDriver` over real TCP sockets. The run drives a checkpoint, a
-/// live handover, a SIGKILL of one node, and recovery — and asserts
-/// exactly-once output counts at the end, the acceptance bar of the
-/// networked runtime.
+/// `ClusterDriver` over real TCP sockets, hosting a TWO-OPERATOR graph
+/// (counter -> rollup through the driver-resident edge log). The run
+/// drives a checkpoint, a live handover, a SIGKILL of one node, and
+/// recovery — and asserts exactly-once counts at BOTH stages at the end,
+/// the acceptance bar of the networked runtime.
 ///
 /// Launch handshake: every node binds port 0 and announces the kernel-
 /// assigned port on stdout as `RHINO_NODE_PORT=<port>`; the test parses it
@@ -40,6 +41,11 @@ namespace {
 constexpr uint32_t kNumVnodes = 16;
 constexpr uint64_t kNumKeys = 30;
 const char* const kOp = "counter";
+/// Downstream stage: fed by `kOp`'s output records through the driver-
+/// resident edge log, so the e2e lane covers a multi-operator graph over
+/// real TCP — two wire hops per record, per-input replay cursors, and
+/// edge replay through recovery.
+const char* const kDownstreamOp = "rollup";
 
 struct NodeProc {
   pid_t pid = -1;
@@ -130,11 +136,17 @@ class MultiProcessClusterTest : public ::testing::Test {
     partition->Append(std::move(batch));
   }
 
+  /// Exactly-once audit over BOTH stages: the counter applies each wave
+  /// once, and because it emits one output record per applied input, the
+  /// downstream stage must land on the same per-key count — any loss or
+  /// duplication on the operator edge shows up here.
   void ExpectAllCounts(ClusterDriver* driver, uint64_t waves) {
-    for (uint64_t key = 0; key < kNumKeys; ++key) {
-      auto count = driver->QueryCount(kOp, key);
-      ASSERT_TRUE(count.ok()) << count.status().ToString();
-      EXPECT_EQ(*count, waves) << "key " << key;
+    for (const char* op : {kOp, kDownstreamOp}) {
+      for (uint64_t key = 0; key < kNumKeys; ++key) {
+        auto count = driver->QueryCount(op, key);
+        ASSERT_TRUE(count.ok()) << op << ": " << count.status().ToString();
+        EXPECT_EQ(*count, waves) << op << " key " << key;
+      }
     }
   }
 
@@ -161,8 +173,11 @@ TEST_F(MultiProcessClusterTest, CheckpointHandoverSigkillRecoveryExactlyOnce) {
   ClusterDriver driver(&transport, endpoints);
   ASSERT_TRUE(driver.ConnectAll().ok());
   ASSERT_TRUE(driver.AddOperator(kOp, kNumVnodes).ok());
+  ASSERT_TRUE(driver.AddOperator(kDownstreamOp, kNumVnodes).ok());
   broker::Partition partition(0);
   driver.AddPartition(&partition);
+  ASSERT_TRUE(driver.ConnectPartition(kOp, 0).ok());
+  ASSERT_TRUE(driver.ConnectOperators(kOp, kDownstreamOp).ok());
 
   // Waves 1-2, then checkpoint #1: every node persists its image into the
   // shared ckpt dir and chain-replicates it to its ring successor.
@@ -170,7 +185,7 @@ TEST_F(MultiProcessClusterTest, CheckpointHandoverSigkillRecoveryExactlyOnce) {
   AppendWave(&partition);
   auto pumped = driver.Pump();
   ASSERT_TRUE(pumped.ok()) << pumped.status().ToString();
-  EXPECT_EQ(pumped->applied, 2 * kNumKeys);
+  EXPECT_EQ(pumped->applied, 2 * kNumKeys * 2);  // both stages apply each wave
   auto ckpt = driver.Checkpoint();
   ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
   EXPECT_EQ(ckpt->nodes, 3u);

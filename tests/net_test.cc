@@ -539,24 +539,33 @@ TEST(WireTest, RequestBodiesRoundTripAndFuzz) {
   }
   {
     AddOperatorRequest msg;
-    msg.name = "counter";
-    msg.num_vnodes = 16;
+    msg.spec.kind = dataflow::OperatorKind::kSymmetricHashJoin;
+    msg.spec.name = "join";
+    msg.spec.num_vnodes = 16;
+    msg.spec.input_arity = 2;
     msg.owned_vnodes = {0, 3, 6, 9};
     std::string encoded;
     msg.EncodeTo(&encoded);
     auto decoded = AddOperatorRequest::Decode(encoded);
     ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->spec.kind, msg.spec.kind);
+    EXPECT_EQ(decoded->spec.name, "join");
+    EXPECT_EQ(decoded->spec.input_arity, 2u);
     EXPECT_EQ(decoded->owned_vnodes, msg.owned_vnodes);
     FuzzPrefixes(encoded, AddOperatorRequest::Decode);
   }
   {
     ProcessBatchRequest msg;
     msg.op = "counter";
+    msg.side = 1;
+    msg.return_outputs = 1;
     msg.batch = MakeBatch();
     std::string encoded;
     msg.EncodeTo(&encoded);
     auto decoded = ProcessBatchRequest::Decode(encoded);
     ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->side, 1u);
+    EXPECT_EQ(decoded->return_outputs, 1);
     EXPECT_EQ(decoded->batch.records.size(), msg.batch.records.size());
     FuzzPrefixes(encoded, ProcessBatchRequest::Decode);
   }
@@ -587,6 +596,70 @@ TEST(WireTest, RequestBodiesRoundTripAndFuzz) {
     EXPECT_EQ(decoded->vnodes, msg.vnodes);
     FuzzPrefixes(encoded, ReplicaFetchRequest::Decode);
   }
+}
+
+TEST(WireTest, OperatorSpecRoundTripAndFuzz) {
+  dataflow::OperatorSpec spec;
+  spec.kind = dataflow::OperatorKind::kModeledState;
+  spec.name = "modeled";
+  spec.num_vnodes = 64;
+  spec.input_arity = 1;
+  spec.model.pattern = dataflow::StateModelConfig::Pattern::kSession;
+  spec.model.state_bytes_per_input_byte = 2.5;
+  spec.model.rmw_cap_bytes_per_vnode = 1024;
+  spec.model.retention_us = 5'000'000;
+  spec.model.output_selectivity = 0.125;
+  spec.model.output_record_bytes = 48;
+  std::string encoded;
+  EncodeOperatorSpec(spec, &encoded);
+  auto decoded = DecodeOperatorSpec(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->kind, spec.kind);
+  EXPECT_EQ(decoded->name, spec.name);
+  EXPECT_EQ(decoded->num_vnodes, spec.num_vnodes);
+  EXPECT_EQ(decoded->model.pattern, spec.model.pattern);
+  EXPECT_DOUBLE_EQ(decoded->model.state_bytes_per_input_byte, 2.5);
+  EXPECT_EQ(decoded->model.rmw_cap_bytes_per_vnode, 1024u);
+  EXPECT_EQ(decoded->model.retention_us, 5'000'000);
+  EXPECT_DOUBLE_EQ(decoded->model.output_selectivity, 0.125);
+  EXPECT_EQ(decoded->model.output_record_bytes, 48u);
+  FuzzPrefixes(encoded, DecodeOperatorSpec);
+  // Single-byte corruption must never crash, and whatever it produces is
+  // a Status, not garbage state.
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    for (int mask : {0x01, 0x10, 0x80, 0xff}) {
+      std::string mutated = encoded;
+      mutated[i] = static_cast<char>(mutated[i] ^ mask);
+      (void)DecodeOperatorSpec(mutated);
+    }
+  }
+}
+
+TEST(WireTest, UnknownOperatorKindIsDecodableError) {
+  dataflow::OperatorSpec spec;
+  spec.name = "mystery";
+  spec.num_vnodes = 8;
+  std::string encoded;
+  EncodeOperatorSpec(spec, &encoded);
+  // The kind byte leads the encoding; forge a value no decoder knows.
+  encoded[0] = static_cast<char>(0x7f);
+  auto decoded = DecodeOperatorSpec(encoded);
+  ASSERT_FALSE(decoded.ok());
+  // InvalidArgument, not Corruption: the frame is intact, the request is
+  // just not satisfiable — callers surface it verbatim to the driver.
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+
+  AddOperatorRequest req;
+  req.spec = spec;
+  std::string body;
+  req.EncodeTo(&body);
+  // The nested spec string sits behind the envelope's length prefix.
+  auto pos = body.find(encoded.substr(1));
+  ASSERT_NE(pos, std::string::npos);
+  body[pos - 1] = static_cast<char>(0x7f);
+  auto bad = AddOperatorRequest::Decode(body);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(WireTest, ReplicaStateRoundTripAndTruncationFuzz) {
